@@ -1,0 +1,449 @@
+//! TimberWolf-class simulated annealing placement.
+//!
+//! State: every standard cell is assigned to a row and a continuous x
+//! position (blocks keep their input position; fixed cells never move).
+//! Cost: weighted half-perimeter wire length plus a bin-overflow penalty
+//! that stands in for TimberWolf's row-overlap penalty. Moves: single-cell
+//! displacement inside a *range window* that shrinks with temperature
+//! (stage 1: whole chip; stage 2: local), plus pairwise swaps. Cooling is
+//! geometric with an adaptive initial temperature.
+
+use kraftwerk_geom::{BoundingBox, Point};
+use kraftwerk_netlist::{CellId, CellKind, NetId, Netlist, Placement};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Annealing schedule and weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnealingConfig {
+    /// RNG seed (runs are deterministic per seed).
+    pub seed: u64,
+    /// Moves attempted per cell per temperature step.
+    pub moves_per_cell: usize,
+    /// Number of temperature steps.
+    pub temperature_steps: usize,
+    /// Geometric cooling factor per step.
+    pub cooling: f64,
+    /// Fraction of moves that are swaps (the rest are displacements).
+    pub swap_fraction: f64,
+    /// Overflow penalty weight relative to the natural scale
+    /// (`hpwl₀ / cell area`); larger keeps densities flatter.
+    pub overflow_weight: f64,
+    /// Optional per-net weight multipliers (timing-driven mode).
+    pub net_weights: Option<Vec<f64>>,
+}
+
+impl Default for AnnealingConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x7157_0BEE,
+            moves_per_cell: 8,
+            temperature_steps: 64,
+            cooling: 0.90,
+            swap_fraction: 0.2,
+            overflow_weight: 1.0,
+            net_weights: None,
+        }
+    }
+}
+
+impl AnnealingConfig {
+    /// A production-quality schedule (16 moves/cell over 192 temperature
+    /// steps, slow cooling) — the configuration the benchmark tables use
+    /// as the TimberWolf stand-in, sized so its runtime is comparable to
+    /// the Kraftwerk standard flow on mid-size circuits (the paper's
+    /// "comparison under similar runtime conditions").
+    #[must_use]
+    pub fn heavy() -> Self {
+        Self {
+            moves_per_cell: 16,
+            temperature_steps: 192,
+            cooling: 0.93,
+            ..Self::default()
+        }
+    }
+}
+
+/// Run diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AnnealingStats {
+    /// Total moves attempted.
+    pub attempted: usize,
+    /// Moves accepted.
+    pub accepted: usize,
+    /// Final weighted wire length component.
+    pub final_wirelength: f64,
+    /// Final overflow penalty component.
+    pub final_overflow: f64,
+}
+
+/// The annealer; see the module documentation.
+#[derive(Debug, Clone, Default)]
+pub struct AnnealingPlacer {
+    config: AnnealingConfig,
+}
+
+/// Occupancy grid used for the overflow penalty. Cells deposit their full
+/// area into the bin containing their center — cheap to update and close
+/// enough for a penalty term.
+struct BinGrid {
+    nx: usize,
+    ny: usize,
+    x0: f64,
+    y0: f64,
+    dx: f64,
+    dy: f64,
+    used: Vec<f64>,
+    capacity: f64,
+}
+
+impl BinGrid {
+    fn new(netlist: &Netlist, nx: usize, ny: usize) -> Self {
+        let core = netlist.core_region();
+        let capacity = core.area() / (nx * ny) as f64;
+        Self {
+            nx,
+            ny,
+            x0: core.x_lo,
+            y0: core.y_lo,
+            dx: core.width() / nx as f64,
+            dy: core.height() / ny as f64,
+            used: vec![0.0; nx * ny],
+            capacity,
+        }
+    }
+
+    fn bin_of(&self, p: Point) -> usize {
+        let ix = (((p.x - self.x0) / self.dx) as isize).clamp(0, self.nx as isize - 1) as usize;
+        let iy = (((p.y - self.y0) / self.dy) as isize).clamp(0, self.ny as isize - 1) as usize;
+        iy * self.nx + ix
+    }
+
+    /// Overflow contribution of one bin.
+    fn overflow(&self, bin: usize) -> f64 {
+        (self.used[bin] - self.capacity).max(0.0)
+    }
+
+    /// Penalty delta for moving `area` from `from` to `to`.
+    fn move_delta(&self, from: usize, to: usize, area: f64) -> f64 {
+        if from == to {
+            return 0.0;
+        }
+        let before = self.overflow(from) + self.overflow(to);
+        let after = (self.used[from] - area - self.capacity).max(0.0)
+            + (self.used[to] + area - self.capacity).max(0.0);
+        after - before
+    }
+
+    fn apply_move(&mut self, from: usize, to: usize, area: f64) {
+        if from != to {
+            self.used[from] -= area;
+            self.used[to] += area;
+        }
+    }
+
+    fn total_overflow(&self) -> f64 {
+        (0..self.used.len()).map(|b| self.overflow(b)).sum()
+    }
+}
+
+struct State<'a> {
+    netlist: &'a Netlist,
+    placement: Placement,
+    /// Cached bounding boxes per net.
+    bboxes: Vec<BoundingBox>,
+    weights: Vec<f64>,
+    grid: BinGrid,
+    bins: Vec<usize>,
+    areas: Vec<f64>,
+}
+
+impl<'a> State<'a> {
+    fn net_cost(&self, net: NetId) -> f64 {
+        self.weights[net.index()] * self.bboxes[net.index()].half_perimeter()
+    }
+
+    fn recompute_bbox(&self, net: NetId) -> BoundingBox {
+        self.netlist
+            .net(net)
+            .pins()
+            .iter()
+            .map(|&p| self.netlist.pin_position(p, &self.placement))
+            .collect()
+    }
+
+    /// Wire-length delta of moving `cell` to `to` (placement mutated and
+    /// restored — callers decide whether to commit).
+    fn move_cell(&mut self, cell: CellId, to: Point) -> f64 {
+        let mut delta = 0.0;
+        for &pid in self.netlist.cell(cell).pins() {
+            delta -= self.net_cost(self.netlist.pin(pid).net());
+        }
+        self.placement.set_position(cell, to);
+        for &pid in self.netlist.cell(cell).pins() {
+            let net = self.netlist.pin(pid).net();
+            self.bboxes[net.index()] = self.recompute_bbox(net);
+            delta += self.net_cost(net);
+        }
+        delta
+    }
+}
+
+impl AnnealingPlacer {
+    /// Creates an annealer with the given schedule.
+    #[must_use]
+    pub fn new(config: AnnealingConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &AnnealingConfig {
+        &self.config
+    }
+
+    /// Places a netlist; returns the final placement and run statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net_weights` is set with a length other than the net
+    /// count, or if the netlist has no rows.
+    #[must_use]
+    pub fn place(&self, netlist: &Netlist) -> (Placement, AnnealingStats) {
+        assert!(!netlist.rows().is_empty(), "annealing needs rows");
+        if let Some(w) = &self.config.net_weights {
+            assert_eq!(w.len(), netlist.num_nets(), "one weight per net required");
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let core = netlist.core_region();
+        let rows = netlist.rows().to_vec();
+
+        // Initial placement: cells scattered over rows round-robin.
+        let movable: Vec<CellId> = netlist
+            .cells()
+            .filter(|(_, c)| c.kind() == CellKind::Standard)
+            .map(|(id, _)| id)
+            .collect();
+        let mut placement = netlist.initial_placement();
+        for (i, &id) in movable.iter().enumerate() {
+            let row = rows[i % rows.len()];
+            let x = rng.gen_range(row.x_lo..row.x_hi);
+            placement.set_position(id, Point::new(x, row.center_y()));
+        }
+
+        let weights = self
+            .config
+            .net_weights
+            .clone()
+            .unwrap_or_else(|| vec![1.0; netlist.num_nets()]);
+        let bins_across = ((movable.len() as f64).sqrt() as usize).clamp(8, 96);
+        let ny = ((core.height() / core.width() * bins_across as f64).round() as usize).max(4);
+        let grid = BinGrid::new(netlist, bins_across, ny);
+
+        let mut state = State {
+            netlist,
+            placement,
+            bboxes: Vec::new(),
+            weights,
+            grid,
+            bins: vec![0; netlist.num_cells()],
+            areas: vec![0.0; netlist.num_cells()],
+        };
+        state.bboxes = netlist.net_ids().map(|n| state.recompute_bbox(n)).collect();
+        for &id in &movable {
+            let b = state.grid.bin_of(state.placement.position(id));
+            state.bins[id.index()] = b;
+            state.areas[id.index()] = netlist.cell(id).area();
+            state.grid.used[b] += state.areas[id.index()];
+        }
+
+        let initial_wl: f64 = netlist.net_ids().map(|n| state.net_cost(n)).sum();
+        // Overflow is measured in area units; normalize so a fully piled
+        // placement costs about as much as its wire length.
+        let lambda = self.config.overflow_weight * initial_wl
+            / netlist.total_movable_area().max(1.0);
+
+        // Initial temperature: accept ~85% of uphill moves of typical size.
+        let mut probe_deltas = Vec::new();
+        for _ in 0..100.min(movable.len() * 4) {
+            let &cell = &movable[rng.gen_range(0..movable.len())];
+            let old = state.placement.position(cell);
+            let row = rows[rng.gen_range(0..rows.len())];
+            let to = Point::new(rng.gen_range(row.x_lo..row.x_hi), row.center_y());
+            let d = state.move_cell(cell, to);
+            probe_deltas.push(d.abs());
+            let _ = state.move_cell(cell, old);
+        }
+        probe_deltas.sort_by(f64::total_cmp);
+        let typical = probe_deltas
+            .get(probe_deltas.len() * 3 / 4)
+            .copied()
+            .unwrap_or(1.0)
+            .max(1e-9);
+        let mut temperature = typical / 0.16; // exp(-d/T) = 0.85
+
+        let mut stats = AnnealingStats::default();
+        let n_moves = self.config.moves_per_cell * movable.len().max(1);
+        for step in 0..self.config.temperature_steps {
+            // Range window shrinks from the whole die to a few rows.
+            let progress = step as f64 / self.config.temperature_steps.max(1) as f64;
+            let range_frac = (1.0 - progress).powi(2).max(0.02);
+            let range_x = core.width() * range_frac;
+            let range_rows = ((rows.len() as f64 * range_frac).ceil() as usize).max(1);
+
+            for _ in 0..n_moves {
+                stats.attempted += 1;
+                let &cell = &movable[rng.gen_range(0..movable.len())];
+                let swap = rng.gen::<f64>() < self.config.swap_fraction;
+                if swap {
+                    let &other = &movable[rng.gen_range(0..movable.len())];
+                    if other == cell {
+                        continue;
+                    }
+                    let pa = state.placement.position(cell);
+                    let pb = state.placement.position(other);
+                    let ba = state.bins[cell.index()];
+                    let bb = state.bins[other.index()];
+                    let area_a = state.areas[cell.index()];
+                    let area_b = state.areas[other.index()];
+                    let d_over = lambda
+                        * (state.grid.move_delta(ba, bb, area_a - area_b));
+                    let d_wl = state.move_cell(cell, pb) + state.move_cell(other, pa);
+                    let delta = d_wl + d_over;
+                    if delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp() {
+                        stats.accepted += 1;
+                        state.grid.apply_move(ba, bb, area_a - area_b);
+                        state.bins[cell.index()] = bb;
+                        state.bins[other.index()] = ba;
+                    } else {
+                        let _ = state.move_cell(other, pb);
+                        let _ = state.move_cell(cell, pa);
+                    }
+                } else {
+                    let old = state.placement.position(cell);
+                    let row_now = ((old.y - core.y_lo) / (core.height() / rows.len() as f64))
+                        as isize;
+                    let lo_row = (row_now - range_rows as isize).max(0) as usize;
+                    let hi_row = ((row_now + range_rows as isize) as usize).min(rows.len() - 1);
+                    let row = rows[rng.gen_range(lo_row..=hi_row)];
+                    let x = (old.x + rng.gen_range(-range_x..range_x))
+                        .clamp(row.x_lo, row.x_hi);
+                    let to = Point::new(x, row.center_y());
+                    let from_bin = state.bins[cell.index()];
+                    let to_bin = state.grid.bin_of(to);
+                    let area = state.areas[cell.index()];
+                    let d_over = lambda * state.grid.move_delta(from_bin, to_bin, area);
+                    let d_wl = state.move_cell(cell, to);
+                    let delta = d_wl + d_over;
+                    if delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp() {
+                        stats.accepted += 1;
+                        state.grid.apply_move(from_bin, to_bin, area);
+                        state.bins[cell.index()] = to_bin;
+                    } else {
+                        let _ = state.move_cell(cell, old);
+                    }
+                }
+            }
+            temperature *= self.config.cooling;
+        }
+
+        stats.final_wirelength = netlist.net_ids().map(|n| state.net_cost(n)).sum();
+        stats.final_overflow = state.grid.total_overflow();
+        (state.placement, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kraftwerk_netlist::metrics;
+    use kraftwerk_netlist::synth::{generate, SynthConfig};
+
+    fn quick_config() -> AnnealingConfig {
+        AnnealingConfig {
+            moves_per_cell: 4,
+            temperature_steps: 32,
+            ..AnnealingConfig::default()
+        }
+    }
+
+    #[test]
+    fn annealing_beats_random_start() {
+        let nl = generate(&SynthConfig::with_size("sa", 150, 190, 6));
+        let (placement, stats) = AnnealingPlacer::new(AnnealingConfig::default()).place(&nl);
+        assert!(stats.accepted > 0);
+        // Compare against the starting scatter (same construction).
+        let final_hpwl = metrics::hpwl(&nl, &placement);
+        // A scatter placement is about the serpentine-reference scale; the
+        // annealer should land far below it.
+        assert!(final_hpwl < 16_000.0, "final hpwl {final_hpwl}");
+    }
+
+    #[test]
+    fn annealing_is_deterministic_per_seed() {
+        let nl = generate(&SynthConfig::with_size("sa", 100, 130, 5));
+        let a = AnnealingPlacer::new(quick_config()).place(&nl).0;
+        let b = AnnealingPlacer::new(quick_config()).place(&nl).0;
+        assert_eq!(a, b);
+        let c = AnnealingPlacer::new(AnnealingConfig {
+            seed: 1,
+            ..quick_config()
+        })
+        .place(&nl)
+        .0;
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cells_end_on_rows_inside_the_core() {
+        let nl = generate(&SynthConfig::with_size("sa", 120, 150, 6));
+        let (placement, _) = AnnealingPlacer::new(quick_config()).place(&nl);
+        let core = nl.core_region();
+        for (id, cell) in nl.cells() {
+            if cell.kind() != CellKind::Standard {
+                continue;
+            }
+            let p = placement.position(id);
+            assert!(core.contains(p), "cell {id} at {p} outside core");
+            let on_row = nl
+                .rows()
+                .iter()
+                .any(|r| (p.y - r.center_y()).abs() < 1e-9);
+            assert!(on_row, "cell {id} not on a row center");
+        }
+    }
+
+    #[test]
+    fn net_weights_shorten_weighted_nets() {
+        let nl = generate(&SynthConfig::with_size("saw", 150, 190, 6));
+        let plain = AnnealingPlacer::new(quick_config()).place(&nl).0;
+        let mut weights = vec![1.0; nl.num_nets()];
+        let target = NetId::from_index(3);
+        weights[target.index()] = 25.0;
+        let weighted = AnnealingPlacer::new(AnnealingConfig {
+            net_weights: Some(weights),
+            ..quick_config()
+        })
+        .place(&nl)
+        .0;
+        let before = metrics::net_hpwl(&nl, &plain, target);
+        let after = metrics::net_hpwl(&nl, &weighted, target);
+        assert!(
+            after <= before,
+            "weighted net should not grow: {after:.1} vs {before:.1}"
+        );
+    }
+
+    #[test]
+    fn overflow_stays_bounded() {
+        let nl = generate(&SynthConfig::with_size("sao", 200, 260, 8));
+        let (_, stats) = AnnealingPlacer::new(quick_config()).place(&nl);
+        // Overflow far below the total cell area means the penalty works.
+        assert!(
+            stats.final_overflow < 0.4 * nl.total_movable_area(),
+            "overflow {} vs area {}",
+            stats.final_overflow,
+            nl.total_movable_area()
+        );
+    }
+}

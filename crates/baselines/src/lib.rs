@@ -1,0 +1,29 @@
+//! Baseline placers the paper compares against (section 6).
+//!
+//! The original comparisons use the TimberWolf simulated-annealing placer
+//! \[2, 18, 19\] and GORDIAN/Domino \[14, 17\]. Neither binary survives, so
+//! this crate implements one credible representative of each algorithmic
+//! class, built on the same netlist substrate as the Kraftwerk placer:
+//!
+//! * [`AnnealingPlacer`] — two-stage, range-limited simulated annealing
+//!   over row-assigned cells with incremental wire-length and bin-overflow
+//!   bookkeeping (the TimberWolf class);
+//! * [`GordianPlacer`] — global quadratic solves with recursive region
+//!   partitioning and per-region center anchoring (the GORDIAN class;
+//!   reuses the quadratic machinery of `kraftwerk-core`).
+//!
+//! Both produce *global* placements that are finished by
+//! `kraftwerk-legalize`, exactly like the Kraftwerk flow, so Table 1/2
+//! comparisons measure the global placer, not the final placer.
+//!
+//! Both support timing-driven mode through per-net weight multipliers.
+
+// Numeric kernels index several parallel arrays; an explicit index is
+// the clearest formulation there.
+#![allow(clippy::needless_range_loop)]
+
+mod annealing;
+mod gordian;
+
+pub use annealing::{AnnealingConfig, AnnealingPlacer, AnnealingStats};
+pub use gordian::{GordianConfig, GordianPlacer};

@@ -1,0 +1,30 @@
+//! Criterion bench: Abacus legalization and detailed refinement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kraftwerk_core::{GlobalPlacer, KraftwerkConfig};
+use kraftwerk_legalize::{legalize, refine};
+use kraftwerk_netlist::synth::{generate, SynthConfig};
+
+fn bench_legalize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("legalization");
+    group.sample_size(10);
+    for cells in [1000usize, 4000] {
+        let nl = generate(&SynthConfig::with_size("bench_lg", cells, cells * 12 / 10, 16));
+        let global = GlobalPlacer::new(KraftwerkConfig::standard()).place(&nl).placement;
+        group.bench_with_input(BenchmarkId::new("abacus", cells), &cells, |b, _| {
+            b.iter(|| legalize(&nl, &global).expect("legalizable"))
+        });
+        let legal = legalize(&nl, &global).expect("legalizable");
+        group.bench_with_input(BenchmarkId::new("refine", cells), &cells, |b, _| {
+            b.iter_batched(
+                || legal.clone(),
+                |mut p| refine(&nl, &mut p, 1),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_legalize);
+criterion_main!(benches);

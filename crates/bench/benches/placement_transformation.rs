@@ -1,0 +1,29 @@
+//! Criterion bench: one placement transformation (section 4.1) end to
+//! end — density, Poisson solve, assembly, CG — per design size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kraftwerk_core::{KraftwerkConfig, PlacementSession};
+use kraftwerk_netlist::synth::{generate, SynthConfig};
+
+fn bench_transform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement_transformation");
+    group.sample_size(10);
+    for cells in [1000usize, 4000, 12000] {
+        let nl = generate(&SynthConfig::with_size("bench_tx", cells, cells * 12 / 10, 24));
+        group.bench_with_input(BenchmarkId::from_parameter(cells), &cells, |b, _| {
+            b.iter_batched(
+                || {
+                    let mut s = PlacementSession::new(&nl, KraftwerkConfig::standard());
+                    s.transform(); // past the unconstrained first solve
+                    s
+                },
+                |mut s| s.transform(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transform);
+criterion_main!(benches);

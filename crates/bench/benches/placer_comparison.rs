@@ -1,0 +1,30 @@
+//! Criterion bench: the three complete flows on one mid-size circuit —
+//! the CPU-time shape behind Tables 1 and 2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kraftwerk_baselines::{AnnealingConfig, GordianConfig};
+use kraftwerk_bench::{run_annealing, run_gordian, run_kraftwerk};
+use kraftwerk_core::KraftwerkConfig;
+use kraftwerk_netlist::synth::mcnc;
+
+fn bench_placers(c: &mut Criterion) {
+    let nl = mcnc::by_name("primary1");
+    let mut group = c.benchmark_group("placer_comparison_primary1");
+    group.sample_size(10);
+    group.bench_function("kraftwerk_standard", |b| {
+        b.iter(|| run_kraftwerk(&nl, KraftwerkConfig::standard()))
+    });
+    group.bench_function("kraftwerk_fast", |b| {
+        b.iter(|| run_kraftwerk(&nl, KraftwerkConfig::fast()))
+    });
+    group.bench_function("annealing", |b| {
+        b.iter(|| run_annealing(&nl, AnnealingConfig::default()))
+    });
+    group.bench_function("gordian", |b| {
+        b.iter(|| run_gordian(&nl, GordianConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_placers);
+criterion_main!(benches);

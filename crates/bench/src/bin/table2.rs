@@ -1,0 +1,54 @@
+//! **Table 2** — Comparisons to other approaches: wire-length
+//! improvement and relative CPU times.
+//!
+//! Derived from the Table 1 runs (`bench_results/table1.csv`; run the
+//! `table1` binary first, or this tool tells you to). Positive
+//! improvement percentages mean the Kraftwerk flow is better, and
+//! relative CPU below 1.0 means it is faster — the paper's conventions.
+//!
+//! ```sh
+//! cargo run --release -p kraftwerk-bench --bin table2
+//! ```
+
+use kraftwerk_bench::read_csv;
+
+fn main() {
+    let Some(rows) = read_csv("table1.csv") else {
+        eprintln!("bench_results/table1.csv not found — run the `table1` binary first");
+        std::process::exit(1);
+    };
+    println!("Table 2: wire-length improvement of our approach [%] and relative CPU");
+    println!(
+        "{:<12} | {:>9} {:>8} | {:>9} {:>8}",
+        "circuit", "%impr TW", "rel CPU", "%impr Go", "rel CPU"
+    );
+    let mut sums = [0.0f64; 4];
+    let mut count = 0.0;
+    for row in &rows {
+        let f = |i: usize| -> f64 { row[i].parse().expect("numeric csv field") };
+        let (tw_wire, tw_cpu, go_wire, go_cpu, our_wire, our_cpu) =
+            (f(2), f(3), f(4), f(5), f(6), f(7));
+        let impr_tw = 100.0 * (tw_wire - our_wire) / tw_wire;
+        let impr_go = 100.0 * (go_wire - our_wire) / go_wire;
+        let rel_tw = our_cpu / tw_cpu;
+        let rel_go = our_cpu / go_cpu;
+        println!(
+            "{:<12} | {:>9.1} {:>8.2} | {:>9.1} {:>8.2}",
+            row[0], impr_tw, rel_tw, impr_go, rel_go
+        );
+        sums[0] += impr_tw;
+        sums[1] += rel_tw;
+        sums[2] += impr_go;
+        sums[3] += rel_go;
+        count += 1.0;
+    }
+    println!(
+        "{:<12} | {:>9.1} {:>8.2} | {:>9.1} {:>8.2}",
+        "average",
+        sums[0] / count,
+        sums[1] / count,
+        sums[2] / count,
+        sums[3] / count
+    );
+    println!("\n(paper: +7.9% vs TimberWolf, +6.6% vs Gordian/Domino on average)");
+}

@@ -1,0 +1,95 @@
+//! **Table 3** — Timing results: longest path and CPU time.
+//!
+//! For the paper's five timing circuits, runs each placer without and
+//! with timing optimization and reports the longest path (ns, Elmore
+//! model with the paper's 242 pF/m and 25.5 kΩ/m) plus the CPU seconds of
+//! the timing-driven flow. The timing-driven baselines iterate the same
+//! criticality/net-weighting scheme around the baseline placers (the
+//! TimberWolf-TD \[20\] / SPEED \[21\] pattern). Cached to
+//! `bench_results/table3.csv` for Table 4.
+//!
+//! ```sh
+//! cargo run --release -p kraftwerk-bench --bin table3             # all 5 circuits
+//! cargo run --release -p kraftwerk-bench --bin table3 -- --quick  # <= 7000 cells
+//! ```
+
+use kraftwerk_baselines::{AnnealingConfig, GordianConfig};
+use kraftwerk_bench::{
+    lower_bound, run_annealing, run_baseline_timing, run_gordian, run_kraftwerk_timing, write_csv,
+};
+use kraftwerk_netlist::synth::mcnc;
+use kraftwerk_timing::DelayModel;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let model = DelayModel::default();
+    let circuits: Vec<_> = mcnc::TIMING_CIRCUITS
+        .iter()
+        .map(|name| {
+            mcnc::TABLE1
+                .iter()
+                .find(|p| p.name == *name)
+                .copied()
+                .expect("timing circuit in table 1")
+        })
+        .filter(|p| !quick || p.cells <= 7000)
+        .collect();
+
+    println!("Table 3: longest path without/with timing optimization [ns], CPU [s]");
+    println!(
+        "{:<12} | {:>8} {:>8} {:>7} | {:>8} {:>8} {:>7} | {:>8} {:>8} {:>7}",
+        "circuit", "TW w/o", "TW with", "CPU", "Go w/o", "Go with", "CPU", "Our w/o", "Our with", "CPU"
+    );
+    let mut rows = Vec::new();
+    for preset in circuits {
+        let netlist = mcnc::by_name(preset.name);
+        let bound = lower_bound(&netlist, model);
+
+        let sa = run_baseline_timing(&netlist, model, 2, |weights| {
+            run_annealing(
+                &netlist,
+                AnnealingConfig {
+                    net_weights: weights,
+                    ..AnnealingConfig::heavy()
+                },
+            )
+        });
+        let gq = run_baseline_timing(&netlist, model, 3, |weights| {
+            run_gordian(
+                &netlist,
+                GordianConfig {
+                    net_weights: weights,
+                    ..GordianConfig::default()
+                },
+            )
+        });
+        let kw = run_kraftwerk_timing(&netlist, model);
+
+        println!(
+            "{:<12} | {:>8.2} {:>8.2} {:>7.1} | {:>8.2} {:>8.2} {:>7.1} | {:>8.2} {:>8.2} {:>7.1}",
+            preset.name,
+            sa.without_ns, sa.with_ns, sa.seconds,
+            gq.without_ns, gq.with_ns, gq.seconds,
+            kw.without_ns, kw.with_ns, kw.seconds,
+        );
+        rows.push(vec![
+            preset.name.to_owned(),
+            format!("{bound:.4}"),
+            format!("{:.4}", sa.without_ns),
+            format!("{:.4}", sa.with_ns),
+            format!("{:.3}", sa.seconds),
+            format!("{:.4}", gq.without_ns),
+            format!("{:.4}", gq.with_ns),
+            format!("{:.3}", gq.seconds),
+            format!("{:.4}", kw.without_ns),
+            format!("{:.4}", kw.with_ns),
+            format!("{:.3}", kw.seconds),
+        ]);
+    }
+    write_csv(
+        "table3.csv",
+        "circuit;bound;tw_wo;tw_with;tw_cpu;go_wo;go_with;go_cpu;our_wo;our_with;our_cpu",
+        &rows,
+    );
+    println!("\ncached to bench_results/table3.csv (table4 derives from it)");
+}

@@ -1,0 +1,255 @@
+//! Shared harness for the paper's experiments.
+//!
+//! Every table binary (`table1` … `table4`, `fastmode`, `ablation`) builds
+//! on the flows defined here, so "wire length" and "CPU time" always mean
+//! the same thing: **legalized** half-perimeter wire length (converted to
+//! meters, 1 layout unit = 1 µm) and wall-clock seconds for the complete
+//! global placement + legalization + refinement flow.
+//!
+//! Results are cached as small CSV files under `bench_results/` so the
+//! derived tables (2 and 4) can be regenerated without re-running the
+//! placers.
+
+use kraftwerk_baselines::{AnnealingConfig, AnnealingPlacer, GordianConfig, GordianPlacer};
+use kraftwerk_core::{GlobalPlacer, KraftwerkConfig};
+use kraftwerk_legalize::{check_legality, legalize, refine};
+use kraftwerk_netlist::{metrics, Netlist, Placement};
+use kraftwerk_timing::{optimize_timing_legalized, CriticalityTracker, DelayModel, Sta};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Layout units (µm) to meters.
+pub const UNITS_TO_METERS: f64 = 1e-6;
+
+/// One completed placement flow.
+#[derive(Debug, Clone)]
+pub struct FlowResult {
+    /// The legalized placement.
+    pub placement: Placement,
+    /// Legalized half-perimeter wire length in meters.
+    pub wirelength_m: f64,
+    /// Wall-clock seconds for the complete flow.
+    pub seconds: f64,
+    /// Whether the final placement passed the legality check.
+    pub legal: bool,
+}
+
+fn finish(netlist: &Netlist, global: Placement, started: Instant) -> FlowResult {
+    let mut legal = legalize(netlist, &global).expect("row capacity");
+    refine(netlist, &mut legal, 2);
+    let seconds = started.elapsed().as_secs_f64();
+    FlowResult {
+        wirelength_m: metrics::hpwl(netlist, &legal) * UNITS_TO_METERS,
+        legal: check_legality(netlist, &legal, 1e-6).is_legal(),
+        placement: legal,
+        seconds,
+    }
+}
+
+/// The Kraftwerk flow (standard or any other config).
+#[must_use]
+pub fn run_kraftwerk(netlist: &Netlist, config: KraftwerkConfig) -> FlowResult {
+    let started = Instant::now();
+    let global = GlobalPlacer::new(config).place(netlist).placement;
+    finish(netlist, global, started)
+}
+
+/// The TimberWolf-class simulated annealing flow.
+#[must_use]
+pub fn run_annealing(netlist: &Netlist, config: AnnealingConfig) -> FlowResult {
+    let started = Instant::now();
+    let (global, _) = AnnealingPlacer::new(config).place(netlist);
+    finish(netlist, global, started)
+}
+
+/// The GORDIAN-class quadratic/partitioning flow.
+#[must_use]
+pub fn run_gordian(netlist: &Netlist, config: GordianConfig) -> FlowResult {
+    let started = Instant::now();
+    let global = GordianPlacer::new(config).place(netlist);
+    finish(netlist, global, started)
+}
+
+/// Timing measurement of a finished flow: longest path in ns.
+#[must_use]
+pub fn longest_path(netlist: &Netlist, placement: &Placement, model: DelayModel) -> f64 {
+    Sta::new(netlist, model)
+        .expect("synthetic circuits are acyclic")
+        .analyze(placement)
+        .max_delay
+}
+
+/// One timing experiment outcome (a Table 3 cell pair plus CPU).
+#[derive(Debug, Clone, Copy)]
+pub struct TimingOutcome {
+    /// Longest path without timing optimization (ns).
+    pub without_ns: f64,
+    /// Longest path with timing optimization (ns).
+    pub with_ns: f64,
+    /// Wall-clock seconds for the timing-driven flow.
+    pub seconds: f64,
+}
+
+/// Kraftwerk timing-driven flow (the paper's iterative net weighting,
+/// measured on legal placements).
+#[must_use]
+pub fn run_kraftwerk_timing(netlist: &Netlist, model: DelayModel) -> TimingOutcome {
+    let cfg = KraftwerkConfig::standard();
+    let plain = run_kraftwerk(netlist, cfg.clone());
+    let started = Instant::now();
+    let optimized = optimize_timing_legalized(netlist, model, cfg, 3)
+        .expect("synthetic circuits are acyclic")
+        .placement;
+    TimingOutcome {
+        without_ns: longest_path(netlist, &plain.placement, model),
+        with_ns: longest_path(netlist, &optimized, model),
+        seconds: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// Timing-driven baseline: iterate (place → STA → net weights) a few
+/// times with a baseline placer — the net-weighting scheme TimberWolf-TD
+/// \[20\] and SPEED \[21\] style flows use.
+#[must_use]
+pub fn run_baseline_timing(
+    netlist: &Netlist,
+    model: DelayModel,
+    iterations: usize,
+    mut place: impl FnMut(Option<Vec<f64>>) -> FlowResult,
+) -> TimingOutcome {
+    let sta = Sta::new(netlist, model).expect("synthetic circuits are acyclic");
+    let plain = place(None);
+    let without_ns = sta.analyze(&plain.placement).max_delay;
+    let started = Instant::now();
+    let mut tracker = CriticalityTracker::new(netlist.num_nets());
+    let mut weights = {
+        let report = sta.analyze(&plain.placement);
+        tracker.update(&report)
+    };
+    let mut best = without_ns;
+    for _ in 0..iterations {
+        let result = place(Some(weights.clone()));
+        let report = sta.analyze(&result.placement);
+        best = best.min(report.max_delay);
+        weights = tracker.update(&report);
+    }
+    TimingOutcome {
+        without_ns,
+        with_ns: best,
+        seconds: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// Zero-wire lower bound of a circuit (Table 4).
+#[must_use]
+pub fn lower_bound(netlist: &Netlist, model: DelayModel) -> f64 {
+    Sta::new(netlist, model)
+        .expect("synthetic circuits are acyclic")
+        .lower_bound()
+}
+
+/// Exploitation of the optimization potential (Table 4):
+/// `(without − with) / (without − bound)`.
+#[must_use]
+pub fn exploitation(outcome: TimingOutcome, bound: f64) -> f64 {
+    let potential = outcome.without_ns - bound;
+    if potential <= 0.0 {
+        0.0
+    } else {
+        (outcome.without_ns - outcome.with_ns) / potential
+    }
+}
+
+/// Directory for cached experiment results (created on demand).
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    let dir = Path::new("bench_results");
+    std::fs::create_dir_all(dir).expect("create bench_results/");
+    dir.to_path_buf()
+}
+
+/// Writes rows of `;`-separated values with a header line.
+///
+/// # Panics
+///
+/// Panics on I/O errors (harness tooling).
+pub fn write_csv(name: &str, header: &str, rows: &[Vec<String>]) {
+    let mut out = String::from(header);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(";"));
+        out.push('\n');
+    }
+    std::fs::write(results_dir().join(name), out).expect("write results csv");
+}
+
+/// Reads a CSV written by [`write_csv`]; `None` when absent.
+#[must_use]
+pub fn read_csv(name: &str) -> Option<Vec<Vec<String>>> {
+    let text = std::fs::read_to_string(results_dir().join(name)).ok()?;
+    Some(
+        text.lines()
+            .skip(1)
+            .map(|l| l.split(';').map(str::to_owned).collect())
+            .collect(),
+    )
+}
+
+/// The circuits used for a run: all of Table 1, or the subset below
+/// `max_cells` when quick mode is requested.
+#[must_use]
+pub fn table1_circuits(max_cells: usize) -> Vec<kraftwerk_netlist::synth::mcnc::Preset> {
+    kraftwerk_netlist::synth::mcnc::TABLE1
+        .iter()
+        .copied()
+        .filter(|p| p.cells <= max_cells)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kraftwerk_netlist::synth::{generate, SynthConfig};
+
+    #[test]
+    fn flows_produce_legal_placements() {
+        let nl = generate(&SynthConfig::with_size("harness", 150, 190, 6));
+        let kw = run_kraftwerk(&nl, KraftwerkConfig::standard());
+        assert!(kw.legal);
+        assert!(kw.wirelength_m > 0.0);
+        let sa = run_annealing(&nl, AnnealingConfig::default());
+        assert!(sa.legal);
+        let gq = run_gordian(&nl, GordianConfig::default());
+        assert!(gq.legal);
+    }
+
+    #[test]
+    fn exploitation_math() {
+        let outcome = TimingOutcome {
+            without_ns: 10.0,
+            with_ns: 7.0,
+            seconds: 1.0,
+        };
+        assert!((exploitation(outcome, 4.0) - 0.5).abs() < 1e-12);
+        assert_eq!(exploitation(outcome, 10.0), 0.0);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        write_csv(
+            "test_roundtrip.csv",
+            "a;b",
+            &[vec!["1".into(), "x".into()], vec!["2".into(), "y".into()]],
+        );
+        let rows = read_csv("test_roundtrip.csv").expect("written");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1][1], "y");
+        let _ = std::fs::remove_file(results_dir().join("test_roundtrip.csv"));
+    }
+
+    #[test]
+    fn quick_circuit_filter() {
+        assert_eq!(table1_circuits(usize::MAX).len(), 9);
+        assert_eq!(table1_circuits(2000).len(), 3);
+    }
+}

@@ -1,0 +1,227 @@
+//! Placer configuration.
+
+use kraftwerk_sparse::CgOptions;
+
+/// How nets are decomposed into quadratic two-point connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetModel {
+    /// The paper's model (section 2.1): a `k`-pin net becomes a clique of
+    /// `k(k-1)/2` edges of weight `w/k`. Exact but quadratic in `k`.
+    Clique,
+    /// Every pin connects to the net's current centroid (held fixed during
+    /// the solve) with weight `w/(k-1)`. Linear in `k`; an approximation
+    /// used for ablation and as the large-net fallback.
+    Star,
+    /// Clique up to `clique_threshold` pins, star beyond — the practical
+    /// default that keeps huge (clock-like) nets from blowing up the
+    /// matrix.
+    Hybrid {
+        /// Largest net degree still expanded as a clique.
+        clique_threshold: usize,
+    },
+}
+
+impl Default for NetModel {
+    fn default() -> Self {
+        NetModel::Hybrid {
+            clique_threshold: 30,
+        }
+    }
+}
+
+/// Which Poisson solver computes the force field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FieldSolverKind {
+    /// Geometric multigrid (fast; the production path).
+    #[default]
+    Multigrid,
+    /// Exact superposition of equation (9) (`O(bins²)`; the reference,
+    /// for validation and small designs).
+    Direct,
+}
+
+/// Parameters of the Kraftwerk iteration.
+///
+/// The paper exposes a single user knob, `K` (section 4.1): the maximum
+/// additional force per transformation equals the pull of a unit-weight
+/// two-pin net of length `K·(W+H)`. `K = 0.2` is the paper's standard
+/// mode, `K = 1.0` its fast mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KraftwerkConfig {
+    /// Force strength parameter `K`.
+    pub k: f64,
+    /// Hard cap on placement transformations.
+    pub max_transformations: usize,
+    /// Density grid bins along the longer core edge; `0` picks
+    /// `clamp(2·√cells, 16, 192)` automatically.
+    pub grid_bins: usize,
+    /// Divides the automatic grid resolution (fast mode trades field
+    /// resolution for speed). `1.0` keeps the automatic choice.
+    pub grid_coarsening: f64,
+    /// Net decomposition model.
+    pub net_model: NetModel,
+    /// GORDIAN-L net-weight linearization (section 4.1 cites \[14\]): edge
+    /// weights are divided by the current edge length per coordinate,
+    /// turning the effective objective from quadratic into linear wire
+    /// length.
+    pub linearization: bool,
+    /// Linearization length floor as a fraction of `W + H`. The floor must
+    /// stay above the typical cell pitch: overlapping cells have
+    /// zero-length nets, and without a generous floor their reweighted
+    /// springs become arbitrarily stiff and lock the overlap in place.
+    pub linearization_epsilon: f64,
+    /// Conjugate-gradient controls for the two linear solves per
+    /// transformation.
+    pub cg: CgOptions,
+    /// Force-field solver choice.
+    pub field_solver: FieldSolverKind,
+    /// Stopping criterion factor: stop when no empty square larger than
+    /// this multiple of the average cell area remains (paper: 4.0).
+    pub stop_empty_square_factor: f64,
+    /// Wire-length relaxation: the fraction of the holding force released
+    /// each transformation, letting the springs pull cells back toward the
+    /// (linearized) wire-length optimum while the density forces push them
+    /// apart. `0.0` freezes the placement wherever the density flow left
+    /// it; values around `0.05–0.2` trade spreading speed for wire length.
+    pub relaxation: f64,
+    /// Secondary stop: give up when the largest-empty-square area has not
+    /// improved by at least 1% over this many consecutive transformations
+    /// (guards low-utilization designs where the paper criterion can
+    /// never fire). `0` disables.
+    pub stall_window: usize,
+}
+
+impl KraftwerkConfig {
+    /// The paper's standard mode, `K = 0.2`.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self {
+            k: 0.05,
+            max_transformations: 120,
+            grid_bins: 0,
+            grid_coarsening: 1.0,
+            net_model: NetModel::default(),
+            linearization: true,
+            linearization_epsilon: 0.05,
+            cg: CgOptions {
+                max_iterations: 300,
+                rel_tolerance: 1e-6,
+                abs_tolerance: 1e-12,
+            },
+            field_solver: FieldSolverKind::Multigrid,
+            relaxation: 0.05,
+            stop_empty_square_factor: 4.0,
+            stall_window: 16,
+        }
+    }
+
+    /// The paper's fast mode (section 6.1: about a third of the standard
+    /// mode's runtime at ~6% wire-length cost). This reproduction gets
+    /// the speed from per-iteration cost — a coarser density grid, looser
+    /// solver tolerances, and a relaxed stopping criterion — rather than
+    /// a larger `K` (see DESIGN.md §7 on the force-scale calibration).
+    #[must_use]
+    pub fn fast() -> Self {
+        let std = Self::standard();
+        Self {
+            k: 0.05,
+            max_transformations: 60,
+            cg: CgOptions {
+                max_iterations: 150,
+                rel_tolerance: 1e-4,
+                abs_tolerance: 1e-12,
+            },
+            grid_coarsening: 1.15,
+            stop_empty_square_factor: 8.0,
+            stall_window: 8,
+            ..std
+        }
+    }
+
+    /// Overrides `K` (builder style).
+    #[must_use]
+    pub fn with_k(mut self, k: f64) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Overrides the net model (builder style).
+    #[must_use]
+    pub fn with_net_model(mut self, net_model: NetModel) -> Self {
+        self.net_model = net_model;
+        self
+    }
+
+    /// Overrides the field solver (builder style).
+    #[must_use]
+    pub fn with_field_solver(mut self, field_solver: FieldSolverKind) -> Self {
+        self.field_solver = field_solver;
+        self
+    }
+
+    /// Effective density-grid resolution for a given cell count.
+    #[must_use]
+    pub fn grid_bins_for(&self, num_cells: usize) -> usize {
+        if self.grid_bins > 0 {
+            self.grid_bins
+        } else {
+            let auto = ((num_cells as f64).sqrt() * 2.0 / self.grid_coarsening.max(0.1)).round();
+            (auto as usize).clamp(16, 192)
+        }
+    }
+}
+
+impl Default for KraftwerkConfig {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_and_fast_match_the_paper() {
+        assert!(KraftwerkConfig::standard().k > 0.0);
+        // Fast mode trades per-iteration cost (coarser grid, looser
+        // solves, laxer stopping) for speed.
+        assert!(KraftwerkConfig::fast().grid_coarsening > KraftwerkConfig::standard().grid_coarsening);
+        assert!(KraftwerkConfig::fast().cg.rel_tolerance > KraftwerkConfig::standard().cg.rel_tolerance);
+        assert!(
+            KraftwerkConfig::fast().stop_empty_square_factor
+                > KraftwerkConfig::standard().stop_empty_square_factor
+        );
+        assert_eq!(KraftwerkConfig::standard().stop_empty_square_factor, 4.0);
+        assert_eq!(KraftwerkConfig::default(), KraftwerkConfig::standard());
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = KraftwerkConfig::standard()
+            .with_k(0.5)
+            .with_net_model(NetModel::Star)
+            .with_field_solver(FieldSolverKind::Direct);
+        assert_eq!(c.k, 0.5);
+        assert_eq!(c.net_model, NetModel::Star);
+        assert_eq!(c.field_solver, FieldSolverKind::Direct);
+    }
+
+    #[test]
+    fn automatic_grid_resolution_scales_with_design_size() {
+        let c = KraftwerkConfig::standard();
+        assert_eq!(c.grid_bins_for(64), 16);
+        assert_eq!(c.grid_bins_for(2500), 100);
+        assert_eq!(c.grid_bins_for(1_000_000), 192);
+        let fixed = KraftwerkConfig {
+            grid_bins: 40,
+            ..KraftwerkConfig::standard()
+        };
+        assert_eq!(fixed.grid_bins_for(1_000_000), 40);
+    }
+
+    #[test]
+    fn default_net_model_is_hybrid() {
+        assert_eq!(NetModel::default(), NetModel::Hybrid { clique_threshold: 30 });
+    }
+}

@@ -1,0 +1,439 @@
+//! Multilevel (clustered) placement — the extension the paper's
+//! conclusion points at ("placing larger netlists in less time").
+//!
+//! The flow is the classical multilevel scheme on top of the Kraftwerk
+//! engine:
+//!
+//! 1. **Coarsen** ([`cluster`]): heavy-edge matching merges strongly
+//!    connected movable cells pairwise (repeatedly, until the target
+//!    ratio), producing a clustered netlist whose cluster cells carry the
+//!    combined area;
+//! 2. **Place coarse**: the ordinary Kraftwerk iteration on the clustered
+//!    netlist — fewer variables, bigger objects, same algorithm (the
+//!    mixed-size claim of section 5 is what makes this work unchanged);
+//! 3. **Uncluster** ([`Clustering::expand`]): members take their
+//!    cluster's location (fanned out over the cluster footprint);
+//! 4. **Refine**: a resumed (ECO-style) session on the flat netlist
+//!    polishes the expanded placement with a handful of transformations.
+//!
+//! [`place_multilevel`] packages the whole flow.
+//!
+//! ```
+//! use kraftwerk_core::{cluster, ClusteringConfig};
+//! use kraftwerk_netlist::synth::{generate, SynthConfig};
+//!
+//! let nl = generate(&SynthConfig::with_size("ml", 200, 260, 8));
+//! let clustering = cluster(&nl, &ClusteringConfig::default());
+//! assert!(clustering.coarse().num_movable() < nl.num_movable());
+//! ```
+
+use crate::config::KraftwerkConfig;
+use crate::session::{PlaceResult, PlacementSession};
+use kraftwerk_geom::{Point, Size, Vector};
+use kraftwerk_netlist::{CellId, CellKind, Netlist, NetlistBuilder, PinDirection, Placement};
+use std::collections::HashMap;
+
+/// Coarsening controls.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusteringConfig {
+    /// Stop coarsening once `coarse cells / original cells` drops to this
+    /// ratio (each matching pass roughly halves the count).
+    pub target_ratio: f64,
+    /// Largest cluster area as a multiple of the average cell area;
+    /// prevents snowballing super-clusters that the density model cannot
+    /// spread.
+    pub max_cluster_area_factor: f64,
+}
+
+impl Default for ClusteringConfig {
+    fn default() -> Self {
+        Self {
+            target_ratio: 0.3,
+            max_cluster_area_factor: 12.0,
+        }
+    }
+}
+
+/// The result of coarsening: the clustered netlist plus the cell↔cluster
+/// maps needed to move placements between the levels.
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    coarse: Netlist,
+    /// For every original cell, its cluster's cell id in `coarse`.
+    cluster_of: Vec<CellId>,
+    /// For every coarse cell, the original member cells.
+    members: Vec<Vec<CellId>>,
+}
+
+impl Clustering {
+    /// The clustered netlist.
+    #[must_use]
+    pub fn coarse(&self) -> &Netlist {
+        &self.coarse
+    }
+
+    /// The cluster (coarse cell) an original cell belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not from the original netlist.
+    #[must_use]
+    pub fn cluster_of(&self, cell: CellId) -> CellId {
+        self.cluster_of[cell.index()]
+    }
+
+    /// Member cells of a coarse cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is not from the coarse netlist.
+    #[must_use]
+    pub fn members(&self, cluster: CellId) -> &[CellId] {
+        &self.members[cluster.index()]
+    }
+
+    /// Expands a coarse placement onto the original netlist: every member
+    /// lands at its cluster's position, fanned out horizontally over the
+    /// cluster's width so members do not sit exactly on top of each other.
+    #[must_use]
+    pub fn expand(&self, original: &Netlist, coarse_placement: &Placement) -> Placement {
+        let mut placement = original.initial_placement();
+        for (cluster_idx, members) in self.members.iter().enumerate() {
+            let cluster_id = CellId::from_index(cluster_idx);
+            let at = coarse_placement.position(cluster_id);
+            let total_width: f64 = members
+                .iter()
+                .map(|&m| original.cell(m).size().width)
+                .sum();
+            let mut x = at.x - total_width * 0.5;
+            for &member in members {
+                if !original.cell(member).is_movable() {
+                    continue;
+                }
+                let w = original.cell(member).size().width;
+                placement.set_position(member, Point::new(x + w * 0.5, at.y));
+                x += w;
+            }
+        }
+        placement
+    }
+}
+
+/// Heavy-edge matching coarsening; see the module documentation.
+///
+/// Fixed cells are never merged (each remains its own singleton cluster
+/// at its fixed position); blocks are not merged either, preserving
+/// their identity for the mixed flows.
+#[must_use]
+pub fn cluster(netlist: &Netlist, config: &ClusteringConfig) -> Clustering {
+    let n = netlist.num_cells();
+    // Union-find over original cells.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+
+    let avg_area = netlist.average_cell_area().max(1e-12);
+    let max_area = config.max_cluster_area_factor * avg_area;
+    let mut area: Vec<f64> = netlist.cell_ids().map(|id| netlist.cell(id).area()).collect();
+    let mergeable =
+        |nl: &Netlist, id: usize| nl.cell(CellId::from_index(id)).kind() == CellKind::Standard;
+
+    let target = ((netlist.num_movable() as f64) * config.target_ratio).max(4.0) as usize;
+    let mut movable_clusters = netlist.num_movable();
+
+    // Matching passes.
+    for _pass in 0..8 {
+        if movable_clusters <= target {
+            break;
+        }
+        // Connectivity between current clusters: weight 1/(k-1) per
+        // shared net, the standard heavy-edge score.
+        let mut scores: HashMap<(usize, usize), f64> = HashMap::new();
+        for (_, net) in netlist.nets() {
+            let k = net.degree();
+            if k < 2 || k > 16 {
+                continue; // huge nets carry no locality signal
+            }
+            let w = 1.0 / (k as f64 - 1.0);
+            let roots: Vec<usize> = net
+                .pins()
+                .iter()
+                .map(|&p| find(&mut parent, netlist.pin(p).cell().index()))
+                .collect();
+            for i in 0..roots.len() {
+                for j in (i + 1)..roots.len() {
+                    let (a, b) = (roots[i].min(roots[j]), roots[i].max(roots[j]));
+                    if a != b {
+                        *scores.entry((a, b)).or_insert(0.0) += w;
+                    }
+                }
+            }
+        }
+        // Sort candidate pairs by score (descending) and greedily match.
+        let mut pairs: Vec<((usize, usize), f64)> = scores.into_iter().collect();
+        pairs.sort_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
+        let mut matched = vec![false; n];
+        let mut merged_any = false;
+        for ((a, b), _) in pairs {
+            if matched[a] || matched[b] {
+                continue;
+            }
+            if !mergeable(netlist, a) || !mergeable(netlist, b) {
+                continue;
+            }
+            if area[a] + area[b] > max_area {
+                continue;
+            }
+            parent[b] = a;
+            area[a] += area[b];
+            matched[a] = true;
+            matched[b] = true;
+            movable_clusters -= 1;
+            merged_any = true;
+            if movable_clusters <= target {
+                break;
+            }
+        }
+        if !merged_any {
+            break;
+        }
+    }
+
+    // Materialize the clustered netlist.
+    let roots: Vec<usize> = (0..n).map(|i| find(&mut parent, i)).collect();
+    let mut members_of_root: HashMap<usize, Vec<CellId>> = HashMap::new();
+    for i in 0..n {
+        members_of_root
+            .entry(roots[i])
+            .or_default()
+            .push(CellId::from_index(i));
+    }
+    let mut root_list: Vec<usize> = members_of_root.keys().copied().collect();
+    root_list.sort_unstable();
+
+    let row_height = netlist.rows().first().map_or_else(
+        || netlist.average_cell_area().sqrt(),
+        |r| r.height,
+    );
+    let mut builder = NetlistBuilder::new();
+    builder.name(format!("{}_coarse", netlist.name()));
+    builder.core_region(netlist.core_region());
+    if let Some(row) = netlist.rows().first() {
+        builder.rows(netlist.rows().len(), row.height);
+    }
+    let mut coarse_id_of_root: HashMap<usize, CellId> = HashMap::new();
+    let mut members: Vec<Vec<CellId>> = Vec::with_capacity(root_list.len());
+    for &root in &root_list {
+        let member_cells = &members_of_root[&root];
+        let first = netlist.cell(member_cells[0]);
+        let name = format!("cl_{root}");
+        let coarse_id = if member_cells.len() == 1 {
+            match first.kind() {
+                CellKind::Fixed => builder.add_fixed_cell(
+                    name,
+                    first.size(),
+                    first.fixed_position().expect("fixed cell has position"),
+                ),
+                CellKind::Block => builder.add_block(name, first.size()),
+                CellKind::Standard => builder.add_cell(name, first.size()),
+            }
+        } else {
+            // Merged standard cells: one wide cell of the combined area.
+            let total_area: f64 = member_cells.iter().map(|&m| netlist.cell(m).area()).sum();
+            builder.add_cell(name, Size::new(total_area / row_height, row_height))
+        };
+        coarse_id_of_root.insert(root, coarse_id);
+        members.push(member_cells.clone());
+    }
+
+    // Nets: map pins to clusters, dedupe, drop internal nets.
+    for (_, net) in netlist.nets() {
+        let mut seen: Vec<(CellId, PinDirection)> = Vec::new();
+        for &pid in net.pins() {
+            let pin = netlist.pin(pid);
+            let cluster = coarse_id_of_root[&roots[pin.cell().index()]];
+            match seen.iter_mut().find(|(c, _)| *c == cluster) {
+                Some((_, dir)) => {
+                    if pin.direction() == PinDirection::Output {
+                        *dir = PinDirection::Output;
+                    }
+                }
+                None => seen.push((cluster, pin.direction())),
+            }
+        }
+        if seen.len() >= 2 {
+            builder.add_weighted_net(
+                net.name(),
+                net.weight(),
+                seen.into_iter().map(|(c, d)| (c, Vector::ZERO, d)),
+            );
+        }
+    }
+
+    let coarse = builder.build().expect("clustered netlist is valid");
+    let cluster_of = roots
+        .iter()
+        .map(|r| coarse_id_of_root[r])
+        .collect();
+    Clustering {
+        coarse,
+        cluster_of,
+        members,
+    }
+}
+
+/// The complete multilevel flow: coarsen, place coarse, expand, refine
+/// flat with a bounded number of transformations.
+#[must_use]
+pub fn place_multilevel(
+    netlist: &Netlist,
+    config: KraftwerkConfig,
+    clustering_config: &ClusteringConfig,
+    refine_transformations: usize,
+) -> PlaceResult {
+    let clustering = cluster(netlist, clustering_config);
+    let coarse_result =
+        PlacementSession::new(clustering.coarse(), config.clone()).run();
+    let expanded = clustering.expand(netlist, &coarse_result.placement);
+    let mut session = PlacementSession::resume(netlist, config, expanded);
+    let mut stats = Vec::new();
+    for _ in 0..refine_transformations {
+        stats.push(session.transform());
+        if session.is_converged() {
+            break;
+        }
+    }
+    let converged = session.is_converged();
+    PlaceResult {
+        placement: session.placement().clone(),
+        stats,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::GlobalPlacer;
+    use kraftwerk_netlist::metrics;
+    use kraftwerk_netlist::synth::{generate, SynthConfig};
+
+    fn circuit() -> Netlist {
+        generate(&SynthConfig::with_size("ml", 600, 720, 12))
+    }
+
+    #[test]
+    fn clustering_reduces_movable_count_to_the_target() {
+        let nl = circuit();
+        let c = cluster(&nl, &ClusteringConfig::default());
+        let ratio = c.coarse().num_movable() as f64 / nl.num_movable() as f64;
+        assert!(ratio <= 0.5, "ratio {ratio}");
+        assert!(c.coarse().num_movable() >= 4);
+    }
+
+    #[test]
+    fn clustering_preserves_total_movable_area() {
+        let nl = circuit();
+        let c = cluster(&nl, &ClusteringConfig::default());
+        let a = nl.total_movable_area();
+        let b = c.coarse().total_movable_area();
+        assert!((a - b).abs() < 1e-6 * a, "{a} vs {b}");
+    }
+
+    #[test]
+    fn fixed_cells_stay_fixed_and_singleton() {
+        let nl = circuit();
+        let c = cluster(&nl, &ClusteringConfig::default());
+        let fixed_before = nl.num_cells() - nl.num_movable();
+        let fixed_after = c.coarse().num_cells() - c.coarse().num_movable();
+        assert_eq!(fixed_before, fixed_after);
+        for (id, cell) in nl.cells() {
+            if cell.kind() == CellKind::Fixed {
+                let cl = c.cluster_of(id);
+                assert_eq!(c.members(cl), &[id]);
+                assert_eq!(
+                    c.coarse().cell(cl).fixed_position(),
+                    cell.fixed_position()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_original_cell_has_exactly_one_cluster() {
+        let nl = circuit();
+        let c = cluster(&nl, &ClusteringConfig::default());
+        let mut counted = 0;
+        for cluster_id in c.coarse().cell_ids() {
+            counted += c.members(cluster_id).len();
+            for &m in c.members(cluster_id) {
+                assert_eq!(c.cluster_of(m), cluster_id);
+            }
+        }
+        assert_eq!(counted, nl.num_cells());
+    }
+
+    #[test]
+    fn cluster_area_cap_is_respected() {
+        let nl = circuit();
+        let cfg = ClusteringConfig::default();
+        let c = cluster(&nl, &cfg);
+        let cap = cfg.max_cluster_area_factor * nl.average_cell_area();
+        for (_, cell) in c.coarse().cells() {
+            if cell.kind() == CellKind::Standard {
+                assert!(cell.area() <= cap + 1e-6, "cluster area {}", cell.area());
+            }
+        }
+    }
+
+    #[test]
+    fn expand_covers_every_movable_cell() {
+        let nl = circuit();
+        let c = cluster(&nl, &ClusteringConfig::default());
+        let coarse_placement = c.coarse().initial_placement();
+        let flat = c.expand(&nl, &coarse_placement);
+        assert_eq!(flat.len(), nl.num_cells());
+        // Members land near their cluster's position.
+        for cluster_id in c.coarse().cell_ids() {
+            let at = coarse_placement.position(cluster_id);
+            for &m in c.members(cluster_id) {
+                if nl.cell(m).is_movable() {
+                    let d = flat.position(m).distance(at);
+                    let w = c.coarse().cell(cluster_id).size().width;
+                    assert!(d <= w, "member {m} strayed {d} (cluster width {w})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multilevel_flow_is_competitive_with_flat_placement() {
+        let nl = circuit();
+        let flat = GlobalPlacer::new(KraftwerkConfig::standard()).place(&nl);
+        let ml = place_multilevel(
+            &nl,
+            KraftwerkConfig::standard(),
+            &ClusteringConfig::default(),
+            20,
+        );
+        let flat_hpwl = metrics::hpwl(&nl, &flat.placement);
+        let ml_hpwl = metrics::hpwl(&nl, &ml.placement);
+        assert!(
+            ml_hpwl < 1.35 * flat_hpwl,
+            "multilevel {ml_hpwl:.0} vs flat {flat_hpwl:.0}"
+        );
+    }
+
+    #[test]
+    fn multilevel_is_deterministic() {
+        let nl = circuit();
+        let a = place_multilevel(&nl, KraftwerkConfig::standard(), &ClusteringConfig::default(), 10);
+        let b = place_multilevel(&nl, KraftwerkConfig::standard(), &ClusteringConfig::default(), 10);
+        assert_eq!(a.placement, b.placement);
+    }
+}

@@ -1,0 +1,596 @@
+//! Assembly of the quadratic placement system of section 2.
+//!
+//! The objective `½ pᵀ C p + dᵀ p + const` sums, over every clique edge,
+//! the squared Euclidean distance between the two pin positions times the
+//! edge weight. Its gradient is `C p + d`; a placement is in equilibrium
+//! under additional forces `e` when `C p + d + e = 0` (equation 3).
+//!
+//! The x and y systems share the sparsity pattern but differ in their
+//! right-hand sides (pin offsets, fixed-pin coordinates) and — when
+//! GORDIAN-L linearization is on — in their edge weights, so both are
+//! assembled explicitly.
+
+use crate::config::NetModel;
+use kraftwerk_geom::Point;
+use kraftwerk_netlist::{CellId, Netlist, Placement};
+use kraftwerk_sparse::{CooMatrix, CsrMatrix};
+
+/// Maps movable cells to matrix indices and assembles `C`/`d` per axis.
+#[derive(Debug, Clone)]
+pub struct QuadraticSystem {
+    movable_of_cell: Vec<Option<u32>>,
+    cell_of_movable: Vec<CellId>,
+}
+
+/// One axis-separable assembled system: `C_x x + d_x = 0` and
+/// `C_y y + d_y = 0` describe the unconstrained wire-length optimum.
+#[derive(Debug, Clone)]
+pub struct Assembled {
+    /// x-axis connectivity matrix.
+    pub cx: CsrMatrix,
+    /// y-axis connectivity matrix.
+    pub cy: CsrMatrix,
+    /// x-axis linear term.
+    pub dx: Vec<f64>,
+    /// y-axis linear term.
+    pub dy: Vec<f64>,
+}
+
+/// Everything the per-net expansion needs to know about a pin.
+#[derive(Clone, Copy)]
+struct PinInfo {
+    /// Matrix index when the pin's cell is movable.
+    movable: Option<u32>,
+    /// Pin offset from the cell center (movable pins).
+    offset: (f64, f64),
+    /// Current absolute pin position (for linearization and star
+    /// centroids; for fixed pins this is also the anchor coordinate).
+    pos: (f64, f64),
+}
+
+impl QuadraticSystem {
+    /// Builds the movable-cell index for a netlist.
+    #[must_use]
+    pub fn new(netlist: &Netlist) -> Self {
+        let mut movable_of_cell = vec![None; netlist.num_cells()];
+        let mut cell_of_movable = Vec::with_capacity(netlist.num_movable());
+        for (id, cell) in netlist.cells() {
+            if cell.is_movable() {
+                movable_of_cell[id.index()] = Some(cell_of_movable.len() as u32);
+                cell_of_movable.push(id);
+            }
+        }
+        Self {
+            movable_of_cell,
+            cell_of_movable,
+        }
+    }
+
+    /// Number of movable cells (the matrix dimension).
+    #[must_use]
+    pub fn num_movable(&self) -> usize {
+        self.cell_of_movable.len()
+    }
+
+    /// Matrix index of a cell, `None` when fixed.
+    #[must_use]
+    pub fn movable_index(&self, cell: CellId) -> Option<usize> {
+        self.movable_of_cell[cell.index()].map(|i| i as usize)
+    }
+
+    /// Cell owning a matrix index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.num_movable()`.
+    #[must_use]
+    pub fn cell_of(&self, index: usize) -> CellId {
+        self.cell_of_movable[index]
+    }
+
+    /// Extracts movable-cell coordinates as two dense vectors.
+    #[must_use]
+    pub fn coords(&self, placement: &Placement) -> (Vec<f64>, Vec<f64>) {
+        let xs = self
+            .cell_of_movable
+            .iter()
+            .map(|&c| placement.position(c).x)
+            .collect();
+        let ys = self
+            .cell_of_movable
+            .iter()
+            .map(|&c| placement.position(c).y)
+            .collect();
+        (xs, ys)
+    }
+
+    /// Writes solved coordinates back into a placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors are not `num_movable()` long.
+    pub fn write_back(&self, placement: &mut Placement, xs: &[f64], ys: &[f64]) {
+        assert_eq!(xs.len(), self.num_movable(), "xs length mismatch");
+        assert_eq!(ys.len(), self.num_movable(), "ys length mismatch");
+        for (i, &cell) in self.cell_of_movable.iter().enumerate() {
+            placement.set_position(cell, Point::new(xs[i], ys[i]));
+        }
+    }
+
+    /// Assembles the x/y systems for the current placement.
+    ///
+    /// * `extra_weights` — per-net multipliers on top of the static net
+    ///   weights (timing criticality); `None` means all ones.
+    /// * `model` — clique / star / hybrid decomposition.
+    /// * `linearization_epsilon` — when `Some(eps)`, every edge weight is
+    ///   divided per-axis by `max(|Δ|, eps)` of the current edge length
+    ///   (GORDIAN-L); `None` keeps the pure quadratic objective.
+    ///
+    /// A tiny center anchor (`1e-6` of the mean diagonal) is added to
+    /// every movable cell so components not connected to any fixed pin
+    /// still yield a positive definite system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `extra_weights` is provided with a length other than the
+    /// net count.
+    #[must_use]
+    pub fn assemble(
+        &self,
+        netlist: &Netlist,
+        placement: &Placement,
+        extra_weights: Option<&[f64]>,
+        model: NetModel,
+        linearization_epsilon: Option<f64>,
+    ) -> Assembled {
+        if let Some(w) = extra_weights {
+            assert_eq!(w.len(), netlist.num_nets(), "extra_weights length mismatch");
+        }
+        let n = self.num_movable();
+        // Rough nnz estimate: diag + 2 entries per clique edge.
+        let mut cx = CooMatrix::with_capacity(n, netlist.num_pins() * 4);
+        let mut cy = CooMatrix::with_capacity(n, netlist.num_pins() * 4);
+        let mut dx = vec![0.0; n];
+        let mut dy = vec![0.0; n];
+
+        let mut pins_buf: Vec<PinInfo> = Vec::new();
+        for (net_id, net) in netlist.nets() {
+            let k = net.degree();
+            if k < 2 {
+                continue;
+            }
+            let w_extra = extra_weights.map_or(1.0, |w| w[net_id.index()]);
+            let w_net = net.weight() * w_extra;
+            if w_net == 0.0 {
+                continue;
+            }
+            pins_buf.clear();
+            for &pid in net.pins() {
+                let pin = netlist.pin(pid);
+                let movable = self.movable_of_cell[pin.cell().index()];
+                let base = placement.position(pin.cell());
+                let pos = (base.x + pin.offset().x, base.y + pin.offset().y);
+                pins_buf.push(PinInfo {
+                    movable,
+                    offset: (pin.offset().x, pin.offset().y),
+                    pos,
+                });
+            }
+
+            let use_clique = match model {
+                NetModel::Clique => true,
+                NetModel::Star => false,
+                NetModel::Hybrid { clique_threshold } => k <= clique_threshold,
+            };
+
+            if use_clique {
+                let w_edge = w_net / k as f64;
+                for i in 0..k {
+                    for j in (i + 1)..k {
+                        add_edge(
+                            &mut cx,
+                            &mut cy,
+                            &mut dx,
+                            &mut dy,
+                            pins_buf[i],
+                            pins_buf[j],
+                            w_edge,
+                            linearization_epsilon,
+                        );
+                    }
+                }
+            } else {
+                // Star with the current centroid held fixed; weight chosen
+                // so the pull on a pin matches the clique's aggregate pull
+                // (w·(k-1)/k toward the mean of the other pins).
+                let cxd = pins_buf.iter().map(|p| p.pos.0).sum::<f64>() / k as f64;
+                let cyd = pins_buf.iter().map(|p| p.pos.1).sum::<f64>() / k as f64;
+                let w_star = w_net * (k as f64 - 1.0) / k as f64;
+                let centroid = PinInfo {
+                    movable: None,
+                    offset: (0.0, 0.0),
+                    pos: (cxd, cyd),
+                };
+                for &pin in &pins_buf {
+                    add_edge(
+                        &mut cx,
+                        &mut cy,
+                        &mut dx,
+                        &mut dy,
+                        pin,
+                        centroid,
+                        w_star,
+                        linearization_epsilon,
+                    );
+                }
+            }
+        }
+
+        // Tiny center anchor: regularizes floating components.
+        let center = netlist.core_region().center();
+        // Mean diagonal estimate: every edge adds 2w to two diagonals.
+        let cx = {
+            let mut diag_sum = 0.0;
+            let csr = cx.into_csr();
+            for i in 0..n {
+                diag_sum += csr.get(i, i);
+            }
+            let delta = 1e-6 * (diag_sum / n.max(1) as f64 + 1.0);
+            let mut coo = CooMatrix::with_capacity(n, n);
+            // Re-add through COO to keep CsrMatrix immutable; cheap since
+            // delta entries are diagonal-only.
+            for i in 0..n {
+                for (c, v) in csr.row(i) {
+                    coo.push(i, c, v);
+                }
+                coo.push(i, i, 2.0 * delta);
+                dx[i] -= 2.0 * delta * center.x;
+            }
+            coo.into_csr()
+        };
+        let cy = {
+            let mut diag_sum = 0.0;
+            let csr = cy.into_csr();
+            for i in 0..n {
+                diag_sum += csr.get(i, i);
+            }
+            let delta = 1e-6 * (diag_sum / n.max(1) as f64 + 1.0);
+            let mut coo = CooMatrix::with_capacity(n, n);
+            for i in 0..n {
+                for (c, v) in csr.row(i) {
+                    coo.push(i, c, v);
+                }
+                coo.push(i, i, 2.0 * delta);
+                dy[i] -= 2.0 * delta * center.y;
+            }
+            coo.into_csr()
+        };
+
+        Assembled { cx, cy, dx, dy }
+    }
+
+    /// The negative gradient `-(C p + d)` at the given coordinates — the
+    /// spring force currently acting on every movable cell. ECO restarts
+    /// use this to initialize the accumulated force so an existing
+    /// placement starts in equilibrium (any placement satisfies equation
+    /// (3) for a suitable `e`; section 5, "ECO and Interaction with Logic
+    /// Synthesis").
+    #[must_use]
+    pub fn spring_force(&self, assembled: &Assembled, xs: &[f64], ys: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let n = self.num_movable();
+        let mut fx = vec![0.0; n];
+        let mut fy = vec![0.0; n];
+        assembled.cx.spmv(xs, &mut fx);
+        assembled.cy.spmv(ys, &mut fy);
+        for i in 0..n {
+            fx[i] = -(fx[i] + assembled.dx[i]);
+            fy[i] = -(fy[i] + assembled.dy[i]);
+        }
+        (fx, fy)
+    }
+}
+
+/// Adds one two-point connection to both axis systems.
+#[allow(clippy::too_many_arguments)]
+fn add_edge(
+    cx: &mut CooMatrix,
+    cy: &mut CooMatrix,
+    dx: &mut [f64],
+    dy: &mut [f64],
+    a: PinInfo,
+    b: PinInfo,
+    weight: f64,
+    linearization_epsilon: Option<f64>,
+) {
+    let (wx, wy) = match linearization_epsilon {
+        Some(eps) => (
+            weight / (a.pos.0 - b.pos.0).abs().max(eps),
+            weight / (a.pos.1 - b.pos.1).abs().max(eps),
+        ),
+        None => (weight, weight),
+    };
+    add_axis_edge(cx, dx, a.movable, b.movable, a.offset.0, b.offset.0, a.pos.0, b.pos.0, wx);
+    add_axis_edge(cy, dy, a.movable, b.movable, a.offset.1, b.offset.1, a.pos.1, b.pos.1, wy);
+}
+
+/// The cost term `w (u_a + o_a - u_b - o_b)²` on one axis, where `u` is a
+/// variable for movable pins and the absolute pin coordinate for fixed
+/// ones. Contributes `2w` entries to `C` and offset terms to `d`.
+#[allow(clippy::too_many_arguments)]
+fn add_axis_edge(
+    c: &mut CooMatrix,
+    d: &mut [f64],
+    a_mov: Option<u32>,
+    b_mov: Option<u32>,
+    a_off: f64,
+    b_off: f64,
+    a_pos: f64,
+    b_pos: f64,
+    w: f64,
+) {
+    let w2 = 2.0 * w;
+    match (a_mov, b_mov) {
+        (Some(i), Some(j)) => {
+            let (i, j) = (i as usize, j as usize);
+            c.push(i, i, w2);
+            c.push(j, j, w2);
+            c.push_sym(i, j, -w2);
+            d[i] += w2 * (a_off - b_off);
+            d[j] += w2 * (b_off - a_off);
+        }
+        (Some(i), None) => {
+            let i = i as usize;
+            c.push(i, i, w2);
+            d[i] += w2 * (a_off - b_pos);
+        }
+        (None, Some(j)) => {
+            let j = j as usize;
+            c.push(j, j, w2);
+            d[j] += w2 * (b_off - a_pos);
+        }
+        (None, None) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kraftwerk_geom::{Rect, Size, Vector};
+    use kraftwerk_netlist::{NetlistBuilder, PinDirection};
+    use kraftwerk_sparse::{solve, CgOptions, JacobiPreconditioner};
+
+    /// pad(0,5) -- a -- b -- pad(10,5): the classic 1-D spring chain.
+    fn chain() -> (Netlist, CellId, CellId) {
+        let mut bld = NetlistBuilder::new();
+        bld.core_region(Rect::new(0.0, 0.0, 10.0, 10.0));
+        let a = bld.add_cell("a", Size::new(1.0, 1.0));
+        let b = bld.add_cell("b", Size::new(1.0, 1.0));
+        let p0 = bld.add_fixed_cell("p0", Size::new(0.5, 0.5), Point::new(0.0, 5.0));
+        let p1 = bld.add_fixed_cell("p1", Size::new(0.5, 0.5), Point::new(10.0, 5.0));
+        bld.add_net("n0", [(p0, PinDirection::Output), (a, PinDirection::Input)]);
+        bld.add_net("n1", [(a, PinDirection::Output), (b, PinDirection::Input)]);
+        bld.add_net("n2", [(b, PinDirection::Output), (p1, PinDirection::Input)]);
+        (bld.build().unwrap(), a, b)
+    }
+
+    fn solve_assembled(sys: &QuadraticSystem, asm: &Assembled) -> (Vec<f64>, Vec<f64>) {
+        let bx: Vec<f64> = asm.dx.iter().map(|v| -v).collect();
+        let by: Vec<f64> = asm.dy.iter().map(|v| -v).collect();
+        let opts = CgOptions::default();
+        let x = solve(&asm.cx, &bx, None, &JacobiPreconditioner::from_matrix(&asm.cx), &opts);
+        let y = solve(&asm.cy, &by, None, &JacobiPreconditioner::from_matrix(&asm.cy), &opts);
+        assert!(x.converged && y.converged);
+        let _ = sys;
+        (x.x, y.x)
+    }
+
+    #[test]
+    fn chain_equilibrium_is_evenly_spaced() {
+        let (nl, a, b) = chain();
+        let sys = QuadraticSystem::new(&nl);
+        assert_eq!(sys.num_movable(), 2);
+        let asm = sys.assemble(&nl, &nl.initial_placement(), None, NetModel::Clique, None);
+        let (xs, ys) = solve_assembled(&sys, &asm);
+        let ia = sys.movable_index(a).unwrap();
+        let ib = sys.movable_index(b).unwrap();
+        // Minimum of (x_a-0)² + (x_b-x_a)² + (10-x_b)² is x = 10/3, 20/3.
+        assert!((xs[ia] - 10.0 / 3.0).abs() < 1e-5, "{}", xs[ia]);
+        assert!((xs[ib] - 20.0 / 3.0).abs() < 1e-5, "{}", xs[ib]);
+        assert!((ys[ia] - 5.0).abs() < 1e-5);
+        assert!((ys[ib] - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn matrices_are_symmetric_and_positive_diagonal() {
+        let (nl, _, _) = chain();
+        let sys = QuadraticSystem::new(&nl);
+        let asm = sys.assemble(&nl, &nl.initial_placement(), None, NetModel::Clique, None);
+        assert_eq!(asm.cx.asymmetry(), 0.0);
+        assert_eq!(asm.cy.asymmetry(), 0.0);
+        for v in asm.cx.diagonal() {
+            assert!(v > 0.0);
+        }
+    }
+
+    #[test]
+    fn extra_weights_scale_the_pull() {
+        let (nl, a, _) = chain();
+        let sys = QuadraticSystem::new(&nl);
+        // Weight the pad-to-a net heavily: a moves toward the pad.
+        let weights = vec![10.0, 1.0, 1.0];
+        let asm = sys.assemble(&nl, &nl.initial_placement(), Some(&weights), NetModel::Clique, None);
+        let (xs, _) = solve_assembled(&sys, &asm);
+        let ia = sys.movable_index(a).unwrap();
+        assert!(xs[ia] < 2.0, "a should sit near the left pad, got {}", xs[ia]);
+    }
+
+    #[test]
+    fn pin_offsets_shift_the_optimum() {
+        let mut bld = NetlistBuilder::new();
+        bld.core_region(Rect::new(0.0, 0.0, 10.0, 10.0));
+        let a = bld.add_cell("a", Size::new(1.0, 1.0));
+        let p = bld.add_fixed_cell("p", Size::new(0.5, 0.5), Point::new(5.0, 5.0));
+        bld.add_weighted_net(
+            "n",
+            1.0,
+            [
+                (a, Vector::new(1.0, 0.0), PinDirection::Output),
+                (p, Vector::ZERO, PinDirection::Input),
+            ],
+        );
+        let nl = bld.build().unwrap();
+        let sys = QuadraticSystem::new(&nl);
+        let asm = sys.assemble(&nl, &nl.initial_placement(), None, NetModel::Clique, None);
+        let (xs, _) = solve_assembled(&sys, &asm);
+        // Pin at center+1 must land on the pad: cell center at 4.
+        assert!((xs[0] - 4.0).abs() < 1e-4, "{}", xs[0]);
+    }
+
+    #[test]
+    fn floating_cells_are_anchored_to_the_core_center() {
+        let mut bld = NetlistBuilder::new();
+        bld.core_region(Rect::new(0.0, 0.0, 10.0, 10.0));
+        let a = bld.add_cell("a", Size::new(1.0, 1.0));
+        let b = bld.add_cell("b", Size::new(1.0, 1.0));
+        bld.add_net("n", [(a, PinDirection::Output), (b, PinDirection::Input)]);
+        let nl = bld.build().unwrap();
+        let sys = QuadraticSystem::new(&nl);
+        let asm = sys.assemble(&nl, &nl.initial_placement(), None, NetModel::Clique, None);
+        let (xs, ys) = solve_assembled(&sys, &asm);
+        for i in 0..2 {
+            assert!((xs[i] - 5.0).abs() < 1e-3, "{}", xs[i]);
+            assert!((ys[i] - 5.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn star_and_clique_agree_for_two_pin_nets() {
+        let (nl, a, b) = chain();
+        let sys = QuadraticSystem::new(&nl);
+        // For 2-pin nets the star weight is w/2 toward the midpoint; the
+        // equilibrium of the whole chain still lands at the same spot once
+        // iterated, but a single solve differs. Instead check the hybrid
+        // model with a high threshold reduces to the clique exactly.
+        let asm_clique = sys.assemble(&nl, &nl.initial_placement(), None, NetModel::Clique, None);
+        let asm_hybrid = sys.assemble(
+            &nl,
+            &nl.initial_placement(),
+            None,
+            NetModel::Hybrid { clique_threshold: 30 },
+            None,
+        );
+        let (x1, _) = solve_assembled(&sys, &asm_clique);
+        let (x2, _) = solve_assembled(&sys, &asm_hybrid);
+        let ia = sys.movable_index(a).unwrap();
+        let ib = sys.movable_index(b).unwrap();
+        assert!((x1[ia] - x2[ia]).abs() < 1e-9);
+        assert!((x1[ib] - x2[ib]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn star_model_pulls_toward_the_centroid() {
+        // 5-pin net, all pins movable, star model: solving from a spread
+        // placement gathers everything at the centroid.
+        let mut bld = NetlistBuilder::new();
+        bld.core_region(Rect::new(0.0, 0.0, 10.0, 10.0));
+        let ids: Vec<_> = (0..5)
+            .map(|i| bld.add_cell(format!("c{i}"), Size::new(1.0, 1.0)))
+            .collect();
+        let anchor = bld.add_fixed_cell("p", Size::new(0.5, 0.5), Point::new(2.0, 2.0));
+        bld.add_net(
+            "big",
+            ids.iter()
+                .enumerate()
+                .map(|(i, &id)| {
+                    (
+                        id,
+                        if i == 0 { PinDirection::Output } else { PinDirection::Input },
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+        bld.add_net("tie", [(ids[0], PinDirection::Output), (anchor, PinDirection::Input)]);
+        let nl = bld.build().unwrap();
+        let sys = QuadraticSystem::new(&nl);
+        let mut p = nl.initial_placement();
+        for (i, &id) in ids.iter().enumerate() {
+            p.set_position(id, Point::new(i as f64 * 2.0, 8.0));
+        }
+        let asm = sys.assemble(&nl, &p, None, NetModel::Star, None);
+        let (xs, _) = solve_assembled(&sys, &asm);
+        // All big-net members are pulled toward the (fixed) centroid x=4,
+        // and the anchored cell additionally toward x=2.
+        for (i, &id) in ids.iter().enumerate() {
+            let xi = xs[sys.movable_index(id).unwrap()];
+            if i == 0 {
+                assert!(xi < 4.0, "anchored cell {xi}");
+            } else {
+                assert!((xi - 4.0).abs() < 1e-4, "member {i} at {xi}");
+            }
+        }
+    }
+
+    #[test]
+    fn linearization_downweights_long_edges() {
+        let (nl, a, b) = chain();
+        let sys = QuadraticSystem::new(&nl);
+        let mut p = nl.initial_placement();
+        p.set_position(a, Point::new(1.0, 5.0));
+        p.set_position(b, Point::new(9.0, 5.0));
+        let asm = sys.assemble(&nl, &p, None, NetModel::Clique, Some(0.01));
+        // Edge a-b has length 8; edge p0-a length 1. After linearization
+        // the a-b x-coupling is weaker than the p0-a one.
+        let ia = sys.movable_index(a).unwrap();
+        let ib = sys.movable_index(b).unwrap();
+        let coupling_ab = -asm.cx.get(ia, ib);
+        // p0-a contributes only to the diagonal; reconstruct it:
+        let diag_a = asm.cx.get(ia, ia);
+        let pad_edge = diag_a - coupling_ab - 2e-6 * 1.0; // subtract anchor order-of-magnitude
+        assert!(pad_edge > coupling_ab, "pad edge {pad_edge} vs ab {coupling_ab}");
+    }
+
+    #[test]
+    fn spring_force_is_zero_at_equilibrium() {
+        let (nl, _, _) = chain();
+        let sys = QuadraticSystem::new(&nl);
+        let asm = sys.assemble(&nl, &nl.initial_placement(), None, NetModel::Clique, None);
+        let (xs, ys) = solve_assembled(&sys, &asm);
+        let (fx, fy) = sys.spring_force(&asm, &xs, &ys);
+        for i in 0..2 {
+            assert!(fx[i].abs() < 1e-5, "fx {}", fx[i]);
+            assert!(fy[i].abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn spring_force_points_downhill() {
+        let (nl, a, _) = chain();
+        let sys = QuadraticSystem::new(&nl);
+        let mut p = nl.initial_placement();
+        p.set_position(a, Point::new(9.0, 5.0)); // far right of its optimum
+        let (xs, ys) = sys.coords(&p);
+        let asm = sys.assemble(&nl, &p, None, NetModel::Clique, None);
+        let (fx, _) = sys.spring_force(&asm, &xs, &ys);
+        let ia = sys.movable_index(a).unwrap();
+        assert!(fx[ia] < 0.0, "force should pull a leftward, got {}", fx[ia]);
+    }
+
+    #[test]
+    fn coords_roundtrip_through_write_back() {
+        let (nl, a, b) = chain();
+        let sys = QuadraticSystem::new(&nl);
+        let mut p = nl.initial_placement();
+        p.set_position(a, Point::new(1.0, 2.0));
+        p.set_position(b, Point::new(3.0, 4.0));
+        let (xs, ys) = sys.coords(&p);
+        let mut q = nl.initial_placement();
+        sys.write_back(&mut q, &xs, &ys);
+        assert_eq!(q.position(a), Point::new(1.0, 2.0));
+        assert_eq!(q.position(b), Point::new(3.0, 4.0));
+        // Fixed cells untouched.
+        assert_eq!(
+            q.position(CellId::from_index(2)),
+            nl.cell(CellId::from_index(2)).fixed_position().unwrap()
+        );
+    }
+}

@@ -1,0 +1,749 @@
+//! The iterative algorithm of section 4: placement transformations with
+//! accumulated additional forces.
+
+use crate::config::{FieldSolverKind, KraftwerkConfig};
+use crate::quadratic::QuadraticSystem;
+use kraftwerk_field::{
+    density_map, largest_empty_square, DirectSolver, FieldSolver, MultigridSolver, ScalarMap,
+};
+use kraftwerk_netlist::{metrics, Netlist, Placement};
+use kraftwerk_sparse::{solve, JacobiPreconditioner};
+
+/// Per-transformation progress record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationStats {
+    /// 1-based transformation number.
+    pub iteration: usize,
+    /// Half-perimeter wire length after the transformation.
+    pub hpwl: f64,
+    /// Area of the largest empty square (stopping criterion input).
+    pub empty_square_area: f64,
+    /// Peak density deviation before the transformation.
+    pub peak_density: f64,
+    /// Conjugate-gradient iterations spent (x + y solves).
+    pub cg_iterations: usize,
+    /// Magnitude of the strongest newly added force.
+    pub max_force: f64,
+}
+
+/// Result of a completed placement run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlaceResult {
+    /// The final global placement.
+    pub placement: Placement,
+    /// Per-iteration statistics, in order.
+    pub stats: Vec<IterationStats>,
+    /// Whether the paper's stopping criterion fired (as opposed to the
+    /// iteration cap or the stall guard).
+    pub converged: bool,
+}
+
+impl PlaceResult {
+    /// Number of placement transformations performed.
+    #[must_use]
+    pub fn iterations(&self) -> usize {
+        self.stats.len()
+    }
+}
+
+/// A stateful placement run: owns the evolving placement and the
+/// accumulated additional-force vector, and exposes one
+/// [`transform`](PlacementSession::transform) step per call so callers can
+/// interleave their own logic (timing-weight updates, congestion maps,
+/// trade-off recording) between transformations — exactly how the paper's
+/// timing and congestion flows are described in section 5.
+#[derive(Debug)]
+pub struct PlacementSession<'a> {
+    netlist: &'a Netlist,
+    config: KraftwerkConfig,
+    system: QuadraticSystem,
+    placement: Placement,
+    /// Whether the very first transformation already holds the placement
+    /// in equilibrium (`true` for ECO/resume sessions) or starts with the
+    /// unconstrained quadratic solve (`false` for fresh runs, where the
+    /// everything-at-the-center start must be allowed to relax).
+    hold_from_start: bool,
+    extra_weights: Option<Vec<f64>>,
+    demand: Option<(ScalarMap, f64)>,
+    iteration: usize,
+    last_empty_square: Vec<f64>,
+}
+
+impl<'a> PlacementSession<'a> {
+    /// Starts a fresh run: all movable cells at the core center, zero
+    /// accumulated force (section 4.2 step 1).
+    #[must_use]
+    pub fn new(netlist: &'a Netlist, config: KraftwerkConfig) -> Self {
+        Self {
+            netlist,
+            config,
+            system: QuadraticSystem::new(netlist),
+            placement: netlist.initial_placement(),
+            hold_from_start: false,
+            extra_weights: None,
+            demand: None,
+            iteration: 0,
+            last_empty_square: Vec::new(),
+        }
+    }
+
+    /// Resumes from an existing placement treated as an equilibrium of
+    /// equation (3) (any placement is one for a suitable `e`). Used for
+    /// ECO restarts and for the second phase of the meet-timing flow:
+    /// subsequent transformations only move cells as far as *new* density
+    /// or weight deviations demand (section 5, minimal disturbance).
+    #[must_use]
+    pub fn resume(netlist: &'a Netlist, config: KraftwerkConfig, placement: Placement) -> Self {
+        let mut session = Self::new(netlist, config);
+        session.placement = placement;
+        session.hold_from_start = true;
+        session
+    }
+
+    /// Sets per-net weight multipliers (timing criticality). Takes effect
+    /// from the next transformation: the placement relaxes toward the new
+    /// weighting (critical nets contract) while the held equilibrium keeps
+    /// everything else in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != netlist.num_nets()`.
+    pub fn set_extra_weights(&mut self, weights: Vec<f64>) {
+        assert_eq!(
+            weights.len(),
+            self.netlist.num_nets(),
+            "one weight per net required"
+        );
+        self.extra_weights = Some(weights);
+    }
+
+    /// Injects an additional supply/demand map (congestion or heat,
+    /// section 5) blended into the density with the given weight before
+    /// every force computation. The map must use the session's
+    /// [`grid_dims`](PlacementSession::grid_dims).
+    pub fn set_demand_map(&mut self, map: ScalarMap, weight: f64) {
+        self.demand = Some((map, weight));
+    }
+
+    /// Removes the injected demand map.
+    pub fn clear_demand_map(&mut self) {
+        self.demand = None;
+    }
+
+    /// Density grid dimensions `(nx, ny)` used by this session.
+    #[must_use]
+    pub fn grid_dims(&self) -> (usize, usize) {
+        let core = self.netlist.core_region();
+        let bins = self.config.grid_bins_for(self.system.num_movable());
+        if core.width() >= core.height() {
+            let ny = ((core.height() / core.width() * bins as f64).round() as usize).max(8);
+            (bins, ny)
+        } else {
+            let nx = ((core.width() / core.height() * bins as f64).round() as usize).max(8);
+            (nx, bins)
+        }
+    }
+
+    /// The evolving placement.
+    #[must_use]
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Transformations performed so far.
+    #[must_use]
+    pub fn iteration(&self) -> usize {
+        self.iteration
+    }
+
+    fn linearization_eps(&self) -> Option<f64> {
+        if self.config.linearization {
+            let core = self.netlist.core_region();
+            Some(self.config.linearization_epsilon * core.half_perimeter())
+        } else {
+            None
+        }
+    }
+
+    fn empty_square_resolution(&self) -> usize {
+        let avg = self.netlist.average_cell_area();
+        if avg <= 0.0 {
+            return 64;
+        }
+        let core = self.netlist.core_region();
+        let longer = core.width().max(core.height());
+        // Resolve half the side length of the threshold square.
+        let side = (self.config.stop_empty_square_factor * avg).sqrt();
+        ((longer / (side * 0.5)).ceil() as usize).clamp(32, 512)
+    }
+
+    /// Executes one *placement transformation* (section 4.1):
+    /// density → force field → scale to `K(W+H)` → accumulate → re-solve.
+    pub fn transform(&mut self) -> IterationStats {
+        self.iteration += 1;
+        let core = self.netlist.core_region();
+        let (nx, ny) = self.grid_dims();
+
+        // 1. Density deviation of the current placement (eq. 4), plus any
+        //    injected congestion/heat demand.
+        let mut density = density_map(self.netlist, &self.placement, nx, ny);
+        if let Some((map, weight)) = &self.demand {
+            density.add_scaled(map, *weight);
+            density.balance();
+        }
+        let peak_density = density.max();
+
+        // 2. Force field (eq. 9 / Poisson solve).
+        let field = match self.config.field_solver {
+            FieldSolverKind::Multigrid => MultigridSolver {
+                // Force directions only need a few correct digits; the
+                // default 1e-7 residual target would spend V-cycles on
+                // accuracy the displacement cap throws away.
+                tolerance: 1e-4,
+                ..MultigridSolver::new()
+            }
+            .solve(&density),
+            FieldSolverKind::Direct => DirectSolver::new().solve(&density),
+        };
+
+        // 3. Assemble the current quadratic system; its diagonal is the
+        //    per-cell stiffness the force scale must be expressed in.
+        let asm = self.system.assemble(
+            self.netlist,
+            &self.placement,
+            self.extra_weights.as_deref(),
+            self.config.net_model,
+            self.linearization_eps(),
+        );
+
+        // 4. Scale per section 4.1: the strongest force equals the pull of
+        //    a net of length K(W+H). A cell whose spring stiffness is
+        //    `C_ii` pulled by such a net comes to rest K(W+H) away, so the
+        //    scale is chosen to make the largest *induced displacement*
+        //    equal K(W+H). (Expressing the cap in displacement rather than
+        //    raw force keeps the step size meaningful under GORDIAN-L
+        //    linearization, where edge weights — and with them all force
+        //    units — shrink with 1/length.)
+        let diag_x = asm.cx.diagonal();
+        let diag_y = asm.cy.diagonal();
+        let n = self.system.num_movable();
+        // Robust stiffness floor: cells that are barely connected (only
+        // the regularization anchor) must not collapse the global scale.
+        let mut sorted: Vec<f64> = diag_x.iter().zip(&diag_y).map(|(a, b)| 0.5 * (a + b)).collect();
+        sorted.sort_by(f64::total_cmp);
+        let median_stiffness = sorted[sorted.len() / 2].max(1e-12);
+        let floor = 0.05 * median_stiffness;
+        let mut raw = Vec::with_capacity(n);
+        let mut max_disp = 0.0f64;
+        for i in 0..n {
+            let cell = self.system.cell_of(i);
+            let f = field.force_at(self.placement.position(cell));
+            let stiffness = (0.5 * (diag_x[i] + diag_y[i])).max(floor);
+            max_disp = max_disp.max(f.norm() / stiffness);
+            raw.push(f);
+        }
+        // Calibration note (see DESIGN.md): the paper expresses the cap
+        // as the force of a net of length K(W+H). Interpreted literally as
+        // a displacement it spans whole-die distances, leapfrogging the
+        // density structure the force was derived from, so the target is
+        // expressed in density-grid bins instead (the natural length scale
+        // of the field) and additionally modulated by how overfull the
+        // worst bin still is — as the distribution evens out, the steps
+        // shrink instead of amplifying discretization noise. K keeps its
+        // role as the speed/quality dial.
+        let bin_diag = (density.dx() * density.dx() + density.dy() * density.dy()).sqrt();
+        // Far from convergence (heavily overfull bins) the flow may take
+        // proportionally larger steps, but only as far as the die demands:
+        // the boost cap is sized so the iteration budget suffices to cross
+        // the die, which matters on large dies where the grid-resolution
+        // cap makes bins big in cells yet small relative to the die. Near
+        // convergence the steps shrink with the density deviation.
+        let base = self.config.k * 8.0 * bin_diag;
+        let needed_rate =
+            core.width().max(core.height()) / (0.6 * self.config.max_transformations as f64);
+        let boost_cap = (needed_rate / base.max(1e-12)).clamp(1.0, 6.0);
+        let overfill = peak_density.clamp(0.35, boost_cap);
+        let target = (base * overfill).min(0.25 * core.width().min(core.height()));
+        let scale = if max_disp > 1e-12 { target / max_disp } else { 0.0 };
+
+        // 5. Build the equilibrium equation C p + d + e = 0. The
+        //    accumulated force vector `e` of equation (3) is kept in
+        //    *re-derived* form: instead of summing raw forces across
+        //    iterations (whose units drift by orders of magnitude as
+        //    GORDIAN-L reweights every edge), the holding part of `e` is
+        //    recomputed each transformation as exactly the force that
+        //    keeps the current placement in equilibrium under the current
+        //    weights — the placement itself carries the force history.
+        //    Algebraically this is the paper's accumulation with the unit
+        //    drift factored out; the same reformulation underlies the
+        //    published successor of this algorithm (Kraftwerk2).
+        //
+        //    The one case where the paper's `e` deliberately lags the
+        //    system is a net-weight update (timing flow): then the hold is
+        //    computed under the *previous* weights so the newly weighted
+        //    nets contract. `hold_asm` is the assembly the hold force is
+        //    derived from.
+        let (xs0, ys0) = self.system.coords(&self.placement);
+        let use_hold = self.hold_from_start || self.iteration > 1;
+        let (hx, hy) = if use_hold {
+            // The hold is always derived under the *base* (unweighted)
+            // system. This mirrors the paper exactly: the accumulated `e`
+            // contains only density-force history, so when timing weights
+            // scale the springs, the weighted nets feel a persistent net
+            // pull toward contraction until a new balance with the density
+            // forces is reached — not a one-shot nudge.
+            let hold_asm = if self.extra_weights.is_some() {
+                Some(self.system.assemble(
+                    self.netlist,
+                    &self.placement,
+                    None,
+                    self.config.net_model,
+                    self.linearization_eps(),
+                ))
+            } else {
+                None
+            };
+            let (sx, sy) = self
+                .system
+                .spring_force(hold_asm.as_ref().unwrap_or(&asm), &xs0, &ys0);
+            // Release a `relaxation` fraction of the hold so the springs
+            // keep optimizing wire length against the density forces.
+            let keep = 1.0 - self.config.relaxation.clamp(0.0, 1.0);
+            (
+                sx.iter().map(|v| -v * keep).collect::<Vec<_>>(),
+                sy.iter().map(|v| -v * keep).collect::<Vec<_>>(),
+            )
+        } else {
+            (vec![0.0; n], vec![0.0; n])
+        };
+
+        //    Right-hand side: C p = -d + f_hold + f_density.
+        let mut max_force = 0.0f64;
+        let mut bx = Vec::with_capacity(n);
+        let mut by = Vec::with_capacity(n);
+        for i in 0..n {
+            let f = raw[i] * scale;
+            max_force = max_force.max(f.norm());
+            bx.push(-asm.dx[i] + hx[i] + f.x);
+            by.push(-asm.dy[i] + hy[i] + f.y);
+        }
+
+        // 6. Solve, warm-started from the current placement.
+        let px = JacobiPreconditioner::from_matrix(&asm.cx);
+        let py = JacobiPreconditioner::from_matrix(&asm.cy);
+        let rx = solve(&asm.cx, &bx, Some(&xs0), &px, &self.config.cg);
+        let ry = solve(&asm.cy, &by, Some(&ys0), &py, &self.config.cg);
+
+        //    Trust region: the per-cell displacement estimate used for the
+        //    force scale cannot see coupled modes (a whole chain of cells
+        //    pushed the same way moves much further than any one spring
+        //    suggests), so the *realized* move is capped at the same
+        //    target by blending toward the solve result. Skipped on the
+        //    unconstrained first solve of a fresh run.
+        let cg_iters = rx.iterations + ry.iterations;
+        let (mut xs1, mut ys1) = (rx.x, ry.x);
+        if use_hold {
+            for i in 0..n {
+                let dx = xs1[i] - xs0[i];
+                let dy = ys1[i] - ys0[i];
+                let move_len = (dx * dx + dy * dy).sqrt();
+                if move_len > target {
+                    let blend = target / move_len;
+                    xs1[i] = xs0[i] + dx * blend;
+                    ys1[i] = ys0[i] + dy * blend;
+                }
+            }
+        }
+        self.system.write_back(&mut self.placement, &xs1, &ys1);
+        self.clamp_into_core();
+
+        // 7. Progress metrics.
+        let empty_square_area =
+            largest_empty_square(self.netlist, &self.placement, self.empty_square_resolution());
+        self.last_empty_square.push(empty_square_area);
+        IterationStats {
+            iteration: self.iteration,
+            hpwl: metrics::hpwl(self.netlist, &self.placement),
+            empty_square_area,
+            peak_density,
+            cg_iterations: cg_iters,
+            max_force,
+        }
+    }
+
+    /// Keeps every movable cell's footprint inside the core region. The
+    /// paper's supply function `A(x,y)` is zero outside the core, so
+    /// escaped cells see pure demand and are pushed back eventually;
+    /// clamping applies that correction immediately instead of spending
+    /// transformations on it.
+    fn clamp_into_core(&mut self) {
+        let core = self.netlist.core_region();
+        for i in 0..self.system.num_movable() {
+            let cell_id = self.system.cell_of(i);
+            let size = self.netlist.cell(cell_id).size();
+            let half_w = (size.width * 0.5).min(core.width() * 0.5);
+            let half_h = (size.height * 0.5).min(core.height() * 0.5);
+            let p = self.placement.position(cell_id);
+            let clamped = kraftwerk_geom::Point::new(
+                p.x.clamp(core.x_lo + half_w, core.x_hi - half_w),
+                p.y.clamp(core.y_lo + half_h, core.y_hi - half_h),
+            );
+            if clamped != p {
+                self.placement.set_position(cell_id, clamped);
+            }
+        }
+    }
+
+    /// Whether the paper's stopping criterion holds: no empty square
+    /// larger than `stop_empty_square_factor` times the average cell area
+    /// (section 4.2 step 3). `false` before the first transformation.
+    #[must_use]
+    pub fn is_converged(&self) -> bool {
+        match self.last_empty_square.last() {
+            None => false,
+            Some(&area) => {
+                area <= self.config.stop_empty_square_factor * self.netlist.average_cell_area()
+            }
+        }
+    }
+
+    /// Whether the stall guard tripped: the empty-square area improved by
+    /// less than 1% over the configured window.
+    #[must_use]
+    pub fn is_stalled(&self) -> bool {
+        let w = self.config.stall_window;
+        if w == 0 {
+            return false;
+        }
+        // Never stall out during the early pile phase: spreading from the
+        // centered start needs a latency proportional to the die extent
+        // over the per-iteration displacement target before the
+        // empty-square metric starts moving at all. Resumed sessions start
+        // spread, so only the plain window applies.
+        let latency = if self.hold_from_start { w } else { (3 * w).max(16) };
+        if self.last_empty_square.len() < latency + 1 {
+            return false;
+        }
+        let now = self.last_empty_square[self.last_empty_square.len() - 1];
+        let then = self.last_empty_square[self.last_empty_square.len() - 1 - w];
+        now > then * 0.99
+    }
+
+    /// Runs transformations until convergence, stall, or the iteration
+    /// cap; returns the result and consumes the session.
+    #[must_use]
+    pub fn run(mut self) -> PlaceResult {
+        let mut stats = Vec::new();
+        if self.system.num_movable() == 0 {
+            return PlaceResult {
+                placement: self.placement,
+                stats,
+                converged: true,
+            };
+        }
+        // A resumed (ECO) session may already satisfy the stopping
+        // criterion; don't churn a converged placement.
+        if self.hold_from_start {
+            let area = largest_empty_square(
+                self.netlist,
+                &self.placement,
+                self.empty_square_resolution(),
+            );
+            if area <= self.config.stop_empty_square_factor * self.netlist.average_cell_area() {
+                self.last_empty_square.push(area);
+                return PlaceResult {
+                    placement: self.placement,
+                    stats,
+                    converged: true,
+                };
+            }
+        }
+        while self.iteration < self.config.max_transformations {
+            stats.push(self.transform());
+            if self.is_converged() || self.is_stalled() {
+                break;
+            }
+        }
+        let converged = self.is_converged();
+        PlaceResult {
+            placement: self.placement,
+            stats,
+            converged,
+        }
+    }
+}
+
+/// The one-call front door: global placement with a fixed configuration.
+///
+/// See the crate-level example. For timing-driven flows and map injection
+/// use [`PlacementSession`] directly.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalPlacer {
+    config: KraftwerkConfig,
+}
+
+impl GlobalPlacer {
+    /// Creates a placer with the given configuration.
+    #[must_use]
+    pub fn new(config: KraftwerkConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &KraftwerkConfig {
+        &self.config
+    }
+
+    /// Places a netlist from scratch.
+    #[must_use]
+    pub fn place(&self, netlist: &Netlist) -> PlaceResult {
+        PlacementSession::new(netlist, self.config.clone()).run()
+    }
+
+    /// Incremental (ECO) placement: adapts an existing placement to the
+    /// netlist with minimal disturbance (section 5). Cells only move where
+    /// density deviations or netlist changes create new forces.
+    #[must_use]
+    pub fn place_incremental(&self, netlist: &Netlist, existing: Placement) -> PlaceResult {
+        PlacementSession::resume(netlist, self.config.clone(), existing).run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kraftwerk_netlist::synth::{generate, SynthConfig};
+    use kraftwerk_netlist::{metrics, NetlistBuilder, PinDirection};
+
+    fn small() -> Netlist {
+        generate(&SynthConfig::with_size("small", 150, 190, 6))
+    }
+
+    #[test]
+    fn placement_spreads_and_reduces_overlap() {
+        let nl = small();
+        let result = GlobalPlacer::new(KraftwerkConfig::standard()).place(&nl);
+        assert!(!result.stats.is_empty());
+        let overlap = metrics::overlap_ratio(&nl, &result.placement);
+        assert!(overlap < 0.7, "overlap ratio {overlap}");
+        // Cells stay essentially inside the core.
+        let outside = metrics::out_of_core_ratio(&nl, &result.placement);
+        assert!(outside < 0.05, "out of core {outside}");
+    }
+
+    #[test]
+    fn empty_square_area_shrinks_over_iterations() {
+        let nl = small();
+        let result = GlobalPlacer::new(KraftwerkConfig::standard()).place(&nl);
+        let first = result.stats.first().unwrap().empty_square_area;
+        let last = result.stats.last().unwrap().empty_square_area;
+        assert!(last < first, "no spreading: first {first} last {last}");
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let nl = small();
+        let placer = GlobalPlacer::new(KraftwerkConfig::standard());
+        let a = placer.place(&nl);
+        let b = placer.place(&nl);
+        assert_eq!(a.placement, b.placement);
+        assert_eq!(a.stats.len(), b.stats.len());
+    }
+
+    #[test]
+    fn fast_mode_uses_fewer_transformations() {
+        let nl = small();
+        let std_run = GlobalPlacer::new(KraftwerkConfig::standard()).place(&nl);
+        let fast_run = GlobalPlacer::new(KraftwerkConfig::fast()).place(&nl);
+        // Fast mode never needs more transformations, and does each on a
+        // coarser grid with looser solver tolerances (the speed win on
+        // tiny test circuits is mostly per-iteration cost).
+        assert!(
+            fast_run.iterations() <= std_run.iterations(),
+            "fast {} vs standard {}",
+            fast_run.iterations(),
+            std_run.iterations()
+        );
+    }
+
+    #[test]
+    fn beats_a_random_placement_on_wire_length() {
+        use rand::{Rng, SeedableRng};
+        let nl = small();
+        let result = GlobalPlacer::new(KraftwerkConfig::standard()).place(&nl);
+        let ours = metrics::hpwl(&nl, &result.placement);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        let core = nl.core_region();
+        let mut random = nl.initial_placement();
+        for (id, cell) in nl.cells() {
+            if cell.is_movable() {
+                random.set_position(
+                    id,
+                    kraftwerk_geom::Point::new(
+                        rng.gen_range(core.x_lo..core.x_hi),
+                        rng.gen_range(core.y_lo..core.y_hi),
+                    ),
+                );
+            }
+        }
+        let rand_hpwl = metrics::hpwl(&nl, &random);
+        assert!(
+            ours < 0.6 * rand_hpwl,
+            "ours {ours:.0} should be well below random {rand_hpwl:.0}"
+        );
+    }
+
+    #[test]
+    fn eco_restart_barely_moves_an_unchanged_design() {
+        let nl = small();
+        let placer = GlobalPlacer::new(KraftwerkConfig::standard());
+        let first = placer.place(&nl);
+        let eco = placer.place_incremental(&nl, first.placement.clone());
+        let core = nl.core_region();
+        let moved = first.placement.max_displacement(&eco.placement);
+        assert!(
+            moved < 0.15 * core.half_perimeter(),
+            "ECO on unchanged netlist moved cells by {moved}"
+        );
+    }
+
+    #[test]
+    fn extra_weights_shorten_the_weighted_net() {
+        let nl = small();
+        let cfg = KraftwerkConfig::standard();
+        let base = GlobalPlacer::new(cfg.clone()).place(&nl);
+        // Heavily weight net 0.
+        let target = kraftwerk_netlist::NetId::from_index(0);
+        let mut weights = vec![1.0; nl.num_nets()];
+        weights[target.index()] = 20.0;
+        let mut session = PlacementSession::new(&nl, cfg);
+        session.set_extra_weights(weights);
+        let weighted = session.run();
+        let before = metrics::net_hpwl(&nl, &base.placement, target);
+        let after = metrics::net_hpwl(&nl, &weighted.placement, target);
+        assert!(
+            after < before,
+            "weighted net should shrink: {after:.2} vs {before:.2}"
+        );
+    }
+
+    #[test]
+    fn empty_netlist_is_handled() {
+        let mut b = NetlistBuilder::new();
+        b.core_region(kraftwerk_geom::Rect::new(0.0, 0.0, 10.0, 10.0));
+        let p0 = b.add_fixed_cell("p0", kraftwerk_geom::Size::new(1.0, 1.0), kraftwerk_geom::Point::new(0.0, 5.0));
+        let p1 = b.add_fixed_cell("p1", kraftwerk_geom::Size::new(1.0, 1.0), kraftwerk_geom::Point::new(10.0, 5.0));
+        b.add_net("n", [(p0, PinDirection::Output), (p1, PinDirection::Input)]);
+        let nl = b.build().unwrap();
+        let result = GlobalPlacer::new(KraftwerkConfig::standard()).place(&nl);
+        assert!(result.converged);
+        assert!(result.stats.is_empty());
+    }
+
+    #[test]
+    fn session_grid_dims_follow_aspect_ratio() {
+        let nl = small();
+        let session = PlacementSession::new(&nl, KraftwerkConfig::standard());
+        let (nx, ny) = session.grid_dims();
+        let core = nl.core_region();
+        if core.width() > core.height() {
+            assert!(nx >= ny);
+        } else {
+            assert!(ny >= nx);
+        }
+    }
+
+    #[test]
+    fn demand_map_injection_shifts_the_placement() {
+        use kraftwerk_field::ScalarMap;
+        let nl = generate(&SynthConfig::with_size("demand", 150, 190, 6));
+        let cfg = KraftwerkConfig::standard();
+        let plain = GlobalPlacer::new(cfg.clone()).place(&nl).placement;
+
+        // Synthetic demand: the left half of the core is "congested".
+        let mut session = PlacementSession::new(&nl, cfg.clone());
+        let (nx, ny) = session.grid_dims();
+        let mut demand = ScalarMap::zeros(nl.core_region(), nx, ny);
+        for iy in 0..ny {
+            for ix in 0..nx / 2 {
+                demand.set(ix, iy, 1.0);
+            }
+        }
+        demand.balance();
+        session.set_demand_map(demand, 1.5);
+        let result = session.run();
+
+        // Mass shifts to the right relative to the plain run.
+        let mean_x = |p: &kraftwerk_netlist::Placement| {
+            let mut s = 0.0;
+            let mut n = 0.0;
+            for (id, c) in nl.movable_cells() {
+                s += p.position(id).x * c.area();
+                n += c.area();
+            }
+            s / n
+        };
+        assert!(
+            mean_x(&result.placement) > mean_x(&plain) + 0.02 * nl.core_region().width(),
+            "demand map did not push cells right: {} vs {}",
+            mean_x(&result.placement),
+            mean_x(&plain)
+        );
+    }
+
+    #[test]
+    fn clearing_the_demand_map_restores_plain_behaviour() {
+        use kraftwerk_field::ScalarMap;
+        let nl = generate(&SynthConfig::with_size("demand2", 100, 130, 5));
+        let cfg = KraftwerkConfig::standard();
+        let mut with_clear = PlacementSession::new(&nl, cfg.clone());
+        let (nx, ny) = with_clear.grid_dims();
+        let mut demand = ScalarMap::zeros(nl.core_region(), nx, ny);
+        demand.set(0, 0, 5.0);
+        demand.balance();
+        with_clear.set_demand_map(demand, 1.0);
+        with_clear.clear_demand_map();
+        let a = with_clear.run();
+        let b = GlobalPlacer::new(cfg).place(&nl);
+        assert_eq!(a.placement, b.placement);
+    }
+
+    #[test]
+    fn tall_die_grid_dims_flip_orientation() {
+        use kraftwerk_geom::{Rect, Size};
+        use kraftwerk_netlist::NetlistBuilder;
+        let mut bld = NetlistBuilder::new();
+        bld.core_region(Rect::new(0.0, 0.0, 50.0, 400.0));
+        let a = bld.add_cell("a", Size::new(4.0, 4.0));
+        let c = bld.add_cell("c", Size::new(4.0, 4.0));
+        bld.add_net("n", [(a, PinDirection::Output), (c, PinDirection::Input)]);
+        let nl = bld.build().unwrap();
+        let session = PlacementSession::new(&nl, KraftwerkConfig::standard());
+        let (nx, ny) = session.grid_dims();
+        assert!(ny > nx, "tall die should have more vertical bins: {nx}x{ny}");
+    }
+
+    #[test]
+    fn iteration_stats_are_internally_consistent() {
+        let nl = generate(&SynthConfig::with_size("stats", 150, 190, 6));
+        let result = GlobalPlacer::new(KraftwerkConfig::standard()).place(&nl);
+        for (i, st) in result.stats.iter().enumerate() {
+            assert_eq!(st.iteration, i + 1);
+            assert!(st.hpwl.is_finite() && st.hpwl > 0.0);
+            assert!(st.empty_square_area >= 0.0);
+            assert!(st.peak_density.is_finite());
+        }
+    }
+
+    #[test]
+    fn direct_and_multigrid_solvers_both_spread() {
+        let nl = generate(&SynthConfig::with_size("tiny", 80, 100, 4));
+        for kind in [FieldSolverKind::Multigrid, FieldSolverKind::Direct] {
+            let cfg = KraftwerkConfig::standard().with_field_solver(kind);
+            let result = GlobalPlacer::new(cfg).place(&nl);
+            let overlap = metrics::overlap_ratio(&nl, &result.placement);
+            assert!(overlap < 0.8, "{kind:?}: overlap {overlap}");
+        }
+    }
+}

@@ -1,0 +1,589 @@
+//! Bin grids, the supply/demand density of equation (4), and the
+//! empty-square stopping criterion.
+
+use kraftwerk_geom::{interval_overlap, Point, Rect};
+use kraftwerk_netlist::{Netlist, Placement};
+
+/// A scalar field sampled on a regular grid of bins covering a rectangle.
+/// Values live at bin centers; [`ScalarMap::sample`] interpolates
+/// bilinearly between them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalarMap {
+    nx: usize,
+    ny: usize,
+    region: Rect,
+    values: Vec<f64>,
+}
+
+impl ScalarMap {
+    /// Creates a zero-filled map with `nx * ny` bins over `region`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nx == 0`, `ny == 0`, or the region is degenerate.
+    #[must_use]
+    pub fn zeros(region: Rect, nx: usize, ny: usize) -> Self {
+        assert!(nx > 0 && ny > 0, "grid must have at least one bin");
+        assert!(region.width() > 0.0 && region.height() > 0.0, "degenerate region");
+        Self {
+            nx,
+            ny,
+            region,
+            values: vec![0.0; nx * ny],
+        }
+    }
+
+    /// Number of bins horizontally.
+    #[must_use]
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Number of bins vertically.
+    #[must_use]
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// The covered region.
+    #[must_use]
+    pub fn region(&self) -> Rect {
+        self.region
+    }
+
+    /// Bin width.
+    #[must_use]
+    pub fn dx(&self) -> f64 {
+        self.region.width() / self.nx as f64
+    }
+
+    /// Bin height.
+    #[must_use]
+    pub fn dy(&self) -> f64 {
+        self.region.height() / self.ny as f64
+    }
+
+    /// Value of bin `(ix, iy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    #[must_use]
+    pub fn get(&self, ix: usize, iy: usize) -> f64 {
+        assert!(ix < self.nx && iy < self.ny, "bin index out of range");
+        self.values[iy * self.nx + ix]
+    }
+
+    /// Sets the value of bin `(ix, iy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn set(&mut self, ix: usize, iy: usize, value: f64) {
+        assert!(ix < self.nx && iy < self.ny, "bin index out of range");
+        self.values[iy * self.nx + ix] = value;
+    }
+
+    /// Adds to the value of bin `(ix, iy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn add(&mut self, ix: usize, iy: usize, value: f64) {
+        assert!(ix < self.nx && iy < self.ny, "bin index out of range");
+        self.values[iy * self.nx + ix] += value;
+    }
+
+    /// Raw values in row-major (y-major) order.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Center of bin `(ix, iy)`.
+    #[must_use]
+    pub fn bin_center(&self, ix: usize, iy: usize) -> Point {
+        Point::new(
+            self.region.x_lo + (ix as f64 + 0.5) * self.dx(),
+            self.region.y_lo + (iy as f64 + 0.5) * self.dy(),
+        )
+    }
+
+    /// Rectangle of bin `(ix, iy)`.
+    #[must_use]
+    pub fn bin_rect(&self, ix: usize, iy: usize) -> Rect {
+        let dx = self.dx();
+        let dy = self.dy();
+        Rect::new(
+            self.region.x_lo + ix as f64 * dx,
+            self.region.y_lo + iy as f64 * dy,
+            self.region.x_lo + (ix + 1) as f64 * dx,
+            self.region.y_lo + (iy + 1) as f64 * dy,
+        )
+    }
+
+    /// The bin containing a point, clamped to the grid.
+    #[must_use]
+    pub fn bin_of(&self, p: Point) -> (usize, usize) {
+        let fx = (p.x - self.region.x_lo) / self.dx();
+        let fy = (p.y - self.region.y_lo) / self.dy();
+        let ix = (fx.floor().max(0.0) as usize).min(self.nx - 1);
+        let iy = (fy.floor().max(0.0) as usize).min(self.ny - 1);
+        (ix, iy)
+    }
+
+    /// Mean over all bins.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Integral over the region (sum of bin values times bin area).
+    #[must_use]
+    pub fn integral(&self) -> f64 {
+        self.values.iter().sum::<f64>() * self.dx() * self.dy()
+    }
+
+    /// Largest bin value.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.values.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v))
+    }
+
+    /// Smallest bin value.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.values.iter().fold(f64::INFINITY, |m, &v| m.min(v))
+    }
+
+    /// Subtracts the mean so the map integrates to zero — the property
+    /// equation (4) establishes by scaling the supply with `s`.
+    pub fn balance(&mut self) {
+        let m = self.mean();
+        for v in &mut self.values {
+            *v -= m;
+        }
+    }
+
+    /// Adds `weight * other` bin-wise. The congestion- and heat-driven
+    /// modes of section 5 combine their maps with the density this way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grids have different dimensions.
+    pub fn add_scaled(&mut self, other: &ScalarMap, weight: f64) {
+        assert_eq!(self.nx, other.nx, "grid width mismatch");
+        assert_eq!(self.ny, other.ny, "grid height mismatch");
+        for (a, b) in self.values.iter_mut().zip(&other.values) {
+            *a += weight * b;
+        }
+    }
+
+    /// Multiplies every bin by a constant.
+    pub fn scale(&mut self, factor: f64) {
+        for v in &mut self.values {
+            *v *= factor;
+        }
+    }
+
+    /// Bilinear interpolation of the field at `p`; clamps to the border
+    /// bins outside the region.
+    #[must_use]
+    pub fn sample(&self, p: Point) -> f64 {
+        let fx = (p.x - self.region.x_lo) / self.dx() - 0.5;
+        let fy = (p.y - self.region.y_lo) / self.dy() - 0.5;
+        let ix0 = fx.floor().clamp(0.0, (self.nx - 1) as f64) as usize;
+        let iy0 = fy.floor().clamp(0.0, (self.ny - 1) as f64) as usize;
+        let ix1 = (ix0 + 1).min(self.nx - 1);
+        let iy1 = (iy0 + 1).min(self.ny - 1);
+        let tx = (fx - ix0 as f64).clamp(0.0, 1.0);
+        let ty = (fy - iy0 as f64).clamp(0.0, 1.0);
+        let v00 = self.get(ix0, iy0);
+        let v10 = self.get(ix1, iy0);
+        let v01 = self.get(ix0, iy1);
+        let v11 = self.get(ix1, iy1);
+        v00 * (1.0 - tx) * (1.0 - ty)
+            + v10 * tx * (1.0 - ty)
+            + v01 * (1.0 - tx) * ty
+            + v11 * tx * ty
+    }
+
+    /// Deposits `area` units distributed over `rect ∩ region` with exact
+    /// per-bin rectangle overlap, normalized by bin area (so the deposit
+    /// reads as coverage density). No-op when the clamped rectangle is
+    /// empty.
+    pub fn deposit_rect(&mut self, rect: &Rect, density: f64) {
+        let Some(clipped) = rect.intersection(&self.region) else {
+            return;
+        };
+        let dx = self.dx();
+        let dy = self.dy();
+        let ix_lo = (((clipped.x_lo - self.region.x_lo) / dx).floor().max(0.0)) as usize;
+        let ix_hi = ((((clipped.x_hi - self.region.x_lo) / dx).ceil()) as usize).min(self.nx);
+        let iy_lo = (((clipped.y_lo - self.region.y_lo) / dy).floor().max(0.0)) as usize;
+        let iy_hi = ((((clipped.y_hi - self.region.y_lo) / dy).ceil()) as usize).min(self.ny);
+        let inv_bin_area = 1.0 / (dx * dy);
+        for iy in iy_lo..iy_hi {
+            let b_lo = self.region.y_lo + iy as f64 * dy;
+            let oy = interval_overlap(clipped.y_lo, clipped.y_hi, b_lo, b_lo + dy);
+            if oy <= 0.0 {
+                continue;
+            }
+            for ix in ix_lo..ix_hi {
+                let a_lo = self.region.x_lo + ix as f64 * dx;
+                let ox = interval_overlap(clipped.x_lo, clipped.x_hi, a_lo, a_lo + dx);
+                if ox > 0.0 {
+                    self.values[iy * self.nx + ix] += density * ox * oy * inv_bin_area;
+                }
+            }
+        }
+    }
+}
+
+/// Builds the density deviation `D(x,y)` of equation (4) on an `nx x ny`
+/// grid over the core region: demand (cell coverage, cells clamped into
+/// the core) minus supply (`s = total cell area / core area`, uniform),
+/// re-balanced to integrate to exactly zero.
+///
+/// Bin values are dimensionless coverage ratios: `0` where the local
+/// density equals the average, positive in overfull spots, negative in
+/// empty ones.
+#[must_use]
+pub fn density_map(netlist: &Netlist, placement: &Placement, nx: usize, ny: usize) -> ScalarMap {
+    let core = netlist.core_region();
+    let mut map = ScalarMap::zeros(core, nx, ny);
+    for (id, cell) in netlist.movable_cells() {
+        let r = placement.cell_rect(id, cell.size());
+        // Clamp escaped cells onto the core boundary so their demand still
+        // registers (and pushes them back inward).
+        let r = clamp_rect_into(&r, &core);
+        map.deposit_rect(&r, 1.0);
+    }
+    // Subtract the scaled supply: with the grid covering exactly the core,
+    // the supply is uniform; balancing also absorbs clamping artifacts.
+    map.balance();
+    map
+}
+
+/// Translates `r` so it lies inside `bounds` (shrinking is never needed for
+/// cells smaller than the core; larger rects stay centered).
+fn clamp_rect_into(r: &Rect, bounds: &Rect) -> Rect {
+    let mut sx = 0.0;
+    let mut sy = 0.0;
+    if r.width() <= bounds.width() {
+        if r.x_lo < bounds.x_lo {
+            sx = bounds.x_lo - r.x_lo;
+        } else if r.x_hi > bounds.x_hi {
+            sx = bounds.x_hi - r.x_hi;
+        }
+    }
+    if r.height() <= bounds.height() {
+        if r.y_lo < bounds.y_lo {
+            sy = bounds.y_lo - r.y_lo;
+        } else if r.y_hi > bounds.y_hi {
+            sy = bounds.y_hi - r.y_hi;
+        }
+    }
+    Rect::new(r.x_lo + sx, r.y_lo + sy, r.x_hi + sx, r.y_hi + sy)
+}
+
+/// Binary occupancy map: a bin counts as occupied when cells cover at
+/// least `threshold` of its area.
+#[must_use]
+pub fn occupancy_map(
+    netlist: &Netlist,
+    placement: &Placement,
+    nx: usize,
+    ny: usize,
+    threshold: f64,
+) -> ScalarMap {
+    let core = netlist.core_region();
+    let mut cover = ScalarMap::zeros(core, nx, ny);
+    for (id, cell) in netlist.movable_cells() {
+        let r = placement.cell_rect(id, cell.size());
+        cover.deposit_rect(&r, 1.0);
+    }
+    let mut occ = ScalarMap::zeros(core, nx, ny);
+    for iy in 0..ny {
+        for ix in 0..nx {
+            occ.set(ix, iy, f64::from(u8::from(cover.get(ix, iy) >= threshold)));
+        }
+    }
+    occ
+}
+
+/// Area of the largest empty axis-aligned square inside the core region —
+/// the quantity of the paper's stopping criterion (section 4.2: iterate
+/// until no empty square larger than 4x the average cell area exists).
+///
+/// `resolution` is the number of bins along the longer core edge; the
+/// answer is accurate to one bin. Uses the classic dynamic program for the
+/// maximal square of empty bins.
+#[must_use]
+pub fn largest_empty_square(
+    netlist: &Netlist,
+    placement: &Placement,
+    resolution: usize,
+) -> f64 {
+    let core = netlist.core_region();
+    let (nx, ny) = if core.width() >= core.height() {
+        let nx = resolution.max(2);
+        let ny = ((core.height() / core.width() * nx as f64).round() as usize).max(2);
+        (nx, ny)
+    } else {
+        let ny = resolution.max(2);
+        let nx = ((core.width() / core.height() * ny as f64).round() as usize).max(2);
+        (nx, ny)
+    };
+    let occ = occupancy_map(netlist, placement, nx, ny, 0.25);
+    // dp[iy][ix] = side length (in bins) of the largest empty square whose
+    // bottom-right corner is (ix, iy).
+    let mut dp = vec![0u32; nx * ny];
+    let mut best = 0u32;
+    for iy in 0..ny {
+        for ix in 0..nx {
+            if occ.get(ix, iy) > 0.0 {
+                continue;
+            }
+            let side = if ix == 0 || iy == 0 {
+                1
+            } else {
+                let a = dp[(iy - 1) * nx + ix];
+                let b = dp[iy * nx + ix - 1];
+                let c = dp[(iy - 1) * nx + ix - 1];
+                a.min(b).min(c) + 1
+            };
+            dp[iy * nx + ix] = side;
+            best = best.max(side);
+        }
+    }
+    let side_len = best as f64 * occ.dx().min(occ.dy());
+    side_len * side_len
+}
+
+/// Renders a scalar map as an SVG heat map (blue = minimum, red =
+/// maximum), `width_px` pixels wide. Intended for eyeballing density,
+/// congestion, and thermal maps; the examples write these next to their
+/// placement snapshots.
+#[must_use]
+pub fn svg_heatmap(map: &ScalarMap, width_px: f64) -> String {
+    use kraftwerk_geom::svg::SvgCanvas;
+    let mut canvas = SvgCanvas::new(map.region(), width_px);
+    let lo = map.min();
+    let hi = map.max();
+    let span = (hi - lo).max(1e-12);
+    for iy in 0..map.ny() {
+        for ix in 0..map.nx() {
+            let t = ((map.get(ix, iy) - lo) / span).clamp(0.0, 1.0);
+            // Blue (cold) to red (hot) through white.
+            let (r, g, b) = if t < 0.5 {
+                let u = t * 2.0;
+                (
+                    (60.0 + 195.0 * u) as u8,
+                    (90.0 + 165.0 * u) as u8,
+                    (200.0 + 55.0 * u) as u8,
+                )
+            } else {
+                let u = (t - 0.5) * 2.0;
+                (255, (255.0 - 175.0 * u) as u8, (255.0 - 195.0 * u) as u8)
+            };
+            canvas.rect(&map.bin_rect(ix, iy), &format!("#{r:02x}{g:02x}{b:02x}"), 1.0);
+        }
+    }
+    canvas.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kraftwerk_geom::Size;
+    use kraftwerk_netlist::{NetlistBuilder, PinDirection};
+
+    fn grid() -> ScalarMap {
+        ScalarMap::zeros(Rect::new(0.0, 0.0, 8.0, 4.0), 8, 4)
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let g = grid();
+        assert_eq!(g.dx(), 1.0);
+        assert_eq!(g.dy(), 1.0);
+        assert_eq!(g.bin_center(0, 0), Point::new(0.5, 0.5));
+        assert_eq!(g.bin_rect(1, 2), Rect::new(1.0, 2.0, 2.0, 3.0));
+        assert_eq!(g.bin_of(Point::new(3.5, 1.5)), (3, 1));
+        // clamped outside
+        assert_eq!(g.bin_of(Point::new(-5.0, 100.0)), (0, 3));
+    }
+
+    #[test]
+    fn deposit_whole_bin() {
+        let mut g = grid();
+        g.deposit_rect(&Rect::new(2.0, 1.0, 3.0, 2.0), 1.0);
+        assert_eq!(g.get(2, 1), 1.0);
+        assert_eq!(g.values().iter().sum::<f64>(), 1.0);
+    }
+
+    #[test]
+    fn deposit_split_across_bins() {
+        let mut g = grid();
+        g.deposit_rect(&Rect::new(1.5, 0.5, 2.5, 1.5), 1.0);
+        // Four quarter overlaps.
+        assert_eq!(g.get(1, 0), 0.25);
+        assert_eq!(g.get(2, 0), 0.25);
+        assert_eq!(g.get(1, 1), 0.25);
+        assert_eq!(g.get(2, 1), 0.25);
+    }
+
+    #[test]
+    fn deposit_outside_region_is_noop() {
+        let mut g = grid();
+        g.deposit_rect(&Rect::new(100.0, 100.0, 101.0, 101.0), 1.0);
+        assert!(g.values().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn deposit_conserves_area() {
+        let mut g = grid();
+        let r = Rect::new(0.3, 0.7, 5.9, 3.1);
+        g.deposit_rect(&r, 1.0);
+        let total: f64 = g.values().iter().sum::<f64>() * g.dx() * g.dy();
+        assert!((total - r.area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn balance_zeroes_the_mean() {
+        let mut g = grid();
+        g.set(0, 0, 32.0);
+        g.balance();
+        assert!(g.mean().abs() < 1e-12);
+        assert!((g.get(0, 0) - 31.0).abs() < 1e-12);
+        assert!((g.get(5, 2) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_interpolates_between_bin_centers() {
+        let mut g = ScalarMap::zeros(Rect::new(0.0, 0.0, 2.0, 1.0), 2, 1);
+        g.set(0, 0, 0.0);
+        g.set(1, 0, 10.0);
+        // midway between the two bin centers (0.5 and 1.5)
+        assert!((g.sample(Point::new(1.0, 0.5)) - 5.0).abs() < 1e-12);
+        // at/beyond the borders: clamped
+        assert_eq!(g.sample(Point::new(-1.0, 0.5)), 0.0);
+        assert_eq!(g.sample(Point::new(3.0, 0.5)), 10.0);
+    }
+
+    #[test]
+    fn add_scaled_and_scale() {
+        let mut a = grid();
+        let mut b = grid();
+        a.set(1, 1, 2.0);
+        b.set(1, 1, 3.0);
+        a.add_scaled(&b, 2.0);
+        assert_eq!(a.get(1, 1), 8.0);
+        a.scale(0.5);
+        assert_eq!(a.get(1, 1), 4.0);
+    }
+
+    fn clustered_netlist() -> (Netlist, Placement) {
+        let mut b = NetlistBuilder::new();
+        b.core_region(Rect::new(0.0, 0.0, 40.0, 40.0));
+        let ids: Vec<_> = (0..16)
+            .map(|i| b.add_cell(format!("c{i}"), Size::new(2.0, 2.0)))
+            .collect();
+        for w in ids.windows(2) {
+            b.add_net(
+                format!("n{}", w[0]),
+                [(w[0], PinDirection::Output), (w[1], PinDirection::Input)],
+            );
+        }
+        let nl = b.build().unwrap();
+        let p = nl.initial_placement(); // all at center
+        (nl, p)
+    }
+
+    #[test]
+    fn density_map_integrates_to_zero_and_peaks_at_cluster() {
+        let (nl, p) = clustered_netlist();
+        let d = density_map(&nl, &p, 10, 10);
+        assert!(d.integral().abs() < 1e-9);
+        // Peak must be at the center bins where all the cells sit.
+        let (cx, cy) = d.bin_of(nl.core_region().center());
+        let peak = d
+            .values()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| (i % 10, i / 10))
+            .unwrap();
+        let close = (peak.0 as i64 - cx as i64).abs() <= 1 && (peak.1 as i64 - cy as i64).abs() <= 1;
+        assert!(close, "peak at {peak:?}, cluster at ({cx},{cy})");
+        // Empty corners show negative deviation.
+        assert!(d.get(0, 0) < 0.0);
+    }
+
+    #[test]
+    fn density_map_counts_escaped_cells_on_the_boundary() {
+        let (nl, mut p) = clustered_netlist();
+        for id in nl.cell_ids() {
+            p.set_position(id, Point::new(-50.0, 20.0)); // far left of core
+        }
+        let d = density_map(&nl, &p, 10, 10);
+        // All demand lands in the left edge column.
+        let left: f64 = (0..10).map(|iy| d.get(0, iy)).sum();
+        let right: f64 = (0..10).map(|iy| d.get(9, iy)).sum();
+        assert!(left > right);
+        assert!(d.integral().abs() < 1e-9);
+    }
+
+    #[test]
+    fn largest_empty_square_sees_the_empty_chip() {
+        let (nl, p) = clustered_netlist();
+        // Everything is piled in the middle; almost half the chip is an
+        // empty square.
+        let area = largest_empty_square(&nl, &p, 40);
+        assert!(area > 0.1 * nl.core_region().area(), "area {area}");
+    }
+
+    #[test]
+    fn largest_empty_square_shrinks_when_spread() {
+        let (nl, mut p) = clustered_netlist();
+        // Spread cells on a 4x4 lattice covering the core.
+        let core = nl.core_region();
+        for (i, id) in nl.cell_ids().enumerate() {
+            let ix = i % 4;
+            let iy = i / 4;
+            p.set_position(
+                id,
+                Point::new(
+                    core.x_lo + (ix as f64 + 0.5) * core.width() / 4.0,
+                    core.y_lo + (iy as f64 + 0.5) * core.height() / 4.0,
+                ),
+            );
+        }
+        let spread = largest_empty_square(&nl, &p, 40);
+        let piled = largest_empty_square(&nl, &nl.initial_placement(), 40);
+        assert!(spread < piled, "spread {spread} piled {piled}");
+    }
+
+    #[test]
+    fn heatmap_renders_extremes() {
+        let mut g = ScalarMap::zeros(Rect::new(0.0, 0.0, 4.0, 4.0), 2, 2);
+        g.set(0, 0, -1.0);
+        g.set(1, 1, 1.0);
+        let svg = svg_heatmap(&g, 100.0);
+        assert!(svg.contains("<svg"));
+        // Cold corner renders blue-ish, hot corner red.
+        assert!(svg.contains("#3c5ac8"), "cold color missing: {svg}");
+        assert!(svg.contains("#ff503c"), "hot color missing");
+    }
+
+    #[test]
+    fn occupancy_threshold_matters() {
+        let (nl, p) = clustered_netlist();
+        let loose = occupancy_map(&nl, &p, 10, 10, 0.01);
+        let strict = occupancy_map(&nl, &p, 10, 10, 0.99);
+        let loose_count: f64 = loose.values().iter().sum();
+        let strict_count: f64 = strict.values().iter().sum();
+        assert!(loose_count >= strict_count);
+    }
+}

@@ -1,0 +1,166 @@
+//! Minimal SVG writer for visualising placements.
+//!
+//! Examples in the workspace emit `.svg` snapshots of placements so a user
+//! can eyeball the spreading behaviour of the force-directed iterations.
+//! This is a deliberately tiny subset of SVG (rectangles, lines, text) with
+//! no external dependencies.
+//!
+//! ```
+//! use kraftwerk_geom::svg::SvgCanvas;
+//! use kraftwerk_geom::Rect;
+//!
+//! let mut svg = SvgCanvas::new(Rect::new(0.0, 0.0, 100.0, 100.0), 400.0);
+//! svg.rect(&Rect::new(10.0, 10.0, 30.0, 20.0), "#4682b4", 0.8);
+//! let doc = svg.finish();
+//! assert!(doc.starts_with("<?xml"));
+//! assert!(doc.contains("<rect"));
+//! ```
+
+use crate::{Point, Rect};
+use std::fmt::Write as _;
+
+/// An in-memory SVG document mapping a world-space viewport to pixels.
+///
+/// The world y-axis points up (layout convention); SVG's points down, so the
+/// canvas flips y when emitting shapes.
+#[derive(Debug, Clone)]
+pub struct SvgCanvas {
+    viewport: Rect,
+    scale: f64,
+    width_px: f64,
+    height_px: f64,
+    body: String,
+}
+
+impl SvgCanvas {
+    /// Creates a canvas that renders `viewport` (world units) into an image
+    /// `width_px` pixels wide; height follows from the aspect ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the viewport has zero width or height.
+    #[must_use]
+    pub fn new(viewport: Rect, width_px: f64) -> Self {
+        assert!(viewport.width() > 0.0 && viewport.height() > 0.0, "degenerate viewport");
+        let scale = width_px / viewport.width();
+        let height_px = viewport.height() * scale;
+        Self {
+            viewport,
+            scale,
+            width_px,
+            height_px,
+            body: String::new(),
+        }
+    }
+
+    fn tx(&self, x: f64) -> f64 {
+        (x - self.viewport.x_lo) * self.scale
+    }
+
+    fn ty(&self, y: f64) -> f64 {
+        // Flip: world-up becomes SVG-down.
+        self.height_px - (y - self.viewport.y_lo) * self.scale
+    }
+
+    /// Draws a filled rectangle with the given CSS `fill` color and opacity.
+    pub fn rect(&mut self, r: &Rect, fill: &str, opacity: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<rect x="{:.2}" y="{:.2}" width="{:.2}" height="{:.2}" fill="{}" fill-opacity="{:.3}" stroke="black" stroke-width="0.3"/>"#,
+            self.tx(r.x_lo),
+            self.ty(r.y_hi),
+            r.width() * self.scale,
+            r.height() * self.scale,
+            fill,
+            opacity,
+        );
+    }
+
+    /// Draws a line segment.
+    pub fn line(&mut self, a: Point, b: Point, stroke: &str, width: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{:.2}" y1="{:.2}" x2="{:.2}" y2="{:.2}" stroke="{}" stroke-width="{:.2}"/>"#,
+            self.tx(a.x),
+            self.ty(a.y),
+            self.tx(b.x),
+            self.ty(b.y),
+            stroke,
+            width,
+        );
+    }
+
+    /// Draws text anchored at a world point.
+    pub fn text(&mut self, at: Point, size_px: f64, content: &str) {
+        let escaped = content
+            .replace('&', "&amp;")
+            .replace('<', "&lt;")
+            .replace('>', "&gt;");
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{:.2}" y="{:.2}" font-size="{:.1}" font-family="monospace">{}</text>"#,
+            self.tx(at.x),
+            self.ty(at.y),
+            size_px,
+            escaped,
+        );
+    }
+
+    /// Serializes the document; consumes the canvas.
+    #[must_use]
+    pub fn finish(self) -> String {
+        format!(
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"0 0 {:.0} {:.0}\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n{}</svg>\n",
+            self.width_px, self.height_px, self.width_px, self.height_px, self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn canvas() -> SvgCanvas {
+        SvgCanvas::new(Rect::new(0.0, 0.0, 100.0, 50.0), 200.0)
+    }
+
+    #[test]
+    fn canvas_dimensions_follow_aspect_ratio() {
+        let svg = canvas().finish();
+        assert!(svg.contains(r#"width="200" height="100""#));
+    }
+
+    #[test]
+    fn y_axis_is_flipped() {
+        let mut c = canvas();
+        // A rect at the bottom of the world should be at the bottom of the
+        // image, i.e. have a large SVG y.
+        c.rect(&Rect::new(0.0, 0.0, 10.0, 10.0), "red", 1.0);
+        let svg = c.finish();
+        // y_hi = 10 world -> SVG y = 100 - 20 = 80
+        assert!(svg.contains(r#"y="80.00""#), "svg was: {svg}");
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let mut c = canvas();
+        c.text(Point::new(1.0, 1.0), 10.0, "a<b&c>d");
+        let svg = c.finish();
+        assert!(svg.contains("a&lt;b&amp;c&gt;d"));
+    }
+
+    #[test]
+    fn lines_are_emitted() {
+        let mut c = canvas();
+        c.line(Point::new(0.0, 0.0), Point::new(100.0, 50.0), "blue", 1.0);
+        let svg = c.finish();
+        assert!(svg.contains("<line"));
+        assert!(svg.contains(r#"stroke="blue""#));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate viewport")]
+    fn degenerate_viewport_panics() {
+        let _ = SvgCanvas::new(Rect::new(0.0, 0.0, 0.0, 10.0), 100.0);
+    }
+}

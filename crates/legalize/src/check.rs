@@ -1,0 +1,144 @@
+//! Legality verification.
+
+use kraftwerk_netlist::{CellKind, Netlist, Placement};
+
+/// Outcome of a legality check.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LegalityReport {
+    /// Pairs of movable cells overlapping by more than the tolerance.
+    pub overlapping_pairs: usize,
+    /// Standard cells whose bottom edge is not on a row or whose height
+    /// does not match the row height.
+    pub off_row_cells: usize,
+    /// Movable cells extending beyond the core region.
+    pub out_of_core_cells: usize,
+    /// Total overlap area among movable cells.
+    pub overlap_area: f64,
+}
+
+impl LegalityReport {
+    /// Whether the placement satisfies all invariants.
+    #[must_use]
+    pub fn is_legal(&self) -> bool {
+        self.overlapping_pairs == 0 && self.off_row_cells == 0 && self.out_of_core_cells == 0
+    }
+}
+
+/// Checks row alignment, overlap freedom, and core containment of all
+/// movable cells. `tolerance` is the geometric slack (in layout units)
+/// allowed before a violation is counted.
+#[must_use]
+pub fn check_legality(netlist: &Netlist, placement: &Placement, tolerance: f64) -> LegalityReport {
+    let mut report = LegalityReport::default();
+    let core = netlist.core_region();
+
+    let mut rects = Vec::new();
+    for (id, cell) in netlist.movable_cells() {
+        let r = placement.cell_rect(id, cell.size());
+        if r.x_lo < core.x_lo - tolerance
+            || r.x_hi > core.x_hi + tolerance
+            || r.y_lo < core.y_lo - tolerance
+            || r.y_hi > core.y_hi + tolerance
+        {
+            report.out_of_core_cells += 1;
+        }
+        if cell.kind() == CellKind::Standard {
+            let on_row = netlist.rows().iter().any(|row| {
+                (r.y_lo - row.y).abs() <= tolerance
+                    && (cell.size().height - row.height).abs() <= tolerance
+            });
+            if !on_row {
+                report.off_row_cells += 1;
+            }
+        }
+        rects.push(r);
+    }
+
+    // Sweep over x for pairwise overlaps.
+    let mut order: Vec<usize> = (0..rects.len()).collect();
+    order.sort_by(|&a, &b| rects[a].x_lo.total_cmp(&rects[b].x_lo));
+    let mut active: Vec<usize> = Vec::new();
+    for &i in &order {
+        let r = rects[i];
+        active.retain(|&j| rects[j].x_hi > r.x_lo + tolerance);
+        for &j in &active {
+            let area = rects[j].overlap_area(&r);
+            let ox = (rects[j].x_hi.min(r.x_hi) - rects[j].x_lo.max(r.x_lo)).max(0.0);
+            let oy = (rects[j].y_hi.min(r.y_hi) - rects[j].y_lo.max(r.y_lo)).max(0.0);
+            if ox > tolerance && oy > tolerance {
+                report.overlapping_pairs += 1;
+                report.overlap_area += area;
+            }
+        }
+        active.push(i);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kraftwerk_geom::{Point, Rect, Size};
+    use kraftwerk_netlist::{NetlistBuilder, PinDirection};
+
+    fn two_cell_rowed() -> Netlist {
+        let mut b = NetlistBuilder::new();
+        b.core_region(Rect::new(0.0, 0.0, 40.0, 16.0));
+        b.rows(1, 16.0);
+        let a = b.add_cell("a", Size::new(8.0, 16.0));
+        let c = b.add_cell("c", Size::new(8.0, 16.0));
+        b.add_net("n", [(a, PinDirection::Output), (c, PinDirection::Input)]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn legal_placement_passes() {
+        let nl = two_cell_rowed();
+        let mut p = nl.initial_placement();
+        p.set_position(kraftwerk_netlist::CellId::from_index(0), Point::new(4.0, 8.0));
+        p.set_position(kraftwerk_netlist::CellId::from_index(1), Point::new(12.0, 8.0));
+        let report = check_legality(&nl, &p, 1e-9);
+        assert!(report.is_legal(), "{report:?}");
+    }
+
+    #[test]
+    fn overlap_is_detected() {
+        let nl = two_cell_rowed();
+        let mut p = nl.initial_placement();
+        p.set_position(kraftwerk_netlist::CellId::from_index(0), Point::new(4.0, 8.0));
+        p.set_position(kraftwerk_netlist::CellId::from_index(1), Point::new(10.0, 8.0));
+        let report = check_legality(&nl, &p, 1e-9);
+        assert_eq!(report.overlapping_pairs, 1);
+        assert!((report.overlap_area - 2.0 * 16.0).abs() < 1e-9);
+        assert!(!report.is_legal());
+    }
+
+    #[test]
+    fn off_row_is_detected() {
+        let nl = two_cell_rowed();
+        let mut p = nl.initial_placement();
+        p.set_position(kraftwerk_netlist::CellId::from_index(0), Point::new(4.0, 9.5));
+        p.set_position(kraftwerk_netlist::CellId::from_index(1), Point::new(20.0, 8.0));
+        let report = check_legality(&nl, &p, 1e-9);
+        assert_eq!(report.off_row_cells, 1);
+    }
+
+    #[test]
+    fn out_of_core_is_detected() {
+        let nl = two_cell_rowed();
+        let mut p = nl.initial_placement();
+        p.set_position(kraftwerk_netlist::CellId::from_index(0), Point::new(-4.0, 8.0));
+        p.set_position(kraftwerk_netlist::CellId::from_index(1), Point::new(20.0, 8.0));
+        let report = check_legality(&nl, &p, 1e-9);
+        assert_eq!(report.out_of_core_cells, 1);
+    }
+
+    #[test]
+    fn touching_cells_are_legal() {
+        let nl = two_cell_rowed();
+        let mut p = nl.initial_placement();
+        p.set_position(kraftwerk_netlist::CellId::from_index(0), Point::new(4.0, 8.0));
+        p.set_position(kraftwerk_netlist::CellId::from_index(1), Point::new(12.0, 8.0));
+        assert!(check_legality(&nl, &p, 1e-9).is_legal());
+    }
+}

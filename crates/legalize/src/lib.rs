@@ -1,0 +1,43 @@
+//! Row legalization and detailed refinement.
+//!
+//! The paper hands its global placements to Domino \[17\] for final
+//! (overlap-free) placement; this crate is the workspace's stand-in. It
+//! turns a spread-but-overlapping global placement into a legal row
+//! placement in two stages:
+//!
+//! 1. [`legalize`] — assigns every standard cell to a row segment and
+//!    packs each segment with the Abacus-style minimal-displacement
+//!    clustering algorithm (movable blocks and fixed macros become
+//!    obstacles that split rows into segments);
+//! 2. [`refine`] — detailed improvement passes (intra-row median
+//!    repositioning and adjacent-cell swaps) that keep the placement legal
+//!    while recovering wire length, standing in for Domino's network-flow
+//!    improvement.
+//!
+//! [`check_legality`] verifies the invariants the rest of the workspace
+//! relies on (no overlap, row alignment, inside the core).
+//!
+//! ```
+//! use kraftwerk_legalize::{legalize, check_legality, refine};
+//! use kraftwerk_netlist::synth::{generate, SynthConfig};
+//!
+//! let nl = generate(&SynthConfig::with_size("demo", 80, 100, 4));
+//! // Even the degenerate everything-at-the-center placement legalizes.
+//! let mut placement = legalize(&nl, &nl.initial_placement())?;
+//! assert!(check_legality(&nl, &placement, 1e-6).is_legal());
+//! refine(&nl, &mut placement, 2);
+//! assert!(check_legality(&nl, &placement, 1e-6).is_legal());
+//! # Ok::<(), kraftwerk_legalize::LegalizeError>(())
+//! ```
+
+mod abacus;
+mod check;
+mod refine;
+mod tetris;
+mod window;
+
+pub use abacus::{legalize, LegalizeError};
+pub use check::{check_legality, LegalityReport};
+pub use refine::refine;
+pub use tetris::legalize_tetris;
+pub use window::{hungarian, optimize_windows};

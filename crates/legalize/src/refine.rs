@@ -1,0 +1,232 @@
+//! Detailed placement refinement (the Domino stand-in).
+//!
+//! Works on a *legal* placement and keeps it legal: cells only slide
+//! within the free span between their row neighbours or swap with an
+//! adjacent cell when that shortens wire length.
+
+use kraftwerk_geom::Point;
+use kraftwerk_netlist::{metrics, CellId, CellKind, Netlist, Placement};
+use std::collections::BTreeSet;
+
+/// One row entry: a cell or an obstacle edge.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    cell: Option<CellId>,
+    x_lo: f64,
+    x_hi: f64,
+}
+
+/// Sum of the HPWLs of all nets touching the given cells.
+fn local_hpwl(netlist: &Netlist, placement: &Placement, cells: &[CellId]) -> f64 {
+    let mut nets = BTreeSet::new();
+    for &c in cells {
+        for &pid in netlist.cell(c).pins() {
+            nets.insert(netlist.pin(pid).net());
+        }
+    }
+    nets.iter().map(|&n| metrics::net_hpwl(netlist, placement, n)).sum()
+}
+
+/// Builds the per-row slot lists (cells in x order plus obstacle spans).
+fn build_rows(netlist: &Netlist, placement: &Placement) -> Vec<Vec<Slot>> {
+    let mut rows: Vec<Vec<Slot>> = vec![Vec::new(); netlist.rows().len()];
+    // Obstacles: fixed cells and blocks overlapping a row.
+    for (id, cell) in netlist.cells() {
+        let rect = match cell.kind() {
+            CellKind::Fixed => cell
+                .fixed_position()
+                .map(|p| kraftwerk_geom::Rect::from_center(p, cell.size())),
+            CellKind::Block => Some(placement.cell_rect(id, cell.size())),
+            CellKind::Standard => None,
+        };
+        let Some(rect) = rect else { continue };
+        for (ri, row) in netlist.rows().iter().enumerate() {
+            if rect.overlaps(&row.rect()) {
+                rows[ri].push(Slot {
+                    cell: None,
+                    x_lo: rect.x_lo,
+                    x_hi: rect.x_hi,
+                });
+            }
+        }
+    }
+    for (id, cell) in netlist.cells() {
+        if cell.kind() != CellKind::Standard {
+            continue;
+        }
+        let r = placement.cell_rect(id, cell.size());
+        let row_index = netlist
+            .rows()
+            .iter()
+            .position(|row| (r.y_lo - row.y).abs() < row.height * 0.5);
+        if let Some(ri) = row_index {
+            rows[ri].push(Slot {
+                cell: Some(id),
+                x_lo: r.x_lo,
+                x_hi: r.x_hi,
+            });
+        }
+    }
+    for row in &mut rows {
+        row.sort_by(|a, b| a.x_lo.total_cmp(&b.x_lo));
+    }
+    rows
+}
+
+/// Runs `passes` refinement passes (median repositioning within the free
+/// span, then adjacent swaps) and returns the total HPWL improvement.
+/// The placement stays legal if it was legal on entry.
+pub fn refine(netlist: &Netlist, placement: &mut Placement, passes: usize) -> f64 {
+    let before = metrics::hpwl(netlist, placement);
+    for _ in 0..passes {
+        let mut rows = build_rows(netlist, placement);
+        for (ri, row) in rows.iter_mut().enumerate() {
+            let row_geo = netlist.rows()[ri];
+            // Median repositioning. Slots are updated on every committed
+            // move so later cells see current neighbour positions.
+            for i in 0..row.len() {
+                let slot = row[i];
+                let Some(cell) = slot.cell else { continue };
+                let width = slot.x_hi - slot.x_lo;
+                let lo = if i == 0 { row_geo.x_lo } else { row[i - 1].x_hi };
+                let hi = if i + 1 == row.len() {
+                    row_geo.x_hi
+                } else {
+                    row[i + 1].x_lo
+                };
+                if hi - lo < width - 1e-9 {
+                    continue;
+                }
+                // Optimal x: median of the other-pin bound coordinates.
+                let mut bounds = Vec::new();
+                for &pid in netlist.cell(cell).pins() {
+                    let net = netlist.pin(pid).net();
+                    let mut min_o = f64::INFINITY;
+                    let mut max_o = f64::NEG_INFINITY;
+                    for &other in netlist.net(net).pins() {
+                        if netlist.pin(other).cell() == cell {
+                            continue;
+                        }
+                        let x = netlist.pin_position(other, placement).x;
+                        min_o = min_o.min(x);
+                        max_o = max_o.max(x);
+                    }
+                    if min_o.is_finite() {
+                        bounds.push(min_o);
+                        bounds.push(max_o);
+                    }
+                }
+                if bounds.is_empty() {
+                    continue;
+                }
+                bounds.sort_by(f64::total_cmp);
+                let median = bounds[bounds.len() / 2];
+                let lo_c = lo + width * 0.5;
+                let hi_c = (hi - width * 0.5).max(lo_c);
+                let target_center = median.clamp(lo_c, hi_c);
+                let old = placement.position(cell);
+                if (target_center - old.x).abs() < 1e-9 {
+                    continue;
+                }
+                let before_local = local_hpwl(netlist, placement, &[cell]);
+                placement.set_position(cell, Point::new(target_center, old.y));
+                let after_local = local_hpwl(netlist, placement, &[cell]);
+                if after_local > before_local {
+                    placement.set_position(cell, old);
+                } else {
+                    row[i] = Slot {
+                        cell: Some(cell),
+                        x_lo: target_center - width * 0.5,
+                        x_hi: target_center + width * 0.5,
+                    };
+                }
+            }
+        }
+
+        // Adjacent swaps (re-derive rows since cells moved). Slots are
+        // updated in place after every committed swap so later pairs see
+        // current coordinates.
+        let mut rows = build_rows(netlist, placement);
+        for row in &mut rows {
+            for i in 0..row.len().saturating_sub(1) {
+                let (Some(a), Some(b)) = (row[i].cell, row[i + 1].cell) else {
+                    continue;
+                };
+                let wa = row[i].x_hi - row[i].x_lo;
+                let wb = row[i + 1].x_hi - row[i + 1].x_lo;
+                let lo = row[i].x_lo;
+                let hi = row[i + 1].x_hi;
+                if wa + wb > hi - lo + 1e-9 {
+                    continue;
+                }
+                let pa = placement.position(a);
+                let pb = placement.position(b);
+                let before_local = local_hpwl(netlist, placement, &[a, b]);
+                // Swap: b takes the left span start, a abuts after it —
+                // the pair re-packs from the left edge of its old combined
+                // span, so it cannot collide with its neighbours.
+                placement.set_position(b, Point::new(lo + wb * 0.5, pb.y));
+                placement.set_position(a, Point::new(lo + wb + wa * 0.5, pa.y));
+                let after_local = local_hpwl(netlist, placement, &[a, b]);
+                if after_local >= before_local {
+                    placement.set_position(a, pa);
+                    placement.set_position(b, pb);
+                } else {
+                    row[i] = Slot {
+                        cell: Some(b),
+                        x_lo: lo,
+                        x_hi: lo + wb,
+                    };
+                    row[i + 1] = Slot {
+                        cell: Some(a),
+                        x_lo: lo + wb,
+                        x_hi: lo + wb + wa,
+                    };
+                }
+            }
+        }
+    }
+    before - metrics::hpwl(netlist, placement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abacus::legalize;
+    use crate::check::check_legality;
+    use kraftwerk_netlist::synth::{generate, SynthConfig};
+
+    #[test]
+    fn refinement_improves_and_stays_legal() {
+        let nl = generate(&SynthConfig::with_size("ref", 200, 260, 8));
+        let mut p = legalize(&nl, &nl.initial_placement()).unwrap();
+        assert!(check_legality(&nl, &p, 1e-6).is_legal());
+        let gain = refine(&nl, &mut p, 3);
+        assert!(gain > 0.0, "refinement should improve HPWL, got {gain}");
+        let report = check_legality(&nl, &p, 1e-6);
+        assert!(report.is_legal(), "{report:?}");
+    }
+
+    #[test]
+    fn refinement_is_monotone_in_hpwl() {
+        let nl = generate(&SynthConfig::with_size("mono", 150, 190, 6));
+        let mut p = legalize(&nl, &nl.initial_placement()).unwrap();
+        let h0 = metrics::hpwl(&nl, &p);
+        refine(&nl, &mut p, 1);
+        let h1 = metrics::hpwl(&nl, &p);
+        refine(&nl, &mut p, 1);
+        let h2 = metrics::hpwl(&nl, &p);
+        assert!(h1 <= h0 + 1e-9);
+        assert!(h2 <= h1 + 1e-9);
+    }
+
+    #[test]
+    fn zero_passes_is_a_noop() {
+        let nl = generate(&SynthConfig::with_size("noop", 100, 130, 5));
+        let mut p = legalize(&nl, &nl.initial_placement()).unwrap();
+        let q = p.clone();
+        let gain = refine(&nl, &mut p, 0);
+        assert_eq!(gain, 0.0);
+        assert_eq!(p, q);
+    }
+}

@@ -1,0 +1,410 @@
+//! Plain-text netlist and placement interchange format.
+//!
+//! A single-file sibling of the Bookshelf suite, sufficient to round-trip
+//! every netlist in this workspace:
+//!
+//! ```text
+//! kraftwerk-netlist 1
+//! name my_design
+//! core 0 0 400 400
+//! rows 10 16
+//! cell u1 8 16 std
+//! cell u2 8 16 std
+//! cell pad0 4 4 fixed 0 200
+//! net n1 1 u1:0:0:O u2:0:0:I
+//! net n2 2.5 u2:4:0:O pad0:0:0:I
+//! ```
+//!
+//! Placements are stored separately as `place <cell> <x> <y>` lines so a
+//! netlist file can be paired with many placements.
+
+pub mod bookshelf;
+
+use crate::builder::{BuildError, NetlistBuilder};
+use crate::ids::CellId;
+use crate::model::{CellKind, Netlist, PinDirection};
+use crate::placement::Placement;
+use kraftwerk_geom::{Point, Rect, Size, Vector};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Error while parsing the text format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number where the problem was detected.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+impl ParseError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+fn parse_f64(line: usize, tok: &str, what: &str) -> Result<f64, ParseError> {
+    tok.parse()
+        .map_err(|_| ParseError::new(line, format!("invalid {what} `{tok}`")))
+}
+
+/// Serializes a netlist to the text format.
+#[must_use]
+pub fn write_netlist(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "kraftwerk-netlist 1");
+    let _ = writeln!(out, "name {}", netlist.name());
+    let core = netlist.core_region();
+    let _ = writeln!(out, "core {} {} {} {}", core.x_lo, core.y_lo, core.x_hi, core.y_hi);
+    if let Some(row) = netlist.rows().first() {
+        let _ = writeln!(out, "rows {} {}", netlist.rows().len(), row.height);
+    }
+    for (_, cell) in netlist.cells() {
+        let _ = write!(out, "cell {} {} {} ", cell.name(), cell.size().width, cell.size().height);
+        match cell.kind() {
+            CellKind::Standard => out.push_str("std"),
+            CellKind::Block => out.push_str("block"),
+            CellKind::Fixed => {
+                let p = cell.fixed_position().expect("fixed cell has a position");
+                let _ = write!(out, "fixed {} {}", p.x, p.y);
+            }
+        }
+        if cell.power() != 0.0 {
+            let _ = write!(out, " power {}", cell.power());
+        }
+        if cell.delay() != 0.0 {
+            let _ = write!(out, " delay {}", cell.delay());
+        }
+        out.push('\n');
+    }
+    for (_, net) in netlist.nets() {
+        let _ = write!(out, "net {} {}", net.name(), net.weight());
+        for &pin_id in net.pins() {
+            let pin = netlist.pin(pin_id);
+            let cell = netlist.cell(pin.cell());
+            let dir = match pin.direction() {
+                PinDirection::Input => 'I',
+                PinDirection::Output => 'O',
+            };
+            let _ = write!(out, " {}:{}:{}:{}", cell.name(), pin.offset().x, pin.offset().y, dir);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a netlist from the text format.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] for malformed input and wraps [`BuildError`]
+/// diagnostics (reported on line 0) when the parsed netlist fails
+/// validation.
+pub fn read_netlist(text: &str) -> Result<Netlist, ParseError> {
+    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
+    let (first_no, first) = lines
+        .next()
+        .ok_or_else(|| ParseError::new(0, "empty input"))?;
+    if first != "kraftwerk-netlist 1" {
+        return Err(ParseError::new(first_no, "missing `kraftwerk-netlist 1` header"));
+    }
+    let mut builder = NetlistBuilder::new();
+    let mut by_name: HashMap<String, CellId> = HashMap::new();
+    for (no, line) in lines {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        let keyword = toks.next().expect("non-empty line has a first token");
+        let toks: Vec<&str> = toks.collect();
+        match keyword {
+            "name" => {
+                let name = toks.first().ok_or_else(|| ParseError::new(no, "name requires a value"))?;
+                builder.name(*name);
+            }
+            "core" => {
+                if toks.len() != 4 {
+                    return Err(ParseError::new(no, "core requires 4 coordinates"));
+                }
+                let v: Vec<f64> = toks
+                    .iter()
+                    .map(|t| parse_f64(no, t, "coordinate"))
+                    .collect::<Result<_, _>>()?;
+                builder.core_region(Rect::new(v[0], v[1], v[2], v[3]));
+            }
+            "rows" => {
+                if toks.len() != 2 {
+                    return Err(ParseError::new(no, "rows requires count and height"));
+                }
+                let count: usize = toks[0]
+                    .parse()
+                    .map_err(|_| ParseError::new(no, format!("invalid row count `{}`", toks[0])))?;
+                let height = parse_f64(no, toks[1], "row height")?;
+                builder.rows(count, height);
+            }
+            "cell" => {
+                if toks.len() < 4 {
+                    return Err(ParseError::new(no, "cell requires name, width, height, kind"));
+                }
+                let name = toks[0];
+                let w = parse_f64(no, toks[1], "width")?;
+                let h = parse_f64(no, toks[2], "height")?;
+                let size = Size::new(w, h);
+                let mut rest;
+                let id = match toks[3] {
+                    "std" => {
+                        rest = 4;
+                        builder.add_cell(name, size)
+                    }
+                    "block" => {
+                        rest = 4;
+                        builder.add_block(name, size)
+                    }
+                    "fixed" => {
+                        if toks.len() < 6 {
+                            return Err(ParseError::new(no, "fixed cell requires x and y"));
+                        }
+                        let x = parse_f64(no, toks[4], "x")?;
+                        let y = parse_f64(no, toks[5], "y")?;
+                        rest = 6;
+                        builder.add_fixed_cell(name, size, Point::new(x, y))
+                    }
+                    other => {
+                        return Err(ParseError::new(no, format!("unknown cell kind `{other}`")));
+                    }
+                };
+                while rest + 1 < toks.len() + 1 && rest < toks.len() {
+                    match toks[rest] {
+                        "power" => {
+                            let p = toks
+                                .get(rest + 1)
+                                .ok_or_else(|| ParseError::new(no, "power requires a value"))?;
+                            builder.set_power(id, parse_f64(no, p, "power")?);
+                            rest += 2;
+                        }
+                        "delay" => {
+                            let d = toks
+                                .get(rest + 1)
+                                .ok_or_else(|| ParseError::new(no, "delay requires a value"))?;
+                            builder.set_delay(id, parse_f64(no, d, "delay")?);
+                            rest += 2;
+                        }
+                        other => {
+                            return Err(ParseError::new(no, format!("unknown cell attribute `{other}`")));
+                        }
+                    }
+                }
+                if by_name.insert(name.to_owned(), id).is_some() {
+                    return Err(ParseError::new(no, format!("duplicate cell name `{name}`")));
+                }
+            }
+            "net" => {
+                if toks.len() < 4 {
+                    return Err(ParseError::new(no, "net requires name, weight, and >= 2 pins"));
+                }
+                let name = toks[0];
+                let weight = parse_f64(no, toks[1], "net weight")?;
+                let mut pins = Vec::new();
+                for pin_tok in &toks[2..] {
+                    let parts: Vec<&str> = pin_tok.split(':').collect();
+                    if parts.len() != 4 {
+                        return Err(ParseError::new(
+                            no,
+                            format!("pin `{pin_tok}` must be cell:dx:dy:dir"),
+                        ));
+                    }
+                    let cell = *by_name.get(parts[0]).ok_or_else(|| {
+                        ParseError::new(no, format!("unknown cell `{}` in net `{name}`", parts[0]))
+                    })?;
+                    let dx = parse_f64(no, parts[1], "pin dx")?;
+                    let dy = parse_f64(no, parts[2], "pin dy")?;
+                    let dir = match parts[3] {
+                        "I" => PinDirection::Input,
+                        "O" => PinDirection::Output,
+                        other => {
+                            return Err(ParseError::new(no, format!("invalid pin direction `{other}`")));
+                        }
+                    };
+                    pins.push((cell, Vector::new(dx, dy), dir));
+                }
+                builder.add_weighted_net(name, weight, pins);
+            }
+            other => {
+                return Err(ParseError::new(no, format!("unknown keyword `{other}`")));
+            }
+        }
+    }
+    builder
+        .build()
+        .map_err(|e: BuildError| ParseError::new(0, format!("netlist validation failed: {e}")))
+}
+
+/// Serializes a placement keyed by cell name.
+#[must_use]
+pub fn write_placement(netlist: &Netlist, placement: &Placement) -> String {
+    let mut out = String::new();
+    for (id, cell) in netlist.cells() {
+        let p = placement.position(id);
+        let _ = writeln!(out, "place {} {} {}", cell.name(), p.x, p.y);
+    }
+    out
+}
+
+/// Parses a placement for `netlist`; cells not mentioned keep their
+/// position from `netlist.initial_placement()`.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] for malformed lines or unknown cell names.
+pub fn read_placement(netlist: &Netlist, text: &str) -> Result<Placement, ParseError> {
+    let by_name: HashMap<&str, CellId> =
+        netlist.cells().map(|(id, c)| (c.name(), id)).collect();
+    let mut placement = netlist.initial_placement();
+    for (i, line) in text.lines().enumerate() {
+        let no = i + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if toks.len() != 4 || toks[0] != "place" {
+            return Err(ParseError::new(no, "expected `place <cell> <x> <y>`"));
+        }
+        let id = *by_name
+            .get(toks[1])
+            .ok_or_else(|| ParseError::new(no, format!("unknown cell `{}`", toks[1])))?;
+        let x = parse_f64(no, toks[2], "x")?;
+        let y = parse_f64(no, toks[3], "y")?;
+        placement.set_position(id, Point::new(x, y));
+    }
+    Ok(placement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{SynthConfig, generate};
+
+    fn sample() -> Netlist {
+        let mut b = NetlistBuilder::new();
+        b.name("sample");
+        b.core_region(Rect::new(0.0, 0.0, 40.0, 40.0));
+        b.rows(2, 16.0);
+        let a = b.add_cell("u1", Size::new(8.0, 16.0));
+        let c = b.add_block("blk", Size::new(12.0, 12.0));
+        let p = b.add_fixed_cell("pad0", Size::new(4.0, 4.0), Point::new(0.0, 20.0));
+        b.set_power(a, 1.5);
+        b.set_delay(a, 0.3);
+        b.add_weighted_net(
+            "n1",
+            2.0,
+            [
+                (a, Vector::new(1.0, 0.0), PinDirection::Output),
+                (c, Vector::ZERO, PinDirection::Input),
+                (p, Vector::ZERO, PinDirection::Input),
+            ],
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn netlist_roundtrip_preserves_structure() {
+        let nl = sample();
+        let text = write_netlist(&nl);
+        let back = read_netlist(&text).unwrap();
+        assert_eq!(back.name(), "sample");
+        assert_eq!(back.num_cells(), 3);
+        assert_eq!(back.num_nets(), 1);
+        assert_eq!(back.num_pins(), 3);
+        assert_eq!(back.rows().len(), 2);
+        assert_eq!(back.core_region(), nl.core_region());
+        let a = CellId::from_index(0);
+        assert_eq!(back.cell(a).power(), 1.5);
+        assert_eq!(back.cell(a).delay(), 0.3);
+        assert_eq!(back.net(crate::NetId::from_index(0)).weight(), 2.0);
+        assert_eq!(
+            back.pin(crate::PinId::from_index(0)).offset(),
+            Vector::new(1.0, 0.0)
+        );
+        assert_eq!(back.cell(CellId::from_index(2)).kind(), CellKind::Fixed);
+    }
+
+    #[test]
+    fn synthetic_netlist_roundtrips() {
+        let nl = generate(&SynthConfig::with_size("rt", 60, 80, 4));
+        let text = write_netlist(&nl);
+        let back = read_netlist(&text).unwrap();
+        assert_eq!(back.num_cells(), nl.num_cells());
+        assert_eq!(back.num_nets(), nl.num_nets());
+        assert_eq!(back.num_pins(), nl.num_pins());
+        // Serialization is deterministic and stable.
+        assert_eq!(write_netlist(&back), text);
+    }
+
+    #[test]
+    fn placement_roundtrip() {
+        let nl = sample();
+        let mut p = nl.initial_placement();
+        p.set_position(CellId::from_index(0), Point::new(7.0, 9.0));
+        let text = write_placement(&nl, &p);
+        let back = read_placement(&nl, &text).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn header_is_required() {
+        let err = read_netlist("bogus").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("header"));
+    }
+
+    #[test]
+    fn unknown_cell_in_net_is_reported_with_line() {
+        let text = "kraftwerk-netlist 1\ncore 0 0 10 10\nnet n1 1 ghost:0:0:O other:0:0:I\n";
+        let err = read_netlist(text).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("ghost"));
+    }
+
+    #[test]
+    fn duplicate_cell_name_is_rejected() {
+        let text = "kraftwerk-netlist 1\ncore 0 0 10 10\ncell a 1 1 std\ncell a 1 1 std\n";
+        let err = read_netlist(text).unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "kraftwerk-netlist 1\n# a comment\n\ncore 0 0 10 10\ncell a 1 1 std\ncell b 1 1 std\nnet n 1 a:0:0:O b:0:0:I\n";
+        let nl = read_netlist(text).unwrap();
+        assert_eq!(nl.num_cells(), 2);
+    }
+
+    #[test]
+    fn bad_pin_direction_is_reported() {
+        let text = "kraftwerk-netlist 1\ncore 0 0 10 10\ncell a 1 1 std\ncell b 1 1 std\nnet n 1 a:0:0:X b:0:0:I\n";
+        let err = read_netlist(text).unwrap_err();
+        assert!(err.message.contains("direction"));
+    }
+
+    #[test]
+    fn placement_with_unknown_cell_errors() {
+        let nl = sample();
+        let err = read_placement(&nl, "place nobody 1 2").unwrap_err();
+        assert!(err.message.contains("nobody"));
+    }
+}

@@ -1,0 +1,480 @@
+//! GSRC Bookshelf format support (`.aux`/`.nodes`/`.nets`/`.pl`/`.scl`).
+//!
+//! The Bookshelf suite is the standard interchange format of the academic
+//! placement community (the successor of the MCNC formats the paper's
+//! benchmarks were distributed in). This module writes and reads the
+//! row-based-placement subset sufficient to exchange every netlist in
+//! this workspace with external tools:
+//!
+//! * `.nodes` — cell names and dimensions (`terminal` marks pads),
+//! * `.nets` — pin lists with center-relative offsets and I/O directions,
+//! * `.pl` — placements (lower-left corners; `/FIXED` for pads),
+//! * `.scl` — standard-cell rows,
+//! * `.aux` — the index file tying them together.
+//!
+//! ```
+//! use kraftwerk_netlist::format::bookshelf;
+//! use kraftwerk_netlist::synth::{generate, SynthConfig};
+//!
+//! let nl = generate(&SynthConfig::with_size("bs", 60, 80, 4));
+//! let files = bookshelf::write(&nl, Some(&nl.initial_placement()));
+//! let (back, placement) = bookshelf::read(&files)?;
+//! assert_eq!(back.num_cells(), nl.num_cells());
+//! assert!(placement.is_some());
+//! # Ok::<(), bookshelf::BookshelfError>(())
+//! ```
+
+use crate::builder::NetlistBuilder;
+use crate::ids::CellId;
+use crate::model::{CellKind, Netlist, PinDirection};
+use crate::placement::Placement;
+use kraftwerk_geom::{Point, Rect, Size, Vector};
+use std::collections::{BTreeMap, HashMap};
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A Bookshelf design as an in-memory file set, keyed by extension
+/// (`"nodes"`, `"nets"`, `"pl"`, `"scl"`, `"aux"`).
+pub type Files = BTreeMap<String, String>;
+
+/// Bookshelf parsing failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BookshelfError {
+    /// Which file the problem is in (`nodes`, `nets`, …).
+    pub file: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for BookshelfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ".{}: {}", self.file, self.message)
+    }
+}
+
+impl Error for BookshelfError {}
+
+fn err(file: &str, message: impl Into<String>) -> BookshelfError {
+    BookshelfError {
+        file: file.to_owned(),
+        message: message.into(),
+    }
+}
+
+/// Content lines of a Bookshelf file: header and comments stripped.
+fn content_lines(text: &str) -> impl Iterator<Item = &str> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#') && !l.starts_with("UCLA"))
+}
+
+/// Serializes a netlist (and optionally a placement) to Bookshelf files.
+/// Pads always get `.pl` entries; movable cells only when `placement` is
+/// provided.
+#[must_use]
+pub fn write(netlist: &Netlist, placement: Option<&Placement>) -> Files {
+    let name = netlist.name();
+    let mut files = Files::new();
+
+    // .nodes
+    let mut nodes = String::from("UCLA nodes 1.0\n\n");
+    let terminals = netlist.num_cells() - netlist.num_movable();
+    let _ = writeln!(nodes, "NumNodes : {}", netlist.num_cells());
+    let _ = writeln!(nodes, "NumTerminals : {terminals}");
+    for (_, cell) in netlist.cells() {
+        let _ = write!(
+            nodes,
+            "   {} {} {}",
+            cell.name(),
+            cell.size().width,
+            cell.size().height
+        );
+        if cell.kind() == CellKind::Fixed {
+            nodes.push_str(" terminal");
+        }
+        nodes.push('\n');
+    }
+    files.insert("nodes".into(), nodes);
+
+    // .nets
+    let mut nets = String::from("UCLA nets 1.0\n\n");
+    let _ = writeln!(nets, "NumNets : {}", netlist.num_nets());
+    let _ = writeln!(nets, "NumPins : {}", netlist.num_pins());
+    for (_, net) in netlist.nets() {
+        let _ = writeln!(nets, "NetDegree : {} {}", net.degree(), net.name());
+        for &pid in net.pins() {
+            let pin = netlist.pin(pid);
+            let dir = match pin.direction() {
+                PinDirection::Input => 'I',
+                PinDirection::Output => 'O',
+            };
+            let _ = writeln!(
+                nets,
+                "   {} {} : {:.6} {:.6}",
+                netlist.cell(pin.cell()).name(),
+                dir,
+                pin.offset().x,
+                pin.offset().y
+            );
+        }
+    }
+    files.insert("nets".into(), nets);
+
+    // .pl — lower-left corners, Bookshelf convention.
+    let mut pl = String::from("UCLA pl 1.0\n\n");
+    for (id, cell) in netlist.cells() {
+        let center = match cell.kind() {
+            CellKind::Fixed => cell.fixed_position(),
+            _ => placement.map(|p| p.position(id)),
+        };
+        let Some(center) = center else { continue };
+        let ll = Point::new(
+            center.x - cell.size().width * 0.5,
+            center.y - cell.size().height * 0.5,
+        );
+        let _ = write!(pl, "{} {:.6} {:.6} : N", cell.name(), ll.x, ll.y);
+        if cell.kind() == CellKind::Fixed {
+            pl.push_str(" /FIXED");
+        }
+        pl.push('\n');
+    }
+    files.insert("pl".into(), pl);
+
+    // .scl
+    let mut scl = String::from("UCLA scl 1.0\n\n");
+    let _ = writeln!(scl, "NumRows : {}", netlist.rows().len());
+    for row in netlist.rows() {
+        let _ = writeln!(scl, "CoreRow Horizontal");
+        let _ = writeln!(scl, " Coordinate : {:.6}", row.y);
+        let _ = writeln!(scl, " Height : {:.6}", row.height);
+        let _ = writeln!(scl, " Sitewidth : 1");
+        let _ = writeln!(scl, " Sitespacing : 1");
+        let _ = writeln!(scl, " Siteorient : N");
+        let _ = writeln!(scl, " Sitesymmetry : Y");
+        let _ = writeln!(scl, " SubrowOrigin : {:.6} NumSites : {:.0}", row.x_lo, row.width());
+        let _ = writeln!(scl, "End");
+    }
+    files.insert("scl".into(), scl);
+
+    files.insert(
+        "aux".into(),
+        format!("RowBasedPlacement : {name}.nodes {name}.nets {name}.pl {name}.scl\n"),
+    );
+    files
+}
+
+/// Parses a Bookshelf file set back into a netlist and (when movable
+/// cells appear in the `.pl`) a placement.
+///
+/// # Errors
+///
+/// Returns [`BookshelfError`] for missing files or malformed content.
+#[allow(clippy::too_many_lines)]
+pub fn read(files: &Files) -> Result<(Netlist, Option<Placement>), BookshelfError> {
+    let get = |key: &str| {
+        files
+            .get(key)
+            .ok_or_else(|| err(key, "file missing from set"))
+    };
+
+    // --- .scl first: rows define the core region. -----------------------
+    let scl = get("scl")?;
+    struct RowSpec {
+        y: f64,
+        height: f64,
+        x_lo: f64,
+        width: f64,
+    }
+    let mut rows: Vec<RowSpec> = Vec::new();
+    let mut current: Option<RowSpec> = None;
+    for line in content_lines(scl) {
+        if line.starts_with("CoreRow") {
+            current = Some(RowSpec {
+                y: 0.0,
+                height: 0.0,
+                x_lo: 0.0,
+                width: 0.0,
+            });
+        } else if line == "End" {
+            if let Some(r) = current.take() {
+                rows.push(r);
+            }
+        } else if let Some(row) = current.as_mut() {
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            let value = |i: usize| -> Result<f64, BookshelfError> {
+                toks.get(i)
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err("scl", format!("bad row line `{line}`")))
+            };
+            match toks.first() {
+                Some(&"Coordinate") => row.y = value(2)?,
+                Some(&"Height") => row.height = value(2)?,
+                Some(&"SubrowOrigin") => {
+                    row.x_lo = value(2)?;
+                    // "SubrowOrigin : x NumSites : n"
+                    row.width = value(5)?;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // --- .nodes ----------------------------------------------------------
+    let nodes = get("nodes")?;
+    struct NodeSpec {
+        name: String,
+        size: Size,
+        terminal: bool,
+    }
+    let mut node_specs = Vec::new();
+    for line in content_lines(nodes) {
+        if line.starts_with("NumNodes") || line.starts_with("NumTerminals") {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if toks.len() < 3 {
+            return Err(err("nodes", format!("bad node line `{line}`")));
+        }
+        let width: f64 = toks[1]
+            .parse()
+            .map_err(|_| err("nodes", format!("bad width in `{line}`")))?;
+        let height: f64 = toks[2]
+            .parse()
+            .map_err(|_| err("nodes", format!("bad height in `{line}`")))?;
+        node_specs.push(NodeSpec {
+            name: toks[0].to_owned(),
+            size: Size::new(width, height),
+            terminal: toks.get(3) == Some(&"terminal"),
+        });
+    }
+
+    // --- .pl -------------------------------------------------------------
+    let pl = get("pl")?;
+    let mut positions: HashMap<String, Point> = HashMap::new();
+    for line in content_lines(pl) {
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if toks.len() < 3 {
+            return Err(err("pl", format!("bad placement line `{line}`")));
+        }
+        let x: f64 = toks[1]
+            .parse()
+            .map_err(|_| err("pl", format!("bad x in `{line}`")))?;
+        let y: f64 = toks[2]
+            .parse()
+            .map_err(|_| err("pl", format!("bad y in `{line}`")))?;
+        positions.insert(toks[0].to_owned(), Point::new(x, y));
+    }
+
+    // --- assemble the builder ---------------------------------------------
+    let mut builder = NetlistBuilder::new();
+    // Core region: bounding box of the rows (the Bookshelf convention).
+    let core = if rows.is_empty() {
+        return Err(err("scl", "no CoreRow entries"));
+    } else {
+        let x_lo = rows.iter().map(|r| r.x_lo).fold(f64::INFINITY, f64::min);
+        let x_hi = rows
+            .iter()
+            .map(|r| r.x_lo + r.width)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let y_lo = rows.iter().map(|r| r.y).fold(f64::INFINITY, f64::min);
+        let y_hi = rows
+            .iter()
+            .map(|r| r.y + r.height)
+            .fold(f64::NEG_INFINITY, f64::max);
+        Rect::new(x_lo, y_lo, x_hi, y_hi)
+    };
+    builder.core_region(core);
+    builder.rows(rows.len(), rows.first().map_or(0.0, |r| r.height));
+    builder.name("bookshelf");
+
+    let mut by_name: HashMap<String, CellId> = HashMap::new();
+    let mut movable_positions: Vec<(CellId, Point)> = Vec::new();
+    for spec in &node_specs {
+        let id = if spec.terminal {
+            let ll = positions.get(&spec.name).copied().ok_or_else(|| {
+                err("pl", format!("terminal `{}` has no placement", spec.name))
+            })?;
+            let center = Point::new(ll.x + spec.size.width * 0.5, ll.y + spec.size.height * 0.5);
+            builder.add_fixed_cell(&spec.name, spec.size, center)
+        } else {
+            let id = builder.add_cell(&spec.name, spec.size);
+            if let Some(ll) = positions.get(&spec.name) {
+                movable_positions.push((
+                    id,
+                    Point::new(ll.x + spec.size.width * 0.5, ll.y + spec.size.height * 0.5),
+                ));
+            }
+            id
+        };
+        if by_name.insert(spec.name.clone(), id).is_some() {
+            return Err(err("nodes", format!("duplicate node `{}`", spec.name)));
+        }
+    }
+
+    // --- .nets -------------------------------------------------------------
+    let nets = get("nets")?;
+    let mut lines = content_lines(nets).peekable();
+    let mut net_no = 0usize;
+    while let Some(line) = lines.next() {
+        if line.starts_with("NumNets") || line.starts_with("NumPins") {
+            continue;
+        }
+        let Some(rest) = line.strip_prefix("NetDegree") else {
+            return Err(err("nets", format!("expected NetDegree, got `{line}`")));
+        };
+        let toks: Vec<&str> = rest
+            .trim_start_matches([' ', ':'])
+            .split_whitespace()
+            .collect();
+        let degree: usize = toks
+            .first()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| err("nets", format!("bad NetDegree `{line}`")))?;
+        let name = toks
+            .get(1)
+            .map_or_else(|| format!("n{net_no}"), |s| (*s).to_owned());
+        let mut pins = Vec::with_capacity(degree);
+        for _ in 0..degree {
+            let pin_line = lines
+                .next()
+                .ok_or_else(|| err("nets", format!("net `{name}` truncated")))?;
+            let toks: Vec<&str> = pin_line.split_whitespace().collect();
+            if toks.len() < 2 {
+                return Err(err("nets", format!("bad pin line `{pin_line}`")));
+            }
+            let cell = *by_name
+                .get(toks[0])
+                .ok_or_else(|| err("nets", format!("unknown node `{}`", toks[0])))?;
+            let direction = match toks[1] {
+                "O" => PinDirection::Output,
+                _ => PinDirection::Input,
+            };
+            let (dx, dy) = if toks.len() >= 5 {
+                (
+                    toks[3].parse().unwrap_or(0.0),
+                    toks[4].parse().unwrap_or(0.0),
+                )
+            } else {
+                (0.0, 0.0)
+            };
+            pins.push((cell, Vector::new(dx, dy), direction));
+        }
+        builder.add_weighted_net(name, 1.0, pins);
+        net_no += 1;
+    }
+
+    let netlist = builder
+        .build()
+        .map_err(|e| err("nets", format!("validation failed: {e}")))?;
+    let placement = if movable_positions.is_empty() {
+        None
+    } else {
+        let mut p = netlist.initial_placement();
+        for (id, at) in movable_positions {
+            p.set_position(id, at);
+        }
+        Some(p)
+    };
+    Ok((netlist, placement))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use crate::synth::{generate, SynthConfig};
+
+    fn sample() -> Netlist {
+        generate(&SynthConfig::with_size("bs", 80, 100, 4))
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let nl = sample();
+        let files = write(&nl, None);
+        assert!(files.contains_key("aux"));
+        let (back, placement) = read(&files).unwrap();
+        assert_eq!(back.num_cells(), nl.num_cells());
+        assert_eq!(back.num_nets(), nl.num_nets());
+        assert_eq!(back.num_pins(), nl.num_pins());
+        assert_eq!(back.rows().len(), nl.rows().len());
+        assert!(placement.is_none(), "no movable placement was written");
+    }
+
+    #[test]
+    fn roundtrip_preserves_placement_and_hpwl() {
+        let nl = sample();
+        let original = nl.initial_placement();
+        let files = write(&nl, Some(&original));
+        let (back, placement) = read(&files).unwrap();
+        let placement = placement.expect("movable placement present");
+        let a = metrics::hpwl(&nl, &original);
+        let b = metrics::hpwl(&back, &placement);
+        assert!((a - b).abs() < 1e-3 * a.max(1.0), "hpwl {a} vs {b}");
+    }
+
+    #[test]
+    fn terminals_roundtrip_as_fixed_cells() {
+        let nl = sample();
+        let files = write(&nl, None);
+        let (back, _) = read(&files).unwrap();
+        let fixed_before = nl.num_cells() - nl.num_movable();
+        let fixed_after = back.num_cells() - back.num_movable();
+        assert_eq!(fixed_before, fixed_after);
+        // Pad positions survive.
+        for (id, cell) in nl.cells() {
+            if cell.kind() == CellKind::Fixed {
+                let other = back
+                    .cells()
+                    .find(|(_, c)| c.name() == cell.name())
+                    .expect("pad present");
+                let a = cell.fixed_position().unwrap();
+                let b = other.1.fixed_position().unwrap();
+                assert!(a.distance(b) < 1e-6, "{} moved: {a} vs {b}", cell.name());
+                let _ = id;
+            }
+        }
+    }
+
+    #[test]
+    fn missing_file_is_reported() {
+        let nl = sample();
+        let mut files = write(&nl, None);
+        files.remove("nets");
+        let e = read(&files).unwrap_err();
+        assert_eq!(e.file, "nets");
+    }
+
+    #[test]
+    fn malformed_nodes_line_is_reported() {
+        let nl = sample();
+        let mut files = write(&nl, None);
+        files.insert("nodes".into(), "UCLA nodes 1.0\nbogus\n".into());
+        let e = read(&files).unwrap_err();
+        assert_eq!(e.file, "nodes");
+        assert!(e.message.contains("bogus"));
+    }
+
+    #[test]
+    fn unknown_node_in_net_is_reported() {
+        let nl = sample();
+        let mut files = write(&nl, None);
+        let nets = files["nets"].replace("   u1 ", "   ghost ");
+        files.insert("nets".into(), nets);
+        let e = read(&files).unwrap_err();
+        assert_eq!(e.file, "nets");
+        assert!(e.message.contains("ghost"));
+    }
+
+    #[test]
+    fn scl_rows_roundtrip() {
+        let nl = sample();
+        let files = write(&nl, None);
+        let (back, _) = read(&files).unwrap();
+        for (a, b) in nl.rows().iter().zip(back.rows()) {
+            assert!((a.y - b.y).abs() < 1e-6);
+            assert!((a.height - b.height).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Typed indices into the netlist arenas.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Creates an id from a raw index. Intended for code that walks
+            /// parallel arrays indexed by this id type; passing an index not
+            /// obtained from the owning [`crate::Netlist`] yields panics or
+            /// nonsense on later lookups.
+            #[must_use]
+            pub fn from_index(index: usize) -> Self {
+                Self(u32::try_from(index).expect("id index exceeds u32"))
+            }
+
+            /// The raw index, usable with parallel arrays.
+            #[must_use]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a cell (movable cell, macro block, or fixed pad).
+    CellId,
+    "c"
+);
+define_id!(
+    /// Identifier of a net.
+    NetId,
+    "n"
+);
+define_id!(
+    /// Identifier of a pin (one cell–net incidence).
+    PinId,
+    "p"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_format() {
+        let c = CellId::from_index(7);
+        assert_eq!(c.index(), 7);
+        assert_eq!(format!("{c}"), "c7");
+        assert_eq!(format!("{c:?}"), "c7");
+        assert_eq!(format!("{}", NetId::from_index(3)), "n3");
+        assert_eq!(format!("{}", PinId::from_index(0)), "p0");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(CellId::from_index(1));
+        set.insert(CellId::from_index(1));
+        set.insert(CellId::from_index(2));
+        assert_eq!(set.len(), 2);
+        assert!(CellId::from_index(1) < CellId::from_index(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "id index exceeds u32")]
+    fn oversized_index_panics() {
+        let _ = CellId::from_index(usize::MAX);
+    }
+}

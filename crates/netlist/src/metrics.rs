@@ -1,0 +1,263 @@
+//! Wire-length and overlap metrics.
+//!
+//! The paper measures quality as the sum over all nets of the half
+//! perimeter of the pins' enclosing rectangle ([`hpwl`], section 6) and
+//! optimizes the quadratic clique objective ([`quadratic_wire_length`],
+//! section 2.1). Overlap metrics quantify how far a global placement is
+//! from legality.
+
+use crate::ids::NetId;
+use crate::model::Netlist;
+use crate::placement::Placement;
+use kraftwerk_geom::BoundingBox;
+
+/// Bounding box of a net's pins under a placement.
+#[must_use]
+pub fn net_bounding_box(netlist: &Netlist, placement: &Placement, net: NetId) -> BoundingBox {
+    netlist
+        .net(net)
+        .pins()
+        .iter()
+        .map(|&p| netlist.pin_position(p, placement))
+        .collect()
+}
+
+/// Half-perimeter wire length of a single net.
+#[must_use]
+pub fn net_hpwl(netlist: &Netlist, placement: &Placement, net: NetId) -> f64 {
+    net_bounding_box(netlist, placement, net).half_perimeter()
+}
+
+/// Total half-perimeter wire length over all nets — the paper's reported
+/// quality metric (unweighted).
+#[must_use]
+pub fn hpwl(netlist: &Netlist, placement: &Placement) -> f64 {
+    netlist.net_ids().map(|n| net_hpwl(netlist, placement, n)).sum()
+}
+
+/// Total half-perimeter wire length with each net scaled by its static
+/// weight; used by timing-driven flows to report the weighted objective.
+#[must_use]
+pub fn weighted_hpwl(netlist: &Netlist, placement: &Placement) -> f64 {
+    netlist
+        .nets()
+        .map(|(id, net)| net.weight() * net_hpwl(netlist, placement, id))
+        .sum()
+}
+
+/// The quadratic clique objective of section 2.1: for each net of degree
+/// `k`, the sum over all `k(k-1)/2` cell pairs of the squared Euclidean
+/// pin distance, each weighted `w_net / k`.
+#[must_use]
+pub fn quadratic_wire_length(netlist: &Netlist, placement: &Placement) -> f64 {
+    let mut total = 0.0;
+    for (id, net) in netlist.nets() {
+        let k = net.degree();
+        if k < 2 {
+            continue;
+        }
+        let w = net.weight() / k as f64;
+        let pts: Vec<_> = net
+            .pins()
+            .iter()
+            .map(|&p| netlist.pin_position(p, placement))
+            .collect();
+        let mut acc = 0.0;
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                acc += pts[i].distance_sq(pts[j]);
+            }
+        }
+        total += w * acc;
+        let _ = id;
+    }
+    total
+}
+
+/// Exact total pairwise overlap area among movable cells, computed with a
+/// sweep over x. `O(n log n + k)` where `k` is the number of overlapping
+/// pairs — fine for legality checking, not intended for inner loops.
+#[must_use]
+pub fn total_overlap_area(netlist: &Netlist, placement: &Placement) -> f64 {
+    let mut rects: Vec<_> = netlist
+        .movable_cells()
+        .map(|(id, cell)| placement.cell_rect(id, cell.size()))
+        .collect();
+    rects.sort_by(|a, b| a.x_lo.total_cmp(&b.x_lo));
+    let mut total = 0.0;
+    let mut active: Vec<usize> = Vec::new();
+    for i in 0..rects.len() {
+        let r = rects[i];
+        active.retain(|&j| rects[j].x_hi > r.x_lo);
+        for &j in &active {
+            total += rects[j].overlap_area(&r);
+        }
+        active.push(i);
+    }
+    total
+}
+
+/// Overlap area normalized by total movable cell area; 0.0 means fully
+/// legal (ignoring row alignment), values near 1.0 mean cells are piled on
+/// top of each other.
+#[must_use]
+pub fn overlap_ratio(netlist: &Netlist, placement: &Placement) -> f64 {
+    let area = netlist.total_movable_area();
+    if area <= 0.0 {
+        0.0
+    } else {
+        total_overlap_area(netlist, placement) / area
+    }
+}
+
+/// Fraction of movable-cell area lying outside the core region.
+#[must_use]
+pub fn out_of_core_ratio(netlist: &Netlist, placement: &Placement) -> f64 {
+    let core = netlist.core_region();
+    let mut outside = 0.0;
+    let mut total = 0.0;
+    for (id, cell) in netlist.movable_cells() {
+        let r = placement.cell_rect(id, cell.size());
+        total += r.area();
+        outside += r.area() - r.overlap_area(&core);
+    }
+    if total <= 0.0 {
+        0.0
+    } else {
+        outside / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::model::PinDirection;
+    use kraftwerk_geom::{Point, Rect, Size, Vector};
+
+    fn two_cell_netlist() -> (Netlist, Placement) {
+        let mut b = NetlistBuilder::new();
+        b.core_region(Rect::new(0.0, 0.0, 100.0, 100.0));
+        let a = b.add_cell("a", Size::new(4.0, 4.0));
+        let c = b.add_cell("c", Size::new(4.0, 4.0));
+        b.add_net("n", [(a, PinDirection::Output), (c, PinDirection::Input)]);
+        let nl = b.build().unwrap();
+        let mut p = nl.initial_placement();
+        p.set_position(a, Point::new(10.0, 10.0));
+        p.set_position(c, Point::new(13.0, 14.0));
+        (nl, p)
+    }
+
+    #[test]
+    fn hpwl_of_two_pin_net_is_manhattan_distance() {
+        let (nl, p) = two_cell_netlist();
+        assert!((hpwl(&nl, &p) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_hpwl_scales_with_net_weight() {
+        let mut b = NetlistBuilder::new();
+        b.core_region(Rect::new(0.0, 0.0, 100.0, 100.0));
+        let a = b.add_cell("a", Size::new(4.0, 4.0));
+        let c = b.add_cell("c", Size::new(4.0, 4.0));
+        b.add_weighted_net(
+            "n",
+            3.0,
+            [
+                (a, Vector::ZERO, PinDirection::Output),
+                (c, Vector::ZERO, PinDirection::Input),
+            ],
+        );
+        let nl = b.build().unwrap();
+        let mut p = nl.initial_placement();
+        p.set_position(a, Point::new(0.0, 0.0));
+        p.set_position(c, Point::new(1.0, 1.0));
+        assert!((hpwl(&nl, &p) - 2.0).abs() < 1e-12);
+        assert!((weighted_hpwl(&nl, &p) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadratic_length_matches_hand_computation() {
+        let (nl, p) = two_cell_netlist();
+        // one net, k = 2, weight 1/2, distance^2 = 9 + 16 = 25
+        assert!((quadratic_wire_length(&nl, &p) - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pin_offsets_affect_hpwl() {
+        let mut b = NetlistBuilder::new();
+        b.core_region(Rect::new(0.0, 0.0, 100.0, 100.0));
+        let a = b.add_cell("a", Size::new(4.0, 4.0));
+        let c = b.add_cell("c", Size::new(4.0, 4.0));
+        b.add_weighted_net(
+            "n",
+            1.0,
+            [
+                (a, Vector::new(2.0, 0.0), PinDirection::Output),
+                (c, Vector::new(-2.0, 0.0), PinDirection::Input),
+            ],
+        );
+        let nl = b.build().unwrap();
+        let mut p = nl.initial_placement();
+        p.set_position(a, Point::new(0.0, 0.0));
+        p.set_position(c, Point::new(10.0, 0.0));
+        // pins at x = 2 and x = 8
+        assert!((hpwl(&nl, &p) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_of_identical_positions_is_cell_area() {
+        let (nl, mut p) = two_cell_netlist();
+        p.set_position(crate::CellId::from_index(1), Point::new(10.0, 10.0));
+        assert!((total_overlap_area(&nl, &p) - 16.0).abs() < 1e-12);
+        assert!((overlap_ratio(&nl, &p) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_of_disjoint_cells_is_zero() {
+        let (nl, p) = two_cell_netlist();
+        // centers 10,10 and 13,14: 4x4 cells overlap in x (8..12 vs 11..15)
+        // and y? y: 8..12 vs 12..16 touch only -> zero area.
+        assert_eq!(total_overlap_area(&nl, &p), 0.0);
+    }
+
+    #[test]
+    fn out_of_core_detects_escapees() {
+        let (nl, mut p) = two_cell_netlist();
+        p.set_position(crate::CellId::from_index(0), Point::new(-10.0, 50.0));
+        // cell a fully outside, cell c fully inside -> 50% of area outside
+        assert!((out_of_core_ratio(&nl, &p) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_sweep_matches_brute_force_on_cluster() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        let mut b = NetlistBuilder::new();
+        b.core_region(Rect::new(0.0, 0.0, 50.0, 50.0));
+        let n = 40;
+        let ids: Vec<_> = (0..n)
+            .map(|i| b.add_cell(format!("c{i}"), Size::new(3.0, 4.0)))
+            .collect();
+        for i in 0..n - 1 {
+            b.add_net(
+                format!("n{i}"),
+                [(ids[i], PinDirection::Output), (ids[i + 1], PinDirection::Input)],
+            );
+        }
+        let nl = b.build().unwrap();
+        let mut p = nl.initial_placement();
+        for &id in &ids {
+            p.set_position(id, Point::new(rng.gen_range(0.0..20.0), rng.gen_range(0.0..20.0)));
+        }
+        let mut brute = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let ri = p.cell_rect(ids[i], nl.cell(ids[i]).size());
+                let rj = p.cell_rect(ids[j], nl.cell(ids[j]).size());
+                brute += ri.overlap_area(&rj);
+            }
+        }
+        assert!((total_overlap_area(&nl, &p) - brute).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,517 @@
+//! Core netlist arena: cells, nets, pins, rows.
+
+use crate::ids::{CellId, NetId, PinId};
+use crate::placement::Placement;
+use kraftwerk_geom::{Point, Rect, Size, Vector};
+
+/// What kind of object a cell is. The paper's headline claim is that the
+/// algorithm treats all three identically during global placement; the
+/// distinction matters to legalization and to which cells may move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CellKind {
+    /// A movable standard cell, legalized into rows.
+    #[default]
+    Standard,
+    /// A movable macro block (floorplanning); not snapped into rows.
+    Block,
+    /// An immovable object (I/O pad or pre-placed macro) with a fixed
+    /// location.
+    Fixed,
+}
+
+/// Signal direction of a pin as seen from its cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PinDirection {
+    /// The pin is driven by the net (a cell input).
+    Input,
+    /// The pin drives the net (a cell output).
+    Output,
+}
+
+/// A cell: movable standard cell, movable block, or fixed pad.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    pub(crate) name: String,
+    pub(crate) size: Size,
+    pub(crate) kind: CellKind,
+    pub(crate) fixed_pos: Option<Point>,
+    pub(crate) power: f64,
+    pub(crate) delay: f64,
+    pub(crate) pins: Vec<PinId>,
+}
+
+impl Cell {
+    /// The cell's name as given at construction.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Cell dimensions.
+    #[must_use]
+    pub fn size(&self) -> Size {
+        self.size
+    }
+
+    /// Footprint area.
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.size.area()
+    }
+
+    /// Cell kind (standard / block / fixed).
+    #[must_use]
+    pub fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// Whether the placer may move this cell.
+    #[must_use]
+    pub fn is_movable(&self) -> bool {
+        self.kind != CellKind::Fixed
+    }
+
+    /// Center location for fixed cells, `None` for movable ones.
+    #[must_use]
+    pub fn fixed_position(&self) -> Option<Point> {
+        self.fixed_pos
+    }
+
+    /// Switching power estimate (arbitrary units), consumed by the
+    /// heat-driven placement mode.
+    #[must_use]
+    pub fn power(&self) -> f64 {
+        self.power
+    }
+
+    /// Intrinsic gate delay in nanoseconds, consumed by timing analysis.
+    #[must_use]
+    pub fn delay(&self) -> f64 {
+        self.delay
+    }
+
+    /// Pins attached to this cell.
+    #[must_use]
+    pub fn pins(&self) -> &[PinId] {
+        &self.pins
+    }
+}
+
+/// A net connecting two or more pins.
+#[derive(Debug, Clone)]
+pub struct Net {
+    pub(crate) name: String,
+    pub(crate) weight: f64,
+    pub(crate) pins: Vec<PinId>,
+}
+
+impl Net {
+    /// The net's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Static net weight (default 1.0). Timing-driven flows multiply this
+    /// by the iteratively updated criticality weight.
+    #[must_use]
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// The pins on this net.
+    #[must_use]
+    pub fn pins(&self) -> &[PinId] {
+        &self.pins
+    }
+
+    /// Number of pins (the `k` of the paper's `1/k` clique weight).
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.pins.len()
+    }
+}
+
+/// One cell–net incidence.
+#[derive(Debug, Clone, Copy)]
+pub struct Pin {
+    pub(crate) cell: CellId,
+    pub(crate) net: NetId,
+    pub(crate) offset: Vector,
+    pub(crate) direction: PinDirection,
+}
+
+impl Pin {
+    /// The cell this pin belongs to.
+    #[must_use]
+    pub fn cell(&self) -> CellId {
+        self.cell
+    }
+
+    /// The net this pin belongs to.
+    #[must_use]
+    pub fn net(&self) -> NetId {
+        self.net
+    }
+
+    /// Pin offset from the cell center.
+    #[must_use]
+    pub fn offset(&self) -> Vector {
+        self.offset
+    }
+
+    /// Signal direction.
+    #[must_use]
+    pub fn direction(&self) -> PinDirection {
+        self.direction
+    }
+}
+
+/// A standard-cell row of the core region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Row {
+    /// Bottom y coordinate of the row.
+    pub y: f64,
+    /// Row (and cell) height.
+    pub height: f64,
+    /// Left end of the row.
+    pub x_lo: f64,
+    /// Right end of the row.
+    pub x_hi: f64,
+}
+
+impl Row {
+    /// Horizontal capacity of the row.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.x_hi - self.x_lo
+    }
+
+    /// The row's area as a rectangle.
+    #[must_use]
+    pub fn rect(&self) -> Rect {
+        Rect::new(self.x_lo, self.y, self.x_hi, self.y + self.height)
+    }
+
+    /// Vertical center of the row.
+    #[must_use]
+    pub fn center_y(&self) -> f64 {
+        self.y + self.height * 0.5
+    }
+}
+
+/// An immutable gate-level netlist with its placement region.
+///
+/// Construct one through [`crate::NetlistBuilder`], the text format in
+/// [`crate::format`], or the generators in [`crate::synth`].
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    pub(crate) name: String,
+    pub(crate) cells: Vec<Cell>,
+    pub(crate) nets: Vec<Net>,
+    pub(crate) pins: Vec<Pin>,
+    pub(crate) rows: Vec<Row>,
+    pub(crate) core: Rect,
+    pub(crate) num_movable: usize,
+}
+
+impl Netlist {
+    /// Design name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of cells of all kinds (movable + fixed).
+    #[must_use]
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of movable cells (standard cells and blocks).
+    #[must_use]
+    pub fn num_movable(&self) -> usize {
+        self.num_movable
+    }
+
+    /// Number of nets.
+    #[must_use]
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of pins.
+    #[must_use]
+    pub fn num_pins(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// Looks up a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this netlist.
+    #[must_use]
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// Looks up a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this netlist.
+    #[must_use]
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Looks up a pin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this netlist.
+    #[must_use]
+    pub fn pin(&self, id: PinId) -> &Pin {
+        &self.pins[id.index()]
+    }
+
+    /// Iterates over all cells with their ids.
+    pub fn cells(&self) -> impl Iterator<Item = (CellId, &Cell)> + '_ {
+        self.cells.iter().enumerate().map(|(i, c)| (CellId::from_index(i), c))
+    }
+
+    /// Iterates over all cell ids.
+    pub fn cell_ids(&self) -> impl Iterator<Item = CellId> {
+        (0..self.cells.len()).map(CellId::from_index)
+    }
+
+    /// Iterates over movable cells only.
+    pub fn movable_cells(&self) -> impl Iterator<Item = (CellId, &Cell)> + '_ {
+        self.cells().filter(|(_, c)| c.is_movable())
+    }
+
+    /// Iterates over all nets with their ids.
+    pub fn nets(&self) -> impl Iterator<Item = (NetId, &Net)> + '_ {
+        self.nets.iter().enumerate().map(|(i, n)| (NetId::from_index(i), n))
+    }
+
+    /// Iterates over all net ids.
+    pub fn net_ids(&self) -> impl Iterator<Item = NetId> {
+        (0..self.nets.len()).map(NetId::from_index)
+    }
+
+    /// Iterates over all pins with their ids.
+    pub fn pins(&self) -> impl Iterator<Item = (PinId, &Pin)> + '_ {
+        self.pins.iter().enumerate().map(|(i, p)| (PinId::from_index(i), p))
+    }
+
+    /// The placement (core) region.
+    #[must_use]
+    pub fn core_region(&self) -> Rect {
+        self.core
+    }
+
+    /// Standard-cell rows, bottom to top. Empty for pure floorplanning
+    /// designs.
+    #[must_use]
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Total area of movable cells.
+    #[must_use]
+    pub fn total_movable_area(&self) -> f64 {
+        self.cells.iter().filter(|c| c.is_movable()).map(Cell::area).sum()
+    }
+
+    /// Mean area of a movable cell. Used by the paper's stopping criterion
+    /// (no empty square larger than 4x this value).
+    ///
+    /// Returns 0.0 when there are no movable cells.
+    #[must_use]
+    pub fn average_cell_area(&self) -> f64 {
+        if self.num_movable == 0 {
+            0.0
+        } else {
+            self.total_movable_area() / self.num_movable as f64
+        }
+    }
+
+    /// Core utilization: movable area / core area.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.total_movable_area() / self.core.area()
+    }
+
+    /// The pin driving a net (its first `Output` pin), or `None` for nets
+    /// without a driver (e.g. nets only touching pads declared as inputs).
+    #[must_use]
+    pub fn driver_of(&self, net: NetId) -> Option<PinId> {
+        self.net(net)
+            .pins
+            .iter()
+            .copied()
+            .find(|&p| self.pin(p).direction == PinDirection::Output)
+    }
+
+    /// Iterates over the load (input) pins of a net.
+    pub fn sinks_of(&self, net: NetId) -> impl Iterator<Item = PinId> + '_ {
+        self.nets[net.index()]
+            .pins
+            .iter()
+            .copied()
+            .filter(move |&p| self.pins[p.index()].direction == PinDirection::Input)
+    }
+
+    /// The paper's initial placement: every movable cell at the center of
+    /// the placement area, fixed cells at their fixed location (section 4.2
+    /// step 1).
+    #[must_use]
+    pub fn initial_placement(&self) -> Placement {
+        let center = self.core.center();
+        let positions = self
+            .cells
+            .iter()
+            .map(|c| c.fixed_pos.unwrap_or(center))
+            .collect();
+        Placement::from_positions(positions)
+    }
+
+    /// Absolute pin location under a placement.
+    #[must_use]
+    pub fn pin_position(&self, pin: PinId, placement: &Placement) -> Point {
+        let p = self.pin(pin);
+        placement.position(p.cell) + p.offset
+    }
+
+    /// Returns a copy of the netlist with every cell's size replaced by
+    /// `f(id, &cell)` — the hook for gate-resizing ECO experiments
+    /// (section 5 of the paper lists gate resizing among the netlist
+    /// changes the incremental flow absorbs). Movable-cell counts and
+    /// connectivity are unchanged; callers re-run placement (typically
+    /// incrementally) to absorb the new footprints.
+    #[must_use]
+    pub fn with_sizes(&self, f: impl Fn(CellId, &Cell) -> Size) -> Netlist {
+        let mut out = self.clone();
+        for i in 0..out.cells.len() {
+            let id = CellId::from_index(i);
+            out.cells[i].size = f(id, &self.cells[i]);
+        }
+        out
+    }
+
+    /// Returns a copy of the netlist with every cell's switching power
+    /// replaced by `f(id, &cell)` — the hook power-analysis experiments
+    /// use to create hot spots without rebuilding the whole netlist.
+    #[must_use]
+    pub fn with_powers(&self, f: impl Fn(CellId, &Cell) -> f64) -> Netlist {
+        let mut out = self.clone();
+        for i in 0..out.cells.len() {
+            let id = CellId::from_index(i);
+            out.cells[i].power = f(id, &self.cells[i]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    fn tiny() -> Netlist {
+        let mut b = NetlistBuilder::new();
+        b.core_region(Rect::new(0.0, 0.0, 100.0, 100.0));
+        b.rows(4, 10.0);
+        let a = b.add_cell("a", Size::new(4.0, 10.0));
+        let c = b.add_cell("c", Size::new(6.0, 10.0));
+        let p = b.add_fixed_cell("pad", Size::new(2.0, 2.0), Point::new(0.0, 50.0));
+        b.add_net("n1", [(a, PinDirection::Output), (c, PinDirection::Input)]);
+        b.add_net("n2", [(c, PinDirection::Output), (p, PinDirection::Input)]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts_and_lookup() {
+        let n = tiny();
+        assert_eq!(n.num_cells(), 3);
+        assert_eq!(n.num_movable(), 2);
+        assert_eq!(n.num_nets(), 2);
+        assert_eq!(n.num_pins(), 4);
+        assert_eq!(n.cell(CellId::from_index(0)).name(), "a");
+        assert_eq!(n.net(NetId::from_index(1)).name(), "n2");
+    }
+
+    #[test]
+    fn areas_and_utilization() {
+        let n = tiny();
+        assert_eq!(n.total_movable_area(), 100.0);
+        assert_eq!(n.average_cell_area(), 50.0);
+        assert!((n.utilization() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn driver_and_sinks() {
+        let n = tiny();
+        let n1 = NetId::from_index(0);
+        let drv = n.driver_of(n1).unwrap();
+        assert_eq!(n.pin(drv).cell(), CellId::from_index(0));
+        let sinks: Vec<_> = n.sinks_of(n1).collect();
+        assert_eq!(sinks.len(), 1);
+        assert_eq!(n.pin(sinks[0]).cell(), CellId::from_index(1));
+    }
+
+    #[test]
+    fn initial_placement_centers_movables() {
+        let n = tiny();
+        let p = n.initial_placement();
+        assert_eq!(p.position(CellId::from_index(0)), Point::new(50.0, 50.0));
+        assert_eq!(p.position(CellId::from_index(2)), Point::new(0.0, 50.0));
+    }
+
+    #[test]
+    fn cell_pins_back_reference() {
+        let n = tiny();
+        let c = n.cell(CellId::from_index(1));
+        assert_eq!(c.pins().len(), 2);
+        for &pid in c.pins() {
+            assert_eq!(n.pin(pid).cell(), CellId::from_index(1));
+        }
+    }
+
+    #[test]
+    fn with_sizes_replaces_footprints() {
+        let n = tiny();
+        let grown = n.with_sizes(|id, c| {
+            if id.index() == 0 {
+                Size::new(c.size().width * 2.0, c.size().height)
+            } else {
+                c.size()
+            }
+        });
+        assert_eq!(grown.cell(CellId::from_index(0)).size().width, 8.0);
+        assert_eq!(grown.cell(CellId::from_index(1)).size(), n.cell(CellId::from_index(1)).size());
+        assert_eq!(grown.num_pins(), n.num_pins());
+    }
+
+    #[test]
+    fn with_powers_replaces_power_only() {
+        let n = tiny();
+        let hot = n.with_powers(|id, c| if id.index() == 0 { 9.0 } else { c.power() });
+        assert_eq!(hot.cell(CellId::from_index(0)).power(), 9.0);
+        assert_eq!(hot.cell(CellId::from_index(1)).power(), 0.0);
+        assert_eq!(hot.num_nets(), n.num_nets());
+    }
+
+    #[test]
+    fn rows_geometry() {
+        let n = tiny();
+        assert_eq!(n.rows().len(), 4);
+        let r = n.rows()[0];
+        assert_eq!(r.height, 10.0);
+        assert!(r.width() > 0.0);
+        assert!(n.core_region().contains_rect(&r.rect()));
+        assert_eq!(r.center_y(), r.y + 5.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Netlist statistics used for reporting and for validating that the
+//! synthetic benchmark generator produces MCNC-shaped circuits.
+
+use crate::model::{CellKind, Netlist};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Summary statistics of a netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistStats {
+    /// Total number of cells including fixed ones.
+    pub cells: usize,
+    /// Movable standard cells.
+    pub standard_cells: usize,
+    /// Movable macro blocks.
+    pub blocks: usize,
+    /// Fixed cells (pads, pre-placed macros).
+    pub fixed: usize,
+    /// Number of nets.
+    pub nets: usize,
+    /// Number of pins.
+    pub pins: usize,
+    /// Average net degree.
+    pub avg_net_degree: f64,
+    /// Largest net degree.
+    pub max_net_degree: usize,
+    /// Histogram of net degree -> count.
+    pub degree_histogram: BTreeMap<usize, usize>,
+    /// Average pins per cell.
+    pub avg_pins_per_cell: f64,
+    /// Core utilization (movable area / core area).
+    pub utilization: f64,
+    /// Number of standard-cell rows.
+    pub rows: usize,
+}
+
+impl NetlistStats {
+    /// Gathers statistics from a netlist.
+    #[must_use]
+    pub fn collect(netlist: &Netlist) -> Self {
+        let mut degree_histogram = BTreeMap::new();
+        let mut max_net_degree = 0;
+        for (_, net) in netlist.nets() {
+            let d = net.degree();
+            *degree_histogram.entry(d).or_insert(0) += 1;
+            max_net_degree = max_net_degree.max(d);
+        }
+        let mut standard_cells = 0;
+        let mut blocks = 0;
+        let mut fixed = 0;
+        for (_, cell) in netlist.cells() {
+            match cell.kind() {
+                CellKind::Standard => standard_cells += 1,
+                CellKind::Block => blocks += 1,
+                CellKind::Fixed => fixed += 1,
+            }
+        }
+        let nets = netlist.num_nets().max(1);
+        let cells = netlist.num_cells().max(1);
+        Self {
+            cells: netlist.num_cells(),
+            standard_cells,
+            blocks,
+            fixed,
+            nets: netlist.num_nets(),
+            pins: netlist.num_pins(),
+            avg_net_degree: netlist.num_pins() as f64 / nets as f64,
+            max_net_degree,
+            degree_histogram,
+            avg_pins_per_cell: netlist.num_pins() as f64 / cells as f64,
+            utilization: netlist.utilization(),
+            rows: netlist.rows().len(),
+        }
+    }
+
+    /// Fraction of nets with degree exactly `d`.
+    #[must_use]
+    pub fn degree_fraction(&self, d: usize) -> f64 {
+        if self.nets == 0 {
+            0.0
+        } else {
+            *self.degree_histogram.get(&d).unwrap_or(&0) as f64 / self.nets as f64
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cells: {} ({} std, {} blocks, {} fixed)",
+            self.cells, self.standard_cells, self.blocks, self.fixed
+        )?;
+        writeln!(f, "nets: {} (avg degree {:.2}, max {})", self.nets, self.avg_net_degree, self.max_net_degree)?;
+        writeln!(f, "pins: {} ({:.2} per cell)", self.pins, self.avg_pins_per_cell)?;
+        writeln!(f, "rows: {}, utilization: {:.1}%", self.rows, self.utilization * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::model::PinDirection;
+    use kraftwerk_geom::{Point, Rect, Size};
+
+    #[test]
+    fn collects_expected_counts() {
+        let mut b = NetlistBuilder::new();
+        b.core_region(Rect::new(0.0, 0.0, 10.0, 10.0));
+        let a = b.add_cell("a", Size::new(1.0, 1.0));
+        let c = b.add_cell("c", Size::new(1.0, 1.0));
+        let k = b.add_block("k", Size::new(2.0, 2.0));
+        let p = b.add_fixed_cell("p", Size::new(1.0, 1.0), Point::ORIGIN);
+        b.add_net("n1", [(a, PinDirection::Output), (c, PinDirection::Input)]);
+        b.add_net(
+            "n2",
+            [
+                (a, PinDirection::Output),
+                (k, PinDirection::Input),
+                (p, PinDirection::Input),
+            ],
+        );
+        let stats = NetlistStats::collect(&b.build().unwrap());
+        assert_eq!(stats.cells, 4);
+        assert_eq!(stats.standard_cells, 2);
+        assert_eq!(stats.blocks, 1);
+        assert_eq!(stats.fixed, 1);
+        assert_eq!(stats.nets, 2);
+        assert_eq!(stats.pins, 5);
+        assert_eq!(stats.max_net_degree, 3);
+        assert!((stats.avg_net_degree - 2.5).abs() < 1e-12);
+        assert!((stats.degree_fraction(2) - 0.5).abs() < 1e-12);
+        assert!((stats.degree_fraction(9) - 0.0).abs() < 1e-12);
+        let rendered = stats.to_string();
+        assert!(rendered.contains("nets: 2"));
+    }
+}

@@ -1,0 +1,345 @@
+//! Preconditioned conjugate gradient solver.
+
+use crate::csr::CsrMatrix;
+use crate::precond::Preconditioner;
+use crate::vecops::{axpy, dot, norm2, xpby};
+
+/// Convergence controls for [`solve`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgOptions {
+    /// Iteration cap; the solver returns the best iterate when reached.
+    pub max_iterations: usize,
+    /// Converged when `||r|| <= rel_tolerance * ||b||`.
+    pub rel_tolerance: f64,
+    /// Converged when `||r|| <= abs_tolerance` regardless of `||b||`.
+    pub abs_tolerance: f64,
+}
+
+impl Default for CgOptions {
+    fn default() -> Self {
+        Self {
+            max_iterations: 1000,
+            rel_tolerance: 1e-8,
+            abs_tolerance: 1e-12,
+        }
+    }
+}
+
+/// Outcome of a conjugate gradient run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgResult {
+    /// The (approximate) solution.
+    pub x: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final residual norm `||b - A x||`.
+    pub residual_norm: f64,
+    /// Whether a tolerance was met before the iteration cap.
+    pub converged: bool,
+}
+
+/// Solves `A x = b` for symmetric positive definite `A` by preconditioned
+/// conjugate gradients. `x0` seeds the iteration (placement transformations
+/// warm-start from the previous placement); `None` starts from zero.
+///
+/// # Panics
+///
+/// Panics if `b` or `x0` lengths differ from the matrix dimension.
+#[must_use]
+pub fn solve(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    preconditioner: &impl Preconditioner,
+    options: &CgOptions,
+) -> CgResult {
+    let n = a.dim();
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    let mut x = match x0 {
+        Some(x0) => {
+            assert_eq!(x0.len(), n, "x0 length mismatch");
+            x0.to_vec()
+        }
+        None => vec![0.0; n],
+    };
+
+    let b_norm = norm2(b);
+    let threshold = (options.rel_tolerance * b_norm).max(options.abs_tolerance);
+
+    // r = b - A x
+    let mut r = vec![0.0; n];
+    a.spmv(&x, &mut r);
+    for i in 0..n {
+        r[i] = b[i] - r[i];
+    }
+    let mut z = vec![0.0; n];
+    preconditioner.apply(&r, &mut z);
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut ap = vec![0.0; n];
+
+    let mut residual = norm2(&r);
+    if residual <= threshold {
+        return CgResult {
+            x,
+            iterations: 0,
+            residual_norm: residual,
+            converged: true,
+        };
+    }
+
+    let mut iterations = 0;
+    for _ in 0..options.max_iterations {
+        iterations += 1;
+        a.spmv(&p, &mut ap);
+        let pap = dot(&p, &ap);
+        if pap <= 0.0 || !pap.is_finite() {
+            // Not SPD along this direction (or numerical breakdown):
+            // return the current iterate rather than diverging.
+            break;
+        }
+        let alpha = rz / pap;
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &ap, &mut r);
+        residual = norm2(&r);
+        if residual <= threshold {
+            return CgResult {
+                x,
+                iterations,
+                residual_norm: residual,
+                converged: true,
+            };
+        }
+        preconditioner.apply(&r, &mut z);
+        let rz_next = dot(&r, &z);
+        let beta = rz_next / rz;
+        rz = rz_next;
+        xpby(&z, beta, &mut p);
+    }
+
+    CgResult {
+        x,
+        iterations,
+        residual_norm: residual,
+        converged: residual <= threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CooMatrix;
+    use crate::precond::{IdentityPreconditioner, JacobiPreconditioner};
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    /// 1-D Laplacian with Dirichlet ends — the classic SPD test matrix and
+    /// exactly the structure of a chain of 2-pin nets anchored at pads.
+    fn laplacian(n: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n);
+        for i in 0..n {
+            coo.push(i, i, 2.0);
+            if i + 1 < n {
+                coo.push_sym(i, i + 1, -1.0);
+            }
+        }
+        coo.into_csr()
+    }
+
+    #[test]
+    fn solves_laplacian_exactly() {
+        let n = 50;
+        let a = laplacian(n);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut b = vec![0.0; n];
+        a.spmv(&x_true, &mut b);
+        let result = solve(&a, &b, None, &IdentityPreconditioner, &CgOptions::default());
+        assert!(result.converged);
+        for (xi, ti) in result.x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-6, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn warm_start_from_solution_converges_immediately() {
+        let n = 30;
+        let a = laplacian(n);
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut b = vec![0.0; n];
+        a.spmv(&x_true, &mut b);
+        let result = solve(&a, &b, Some(&x_true), &IdentityPreconditioner, &CgOptions::default());
+        assert!(result.converged);
+        assert_eq!(result.iterations, 0);
+    }
+
+    #[test]
+    fn jacobi_helps_on_badly_scaled_systems() {
+        // diag(1, 10^4, ...) scaled Laplacian-ish system.
+        let n = 200;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let scales: Vec<f64> = (0..n).map(|_| 10f64.powf(rng.gen_range(0.0..4.0))).collect();
+        let mut coo = CooMatrix::new(n);
+        for i in 0..n {
+            coo.push(i, i, 2.0 * scales[i]);
+            if i + 1 < n {
+                let w = -0.9 * scales[i].min(scales[i + 1]);
+                coo.push_sym(i, i + 1, w);
+            }
+        }
+        let a = coo.into_csr();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let loose = CgOptions {
+            max_iterations: 300,
+            ..CgOptions::default()
+        };
+        let plain = solve(&a, &b, None, &IdentityPreconditioner, &loose);
+        let jacobi = solve(
+            &a,
+            &b,
+            None,
+            &JacobiPreconditioner::from_matrix(&a),
+            &loose,
+        );
+        assert!(jacobi.converged, "jacobi should converge: {jacobi:?}");
+        assert!(
+            jacobi.iterations < plain.iterations || !plain.converged,
+            "jacobi {} vs plain {}",
+            jacobi.iterations,
+            plain.iterations
+        );
+    }
+
+    #[test]
+    fn ssor_converges_in_fewer_iterations_than_jacobi_on_a_mesh() {
+        use crate::precond::SsorPreconditioner;
+        // 2-D Laplacian mesh (the structure of placement matrices).
+        let m = 20;
+        let n = m * m;
+        let mut coo = CooMatrix::new(n);
+        for y in 0..m {
+            for x in 0..m {
+                let i = y * m + x;
+                coo.push(i, i, 4.0);
+                if x + 1 < m {
+                    coo.push_sym(i, i + 1, -1.0);
+                }
+                if y + 1 < m {
+                    coo.push_sym(i, i + m, -1.0);
+                }
+            }
+        }
+        let a = coo.into_csr();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+        let opts = CgOptions {
+            max_iterations: 1000,
+            ..CgOptions::default()
+        };
+        let jacobi = solve(&a, &b, None, &JacobiPreconditioner::from_matrix(&a), &opts);
+        let ssor = solve(&a, &b, None, &SsorPreconditioner::from_matrix(&a, 1.0), &opts);
+        assert!(jacobi.converged && ssor.converged);
+        assert!(
+            ssor.iterations < jacobi.iterations,
+            "ssor {} vs jacobi {}",
+            ssor.iterations,
+            jacobi.iterations
+        );
+        for (x, y) in ssor.x.iter().zip(&jacobi.x) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn iteration_cap_is_respected() {
+        let a = laplacian(100);
+        let b = vec![1.0; 100];
+        let opts = CgOptions {
+            max_iterations: 3,
+            rel_tolerance: 1e-14,
+            abs_tolerance: 0.0,
+        };
+        let result = solve(&a, &b, None, &IdentityPreconditioner, &opts);
+        assert_eq!(result.iterations, 3);
+        assert!(!result.converged);
+    }
+
+    #[test]
+    fn indefinite_direction_breaks_gracefully() {
+        // -I is negative definite; CG must bail out without NaNs.
+        let mut coo = CooMatrix::new(3);
+        for i in 0..3 {
+            coo.push(i, i, -1.0);
+        }
+        let a = coo.into_csr();
+        let result = solve(&a, &[1.0, 1.0, 1.0], None, &IdentityPreconditioner, &CgOptions::default());
+        assert!(result.x.iter().all(|v| v.is_finite()));
+        assert!(!result.converged);
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero() {
+        let a = laplacian(10);
+        let result = solve(&a, &[0.0; 10], None, &IdentityPreconditioner, &CgOptions::default());
+        assert!(result.converged);
+        assert_eq!(result.iterations, 0);
+        assert!(result.x.iter().all(|&v| v == 0.0));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_cg_solves_random_spd_systems(seed in 0u64..1000) {
+            // A = B^T B + I is SPD for any B.
+            let n = 20;
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let bmat: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect())
+                .collect();
+            let mut coo = CooMatrix::new(n);
+            for i in 0..n {
+                for j in 0..n {
+                    let mut v = 0.0;
+                    for k in 0..n {
+                        v += bmat[k][i] * bmat[k][j];
+                    }
+                    if i == j {
+                        v += 1.0;
+                    }
+                    if v != 0.0 {
+                        coo.push(i, j, v);
+                    }
+                }
+            }
+            let a = coo.into_csr();
+            let x_true: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+            let mut b = vec![0.0; n];
+            a.spmv(&x_true, &mut b);
+            let result = solve(
+                &a,
+                &b,
+                None,
+                &JacobiPreconditioner::from_matrix(&a),
+                &CgOptions { max_iterations: 500, ..CgOptions::default() },
+            );
+            prop_assert!(result.converged, "did not converge: {:?}", result.residual_norm);
+            for (xi, ti) in result.x.iter().zip(&x_true) {
+                prop_assert!((xi - ti).abs() < 1e-4, "{} vs {}", xi, ti);
+            }
+        }
+
+        #[test]
+        fn prop_residual_matches_reported(seed in 0u64..200) {
+            let n = 15;
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let a = laplacian(n);
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let result = solve(&a, &b, None, &IdentityPreconditioner, &CgOptions::default());
+            let mut ax = vec![0.0; n];
+            a.spmv(&result.x, &mut ax);
+            let mut r = 0.0f64;
+            for i in 0..n {
+                r += (b[i] - ax[i]).powi(2);
+            }
+            prop_assert!((r.sqrt() - result.residual_norm).abs() < 1e-8);
+        }
+    }
+}

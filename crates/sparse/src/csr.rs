@@ -1,0 +1,364 @@
+//! Coordinate-format assembly and compressed-sparse-row storage.
+
+use std::fmt;
+
+/// A square sparse matrix under assembly in coordinate (triplet) format.
+///
+/// Duplicate entries are *accumulated* when converting to CSR, which is
+/// exactly what clique-model assembly wants: every net contributes
+/// `-w` off-diagonals and `+w` diagonal terms that simply add up.
+#[derive(Debug, Clone, Default)]
+pub struct CooMatrix {
+    n: usize,
+    rows: Vec<u32>,
+    cols: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl CooMatrix {
+    /// Creates an empty `n x n` assembly buffer.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Creates an assembly buffer with a capacity hint for the expected
+    /// number of triplets.
+    #[must_use]
+    pub fn with_capacity(n: usize, nnz: usize) -> Self {
+        Self {
+            n,
+            rows: Vec::with_capacity(nnz),
+            cols: Vec::with_capacity(nnz),
+            vals: Vec::with_capacity(nnz),
+        }
+    }
+
+    /// Matrix dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of triplets pushed so far (before duplicate accumulation).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Whether no triplet has been pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// Adds `value` at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.n && col < self.n, "triplet ({row},{col}) out of bounds for n={}", self.n);
+        self.rows.push(row as u32);
+        self.cols.push(col as u32);
+        self.vals.push(value);
+    }
+
+    /// Adds a symmetric off-diagonal pair: `value` at `(i, j)` **and**
+    /// `(j, i)`. For `i == j` the value is added once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    pub fn push_sym(&mut self, i: usize, j: usize, value: f64) {
+        self.push(i, j, value);
+        if i != j {
+            self.push(j, i, value);
+        }
+    }
+
+    /// Converts to CSR, accumulating duplicates and dropping exact zeros
+    /// that result from cancellation.
+    #[must_use]
+    pub fn into_csr(self) -> CsrMatrix {
+        let n = self.n;
+        // Counting sort by row.
+        let mut row_counts = vec![0usize; n + 1];
+        for &r in &self.rows {
+            row_counts[r as usize + 1] += 1;
+        }
+        for i in 0..n {
+            row_counts[i + 1] += row_counts[i];
+        }
+        let mut order_cols = vec![0u32; self.vals.len()];
+        let mut order_vals = vec![0f64; self.vals.len()];
+        let mut cursor = row_counts.clone();
+        for k in 0..self.vals.len() {
+            let r = self.rows[k] as usize;
+            let at = cursor[r];
+            cursor[r] += 1;
+            order_cols[at] = self.cols[k];
+            order_vals[at] = self.vals[k];
+        }
+        // Per-row: sort by column and accumulate duplicates.
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::with_capacity(self.vals.len());
+        let mut values = Vec::with_capacity(self.vals.len());
+        row_ptr.push(0u32);
+        let mut scratch: Vec<(u32, f64)> = Vec::new();
+        for r in 0..n {
+            let lo = row_counts[r];
+            let hi = row_counts[r + 1];
+            scratch.clear();
+            scratch.extend(order_cols[lo..hi].iter().copied().zip(order_vals[lo..hi].iter().copied()));
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let c = scratch[i].0;
+                let mut v = 0.0;
+                while i < scratch.len() && scratch[i].0 == c {
+                    v += scratch[i].1;
+                    i += 1;
+                }
+                if v != 0.0 {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len() as u32);
+        }
+        CsrMatrix {
+            n,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+}
+
+/// An immutable square sparse matrix in compressed-sparse-row format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    n: usize,
+    row_ptr: Vec<u32>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Matrix dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored (structurally non-zero) entries.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates over the entries of a row as `(col, value)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.dim()`.
+    pub fn row(&self, row: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.row_ptr[row] as usize;
+        let hi = self.row_ptr[row + 1] as usize;
+        self.col_idx[lo..hi]
+            .iter()
+            .zip(&self.values[lo..hi])
+            .map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Sparse matrix-vector product `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` have a length other than `self.dim()`.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "x length mismatch");
+        assert_eq!(y.len(), self.n, "y length mismatch");
+        for r in 0..self.n {
+            let lo = self.row_ptr[r] as usize;
+            let hi = self.row_ptr[r + 1] as usize;
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.values[k] * x[self.col_idx[k] as usize];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// The main diagonal as a dense vector (zeros for missing entries).
+    #[must_use]
+    pub fn diagonal(&self) -> Vec<f64> {
+        let mut d = vec![0.0; self.n];
+        for r in 0..self.n {
+            for (c, v) in self.row(r) {
+                if c == r {
+                    d[r] = v;
+                }
+            }
+        }
+        d
+    }
+
+    /// Value at `(row, col)`; zero when the entry is not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.n && col < self.n, "index out of bounds");
+        self.row(row)
+            .find(|&(c, _)| c == col)
+            .map_or(0.0, |(_, v)| v)
+    }
+
+    /// Largest absolute asymmetry `|a_ij - a_ji|` over the stored pattern;
+    /// zero for symmetric matrices. A diagnostic used by assembly tests.
+    #[must_use]
+    pub fn asymmetry(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for r in 0..self.n {
+            for (c, v) in self.row(r) {
+                worst = worst.max((v - self.get(c, r)).abs());
+            }
+        }
+        worst
+    }
+
+    /// Densifies the matrix (test/diagnostic helper; `O(n^2)` memory).
+    #[must_use]
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let mut dense = vec![vec![0.0; self.n]; self.n];
+        for r in 0..self.n {
+            for (c, v) in self.row(r) {
+                dense[r][c] = v;
+            }
+        }
+        dense
+    }
+}
+
+impl fmt::Display for CsrMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CsrMatrix({}x{}, nnz={})", self.n, self.n, self.nnz())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> CsrMatrix {
+        // [[2, -1, 0], [-1, 2, -1], [0, -1, 2]]
+        let mut coo = CooMatrix::new(3);
+        coo.push(0, 0, 2.0);
+        coo.push_sym(0, 1, -1.0);
+        coo.push(1, 1, 2.0);
+        coo.push_sym(1, 2, -1.0);
+        coo.push(2, 2, 2.0);
+        coo.into_csr()
+    }
+
+    #[test]
+    fn assembly_accumulates_duplicates() {
+        let mut coo = CooMatrix::new(2);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 0, 2.5);
+        coo.push(1, 1, 1.0);
+        let a = coo.into_csr();
+        assert_eq!(a.get(0, 0), 3.5);
+        assert_eq!(a.nnz(), 2);
+    }
+
+    #[test]
+    fn assembly_drops_cancelled_entries() {
+        let mut coo = CooMatrix::new(2);
+        coo.push(0, 1, 1.0);
+        coo.push(0, 1, -1.0);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, 1.0);
+        let a = coo.into_csr();
+        assert_eq!(a.get(0, 1), 0.0);
+        assert_eq!(a.nnz(), 2);
+    }
+
+    #[test]
+    fn push_sym_makes_symmetric_matrices() {
+        let a = example();
+        assert_eq!(a.asymmetry(), 0.0);
+        assert_eq!(a.get(0, 1), -1.0);
+        assert_eq!(a.get(1, 0), -1.0);
+        assert_eq!(a.get(2, 0), 0.0);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = example();
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0; 3];
+        a.spmv(&x, &mut y);
+        assert_eq!(y, [0.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        let a = example();
+        assert_eq!(a.diagonal(), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn rows_are_column_sorted() {
+        let mut coo = CooMatrix::new(3);
+        coo.push(0, 2, 3.0);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 1, 2.0);
+        coo.push(1, 1, 1.0);
+        coo.push(2, 2, 1.0);
+        let a = coo.into_csr();
+        let row0: Vec<_> = a.row(0).collect();
+        assert_eq!(row0, vec![(0, 1.0), (1, 2.0), (2, 3.0)]);
+    }
+
+    #[test]
+    fn to_dense_roundtrip() {
+        let a = example();
+        let d = a.to_dense();
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(d[r][c], a.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_push_panics() {
+        let mut coo = CooMatrix::new(2);
+        coo.push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let mut coo = CooMatrix::new(4);
+        coo.push(0, 0, 1.0);
+        coo.push(3, 3, 1.0);
+        let a = coo.into_csr();
+        assert_eq!(a.row(1).count(), 0);
+        assert_eq!(a.row(2).count(), 0);
+        let x = [1.0; 4];
+        let mut y = [9.0; 4];
+        a.spmv(&x, &mut y);
+        assert_eq!(y, [1.0, 0.0, 0.0, 1.0]);
+    }
+}

@@ -1,0 +1,49 @@
+//! Static timing analysis and timing-driven placement (section 5 of the
+//! paper).
+//!
+//! The paper's timing machinery, reproduced here:
+//!
+//! * **Delay model** — Elmore delay over the half perimeter of each net's
+//!   enclosing rectangle, with the paper's interconnect constants
+//!   (242 pF/m, 25.5 kΩ/m) plus a driver-resistance term so net length
+//!   feeds back into gate delay ([`DelayModel`]);
+//! * **STA** — longest-path search over the cell-level DAG
+//!   ([`Sta::analyze`]), per-net slack, and the zero-wire **lower bound**
+//!   used by Table 4's "optimization potential" ([`Sta::lower_bound`]);
+//!   nets above a pin-count threshold (paper: 60) are treated as ideal;
+//! * **Criticality** — the iterative recursion of section 5:
+//!   `c ← (c+1)/2` for the 3% most critical nets, `c ← c/2` otherwise,
+//!   with net weights multiplied by `(1 + c)` before every placement
+//!   transformation ([`CriticalityTracker`]);
+//! * **Flows** — [`optimize_timing`] (minimize the longest path) and
+//!   [`meet_requirements`] (two-phase: area-optimal first, then tighten
+//!   until a delay target is met, recording the trade-off curve).
+//!
+//! ```
+//! use kraftwerk_timing::{DelayModel, Sta};
+//! use kraftwerk_netlist::synth::{generate, SynthConfig};
+//!
+//! let nl = generate(&SynthConfig::with_size("t", 150, 190, 6));
+//! let sta = Sta::new(&nl, DelayModel::default())?;
+//! let report = sta.analyze(&nl.initial_placement());
+//! let bound = sta.lower_bound();
+//! assert!(report.max_delay >= bound);
+//! # Ok::<(), kraftwerk_timing::TimingError>(())
+//! ```
+
+// Numeric kernels index several parallel arrays; an explicit index is
+// the clearest formulation there.
+#![allow(clippy::needless_range_loop)]
+
+mod criticality;
+mod driver;
+mod model;
+mod sta;
+
+pub use criticality::CriticalityTracker;
+pub use driver::{
+    meet_requirements, optimize_timing, optimize_timing_legalized, MeetResult,
+    TimingDrivenResult, TradeoffPoint,
+};
+pub use model::DelayModel;
+pub use sta::{Sta, TimingError, TimingReport};

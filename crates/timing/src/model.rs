@@ -1,0 +1,114 @@
+//! The Elmore delay model of section 5 and 6.2.
+
+/// Interconnect and gate delay parameters.
+///
+/// Defaults follow the paper's section 6.2 (242 pF/m wire capacitance,
+/// 25.5 kΩ/m wire resistance) with driver/pin parameters chosen so wire
+/// load is a meaningful fraction of gate delay at die-scale net lengths —
+/// the regime the paper's timing experiments operate in. Layout units are
+/// microns, delays nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayModel {
+    /// Wire capacitance in fF per micron (paper: 242 pF/m = 0.242 fF/µm).
+    pub cap_per_micron: f64,
+    /// Wire resistance in Ω per micron (paper: 25.5 kΩ/m = 0.0255 Ω/µm).
+    pub res_per_micron: f64,
+    /// Input pin capacitance in fF.
+    pub pin_cap: f64,
+    /// Driver output resistance in kΩ — converts net load into gate delay.
+    pub driver_res: f64,
+    /// Nets with more pins than this are treated as ideal (zero wire
+    /// delay) and never marked critical; the paper excludes nets over 60
+    /// pins because "having big nets in the longest path is not
+    /// realistic".
+    pub max_pins_for_timing: usize,
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        Self {
+            cap_per_micron: 0.242,
+            res_per_micron: 0.0255,
+            // The paper's net delay depends on wire length only (its
+            // zero-wire lower bound is otherwise unreachable); pin load is
+            // available for richer experiments but defaults to zero.
+            pin_cap: 0.0,
+            driver_res: 8.0,
+            max_pins_for_timing: 60,
+        }
+    }
+}
+
+impl DelayModel {
+    /// Elmore net delay in nanoseconds for a net with half-perimeter
+    /// `length` (µm) and `sinks` input pins:
+    ///
+    /// ```text
+    /// τ = R_drv (C_wire + C_pins) + R_wire (C_wire/2 + C_pins)
+    /// ```
+    ///
+    /// Nets over the pin threshold return 0 (treated as ideal).
+    #[must_use]
+    pub fn net_delay(&self, length: f64, sinks: usize) -> f64 {
+        if sinks + 1 > self.max_pins_for_timing {
+            return 0.0;
+        }
+        let c_wire = self.cap_per_micron * length; // fF
+        let c_pins = self.pin_cap * sinks as f64; // fF
+        let r_wire = self.res_per_micron * length; // Ω
+        // kΩ·fF = ps; Ω·fF = 1e-3 ps. Convert to ns.
+        let drv_ps = self.driver_res * (c_wire + c_pins); // kΩ·fF = ps
+        let wire_ps = r_wire * (0.5 * c_wire + c_pins) * 1e-3; // Ω·fF → ps
+        (drv_ps + wire_ps) * 1e-3
+    }
+
+    /// Whether a net of the given degree participates in timing.
+    #[must_use]
+    pub fn is_timed(&self, degree: usize) -> bool {
+        degree <= self.max_pins_for_timing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_grows_with_length_and_fanout() {
+        let m = DelayModel::default();
+        assert!(m.net_delay(100.0, 1) < m.net_delay(1000.0, 1));
+        let loaded = DelayModel { pin_cap: 50.0, ..DelayModel::default() };
+        assert!(loaded.net_delay(100.0, 1) < loaded.net_delay(100.0, 4));
+        assert_eq!(m.net_delay(0.0, 0), 0.0);
+    }
+
+    #[test]
+    fn wire_term_is_quadratic_in_length() {
+        let m = DelayModel {
+            driver_res: 0.0,
+            pin_cap: 0.0,
+            ..DelayModel::default()
+        };
+        let d1 = m.net_delay(1000.0, 1);
+        let d2 = m.net_delay(2000.0, 1);
+        assert!((d2 / d1 - 4.0).abs() < 1e-9, "ratio {}", d2 / d1);
+    }
+
+    #[test]
+    fn huge_nets_are_ideal() {
+        let m = DelayModel::default();
+        assert_eq!(m.net_delay(1000.0, 80), 0.0);
+        assert!(m.is_timed(60));
+        assert!(!m.is_timed(61));
+    }
+
+    #[test]
+    fn magnitudes_are_nanoseconds() {
+        // A 500 µm net with 3 sinks through a default driver should cost
+        // a few tenths of a nanosecond — comparable to a gate delay, so
+        // placement visibly moves the longest path.
+        let m = DelayModel::default();
+        let d = m.net_delay(500.0, 3);
+        assert!(d > 0.05 && d < 5.0, "delay {d} ns");
+    }
+}

@@ -1,0 +1,486 @@
+//! Longest-path static timing analysis over the cell-level DAG.
+
+use crate::model::DelayModel;
+use kraftwerk_netlist::{metrics, CellId, NetId, Netlist, Placement};
+use std::error::Error;
+use std::fmt;
+
+/// Timing analysis failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TimingError {
+    /// The netlist contains a combinational loop; carries the name of one
+    /// cell on the loop.
+    CombinationalLoop(String),
+}
+
+impl fmt::Display for TimingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimingError::CombinationalLoop(name) => {
+                write!(f, "combinational loop through cell `{name}`")
+            }
+        }
+    }
+}
+
+impl Error for TimingError {}
+
+/// Result of one analysis pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    /// Longest path delay in nanoseconds.
+    pub max_delay: f64,
+    /// Arrival time at each cell's output, indexed by [`CellId`].
+    pub arrival: Vec<f64>,
+    /// Slack of each net (indexed by [`NetId`]): how much the net's edge
+    /// delay could grow before the longest path grows. Untimed (huge)
+    /// nets carry `f64::INFINITY`.
+    pub net_slack: Vec<f64>,
+    /// Nets on (one) critical path, from source to endpoint.
+    pub critical_path: Vec<NetId>,
+}
+
+impl TimingReport {
+    /// Ids of the `fraction` most critical timed nets (by ascending
+    /// slack), at least one when any net is timed — the paper's "3 percent
+    /// most critical nets".
+    #[must_use]
+    pub fn most_critical(&self, fraction: f64) -> Vec<NetId> {
+        let mut timed: Vec<(f64, usize)> = self
+            .net_slack
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_finite())
+            .map(|(i, &s)| (s, i))
+            .collect();
+        if timed.is_empty() {
+            return Vec::new();
+        }
+        timed.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let count = ((timed.len() as f64 * fraction).ceil() as usize).max(1);
+        timed
+            .into_iter()
+            .take(count)
+            .map(|(_, i)| NetId::from_index(i))
+            .collect()
+    }
+}
+
+/// A timing engine bound to a netlist: owns the topological order and the
+/// per-net driver/sink structure; every [`Sta::analyze`] call re-evaluates
+/// delays for a placement.
+#[derive(Debug, Clone)]
+pub struct Sta<'a> {
+    netlist: &'a Netlist,
+    model: DelayModel,
+    /// Cells in topological order.
+    topo: Vec<CellId>,
+    /// Per net: driver cell (if any) and sink cells.
+    driver: Vec<Option<CellId>>,
+    sinks: Vec<Vec<CellId>>,
+}
+
+impl<'a> Sta<'a> {
+    /// Builds the timing graph and checks it is acyclic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimingError::CombinationalLoop`] when the driver→sink
+    /// relation contains a cycle.
+    pub fn new(netlist: &'a Netlist, model: DelayModel) -> Result<Self, TimingError> {
+        let n = netlist.num_cells();
+        let mut driver = vec![None; netlist.num_nets()];
+        let mut sinks = vec![Vec::new(); netlist.num_nets()];
+        let mut indegree = vec![0usize; n];
+        let mut fanout: Vec<Vec<usize>> = vec![Vec::new(); n]; // cell -> nets driven
+        for (net_id, _) in netlist.nets() {
+            let Some(drv_pin) = netlist.driver_of(net_id) else {
+                continue;
+            };
+            let drv = netlist.pin(drv_pin).cell();
+            driver[net_id.index()] = Some(drv);
+            fanout[drv.index()].push(net_id.index());
+            for sink_pin in netlist.sinks_of(net_id) {
+                let sink = netlist.pin(sink_pin).cell();
+                if sink != drv {
+                    sinks[net_id.index()].push(sink);
+                    indegree[sink.index()] += 1;
+                }
+            }
+        }
+        // Kahn's algorithm.
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut topo = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let c = queue[head];
+            head += 1;
+            topo.push(CellId::from_index(c));
+            for &net in &fanout[c] {
+                for &sink in &sinks[net] {
+                    indegree[sink.index()] -= 1;
+                    if indegree[sink.index()] == 0 {
+                        queue.push(sink.index());
+                    }
+                }
+            }
+        }
+        if topo.len() != n {
+            let culprit = (0..n)
+                .find(|&i| indegree[i] > 0)
+                .map(|i| netlist.cell(CellId::from_index(i)).name().to_owned())
+                .unwrap_or_default();
+            return Err(TimingError::CombinationalLoop(culprit));
+        }
+        Ok(Self {
+            netlist,
+            model,
+            topo,
+            driver,
+            sinks,
+        })
+    }
+
+    /// The delay model in use.
+    #[must_use]
+    pub fn model(&self) -> &DelayModel {
+        &self.model
+    }
+
+    /// Longest-path analysis of a placement.
+    #[must_use]
+    pub fn analyze(&self, placement: &Placement) -> TimingReport {
+        let lengths: Vec<f64> = self
+            .netlist
+            .net_ids()
+            .map(|n| metrics::net_hpwl(self.netlist, placement, n))
+            .collect();
+        self.analyze_with_lengths(Some(&lengths))
+    }
+
+    /// The zero-wire lower bound of section 6.2: every net delay set to
+    /// zero, leaving only intrinsic gate delays. "This lower bound can
+    /// only be reached if all nets of the longest path have length zero
+    /// which means that all cells would be interconnected by abutment."
+    #[must_use]
+    pub fn lower_bound(&self) -> f64 {
+        self.analyze_with_lengths(None).max_delay
+    }
+
+    /// Edge delay; `lengths == None` is the zero-wire bound (net delay
+    /// dropped entirely, matching the paper's wire-length-only net model).
+    fn edge_delay(&self, net: usize, lengths: Option<&[f64]>) -> f64 {
+        let drv = self.driver[net].expect("edge implies driver");
+        let intrinsic = self.netlist.cell(drv).delay();
+        match lengths {
+            Some(lengths) => {
+                intrinsic + self.model.net_delay(lengths[net], self.sinks[net].len())
+            }
+            None => intrinsic,
+        }
+    }
+
+    /// Formats a human-readable critical-path report for a placement:
+    /// one line per net on the longest path with the driving cell, net
+    /// length, stage delay, and cumulative arrival time. The kind of
+    /// output a timing sign-off flow prints.
+    #[must_use]
+    pub fn critical_path_report(&self, placement: &Placement) -> String {
+        use std::fmt::Write as _;
+        let lengths: Vec<f64> = self
+            .netlist
+            .net_ids()
+            .map(|n| metrics::net_hpwl(self.netlist, placement, n))
+            .collect();
+        let report = self.analyze_with_lengths(Some(&lengths));
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "longest path: {:.3} ns (zero-wire bound {:.3} ns)",
+            report.max_delay,
+            self.lower_bound()
+        );
+        let mut cumulative = 0.0;
+        for &net in &report.critical_path {
+            let idx = net.index();
+            let drv = self.driver[idx].expect("critical net has a driver");
+            let stage = self.edge_delay(idx, Some(&lengths));
+            cumulative += stage;
+            let _ = writeln!(
+                out,
+                "  {:<14} drives {:<10} len {:>8.1} um  stage {:>7.3} ns  arrival {:>8.3} ns",
+                self.netlist.cell(drv).name(),
+                self.netlist.net(net).name(),
+                lengths[idx],
+                stage,
+                cumulative,
+            );
+        }
+        out
+    }
+
+    fn analyze_with_lengths(&self, lengths: Option<&[f64]>) -> TimingReport {
+        let n = self.netlist.num_cells();
+        let mut arrival = vec![0.0f64; n];
+        // Forward pass in topological order.
+        for &cell in &self.topo {
+            let a = arrival[cell.index()];
+            for &pid in self.netlist.cell(cell).pins() {
+                let net = self.netlist.pin(pid).net().index();
+                if self.driver[net] != Some(cell) {
+                    continue;
+                }
+                let d = self.edge_delay(net, lengths);
+                for &sink in &self.sinks[net] {
+                    let t = a + d;
+                    if t > arrival[sink.index()] {
+                        arrival[sink.index()] = t;
+                    }
+                }
+            }
+        }
+        let max_delay = arrival.iter().copied().fold(0.0, f64::max);
+
+        // Backward pass: required times.
+        let mut required = vec![f64::INFINITY; n];
+        let mut has_fanout = vec![false; n];
+        for (net, drv) in self.driver.iter().enumerate() {
+            if let Some(d) = drv {
+                if !self.sinks[net].is_empty() {
+                    has_fanout[d.index()] = true;
+                }
+            }
+        }
+        for i in 0..n {
+            if !has_fanout[i] {
+                required[i] = max_delay;
+            }
+        }
+        for &cell in self.topo.iter().rev() {
+            for &pid in self.netlist.cell(cell).pins() {
+                let net = self.netlist.pin(pid).net().index();
+                if self.driver[net] != Some(cell) {
+                    continue;
+                }
+                let d = self.edge_delay(net, lengths);
+                for &sink in &self.sinks[net] {
+                    let r = required[sink.index()] - d;
+                    if r < required[cell.index()] {
+                        required[cell.index()] = r;
+                    }
+                }
+            }
+        }
+
+        // Per-net slack (min over its sink edges); untimed nets: +inf.
+        let mut net_slack = vec![f64::INFINITY; self.netlist.num_nets()];
+        for net in 0..self.netlist.num_nets() {
+            let Some(drv) = self.driver[net] else { continue };
+            if self.sinks[net].is_empty()
+                || !self.model.is_timed(self.netlist.net(NetId::from_index(net)).degree())
+            {
+                continue;
+            }
+            let d = self.edge_delay(net, lengths);
+            let mut slack = f64::INFINITY;
+            for &sink in &self.sinks[net] {
+                slack = slack.min(required[sink.index()] - (arrival[drv.index()] + d));
+            }
+            net_slack[net] = slack;
+        }
+
+        // One critical path: walk backward from the latest endpoint.
+        let mut critical_path = Vec::new();
+        if max_delay > 0.0 {
+            let mut cursor = (0..n)
+                .max_by(|&a, &b| arrival[a].total_cmp(&arrival[b]))
+                .map(CellId::from_index);
+            while let Some(cell) = cursor {
+                if arrival[cell.index()] <= 1e-12 {
+                    break;
+                }
+                // Find the incoming edge that set this arrival.
+                let mut found = None;
+                'outer: for &pid in self.netlist.cell(cell).pins() {
+                    let net = self.netlist.pin(pid).net().index();
+                    let Some(drv) = self.driver[net] else { continue };
+                    if drv == cell || !self.sinks[net].contains(&cell) {
+                        continue;
+                    }
+                    let d = self.edge_delay(net, lengths);
+                    if (arrival[drv.index()] + d - arrival[cell.index()]).abs() < 1e-9 {
+                        found = Some((NetId::from_index(net), drv));
+                        break 'outer;
+                    }
+                }
+                match found {
+                    Some((net, drv)) => {
+                        critical_path.push(net);
+                        cursor = Some(drv);
+                    }
+                    None => break,
+                }
+            }
+            critical_path.reverse();
+        }
+
+        TimingReport {
+            max_delay,
+            arrival,
+            net_slack,
+            critical_path,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kraftwerk_geom::{Point, Rect, Size};
+    use kraftwerk_netlist::synth::{generate, SynthConfig};
+    use kraftwerk_netlist::{NetlistBuilder, PinDirection};
+
+    /// pad -> a -> b -> pad, delays 1.0 and 2.0 ns, on a tiny die.
+    fn chain() -> Netlist {
+        let mut bld = NetlistBuilder::new();
+        bld.core_region(Rect::new(0.0, 0.0, 100.0, 100.0));
+        let a = bld.add_cell("a", Size::new(1.0, 1.0));
+        let b = bld.add_cell("b", Size::new(1.0, 1.0));
+        bld.set_delay(a, 1.0);
+        bld.set_delay(b, 2.0);
+        let p0 = bld.add_fixed_cell("p0", Size::new(1.0, 1.0), Point::new(0.0, 50.0));
+        let p1 = bld.add_fixed_cell("p1", Size::new(1.0, 1.0), Point::new(100.0, 50.0));
+        bld.add_net("n0", [(p0, PinDirection::Output), (a, PinDirection::Input)]);
+        bld.add_net("n1", [(a, PinDirection::Output), (b, PinDirection::Input)]);
+        bld.add_net("n2", [(b, PinDirection::Output), (p1, PinDirection::Input)]);
+        bld.build().unwrap()
+    }
+
+    #[test]
+    fn zero_wire_chain_sums_gate_delays() {
+        let nl = chain();
+        let sta = Sta::new(&nl, DelayModel::default()).unwrap();
+        let bound = sta.lower_bound();
+        // pad(0) -> a(1.0) -> b(2.0) -> p1, pad has no intrinsic delay.
+        assert!((bound - 3.0).abs() < 1e-9, "bound {bound}");
+    }
+
+    #[test]
+    fn wire_length_increases_delay() {
+        let nl = chain();
+        let sta = Sta::new(&nl, DelayModel::default()).unwrap();
+        let piled = sta.analyze(&nl.initial_placement());
+        let mut spread = nl.initial_placement();
+        spread.set_position(kraftwerk_netlist::CellId::from_index(0), Point::new(10.0, 50.0));
+        spread.set_position(kraftwerk_netlist::CellId::from_index(1), Point::new(90.0, 50.0));
+        let far = sta.analyze(&spread);
+        assert!(far.max_delay > piled.max_delay);
+        assert!(far.max_delay >= sta.lower_bound());
+    }
+
+    #[test]
+    fn critical_path_traverses_the_chain() {
+        let nl = chain();
+        let sta = Sta::new(&nl, DelayModel::default()).unwrap();
+        let report = sta.analyze(&nl.initial_placement());
+        // The path ends at p1 and includes n1 and n2 (n0 is driven by a
+        // zero-delay pad, so it also appears).
+        assert!(report.critical_path.len() >= 2);
+        assert_eq!(
+            *report.critical_path.last().unwrap(),
+            NetId::from_index(2)
+        );
+    }
+
+    #[test]
+    fn slack_is_zero_on_the_critical_path() {
+        let nl = chain();
+        let sta = Sta::new(&nl, DelayModel::default()).unwrap();
+        let report = sta.analyze(&nl.initial_placement());
+        for &net in &report.critical_path {
+            let s = report.net_slack[net.index()];
+            assert!(s.abs() < 1e-9, "slack {s} on critical net {net}");
+        }
+    }
+
+    #[test]
+    fn critical_path_report_is_readable_and_consistent() {
+        let nl = chain();
+        let sta = Sta::new(&nl, DelayModel::default()).unwrap();
+        let report = sta.critical_path_report(&nl.initial_placement());
+        assert!(report.starts_with("longest path:"));
+        // The chain's cells appear as drivers in order.
+        let pos_a = report.find("a ").expect("cell a in report");
+        let pos_b = report.find("b ").expect("cell b in report");
+        assert!(pos_a < pos_b, "stages out of order:\n{report}");
+        // The final arrival equals the reported longest path.
+        let analysis = sta.analyze(&nl.initial_placement());
+        let last_arrival: f64 = report
+            .lines()
+            .last()
+            .and_then(|l| l.split_whitespace().rev().nth(1).map(str::to_owned))
+            .and_then(|t| t.parse().ok())
+            .expect("arrival column parses");
+        assert!((last_arrival - analysis.max_delay).abs() < 5e-3,
+            "{last_arrival} vs {}", analysis.max_delay);
+    }
+
+    #[test]
+    fn combinational_loop_is_detected() {
+        let mut bld = NetlistBuilder::new();
+        bld.core_region(Rect::new(0.0, 0.0, 10.0, 10.0));
+        let a = bld.add_cell("a", Size::new(1.0, 1.0));
+        let b = bld.add_cell("b", Size::new(1.0, 1.0));
+        bld.add_net("f", [(a, PinDirection::Output), (b, PinDirection::Input)]);
+        bld.add_net("g", [(b, PinDirection::Output), (a, PinDirection::Input)]);
+        let nl = bld.build().unwrap();
+        assert!(matches!(
+            Sta::new(&nl, DelayModel::default()),
+            Err(TimingError::CombinationalLoop(_))
+        ));
+    }
+
+    #[test]
+    fn synthetic_circuits_are_acyclic() {
+        let nl = generate(&SynthConfig::with_size("dag", 500, 620, 10));
+        let sta = Sta::new(&nl, DelayModel::default());
+        assert!(sta.is_ok());
+        let report = sta.unwrap().analyze(&nl.initial_placement());
+        assert!(report.max_delay > 0.0);
+    }
+
+    #[test]
+    fn most_critical_returns_three_percent() {
+        let nl = generate(&SynthConfig::with_size("crit", 800, 950, 16));
+        let sta = Sta::new(&nl, DelayModel::default()).unwrap();
+        let report = sta.analyze(&nl.initial_placement());
+        let timed = report.net_slack.iter().filter(|s| s.is_finite()).count();
+        let crit = report.most_critical(0.03);
+        assert!(!crit.is_empty());
+        assert!(crit.len() <= timed / 20 + 1, "{} of {}", crit.len(), timed);
+        // They really are the lowest-slack nets.
+        let worst = report.net_slack[crit[0].index()];
+        let best_excluded = report
+            .net_slack
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| s.is_finite() && !crit.iter().any(|c| c.index() == *i))
+            .map(|(_, &s)| s)
+            .fold(f64::INFINITY, f64::min);
+        assert!(worst <= best_excluded + 1e-12);
+    }
+
+    #[test]
+    fn slacks_are_nonnegative_and_bounded_by_max_delay() {
+        let nl = generate(&SynthConfig::with_size("slk", 300, 380, 8));
+        let sta = Sta::new(&nl, DelayModel::default()).unwrap();
+        let report = sta.analyze(&nl.initial_placement());
+        for (i, &s) in report.net_slack.iter().enumerate() {
+            if s.is_finite() {
+                assert!(s >= -1e-9, "negative slack {s} on net {i}");
+                assert!(s <= report.max_delay + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! `kraftwerk` — command-line placement driver.
+//!
+//! ```text
+//! kraftwerk place      <netlist> [-o placement.pl] [--fast] [--multilevel] [--svg out.svg]
+//! kraftwerk timing     <netlist> [--requirement NS]
+//! kraftwerk gen        <name> <cells> <nets> <rows> [-o netlist.kw]
+//! kraftwerk stats      <netlist>
+//! kraftwerk check      <netlist> <placement>
+//! kraftwerk route      <netlist> <placement>
+//! kraftwerk bookshelf  <netlist> [<placement>] [-o dir]
+//! ```
+//!
+//! Netlists use the text format of `kraftwerk::netlist::format` (see the
+//! `gen` subcommand to create one).
+
+use kraftwerk::geom::svg::SvgCanvas;
+use kraftwerk::legalize::{check_legality, legalize, refine};
+use kraftwerk::netlist::format::{read_netlist, read_placement, write_netlist, write_placement};
+use kraftwerk::netlist::stats::NetlistStats;
+use kraftwerk::netlist::synth::{generate, SynthConfig};
+use kraftwerk::netlist::{metrics, CellKind, Netlist, Placement};
+use kraftwerk::placer::{GlobalPlacer, KraftwerkConfig};
+use kraftwerk::timing::{meet_requirements, optimize_timing_legalized, DelayModel, Sta};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  kraftwerk place     <netlist> [-o <placement>] [--fast] [--multilevel] [--svg <file>]\n  kraftwerk timing    <netlist> [--requirement <ns>]\n  kraftwerk gen       <name> <cells> <nets> <rows> [-o <file>]\n  kraftwerk stats     <netlist>\n  kraftwerk check     <netlist> <placement>\n  kraftwerk route     <netlist> <placement>\n  kraftwerk bookshelf <netlist> [<placement>] [-o <dir>]"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<Netlist, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    read_netlist(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn snapshot(netlist: &Netlist, placement: &Placement, path: &str) -> Result<(), String> {
+    let core = netlist.core_region();
+    let mut svg = SvgCanvas::new(core.inflate(core.width() * 0.03), 900.0);
+    for row in netlist.rows() {
+        svg.rect(&row.rect(), "#f2f2f2", 1.0);
+    }
+    for (id, cell) in netlist.cells() {
+        let color = match cell.kind() {
+            CellKind::Standard => "#4682b4",
+            CellKind::Block => "#c06030",
+            CellKind::Fixed => "#333333",
+        };
+        svg.rect(&placement.cell_rect(id, cell.size()), color, 0.6);
+    }
+    std::fs::write(path, svg.finish()).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_place(args: &[String]) -> Result<(), String> {
+    let Some(input) = args.first() else {
+        return Err("place: missing netlist path".into());
+    };
+    let netlist = load(input)?;
+    let config = if args.iter().any(|a| a == "--fast") {
+        KraftwerkConfig::fast()
+    } else {
+        KraftwerkConfig::standard()
+    };
+    let started = std::time::Instant::now();
+    let global = if args.iter().any(|a| a == "--multilevel") {
+        kraftwerk::placer::place_multilevel(
+            &netlist,
+            config,
+            &kraftwerk::placer::ClusteringConfig::default(),
+            25,
+        )
+    } else {
+        GlobalPlacer::new(config).place(&netlist)
+    };
+    let mut legal = legalize(&netlist, &global.placement).map_err(|e| e.to_string())?;
+    refine(&netlist, &mut legal, 2);
+    let report = check_legality(&netlist, &legal, 1e-6);
+    println!(
+        "placed {} ({} cells, {} nets): hpwl {:.0}, {} transformations, {:.2}s, legal: {}",
+        netlist.name(),
+        netlist.num_movable(),
+        netlist.num_nets(),
+        metrics::hpwl(&netlist, &legal),
+        global.iterations(),
+        started.elapsed().as_secs_f64(),
+        report.is_legal(),
+    );
+    let out = flag_value(args, "-o").unwrap_or_else(|| format!("{input}.pl"));
+    std::fs::write(&out, write_placement(&netlist, &legal)).map_err(|e| format!("{out}: {e}"))?;
+    println!("wrote {out}");
+    if let Some(svg_path) = flag_value(args, "--svg") {
+        snapshot(&netlist, &legal, &svg_path)?;
+        println!("wrote {svg_path}");
+    }
+    Ok(())
+}
+
+fn cmd_timing(args: &[String]) -> Result<(), String> {
+    let Some(input) = args.first() else {
+        return Err("timing: missing netlist path".into());
+    };
+    let netlist = load(input)?;
+    let model = DelayModel::default();
+    let sta = Sta::new(&netlist, model).map_err(|e| e.to_string())?;
+    println!("zero-wire lower bound: {:.3} ns", sta.lower_bound());
+    if let Some(req) = flag_value(args, "--requirement") {
+        let requirement: f64 = req.parse().map_err(|_| format!("bad requirement `{req}`"))?;
+        let result = meet_requirements(&netlist, model, KraftwerkConfig::standard(), requirement, 60)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "requirement {requirement} ns: met = {} ({} trade-off points recorded)",
+            result.met,
+            result.curve.len()
+        );
+        for p in &result.curve {
+            println!("  step {:3}  delay {:8.3} ns  hpwl {:10.0}", p.iteration, p.max_delay, p.hpwl);
+        }
+    } else {
+        let result = optimize_timing_legalized(&netlist, model, KraftwerkConfig::standard(), 3)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "timing-driven placement: longest path {:.3} ns, hpwl {:.0}",
+            sta.analyze(&result.placement).max_delay,
+            metrics::hpwl(&netlist, &result.placement),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    if args.len() < 4 {
+        return Err("gen: need <name> <cells> <nets> <rows>".into());
+    }
+    let parse = |s: &String, what: &str| -> Result<usize, String> {
+        s.parse().map_err(|_| format!("bad {what} `{s}`"))
+    };
+    let name = args[0].clone();
+    let cells = parse(&args[1], "cell count")?;
+    let nets = parse(&args[2], "net count")?;
+    let rows = parse(&args[3], "row count")?;
+    let netlist = generate(&SynthConfig::with_size(name.clone(), cells, nets, rows));
+    let out = flag_value(args, "-o").unwrap_or_else(|| format!("{name}.kw"));
+    std::fs::write(&out, write_netlist(&netlist)).map_err(|e| format!("{out}: {e}"))?;
+    println!("wrote {out} ({} cells, {} nets, {} rows)", netlist.num_cells(), netlist.num_nets(), rows);
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let Some(input) = args.first() else {
+        return Err("stats: missing netlist path".into());
+    };
+    let netlist = load(input)?;
+    println!("{}", NetlistStats::collect(&netlist));
+    Ok(())
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let (Some(nl_path), Some(pl_path)) = (args.first(), args.get(1)) else {
+        return Err("check: need <netlist> <placement>".into());
+    };
+    let netlist = load(nl_path)?;
+    let text = std::fs::read_to_string(pl_path).map_err(|e| format!("{pl_path}: {e}"))?;
+    let placement = read_placement(&netlist, &text).map_err(|e| format!("{pl_path}: {e}"))?;
+    let report = check_legality(&netlist, &placement, 1e-6);
+    println!(
+        "hpwl {:.0}, legal: {} ({} overlapping pairs, {} off-row, {} out of core)",
+        metrics::hpwl(&netlist, &placement),
+        report.is_legal(),
+        report.overlapping_pairs,
+        report.off_row_cells,
+        report.out_of_core_cells,
+    );
+    if report.is_legal() {
+        Ok(())
+    } else {
+        Err("placement is not legal".into())
+    }
+}
+
+fn cmd_route(args: &[String]) -> Result<(), String> {
+    use kraftwerk::congestion::router::{route, RouterConfig};
+    let (Some(nl_path), Some(pl_path)) = (args.first(), args.get(1)) else {
+        return Err("route: need <netlist> <placement>".into());
+    };
+    let netlist = load(nl_path)?;
+    let text = std::fs::read_to_string(pl_path).map_err(|e| format!("{pl_path}: {e}"))?;
+    let placement = read_placement(&netlist, &text).map_err(|e| format!("{pl_path}: {e}"))?;
+    let nx = 32;
+    let ny = ((netlist.core_region().height() / netlist.core_region().width() * nx as f64)
+        .round() as usize)
+        .max(4);
+    let result = route(&netlist, &placement, nx, ny, &RouterConfig::default());
+    println!(
+        "routed {} connections on a {nx}x{ny} grid: wirelength {:.0} gcell edges, overflow {:.0}, peak utilization {:.2}",
+        result.connections, result.wirelength, result.overflow, result.max_utilization
+    );
+    Ok(())
+}
+
+fn cmd_bookshelf(args: &[String]) -> Result<(), String> {
+    use kraftwerk::netlist::format::bookshelf;
+    let Some(nl_path) = args.first() else {
+        return Err("bookshelf: missing netlist path".into());
+    };
+    let netlist = load(nl_path)?;
+    let placement = match args.get(1).filter(|a| !a.starts_with('-')) {
+        Some(pl_path) => {
+            let text = std::fs::read_to_string(pl_path).map_err(|e| format!("{pl_path}: {e}"))?;
+            Some(read_placement(&netlist, &text).map_err(|e| format!("{pl_path}: {e}"))?)
+        }
+        None => None,
+    };
+    let dir = flag_value(args, "-o").unwrap_or_else(|| format!("{}_bookshelf", netlist.name()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{dir}: {e}"))?;
+    for (ext, content) in bookshelf::write(&netlist, placement.as_ref()) {
+        let path = format!("{dir}/{}.{ext}", netlist.name());
+        std::fs::write(&path, content).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "place" => cmd_place(rest),
+        "timing" => cmd_timing(rest),
+        "gen" => cmd_gen(rest),
+        "stats" => cmd_stats(rest),
+        "check" => cmd_check(rest),
+        "route" => cmd_route(rest),
+        "bookshelf" => cmd_bookshelf(rest),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Cross-crate integration: the full place → legalize → refine pipeline
+//! on MCNC-shaped circuits, compared against both baseline placers.
+
+use kraftwerk::baselines::{AnnealingConfig, AnnealingPlacer, GordianConfig, GordianPlacer};
+use kraftwerk::legalize::{check_legality, legalize, refine};
+use kraftwerk::netlist::synth::{generate, mcnc, SynthConfig};
+use kraftwerk::netlist::{metrics, Netlist, Placement};
+use kraftwerk::placer::{GlobalPlacer, KraftwerkConfig};
+
+fn finish(netlist: &Netlist, global: &Placement) -> Placement {
+    let mut legal = legalize(netlist, global).expect("legalizable");
+    refine(netlist, &mut legal, 2);
+    legal
+}
+
+#[test]
+fn kraftwerk_pipeline_is_legal_and_beats_scatter() {
+    let nl = generate(&SynthConfig::with_size("pipe", 600, 720, 12));
+    let global = GlobalPlacer::new(KraftwerkConfig::standard()).place(&nl);
+    let legal = finish(&nl, &global.placement);
+    assert!(check_legality(&nl, &legal, 1e-6).is_legal());
+
+    // Scatter reference: cells placed round-robin over rows.
+    let mut scatter = nl.initial_placement();
+    let rows = nl.rows();
+    let movable: Vec<_> = nl.movable_cells().map(|(id, _)| id).collect();
+    for (i, &id) in movable.iter().enumerate() {
+        let row = rows[i % rows.len()];
+        let frac = (i / rows.len()) as f64 / (movable.len() / rows.len()).max(1) as f64;
+        scatter.set_position(
+            id,
+            kraftwerk::geom::Point::new(row.x_lo + frac * row.width(), row.center_y()),
+        );
+    }
+    let ours = metrics::hpwl(&nl, &legal);
+    let scattered = metrics::hpwl(&nl, &scatter);
+    assert!(
+        ours < 0.5 * scattered,
+        "pipeline {ours:.0} should be well under scatter {scattered:.0}"
+    );
+}
+
+#[test]
+fn all_three_placers_complete_the_pipeline_on_fract() {
+    // The smallest Table 1 circuit through all three flows.
+    let nl = mcnc::by_name("fract");
+
+    let kw = finish(
+        &nl,
+        &GlobalPlacer::new(KraftwerkConfig::standard()).place(&nl).placement,
+    );
+    assert!(check_legality(&nl, &kw, 1e-6).is_legal());
+
+    let (sa_global, _) = AnnealingPlacer::new(AnnealingConfig::default()).place(&nl);
+    let sa = finish(&nl, &sa_global);
+    assert!(check_legality(&nl, &sa, 1e-6).is_legal());
+
+    let gq = finish(&nl, &GordianPlacer::new(GordianConfig::default()).place(&nl));
+    assert!(check_legality(&nl, &gq, 1e-6).is_legal());
+
+    // All three produce comparable-order wire length; none is broken.
+    let (a, b, c) = (
+        metrics::hpwl(&nl, &kw),
+        metrics::hpwl(&nl, &sa),
+        metrics::hpwl(&nl, &gq),
+    );
+    let max = a.max(b).max(c);
+    let min = a.min(b).min(c);
+    assert!(max < 4.0 * min, "wild spread: kw {a:.0}, sa {b:.0}, gordian {c:.0}");
+}
+
+#[test]
+fn pipeline_handles_the_fast_mode() {
+    let nl = generate(&SynthConfig::with_size("pipe_fast", 500, 620, 10));
+    let global = GlobalPlacer::new(KraftwerkConfig::fast()).place(&nl);
+    let legal = finish(&nl, &global.placement);
+    assert!(check_legality(&nl, &legal, 1e-6).is_legal());
+}
+
+#[test]
+fn pipeline_is_deterministic_end_to_end() {
+    let nl = generate(&SynthConfig::with_size("pipe_det", 300, 380, 8));
+    let one = finish(
+        &nl,
+        &GlobalPlacer::new(KraftwerkConfig::standard()).place(&nl).placement,
+    );
+    let two = finish(
+        &nl,
+        &GlobalPlacer::new(KraftwerkConfig::standard()).place(&nl).placement,
+    );
+    assert_eq!(one, two);
+}

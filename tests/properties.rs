@@ -1,0 +1,174 @@
+//! Cross-crate property-based tests: invariants that must hold for *any*
+//! circuit the generator can produce, not just the benchmark presets.
+
+use kraftwerk::field::{density_map, largest_empty_square};
+use kraftwerk::legalize::{check_legality, legalize};
+use kraftwerk::netlist::format::{bookshelf, read_netlist, write_netlist};
+use kraftwerk::netlist::synth::{generate, SynthConfig};
+use kraftwerk::netlist::{metrics, PinDirection};
+use kraftwerk::placer::{NetModel, QuadraticSystem};
+use kraftwerk::sparse::{solve, CgOptions, JacobiPreconditioner};
+use kraftwerk::timing::{DelayModel, Sta};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+/// Strategy: a generator config with varied shape.
+fn synth_configs() -> impl Strategy<Value = SynthConfig> {
+    (30usize..300, 2usize..10, 0u64..50, 0usize..3).prop_map(|(cells, rows, seed, blocks)| {
+        let nets = cells + cells / 4 + 10;
+        SynthConfig::with_size(format!("prop{seed}"), cells, nets, rows)
+            .seed(seed)
+            .blocks(blocks)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_netlists_are_structurally_sound(cfg in synth_configs()) {
+        let nl = generate(&cfg);
+        prop_assert_eq!(nl.num_movable(), cfg.cells + cfg.blocks);
+        prop_assert_eq!(nl.num_nets(), cfg.nets);
+        // Every net has exactly one driver and at least two pins.
+        for (id, net) in nl.nets() {
+            prop_assert!(net.degree() >= 2);
+            let drivers = net
+                .pins()
+                .iter()
+                .filter(|&&p| nl.pin(p).direction() == PinDirection::Output)
+                .count();
+            prop_assert_eq!(drivers, 1, "net {} has {} drivers", id, drivers);
+        }
+        // Every cell is connected.
+        for (id, cell) in nl.cells() {
+            prop_assert!(!cell.pins().is_empty(), "cell {} floating", id);
+        }
+    }
+
+    #[test]
+    fn generated_netlists_are_acyclic_with_positive_bound(cfg in synth_configs()) {
+        let nl = generate(&cfg);
+        let sta = Sta::new(&nl, DelayModel::default());
+        prop_assert!(sta.is_ok(), "combinational loop in generated circuit");
+        let bound = sta.unwrap().lower_bound();
+        prop_assert!(bound > 0.0 && bound.is_finite());
+    }
+
+    #[test]
+    fn density_map_always_integrates_to_zero(cfg in synth_configs(), seed in 0u64..100) {
+        let nl = generate(&cfg);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let core = nl.core_region();
+        let mut p = nl.initial_placement();
+        for (id, cell) in nl.cells() {
+            if cell.is_movable() {
+                p.set_position(id, kraftwerk::geom::Point::new(
+                    rng.gen_range(core.x_lo..core.x_hi),
+                    rng.gen_range(core.y_lo..core.y_hi),
+                ));
+            }
+        }
+        let d = density_map(&nl, &p, 16, 8);
+        prop_assert!(d.integral().abs() < 1e-6);
+        prop_assert!(d.values().iter().all(|v| v.is_finite()));
+        // The empty-square area never exceeds the core area.
+        let empty = largest_empty_square(&nl, &p, 64);
+        prop_assert!(empty <= core.area() + 1e-9);
+    }
+
+    #[test]
+    fn random_placements_legalize_when_rows_exist(cfg in synth_configs(), seed in 0u64..100) {
+        let nl = generate(&cfg);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let core = nl.core_region();
+        let mut p = nl.initial_placement();
+        for (id, cell) in nl.cells() {
+            if cell.kind() == kraftwerk::netlist::CellKind::Standard {
+                p.set_position(id, kraftwerk::geom::Point::new(
+                    rng.gen_range(core.x_lo..core.x_hi),
+                    rng.gen_range(core.y_lo..core.y_hi),
+                ));
+            }
+        }
+        // Blocks (if any) may overlap rows arbitrarily in this random
+        // placement; the legalizer treats them as obstacles, so capacity
+        // can be insufficient — only assert on block-free designs.
+        if cfg.blocks == 0 {
+            let legal = legalize(&nl, &p).expect("block-free circuits legalize");
+            let report = check_legality(&nl, &legal, 1e-6);
+            prop_assert!(report.is_legal(), "{:?}", report);
+            prop_assert!(metrics::hpwl(&nl, &legal).is_finite());
+        }
+    }
+
+    #[test]
+    fn text_format_roundtrips_any_generated_netlist(cfg in synth_configs()) {
+        let nl = generate(&cfg);
+        let text = write_netlist(&nl);
+        let back = read_netlist(&text).expect("own output parses");
+        prop_assert_eq!(back.num_cells(), nl.num_cells());
+        prop_assert_eq!(back.num_nets(), nl.num_nets());
+        prop_assert_eq!(back.num_pins(), nl.num_pins());
+        prop_assert_eq!(write_netlist(&back), text);
+    }
+
+    #[test]
+    fn bookshelf_roundtrips_any_generated_netlist(cfg in synth_configs()) {
+        let nl = generate(&cfg);
+        let files = bookshelf::write(&nl, Some(&nl.initial_placement()));
+        let (back, placement) = bookshelf::read(&files).expect("own output parses");
+        prop_assert_eq!(back.num_cells(), nl.num_cells());
+        prop_assert_eq!(back.num_nets(), nl.num_nets());
+        let placement = placement.expect("placement present");
+        let a = metrics::hpwl(&nl, &nl.initial_placement());
+        let b = metrics::hpwl(&back, &placement);
+        prop_assert!((a - b).abs() < 1e-3 * a.max(1.0), "hpwl {} vs {}", a, b);
+    }
+
+    #[test]
+    fn quadratic_solutions_satisfy_their_equations(cfg in synth_configs()) {
+        let nl = generate(&cfg);
+        let sys = QuadraticSystem::new(&nl);
+        let asm = sys.assemble(&nl, &nl.initial_placement(), None, NetModel::default(), None);
+        let b: Vec<f64> = asm.dx.iter().map(|v| -v).collect();
+        let result = solve(
+            &asm.cx,
+            &b,
+            None,
+            &JacobiPreconditioner::from_matrix(&asm.cx),
+            &CgOptions { max_iterations: 2000, ..CgOptions::default() },
+        );
+        prop_assert!(result.converged, "residual {}", result.residual_norm);
+        // Verify the residual independently.
+        let mut ax = vec![0.0; b.len()];
+        asm.cx.spmv(&result.x, &mut ax);
+        let mut err = 0.0f64;
+        let mut scale = 1e-12f64;
+        for i in 0..b.len() {
+            err += (ax[i] - b[i]).powi(2);
+            scale += b[i].powi(2);
+        }
+        prop_assert!((err / scale).sqrt() < 1e-4);
+    }
+
+    #[test]
+    fn sta_slacks_are_consistent(cfg in synth_configs()) {
+        let nl = generate(&cfg);
+        let sta = Sta::new(&nl, DelayModel::default()).expect("acyclic");
+        let report = sta.analyze(&nl.initial_placement());
+        prop_assert!(report.max_delay >= sta.lower_bound() - 1e-9);
+        for &s in &report.net_slack {
+            if s.is_finite() {
+                prop_assert!(s >= -1e-9, "negative slack {}", s);
+            }
+        }
+        // Timed nets on the critical path have (near-)zero slack; huge
+        // nets are excluded from timing and carry infinite slack even
+        // when the longest path runs through them.
+        for &net in &report.critical_path {
+            let s = report.net_slack[net.index()];
+            prop_assert!(s < 1e-6 || s.is_infinite(), "slack {} on critical net", s);
+        }
+    }
+}
