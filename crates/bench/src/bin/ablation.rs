@@ -49,7 +49,8 @@ fn main() {
 fn multilevel() {
     use kraftwerk_core::{place_multilevel, ClusteringConfig, GlobalPlacer};
     use kraftwerk_legalize::{legalize, refine};
-    println!("A5: multilevel placement (cluster -> place coarse -> expand -> refine)");
+    let console = kraftwerk_bench::console();
+    console.info("A5: multilevel placement (cluster -> place coarse -> expand -> refine)");
     let nl = generate(&SynthConfig::with_size("ablation_ml", 6000, 7200, 40));
     let finish = |p: &kraftwerk_netlist::Placement| {
         let mut l = legalize(&nl, p).expect("legalizable");
@@ -68,13 +69,13 @@ fn multilevel() {
     );
     let t_ml = t0.elapsed().as_secs_f64();
     let (flat_wire, ml_wire) = (finish(&flat.placement), finish(&ml.placement));
-    println!("  flat:       wire {flat_wire:>10.0}  {t_flat:>6.1} s");
-    println!(
+    console.info(format!("  flat:       wire {flat_wire:>10.0}  {t_flat:>6.1} s"));
+    console.info(format!(
         "  multilevel: wire {ml_wire:>10.0}  {t_ml:>6.1} s  ({:+.1}% wire, {:.2}x speed)",
         100.0 * (ml_wire - flat_wire) / flat_wire,
         t_flat / t_ml
-    );
-    println!();
+    ));
+    console.info("");
 }
 
 /// A4: the detailed-placement ladder — what each stage after global
@@ -82,40 +83,42 @@ fn multilevel() {
 fn detail() {
     use kraftwerk_legalize::{legalize, legalize_tetris, optimize_windows, refine};
     use kraftwerk_netlist::metrics;
-    println!("A4: detailed placement ladder (HPWL after each stage)");
+    let console = kraftwerk_bench::console();
+    console.info("A4: detailed placement ladder (HPWL after each stage)");
     let nl = generate(&SynthConfig::with_size("ablation_detail", 3000, 3600, 28));
     let global = kraftwerk_core::GlobalPlacer::new(KraftwerkConfig::standard())
         .place(&nl)
         .placement;
-    println!("  global:          {:>10.0}", metrics::hpwl(&nl, &global));
+    console.info(format!("  global:          {:>10.0}", metrics::hpwl(&nl, &global)));
     let tetris = legalize_tetris(&nl, &global).expect("legalizable");
-    println!(
+    console.info(format!(
         "  tetris:          {:>10.0}  (displacement {:>9.0})",
         metrics::hpwl(&nl, &tetris),
         global.total_displacement(&tetris)
-    );
+    ));
     let mut p = legalize(&nl, &global).expect("legalizable");
-    println!(
+    console.info(format!(
         "  abacus:          {:>10.0}  (displacement {:>9.0})",
         metrics::hpwl(&nl, &p),
         global.total_displacement(&p)
-    );
+    ));
     refine(&nl, &mut p, 2);
-    println!("  + refine:        {:>10.0}", metrics::hpwl(&nl, &p));
+    console.info(format!("  + refine:        {:>10.0}", metrics::hpwl(&nl, &p)));
     let gain = optimize_windows(&nl, &mut p, 6);
-    println!("  + windows:       {:>10.0}  (window pass gained {gain:.0})", metrics::hpwl(&nl, &p));
+    console.info(format!("  + windows:       {:>10.0}  (window pass gained {gain:.0})", metrics::hpwl(&nl, &p)));
     refine(&nl, &mut p, 1);
-    println!("  + refine again:  {:>10.0}", metrics::hpwl(&nl, &p));
-    println!();
+    console.info(format!("  + refine again:  {:>10.0}", metrics::hpwl(&nl, &p)));
+    console.info("");
 }
 
 /// A1: field solver accuracy and speed.
 fn solvers() {
-    println!("A1: force-field solvers — multigrid vs direct superposition");
-    println!(
+    let console = kraftwerk_bench::console();
+    console.info("A1: force-field solvers — multigrid vs direct superposition");
+    console.info(format!(
         "{:>6} | {:>12} {:>12} | {:>9} {:>9}",
         "grid", "direct [ms]", "mgrid [ms]", "rel.err", "cosine"
-    );
+    ));
     let nl = generate(&SynthConfig::with_size("ablation_field", 2000, 2400, 20));
     let placement = {
         // A mid-flight placement: half spread.
@@ -151,22 +154,23 @@ fn solvers() {
                 nb += b.norm_sq();
             }
         }
-        println!(
+        console.info(format!(
             "{:>6} | {:>12.2} {:>12.2} | {:>9.3} {:>9.4}",
             format!("{bins}x{ny}"),
             t_direct,
             t_mg,
             (err / base).sqrt(),
             dot / (na.sqrt() * nb.sqrt()),
-        );
+        ));
     }
-    println!();
+    console.info("");
 }
 
 /// A2: net model and linearization choices, end to end.
 fn models() {
-    println!("A2: net model / linearization ablation (legalized wire length, CPU)");
-    println!("{:<26} | {:>10} {:>8}", "variant", "wire [m]", "CPU [s]");
+    let console = kraftwerk_bench::console();
+    console.info("A2: net model / linearization ablation (legalized wire length, CPU)");
+    console.info(format!("{:<26} | {:>10} {:>8}", "variant", "wire [m]", "CPU [s]"));
     let nl = generate(&SynthConfig::with_size("ablation_model", 3000, 3600, 28));
     let variants: Vec<(&str, KraftwerkConfig)> = vec![
         ("hybrid + linearization", KraftwerkConfig::standard()),
@@ -192,20 +196,21 @@ fn models() {
     ];
     for (label, cfg) in variants {
         let run = run_kraftwerk(&nl, cfg);
-        println!(
+        console.info(format!(
             "{:<26} | {:>10.4} {:>8.1}{}",
             label,
             run.wirelength_m,
             run.seconds,
             if run.legal { "" } else { "  (ILLEGAL)" }
-        );
+        ));
     }
-    println!();
+    console.info("");
 }
 
 /// A3: congestion- and heat-driven modes.
 fn maps() {
-    println!("A3: congestion- and heat-driven placement (section 5 modes)");
+    let console = kraftwerk_bench::console();
+    console.info("A3: congestion- and heat-driven placement (section 5 modes)");
     let base = generate(&SynthConfig::with_size("ablation_maps", 2000, 2400, 20));
     let n = base.num_movable();
     // A hot cluster so the heat map is not just the cell density.
@@ -223,10 +228,10 @@ fn maps() {
     let tracks = 0.6 * routing_demand_map(&nl, &plain.placement, nx, ny).max();
     let plain_overflow = total_overflow(&congestion_map(&nl, &plain.placement, nx, ny, tracks));
     let plain_peak = peak(&thermal_map(&nl, &plain.placement, nx, ny));
-    println!(
+    console.info(format!(
         "{:<18} | wire {:>8.4} m | overflow {:>9.0} | peak temp {:>6.2}",
         "plain", plain.wirelength_m, plain_overflow, plain_peak
-    );
+    ));
 
     for (label, heat) in [("congestion-driven", false), ("heat-driven", true)] {
         let mut session = PlacementSession::new(&nl, cfg.clone());
@@ -245,13 +250,13 @@ fn maps() {
         let p = session.placement();
         let overflow = total_overflow(&congestion_map(&nl, p, nx, ny, tracks));
         let peak_t = peak(&thermal_map(&nl, p, nx, ny));
-        println!(
+        console.info(format!(
             "{:<18} | wire {:>8.4} m | overflow {:>9.0} | peak temp {:>6.2}",
             label,
             metrics::hpwl(&nl, p) * kraftwerk_bench::UNITS_TO_METERS,
             overflow,
             peak_t
-        );
+        ));
     }
-    println!();
+    console.info("");
 }

@@ -18,6 +18,7 @@ use kraftwerk_netlist::synth::mcnc;
 use kraftwerk_timing::{meet_requirements, DelayModel, Sta};
 
 fn main() {
+    let console = kraftwerk_bench::console();
     for name in ["primary1", "struct"] {
         let netlist = mcnc::by_name(name);
 
@@ -39,7 +40,7 @@ fn main() {
         }
         let file = format!("convergence_{}.csv", name.replace('.', "_"));
         write_csv(&file, "iteration;hpwl;peak_density;empty_square;cg_iters", &rows);
-        println!("{name}: {} transformations -> bench_results/{file}", rows.len());
+        console.info(format!("{name}: {} transformations -> bench_results/{file}", rows.len()));
 
         // Timing/area trade-off curve.
         let model = DelayModel::default();
@@ -67,11 +68,11 @@ fn main() {
             .collect();
         let file = format!("tradeoff_{}.csv", name.replace('.', "_"));
         write_csv(&file, "step;delay_ns;hpwl", &rows);
-        println!(
+        console.info(format!(
             "{name}: requirement {:.2} ns met = {} ({} points) -> bench_results/{file}",
             result.requirement,
             result.met,
             result.curve.len()
-        );
+        ));
     }
 }

@@ -18,6 +18,7 @@ use kraftwerk_core::KraftwerkConfig;
 use kraftwerk_netlist::synth::{generate, mcnc};
 
 fn main() {
+    let console = kraftwerk_bench::console();
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--large") {
         run_large();
@@ -26,11 +27,11 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let circuits = table1_circuits(if quick { 7000 } else { usize::MAX });
 
-    println!("E5: standard (K=0.2) vs fast mode — wire length [m] and CPU [s]");
-    println!(
+    console.info("E5: standard (K=0.2) vs fast mode — wire length [m] and CPU [s]");
+    console.info(format!(
         "{:<12} | {:>10} {:>8} | {:>10} {:>8} | {:>8} {:>8}",
         "circuit", "std wire", "std CPU", "fast wire", "fast CPU", "wire +%", "speedup"
-    );
+    ));
     let mut wire_sum = 0.0;
     let mut speed_sum = 0.0;
     let mut count = 0.0;
@@ -40,7 +41,7 @@ fn main() {
         let fast_run = run_kraftwerk(&netlist, KraftwerkConfig::fast());
         let wire_pct = 100.0 * (fast_run.wirelength_m - std_run.wirelength_m) / std_run.wirelength_m;
         let speedup = std_run.seconds / fast_run.seconds;
-        println!(
+        console.info(format!(
             "{:<12} | {:>10.4} {:>8.1} | {:>10.4} {:>8.1} | {:>8.1} {:>8.2}",
             preset.name,
             std_run.wirelength_m,
@@ -49,33 +50,34 @@ fn main() {
             fast_run.seconds,
             wire_pct,
             speedup,
-        );
+        ));
         wire_sum += wire_pct;
         speed_sum += speedup;
         count += 1.0;
     }
-    println!(
+    console.info(format!(
         "{:<12} | {:>31} | {:>8.1} {:>8.2}",
         "average",
         "",
         wire_sum / count,
         speed_sum / count
-    );
-    println!("\n(paper: fast mode is ~3x faster at ~6% wire-length cost)");
+    ));
+    console.info("\n(paper: fast mode is ~3x faster at ~6% wire-length cost)");
 }
 
 fn run_large() {
-    println!("E6: 210,000-cell circuit, fast mode (paper: legal placement within 10 minutes)");
+    let console = kraftwerk_bench::console();
+    console.info("E6: 210,000-cell circuit, fast mode (paper: legal placement within 10 minutes)");
     let started = std::time::Instant::now();
     let netlist = generate(&mcnc::giant());
-    println!(
+    console.info(format!(
         "generated {} cells / {} nets in {:.0}s",
         netlist.num_movable(),
         netlist.num_nets(),
         started.elapsed().as_secs_f64()
-    );
+    ));
     let result = run_kraftwerk(&netlist, KraftwerkConfig::fast());
-    println!(
+    console.info(format!(
         "fast-mode flow: wire {:.3} m, CPU {:.0}s, legal: {} — {}",
         result.wirelength_m,
         result.seconds,
@@ -85,5 +87,5 @@ fn run_large() {
         } else {
             "outside the paper's 10-minute budget"
         }
-    );
+    ));
 }

@@ -17,14 +17,15 @@ use kraftwerk_core::KraftwerkConfig;
 use kraftwerk_netlist::synth::mcnc;
 
 fn main() {
+    let console = kraftwerk_bench::console();
     let quick = std::env::args().any(|a| a == "--quick");
     let circuits = table1_circuits(if quick { 7000 } else { usize::MAX });
 
-    println!("Table 1: wire length [m] and CPU [s] (legalized placements)");
-    println!(
+    console.info("Table 1: wire length [m] and CPU [s] (legalized placements)");
+    console.info(format!(
         "{:<12} {:>7} {:>7} | {:>10} {:>8} | {:>10} {:>8} | {:>10} {:>8}",
         "circuit", "#cells", "#nets", "TW wire", "TW CPU", "Go wire", "Go CPU", "Our wire", "Our CPU"
-    );
+    ));
     let mut rows = Vec::new();
     for preset in circuits {
         let netlist = mcnc::by_name(preset.name);
@@ -32,7 +33,7 @@ fn main() {
         let gq = run_gordian(&netlist, GordianConfig::default());
         let kw = run_kraftwerk(&netlist, KraftwerkConfig::standard());
         assert!(sa.legal && gq.legal && kw.legal, "illegal result on {}", preset.name);
-        println!(
+        console.info(format!(
             "{:<12} {:>7} {:>7} | {:>10.4} {:>8.1} | {:>10.4} {:>8.1} | {:>10.4} {:>8.1}",
             preset.name,
             preset.cells,
@@ -43,7 +44,7 @@ fn main() {
             gq.seconds,
             kw.wirelength_m,
             kw.seconds,
-        );
+        ));
         rows.push(vec![
             preset.name.to_owned(),
             format!("{}", preset.cells),
@@ -60,5 +61,5 @@ fn main() {
         "circuit;cells;tw_wire;tw_cpu;go_wire;go_cpu;our_wire;our_cpu",
         &rows,
     );
-    println!("\ncached to bench_results/table1.csv (table2 derives from it)");
+    console.info("\ncached to bench_results/table1.csv (table2 derives from it)");
 }

@@ -13,15 +13,16 @@
 use kraftwerk_bench::read_csv;
 
 fn main() {
+    let console = kraftwerk_bench::console();
     let Some(rows) = read_csv("table1.csv") else {
-        eprintln!("bench_results/table1.csv not found — run the `table1` binary first");
+        console.warn("bench_results/table1.csv not found — run the `table1` binary first");
         std::process::exit(1);
     };
-    println!("Table 2: wire-length improvement of our approach [%] and relative CPU");
-    println!(
+    console.info("Table 2: wire-length improvement of our approach [%] and relative CPU");
+    console.info(format!(
         "{:<12} | {:>9} {:>8} | {:>9} {:>8}",
         "circuit", "%impr TW", "rel CPU", "%impr Go", "rel CPU"
-    );
+    ));
     let mut sums = [0.0f64; 4];
     let mut count = 0.0;
     for row in &rows {
@@ -32,23 +33,23 @@ fn main() {
         let impr_go = 100.0 * (go_wire - our_wire) / go_wire;
         let rel_tw = our_cpu / tw_cpu;
         let rel_go = our_cpu / go_cpu;
-        println!(
+        console.info(format!(
             "{:<12} | {:>9.1} {:>8.2} | {:>9.1} {:>8.2}",
             row[0], impr_tw, rel_tw, impr_go, rel_go
-        );
+        ));
         sums[0] += impr_tw;
         sums[1] += rel_tw;
         sums[2] += impr_go;
         sums[3] += rel_go;
         count += 1.0;
     }
-    println!(
+    console.info(format!(
         "{:<12} | {:>9.1} {:>8.2} | {:>9.1} {:>8.2}",
         "average",
         sums[0] / count,
         sums[1] / count,
         sums[2] / count,
         sums[3] / count
-    );
-    println!("\n(paper: +7.9% vs TimberWolf, +6.6% vs Gordian/Domino on average)");
+    ));
+    console.info("\n(paper: +7.9% vs TimberWolf, +6.6% vs Gordian/Domino on average)");
 }

@@ -21,6 +21,7 @@ use kraftwerk_netlist::synth::mcnc;
 use kraftwerk_timing::DelayModel;
 
 fn main() {
+    let console = kraftwerk_bench::console();
     let quick = std::env::args().any(|a| a == "--quick");
     let model = DelayModel::default();
     let circuits: Vec<_> = mcnc::TIMING_CIRCUITS
@@ -35,11 +36,11 @@ fn main() {
         .filter(|p| !quick || p.cells <= 7000)
         .collect();
 
-    println!("Table 3: longest path without/with timing optimization [ns], CPU [s]");
-    println!(
+    console.info("Table 3: longest path without/with timing optimization [ns], CPU [s]");
+    console.info(format!(
         "{:<12} | {:>8} {:>8} {:>7} | {:>8} {:>8} {:>7} | {:>8} {:>8} {:>7}",
         "circuit", "TW w/o", "TW with", "CPU", "Go w/o", "Go with", "CPU", "Our w/o", "Our with", "CPU"
-    );
+    ));
     let mut rows = Vec::new();
     for preset in circuits {
         let netlist = mcnc::by_name(preset.name);
@@ -65,13 +66,13 @@ fn main() {
         });
         let kw = run_kraftwerk_timing(&netlist, model);
 
-        println!(
+        console.info(format!(
             "{:<12} | {:>8.2} {:>8.2} {:>7.1} | {:>8.2} {:>8.2} {:>7.1} | {:>8.2} {:>8.2} {:>7.1}",
             preset.name,
             sa.without_ns, sa.with_ns, sa.seconds,
             gq.without_ns, gq.with_ns, gq.seconds,
             kw.without_ns, kw.with_ns, kw.seconds,
-        );
+        ));
         rows.push(vec![
             preset.name.to_owned(),
             format!("{bound:.4}"),
@@ -91,5 +92,5 @@ fn main() {
         "circuit;bound;tw_wo;tw_with;tw_cpu;go_wo;go_with;go_cpu;our_wo;our_with;our_cpu",
         &rows,
     );
-    println!("\ncached to bench_results/table3.csv (table4 derives from it)");
+    console.info("\ncached to bench_results/table3.csv (table4 derives from it)");
 }

@@ -14,15 +14,16 @@
 use kraftwerk_bench::read_csv;
 
 fn main() {
+    let console = kraftwerk_bench::console();
     let Some(rows) = read_csv("table3.csv") else {
-        eprintln!("bench_results/table3.csv not found — run the `table3` binary first");
+        console.warn("bench_results/table3.csv not found — run the `table3` binary first");
         std::process::exit(1);
     };
-    println!("Table 4: lower bound [ns], exploitation of optimization potential, relative CPU");
-    println!(
+    console.info("Table 4: lower bound [ns], exploitation of optimization potential, relative CPU");
+    console.info(format!(
         "{:<12} {:>8} | {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8}",
         "circuit", "bound", "TW expl", "rel CPU", "Go expl", "rel CPU", "Our expl", "rel CPU"
-    );
+    ));
     let mut sums = [0.0f64; 5];
     let mut count = 0.0;
     for row in &rows {
@@ -34,7 +35,7 @@ fn main() {
         };
         let (tw_e, go_e, our_e) = (expl(f(2), f(3)), expl(f(5), f(6)), expl(f(8), f(9)));
         let (tw_cpu, go_cpu, our_cpu) = (f(4), f(7), f(10));
-        println!(
+        console.info(format!(
             "{:<12} {:>8.2} | {:>7.0}% {:>8.1} | {:>7.0}% {:>8.1} | {:>7.0}% {:>8.1}",
             row[0],
             bound,
@@ -44,7 +45,7 @@ fn main() {
             go_cpu / our_cpu,
             our_e * 100.0,
             1.0,
-        );
+        ));
         sums[0] += tw_e;
         sums[1] += tw_cpu / our_cpu;
         sums[2] += go_e;
@@ -52,7 +53,7 @@ fn main() {
         sums[4] += our_e;
         count += 1.0;
     }
-    println!(
+    console.info(format!(
         "{:<12} {:>8} | {:>7.0}% {:>8.1} | {:>7.0}% {:>8.1} | {:>7.0}% {:>8.1}",
         "average",
         "",
@@ -62,6 +63,6 @@ fn main() {
         sums[3] / count,
         100.0 * sums[4] / count,
         1.0,
-    );
-    println!("\n(paper: compared methods exploit up to 42% / 40%, ours 53% with less CPU)");
+    ));
+    console.info("\n(paper: compared methods exploit up to 42% / 40%, ours 53% with less CPU)");
 }

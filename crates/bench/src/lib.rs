@@ -9,14 +9,29 @@
 //! Results are cached as small CSV files under `bench_results/` so the
 //! derived tables (2 and 4) can be regenerated without re-running the
 //! placers.
+//!
+//! All harness binaries print through [`kraftwerk_trace::Console`] (get
+//! one with [`console`]) so `--quiet`/`-v` mean the same thing
+//! everywhere, and every completed flow reports its measurement as a
+//! `bench.flow` trace event when a sink is installed.
 
 use kraftwerk_baselines::{AnnealingConfig, AnnealingPlacer, GordianConfig, GordianPlacer};
 use kraftwerk_core::{GlobalPlacer, KraftwerkConfig};
 use kraftwerk_legalize::{check_legality, legalize, refine};
 use kraftwerk_netlist::{metrics, Netlist, Placement};
 use kraftwerk_timing::{optimize_timing_legalized, CriticalityTracker, DelayModel, Sta};
+use kraftwerk_trace::{Console, Value};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
+
+/// The shared reporter for harness binaries: built from the conventional
+/// CLI flags (`--quiet`/`-q`, `--verbose`/`-v`) of the current process.
+#[must_use]
+pub fn console() -> Console {
+    let args: Vec<String> = std::env::args().collect();
+    let has = |f: &str| args.iter().any(|a| a == f);
+    Console::from_flags(has("--quiet") || has("-q"), has("--verbose") || has("-v"))
+}
 
 /// Layout units (µm) to meters.
 pub const UNITS_TO_METERS: f64 = 1e-6;
@@ -34,16 +49,29 @@ pub struct FlowResult {
     pub legal: bool,
 }
 
-fn finish(netlist: &Netlist, global: Placement, started: Instant) -> FlowResult {
+fn finish(flow: &'static str, netlist: &Netlist, global: Placement, started: Instant) -> FlowResult {
     let mut legal = legalize(netlist, &global).expect("row capacity");
     refine(netlist, &mut legal, 2);
     let seconds = started.elapsed().as_secs_f64();
-    FlowResult {
+    let result = FlowResult {
         wirelength_m: metrics::hpwl(netlist, &legal) * UNITS_TO_METERS,
         legal: check_legality(netlist, &legal, 1e-6).is_legal(),
         placement: legal,
         seconds,
+    };
+    if kraftwerk_trace::enabled() {
+        kraftwerk_trace::event(
+            "bench.flow",
+            vec![
+                ("flow", Value::from(flow)),
+                ("circuit", Value::from(netlist.name())),
+                ("wirelength_m", Value::from(result.wirelength_m)),
+                ("seconds", Value::from(result.seconds)),
+                ("legal", Value::from(result.legal)),
+            ],
+        );
     }
+    result
 }
 
 /// The Kraftwerk flow (standard or any other config).
@@ -51,7 +79,7 @@ fn finish(netlist: &Netlist, global: Placement, started: Instant) -> FlowResult 
 pub fn run_kraftwerk(netlist: &Netlist, config: KraftwerkConfig) -> FlowResult {
     let started = Instant::now();
     let global = GlobalPlacer::new(config).place(netlist).placement;
-    finish(netlist, global, started)
+    finish("kraftwerk", netlist, global, started)
 }
 
 /// The TimberWolf-class simulated annealing flow.
@@ -59,7 +87,7 @@ pub fn run_kraftwerk(netlist: &Netlist, config: KraftwerkConfig) -> FlowResult {
 pub fn run_annealing(netlist: &Netlist, config: AnnealingConfig) -> FlowResult {
     let started = Instant::now();
     let (global, _) = AnnealingPlacer::new(config).place(netlist);
-    finish(netlist, global, started)
+    finish("annealing", netlist, global, started)
 }
 
 /// The GORDIAN-class quadratic/partitioning flow.
@@ -67,7 +95,7 @@ pub fn run_annealing(netlist: &Netlist, config: AnnealingConfig) -> FlowResult {
 pub fn run_gordian(netlist: &Netlist, config: GordianConfig) -> FlowResult {
     let started = Instant::now();
     let global = GordianPlacer::new(config).place(netlist);
-    finish(netlist, global, started)
+    finish("gordian", netlist, global, started)
 }
 
 /// Timing measurement of a finished flow: longest path in ns.
@@ -90,6 +118,21 @@ pub struct TimingOutcome {
     pub seconds: f64,
 }
 
+fn emit_timing(flow: &'static str, netlist: &Netlist, outcome: &TimingOutcome) {
+    if kraftwerk_trace::enabled() {
+        kraftwerk_trace::event(
+            "bench.timing",
+            vec![
+                ("flow", Value::from(flow)),
+                ("circuit", Value::from(netlist.name())),
+                ("without_ns", Value::from(outcome.without_ns)),
+                ("with_ns", Value::from(outcome.with_ns)),
+                ("seconds", Value::from(outcome.seconds)),
+            ],
+        );
+    }
+}
+
 /// Kraftwerk timing-driven flow (the paper's iterative net weighting,
 /// measured on legal placements).
 #[must_use]
@@ -100,11 +143,13 @@ pub fn run_kraftwerk_timing(netlist: &Netlist, model: DelayModel) -> TimingOutco
     let optimized = optimize_timing_legalized(netlist, model, cfg, 3)
         .expect("synthetic circuits are acyclic")
         .placement;
-    TimingOutcome {
+    let outcome = TimingOutcome {
         without_ns: longest_path(netlist, &plain.placement, model),
         with_ns: longest_path(netlist, &optimized, model),
         seconds: started.elapsed().as_secs_f64(),
-    }
+    };
+    emit_timing("kraftwerk", netlist, &outcome);
+    outcome
 }
 
 /// Timing-driven baseline: iterate (place → STA → net weights) a few
@@ -133,11 +178,13 @@ pub fn run_baseline_timing(
         best = best.min(report.max_delay);
         weights = tracker.update(&report);
     }
-    TimingOutcome {
+    let outcome = TimingOutcome {
         without_ns,
         with_ns: best,
         seconds: started.elapsed().as_secs_f64(),
-    }
+    };
+    emit_timing("baseline", netlist, &outcome);
+    outcome
 }
 
 /// Zero-wire lower bound of a circuit (Table 4).

@@ -360,6 +360,7 @@ pub fn route(
     config: &RouterConfig,
 ) -> RouteResult {
     assert!(nx >= 2 && ny >= 2, "routing grid needs at least 2x2 cells");
+    let _timer = kraftwerk_trace::span("route.global");
     let core = netlist.core_region();
     let gcell_of = |p: Point| -> (usize, usize) {
         let fx = ((p.x - core.x_lo) / core.width() * nx as f64).floor();
@@ -399,8 +400,16 @@ pub fn route(
     }
 
     // Rip-up and re-route with history escalation.
-    for _ in 0..config.reroute_passes {
-        if grid.total_overflow(config) <= 0.0 {
+    for pass in 0..config.reroute_passes {
+        let pass_overflow = grid.total_overflow(config);
+        kraftwerk_trace::event(
+            "route.pass",
+            vec![
+                ("pass", kraftwerk_trace::Value::from(pass)),
+                ("overflow", kraftwerk_trace::Value::from(pass_overflow)),
+            ],
+        );
+        if pass_overflow <= 0.0 {
             break;
         }
         // Grow history on overflowed edges.
@@ -441,6 +450,15 @@ pub fn route(
     let wirelength = connections.iter().map(|c| segments_length(&c.segments)).sum();
     let overflow = grid.total_overflow(config);
     let max_utilization = grid.max_utilization(config);
+    kraftwerk_trace::event(
+        "route.done",
+        vec![
+            ("connections", kraftwerk_trace::Value::from(connections.len())),
+            ("wirelength", kraftwerk_trace::Value::from(wirelength)),
+            ("overflow", kraftwerk_trace::Value::from(overflow)),
+            ("max_utilization", kraftwerk_trace::Value::from(max_utilization)),
+        ],
+    );
     RouteResult {
         grid,
         wirelength,

@@ -129,7 +129,7 @@ pub fn cluster(netlist: &Netlist, config: &ClusteringConfig) -> Clustering {
     let n = netlist.num_cells();
     // Union-find over original cells.
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, mut i: usize) -> usize {
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
         while parent[i] != i {
             parent[i] = parent[parent[i]];
             i = parent[i];
@@ -156,7 +156,7 @@ pub fn cluster(netlist: &Netlist, config: &ClusteringConfig) -> Clustering {
         let mut scores: HashMap<(usize, usize), f64> = HashMap::new();
         for (_, net) in netlist.nets() {
             let k = net.degree();
-            if k < 2 || k > 16 {
+            if !(2..=16).contains(&k) {
                 continue; // huge nets carry no locality signal
             }
             let w = 1.0 / (k as f64 - 1.0);

@@ -179,21 +179,33 @@ impl<'a> PlacementSession<'a> {
 
     /// Executes one *placement transformation* (section 4.1):
     /// density → force field → scale to `K(W+H)` → accumulate → re-solve.
+    ///
+    /// When a [`kraftwerk_trace`] sink is installed, each phase (density
+    /// map, Poisson solve, force assembly, CG x/y solves, metrics) runs
+    /// under a named span and the returned stats are also emitted as one
+    /// `iteration` event, so a
+    /// [`RunRecorder`](kraftwerk_trace::RunRecorder) yields one JSONL
+    /// record per transformation with per-phase wall times attached.
     pub fn transform(&mut self) -> IterationStats {
+        let tracing = kraftwerk_trace::enabled();
+        let iter_started = tracing.then(std::time::Instant::now);
         self.iteration += 1;
         let core = self.netlist.core_region();
         let (nx, ny) = self.grid_dims();
 
         // 1. Density deviation of the current placement (eq. 4), plus any
         //    injected congestion/heat demand.
+        let density_timer = kraftwerk_trace::span("place.density_map");
         let mut density = density_map(self.netlist, &self.placement, nx, ny);
         if let Some((map, weight)) = &self.demand {
             density.add_scaled(map, *weight);
             density.balance();
         }
         let peak_density = density.max();
+        density_timer.finish();
 
         // 2. Force field (eq. 9 / Poisson solve).
+        let field_timer = kraftwerk_trace::span("place.field_solve");
         let field = match self.config.field_solver {
             FieldSolverKind::Multigrid => MultigridSolver {
                 // Force directions only need a few correct digits; the
@@ -205,9 +217,11 @@ impl<'a> PlacementSession<'a> {
             .solve(&density),
             FieldSolverKind::Direct => DirectSolver::new().solve(&density),
         };
+        field_timer.finish();
 
         // 3. Assemble the current quadratic system; its diagonal is the
         //    per-cell stiffness the force scale must be expressed in.
+        let assembly_timer = kraftwerk_trace::span("place.force_assembly");
         let asm = self.system.assemble(
             self.netlist,
             &self.placement,
@@ -327,12 +341,17 @@ impl<'a> PlacementSession<'a> {
             bx.push(-asm.dx[i] + hx[i] + f.x);
             by.push(-asm.dy[i] + hy[i] + f.y);
         }
+        assembly_timer.finish();
 
         // 6. Solve, warm-started from the current placement.
+        let solve_x_timer = kraftwerk_trace::span("place.solve_x");
         let px = JacobiPreconditioner::from_matrix(&asm.cx);
-        let py = JacobiPreconditioner::from_matrix(&asm.cy);
         let rx = solve(&asm.cx, &bx, Some(&xs0), &px, &self.config.cg);
+        solve_x_timer.finish();
+        let solve_y_timer = kraftwerk_trace::span("place.solve_y");
+        let py = JacobiPreconditioner::from_matrix(&asm.cy);
         let ry = solve(&asm.cy, &by, Some(&ys0), &py, &self.config.cg);
+        solve_y_timer.finish();
 
         //    Trust region: the per-cell displacement estimate used for the
         //    force scale cannot see coupled modes (a whole chain of cells
@@ -358,17 +377,42 @@ impl<'a> PlacementSession<'a> {
         self.clamp_into_core();
 
         // 7. Progress metrics.
+        let metrics_timer = kraftwerk_trace::span("place.metrics");
         let empty_square_area =
             largest_empty_square(self.netlist, &self.placement, self.empty_square_resolution());
         self.last_empty_square.push(empty_square_area);
-        IterationStats {
+        let hpwl = metrics::hpwl(self.netlist, &self.placement);
+        metrics_timer.finish();
+        let stats = IterationStats {
             iteration: self.iteration,
-            hpwl: metrics::hpwl(self.netlist, &self.placement),
+            hpwl,
             empty_square_area,
             peak_density,
             cg_iterations: cg_iters,
             max_force,
+        };
+        if tracing {
+            let wall_s = iter_started.map_or(0.0, |t| t.elapsed().as_secs_f64());
+            kraftwerk_trace::event(
+                kraftwerk_trace::ITERATION_EVENT,
+                vec![
+                    ("iteration", kraftwerk_trace::Value::from(stats.iteration)),
+                    ("hpwl", kraftwerk_trace::Value::from(stats.hpwl)),
+                    ("peak_density", kraftwerk_trace::Value::from(stats.peak_density)),
+                    (
+                        "empty_square_area",
+                        kraftwerk_trace::Value::from(stats.empty_square_area),
+                    ),
+                    (
+                        "cg_iterations",
+                        kraftwerk_trace::Value::from(stats.cg_iterations),
+                    ),
+                    ("max_force", kraftwerk_trace::Value::from(stats.max_force)),
+                    ("wall_s", kraftwerk_trace::Value::from(wall_s)),
+                ],
+            );
         }
+        stats
     }
 
     /// Keeps every movable cell's footprint inside the core region. The

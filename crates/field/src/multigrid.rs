@@ -167,6 +167,18 @@ fn prolong_add(m_coarse: usize, coarse: &[f64], fine: &mut [f64]) {
     }
 }
 
+/// Number of grid levels a V-cycle descends through from an `m`-vertex
+/// fine grid (each level halves until the 5-vertex coarse solve).
+fn level_count(m: usize) -> usize {
+    let mut levels = 1;
+    let mut m = m;
+    while m > 5 {
+        m = m.div_ceil(2);
+        levels += 1;
+    }
+    levels
+}
+
 fn vcycle(level: &Level, phi: &mut [f64], rhs: &[f64]) {
     let m = level.m;
     if m <= 5 {
@@ -191,6 +203,7 @@ fn vcycle(level: &Level, phi: &mut [f64], rhs: &[f64]) {
 
 impl FieldSolver for MultigridSolver {
     fn solve(&self, density: &ScalarMap) -> ForceField {
+        let _timer = kraftwerk_trace::span("multigrid.solve");
         let region = density.region();
         let extent = region.width().max(region.height());
         let pad = self.padding * extent;
@@ -247,16 +260,38 @@ impl FieldSolver for MultigridSolver {
 
         let rhs_norm: f64 = rhs.iter().map(|v| v * v).sum::<f64>().sqrt();
         let mut phi = vec![0.0; m * m];
+        // Per-V-cycle residual norms for telemetry (collected only while a
+        // trace sink is installed).
+        let tracing = kraftwerk_trace::enabled();
+        let mut cycle_residuals = Vec::new();
+        let mut converged = rhs_norm == 0.0;
         if rhs_norm > 0.0 {
             let mut r = vec![0.0; m * m];
             for _ in 0..self.max_cycles {
                 vcycle(&level, &mut phi, &rhs);
                 residual(&level, &phi, &rhs, &mut r);
                 let rn: f64 = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+                if tracing {
+                    cycle_residuals.push(rn / rhs_norm);
+                }
                 if rn <= self.tolerance * rhs_norm {
+                    converged = true;
                     break;
                 }
             }
+        }
+        if tracing {
+            kraftwerk_trace::event(
+                "multigrid.solve",
+                vec![
+                    ("vertices_per_side", kraftwerk_trace::Value::from(m)),
+                    ("levels", kraftwerk_trace::Value::from(level_count(m))),
+                    ("cycles", kraftwerk_trace::Value::from(cycle_residuals.len())),
+                    ("converged", kraftwerk_trace::Value::from(converged)),
+                    ("relative_residuals", kraftwerk_trace::Value::from(cycle_residuals)),
+                ],
+            );
+            kraftwerk_trace::counter("multigrid.solves", 1);
         }
 
         // Gradient at vertices (central differences), then sample at the

@@ -194,6 +194,7 @@ fn build_segments(netlist: &Netlist, placement: &Placement) -> Vec<Segment> {
 /// Returns [`LegalizeError::NoRows`] for netlists without rows and
 /// [`LegalizeError::NoRoom`] when the row capacity is exhausted.
 pub fn legalize(netlist: &Netlist, placement: &Placement) -> Result<Placement, LegalizeError> {
+    let _timer = kraftwerk_trace::span("legalize.abacus");
     if netlist.rows().is_empty() {
         return Err(LegalizeError::NoRows);
     }

@@ -77,6 +77,7 @@ fn build_rows(netlist: &Netlist, placement: &Placement) -> Vec<Vec<Slot>> {
 /// span, then adjacent swaps) and returns the total HPWL improvement.
 /// The placement stays legal if it was legal on entry.
 pub fn refine(netlist: &Netlist, placement: &mut Placement, passes: usize) -> f64 {
+    let _timer = kraftwerk_trace::span("legalize.refine");
     let before = metrics::hpwl(netlist, placement);
     for _ in 0..passes {
         let mut rows = build_rows(netlist, placement);

@@ -29,6 +29,7 @@ pub fn legalize_tetris(
     netlist: &Netlist,
     placement: &Placement,
 ) -> Result<Placement, LegalizeError> {
+    let _timer = kraftwerk_trace::span("legalize.tetris");
     if netlist.rows().is_empty() {
         return Err(LegalizeError::NoRows);
     }

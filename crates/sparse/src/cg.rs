@@ -38,6 +38,26 @@ pub struct CgResult {
     pub converged: bool,
 }
 
+/// Residual-trajectory entries kept per telemetry event; solves running
+/// longer than this report a truncated (prefix) trajectory.
+const TRACE_TRAJECTORY_CAP: usize = 1024;
+
+/// Emits the `cg.solve` telemetry event (only called when tracing is on).
+fn emit_solve_event(dim: usize, result: &CgResult, trajectory: Vec<f64>) {
+    kraftwerk_trace::event(
+        "cg.solve",
+        vec![
+            ("dim", kraftwerk_trace::Value::from(dim)),
+            ("iterations", kraftwerk_trace::Value::from(result.iterations)),
+            ("residual", kraftwerk_trace::Value::from(result.residual_norm)),
+            ("converged", kraftwerk_trace::Value::from(result.converged)),
+            ("residual_trajectory", kraftwerk_trace::Value::from(trajectory)),
+        ],
+    );
+    kraftwerk_trace::counter("cg.iterations", result.iterations as u64);
+    kraftwerk_trace::counter("cg.solves", 1);
+}
+
 /// Solves `A x = b` for symmetric positive definite `A` by preconditioned
 /// conjugate gradients. `x0` seeds the iteration (placement transformations
 /// warm-start from the previous placement); `None` starts from zero.
@@ -78,14 +98,25 @@ pub fn solve(
     let mut rz = dot(&r, &z);
     let mut ap = vec![0.0; n];
 
+    // Residual trajectory for telemetry; only collected while a trace
+    // sink is installed, so the hot loop pays one branch otherwise.
+    let tracing = kraftwerk_trace::enabled();
+    let mut trajectory = Vec::new();
     let mut residual = norm2(&r);
+    if tracing {
+        trajectory.push(residual);
+    }
     if residual <= threshold {
-        return CgResult {
+        let result = CgResult {
             x,
             iterations: 0,
             residual_norm: residual,
             converged: true,
         };
+        if tracing {
+            emit_solve_event(n, &result, trajectory);
+        }
+        return result;
     }
 
     let mut iterations = 0;
@@ -102,13 +133,20 @@ pub fn solve(
         axpy(alpha, &p, &mut x);
         axpy(-alpha, &ap, &mut r);
         residual = norm2(&r);
+        if tracing && trajectory.len() < TRACE_TRAJECTORY_CAP {
+            trajectory.push(residual);
+        }
         if residual <= threshold {
-            return CgResult {
+            let result = CgResult {
                 x,
                 iterations,
                 residual_norm: residual,
                 converged: true,
             };
+            if tracing {
+                emit_solve_event(n, &result, trajectory);
+            }
+            return result;
         }
         preconditioner.apply(&r, &mut z);
         let rz_next = dot(&r, &z);
@@ -117,12 +155,16 @@ pub fn solve(
         xpby(&z, beta, &mut p);
     }
 
-    CgResult {
+    let result = CgResult {
         x,
         iterations,
         residual_norm: residual,
         converged: residual <= threshold,
+    };
+    if tracing {
+        emit_solve_event(n, &result, trajectory);
     }
+    result
 }
 
 #[cfg(test)]

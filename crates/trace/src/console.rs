@@ -1,0 +1,145 @@
+//! Leveled console reporting for CLIs and the experiment harness.
+//!
+//! Results go to stdout, progress and warnings to stderr, and everything
+//! respects one verbosity switch — so `--quiet` means quiet everywhere
+//! instead of per-binary `println!` etiquette.
+
+use crate::event::{TraceEvent, Value};
+use crate::report::ITERATION_EVENT;
+use crate::sink::TraceSink;
+
+/// How much a [`Console`] prints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Verbosity {
+    /// Errors/warnings only.
+    Quiet,
+    /// Results and key progress messages.
+    #[default]
+    Normal,
+    /// Everything, including per-iteration progress.
+    Verbose,
+}
+
+/// A leveled stdout/stderr reporter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Console {
+    verbosity: Verbosity,
+}
+
+impl Console {
+    /// Creates a reporter at the given level.
+    #[must_use]
+    pub fn new(verbosity: Verbosity) -> Self {
+        Self { verbosity }
+    }
+
+    /// Derives the level from the conventional CLI flags; `quiet` wins
+    /// when both are given.
+    #[must_use]
+    pub fn from_flags(quiet: bool, verbose: bool) -> Self {
+        let verbosity = if quiet {
+            Verbosity::Quiet
+        } else if verbose {
+            Verbosity::Verbose
+        } else {
+            Verbosity::Normal
+        };
+        Self::new(verbosity)
+    }
+
+    /// The active level.
+    #[must_use]
+    pub fn verbosity(&self) -> Verbosity {
+        self.verbosity
+    }
+
+    /// Result/progress line on stdout (suppressed by `--quiet`).
+    pub fn info(&self, message: impl AsRef<str>) {
+        if self.verbosity >= Verbosity::Normal {
+            println!("{}", message.as_ref());
+        }
+    }
+
+    /// Detail line on stdout (printed only at `Verbose`).
+    pub fn detail(&self, message: impl AsRef<str>) {
+        if self.verbosity >= Verbosity::Verbose {
+            println!("{}", message.as_ref());
+        }
+    }
+
+    /// Live progress line on stderr (printed only at `Verbose`).
+    pub fn progress(&self, message: impl AsRef<str>) {
+        if self.verbosity >= Verbosity::Verbose {
+            eprintln!("{}", message.as_ref());
+        }
+    }
+
+    /// Warning on stderr (never suppressed).
+    pub fn warn(&self, message: impl AsRef<str>) {
+        eprintln!("warning: {}", message.as_ref());
+    }
+}
+
+/// A [`TraceSink`] that prints a one-line progress summary per placement
+/// transformation through a [`Console`] (active at `Verbose`). Typically
+/// fanned out next to a [`RunRecorder`](crate::RunRecorder).
+#[derive(Debug, Clone, Copy)]
+pub struct ProgressSink {
+    console: Console,
+}
+
+impl ProgressSink {
+    /// Creates a progress printer over `console`.
+    #[must_use]
+    pub fn new(console: Console) -> Self {
+        Self { console }
+    }
+}
+
+fn field_f64(event: &TraceEvent, key: &str) -> f64 {
+    event.field(key).and_then(Value::as_f64).unwrap_or(f64::NAN)
+}
+
+impl TraceSink for ProgressSink {
+    fn event(&self, event: &TraceEvent) {
+        if let TraceEvent::Event { name, .. } = event {
+            if *name == ITERATION_EVENT {
+                self.console.progress(format!(
+                    "iter {:>4}  hpwl {:>12.0}  peak {:>6.2}  empty {:>10.0}  cg {:>4}  {:>7.1} ms",
+                    field_f64(event, "iteration"),
+                    field_f64(event, "hpwl"),
+                    field_f64(event, "peak_density"),
+                    field_f64(event, "empty_square_area"),
+                    field_f64(event, "cg_iterations"),
+                    1e3 * field_f64(event, "wall_s"),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbosity_ordering_and_flags() {
+        assert!(Verbosity::Quiet < Verbosity::Normal);
+        assert!(Verbosity::Normal < Verbosity::Verbose);
+        assert_eq!(Console::from_flags(true, true).verbosity(), Verbosity::Quiet);
+        assert_eq!(Console::from_flags(false, true).verbosity(), Verbosity::Verbose);
+        assert_eq!(Console::from_flags(false, false).verbosity(), Verbosity::Normal);
+    }
+
+    #[test]
+    fn progress_sink_ignores_non_iteration_events() {
+        // Quiet console: nothing should print; mostly asserts no panic on
+        // partial fields.
+        let sink = ProgressSink::new(Console::new(Verbosity::Quiet));
+        sink.event(&TraceEvent::Counter { name: "c", value: 1 });
+        sink.event(&TraceEvent::Event {
+            name: ITERATION_EVENT,
+            fields: vec![("iteration", Value::UInt(1))],
+        });
+    }
+}

@@ -1,0 +1,525 @@
+//! Hand-rolled JSON encoding and a minimal parser.
+//!
+//! The workspace must build in offline sandboxes with no registry access,
+//! so this module replaces `serde_json` for the small amount of JSON the
+//! telemetry layer needs: escaping, shortest round-tripping number
+//! formatting, an object/array writer, and a recursive-descent parser used
+//! by tests and tools that read the emitted JSONL back.
+//!
+//! Non-finite floats encode as `null` (JSON has no NaN/Infinity). Integers
+//! round-trip exactly up to 2^53; beyond that the parser (which reads every
+//! number as `f64`) loses precision, which is acceptable for telemetry
+//! counters.
+
+use std::fmt::Write as _;
+
+/// Appends `s` to `out` as a JSON string literal, quotes included.
+pub fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a JSON number for `v`: the shortest decimal that round-trips
+/// (Rust's `Display` for `f64`), or `null` when `v` is NaN or infinite.
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// An incremental writer for one JSON object (one telemetry record).
+///
+/// ```
+/// use kraftwerk_trace::json::JsonObject;
+/// let mut o = JsonObject::new();
+/// o.str_field("name", "cg");
+/// o.u64_field("iterations", 12);
+/// assert_eq!(o.finish(), r#"{"name":"cg","iterations":12}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+    any: bool,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buf: String::from("{"),
+            any: false,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        write_escaped(&mut self.buf, key);
+        self.buf.push(':');
+    }
+
+    /// Adds a string field.
+    pub fn str_field(&mut self, key: &str, value: &str) {
+        self.key(key);
+        write_escaped(&mut self.buf, value);
+    }
+
+    /// Adds a float field (`null` when non-finite).
+    pub fn f64_field(&mut self, key: &str, value: f64) {
+        self.key(key);
+        write_f64(&mut self.buf, value);
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64_field(&mut self, key: &str, value: u64) {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+    }
+
+    /// Adds a signed integer field.
+    pub fn i64_field(&mut self, key: &str, value: i64) {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+    }
+
+    /// Adds a boolean field.
+    pub fn bool_field(&mut self, key: &str, value: bool) {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+    }
+
+    /// Adds a field whose value is already-serialized JSON (an object,
+    /// array, or any other valid JSON fragment).
+    pub fn raw_field(&mut self, key: &str, json: &str) {
+        self.key(key);
+        self.buf.push_str(json);
+    }
+
+    /// Closes the object and returns the JSON text.
+    #[must_use]
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// A parsed JSON value (the read side of the telemetry round trip).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null` (also produced when encoding non-finite floats).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number; always held as `f64`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on objects; `None` for other variants or absent keys.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields, if this is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one complete JSON document; trailing non-whitespace is an error.
+///
+/// # Errors
+///
+/// Returns a human-readable description with a byte offset on malformed
+/// input.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number `{text}` at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err("invalid low surrogate".into());
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code).ok_or("invalid \\u escape")?,
+                            );
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos - 1)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar, however many bytes long.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8 in string")?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    if (c as u32) < 0x20 {
+                        return Err(format!("raw control character at byte {}", self.pos));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or("truncated \\u escape")?;
+        let text = std::str::from_utf8(slice).map_err(|_| "bad \\u escape")?;
+        let v = u32::from_str_radix(text, 16).map_err(|_| "bad \\u escape")?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn escaped(s: &str) -> String {
+        let mut out = String::new();
+        write_escaped(&mut out, s);
+        out
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        for s in [
+            "",
+            "plain",
+            "with \"quotes\" and \\backslashes\\",
+            "newline\n tab\t return\r",
+            "control \u{01}\u{02}\u{1f} chars",
+            "unicode: grüße 力 🦀",
+            "backspace\u{08} formfeed\u{0c}",
+            "solidus / stays bare",
+        ] {
+            let json = escaped(s);
+            let back = parse(&json).expect("parse escaped string");
+            assert_eq!(back, Json::Str(s.to_string()), "through {json}");
+        }
+    }
+
+    #[test]
+    fn number_formatting_round_trips() {
+        for v in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.5,
+            0.1,
+            1.0 / 3.0,
+            1e-300,
+            8.7e300,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            123456789.123456,
+            2f64.powi(53),
+        ] {
+            let mut out = String::new();
+            write_f64(&mut out, v);
+            let back = parse(&out).expect("parse number").as_f64().expect("number");
+            assert_eq!(back.to_bits(), v.to_bits(), "through {out}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_encode_as_null() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut out = String::new();
+            write_f64(&mut out, v);
+            assert_eq!(out, "null");
+        }
+    }
+
+    #[test]
+    fn object_builder_produces_parseable_output() {
+        let mut o = JsonObject::new();
+        o.str_field("name", "phase \"x\"");
+        o.f64_field("seconds", 0.25);
+        o.u64_field("count", 3);
+        o.i64_field("delta", -7);
+        o.bool_field("ok", true);
+        o.raw_field("list", "[1,2,3]");
+        let text = o.finish();
+        let v = parse(&text).expect("valid json");
+        assert_eq!(v.get("name").and_then(Json::as_str), Some("phase \"x\""));
+        assert_eq!(v.get("seconds").and_then(Json::as_f64), Some(0.25));
+        assert_eq!(v.get("count").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(v.get("delta").and_then(Json::as_f64), Some(-7.0));
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("list").and_then(Json::as_array).map(<[Json]>::len), Some(3));
+    }
+
+    #[test]
+    fn empty_object_and_array() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+        assert_eq!(parse("{}").unwrap(), Json::Obj(vec![]));
+        assert_eq!(parse("[ ]").unwrap(), Json::Arr(vec![]));
+    }
+
+    #[test]
+    fn parser_handles_nesting_and_whitespace() {
+        let v = parse(" { \"a\" : [ 1 , { \"b\" : null } ] , \"c\" : false } ").unwrap();
+        let arr = v.get("a").and_then(Json::as_array).unwrap();
+        assert_eq!(arr[0], Json::Num(1.0));
+        assert_eq!(arr[1].get("b"), Some(&Json::Null));
+        assert_eq!(v.get("c"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn parser_decodes_unicode_escapes() {
+        // A = 'A', é = 'é', 🦀 = '🦀' (surrogate pair).
+        assert_eq!(
+            parse("\"\\u0041\\u00e9\\ud83e\\udd80\"").unwrap(),
+            Json::Str("Aé🦀".into())
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{\"a\":1,}",
+            "\"bad \\q escape\"",
+            "\"lone \\ud800 surrogate\"",
+        ] {
+            assert!(parse(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn scientific_notation_parses() {
+        assert_eq!(parse("6.02e23").unwrap().as_f64(), Some(6.02e23));
+        assert_eq!(parse("-1.5E-3").unwrap().as_f64(), Some(-1.5e-3));
+    }
+}

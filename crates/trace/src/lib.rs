@@ -1,0 +1,71 @@
+//! # kraftwerk-trace — zero-dependency run telemetry
+//!
+//! Structured instrumentation for the Kraftwerk placement pipeline: the
+//! paper's whole experimental story (convergence criterion, timing
+//! trade-off curves, CPU-time tables) depends on *watching* the iterative
+//! placement transformations, and every future performance PR needs to
+//! know where the time goes. This crate provides that visibility with no
+//! external dependencies — it must keep building in offline sandboxes
+//! where the registry is unreachable.
+//!
+//! ## Model
+//!
+//! * A process-global, pluggable, thread-safe [`TraceSink`] receives
+//!   [`TraceEvent`]s. When no sink is installed, every instrumentation
+//!   site reduces to one relaxed atomic load ([`enabled`]) — no
+//!   timestamps, no allocation.
+//! * [`span`] starts a scoped wall-clock timer; dropping the guard emits
+//!   the duration. [`counter`], [`gauge`], and [`event`] emit the other
+//!   record kinds.
+//! * [`RunRecorder`] is the standard sink: it folds the stream into a
+//!   [`RunReport`] — one JSONL record per placement transformation (every
+//!   span since the previous `iteration` event becomes that record's
+//!   per-phase time) plus a cumulative phase profile, counter totals, and
+//!   latest gauges.
+//! * [`json`] is the hand-rolled encoder/parser backing all of it.
+//! * [`Console`] / [`ProgressSink`] provide leveled CLI output so
+//!   binaries share one `--quiet`/`-v` convention.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use kraftwerk_trace as trace;
+//!
+//! let recorder = Arc::new(trace::RunRecorder::new());
+//! trace::install(recorder.clone());
+//! {
+//!     let _t = trace::span("demo.phase");
+//!     trace::counter("demo.items", 3);
+//! }
+//! trace::event("iteration", vec![
+//!     ("iteration", trace::Value::from(1usize)),
+//!     ("hpwl", trace::Value::from(1234.5)),
+//! ]);
+//! trace::uninstall();
+//! let report = recorder.report();
+//! assert_eq!(report.iterations.len(), 1);
+//! assert_eq!(report.iterations[0].phases.len(), 1);
+//! println!("{}", report.to_jsonl());
+//! ```
+//!
+//! Tests that install the global sink must serialize themselves (the sink
+//! is process-wide and `cargo test` runs tests concurrently).
+
+pub mod console;
+mod event;
+pub mod json;
+mod report;
+mod sink;
+mod span;
+
+pub use console::{Console, ProgressSink, Verbosity};
+pub use event::{TraceEvent, Value};
+pub use report::{
+    IterationRecord, PhaseStat, RunRecorder, RunReport, ITERATION_EVENT,
+};
+pub use sink::{
+    counter, emit, enabled, event, gauge, install, uninstall, CollectorSink, FanoutSink,
+    JsonlEventSink, TraceSink,
+};
+pub use span::{span, SpanGuard};

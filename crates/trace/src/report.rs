@@ -1,0 +1,444 @@
+//! Run-level telemetry aggregation: the event stream folded into
+//! per-iteration JSONL records plus a cumulative phase profile.
+
+use crate::event::{TraceEvent, Value};
+use crate::json::JsonObject;
+use crate::sink::TraceSink;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Name of the structured event that closes one placement transformation.
+/// Spans and counters emitted since the previous such event are attributed
+/// to the record it produces.
+pub const ITERATION_EVENT: &str = "iteration";
+
+/// One per-transformation record: the fields of the `iteration` event plus
+/// the per-phase wall times observed since the previous record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationRecord {
+    /// Fields of the `iteration` event, in emission order
+    /// (`iteration`, `hpwl`, `peak_density`, `cg_iterations`, …).
+    pub fields: Vec<(String, Value)>,
+    /// Seconds spent per span name during this transformation.
+    pub phases: Vec<(String, f64)>,
+}
+
+impl IterationRecord {
+    /// The 1-based transformation number (0 when the field is absent).
+    #[must_use]
+    pub fn iteration(&self) -> u64 {
+        self.get("iteration").and_then(Value::as_u64).unwrap_or(0)
+    }
+
+    /// Field lookup by key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Total seconds across all phases of this record.
+    #[must_use]
+    pub fn phase_seconds(&self) -> f64 {
+        self.phases.iter().map(|(_, s)| s).sum()
+    }
+
+    /// Encodes the record as one JSON object (one JSONL line, no newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        for (key, value) in &self.fields {
+            let mut raw = String::new();
+            value.write_json(&mut raw);
+            o.raw_field(key, &raw);
+        }
+        let mut phases = JsonObject::new();
+        for (name, seconds) in &self.phases {
+            phases.f64_field(name, *seconds);
+        }
+        o.raw_field("phases", &phases.finish());
+        o.finish()
+    }
+}
+
+/// Aggregated cost of one span name across the whole run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStat {
+    /// Span name.
+    pub name: String,
+    /// Number of completed spans.
+    pub calls: u64,
+    /// Total seconds across all calls.
+    pub seconds: f64,
+}
+
+/// The digested outcome of a traced run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    /// Caller-supplied run metadata (netlist name, sizes, flags).
+    pub meta: Vec<(String, Value)>,
+    /// One record per placement transformation, in order.
+    pub iterations: Vec<IterationRecord>,
+    /// Cumulative per-phase profile, most expensive first.
+    pub profile: Vec<PhaseStat>,
+    /// Counter totals.
+    pub counters: Vec<(String, u64)>,
+    /// Latest gauge samples.
+    pub gauges: Vec<(String, f64)>,
+    /// Counts of structured events by name (excluding `iteration`).
+    pub events: Vec<(String, u64)>,
+    /// Wall-clock seconds from recorder creation to report.
+    pub total_seconds: f64,
+}
+
+impl RunReport {
+    /// One JSONL line per iteration record (trailing newline included when
+    /// any records exist) — the `--trace` output format.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for record in &self.iterations {
+            out.push_str(&record.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The single-object run summary — the `--report` output format.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        let mut meta = JsonObject::new();
+        for (key, value) in &self.meta {
+            let mut raw = String::new();
+            value.write_json(&mut raw);
+            meta.raw_field(key, &raw);
+        }
+        o.raw_field("meta", &meta.finish());
+        o.u64_field("iterations", self.iterations.len() as u64);
+        o.f64_field("total_s", self.total_seconds);
+        if let Some(last) = self.iterations.last() {
+            o.raw_field("final", &last.to_json());
+        }
+        let mut profile = String::from("[");
+        for (i, stat) in self.profile.iter().enumerate() {
+            if i > 0 {
+                profile.push(',');
+            }
+            let mut p = JsonObject::new();
+            p.str_field("phase", &stat.name);
+            p.u64_field("calls", stat.calls);
+            p.f64_field("total_s", stat.seconds);
+            p.f64_field(
+                "mean_s",
+                if stat.calls > 0 {
+                    stat.seconds / stat.calls as f64
+                } else {
+                    0.0
+                },
+            );
+            profile.push_str(&p.finish());
+        }
+        profile.push(']');
+        o.raw_field("profile", &profile);
+        let mut counters = JsonObject::new();
+        for (name, value) in &self.counters {
+            counters.u64_field(name, *value);
+        }
+        o.raw_field("counters", &counters.finish());
+        let mut gauges = JsonObject::new();
+        for (name, value) in &self.gauges {
+            gauges.f64_field(name, *value);
+        }
+        o.raw_field("gauges", &gauges.finish());
+        let mut events = JsonObject::new();
+        for (name, value) in &self.events {
+            events.u64_field(name, *value);
+        }
+        o.raw_field("events", &events.finish());
+        o.finish()
+    }
+
+    /// A human-readable cumulative phase profile (the `--profile` view).
+    #[must_use]
+    pub fn profile_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<24} {:>7} {:>11} {:>10} {:>6}",
+            "phase", "calls", "total [s]", "mean [ms]", "%"
+        );
+        for stat in &self.profile {
+            let mean_ms = if stat.calls > 0 {
+                1e3 * stat.seconds / stat.calls as f64
+            } else {
+                0.0
+            };
+            let pct = if self.total_seconds > 0.0 {
+                100.0 * stat.seconds / self.total_seconds
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "{:<24} {:>7} {:>11.4} {:>10.3} {:>6.1}",
+                stat.name, stat.calls, stat.seconds, mean_ms, pct
+            );
+        }
+        out
+    }
+}
+
+#[derive(Debug, Default)]
+struct RecorderState {
+    meta: Vec<(String, Value)>,
+    pending_phases: Vec<(String, f64)>,
+    iterations: Vec<IterationRecord>,
+    profile: BTreeMap<String, (u64, f64)>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    events: BTreeMap<String, u64>,
+}
+
+/// A [`TraceSink`] that folds the event stream into a [`RunReport`]:
+/// spans accumulate into the phase profile and attach to the next
+/// [`ITERATION_EVENT`]; counters sum; gauges keep their latest sample.
+///
+/// Install it (usually via `Arc`) around a run, then call
+/// [`report`](RunRecorder::report):
+///
+/// ```
+/// use std::sync::Arc;
+/// let recorder = Arc::new(kraftwerk_trace::RunRecorder::new());
+/// kraftwerk_trace::install(recorder.clone());
+/// // ... traced work ...
+/// kraftwerk_trace::uninstall();
+/// let report = recorder.report();
+/// assert_eq!(report.iterations.len(), 0);
+/// ```
+#[derive(Debug)]
+pub struct RunRecorder {
+    state: Mutex<RecorderState>,
+    started: Instant,
+}
+
+impl Default for RunRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RunRecorder {
+    /// Creates an empty recorder; the report's `total_seconds` counts from
+    /// here.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            state: Mutex::new(RecorderState::default()),
+            started: Instant::now(),
+        }
+    }
+
+    /// Attaches run metadata (netlist name, cell counts, mode flags)
+    /// surfaced under `meta` in the run summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the recorder lock is poisoned.
+    pub fn set_meta(&self, key: &str, value: Value) {
+        let mut state = self.state.lock().expect("recorder poisoned");
+        if let Some(slot) = state.meta.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            state.meta.push((key.to_string(), value));
+        }
+    }
+
+    /// Digests everything received so far into a [`RunReport`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the recorder lock is poisoned.
+    #[must_use]
+    pub fn report(&self) -> RunReport {
+        let state = self.state.lock().expect("recorder poisoned");
+        let mut profile: Vec<PhaseStat> = state
+            .profile
+            .iter()
+            .map(|(name, (calls, seconds))| PhaseStat {
+                name: name.clone(),
+                calls: *calls,
+                seconds: *seconds,
+            })
+            .collect();
+        profile.sort_by(|a, b| b.seconds.total_cmp(&a.seconds));
+        RunReport {
+            meta: state.meta.clone(),
+            iterations: state.iterations.clone(),
+            profile,
+            counters: state.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: state.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            events: state.events.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            total_seconds: self.started.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+impl TraceSink for RunRecorder {
+    fn event(&self, event: &TraceEvent) {
+        let mut state = self.state.lock().expect("recorder poisoned");
+        match event {
+            TraceEvent::Span { name, seconds } => {
+                let entry = state.profile.entry((*name).to_string()).or_insert((0, 0.0));
+                entry.0 += 1;
+                entry.1 += seconds;
+                if let Some(slot) = state
+                    .pending_phases
+                    .iter_mut()
+                    .find(|(n, _)| n == name)
+                {
+                    slot.1 += seconds;
+                } else {
+                    state.pending_phases.push(((*name).to_string(), *seconds));
+                }
+            }
+            TraceEvent::Counter { name, value } => {
+                *state.counters.entry((*name).to_string()).or_insert(0) += value;
+            }
+            TraceEvent::Gauge { name, value } => {
+                state.gauges.insert((*name).to_string(), *value);
+            }
+            TraceEvent::Event { name, fields } if *name == ITERATION_EVENT => {
+                let phases = std::mem::take(&mut state.pending_phases);
+                state.iterations.push(IterationRecord {
+                    fields: fields
+                        .iter()
+                        .map(|(k, v)| ((*k).to_string(), v.clone()))
+                        .collect(),
+                    phases,
+                });
+            }
+            TraceEvent::Event { name, .. } => {
+                *state.events.entry((*name).to_string()).or_insert(0) += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Json};
+
+    fn iteration_event(n: u64, hpwl: f64) -> TraceEvent {
+        TraceEvent::Event {
+            name: ITERATION_EVENT,
+            fields: vec![
+                ("iteration", Value::UInt(n)),
+                ("hpwl", Value::Float(hpwl)),
+            ],
+        }
+    }
+
+    #[test]
+    fn spans_attach_to_the_next_iteration_record() {
+        let recorder = RunRecorder::new();
+        recorder.event(&TraceEvent::Span { name: "a", seconds: 0.1 });
+        recorder.event(&TraceEvent::Span { name: "b", seconds: 0.2 });
+        recorder.event(&TraceEvent::Span { name: "a", seconds: 0.3 });
+        recorder.event(&iteration_event(1, 100.0));
+        recorder.event(&TraceEvent::Span { name: "a", seconds: 0.5 });
+        recorder.event(&iteration_event(2, 90.0));
+        let report = recorder.report();
+        assert_eq!(report.iterations.len(), 2);
+        assert_eq!(report.iterations[0].phases.len(), 2);
+        let a0 = report.iterations[0]
+            .phases
+            .iter()
+            .find(|(n, _)| n == "a")
+            .unwrap()
+            .1;
+        assert!((a0 - 0.4).abs() < 1e-12);
+        assert_eq!(report.iterations[1].phases, vec![("a".to_string(), 0.5)]);
+        // Profile accumulates across iterations, most expensive first.
+        assert_eq!(report.profile[0].name, "a");
+        assert_eq!(report.profile[0].calls, 3);
+        assert!((report.profile[0].seconds - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_sum_and_gauges_keep_latest() {
+        let recorder = RunRecorder::new();
+        recorder.event(&TraceEvent::Counter { name: "c", value: 2 });
+        recorder.event(&TraceEvent::Counter { name: "c", value: 3 });
+        recorder.event(&TraceEvent::Gauge { name: "g", value: 1.0 });
+        recorder.event(&TraceEvent::Gauge { name: "g", value: 7.5 });
+        let report = recorder.report();
+        assert_eq!(report.counters, vec![("c".to_string(), 5)]);
+        assert_eq!(report.gauges, vec![("g".to_string(), 7.5)]);
+    }
+
+    #[test]
+    fn jsonl_has_one_parseable_line_per_iteration() {
+        let recorder = RunRecorder::new();
+        for n in 1..=3 {
+            recorder.event(&TraceEvent::Span { name: "p", seconds: 0.01 });
+            recorder.event(&iteration_event(n, 50.0 * n as f64));
+        }
+        let report = recorder.report();
+        let jsonl = report.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let mut prev = 0u64;
+        for line in lines {
+            let v = parse(line).expect("parseable line");
+            let n = v.get("iteration").and_then(Json::as_f64).unwrap() as u64;
+            assert!(n > prev, "iterations strictly increasing");
+            prev = n;
+            assert!(v.get("hpwl").is_some());
+            assert!(v.get("phases").and_then(|p| p.get("p")).is_some());
+        }
+    }
+
+    #[test]
+    fn summary_json_carries_meta_profile_and_final_record() {
+        let recorder = RunRecorder::new();
+        recorder.set_meta("netlist", Value::from("demo"));
+        recorder.set_meta("cells", Value::from(150usize));
+        recorder.set_meta("netlist", Value::from("demo2"));
+        recorder.event(&TraceEvent::Span { name: "p", seconds: 1.0 });
+        recorder.event(&iteration_event(1, 42.0));
+        recorder.event(&TraceEvent::Event { name: "cg.solve", fields: vec![] });
+        let summary = parse(&recorder.report().to_json()).expect("valid summary");
+        assert_eq!(
+            summary.get("meta").and_then(|m| m.get("netlist")).and_then(Json::as_str),
+            Some("demo2")
+        );
+        assert_eq!(summary.get("iterations").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(
+            summary.get("final").and_then(|f| f.get("hpwl")).and_then(Json::as_f64),
+            Some(42.0)
+        );
+        let profile = summary.get("profile").and_then(Json::as_array).unwrap();
+        assert_eq!(profile[0].get("phase").and_then(Json::as_str), Some("p"));
+        assert_eq!(profile[0].get("calls").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(
+            summary.get("events").and_then(|e| e.get("cg.solve")).and_then(Json::as_f64),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn profile_table_lists_every_phase() {
+        let recorder = RunRecorder::new();
+        recorder.event(&TraceEvent::Span { name: "slow", seconds: 2.0 });
+        recorder.event(&TraceEvent::Span { name: "quick", seconds: 0.5 });
+        let table = recorder.report().profile_table();
+        assert!(table.contains("slow"));
+        assert!(table.contains("quick"));
+        let slow_line = table.lines().position(|l| l.contains("slow")).unwrap();
+        let quick_line = table.lines().position(|l| l.contains("quick")).unwrap();
+        assert!(slow_line < quick_line, "sorted by total time");
+    }
+}

@@ -1,0 +1,305 @@
+//! The global sink registry and stock sink implementations.
+
+use crate::event::TraceEvent;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Receives every telemetry event while installed.
+///
+/// Implementations must be thread-safe: instrumented code may emit from
+/// any thread. Delivery order is the emission order within one thread.
+pub trait TraceSink: Send + Sync {
+    /// Handles one event. Called only while a sink is installed, so
+    /// implementations need no own enabled-check.
+    fn event(&self, event: &TraceEvent);
+}
+
+/// Fast-path flag mirroring whether a sink is installed. Read with
+/// `Relaxed` on every instrumentation site; the `RwLock` below is only
+/// touched when it is `true`.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+static SINK: RwLock<Option<Arc<dyn TraceSink>>> = RwLock::new(None);
+
+/// Whether a sink is installed. Instrumentation sites use this as the
+/// cheap guard before doing any per-event work (timestamps, allocation).
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs `sink` as the global sink, replacing any previous one.
+///
+/// # Panics
+///
+/// Panics if the registry lock is poisoned (a sink panicked).
+pub fn install(sink: Arc<dyn TraceSink>) {
+    let mut slot = SINK.write().expect("trace sink registry poisoned");
+    *slot = Some(sink);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Removes the global sink; tracing reverts to (near) zero cost.
+///
+/// # Panics
+///
+/// Panics if the registry lock is poisoned (a sink panicked).
+pub fn uninstall() {
+    let mut slot = SINK.write().expect("trace sink registry poisoned");
+    ENABLED.store(false, Ordering::Release);
+    *slot = None;
+}
+
+/// Delivers `event` to the installed sink, if any.
+pub fn emit(event: TraceEvent) {
+    if !enabled() {
+        return;
+    }
+    let sink = {
+        let slot = SINK.read().expect("trace sink registry poisoned");
+        slot.clone()
+    };
+    if let Some(sink) = sink {
+        sink.event(&event);
+    }
+}
+
+/// Convenience: emits a counter increment.
+pub fn counter(name: &'static str, value: u64) {
+    if enabled() {
+        emit(TraceEvent::Counter { name, value });
+    }
+}
+
+/// Convenience: emits a gauge sample.
+pub fn gauge(name: &'static str, value: f64) {
+    if enabled() {
+        emit(TraceEvent::Gauge { name, value });
+    }
+}
+
+/// Convenience: emits a structured event.
+pub fn event(name: &'static str, fields: Vec<(&'static str, crate::Value)>) {
+    if enabled() {
+        emit(TraceEvent::Event { name, fields });
+    }
+}
+
+/// A sink that buffers every event in memory (tests, ad-hoc tooling).
+#[derive(Debug, Default)]
+pub struct CollectorSink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl CollectorSink {
+    /// Creates an empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of everything received so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("collector poisoned").clone()
+    }
+
+    /// Number of events received so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("collector poisoned").len()
+    }
+
+    /// Whether no events have been received.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for CollectorSink {
+    fn event(&self, event: &TraceEvent) {
+        self.events.lock().expect("collector poisoned").push(event.clone());
+    }
+}
+
+/// A sink that writes every raw event as one JSONL line to a writer.
+///
+/// This is the firehose view (every span/counter/event); for the
+/// per-iteration record stream use
+/// [`RunRecorder`](crate::report::RunRecorder) instead.
+pub struct JsonlEventSink<W: Write + Send> {
+    out: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlEventSink<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> Self {
+        Self { out: Mutex::new(out) }
+    }
+
+    /// Flushes and returns the writer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned.
+    pub fn into_inner(self) -> W {
+        let mut w = self.out.into_inner().expect("jsonl sink poisoned");
+        let _ = w.flush();
+        w
+    }
+}
+
+impl<W: Write + Send> std::fmt::Debug for JsonlEventSink<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JsonlEventSink")
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlEventSink<W> {
+    fn event(&self, event: &TraceEvent) {
+        let mut line = event.to_json();
+        line.push('\n');
+        let mut out = self.out.lock().expect("jsonl sink poisoned");
+        // Telemetry must never take the run down with it.
+        let _ = out.write_all(line.as_bytes());
+    }
+}
+
+/// Fans every event out to several sinks (e.g. a recorder plus a live
+/// progress printer).
+#[derive(Default)]
+pub struct FanoutSink {
+    sinks: Vec<Arc<dyn TraceSink>>,
+}
+
+impl FanoutSink {
+    /// Creates an empty fanout.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a downstream sink; returns `self` for chaining.
+    #[must_use]
+    pub fn with(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+}
+
+impl std::fmt::Debug for FanoutSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FanoutSink({} sinks)", self.sinks.len())
+    }
+}
+
+impl TraceSink for FanoutSink {
+    fn event(&self, event: &TraceEvent) {
+        for sink in &self.sinks {
+            sink.event(event);
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use std::sync::Mutex;
+
+    /// Serializes tests that install the process-global sink.
+    pub static GLOBAL_SINK_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Runs `f` holding the global-sink test lock, tolerating poisoning.
+    pub fn with_global_sink_lock<R>(f: impl FnOnce() -> R) -> R {
+        let _guard = match GLOBAL_SINK_TEST_LOCK.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let result = f();
+        super::uninstall();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::with_global_sink_lock;
+    use super::*;
+    use crate::Value;
+
+    #[test]
+    fn enabled_tracks_install_state() {
+        with_global_sink_lock(|| {
+            assert!(!enabled());
+            install(Arc::new(CollectorSink::new()));
+            assert!(enabled());
+            uninstall();
+            assert!(!enabled());
+        });
+    }
+
+    #[test]
+    fn events_reach_the_installed_sink_and_stop_after_uninstall() {
+        with_global_sink_lock(|| {
+            let collector = Arc::new(CollectorSink::new());
+            install(collector.clone());
+            counter("tests.count", 2);
+            gauge("tests.gauge", 1.5);
+            event("tests.event", vec![("k", Value::from("v"))]);
+            uninstall();
+            counter("tests.count", 99);
+            let events = collector.snapshot();
+            assert_eq!(events.len(), 3);
+            assert_eq!(events[0], TraceEvent::Counter { name: "tests.count", value: 2 });
+            assert_eq!(events[1], TraceEvent::Gauge { name: "tests.gauge", value: 1.5 });
+            assert_eq!(events[2].field("k"), Some(&Value::from("v")));
+        });
+    }
+
+    #[test]
+    fn fanout_delivers_to_all_downstreams() {
+        let a = Arc::new(CollectorSink::new());
+        let b = Arc::new(CollectorSink::new());
+        let fan = FanoutSink::new().with(a.clone()).with(b.clone());
+        fan.event(&TraceEvent::Counter { name: "c", value: 1 });
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn jsonl_event_sink_writes_one_line_per_event() {
+        let sink = JsonlEventSink::new(Vec::new());
+        sink.event(&TraceEvent::Counter { name: "a", value: 1 });
+        sink.event(&TraceEvent::Gauge { name: "b", value: 2.0 });
+        let bytes = sink.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            crate::json::parse(line).expect("each line parses");
+        }
+    }
+
+    #[test]
+    fn emitting_with_no_sink_is_a_no_op() {
+        with_global_sink_lock(|| {
+            // Must not panic or deadlock.
+            counter("nobody.listening", 1);
+            emit(TraceEvent::Gauge { name: "g", value: 0.0 });
+        });
+    }
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: build, test, lint. Run from the repo root.
+#
+# The workspace is zero-external-dependency apart from rand/rand_chacha
+# (dev/synthesis only) and criterion (benches), so this also doubles as
+# the offline-sandbox smoke test: nothing here should need a registry
+# once the lockfile/vendor cache is in place.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings
+
+echo "verify: OK"

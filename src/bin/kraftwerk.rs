@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! kraftwerk place      <netlist> [-o placement.pl] [--fast] [--multilevel] [--svg out.svg]
-//! kraftwerk timing     <netlist> [--requirement NS]
+//!                                [--trace run.jsonl] [--report report.json] [--profile]
+//!                                [-v|--verbose] [-q|--quiet]
+//! kraftwerk timing     <netlist> [--requirement NS] [-v|--verbose] [-q|--quiet]
 //! kraftwerk gen        <name> <cells> <nets> <rows> [-o netlist.kw]
 //! kraftwerk stats      <netlist>
 //! kraftwerk check      <netlist> <placement>
@@ -12,6 +14,12 @@
 //!
 //! Netlists use the text format of `kraftwerk::netlist::format` (see the
 //! `gen` subcommand to create one).
+//!
+//! `place` telemetry: `--trace` writes one JSON record per placement
+//! transformation (JSONL), `--report` the end-of-run summary with the
+//! cumulative phase profile, `--profile` prints that profile as a table,
+//! and `-v` streams per-iteration progress to stderr. See the README
+//! "Observability" section for the record schema.
 
 use kraftwerk::geom::svg::SvgCanvas;
 use kraftwerk::legalize::{check_legality, legalize, refine};
@@ -25,7 +33,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  kraftwerk place     <netlist> [-o <placement>] [--fast] [--multilevel] [--svg <file>]\n  kraftwerk timing    <netlist> [--requirement <ns>]\n  kraftwerk gen       <name> <cells> <nets> <rows> [-o <file>]\n  kraftwerk stats     <netlist>\n  kraftwerk check     <netlist> <placement>\n  kraftwerk route     <netlist> <placement>\n  kraftwerk bookshelf <netlist> [<placement>] [-o <dir>]"
+        "usage:\n  kraftwerk place     <netlist> [-o <placement>] [--fast] [--multilevel] [--svg <file>]\n                      [--trace <jsonl>] [--report <json>] [--profile] [-v|--verbose] [-q|--quiet]\n  kraftwerk timing    <netlist> [--requirement <ns>] [-v|--verbose] [-q|--quiet]\n  kraftwerk gen       <name> <cells> <nets> <rows> [-o <file>]\n  kraftwerk stats     <netlist>\n  kraftwerk check     <netlist> <placement>\n  kraftwerk route     <netlist> <placement>\n  kraftwerk bookshelf <netlist> [<placement>] [-o <dir>]"
     );
     ExitCode::from(2)
 }
@@ -35,11 +43,21 @@ fn load(path: &str) -> Result<Netlist, String> {
     read_netlist(&text).map_err(|e| format!("{path}: {e}"))
 }
 
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+/// Looks up the value of `flag`. `Ok(None)` when the flag is absent; an
+/// error when it is present but last, or followed by another flag — a
+/// dangling flag used to be silently ignored.
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    match args.get(i + 1) {
+        Some(value) if !value.starts_with('-') => Ok(Some(value.clone())),
+        _ => Err(format!("{flag} requires a value")),
+    }
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
 }
 
 fn snapshot(netlist: &Netlist, placement: &Placement, path: &str) -> Result<(), String> {
@@ -60,17 +78,53 @@ fn snapshot(netlist: &Netlist, placement: &Placement, path: &str) -> Result<(), 
 }
 
 fn cmd_place(args: &[String]) -> Result<(), String> {
-    let Some(input) = args.first() else {
-        return Err("place: missing netlist path".into());
+    use kraftwerk::trace::{Console, FanoutSink, ProgressSink, RunRecorder, Value, Verbosity};
+    use std::sync::Arc;
+
+    let console = Console::from_flags(
+        has_flag(args, "--quiet") || has_flag(args, "-q"),
+        has_flag(args, "--verbose") || has_flag(args, "-v"),
+    );
+    // Validate every value-taking flag before the (possibly long) run.
+    let trace_path = flag_value(args, "--trace")?;
+    let report_path = flag_value(args, "--report")?;
+    let out_path = flag_value(args, "-o")?;
+    let svg_path = flag_value(args, "--svg")?;
+    let profile = has_flag(args, "--profile");
+    let Some(input) = args.first().filter(|a| !a.starts_with('-')) else {
+        return Err("place: missing netlist path (it comes before the flags)".into());
     };
     let netlist = load(input)?;
-    let config = if args.iter().any(|a| a == "--fast") {
+    let fast = has_flag(args, "--fast");
+    let config = if fast {
         KraftwerkConfig::fast()
     } else {
         KraftwerkConfig::standard()
     };
+
+    // Telemetry: a recorder feeds --trace/--report/--profile; verbose mode
+    // additionally streams per-iteration progress to stderr.
+    let recorder = (trace_path.is_some() || report_path.is_some() || profile)
+        .then(|| Arc::new(RunRecorder::new()));
+    if let Some(rec) = &recorder {
+        rec.set_meta("netlist", Value::from(netlist.name()));
+        rec.set_meta("cells", Value::from(netlist.num_movable()));
+        rec.set_meta("nets", Value::from(netlist.num_nets()));
+        rec.set_meta("mode", Value::from(if fast { "fast" } else { "standard" }));
+    }
+    let progress = (console.verbosity() == Verbosity::Verbose)
+        .then(|| Arc::new(ProgressSink::new(console)));
+    match (&recorder, &progress) {
+        (Some(rec), Some(p)) => kraftwerk::trace::install(Arc::new(
+            FanoutSink::new().with(rec.clone()).with(p.clone()),
+        )),
+        (Some(rec), None) => kraftwerk::trace::install(rec.clone()),
+        (None, Some(p)) => kraftwerk::trace::install(p.clone()),
+        (None, None) => {}
+    }
+
     let started = std::time::Instant::now();
-    let global = if args.iter().any(|a| a == "--multilevel") {
+    let global = if has_flag(args, "--multilevel") {
         kraftwerk::placer::place_multilevel(
             &netlist,
             config,
@@ -80,57 +134,87 @@ fn cmd_place(args: &[String]) -> Result<(), String> {
     } else {
         GlobalPlacer::new(config).place(&netlist)
     };
-    let mut legal = legalize(&netlist, &global.placement).map_err(|e| e.to_string())?;
-    refine(&netlist, &mut legal, 2);
+    let mut legal_result = legalize(&netlist, &global.placement);
+    if let Ok(legal) = &mut legal_result {
+        refine(&netlist, legal, 2);
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    kraftwerk::trace::uninstall();
+    let legal = legal_result.map_err(|e| e.to_string())?;
+
+    if let Some(rec) = &recorder {
+        let run = rec.report();
+        if let Some(path) = &trace_path {
+            std::fs::write(path, run.to_jsonl()).map_err(|e| format!("{path}: {e}"))?;
+            console.info(format!("wrote {path}"));
+        }
+        if let Some(path) = &report_path {
+            std::fs::write(path, run.to_json()).map_err(|e| format!("{path}: {e}"))?;
+            console.info(format!("wrote {path}"));
+        }
+        if profile {
+            // Explicitly requested output: printed even under --quiet.
+            println!("{}", run.profile_table());
+        }
+    }
+
     let report = check_legality(&netlist, &legal, 1e-6);
-    println!(
-        "placed {} ({} cells, {} nets): hpwl {:.0}, {} transformations, {:.2}s, legal: {}",
+    console.info(format!(
+        "placed {} ({} cells, {} nets): hpwl {:.0}, {} transformations, {elapsed:.2}s, legal: {}",
         netlist.name(),
         netlist.num_movable(),
         netlist.num_nets(),
         metrics::hpwl(&netlist, &legal),
         global.iterations(),
-        started.elapsed().as_secs_f64(),
         report.is_legal(),
-    );
-    let out = flag_value(args, "-o").unwrap_or_else(|| format!("{input}.pl"));
+    ));
+    let out = out_path.unwrap_or_else(|| format!("{input}.pl"));
     std::fs::write(&out, write_placement(&netlist, &legal)).map_err(|e| format!("{out}: {e}"))?;
-    println!("wrote {out}");
-    if let Some(svg_path) = flag_value(args, "--svg") {
+    console.info(format!("wrote {out}"));
+    if let Some(svg_path) = svg_path {
         snapshot(&netlist, &legal, &svg_path)?;
-        println!("wrote {svg_path}");
+        console.info(format!("wrote {svg_path}"));
     }
     Ok(())
 }
 
 fn cmd_timing(args: &[String]) -> Result<(), String> {
-    let Some(input) = args.first() else {
-        return Err("timing: missing netlist path".into());
+    use kraftwerk::trace::Console;
+
+    let console = Console::from_flags(
+        has_flag(args, "--quiet") || has_flag(args, "-q"),
+        has_flag(args, "--verbose") || has_flag(args, "-v"),
+    );
+    let Some(input) = args.first().filter(|a| !a.starts_with('-')) else {
+        return Err("timing: missing netlist path (it comes before the flags)".into());
     };
     let netlist = load(input)?;
     let model = DelayModel::default();
     let sta = Sta::new(&netlist, model).map_err(|e| e.to_string())?;
-    println!("zero-wire lower bound: {:.3} ns", sta.lower_bound());
-    if let Some(req) = flag_value(args, "--requirement") {
+    console.info(format!("zero-wire lower bound: {:.3} ns", sta.lower_bound()));
+    if let Some(req) = flag_value(args, "--requirement")? {
         let requirement: f64 = req.parse().map_err(|_| format!("bad requirement `{req}`"))?;
         let result = meet_requirements(&netlist, model, KraftwerkConfig::standard(), requirement, 60)
             .map_err(|e| e.to_string())?;
-        println!(
+        console.info(format!(
             "requirement {requirement} ns: met = {} ({} trade-off points recorded)",
             result.met,
             result.curve.len()
-        );
+        ));
         for p in &result.curve {
-            println!("  step {:3}  delay {:8.3} ns  hpwl {:10.0}", p.iteration, p.max_delay, p.hpwl);
+            console.info(format!(
+                "  step {:3}  delay {:8.3} ns  hpwl {:10.0}",
+                p.iteration, p.max_delay, p.hpwl
+            ));
         }
     } else {
         let result = optimize_timing_legalized(&netlist, model, KraftwerkConfig::standard(), 3)
             .map_err(|e| e.to_string())?;
-        println!(
+        console.info(format!(
             "timing-driven placement: longest path {:.3} ns, hpwl {:.0}",
             sta.analyze(&result.placement).max_delay,
             metrics::hpwl(&netlist, &result.placement),
-        );
+        ));
     }
     Ok(())
 }
@@ -147,7 +231,7 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     let nets = parse(&args[2], "net count")?;
     let rows = parse(&args[3], "row count")?;
     let netlist = generate(&SynthConfig::with_size(name.clone(), cells, nets, rows));
-    let out = flag_value(args, "-o").unwrap_or_else(|| format!("{name}.kw"));
+    let out = flag_value(args, "-o")?.unwrap_or_else(|| format!("{name}.kw"));
     std::fs::write(&out, write_netlist(&netlist)).map_err(|e| format!("{out}: {e}"))?;
     println!("wrote {out} ({} cells, {} nets, {} rows)", netlist.num_cells(), netlist.num_nets(), rows);
     Ok(())
@@ -218,7 +302,7 @@ fn cmd_bookshelf(args: &[String]) -> Result<(), String> {
         }
         None => None,
     };
-    let dir = flag_value(args, "-o").unwrap_or_else(|| format!("{}_bookshelf", netlist.name()));
+    let dir = flag_value(args, "-o")?.unwrap_or_else(|| format!("{}_bookshelf", netlist.name()));
     std::fs::create_dir_all(&dir).map_err(|e| format!("{dir}: {e}"))?;
     for (ext, content) in bookshelf::write(&netlist, placement.as_ref()) {
         let path = format!("{dir}/{}.{ext}", netlist.name());

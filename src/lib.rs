@@ -15,6 +15,7 @@
 //!
 //! | Module | Crate | Contents |
 //! |---|---|---|
+//! | [`trace`] | `kraftwerk-trace` | zero-dependency tracing, run telemetry, JSONL reports |
 //! | [`geom`] | `kraftwerk-geom` | points, rectangles, SVG plots |
 //! | [`netlist`] | `kraftwerk-netlist` | cells/nets/pins, metrics, file format, synthetic benchmarks |
 //! | [`sparse`] | `kraftwerk-sparse` | CSR matrices, preconditioned CG |
@@ -58,3 +59,4 @@ pub use kraftwerk_legalize as legalize;
 pub use kraftwerk_netlist as netlist;
 pub use kraftwerk_sparse as sparse;
 pub use kraftwerk_timing as timing;
+pub use kraftwerk_trace as trace;

@@ -1,0 +1,136 @@
+//! Integration tests for the run-telemetry layer: a [`RunRecorder`]
+//! installed around a real placement must see exactly one record per
+//! placement transformation, with strictly increasing iteration numbers,
+//! and the JSONL export must parse with the crate's own JSON parser.
+//!
+//! The trace sink is a process-global, so tests that install one are
+//! serialized through a local mutex (the harness runs tests on threads).
+
+use kraftwerk::netlist::synth::{generate, SynthConfig};
+use kraftwerk::placer::{KraftwerkConfig, PlacementSession};
+use kraftwerk::trace::{self, json, RunRecorder, Value};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+static GLOBAL_SINK: Mutex<()> = Mutex::new(());
+
+fn sink_lock() -> MutexGuard<'static, ()> {
+    GLOBAL_SINK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Runs `transformations` placement transformations with a recorder
+/// installed and returns the resulting report.
+fn record_run(transformations: usize) -> (trace::RunReport, usize) {
+    let netlist = generate(&SynthConfig::with_size("telemetry", 150, 190, 6));
+    let recorder = Arc::new(RunRecorder::new());
+    recorder.set_meta("netlist", Value::from(netlist.name()));
+    trace::install(recorder.clone());
+    let mut session = PlacementSession::new(&netlist, KraftwerkConfig::fast());
+    let mut done = 0;
+    for _ in 0..transformations {
+        session.transform();
+        done += 1;
+        if session.is_converged() {
+            break;
+        }
+    }
+    trace::uninstall();
+    (recorder.report(), done)
+}
+
+#[test]
+fn one_record_per_transformation_with_increasing_iterations() {
+    let _guard = sink_lock();
+    let (report, done) = record_run(10);
+    assert_eq!(report.iterations.len(), done);
+    for pair in report.iterations.windows(2) {
+        assert!(
+            pair[1].iteration() > pair[0].iteration(),
+            "iteration numbers must strictly increase: {} then {}",
+            pair[0].iteration(),
+            pair[1].iteration()
+        );
+    }
+    for record in &report.iterations {
+        assert!(record.get("hpwl").and_then(Value::as_f64).is_some());
+        assert!(record.get("cg_iterations").and_then(Value::as_u64).is_some());
+        assert!(
+            !record.phases.is_empty(),
+            "each transformation should report phase timings"
+        );
+        // Phases are sub-spans of the transformation, so their total
+        // cannot exceed the recorded wall time by more than noise.
+        let wall = record.get("wall_s").and_then(Value::as_f64).unwrap();
+        assert!(record.phase_seconds() <= wall * 1.5 + 1e-3);
+    }
+}
+
+#[test]
+fn jsonl_export_parses_line_by_line() {
+    let _guard = sink_lock();
+    let (report, done) = record_run(8);
+    let jsonl = report.to_jsonl();
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(lines.len(), done, "one JSONL line per transformation");
+    for (i, line) in lines.iter().enumerate() {
+        let parsed = json::parse(line).unwrap_or_else(|e| panic!("line {i}: {e}"));
+        let iteration = parsed
+            .get("iteration")
+            .and_then(json::Json::as_f64)
+            .unwrap_or_else(|| panic!("line {i} missing iteration"));
+        assert_eq!(iteration as usize, i + 1);
+        assert!(parsed.get("hpwl").and_then(json::Json::as_f64).is_some());
+        assert!(parsed
+            .get("phases")
+            .and_then(json::Json::as_object)
+            .is_some_and(|phases| !phases.is_empty()));
+    }
+}
+
+#[test]
+fn report_summary_covers_the_run() {
+    let _guard = sink_lock();
+    let (report, done) = record_run(6);
+    assert!(done > 0);
+    let summary = json::parse(&report.to_json()).expect("summary JSON parses");
+    assert_eq!(
+        summary.get("iterations").and_then(json::Json::as_f64),
+        Some(done as f64)
+    );
+    assert_eq!(
+        summary
+            .get("meta")
+            .and_then(|m| m.get("netlist"))
+            .and_then(json::Json::as_str),
+        Some("telemetry")
+    );
+    // The cumulative profile knows the phases instrumented in the core
+    // transformation loop.
+    let profile: Vec<&str> = report.profile.iter().map(|p| p.name.as_str()).collect();
+    for phase in ["place.density_map", "place.field_solve", "place.solve_x"] {
+        assert!(profile.contains(&phase), "profile missing {phase}: {profile:?}");
+    }
+    // CG solves inside the transformations feed the counters.
+    assert!(report
+        .counters
+        .iter()
+        .any(|(name, value)| name == "cg.iterations" && *value > 0));
+}
+
+#[test]
+fn disabled_tracing_records_nothing_and_costs_no_events() {
+    let _guard = sink_lock();
+    trace::uninstall();
+    let netlist = generate(&SynthConfig::with_size("telemetry_off", 120, 150, 5));
+    let mut session = PlacementSession::new(&netlist, KraftwerkConfig::fast());
+    session.transform();
+    assert!(!trace::enabled());
+    // Installing a recorder afterwards must start from a clean slate.
+    let recorder = Arc::new(RunRecorder::new());
+    trace::install(recorder.clone());
+    trace::uninstall();
+    let report = recorder.report();
+    assert!(report.iterations.is_empty());
+    assert!(report.profile.is_empty());
+}
