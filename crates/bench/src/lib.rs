@@ -20,8 +20,10 @@ use kraftwerk_core::{GlobalPlacer, KraftwerkConfig};
 use kraftwerk_legalize::{check_legality, legalize, refine};
 use kraftwerk_netlist::{metrics, Netlist, Placement};
 use kraftwerk_timing::{optimize_timing_legalized, CriticalityTracker, DelayModel, Sta};
-use kraftwerk_trace::{Console, Value};
+use kraftwerk_trace::json::JsonObject;
+use kraftwerk_trace::{Console, RunRecorder, Value};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The shared reporter for harness binaries: built from the conventional
@@ -96,6 +98,104 @@ pub fn run_gordian(netlist: &Netlist, config: GordianConfig) -> FlowResult {
     let started = Instant::now();
     let global = GordianPlacer::new(config).place(netlist);
     finish("gordian", netlist, global, started)
+}
+
+/// One `--json` measurement: a Kraftwerk flow executed under a
+/// [`RunRecorder`] so the per-phase wall times of the PR 1 trace spans
+/// ride along with the headline numbers.
+#[derive(Debug, Clone)]
+pub struct JsonRun {
+    /// Circuit name.
+    pub netlist: String,
+    /// Movable cell count.
+    pub cells: usize,
+    /// Net count.
+    pub nets: usize,
+    /// Config label (`"standard"`, `"fast"`, …).
+    pub mode: String,
+    /// Worker threads the data-parallel runtime used for this run.
+    pub threads: usize,
+    /// Wall-clock seconds for the complete flow.
+    pub wall_s: f64,
+    /// Legalized half-perimeter wire length in meters.
+    pub hpwl_m: f64,
+    /// Placement transformations performed.
+    pub iterations: usize,
+    /// Whether the final placement passed the legality check.
+    pub legal: bool,
+    /// Cumulative per-phase wall time, most expensive first.
+    pub phases: Vec<kraftwerk_trace::PhaseStat>,
+}
+
+/// Runs the Kraftwerk flow under a private [`RunRecorder`] and returns
+/// the result together with its [`JsonRun`] record. Any previously
+/// installed trace sink is replaced for the duration of the run.
+#[must_use]
+pub fn run_kraftwerk_recorded(netlist: &Netlist, config: KraftwerkConfig, mode: &str) -> (FlowResult, JsonRun) {
+    let recorder = Arc::new(RunRecorder::new());
+    kraftwerk_trace::install(recorder.clone());
+    let result = run_kraftwerk(netlist, config);
+    kraftwerk_trace::uninstall();
+    let report = recorder.report();
+    let run = JsonRun {
+        netlist: netlist.name().to_owned(),
+        cells: netlist.num_movable(),
+        nets: netlist.num_nets(),
+        mode: mode.to_owned(),
+        threads: kraftwerk_par::current_threads(),
+        wall_s: result.seconds,
+        hpwl_m: result.wirelength_m,
+        iterations: report.iterations.len(),
+        legal: result.legal,
+        phases: report.profile,
+    };
+    (result, run)
+}
+
+/// Serializes `--json` runs into the `BENCH_place.json` schema.
+#[must_use]
+pub fn bench_json(runs: &[JsonRun]) -> String {
+    let mut out = String::from("{\"bench\":\"place\",\"host_cpus\":");
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    out.push_str(&cpus.to_string());
+    out.push_str(",\"runs\":[");
+    for (i, run) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let mut o = JsonObject::new();
+        o.str_field("netlist", &run.netlist);
+        o.u64_field("cells", run.cells as u64);
+        o.u64_field("nets", run.nets as u64);
+        o.str_field("mode", &run.mode);
+        o.u64_field("threads", run.threads as u64);
+        o.f64_field("wall_s", run.wall_s);
+        o.f64_field("hpwl_m", run.hpwl_m);
+        o.u64_field("iterations", run.iterations as u64);
+        o.bool_field("legal", run.legal);
+        let mut phases = JsonObject::new();
+        for stat in &run.phases {
+            let mut p = JsonObject::new();
+            p.u64_field("calls", stat.calls);
+            p.f64_field("wall_s", stat.seconds);
+            phases.raw_field(&stat.name, &p.finish());
+        }
+        o.raw_field("phases", &phases.finish());
+        out.push_str(&o.finish());
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Writes `BENCH_place.json` into the current directory (the repo root
+/// when run via `cargo run`) and reports the path on the console.
+///
+/// # Panics
+///
+/// Panics on I/O errors (harness tooling).
+pub fn write_bench_json(console: &Console, runs: &[JsonRun]) {
+    std::fs::write("BENCH_place.json", bench_json(runs)).expect("write BENCH_place.json");
+    console.info(format!("wrote BENCH_place.json ({} runs)", runs.len()));
 }
 
 /// Timing measurement of a finished flow: longest path in ns.
@@ -268,6 +368,35 @@ mod tests {
         assert!(sa.legal);
         let gq = run_gordian(&nl, GordianConfig::default());
         assert!(gq.legal);
+    }
+
+    #[test]
+    fn recorded_run_captures_phases_and_serializes() {
+        let nl = generate(&SynthConfig::with_size("jsonrun", 120, 150, 6));
+        let (result, run) = run_kraftwerk_recorded(&nl, KraftwerkConfig::fast(), "fast");
+        assert!(result.legal);
+        assert_eq!(run.netlist, "jsonrun");
+        assert_eq!(run.mode, "fast");
+        assert!(run.iterations > 0, "no iteration records captured");
+        assert!(run.threads >= 1);
+        assert!(run.phases.iter().any(|p| p.name == "place.density_map"));
+        let json = bench_json(std::slice::from_ref(&run));
+        let parsed = kraftwerk_trace::json::parse(&json).expect("valid JSON");
+        let runs = parsed.get("runs").and_then(|r| r.as_array()).expect("runs array");
+        assert_eq!(runs.len(), 1);
+        assert_eq!(
+            runs[0].get("netlist").and_then(kraftwerk_trace::json::Json::as_str),
+            Some("jsonrun")
+        );
+        assert!(
+            runs[0]
+                .get("phases")
+                .and_then(|p| p.get("place.solve_x"))
+                .and_then(|p| p.get("wall_s"))
+                .and_then(kraftwerk_trace::json::Json::as_f64)
+                .is_some(),
+            "per-phase wall time missing: {json}"
+        );
     }
 
     #[test]

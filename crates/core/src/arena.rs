@@ -1,0 +1,106 @@
+//! The per-session scratch arena.
+//!
+//! Every buffer the placement transformation loop needs is allocated once
+//! and reused across iterations: after the arena has grown to the design's
+//! size (typically during the first transformation), the steady-state loop
+//! performs no further heap allocation. [`ScratchArena::capacity_signature`]
+//! exposes the buffer capacities so tests can assert exactly that.
+
+use crate::quadratic::{Assembled, AssemblyScratch};
+use kraftwerk_field::{DensityScratch, ForceField, MultigridWorkspace, ScalarMap};
+use kraftwerk_geom::Vector;
+use kraftwerk_sparse::{CgWorkspace, JacobiPreconditioner};
+
+/// Reusable state for [`crate::PlacementSession::transform`], grouped by
+/// pipeline phase. All fields are buffers whose *contents* are rebuilt
+/// every iteration (or cached — see `asm_valid`); none carry semantic
+/// state across iterations.
+#[derive(Debug, Default)]
+pub(crate) struct ScratchArena {
+    /// COO staging + CSR build scratch for system assembly.
+    pub assembly: AssemblyScratch,
+    /// The assembled system (matrices and linear terms, storage reused).
+    pub asm: Assembled,
+    /// Whether `asm` is still valid for the current placement. Only ever
+    /// `true` for placement-independent assemblies (pure clique model, no
+    /// linearization), where the matrix can be cached across iterations.
+    pub asm_valid: bool,
+    /// The unweighted assembly the hold force is derived from when timing
+    /// weights are active.
+    pub hold_asm: Assembled,
+    /// Whether `hold_asm` is valid (same caching rule as `asm_valid`).
+    pub hold_valid: bool,
+    /// Cached diagonal of `asm.cx`, rebuilt with the assembly.
+    pub diag_x: Vec<f64>,
+    /// Cached diagonal of `asm.cy`, rebuilt with the assembly.
+    pub diag_y: Vec<f64>,
+    /// Per-cell mean stiffness, sorted for the median estimate.
+    pub stiffness: Vec<f64>,
+    /// Raw (unscaled) field force per movable cell.
+    pub raw: Vec<Vector>,
+    /// Holding-force x component.
+    pub hx: Vec<f64>,
+    /// Holding-force y component.
+    pub hy: Vec<f64>,
+    /// Spring-force scratch (x), input to the hold computation.
+    pub sx: Vec<f64>,
+    /// Spring-force scratch (y).
+    pub sy: Vec<f64>,
+    /// Right-hand side of the x solve.
+    pub bx: Vec<f64>,
+    /// Right-hand side of the y solve.
+    pub by: Vec<f64>,
+    /// Movable-cell x coordinates before the solve (warm start).
+    pub xs0: Vec<f64>,
+    /// Movable-cell y coordinates before the solve.
+    pub ys0: Vec<f64>,
+    /// Jacobi preconditioner for the x system, refreshed in place.
+    pub px: JacobiPreconditioner,
+    /// Jacobi preconditioner for the y system.
+    pub py: JacobiPreconditioner,
+    /// Conjugate-gradient workspace for the x solve.
+    pub cg_x: CgWorkspace,
+    /// Conjugate-gradient workspace for the y solve.
+    pub cg_y: CgWorkspace,
+    /// The density deviation grid, re-shaped in place each iteration.
+    pub density: Option<ScalarMap>,
+    /// Clamped cell rectangles for the density build.
+    pub density_scratch: DensityScratch,
+    /// Multigrid Poisson-solve grids.
+    pub mg: MultigridWorkspace,
+    /// The force field written by the in-place multigrid solve.
+    pub field: Option<ForceField>,
+}
+
+impl ScratchArena {
+    /// Marks cached assemblies stale (placement-independent caching only
+    /// survives while the net weights are unchanged).
+    pub fn invalidate_assembly(&mut self) {
+        self.asm_valid = false;
+        self.hold_valid = false;
+    }
+
+    /// Capacities of every directly owned growable buffer, in a fixed
+    /// order. Two equal signatures around a block of transformations prove
+    /// the block allocated nothing new from the arena's pools.
+    pub fn capacity_signature(&self) -> Vec<usize> {
+        vec![
+            self.diag_x.capacity(),
+            self.diag_y.capacity(),
+            self.stiffness.capacity(),
+            self.raw.capacity(),
+            self.hx.capacity(),
+            self.hy.capacity(),
+            self.sx.capacity(),
+            self.sy.capacity(),
+            self.bx.capacity(),
+            self.by.capacity(),
+            self.xs0.capacity(),
+            self.ys0.capacity(),
+            self.cg_x.capacity(),
+            self.cg_y.capacity(),
+            self.asm.dx.capacity(),
+            self.asm.dy.capacity(),
+        ]
+    }
+}

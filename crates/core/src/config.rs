@@ -89,6 +89,12 @@ pub struct KraftwerkConfig {
     /// (guards low-utilization designs where the paper criterion can
     /// never fire). `0` disables.
     pub stall_window: usize,
+    /// Worker threads for the data-parallel kernels. `0` keeps the
+    /// current global setting (the `KRAFTWERK_THREADS` environment
+    /// variable, falling back to the machine's parallelism); any other
+    /// value is applied via [`kraftwerk_par::set_threads`] when a session
+    /// starts. Results are bitwise identical at every setting.
+    pub threads: usize,
 }
 
 impl KraftwerkConfig {
@@ -112,6 +118,7 @@ impl KraftwerkConfig {
             relaxation: 0.05,
             stop_empty_square_factor: 4.0,
             stall_window: 16,
+            threads: 0,
         }
     }
 
@@ -156,6 +163,14 @@ impl KraftwerkConfig {
     #[must_use]
     pub fn with_field_solver(mut self, field_solver: FieldSolverKind) -> Self {
         self.field_solver = field_solver;
+        self
+    }
+
+    /// Overrides the worker-thread count (builder style); `0` keeps the
+    /// global setting.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 

@@ -41,6 +41,7 @@
 // the clearest formulation there.
 #![allow(clippy::needless_range_loop)]
 
+mod arena;
 mod config;
 mod multilevel;
 mod quadratic;

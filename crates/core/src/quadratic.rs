@@ -13,7 +13,7 @@
 use crate::config::NetModel;
 use kraftwerk_geom::Point;
 use kraftwerk_netlist::{CellId, Netlist, Placement};
-use kraftwerk_sparse::{CooMatrix, CsrMatrix};
+use kraftwerk_sparse::{CooMatrix, CsrBuildScratch, CsrMatrix};
 
 /// Maps movable cells to matrix indices and assembles `C`/`d` per axis.
 #[derive(Debug, Clone)]
@@ -24,7 +24,7 @@ pub struct QuadraticSystem {
 
 /// One axis-separable assembled system: `C_x x + d_x = 0` and
 /// `C_y y + d_y = 0` describe the unconstrained wire-length optimum.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Assembled {
     /// x-axis connectivity matrix.
     pub cx: CsrMatrix,
@@ -36,8 +36,20 @@ pub struct Assembled {
     pub dy: Vec<f64>,
 }
 
+/// Reusable buffers for [`QuadraticSystem::assemble_into`]: the COO
+/// staging triplets, the CSR build scratch, and the per-net pin buffer.
+/// Holding one of these across placement iterations makes re-assembly
+/// allocation-free once the buffers have grown to the design's size.
+#[derive(Debug, Default)]
+pub struct AssemblyScratch {
+    coo_x: CooMatrix,
+    coo_y: CooMatrix,
+    csr_build: CsrBuildScratch,
+    pins: Vec<PinInfo>,
+}
+
 /// Everything the per-net expansion needs to know about a pin.
-#[derive(Clone, Copy)]
+#[derive(Debug, Clone, Copy)]
 struct PinInfo {
     /// Matrix index when the pin's cell is movable.
     movable: Option<u32>,
@@ -104,6 +116,15 @@ impl QuadraticSystem {
         (xs, ys)
     }
 
+    /// In-place variant of [`QuadraticSystem::coords`], reusing the output
+    /// vectors' storage.
+    pub fn coords_into(&self, placement: &Placement, xs: &mut Vec<f64>, ys: &mut Vec<f64>) {
+        xs.clear();
+        ys.clear();
+        xs.extend(self.cell_of_movable.iter().map(|&c| placement.position(c).x));
+        ys.extend(self.cell_of_movable.iter().map(|&c| placement.position(c).y));
+    }
+
     /// Writes solved coordinates back into a placement.
     ///
     /// # Panics
@@ -143,17 +164,50 @@ impl QuadraticSystem {
         model: NetModel,
         linearization_epsilon: Option<f64>,
     ) -> Assembled {
+        let mut out = Assembled::default();
+        self.assemble_into(
+            netlist,
+            placement,
+            extra_weights,
+            model,
+            linearization_epsilon,
+            &mut out,
+            &mut AssemblyScratch::default(),
+        );
+        out
+    }
+
+    /// In-place variant of [`QuadraticSystem::assemble`]: rebuilds `out`
+    /// reusing its matrices' storage and the staging buffers in `ws`.
+    /// After the first call the rebuild performs no heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `extra_weights` is provided with a length other than the
+    /// net count.
+    pub fn assemble_into(
+        &self,
+        netlist: &Netlist,
+        placement: &Placement,
+        extra_weights: Option<&[f64]>,
+        model: NetModel,
+        linearization_epsilon: Option<f64>,
+        out: &mut Assembled,
+        ws: &mut AssemblyScratch,
+    ) {
         if let Some(w) = extra_weights {
             assert_eq!(w.len(), netlist.num_nets(), "extra_weights length mismatch");
         }
         let n = self.num_movable();
-        // Rough nnz estimate: diag + 2 entries per clique edge.
-        let mut cx = CooMatrix::with_capacity(n, netlist.num_pins() * 4);
-        let mut cy = CooMatrix::with_capacity(n, netlist.num_pins() * 4);
-        let mut dx = vec![0.0; n];
-        let mut dy = vec![0.0; n];
+        let AssemblyScratch { coo_x, coo_y, csr_build, pins } = ws;
+        coo_x.reset(n);
+        coo_y.reset(n);
+        out.dx.clear();
+        out.dx.resize(n, 0.0);
+        out.dy.clear();
+        out.dy.resize(n, 0.0);
+        let (dx, dy) = (&mut out.dx[..], &mut out.dy[..]);
 
-        let mut pins_buf: Vec<PinInfo> = Vec::new();
         for (net_id, net) in netlist.nets() {
             let k = net.degree();
             if k < 2 {
@@ -164,13 +218,13 @@ impl QuadraticSystem {
             if w_net == 0.0 {
                 continue;
             }
-            pins_buf.clear();
+            pins.clear();
             for &pid in net.pins() {
                 let pin = netlist.pin(pid);
                 let movable = self.movable_of_cell[pin.cell().index()];
                 let base = placement.position(pin.cell());
                 let pos = (base.x + pin.offset().x, base.y + pin.offset().y);
-                pins_buf.push(PinInfo {
+                pins.push(PinInfo {
                     movable,
                     offset: (pin.offset().x, pin.offset().y),
                     pos,
@@ -188,12 +242,12 @@ impl QuadraticSystem {
                 for i in 0..k {
                     for j in (i + 1)..k {
                         add_edge(
-                            &mut cx,
-                            &mut cy,
-                            &mut dx,
-                            &mut dy,
-                            pins_buf[i],
-                            pins_buf[j],
+                            coo_x,
+                            coo_y,
+                            dx,
+                            dy,
+                            pins[i],
+                            pins[j],
                             w_edge,
                             linearization_epsilon,
                         );
@@ -203,20 +257,20 @@ impl QuadraticSystem {
                 // Star with the current centroid held fixed; weight chosen
                 // so the pull on a pin matches the clique's aggregate pull
                 // (w·(k-1)/k toward the mean of the other pins).
-                let cxd = pins_buf.iter().map(|p| p.pos.0).sum::<f64>() / k as f64;
-                let cyd = pins_buf.iter().map(|p| p.pos.1).sum::<f64>() / k as f64;
+                let cxd = pins.iter().map(|p| p.pos.0).sum::<f64>() / k as f64;
+                let cyd = pins.iter().map(|p| p.pos.1).sum::<f64>() / k as f64;
                 let w_star = w_net * (k as f64 - 1.0) / k as f64;
                 let centroid = PinInfo {
                     movable: None,
                     offset: (0.0, 0.0),
                     pos: (cxd, cyd),
                 };
-                for &pin in &pins_buf {
+                for &pin in pins.iter() {
                     add_edge(
-                        &mut cx,
-                        &mut cy,
-                        &mut dx,
-                        &mut dy,
+                        coo_x,
+                        coo_y,
+                        dx,
+                        dy,
                         pin,
                         centroid,
                         w_star,
@@ -226,47 +280,23 @@ impl QuadraticSystem {
             }
         }
 
-        // Tiny center anchor: regularizes floating components.
+        // Tiny center anchor: regularizes floating components. The anchor
+        // scale comes from the mean diagonal, which can be read off the
+        // staging triplets directly (duplicate diagonal entries sum to the
+        // deduplicated CSR diagonal), so the anchors go into the same COO
+        // and each axis converts exactly once — the old path round-tripped
+        // COO → CSR → COO → CSR per axis.
         let center = netlist.core_region().center();
-        // Mean diagonal estimate: every edge adds 2w to two diagonals.
-        let cx = {
-            let mut diag_sum = 0.0;
-            let csr = cx.into_csr();
-            for i in 0..n {
-                diag_sum += csr.get(i, i);
-            }
-            let delta = 1e-6 * (diag_sum / n.max(1) as f64 + 1.0);
-            let mut coo = CooMatrix::with_capacity(n, n);
-            // Re-add through COO to keep CsrMatrix immutable; cheap since
-            // delta entries are diagonal-only.
-            for i in 0..n {
-                for (c, v) in csr.row(i) {
-                    coo.push(i, c, v);
-                }
-                coo.push(i, i, 2.0 * delta);
-                dx[i] -= 2.0 * delta * center.x;
-            }
-            coo.into_csr()
-        };
-        let cy = {
-            let mut diag_sum = 0.0;
-            let csr = cy.into_csr();
-            for i in 0..n {
-                diag_sum += csr.get(i, i);
-            }
-            let delta = 1e-6 * (diag_sum / n.max(1) as f64 + 1.0);
-            let mut coo = CooMatrix::with_capacity(n, n);
-            for i in 0..n {
-                for (c, v) in csr.row(i) {
-                    coo.push(i, c, v);
-                }
-                coo.push(i, i, 2.0 * delta);
-                dy[i] -= 2.0 * delta * center.y;
-            }
-            coo.into_csr()
-        };
-
-        Assembled { cx, cy, dx, dy }
+        let delta_x = 1e-6 * (coo_x.diagonal_sum() / n.max(1) as f64 + 1.0);
+        let delta_y = 1e-6 * (coo_y.diagonal_sum() / n.max(1) as f64 + 1.0);
+        for i in 0..n {
+            coo_x.push(i, i, 2.0 * delta_x);
+            dx[i] -= 2.0 * delta_x * center.x;
+            coo_y.push(i, i, 2.0 * delta_y);
+            dy[i] -= 2.0 * delta_y * center.y;
+        }
+        out.cx.rebuild_from(coo_x, csr_build);
+        out.cy.rebuild_from(coo_y, csr_build);
     }
 
     /// The negative gradient `-(C p + d)` at the given coordinates — the
@@ -277,16 +307,33 @@ impl QuadraticSystem {
     /// Synthesis").
     #[must_use]
     pub fn spring_force(&self, assembled: &Assembled, xs: &[f64], ys: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let mut fx = Vec::new();
+        let mut fy = Vec::new();
+        self.spring_force_into(assembled, xs, ys, &mut fx, &mut fy);
+        (fx, fy)
+    }
+
+    /// In-place variant of [`QuadraticSystem::spring_force`], reusing the
+    /// output vectors' storage.
+    pub fn spring_force_into(
+        &self,
+        assembled: &Assembled,
+        xs: &[f64],
+        ys: &[f64],
+        fx: &mut Vec<f64>,
+        fy: &mut Vec<f64>,
+    ) {
         let n = self.num_movable();
-        let mut fx = vec![0.0; n];
-        let mut fy = vec![0.0; n];
-        assembled.cx.spmv(xs, &mut fx);
-        assembled.cy.spmv(ys, &mut fy);
+        fx.clear();
+        fx.resize(n, 0.0);
+        fy.clear();
+        fy.resize(n, 0.0);
+        assembled.cx.spmv(xs, fx);
+        assembled.cy.spmv(ys, fy);
         for i in 0..n {
             fx[i] = -(fx[i] + assembled.dx[i]);
             fy[i] = -(fy[i] + assembled.dy[i]);
         }
-        (fx, fy)
     }
 }
 

@@ -1,13 +1,15 @@
 //! The iterative algorithm of section 4: placement transformations with
 //! accumulated additional forces.
 
-use crate::config::{FieldSolverKind, KraftwerkConfig};
+use crate::arena::ScratchArena;
+use crate::config::{FieldSolverKind, KraftwerkConfig, NetModel};
 use crate::quadratic::QuadraticSystem;
 use kraftwerk_field::{
-    density_map, largest_empty_square, DirectSolver, FieldSolver, MultigridSolver, ScalarMap,
+    density_map_into, largest_empty_square, DirectSolver, FieldSolver, ForceField,
+    MultigridSolver, ScalarMap,
 };
 use kraftwerk_netlist::{metrics, Netlist, Placement};
-use kraftwerk_sparse::{solve, JacobiPreconditioner};
+use kraftwerk_sparse::solve_with;
 
 /// Per-transformation progress record.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,6 +69,7 @@ pub struct PlacementSession<'a> {
     demand: Option<(ScalarMap, f64)>,
     iteration: usize,
     last_empty_square: Vec<f64>,
+    arena: ScratchArena,
 }
 
 impl<'a> PlacementSession<'a> {
@@ -74,6 +77,9 @@ impl<'a> PlacementSession<'a> {
     /// accumulated force (section 4.2 step 1).
     #[must_use]
     pub fn new(netlist: &'a Netlist, config: KraftwerkConfig) -> Self {
+        if config.threads != 0 {
+            kraftwerk_par::set_threads(config.threads);
+        }
         Self {
             netlist,
             config,
@@ -84,6 +90,7 @@ impl<'a> PlacementSession<'a> {
             demand: None,
             iteration: 0,
             last_empty_square: Vec::new(),
+            arena: ScratchArena::default(),
         }
     }
 
@@ -115,6 +122,7 @@ impl<'a> PlacementSession<'a> {
             "one weight per net required"
         );
         self.extra_weights = Some(weights);
+        self.arena.invalidate_assembly();
     }
 
     /// Injects an additional supply/demand map (congestion or heat,
@@ -177,6 +185,17 @@ impl<'a> PlacementSession<'a> {
         ((longer / (side * 0.5)).ceil() as usize).clamp(32, 512)
     }
 
+    /// Capacities of the scratch arena's growable buffers, in a fixed
+    /// order. The arena grows to the design's size during the first
+    /// transformation and is reused afterwards; two equal signatures
+    /// around a block of transformations prove the block performed no new
+    /// heap allocation from these pools. Exposed for tests and memory
+    /// diagnostics.
+    #[must_use]
+    pub fn scratch_capacity_signature(&self) -> Vec<usize> {
+        self.arena.capacity_signature()
+    }
+
     /// Executes one *placement transformation* (section 4.1):
     /// density → force field → scale to `K(W+H)` → accumulate → re-solve.
     ///
@@ -186,17 +205,56 @@ impl<'a> PlacementSession<'a> {
     /// `iteration` event, so a
     /// [`RunRecorder`](kraftwerk_trace::RunRecorder) yields one JSONL
     /// record per transformation with per-phase wall times attached.
+    ///
+    /// All intermediate buffers live in the session's scratch arena: after
+    /// the first transformation the steady-state loop reuses them without
+    /// further heap allocation, and with the pure-clique net model (no
+    /// linearization) the placement-independent system matrix, its
+    /// diagonal, and the Jacobi preconditioners are assembled once and
+    /// cached. The x and y conjugate-gradient solves run concurrently when
+    /// more than one worker thread is configured; results are bitwise
+    /// identical at any thread count.
     pub fn transform(&mut self) -> IterationStats {
         let tracing = kraftwerk_trace::enabled();
         let iter_started = tracing.then(std::time::Instant::now);
         self.iteration += 1;
         let core = self.netlist.core_region();
         let (nx, ny) = self.grid_dims();
+        let lin_eps = self.linearization_eps();
+        let ScratchArena {
+            assembly,
+            asm,
+            asm_valid,
+            hold_asm,
+            hold_valid,
+            diag_x,
+            diag_y,
+            stiffness,
+            raw,
+            hx,
+            hy,
+            sx,
+            sy,
+            bx,
+            by,
+            xs0,
+            ys0,
+            px,
+            py,
+            cg_x,
+            cg_y,
+            density: density_slot,
+            density_scratch,
+            mg,
+            field: field_slot,
+        } = &mut self.arena;
 
         // 1. Density deviation of the current placement (eq. 4), plus any
         //    injected congestion/heat demand.
         let density_timer = kraftwerk_trace::span("place.density_map");
-        let mut density = density_map(self.netlist, &self.placement, nx, ny);
+        let density =
+            density_slot.get_or_insert_with(|| ScalarMap::zeros(core, nx, ny));
+        density_map_into(self.netlist, &self.placement, nx, ny, density, density_scratch);
         if let Some((map, weight)) = &self.demand {
             density.add_scaled(map, *weight);
             density.balance();
@@ -206,29 +264,50 @@ impl<'a> PlacementSession<'a> {
 
         // 2. Force field (eq. 9 / Poisson solve).
         let field_timer = kraftwerk_trace::span("place.field_solve");
-        let field = match self.config.field_solver {
-            FieldSolverKind::Multigrid => MultigridSolver {
-                // Force directions only need a few correct digits; the
-                // default 1e-7 residual target would spend V-cycles on
-                // accuracy the displacement cap throws away.
-                tolerance: 1e-4,
-                ..MultigridSolver::new()
+        let field: &ForceField = match self.config.field_solver {
+            FieldSolverKind::Multigrid => {
+                let solver = MultigridSolver {
+                    // Force directions only need a few correct digits; the
+                    // default 1e-7 residual target would spend V-cycles on
+                    // accuracy the displacement cap throws away.
+                    tolerance: 1e-4,
+                    ..MultigridSolver::new()
+                };
+                let out = field_slot.get_or_insert_with(|| ForceField::zeros(core, nx, ny));
+                solver.solve_reusing(density, mg, out);
+                out
             }
-            .solve(&density),
-            FieldSolverKind::Direct => DirectSolver::new().solve(&density),
+            FieldSolverKind::Direct => {
+                *field_slot = Some(DirectSolver::new().solve(density));
+                field_slot.as_ref().expect("field stored above")
+            }
         };
         field_timer.finish();
 
         // 3. Assemble the current quadratic system; its diagonal is the
-        //    per-cell stiffness the force scale must be expressed in.
+        //    per-cell stiffness the force scale must be expressed in. The
+        //    pure clique model without linearization is placement-
+        //    independent, so its matrix (and diagonal and preconditioner)
+        //    survives across iterations until the net weights change.
         let assembly_timer = kraftwerk_trace::span("place.force_assembly");
-        let asm = self.system.assemble(
-            self.netlist,
-            &self.placement,
-            self.extra_weights.as_deref(),
-            self.config.net_model,
-            self.linearization_eps(),
-        );
+        let static_model =
+            self.config.net_model == NetModel::Clique && !self.config.linearization;
+        if !(static_model && *asm_valid) {
+            self.system.assemble_into(
+                self.netlist,
+                &self.placement,
+                self.extra_weights.as_deref(),
+                self.config.net_model,
+                lin_eps,
+                asm,
+                assembly,
+            );
+            *asm_valid = static_model;
+            asm.cx.diagonal_into(diag_x);
+            asm.cy.diagonal_into(diag_y);
+            px.refresh_from(&asm.cx);
+            py.refresh_from(&asm.cy);
+        }
 
         // 4. Scale per section 4.1: the strongest force equals the pull of
         //    a net of length K(W+H). A cell whose spring stiffness is
@@ -238,16 +317,15 @@ impl<'a> PlacementSession<'a> {
         //    raw force keeps the step size meaningful under GORDIAN-L
         //    linearization, where edge weights — and with them all force
         //    units — shrink with 1/length.)
-        let diag_x = asm.cx.diagonal();
-        let diag_y = asm.cy.diagonal();
         let n = self.system.num_movable();
         // Robust stiffness floor: cells that are barely connected (only
         // the regularization anchor) must not collapse the global scale.
-        let mut sorted: Vec<f64> = diag_x.iter().zip(&diag_y).map(|(a, b)| 0.5 * (a + b)).collect();
-        sorted.sort_by(f64::total_cmp);
-        let median_stiffness = sorted[sorted.len() / 2].max(1e-12);
+        stiffness.clear();
+        stiffness.extend(diag_x.iter().zip(diag_y.iter()).map(|(a, b)| 0.5 * (a + b)));
+        stiffness.sort_by(f64::total_cmp);
+        let median_stiffness = stiffness[stiffness.len() / 2].max(1e-12);
         let floor = 0.05 * median_stiffness;
-        let mut raw = Vec::with_capacity(n);
+        raw.clear();
         let mut max_disp = 0.0f64;
         for i in 0..n {
             let cell = self.system.cell_of(i);
@@ -297,44 +375,51 @@ impl<'a> PlacementSession<'a> {
         //    computed under the *previous* weights so the newly weighted
         //    nets contract. `hold_asm` is the assembly the hold force is
         //    derived from.
-        let (xs0, ys0) = self.system.coords(&self.placement);
+        self.system.coords_into(&self.placement, xs0, ys0);
         let use_hold = self.hold_from_start || self.iteration > 1;
-        let (hx, hy) = if use_hold {
+        if use_hold {
             // The hold is always derived under the *base* (unweighted)
             // system. This mirrors the paper exactly: the accumulated `e`
             // contains only density-force history, so when timing weights
             // scale the springs, the weighted nets feel a persistent net
             // pull toward contraction until a new balance with the density
             // forces is reached — not a one-shot nudge.
-            let hold_asm = if self.extra_weights.is_some() {
-                Some(self.system.assemble(
-                    self.netlist,
-                    &self.placement,
-                    None,
-                    self.config.net_model,
-                    self.linearization_eps(),
-                ))
+            let hold = if self.extra_weights.is_some() {
+                if !(static_model && *hold_valid) {
+                    self.system.assemble_into(
+                        self.netlist,
+                        &self.placement,
+                        None,
+                        self.config.net_model,
+                        lin_eps,
+                        hold_asm,
+                        assembly,
+                    );
+                    *hold_valid = static_model;
+                }
+                &*hold_asm
             } else {
-                None
+                &*asm
             };
-            let (sx, sy) = self
-                .system
-                .spring_force(hold_asm.as_ref().unwrap_or(&asm), &xs0, &ys0);
+            self.system.spring_force_into(hold, xs0, ys0, sx, sy);
             // Release a `relaxation` fraction of the hold so the springs
             // keep optimizing wire length against the density forces.
             let keep = 1.0 - self.config.relaxation.clamp(0.0, 1.0);
-            (
-                sx.iter().map(|v| -v * keep).collect::<Vec<_>>(),
-                sy.iter().map(|v| -v * keep).collect::<Vec<_>>(),
-            )
+            hx.clear();
+            hx.extend(sx.iter().map(|v| -v * keep));
+            hy.clear();
+            hy.extend(sy.iter().map(|v| -v * keep));
         } else {
-            (vec![0.0; n], vec![0.0; n])
-        };
+            hx.clear();
+            hx.resize(n, 0.0);
+            hy.clear();
+            hy.resize(n, 0.0);
+        }
 
         //    Right-hand side: C p = -d + f_hold + f_density.
         let mut max_force = 0.0f64;
-        let mut bx = Vec::with_capacity(n);
-        let mut by = Vec::with_capacity(n);
+        bx.clear();
+        by.clear();
         for i in 0..n {
             let f = raw[i] * scale;
             max_force = max_force.max(f.norm());
@@ -343,15 +428,26 @@ impl<'a> PlacementSession<'a> {
         }
         assembly_timer.finish();
 
-        // 6. Solve, warm-started from the current placement.
-        let solve_x_timer = kraftwerk_trace::span("place.solve_x");
-        let px = JacobiPreconditioner::from_matrix(&asm.cx);
-        let rx = solve(&asm.cx, &bx, Some(&xs0), &px, &self.config.cg);
-        solve_x_timer.finish();
-        let solve_y_timer = kraftwerk_trace::span("place.solve_y");
-        let py = JacobiPreconditioner::from_matrix(&asm.cy);
-        let ry = solve(&asm.cy, &by, Some(&ys0), &py, &self.config.cg);
-        solve_y_timer.finish();
+        // 6. Solve, warm-started from the current placement. The x and y
+        //    systems are independent, so the two conjugate-gradient solves
+        //    run concurrently when the worker pool has more than one
+        //    thread (each keeps its own workspace and preconditioner, so
+        //    the results are identical to the sequential order).
+        let cg_opts = &self.config.cg;
+        let (rx, ry) = kraftwerk_par::join(
+            || {
+                let timer = kraftwerk_trace::span("place.solve_x");
+                let stats = solve_with(&asm.cx, bx, Some(xs0.as_slice()), &*px, cg_opts, cg_x);
+                timer.finish();
+                stats
+            },
+            || {
+                let timer = kraftwerk_trace::span("place.solve_y");
+                let stats = solve_with(&asm.cy, by, Some(ys0.as_slice()), &*py, cg_opts, cg_y);
+                timer.finish();
+                stats
+            },
+        );
 
         //    Trust region: the per-cell displacement estimate used for the
         //    force scale cannot see coupled modes (a whole chain of cells
@@ -360,8 +456,9 @@ impl<'a> PlacementSession<'a> {
         //    target by blending toward the solve result. Skipped on the
         //    unconstrained first solve of a fresh run.
         let cg_iters = rx.iterations + ry.iterations;
-        let (mut xs1, mut ys1) = (rx.x, ry.x);
         if use_hold {
+            let xs1 = cg_x.solution_mut();
+            let ys1 = cg_y.solution_mut();
             for i in 0..n {
                 let dx = xs1[i] - xs0[i];
                 let dy = ys1[i] - ys0[i];
@@ -373,7 +470,8 @@ impl<'a> PlacementSession<'a> {
                 }
             }
         }
-        self.system.write_back(&mut self.placement, &xs1, &ys1);
+        self.system
+            .write_back(&mut self.placement, cg_x.solution(), cg_y.solution());
         self.clamp_into_core();
 
         // 7. Progress metrics.
@@ -593,6 +691,38 @@ mod tests {
         let b = placer.place(&nl);
         assert_eq!(a.placement, b.placement);
         assert_eq!(a.stats.len(), b.stats.len());
+    }
+
+    #[test]
+    fn steady_state_transform_reuses_the_scratch_arena() {
+        let nl = small();
+        let mut session = PlacementSession::new(&nl, KraftwerkConfig::standard());
+        // Warm-up: the arena grows to the design's size during the first
+        // transformations (the hold path only activates on the second).
+        session.transform();
+        session.transform();
+        let before = session.scratch_capacity_signature();
+        for _ in 0..4 {
+            session.transform();
+        }
+        assert_eq!(
+            before,
+            session.scratch_capacity_signature(),
+            "steady-state transformations must not grow the scratch arena"
+        );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_placement() {
+        let nl = small();
+        let placer = GlobalPlacer::new(KraftwerkConfig::standard());
+        kraftwerk_par::set_threads(1);
+        let one = placer.place(&nl);
+        kraftwerk_par::set_threads(2);
+        let two = placer.place(&nl);
+        kraftwerk_par::set_threads(0);
+        assert_eq!(one.placement, two.placement);
+        assert_eq!(one.stats, two.stats);
     }
 
     #[test]

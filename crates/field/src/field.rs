@@ -1,7 +1,7 @@
 //! The force field abstraction and solver trait.
 
 use crate::map::ScalarMap;
-use kraftwerk_geom::{Point, Vector};
+use kraftwerk_geom::{Point, Rect, Vector};
 
 /// A sampled vector field over the core region: the additional forces of
 /// section 3, one vector per bin, bilinearly interpolated in between.
@@ -23,6 +23,34 @@ impl ForceField {
         assert_eq!(fx.ny(), fy.ny(), "component grids differ");
         assert_eq!(fx.region(), fy.region(), "component regions differ");
         Self { fx, fy }
+    }
+
+    /// A zero field on an `nx * ny` grid over `region`. Reuse seed for
+    /// solvers with an in-place path ([`crate::MultigridSolver::solve_reusing`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nx == 0`, `ny == 0`, or the region is degenerate.
+    #[must_use]
+    pub fn zeros(region: Rect, nx: usize, ny: usize) -> Self {
+        Self {
+            fx: ScalarMap::zeros(region, nx, ny),
+            fy: ScalarMap::zeros(region, nx, ny),
+        }
+    }
+
+    /// Re-shapes both component maps in place, reusing their allocations.
+    pub(crate) fn reset(&mut self, region: Rect, nx: usize, ny: usize) {
+        self.fx.reset(region, nx, ny);
+        self.fy.reset(region, nx, ny);
+    }
+
+    /// Writes both components of one bin (crate-internal solver hook; the
+    /// shared-grid invariant is kept because [`ForceField::reset`] shapes
+    /// both maps together).
+    pub(crate) fn set_bin(&mut self, ix: usize, iy: usize, gx: f64, gy: f64) {
+        self.fx.set(ix, iy, gx);
+        self.fy.set(ix, iy, gy);
     }
 
     /// The force vector at an arbitrary point (bilinear interpolation,

@@ -50,5 +50,8 @@ mod multigrid;
 
 pub use direct::DirectSolver;
 pub use field::{FieldSolver, ForceField};
-pub use map::{density_map, largest_empty_square, occupancy_map, svg_heatmap, ScalarMap};
-pub use multigrid::MultigridSolver;
+pub use map::{
+    density_map, density_map_into, largest_empty_square, occupancy_map, svg_heatmap,
+    DensityScratch, ScalarMap,
+};
+pub use multigrid::{MultigridSolver, MultigridWorkspace};

@@ -100,6 +100,29 @@ impl ScalarMap {
         &self.values
     }
 
+    /// Mutable raw values in row-major (y-major) order. Reuse hook for
+    /// callers that recompute a field in place every iteration.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Re-shapes the map to `nx * ny` bins over `region` and zeroes every
+    /// bin, reusing the existing allocation when it is large enough. The
+    /// in-place counterpart of [`ScalarMap::zeros`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nx == 0`, `ny == 0`, or the region is degenerate.
+    pub fn reset(&mut self, region: Rect, nx: usize, ny: usize) {
+        assert!(nx > 0 && ny > 0, "grid must have at least one bin");
+        assert!(region.width() > 0.0 && region.height() > 0.0, "degenerate region");
+        self.nx = nx;
+        self.ny = ny;
+        self.region = region;
+        self.values.clear();
+        self.values.resize(nx * ny, 0.0);
+    }
+
     /// Center of bin `(ix, iy)`.
     #[must_use]
     pub fn bin_center(&self, ix: usize, iy: usize) -> Point {
@@ -240,6 +263,53 @@ impl ScalarMap {
     }
 }
 
+/// Cells per parallel deposit chunk. Like the vector-kernel block size,
+/// this fixes the floating-point association of the chunk-merged deposit
+/// and must never depend on the thread count.
+const DEPOSIT_CELL_CHUNK: usize = 2048;
+
+/// Deposits unit-density rectangles into `map`. Small inputs deposit
+/// sequentially; past [`DEPOSIT_CELL_CHUNK`] cells the input is split into
+/// fixed-size chunks, each chunk accumulates into a private partial grid,
+/// and the partials are merged **in chunk index order** — the association
+/// is a function of the rectangle count only, so every thread count
+/// (including one) produces bitwise-identical bins.
+fn deposit_rects(map: &mut ScalarMap, rects: &[Rect]) {
+    if rects.len() <= DEPOSIT_CELL_CHUNK {
+        for r in rects {
+            map.deposit_rect(r, 1.0);
+        }
+        return;
+    }
+    let merged = kraftwerk_par::par_map_reduce(
+        rects.len(),
+        DEPOSIT_CELL_CHUNK,
+        |_, range| {
+            let mut partial = ScalarMap::zeros(map.region(), map.nx(), map.ny());
+            for r in &rects[range] {
+                partial.deposit_rect(r, 1.0);
+            }
+            partial
+        },
+        |mut a, b| {
+            a.add_scaled(&b, 1.0);
+            a
+        },
+    );
+    if let Some(m) = merged {
+        map.add_scaled(&m, 1.0);
+    }
+}
+
+/// Reusable buffers for [`density_map_into`]: the clamped cell rectangles
+/// gathered each iteration. Holding one of these across placement
+/// iterations keeps the density rebuild allocation-free for netlists below
+/// the parallel deposit threshold.
+#[derive(Debug, Default)]
+pub struct DensityScratch {
+    rects: Vec<Rect>,
+}
+
 /// Builds the density deviation `D(x,y)` of equation (4) on an `nx x ny`
 /// grid over the core region: demand (cell coverage, cells clamped into
 /// the core) minus supply (`s = total cell area / core area`, uniform),
@@ -250,19 +320,36 @@ impl ScalarMap {
 /// empty ones.
 #[must_use]
 pub fn density_map(netlist: &Netlist, placement: &Placement, nx: usize, ny: usize) -> ScalarMap {
+    let mut map = ScalarMap::zeros(netlist.core_region(), nx, ny);
+    density_map_into(netlist, placement, nx, ny, &mut map, &mut DensityScratch::default());
+    map
+}
+
+/// In-place variant of [`density_map`]: re-shapes `map` (reusing its
+/// allocation) and gathers cell rectangles into `scratch` instead of
+/// allocating fresh buffers. Produces bin values bitwise identical to
+/// [`density_map`].
+pub fn density_map_into(
+    netlist: &Netlist,
+    placement: &Placement,
+    nx: usize,
+    ny: usize,
+    map: &mut ScalarMap,
+    scratch: &mut DensityScratch,
+) {
     let core = netlist.core_region();
-    let mut map = ScalarMap::zeros(core, nx, ny);
+    map.reset(core, nx, ny);
+    scratch.rects.clear();
     for (id, cell) in netlist.movable_cells() {
         let r = placement.cell_rect(id, cell.size());
         // Clamp escaped cells onto the core boundary so their demand still
         // registers (and pushes them back inward).
-        let r = clamp_rect_into(&r, &core);
-        map.deposit_rect(&r, 1.0);
+        scratch.rects.push(clamp_rect_into(&r, &core));
     }
+    deposit_rects(map, &scratch.rects);
     // Subtract the scaled supply: with the grid covering exactly the core,
     // the supply is uniform; balancing also absorbs clamping artifacts.
     map.balance();
-    map
 }
 
 /// Translates `r` so it lies inside `bounds` (shrinking is never needed for
@@ -299,17 +386,18 @@ pub fn occupancy_map(
 ) -> ScalarMap {
     let core = netlist.core_region();
     let mut cover = ScalarMap::zeros(core, nx, ny);
-    for (id, cell) in netlist.movable_cells() {
-        let r = placement.cell_rect(id, cell.size());
-        cover.deposit_rect(&r, 1.0);
-    }
-    let mut occ = ScalarMap::zeros(core, nx, ny);
-    for iy in 0..ny {
-        for ix in 0..nx {
-            occ.set(ix, iy, f64::from(u8::from(cover.get(ix, iy) >= threshold)));
+    let rects: Vec<Rect> = netlist
+        .movable_cells()
+        .map(|(id, cell)| placement.cell_rect(id, cell.size()))
+        .collect();
+    deposit_rects(&mut cover, &rects);
+    // Binarize in place; element-wise, so chunking cannot change the result.
+    kraftwerk_par::for_each_chunk_mut(cover.values_mut(), DEPOSIT_CELL_CHUNK, |_, block| {
+        for v in block {
+            *v = f64::from(u8::from(*v >= threshold));
         }
-    }
-    occ
+    });
+    cover
 }
 
 /// Area of the largest empty axis-aligned square inside the core region —
@@ -575,6 +663,52 @@ mod tests {
         // Cold corner renders blue-ish, hot corner red.
         assert!(svg.contains("#3c5ac8"), "cold color missing: {svg}");
         assert!(svg.contains("#ff503c"), "hot color missing");
+    }
+
+    #[test]
+    fn density_map_into_matches_density_map_and_reuses_buffers() {
+        let (nl, p) = clustered_netlist();
+        let reference = density_map(&nl, &p, 10, 10);
+        let mut map = ScalarMap::zeros(Rect::new(0.0, 0.0, 1.0, 1.0), 1, 1);
+        let mut scratch = DensityScratch::default();
+        density_map_into(&nl, &p, 10, 10, &mut map, &mut scratch);
+        assert_eq!(map, reference);
+        // Second rebuild reuses both the bin grid and the rect buffer.
+        let caps = (map.values.capacity(), scratch.rects.capacity());
+        density_map_into(&nl, &p, 10, 10, &mut map, &mut scratch);
+        assert_eq!(caps, (map.values.capacity(), scratch.rects.capacity()));
+        assert_eq!(map, reference);
+    }
+
+    #[test]
+    fn chunked_deposit_is_identical_across_thread_counts() {
+        // Enough rectangles to cross the parallel deposit threshold, with
+        // many rects landing in the same bins so the merge order matters.
+        let region = Rect::new(0.0, 0.0, 32.0, 32.0);
+        let mut state = 9u64;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let rects: Vec<Rect> = (0..2 * DEPOSIT_CELL_CHUNK + 31)
+            .map(|_| {
+                let x = rnd() * 30.0;
+                let y = rnd() * 30.0;
+                Rect::new(x, y, x + 0.4 + rnd(), y + 0.4 + rnd())
+            })
+            .collect();
+        kraftwerk_par::set_threads(1);
+        let mut seq = ScalarMap::zeros(region, 16, 16);
+        deposit_rects(&mut seq, &rects);
+        for threads in [2usize, 8] {
+            kraftwerk_par::set_threads(threads);
+            let mut par = ScalarMap::zeros(region, 16, 16);
+            deposit_rects(&mut par, &rects);
+            for (a, b) in seq.values().iter().zip(par.values()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{threads} threads");
+            }
+        }
+        kraftwerk_par::set_threads(1);
     }
 
     #[test]

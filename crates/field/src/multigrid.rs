@@ -179,30 +179,62 @@ fn level_count(m: usize) -> usize {
     levels
 }
 
-fn vcycle(level: &Level, phi: &mut [f64], rhs: &[f64]) {
+/// Per-depth V-cycle scratch: the residual on one level plus the
+/// restricted RHS and correction on the next-coarser one.
+#[derive(Debug, Default)]
+struct VcycleBufs {
+    r: Vec<f64>,
+    coarse_rhs: Vec<f64>,
+    coarse_phi: Vec<f64>,
+}
+
+/// Reusable buffers for [`MultigridSolver::solve_reusing`]: fine-grid RHS,
+/// potential and residual plus per-depth V-cycle scratch. Holding one of
+/// these across placement iterations makes the steady-state Poisson solve
+/// allocation-free.
+#[derive(Debug, Default)]
+pub struct MultigridWorkspace {
+    rhs: Vec<f64>,
+    phi: Vec<f64>,
+    resid: Vec<f64>,
+    depth: Vec<VcycleBufs>,
+}
+
+fn vcycle(level: &Level, phi: &mut [f64], rhs: &[f64], depth: &mut [VcycleBufs]) {
     let m = level.m;
     if m <= 5 {
         smooth(level, phi, rhs, 50);
         return;
     }
     smooth(level, phi, rhs, 2);
-    let mut r = vec![0.0; m * m];
-    residual(level, phi, rhs, &mut r);
+    let (bufs, rest) = depth.split_first_mut().expect("vcycle scratch depth");
+    bufs.r.resize(m * m, 0.0); // residual() zero-fills
+    residual(level, phi, rhs, &mut bufs.r);
     let m_coarse = m.div_ceil(2);
     let coarse_level = Level {
         m: m_coarse,
         h: level.h * 2.0,
     };
-    let mut coarse_rhs = vec![0.0; m_coarse * m_coarse];
-    restrict(m, &r, &mut coarse_rhs);
-    let mut coarse_phi = vec![0.0; m_coarse * m_coarse];
-    vcycle(&coarse_level, &mut coarse_phi, &coarse_rhs);
-    prolong_add(m_coarse, &coarse_phi, phi);
+    bufs.coarse_rhs.resize(m_coarse * m_coarse, 0.0); // restrict() zero-fills
+    restrict(m, &bufs.r, &mut bufs.coarse_rhs);
+    bufs.coarse_phi.clear();
+    bufs.coarse_phi.resize(m_coarse * m_coarse, 0.0);
+    vcycle(&coarse_level, &mut bufs.coarse_phi, &bufs.coarse_rhs, rest);
+    prolong_add(m_coarse, &bufs.coarse_phi, phi);
     smooth(level, phi, rhs, 2);
 }
 
-impl FieldSolver for MultigridSolver {
-    fn solve(&self, density: &ScalarMap) -> ForceField {
+impl MultigridSolver {
+    /// In-place variant of [`FieldSolver::solve`]: the same V-cycle
+    /// iteration, but every grid buffer comes from `ws` and the force
+    /// field is written into `out` (re-shaped to the density grid). Bin
+    /// values are bitwise identical to the allocating path.
+    pub fn solve_reusing(
+        &self,
+        density: &ScalarMap,
+        ws: &mut MultigridWorkspace,
+        out: &mut ForceField,
+    ) {
         let _timer = kraftwerk_trace::span("multigrid.solve");
         let region = density.region();
         let extent = region.width().max(region.height());
@@ -229,7 +261,9 @@ impl FieldSolver for MultigridSolver {
         // the RHS must be charge / h² to make the discrete delta integrate
         // correctly.
         let bin_area = density.dx() * density.dy();
-        let mut rhs = vec![0.0; m * m];
+        let MultigridWorkspace { rhs, phi, resid, depth } = ws;
+        rhs.clear();
+        rhs.resize(m * m, 0.0);
         for iy in 0..density.ny() {
             for ix in 0..density.nx() {
                 let d = density.get(ix, iy);
@@ -259,18 +293,22 @@ impl FieldSolver for MultigridSolver {
         }
 
         let rhs_norm: f64 = rhs.iter().map(|v| v * v).sum::<f64>().sqrt();
-        let mut phi = vec![0.0; m * m];
+        phi.clear();
+        phi.resize(m * m, 0.0);
+        if depth.len() < level_count(m) {
+            depth.resize_with(level_count(m), VcycleBufs::default);
+        }
         // Per-V-cycle residual norms for telemetry (collected only while a
         // trace sink is installed).
         let tracing = kraftwerk_trace::enabled();
         let mut cycle_residuals = Vec::new();
         let mut converged = rhs_norm == 0.0;
         if rhs_norm > 0.0 {
-            let mut r = vec![0.0; m * m];
+            resid.resize(m * m, 0.0); // residual() zero-fills
             for _ in 0..self.max_cycles {
-                vcycle(&level, &mut phi, &rhs);
-                residual(&level, &phi, &rhs, &mut r);
-                let rn: f64 = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+                vcycle(&level, phi, rhs, depth);
+                residual(&level, phi, rhs, resid);
+                let rn: f64 = resid.iter().map(|v| v * v).sum::<f64>().sqrt();
                 if tracing {
                     cycle_residuals.push(rn / rhs_norm);
                 }
@@ -329,16 +367,21 @@ impl FieldSolver for MultigridSolver {
             (gx, gy)
         };
 
-        let mut out_fx = ScalarMap::zeros(region, density.nx(), density.ny());
-        let mut out_fy = ScalarMap::zeros(region, density.nx(), density.ny());
+        out.reset(region, density.nx(), density.ny());
         for iy in 0..density.ny() {
             for ix in 0..density.nx() {
                 let (gx, gy) = grad(density.bin_center(ix, iy));
-                out_fx.set(ix, iy, gx);
-                out_fy.set(ix, iy, gy);
+                out.set_bin(ix, iy, gx, gy);
             }
         }
-        ForceField::new(out_fx, out_fy)
+    }
+}
+
+impl FieldSolver for MultigridSolver {
+    fn solve(&self, density: &ScalarMap) -> ForceField {
+        let mut out = ForceField::zeros(density.region(), density.nx(), density.ny());
+        self.solve_reusing(density, &mut MultigridWorkspace::default(), &mut out);
+        out
     }
 
     fn name(&self) -> &'static str {
@@ -477,6 +520,25 @@ mod tests {
     fn solver_reports_its_name() {
         assert_eq!(MultigridSolver::new().name(), "multigrid");
         assert_eq!(DirectSolver::new().name(), "direct");
+    }
+
+    #[test]
+    fn solve_reusing_matches_solve_and_reuses_buffers() {
+        let d = random_balanced_density(7, 20);
+        let solver = MultigridSolver::new();
+        let reference = solver.solve(&d);
+        let mut ws = MultigridWorkspace::default();
+        let mut out = ForceField::zeros(d.region(), d.nx(), d.ny());
+        solver.solve_reusing(&d, &mut ws, &mut out);
+        assert_eq!(out, reference, "in-place solve diverged from solve()");
+        // Second solve with the same workspace must not regrow any buffer.
+        let caps = (ws.rhs.capacity(), ws.phi.capacity(), ws.resid.capacity(), ws.depth.len());
+        solver.solve_reusing(&d, &mut ws, &mut out);
+        assert_eq!(
+            caps,
+            (ws.rhs.capacity(), ws.phi.capacity(), ws.resid.capacity(), ws.depth.len())
+        );
+        assert_eq!(out, reference);
     }
 
     #[test]

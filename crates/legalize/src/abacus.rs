@@ -129,8 +129,16 @@ impl Segment {
     }
 }
 
+/// Rows processed per parallel task when building segments or
+/// materializing coordinates. Fixed by input size, not thread count, so
+/// the work decomposition — and with it the result — is identical at any
+/// `KRAFTWERK_THREADS` setting.
+const ROW_CHUNK: usize = 64;
+
 /// Splits the rows into free segments around fixed cells and movable
-/// blocks (which the row legalizer treats as pre-placed obstacles).
+/// blocks (which the row legalizer treats as pre-placed obstacles). Rows
+/// are independent, so each computes its segment list in parallel; the
+/// per-row lists are concatenated in row order.
 fn build_segments(netlist: &Netlist, placement: &Placement) -> Vec<Segment> {
     let mut obstacles: Vec<Rect> = Vec::new();
     for (id, cell) in netlist.cells() {
@@ -145,8 +153,8 @@ fn build_segments(netlist: &Netlist, placement: &Placement) -> Vec<Segment> {
             obstacles.push(r);
         }
     }
-    let mut segments = Vec::new();
-    for row in netlist.rows() {
+    let obstacles = &obstacles;
+    let per_row: Vec<Vec<Segment>> = kraftwerk_par::par_map(netlist.rows(), ROW_CHUNK, |_, row| {
         let row_rect = row.rect();
         // Collect the x-intervals blocked in this row.
         let mut blocked: Vec<(f64, f64)> = obstacles
@@ -155,6 +163,7 @@ fn build_segments(netlist: &Netlist, placement: &Placement) -> Vec<Segment> {
             .map(|o| (o.x_lo.max(row.x_lo), o.x_hi.min(row.x_hi)))
             .collect();
         blocked.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut segments = Vec::new();
         let mut cursor = row.x_lo;
         for (lo, hi) in blocked {
             if lo > cursor {
@@ -179,8 +188,9 @@ fn build_segments(netlist: &Netlist, placement: &Placement) -> Vec<Segment> {
                 clusters: Vec::new(),
             });
         }
-    }
-    segments
+        segments
+    });
+    per_row.into_iter().flatten().collect()
 }
 
 /// Legalizes the standard cells of a global placement into rows with
@@ -253,18 +263,27 @@ pub fn legalize(netlist: &Netlist, placement: &Placement) -> Result<Placement, L
         segments[si].place(id, desired_left, width);
     }
 
-    // Materialize final coordinates.
-    let mut result = placement.clone();
-    for seg in &segments {
-        for cluster in &seg.clusters {
-            let mut x = cluster.x;
-            for &(id, w) in &cluster.cells {
-                result.set_position(
-                    id,
-                    Point::new(x + w * 0.5, seg.y + seg.height * 0.5),
-                );
-                x += w;
+    // Materialize final coordinates. Each segment's positions depend only
+    // on its own clusters, so segments resolve in parallel; the per-segment
+    // batches are applied in segment order (cells are disjoint across
+    // segments, so the order is irrelevant to the result — keeping it
+    // fixed just makes the merge phase deterministic by construction).
+    let positions: Vec<Vec<(CellId, Point)>> =
+        kraftwerk_par::par_map(&segments, ROW_CHUNK, |_, seg| {
+            let mut out = Vec::new();
+            for cluster in &seg.clusters {
+                let mut x = cluster.x;
+                for &(id, w) in &cluster.cells {
+                    out.push((id, Point::new(x + w * 0.5, seg.y + seg.height * 0.5)));
+                    x += w;
+                }
             }
+            out
+        });
+    let mut result = placement.clone();
+    for batch in positions {
+        for (id, p) in batch {
+            result.set_position(id, p);
         }
     }
     Ok(result)
@@ -399,5 +418,16 @@ mod tests {
         let a = legalize(&nl, &nl.initial_placement()).unwrap();
         let b = legalize(&nl, &nl.initial_placement()).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_legalization() {
+        let nl = generate(&SynthConfig::with_size("det-par", 150, 190, 6));
+        kraftwerk_par::set_threads(1);
+        let one = legalize(&nl, &nl.initial_placement()).unwrap();
+        kraftwerk_par::set_threads(4);
+        let four = legalize(&nl, &nl.initial_placement()).unwrap();
+        kraftwerk_par::set_threads(0);
+        assert_eq!(one, four);
     }
 }

@@ -1,0 +1,188 @@
+//! The shared worker pool behind the deterministic primitives.
+//!
+//! Design constraints, in order of priority:
+//!
+//! 1. **Determinism does not depend on the pool.** Work is pre-split into
+//!    chunks by the caller (chunk boundaries depend only on input size);
+//!    the pool merely decides *which thread* executes each chunk. Nothing
+//!    observable depends on that assignment.
+//! 2. **The caller always makes progress.** The publishing thread claims
+//!    chunks itself, so a job completes even if every worker is busy with
+//!    another job (including the nested case where a chunk body publishes
+//!    a job of its own).
+//! 3. **Panics propagate, never hang.** A panicking chunk is caught, the
+//!    remaining chunks still run, and the payload is re-raised on the
+//!    publishing thread once the job has drained.
+//!
+//! Workers are spawned lazily, parked on a condvar while idle, and live
+//! for the remainder of the process (there is no shutdown path — the pool
+//! is a process-wide singleton and the OS reclaims parked threads at
+//! exit).
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Sanity cap on the worker count (`KRAFTWERK_THREADS` is clamped here).
+pub(crate) const MAX_THREADS: usize = 256;
+
+/// Type-erased pointer to the caller's chunk closure.
+///
+/// The publishing thread blocks until `pending` reaches zero, i.e. until
+/// every chunk body has returned, before its stack frame (which owns the
+/// closure) can unwind — and once `next >= total` no thread dereferences
+/// the pointer again. So the pointer never dangles while reachable.
+#[derive(Clone, Copy)]
+struct RunPtr(*const (dyn Fn(usize) + Sync + 'static));
+
+// SAFETY: the closure behind the pointer is `Sync`, and the lifetime
+// argument is upheld by the blocking protocol described on `RunPtr`.
+unsafe impl Send for RunPtr {}
+// SAFETY: as above — shared references to a `Sync` closure are fine.
+unsafe impl Sync for RunPtr {}
+
+/// One published fan-out: `total` chunks claimed via an atomic cursor.
+struct Job {
+    seq: u64,
+    run: RunPtr,
+    /// Next chunk index to claim.
+    next: AtomicUsize,
+    total: usize,
+    /// Chunks claimed but not yet finished plus chunks never claimed.
+    pending: AtomicUsize,
+    /// Workers that adopted this job (the publisher is not counted).
+    helpers: AtomicUsize,
+    max_helpers: usize,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+impl Job {
+    /// Claims and executes chunks until the cursor runs past `total`.
+    fn execute(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::SeqCst);
+            if i >= self.total {
+                return;
+            }
+            // SAFETY: `pending > 0` here (this chunk has not finished),
+            // so the publisher is still blocked and the closure alive.
+            let run = unsafe { &*self.run.0 };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run(i))) {
+                *self.panic.lock().expect("par: panic slot poisoned") = Some(payload);
+            }
+            if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                *self.done.lock().expect("par: done flag poisoned") = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// The process-wide pool: a single job slot plus lazily spawned workers.
+pub(crate) struct Pool {
+    slot: Mutex<Option<Arc<Job>>>,
+    work_cv: Condvar,
+    next_seq: AtomicU64,
+    spawned: Mutex<usize>,
+}
+
+/// The singleton instance.
+pub(crate) fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        slot: Mutex::new(None),
+        work_cv: Condvar::new(),
+        next_seq: AtomicU64::new(1),
+        spawned: Mutex::new(0),
+    })
+}
+
+impl Pool {
+    /// Runs `run(0..n_chunks)` across up to `threads` threads (publisher
+    /// included) and returns once every chunk has finished, re-raising
+    /// the first captured panic payload.
+    pub(crate) fn run(&'static self, n_chunks: usize, threads: usize, run: &(dyn Fn(usize) + Sync)) {
+        let helpers = threads.min(MAX_THREADS) - 1;
+        self.ensure_workers(helpers);
+        // SAFETY: lifetime erasure only; see `RunPtr` for the protocol
+        // that keeps the pointer valid while any thread can use it.
+        let run = RunPtr(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync + '_),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(run)
+        });
+        let job = Arc::new(Job {
+            seq: self.next_seq.fetch_add(1, Ordering::SeqCst),
+            run,
+            next: AtomicUsize::new(0),
+            total: n_chunks,
+            pending: AtomicUsize::new(n_chunks),
+            helpers: AtomicUsize::new(0),
+            max_helpers: helpers,
+            panic: Mutex::new(None),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+        {
+            let mut slot = self.slot.lock().expect("par: job slot poisoned");
+            *slot = Some(job.clone());
+            self.work_cv.notify_all();
+        }
+        // The publisher claims chunks too: the job drains even when every
+        // worker is occupied elsewhere.
+        job.execute();
+        let mut done = job.done.lock().expect("par: done flag poisoned");
+        while !*done {
+            done = job.done_cv.wait(done).expect("par: done flag poisoned");
+        }
+        drop(done);
+        {
+            let mut slot = self.slot.lock().expect("par: job slot poisoned");
+            if slot.as_ref().is_some_and(|j| j.seq == job.seq) {
+                *slot = None;
+            }
+        }
+        let payload = job.panic.lock().expect("par: panic slot poisoned").take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Tops the worker head-count up to `target` (never shrinks; surplus
+    /// workers simply skip jobs whose `max_helpers` is already met).
+    fn ensure_workers(&'static self, target: usize) {
+        let mut spawned = self.spawned.lock().expect("par: spawn count poisoned");
+        while *spawned < target.min(MAX_THREADS - 1) {
+            let index = *spawned;
+            std::thread::Builder::new()
+                .name(format!("kraftwerk-par-{index}"))
+                .spawn(move || self.worker_loop())
+                .expect("par: spawn worker thread");
+            *spawned += 1;
+        }
+    }
+
+    fn worker_loop(&'static self) {
+        let mut last_seq = 0u64;
+        loop {
+            let job = {
+                let mut slot = self.slot.lock().expect("par: job slot poisoned");
+                loop {
+                    match slot.as_ref() {
+                        Some(job) if job.seq != last_seq => {
+                            last_seq = job.seq;
+                            break job.clone();
+                        }
+                        _ => slot = self.work_cv.wait(slot).expect("par: job slot poisoned"),
+                    }
+                }
+            };
+            if job.helpers.fetch_add(1, Ordering::SeqCst) < job.max_helpers {
+                job.execute();
+            }
+        }
+    }
+}

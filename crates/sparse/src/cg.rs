@@ -38,29 +38,90 @@ pub struct CgResult {
     pub converged: bool,
 }
 
+/// Outcome of a workspace-based solve ([`solve_with`]); the solution
+/// itself stays in the workspace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgStats {
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final residual norm `||b - A x||`.
+    pub residual_norm: f64,
+    /// Whether a tolerance was met before the iteration cap.
+    pub converged: bool,
+}
+
+/// Reusable storage for [`solve_with`]: the iterate plus the four
+/// auxiliary vectors of preconditioned CG. Keep one per axis in the
+/// session arena and the steady-state solve allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct CgWorkspace {
+    x: Vec<f64>,
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    ap: Vec<f64>,
+}
+
+impl CgWorkspace {
+    /// An empty workspace; it grows to fit the first system solved.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The solution of the most recent [`solve_with`] call.
+    #[must_use]
+    pub fn solution(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Mutable view of the most recent solution, for callers that
+    /// post-process the solve in place (e.g. trust-region blending).
+    pub fn solution_mut(&mut self) -> &mut [f64] {
+        &mut self.x
+    }
+
+    /// Capacity of the largest vector ever solved with this workspace
+    /// (arena-reuse assertions check this stays put).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.x.capacity()
+    }
+
+    fn resize(&mut self, n: usize) {
+        self.x.resize(n, 0.0);
+        self.r.resize(n, 0.0);
+        self.z.resize(n, 0.0);
+        self.p.resize(n, 0.0);
+        self.ap.resize(n, 0.0);
+    }
+}
+
 /// Residual-trajectory entries kept per telemetry event; solves running
 /// longer than this report a truncated (prefix) trajectory.
 const TRACE_TRAJECTORY_CAP: usize = 1024;
 
 /// Emits the `cg.solve` telemetry event (only called when tracing is on).
-fn emit_solve_event(dim: usize, result: &CgResult, trajectory: Vec<f64>) {
+fn emit_solve_event(dim: usize, stats: &CgStats, trajectory: Vec<f64>) {
     kraftwerk_trace::event(
         "cg.solve",
         vec![
             ("dim", kraftwerk_trace::Value::from(dim)),
-            ("iterations", kraftwerk_trace::Value::from(result.iterations)),
-            ("residual", kraftwerk_trace::Value::from(result.residual_norm)),
-            ("converged", kraftwerk_trace::Value::from(result.converged)),
+            ("iterations", kraftwerk_trace::Value::from(stats.iterations)),
+            ("residual", kraftwerk_trace::Value::from(stats.residual_norm)),
+            ("converged", kraftwerk_trace::Value::from(stats.converged)),
             ("residual_trajectory", kraftwerk_trace::Value::from(trajectory)),
         ],
     );
-    kraftwerk_trace::counter("cg.iterations", result.iterations as u64);
+    kraftwerk_trace::counter("cg.iterations", stats.iterations as u64);
     kraftwerk_trace::counter("cg.solves", 1);
 }
 
 /// Solves `A x = b` for symmetric positive definite `A` by preconditioned
 /// conjugate gradients. `x0` seeds the iteration (placement transformations
 /// warm-start from the previous placement); `None` starts from zero.
+///
+/// Allocating convenience wrapper around [`solve_with`].
 ///
 /// # Panics
 ///
@@ -73,98 +134,114 @@ pub fn solve(
     preconditioner: &impl Preconditioner,
     options: &CgOptions,
 ) -> CgResult {
+    let mut ws = CgWorkspace::new();
+    let stats = solve_with(a, b, x0, preconditioner, options, &mut ws);
+    CgResult {
+        x: std::mem::take(&mut ws.x),
+        iterations: stats.iterations,
+        residual_norm: stats.residual_norm,
+        converged: stats.converged,
+    }
+}
+
+/// [`solve`] on caller-owned storage: the iterate and every auxiliary
+/// vector live in `ws`, so repeated solves (one per placement
+/// transformation per axis) perform no heap allocation after the first.
+/// The solution is left in [`CgWorkspace::solution`].
+///
+/// # Panics
+///
+/// Panics if `b` or `x0` lengths differ from the matrix dimension.
+pub fn solve_with(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    preconditioner: &impl Preconditioner,
+    options: &CgOptions,
+    ws: &mut CgWorkspace,
+) -> CgStats {
     let n = a.dim();
     assert_eq!(b.len(), n, "rhs length mismatch");
-    let mut x = match x0 {
+    ws.resize(n);
+    let CgWorkspace { x, r, z, p, ap } = ws;
+    match x0 {
         Some(x0) => {
             assert_eq!(x0.len(), n, "x0 length mismatch");
-            x0.to_vec()
+            x.copy_from_slice(x0);
         }
-        None => vec![0.0; n],
-    };
+        None => x.fill(0.0),
+    }
 
     let b_norm = norm2(b);
     let threshold = (options.rel_tolerance * b_norm).max(options.abs_tolerance);
 
     // r = b - A x
-    let mut r = vec![0.0; n];
-    a.spmv(&x, &mut r);
+    a.spmv(x, r);
     for i in 0..n {
         r[i] = b[i] - r[i];
     }
-    let mut z = vec![0.0; n];
-    preconditioner.apply(&r, &mut z);
-    let mut p = z.clone();
-    let mut rz = dot(&r, &z);
-    let mut ap = vec![0.0; n];
+    preconditioner.apply(r, z);
+    p.copy_from_slice(z);
+    let mut rz = dot(r, z);
 
     // Residual trajectory for telemetry; only collected while a trace
     // sink is installed, so the hot loop pays one branch otherwise.
     let tracing = kraftwerk_trace::enabled();
     let mut trajectory = Vec::new();
-    let mut residual = norm2(&r);
+    let mut residual = norm2(r);
     if tracing {
         trajectory.push(residual);
     }
     if residual <= threshold {
-        let result = CgResult {
-            x,
+        let stats = CgStats {
             iterations: 0,
             residual_norm: residual,
             converged: true,
         };
         if tracing {
-            emit_solve_event(n, &result, trajectory);
+            emit_solve_event(n, &stats, trajectory);
         }
-        return result;
+        return stats;
     }
 
     let mut iterations = 0;
+    let mut converged = false;
     for _ in 0..options.max_iterations {
         iterations += 1;
-        a.spmv(&p, &mut ap);
-        let pap = dot(&p, &ap);
+        a.spmv(p, ap);
+        let pap = dot(p, ap);
         if pap <= 0.0 || !pap.is_finite() {
             // Not SPD along this direction (or numerical breakdown):
             // return the current iterate rather than diverging.
             break;
         }
         let alpha = rz / pap;
-        axpy(alpha, &p, &mut x);
-        axpy(-alpha, &ap, &mut r);
-        residual = norm2(&r);
+        axpy(alpha, p, x);
+        axpy(-alpha, ap, r);
+        residual = norm2(r);
         if tracing && trajectory.len() < TRACE_TRAJECTORY_CAP {
             trajectory.push(residual);
         }
         if residual <= threshold {
-            let result = CgResult {
-                x,
-                iterations,
-                residual_norm: residual,
-                converged: true,
-            };
-            if tracing {
-                emit_solve_event(n, &result, trajectory);
-            }
-            return result;
+            converged = true;
+            break;
         }
-        preconditioner.apply(&r, &mut z);
-        let rz_next = dot(&r, &z);
+        preconditioner.apply(r, z);
+        let rz_next = dot(r, z);
         let beta = rz_next / rz;
         rz = rz_next;
-        xpby(&z, beta, &mut p);
+        xpby(z, beta, p);
     }
 
-    let result = CgResult {
-        x,
+    let stats = CgStats {
         iterations,
         residual_norm: residual,
-        converged: residual <= threshold,
+        converged: converged || residual <= threshold,
     };
     if tracing {
-        emit_solve_event(n, &result, trajectory);
+        emit_solve_event(n, &stats, trajectory);
     }
-    result
+    stats
 }
 
 #[cfg(test)]
@@ -288,6 +365,25 @@ mod tests {
         for (x, y) in ssor.x.iter().zip(&jacobi.x) {
             assert!((x - y).abs() < 1e-4);
         }
+    }
+
+    #[test]
+    fn solve_with_matches_solve_and_reuses_the_workspace() {
+        let n = 64;
+        let a = laplacian(n);
+        let b: Vec<f64> = (0..n).map(|i| ((i * 3) % 7) as f64 - 3.0).collect();
+        let reference = solve(&a, &b, None, &IdentityPreconditioner, &CgOptions::default());
+        let mut ws = CgWorkspace::new();
+        let stats = solve_with(&a, &b, None, &IdentityPreconditioner, &CgOptions::default(), &mut ws);
+        assert_eq!(stats.iterations, reference.iterations);
+        assert_eq!(stats.converged, reference.converged);
+        assert_eq!(ws.solution(), reference.x.as_slice());
+        // A second solve in the same workspace must not reallocate.
+        let cap = ws.capacity();
+        let again = solve_with(&a, &b, None, &IdentityPreconditioner, &CgOptions::default(), &mut ws);
+        assert_eq!(ws.capacity(), cap);
+        assert_eq!(again.residual_norm.to_bits(), stats.residual_norm.to_bits());
+        assert_eq!(ws.solution(), reference.x.as_slice());
     }
 
     #[test]

@@ -82,66 +82,55 @@ impl CooMatrix {
         }
     }
 
+    /// Drops all triplets and re-dimensions the buffer, keeping the
+    /// allocated capacity — the arena path re-assembles into the same
+    /// buffer every placement transformation.
+    pub fn reset(&mut self, n: usize) {
+        self.n = n;
+        self.rows.clear();
+        self.cols.clear();
+        self.vals.clear();
+    }
+
+    /// Sum of all diagonal triplets pushed so far (duplicates included,
+    /// exactly as CSR conversion would accumulate them). The quadratic
+    /// assembly uses this for the center-anchor weight without a full
+    /// conversion round-trip.
+    #[must_use]
+    pub fn diagonal_sum(&self) -> f64 {
+        self.rows
+            .iter()
+            .zip(&self.cols)
+            .zip(&self.vals)
+            .filter(|((r, c), _)| r == c)
+            .map(|(_, v)| v)
+            .sum()
+    }
+
     /// Converts to CSR, accumulating duplicates and dropping exact zeros
     /// that result from cancellation.
     #[must_use]
     pub fn into_csr(self) -> CsrMatrix {
-        let n = self.n;
-        // Counting sort by row.
-        let mut row_counts = vec![0usize; n + 1];
-        for &r in &self.rows {
-            row_counts[r as usize + 1] += 1;
-        }
-        for i in 0..n {
-            row_counts[i + 1] += row_counts[i];
-        }
-        let mut order_cols = vec![0u32; self.vals.len()];
-        let mut order_vals = vec![0f64; self.vals.len()];
-        let mut cursor = row_counts.clone();
-        for k in 0..self.vals.len() {
-            let r = self.rows[k] as usize;
-            let at = cursor[r];
-            cursor[r] += 1;
-            order_cols[at] = self.cols[k];
-            order_vals[at] = self.vals[k];
-        }
-        // Per-row: sort by column and accumulate duplicates.
-        let mut row_ptr = Vec::with_capacity(n + 1);
-        let mut col_idx = Vec::with_capacity(self.vals.len());
-        let mut values = Vec::with_capacity(self.vals.len());
-        row_ptr.push(0u32);
-        let mut scratch: Vec<(u32, f64)> = Vec::new();
-        for r in 0..n {
-            let lo = row_counts[r];
-            let hi = row_counts[r + 1];
-            scratch.clear();
-            scratch.extend(order_cols[lo..hi].iter().copied().zip(order_vals[lo..hi].iter().copied()));
-            scratch.sort_unstable_by_key(|&(c, _)| c);
-            let mut i = 0;
-            while i < scratch.len() {
-                let c = scratch[i].0;
-                let mut v = 0.0;
-                while i < scratch.len() && scratch[i].0 == c {
-                    v += scratch[i].1;
-                    i += 1;
-                }
-                if v != 0.0 {
-                    col_idx.push(c);
-                    values.push(v);
-                }
-            }
-            row_ptr.push(col_idx.len() as u32);
-        }
-        CsrMatrix {
-            n,
-            row_ptr,
-            col_idx,
-            values,
-        }
+        let mut csr = CsrMatrix::default();
+        csr.rebuild_from(&self, &mut CsrBuildScratch::default());
+        csr
     }
 }
 
-/// An immutable square sparse matrix in compressed-sparse-row format.
+/// Reusable scratch buffers for [`CsrMatrix::rebuild_from`]; hold one per
+/// arena and every rebuild after the first allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct CsrBuildScratch {
+    row_counts: Vec<usize>,
+    cursor: Vec<usize>,
+    order_cols: Vec<u32>,
+    order_vals: Vec<f64>,
+    row_scratch: Vec<(u32, f64)>,
+}
+
+/// A square sparse matrix in compressed-sparse-row format. Immutable
+/// except for [`rebuild_from`](CsrMatrix::rebuild_from), which replaces
+/// the whole matrix in place (reusing the storage).
 #[derive(Debug, Clone, PartialEq)]
 pub struct CsrMatrix {
     n: usize,
@@ -149,6 +138,23 @@ pub struct CsrMatrix {
     col_idx: Vec<u32>,
     values: Vec<f64>,
 }
+
+impl Default for CsrMatrix {
+    /// The empty `0 x 0` matrix (a rebuild target).
+    fn default() -> Self {
+        Self {
+            n: 0,
+            row_ptr: vec![0],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+}
+
+/// Rows per parallel SpMV chunk. Fixed — row results are independent, so
+/// any chunking gives identical output, but a constant keeps the
+/// dispatch overhead predictable.
+const SPMV_ROW_CHUNK: usize = 2048;
 
 impl CsrMatrix {
     /// Matrix dimension.
@@ -177,7 +183,102 @@ impl CsrMatrix {
             .map(|(&c, &v)| (c as usize, v))
     }
 
+    /// Rebuilds this matrix in place from a coordinate assembly,
+    /// accumulating duplicates and dropping exact zeros — the same
+    /// semantics as [`CooMatrix::into_csr`], but reusing both this
+    /// matrix's storage and the caller's scratch buffers, so steady-state
+    /// re-assembly allocates nothing.
+    pub fn rebuild_from(&mut self, coo: &CooMatrix, ws: &mut CsrBuildScratch) {
+        let CsrBuildScratch {
+            row_counts,
+            cursor,
+            order_cols,
+            order_vals,
+            row_scratch,
+        } = ws;
+        let n = coo.n;
+        let nnz = coo.vals.len();
+        // Counting sort by row.
+        row_counts.clear();
+        row_counts.resize(n + 1, 0);
+        for &r in &coo.rows {
+            row_counts[r as usize + 1] += 1;
+        }
+        for i in 0..n {
+            row_counts[i + 1] += row_counts[i];
+        }
+        order_cols.clear();
+        order_cols.resize(nnz, 0);
+        order_vals.clear();
+        order_vals.resize(nnz, 0.0);
+        cursor.clear();
+        cursor.extend_from_slice(row_counts);
+        for k in 0..nnz {
+            let r = coo.rows[k] as usize;
+            let at = cursor[r];
+            cursor[r] += 1;
+            order_cols[at] = coo.cols[k];
+            order_vals[at] = coo.vals[k];
+        }
+        // Per-row: sort by column and accumulate duplicates.
+        self.n = n;
+        self.row_ptr.clear();
+        self.row_ptr.reserve(n + 1);
+        self.row_ptr.push(0u32);
+        self.col_idx.clear();
+        self.values.clear();
+        self.col_idx.reserve(nnz);
+        self.values.reserve(nnz);
+        for r in 0..n {
+            let lo = row_counts[r];
+            let hi = row_counts[r + 1];
+            row_scratch.clear();
+            row_scratch.extend(
+                order_cols[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(order_vals[lo..hi].iter().copied()),
+            );
+            row_scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < row_scratch.len() {
+                let c = row_scratch[i].0;
+                let mut v = 0.0;
+                while i < row_scratch.len() && row_scratch[i].0 == c {
+                    v += row_scratch[i].1;
+                    i += 1;
+                }
+                if v != 0.0 {
+                    self.col_idx.push(c);
+                    self.values.push(v);
+                }
+            }
+            self.row_ptr.push(self.col_idx.len() as u32);
+        }
+    }
+
+    /// `y[r0..] = (A x)[rows]` for a contiguous row range, with the inner
+    /// loop running on direct `row_ptr` slice splits — the per-entry
+    /// `values[k]` / `col_idx[k]` bounds checks of the naive formulation
+    /// disappear, which matters in the CG inner loop.
+    fn spmv_rows(&self, start: usize, x: &[f64], y: &mut [f64]) {
+        let mut lo = self.row_ptr[start] as usize;
+        for (yi, &ptr) in y.iter_mut().zip(&self.row_ptr[start + 1..]) {
+            let hi = ptr as usize;
+            let mut acc = 0.0;
+            for (v, c) in self.values[lo..hi].iter().zip(&self.col_idx[lo..hi]) {
+                acc += v * x[*c as usize];
+            }
+            *yi = acc;
+            lo = hi;
+        }
+    }
+
     /// Sparse matrix-vector product `y = A x`.
+    ///
+    /// Rows are processed in fixed [`SPMV_ROW_CHUNK`]-sized chunks across
+    /// the `kraftwerk-par` pool; each output element depends on exactly
+    /// one row, so the result is identical at any thread count.
     ///
     /// # Panics
     ///
@@ -185,29 +286,37 @@ impl CsrMatrix {
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n, "x length mismatch");
         assert_eq!(y.len(), self.n, "y length mismatch");
-        for r in 0..self.n {
-            let lo = self.row_ptr[r] as usize;
-            let hi = self.row_ptr[r + 1] as usize;
-            let mut acc = 0.0;
-            for k in lo..hi {
-                acc += self.values[k] * x[self.col_idx[k] as usize];
-            }
-            y[r] = acc;
+        if self.n <= SPMV_ROW_CHUNK {
+            self.spmv_rows(0, x, y);
+            return;
         }
+        kraftwerk_par::for_each_chunk_mut(y, SPMV_ROW_CHUNK, |chunk, y_rows| {
+            self.spmv_rows(chunk * SPMV_ROW_CHUNK, x, y_rows);
+        });
     }
 
     /// The main diagonal as a dense vector (zeros for missing entries).
     #[must_use]
     pub fn diagonal(&self) -> Vec<f64> {
-        let mut d = vec![0.0; self.n];
-        for r in 0..self.n {
-            for (c, v) in self.row(r) {
-                if c == r {
-                    d[r] = v;
-                }
-            }
-        }
+        let mut d = Vec::new();
+        self.diagonal_into(&mut d);
         d
+    }
+
+    /// Writes the main diagonal into `out` (cleared and resized), using a
+    /// per-row binary search over the column-sorted entries. Reuses the
+    /// caller's buffer so the arena path allocates nothing.
+    pub fn diagonal_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.n, 0.0);
+        let mut lo = self.row_ptr[0] as usize;
+        for (r, (&ptr, slot)) in self.row_ptr[1..].iter().zip(out.iter_mut()).enumerate() {
+            let hi = ptr as usize;
+            if let Ok(k) = self.col_idx[lo..hi].binary_search(&(r as u32)) {
+                *slot = self.values[lo + k];
+            }
+            lo = hi;
+        }
     }
 
     /// Value at `(row, col)`; zero when the entry is not stored.
@@ -346,6 +455,85 @@ mod tests {
     fn out_of_bounds_push_panics() {
         let mut coo = CooMatrix::new(2);
         coo.push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn rebuild_in_place_matches_into_csr_and_reuses_buffers() {
+        let mut csr = CsrMatrix::default();
+        let mut ws = CsrBuildScratch::default();
+        let mut coo = CooMatrix::new(3);
+        coo.push(0, 0, 2.0);
+        coo.push_sym(0, 1, -1.0);
+        coo.push(1, 1, 2.0);
+        coo.push_sym(1, 2, -1.0);
+        coo.push(2, 2, 2.0);
+        csr.rebuild_from(&coo, &mut ws);
+        assert_eq!(csr, example());
+        // Rebuild different content into the same storage.
+        coo.reset(2);
+        assert!(coo.is_empty());
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, 5.0);
+        let cap_before = (csr.row_ptr.capacity(), csr.values.capacity());
+        csr.rebuild_from(&coo, &mut ws);
+        assert_eq!(csr.dim(), 2);
+        assert_eq!(csr.get(1, 1), 5.0);
+        assert_eq!(csr.nnz(), 2);
+        let cap_after = (csr.row_ptr.capacity(), csr.values.capacity());
+        assert_eq!(cap_before, cap_after, "smaller rebuild must not reallocate");
+    }
+
+    #[test]
+    fn diagonal_sum_accumulates_duplicates() {
+        let mut coo = CooMatrix::new(3);
+        coo.push(0, 0, 2.0);
+        coo.push(0, 0, 3.0);
+        coo.push_sym(0, 2, 7.0); // off-diagonal: ignored
+        coo.push(2, 2, 1.0);
+        assert_eq!(coo.diagonal_sum(), 6.0);
+    }
+
+    #[test]
+    fn diagonal_into_reuses_the_buffer() {
+        let a = example();
+        let mut d = Vec::with_capacity(16);
+        let cap = d.capacity();
+        a.diagonal_into(&mut d);
+        assert_eq!(d, vec![2.0, 2.0, 2.0]);
+        assert_eq!(d.capacity(), cap, "no reallocation for a fitting buffer");
+    }
+
+    #[test]
+    fn spmv_is_identical_across_thread_counts() {
+        // Large enough to span several SPMV_ROW_CHUNK chunks.
+        let n = 3 * SPMV_ROW_CHUNK + 17;
+        let mut coo = CooMatrix::new(n);
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64 - 0.5
+        };
+        for i in 0..n {
+            coo.push(i, i, 4.0 + next());
+            if i + 1 < n {
+                coo.push_sym(i, i + 1, next());
+            }
+            if i + 97 < n {
+                coo.push_sym(i, i + 97, next());
+            }
+        }
+        let a = coo.into_csr();
+        let x: Vec<f64> = (0..n).map(|_| next()).collect();
+        kraftwerk_par::set_threads(1);
+        let mut y1 = vec![0.0; n];
+        a.spmv(&x, &mut y1);
+        kraftwerk_par::set_threads(4);
+        let mut y4 = vec![0.0; n];
+        a.spmv(&x, &mut y4);
+        kraftwerk_par::set_threads(1);
+        for (a, b) in y1.iter().zip(&y4) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

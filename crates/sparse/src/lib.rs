@@ -39,6 +39,6 @@ mod csr;
 mod precond;
 pub mod vecops;
 
-pub use cg::{solve, CgOptions, CgResult};
-pub use csr::{CooMatrix, CsrMatrix};
+pub use cg::{solve, solve_with, CgOptions, CgResult, CgStats, CgWorkspace};
+pub use csr::{CooMatrix, CsrBuildScratch, CsrMatrix};
 pub use precond::{IdentityPreconditioner, JacobiPreconditioner, Preconditioner, SsorPreconditioner};

@@ -27,7 +27,7 @@ impl Preconditioner for IdentityPreconditioner {
 }
 
 /// Diagonal (Jacobi) preconditioner: `M = diag(A)`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct JacobiPreconditioner {
     inv_diag: Vec<f64>,
 }
@@ -38,12 +38,19 @@ impl JacobiPreconditioner {
     /// fall back to `1.0` so `apply` stays finite.
     #[must_use]
     pub fn from_matrix(a: &CsrMatrix) -> Self {
-        let inv_diag = a
-            .diagonal()
-            .into_iter()
-            .map(|d| if d > f64::MIN_POSITIVE { 1.0 / d } else { 1.0 })
-            .collect();
-        Self { inv_diag }
+        let mut p = Self::default();
+        p.refresh_from(a);
+        p
+    }
+
+    /// Rebuilds the preconditioner in place for a (re-assembled) matrix,
+    /// reusing the stored vector — the arena path calls this once per
+    /// transformation without allocating.
+    pub fn refresh_from(&mut self, a: &CsrMatrix) {
+        a.diagonal_into(&mut self.inv_diag);
+        for d in &mut self.inv_diag {
+            *d = if *d > f64::MIN_POSITIVE { 1.0 / *d } else { 1.0 };
+        }
     }
 
     /// Dimension the preconditioner was built for.
@@ -229,6 +236,24 @@ mod tests {
         let mut coo = CooMatrix::new(1);
         coo.push(0, 0, 1.0);
         let _ = SsorPreconditioner::from_matrix(&coo.into_csr(), 2.5);
+    }
+
+    #[test]
+    fn jacobi_refresh_rebuilds_without_reallocating() {
+        let mut coo = CooMatrix::new(2);
+        coo.push(0, 0, 2.0);
+        coo.push(1, 1, 4.0);
+        let a = coo.into_csr();
+        let mut p = JacobiPreconditioner::from_matrix(&a);
+        let cap = p.inv_diag.capacity();
+        let mut coo = CooMatrix::new(2);
+        coo.push(0, 0, 8.0);
+        coo.push(1, 1, 16.0);
+        p.refresh_from(&coo.into_csr());
+        assert_eq!(p.inv_diag.capacity(), cap);
+        let mut z = [0.0; 2];
+        p.apply(&[8.0, 8.0], &mut z);
+        assert_eq!(z, [1.0, 0.5]);
     }
 
     #[test]

@@ -1,6 +1,27 @@
 //! Dense vector kernels used by the iterative solvers.
+//!
+//! The reductions ([`dot`], [`norm2`]) are **blocked**: partial sums are
+//! formed over fixed [`BLOCK`]-sized ranges and combined in block index
+//! order, both on the sequential and the parallel path. Floating-point
+//! addition is not associative, so this fixed association — a function of
+//! the input length only — is what makes the results bitwise identical at
+//! any `KRAFTWERK_THREADS` setting.
 
-/// Dot product.
+/// Elements per reduction block. Changing this changes the floating-point
+/// association (and thus the low bits of results); it must never depend
+/// on the thread count.
+const BLOCK: usize = 4096;
+
+/// Minimum vector length before a kernel fans out to the pool; below
+/// this the per-job dispatch overhead exceeds the arithmetic. Purely a
+/// scheduling decision — the blocked association is used either way.
+const PAR_MIN_LEN: usize = 1 << 15;
+
+fn dot_range(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Dot product (blocked, deterministic across thread counts).
 ///
 /// # Panics
 ///
@@ -8,40 +29,82 @@
 #[must_use]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot length mismatch");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    let len = a.len();
+    if len <= BLOCK {
+        return dot_range(a, b);
+    }
+    if len < PAR_MIN_LEN || kraftwerk_par::current_threads() <= 1 {
+        // Same blocking as the parallel path, combined in block order.
+        let mut acc = 0.0;
+        let mut lo = 0;
+        while lo < len {
+            let hi = (lo + BLOCK).min(len);
+            acc += dot_range(&a[lo..hi], &b[lo..hi]);
+            lo = hi;
+        }
+        return acc;
+    }
+    kraftwerk_par::par_map_reduce(
+        len,
+        BLOCK,
+        |_, range| dot_range(&a[range.clone()], &b[range]),
+        |x, y| x + y,
+    )
+    .unwrap_or(0.0)
 }
 
-/// Euclidean norm.
+/// Euclidean norm (blocked, deterministic across thread counts).
 #[must_use]
 pub fn norm2(a: &[f64]) -> f64 {
     dot(a, a).sqrt()
 }
 
-/// `y += alpha * x`.
+/// `y += alpha * x`. Element-wise, so chunking cannot change the result.
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
+    if y.len() < PAR_MIN_LEN {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += alpha * xi;
+        }
+        return;
     }
+    kraftwerk_par::for_each_chunk_mut(y, BLOCK, |chunk, y_block| {
+        let base = chunk * BLOCK;
+        let x_block = &x[base..base + y_block.len()];
+        for (yi, xi) in y_block.iter_mut().zip(x_block) {
+            *yi += alpha * xi;
+        }
+    });
 }
 
-/// `y = x + beta * y` (the CG direction update).
+/// `y = x + beta * y` (the CG direction update). Element-wise.
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn xpby(x: &[f64], beta: f64, y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "xpby length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi = xi + beta * *yi;
+    if y.len() < PAR_MIN_LEN {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi = xi + beta * *yi;
+        }
+        return;
     }
+    kraftwerk_par::for_each_chunk_mut(y, BLOCK, |chunk, y_block| {
+        let base = chunk * BLOCK;
+        let x_block = &x[base..base + y_block.len()];
+        for (yi, xi) in y_block.iter_mut().zip(x_block) {
+            *yi = xi + beta * *yi;
+        }
+    });
 }
 
-/// Largest absolute component.
+/// Largest absolute component. `max` is order-independent, so this stays
+/// a plain fold.
 #[must_use]
 pub fn norm_inf(a: &[f64]) -> f64 {
     a.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
@@ -77,5 +140,56 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn mismatched_lengths_panic() {
         let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    fn noisy(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let raw = (state >> 11) as f64 / (1u64 << 53) as f64;
+                (raw - 0.5) * 10f64.powi((state % 9) as i32 - 4)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn blocked_reductions_are_bitwise_identical_across_thread_counts() {
+        // Longer than PAR_MIN_LEN so the parallel path actually engages.
+        let n = PAR_MIN_LEN + 3 * BLOCK + 7;
+        let a = noisy(n, 1);
+        let b = noisy(n, 2);
+        kraftwerk_par::set_threads(1);
+        let d1 = dot(&a, &b);
+        let n1 = norm2(&a);
+        for threads in [2usize, 8] {
+            kraftwerk_par::set_threads(threads);
+            assert_eq!(dot(&a, &b).to_bits(), d1.to_bits(), "{threads} threads");
+            assert_eq!(norm2(&a).to_bits(), n1.to_bits(), "{threads} threads");
+        }
+        kraftwerk_par::set_threads(1);
+    }
+
+    #[test]
+    fn parallel_axpy_matches_sequential() {
+        let n = PAR_MIN_LEN + 100;
+        let x = noisy(n, 3);
+        kraftwerk_par::set_threads(1);
+        let mut y_seq = noisy(n, 4);
+        axpy(0.37, &x, &mut y_seq);
+        kraftwerk_par::set_threads(4);
+        let mut y_par = noisy(n, 4);
+        axpy(0.37, &x, &mut y_par);
+        let mut y_xp = noisy(n, 4);
+        xpby(&x, -1.25, &mut y_xp);
+        kraftwerk_par::set_threads(1);
+        let mut y_xp_seq = noisy(n, 4);
+        xpby(&x, -1.25, &mut y_xp_seq);
+        for (a, b) in y_seq.iter().zip(&y_par) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in y_xp.iter().zip(&y_xp_seq) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

@@ -9,6 +9,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
+# The data-parallel runtime must be bitwise deterministic: the suite has
+# to pass pinned to one worker and at the machine's natural width.
+KRAFTWERK_THREADS=1 cargo test -q
 cargo test -q
 cargo clippy --all-targets -- -D warnings
 

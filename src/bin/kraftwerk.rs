@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! kraftwerk place      <netlist> [-o placement.pl] [--fast] [--multilevel] [--svg out.svg]
-//!                                [--trace run.jsonl] [--report report.json] [--profile]
-//!                                [-v|--verbose] [-q|--quiet]
+//!                                [--threads N] [--trace run.jsonl] [--report report.json]
+//!                                [--profile] [-v|--verbose] [-q|--quiet]
 //! kraftwerk timing     <netlist> [--requirement NS] [-v|--verbose] [-q|--quiet]
 //! kraftwerk gen        <name> <cells> <nets> <rows> [-o netlist.kw]
 //! kraftwerk stats      <netlist>
@@ -20,6 +20,11 @@
 //! cumulative phase profile, `--profile` prints that profile as a table,
 //! and `-v` streams per-iteration progress to stderr. See the README
 //! "Observability" section for the record schema.
+//!
+//! `--threads N` sets the worker-thread count of the data-parallel
+//! runtime (`0` or absent: the `KRAFTWERK_THREADS` environment variable,
+//! then the machine's parallelism). The placement is bitwise identical at
+//! every setting — see the README "Parallelism & determinism" section.
 
 use kraftwerk::geom::svg::SvgCanvas;
 use kraftwerk::legalize::{check_legality, legalize, refine};
@@ -33,7 +38,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  kraftwerk place     <netlist> [-o <placement>] [--fast] [--multilevel] [--svg <file>]\n                      [--trace <jsonl>] [--report <json>] [--profile] [-v|--verbose] [-q|--quiet]\n  kraftwerk timing    <netlist> [--requirement <ns>] [-v|--verbose] [-q|--quiet]\n  kraftwerk gen       <name> <cells> <nets> <rows> [-o <file>]\n  kraftwerk stats     <netlist>\n  kraftwerk check     <netlist> <placement>\n  kraftwerk route     <netlist> <placement>\n  kraftwerk bookshelf <netlist> [<placement>] [-o <dir>]"
+        "usage:\n  kraftwerk place     <netlist> [-o <placement>] [--fast] [--multilevel] [--svg <file>]\n                      [--threads <n>] [--trace <jsonl>] [--report <json>] [--profile]\n                      [-v|--verbose] [-q|--quiet]\n  kraftwerk timing    <netlist> [--requirement <ns>] [-v|--verbose] [-q|--quiet]\n  kraftwerk gen       <name> <cells> <nets> <rows> [-o <file>]\n  kraftwerk stats     <netlist>\n  kraftwerk check     <netlist> <placement>\n  kraftwerk route     <netlist> <placement>\n  kraftwerk bookshelf <netlist> [<placement>] [-o <dir>]"
     );
     ExitCode::from(2)
 }
@@ -94,13 +99,20 @@ fn cmd_place(args: &[String]) -> Result<(), String> {
     let Some(input) = args.first().filter(|a| !a.starts_with('-')) else {
         return Err("place: missing netlist path (it comes before the flags)".into());
     };
+    let threads = match flag_value(args, "--threads")? {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("--threads: `{v}` is not a number"))?,
+        None => 0,
+    };
     let netlist = load(input)?;
     let fast = has_flag(args, "--fast");
     let config = if fast {
         KraftwerkConfig::fast()
     } else {
         KraftwerkConfig::standard()
-    };
+    }
+    .with_threads(threads);
 
     // Telemetry: a recorder feeds --trace/--report/--profile; verbose mode
     // additionally streams per-iteration progress to stderr.
@@ -111,6 +123,7 @@ fn cmd_place(args: &[String]) -> Result<(), String> {
         rec.set_meta("cells", Value::from(netlist.num_movable()));
         rec.set_meta("nets", Value::from(netlist.num_nets()));
         rec.set_meta("mode", Value::from(if fast { "fast" } else { "standard" }));
+        rec.set_meta("threads", Value::from(threads));
     }
     let progress = (console.verbosity() == Verbosity::Verbose)
         .then(|| Arc::new(ProgressSink::new(console)));

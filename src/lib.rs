@@ -16,6 +16,7 @@
 //! | Module | Crate | Contents |
 //! |---|---|---|
 //! | [`trace`] | `kraftwerk-trace` | zero-dependency tracing, run telemetry, JSONL reports |
+//! | [`par`] | `kraftwerk-par` | deterministic data-parallel runtime (worker pool, par_map) |
 //! | [`geom`] | `kraftwerk-geom` | points, rectangles, SVG plots |
 //! | [`netlist`] | `kraftwerk-netlist` | cells/nets/pins, metrics, file format, synthetic benchmarks |
 //! | [`sparse`] | `kraftwerk-sparse` | CSR matrices, preconditioned CG |
@@ -57,6 +58,7 @@ pub use kraftwerk_floorplan as floorplan;
 pub use kraftwerk_geom as geom;
 pub use kraftwerk_legalize as legalize;
 pub use kraftwerk_netlist as netlist;
+pub use kraftwerk_par as par;
 pub use kraftwerk_sparse as sparse;
 pub use kraftwerk_timing as timing;
 pub use kraftwerk_trace as trace;

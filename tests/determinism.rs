@@ -1,0 +1,53 @@
+//! Determinism matrix: the data-parallel runtime must produce bitwise
+//! identical placements at every thread count.
+//!
+//! The `kraftwerk-par` chunking is fixed by input size — never by thread
+//! count — and reductions combine partials in index order, so floating
+//! point association is the same no matter how many workers execute the
+//! chunks. This test drives a netlist large enough to engage every
+//! parallel path (SpMV row chunks and density deposits both split at 2048
+//! elements) through the full transformation loop under 1, 2, and 8
+//! worker threads and compares the results bit for bit.
+
+use kraftwerk::legalize::legalize;
+use kraftwerk::netlist::synth::{generate, SynthConfig};
+use kraftwerk::netlist::{Netlist, Placement};
+use kraftwerk::placer::{IterationStats, KraftwerkConfig, PlacementSession};
+
+/// Enough cells that the SpMV row loop (one row per movable cell) and the
+/// density deposit (one rect per cell) both exceed their 2048-element
+/// chunk size and actually fan out.
+fn matrix_netlist() -> Netlist {
+    generate(&SynthConfig::with_size("det-matrix", 2600, 3200, 24))
+}
+
+fn run_with_threads(nl: &Netlist, threads: usize) -> (Placement, Vec<IterationStats>) {
+    kraftwerk::par::set_threads(threads);
+    let mut session = PlacementSession::new(nl, KraftwerkConfig::standard());
+    let stats = (0..6).map(|_| session.transform()).collect();
+    (session.placement().clone(), stats)
+}
+
+#[test]
+fn placement_is_bitwise_identical_at_every_thread_count() {
+    let nl = matrix_netlist();
+    let (p1, s1) = run_with_threads(&nl, 1);
+    let (p2, s2) = run_with_threads(&nl, 2);
+    let (p8, s8) = run_with_threads(&nl, 8);
+    kraftwerk::par::set_threads(0);
+    assert_eq!(s1, s2, "1 vs 2 threads: iteration stats differ");
+    assert_eq!(s1, s8, "1 vs 8 threads: iteration stats differ");
+    assert_eq!(p1, p2, "1 vs 2 threads: placements differ");
+    assert_eq!(p1, p8, "1 vs 8 threads: placements differ");
+}
+
+#[test]
+fn legalization_is_bitwise_identical_at_every_thread_count() {
+    let nl = matrix_netlist();
+    kraftwerk::par::set_threads(1);
+    let one = legalize(&nl, &nl.initial_placement()).expect("row capacity");
+    kraftwerk::par::set_threads(8);
+    let eight = legalize(&nl, &nl.initial_placement()).expect("row capacity");
+    kraftwerk::par::set_threads(0);
+    assert_eq!(one, eight, "1 vs 8 threads: legalizations differ");
+}
