@@ -77,11 +77,24 @@ fn finish(flow: &'static str, netlist: &Netlist, global: Placement, started: Ins
 }
 
 /// The Kraftwerk flow (standard or any other config).
+///
+/// # Panics
+///
+/// Panics when the benchmark netlist fails validation or the watchdog
+/// cannot recover the run — generated benchmarks always place, so either
+/// indicates harness misuse, not a measurement.
 #[must_use]
 pub fn run_kraftwerk(netlist: &Netlist, config: KraftwerkConfig) -> FlowResult {
     let started = Instant::now();
-    let global = GlobalPlacer::new(config).place(netlist).placement;
-    finish("kraftwerk", netlist, global, started)
+    let result = GlobalPlacer::new(config)
+        .try_place(netlist)
+        .unwrap_or_else(|e| panic!("benchmark placement failed: {e}"));
+    assert!(
+        result.health.is_clean(),
+        "benchmark run needed watchdog recovery: {:?}",
+        result.health
+    );
+    finish("kraftwerk", netlist, result.placement, started)
 }
 
 /// The TimberWolf-class simulated annealing flow.

@@ -6,10 +6,71 @@
 //! performs no further heap allocation. [`ScratchArena::capacity_signature`]
 //! exposes the buffer capacities so tests can assert exactly that.
 
+use crate::config::PrecondKind;
 use crate::quadratic::{Assembled, AssemblyScratch};
 use kraftwerk_field::{DensityScratch, ForceField, MultigridWorkspace, ScalarMap};
 use kraftwerk_geom::Vector;
-use kraftwerk_sparse::{CgWorkspace, JacobiPreconditioner};
+use kraftwerk_sparse::{
+    CgWorkspace, CsrMatrix, JacobiPreconditioner, Preconditioner, SsorPreconditioner,
+};
+
+/// The session's CG preconditioner slot: Jacobi refreshed in place (the
+/// zero-allocation production path) or SSOR rebuilt per refresh (more
+/// effective per iteration, but allocating — the watchdog ladder demotes
+/// it to Jacobi on persistent CG stalls).
+#[derive(Debug)]
+pub(crate) enum SessionPrecond {
+    /// Diagonal preconditioner, refreshed without allocation.
+    Jacobi(JacobiPreconditioner),
+    /// SSOR preconditioner; `None` until the first refresh.
+    Ssor(Option<SsorPreconditioner>),
+}
+
+impl Default for SessionPrecond {
+    fn default() -> Self {
+        SessionPrecond::Jacobi(JacobiPreconditioner::default())
+    }
+}
+
+impl SessionPrecond {
+    /// Switches the slot to `kind`, dropping any stale state. Returns
+    /// `true` when the kind actually changed (callers then invalidate the
+    /// cached assembly so the next transform refreshes the slot).
+    pub fn set_kind(&mut self, kind: PrecondKind) -> bool {
+        let matches_kind = matches!(
+            (&*self, kind),
+            (SessionPrecond::Jacobi(_), PrecondKind::Jacobi)
+                | (SessionPrecond::Ssor(_), PrecondKind::Ssor)
+        );
+        if !matches_kind {
+            *self = match kind {
+                PrecondKind::Jacobi => SessionPrecond::Jacobi(JacobiPreconditioner::default()),
+                PrecondKind::Ssor => SessionPrecond::Ssor(None),
+            };
+        }
+        !matches_kind
+    }
+
+    /// Rebuilds the preconditioner for a (re-assembled) matrix.
+    pub fn refresh_from(&mut self, a: &CsrMatrix) {
+        match self {
+            SessionPrecond::Jacobi(p) => p.refresh_from(a),
+            SessionPrecond::Ssor(slot) => *slot = Some(SsorPreconditioner::from_matrix(a, 1.0)),
+        }
+    }
+}
+
+impl Preconditioner for SessionPrecond {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        match self {
+            SessionPrecond::Jacobi(p) => p.apply(r, z),
+            SessionPrecond::Ssor(Some(p)) => p.apply(r, z),
+            SessionPrecond::Ssor(None) => {
+                unreachable!("SSOR preconditioner applied before refresh_from")
+            }
+        }
+    }
+}
 
 /// Reusable state for [`crate::PlacementSession::transform`], grouped by
 /// pipeline phase. All fields are buffers whose *contents* are rebuilt
@@ -54,10 +115,10 @@ pub(crate) struct ScratchArena {
     pub xs0: Vec<f64>,
     /// Movable-cell y coordinates before the solve.
     pub ys0: Vec<f64>,
-    /// Jacobi preconditioner for the x system, refreshed in place.
-    pub px: JacobiPreconditioner,
-    /// Jacobi preconditioner for the y system.
-    pub py: JacobiPreconditioner,
+    /// Preconditioner slot for the x system, refreshed with the assembly.
+    pub px: SessionPrecond,
+    /// Preconditioner slot for the y system.
+    pub py: SessionPrecond,
     /// Conjugate-gradient workspace for the x solve.
     pub cg_x: CgWorkspace,
     /// Conjugate-gradient workspace for the y solve.

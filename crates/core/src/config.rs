@@ -40,6 +40,71 @@ pub enum FieldSolverKind {
     Direct,
 }
 
+/// Which preconditioner the per-transformation conjugate-gradient solves
+/// use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrecondKind {
+    /// Diagonal (Jacobi) preconditioning — cheap, refreshed in place, the
+    /// production default.
+    #[default]
+    Jacobi,
+    /// SSOR preconditioning — fewer CG iterations per solve but rebuilt
+    /// (with allocation) whenever the system matrix changes; the watchdog
+    /// demotes it to Jacobi when CG repeatedly fails to converge.
+    Ssor,
+}
+
+/// Numerical-guardrail controls for the [`crate::PlacementSession`]
+/// watchdog.
+///
+/// The watchdog inspects every placement transformation. When a check
+/// trips it rolls the session back to the best-so-far checkpoint, damps
+/// the force step, escalates down the solver fallback ladder
+/// (SSOR → Jacobi preconditioning, multigrid → direct field solve) and
+/// retries, up to [`max_recoveries`](Self::max_recoveries) times before
+/// the run gives up with the checkpointed result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchdogConfig {
+    /// Master switch. Disabled, transformations run unguarded (the
+    /// pre-watchdog behaviour).
+    pub enabled: bool,
+    /// Trip when the post-transformation HPWL exceeds this multiple of
+    /// the best HPWL seen at the same or better density. Guards against
+    /// slow blow-ups the displacement check cannot see.
+    pub hpwl_explosion_ratio: f64,
+    /// Trip when the realized per-cell displacement of a held
+    /// transformation exceeds this fraction of the core diagonal (a
+    /// healthy step is bounded by the trust region at a small fraction
+    /// of the die).
+    pub max_step_fraction: f64,
+    /// Trip after this many consecutive transformations in which both CG
+    /// solves hit their iteration cap without converging. `0` disables
+    /// the streak check.
+    pub cg_stall_streak: usize,
+    /// Recovery attempts (rollback + damp + ladder step) per trip site
+    /// before the run gives up with the checkpointed result.
+    pub max_recoveries: usize,
+    /// Optional wall-clock budget in seconds for a whole run; exceeded,
+    /// the run stops with the best-so-far placement and
+    /// `RunHealth::budget_exhausted` set. **Off by default** because a
+    /// wall-clock cut-off makes results machine-dependent and breaks the
+    /// bitwise determinism guarantee.
+    pub wall_clock_budget: Option<f64>,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            hpwl_explosion_ratio: 10.0,
+            max_step_fraction: 0.35,
+            cg_stall_streak: 8,
+            max_recoveries: 3,
+            wall_clock_budget: None,
+        }
+    }
+}
+
 /// Parameters of the Kraftwerk iteration.
 ///
 /// The paper exposes a single user knob, `K` (section 4.1): the maximum
@@ -95,6 +160,17 @@ pub struct KraftwerkConfig {
     /// value is applied via [`kraftwerk_par::set_threads`] when a session
     /// starts. Results are bitwise identical at every setting.
     pub threads: usize,
+    /// Preconditioner for the per-transformation CG solves.
+    pub precond: PrecondKind,
+    /// Numerical-guardrail (watchdog) controls.
+    pub watchdog: WatchdogConfig,
+    /// Fault-injection knob: multiplies the per-transformation force
+    /// scale, and any value other than exactly `1.0` also bypasses the
+    /// trust region so the injected divergence is observable. `1.0` (the
+    /// default) is bit-for-bit the unperturbed pipeline. Exists to
+    /// exercise the watchdog's divergence detection and recovery from
+    /// tests and the CLI (`--force-scale`); never set it in production.
+    pub force_scale_boost: f64,
 }
 
 impl KraftwerkConfig {
@@ -119,6 +195,9 @@ impl KraftwerkConfig {
             stop_empty_square_factor: 4.0,
             stall_window: 16,
             threads: 0,
+            precond: PrecondKind::Jacobi,
+            watchdog: WatchdogConfig::default(),
+            force_scale_boost: 1.0,
         }
     }
 
@@ -233,6 +312,16 @@ mod tests {
             ..KraftwerkConfig::standard()
         };
         assert_eq!(fixed.grid_bins_for(1_000_000), 40);
+    }
+
+    #[test]
+    fn watchdog_defaults_are_deterministic_and_enabled() {
+        let c = KraftwerkConfig::standard();
+        assert!(c.watchdog.enabled);
+        assert!(c.watchdog.wall_clock_budget.is_none(), "wall clock breaks determinism");
+        assert_eq!(c.force_scale_boost, 1.0);
+        assert_eq!(c.precond, PrecondKind::Jacobi);
+        assert!(c.watchdog.max_recoveries > 0);
     }
 
     #[test]

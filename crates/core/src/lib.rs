@@ -43,11 +43,15 @@
 
 mod arena;
 mod config;
+mod error;
 mod multilevel;
 mod quadratic;
 mod session;
 
-pub use config::{FieldSolverKind, KraftwerkConfig, NetModel};
+pub use config::{FieldSolverKind, KraftwerkConfig, NetModel, PrecondKind, WatchdogConfig};
+pub use error::KraftwerkError;
 pub use multilevel::{cluster, place_multilevel, Clustering, ClusteringConfig};
 pub use quadratic::QuadraticSystem;
-pub use session::{GlobalPlacer, IterationStats, PlaceResult, PlacementSession};
+pub use session::{
+    GlobalPlacer, IterationStats, PlaceResult, PlacementSession, RunHealth,
+};

@@ -313,6 +313,7 @@ pub fn place_multilevel(
         placement: session.placement().clone(),
         stats,
         converged,
+        health: session.health(),
     }
 }
 

@@ -2,14 +2,15 @@
 //! accumulated additional forces.
 
 use crate::arena::ScratchArena;
-use crate::config::{FieldSolverKind, KraftwerkConfig, NetModel};
+use crate::config::{FieldSolverKind, KraftwerkConfig, NetModel, PrecondKind};
+use crate::error::KraftwerkError;
 use crate::quadratic::QuadraticSystem;
 use kraftwerk_field::{
     density_map_into, largest_empty_square, DirectSolver, FieldSolver, ForceField,
     MultigridSolver, ScalarMap,
 };
 use kraftwerk_netlist::{metrics, Netlist, Placement};
-use kraftwerk_sparse::solve_with;
+use kraftwerk_sparse::{try_solve_with, SolverError};
 
 /// Per-transformation progress record.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,6 +27,37 @@ pub struct IterationStats {
     pub cg_iterations: usize,
     /// Magnitude of the strongest newly added force.
     pub max_force: f64,
+    /// Largest realized per-cell move of this transformation (after the
+    /// trust region, before the core clamp) — the watchdog's divergence
+    /// signal.
+    pub max_displacement: f64,
+    /// Whether both conjugate-gradient solves met their tolerance before
+    /// the iteration cap.
+    pub cg_converged: bool,
+}
+
+/// Structured health record of a guarded placement run: how often the
+/// watchdog intervened and whether the result is a degraded (checkpointed)
+/// placement rather than a normally terminated one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunHealth {
+    /// Watchdog trips observed (each either recovered from or fatal).
+    pub trips: usize,
+    /// Successful rollback-and-retry recoveries performed.
+    pub recoveries: usize,
+    /// `true` when the run gave up and returned the best-so-far
+    /// checkpoint instead of a normally terminated placement.
+    pub degraded: bool,
+    /// `true` when the optional wall-clock budget cut the run short.
+    pub budget_exhausted: bool,
+}
+
+impl RunHealth {
+    /// Whether the run completed without any watchdog intervention.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.trips == 0 && !self.degraded && !self.budget_exhausted
+    }
 }
 
 /// Result of a completed placement run.
@@ -38,6 +70,8 @@ pub struct PlaceResult {
     /// Whether the paper's stopping criterion fired (as opposed to the
     /// iteration cap or the stall guard).
     pub converged: bool,
+    /// Watchdog health record (all zeros/false for an untroubled run).
+    pub health: RunHealth,
 }
 
 impl PlaceResult {
@@ -70,6 +104,55 @@ pub struct PlacementSession<'a> {
     iteration: usize,
     last_empty_square: Vec<f64>,
     arena: ScratchArena,
+    wd: WatchdogState,
+}
+
+/// A best-so-far snapshot the watchdog can roll the session back to.
+#[derive(Debug, Clone)]
+struct Checkpoint {
+    placement: Placement,
+    iteration: usize,
+    /// Length of `last_empty_square` at snapshot time (rollback truncates
+    /// the history so the stall guard sees a consistent timeline).
+    empty_len: usize,
+    hpwl: f64,
+    peak_density: f64,
+}
+
+/// Mutable watchdog bookkeeping carried by the session.
+#[derive(Debug)]
+struct WatchdogState {
+    checkpoint: Option<Checkpoint>,
+    /// Best HPWL observed at any accepted transformation (explosion
+    /// reference).
+    best_hpwl: f64,
+    /// Consecutive transformations whose CG solves both missed tolerance.
+    cg_streak: usize,
+    trips: usize,
+    recoveries: usize,
+    degraded: bool,
+    budget_exhausted: bool,
+    /// Multiplies the force-step target; halved on every recovery.
+    damping: f64,
+    /// One-shot force-scale fault injection, consumed by the next
+    /// transformation (so a rollback retry runs unperturbed).
+    boost_once: Option<f64>,
+}
+
+impl Default for WatchdogState {
+    fn default() -> Self {
+        Self {
+            checkpoint: None,
+            best_hpwl: f64::INFINITY,
+            cg_streak: 0,
+            trips: 0,
+            recoveries: 0,
+            degraded: false,
+            budget_exhausted: false,
+            damping: 1.0,
+            boost_once: None,
+        }
+    }
 }
 
 impl<'a> PlacementSession<'a> {
@@ -91,6 +174,7 @@ impl<'a> PlacementSession<'a> {
             iteration: 0,
             last_empty_square: Vec::new(),
             arena: ScratchArena::default(),
+            wd: WatchdogState::default(),
         }
     }
 
@@ -214,9 +298,27 @@ impl<'a> PlacementSession<'a> {
     /// cached. The x and y conjugate-gradient solves run concurrently when
     /// more than one worker thread is configured; results are bitwise
     /// identical at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the numerics break down (non-finite forces or right-hand
+    /// sides); use [`try_transform`](PlacementSession::try_transform) for
+    /// the fallible, watchdog-guarded equivalent.
     pub fn transform(&mut self) -> IterationStats {
+        match self.try_transform() {
+            Ok(stats) => stats,
+            Err(e) => panic!("placement transformation failed: {e} (use try_transform)"),
+        }
+    }
+
+    /// The raw transformation step: all the numerics of
+    /// [`transform`](PlacementSession::transform), no guardrails except
+    /// the solver-input checks. Errors leave `self.iteration` advanced;
+    /// the watchdog's rollback restores it.
+    fn transform_inner(&mut self) -> Result<IterationStats, SolverError> {
         let tracing = kraftwerk_trace::enabled();
         let iter_started = tracing.then(std::time::Instant::now);
+        let boost = self.wd.boost_once.take().unwrap_or(self.config.force_scale_boost);
         self.iteration += 1;
         let core = self.netlist.core_region();
         let (nx, ny) = self.grid_dims();
@@ -292,7 +394,8 @@ impl<'a> PlacementSession<'a> {
         let assembly_timer = kraftwerk_trace::span("place.force_assembly");
         let static_model =
             self.config.net_model == NetModel::Clique && !self.config.linearization;
-        if !(static_model && *asm_valid) {
+        let rebuild = !(static_model && *asm_valid);
+        if rebuild {
             self.system.assemble_into(
                 self.netlist,
                 &self.placement,
@@ -305,6 +408,12 @@ impl<'a> PlacementSession<'a> {
             *asm_valid = static_model;
             asm.cx.diagonal_into(diag_x);
             asm.cy.diagonal_into(diag_y);
+        }
+        // The watchdog ladder may demote the preconditioner mid-run; sync
+        // the slots before refreshing them against the current matrices.
+        let px_changed = px.set_kind(self.config.precond);
+        let py_changed = py.set_kind(self.config.precond);
+        if rebuild || px_changed || py_changed {
             px.refresh_from(&asm.cx);
             py.refresh_from(&asm.cy);
         }
@@ -355,8 +464,12 @@ impl<'a> PlacementSession<'a> {
             core.width().max(core.height()) / (0.6 * self.config.max_transformations as f64);
         let boost_cap = (needed_rate / base.max(1e-12)).clamp(1.0, 6.0);
         let overfill = peak_density.clamp(0.35, boost_cap);
-        let target = (base * overfill).min(0.25 * core.width().min(core.height()));
-        let scale = if max_disp > 1e-12 { target / max_disp } else { 0.0 };
+        // `damping` is 1.0 unless the watchdog recovered from a trip
+        // (multiplying by exactly 1.0 leaves the healthy path bitwise
+        // unchanged); `boost` is the fault-injection multiplier.
+        let target =
+            (base * overfill).min(0.25 * core.width().min(core.height())) * self.wd.damping;
+        let scale = if max_disp > 1e-12 { target / max_disp } else { 0.0 } * boost;
 
         // 5. Build the equilibrium equation C p + d + e = 0. The
         //    accumulated force vector `e` of equation (3) is kept in
@@ -437,17 +550,18 @@ impl<'a> PlacementSession<'a> {
         let (rx, ry) = kraftwerk_par::join(
             || {
                 let timer = kraftwerk_trace::span("place.solve_x");
-                let stats = solve_with(&asm.cx, bx, Some(xs0.as_slice()), &*px, cg_opts, cg_x);
+                let stats = try_solve_with(&asm.cx, bx, Some(xs0.as_slice()), &*px, cg_opts, cg_x);
                 timer.finish();
                 stats
             },
             || {
                 let timer = kraftwerk_trace::span("place.solve_y");
-                let stats = solve_with(&asm.cy, by, Some(ys0.as_slice()), &*py, cg_opts, cg_y);
+                let stats = try_solve_with(&asm.cy, by, Some(ys0.as_slice()), &*py, cg_opts, cg_y);
                 timer.finish();
                 stats
             },
         );
+        let (rx, ry) = (rx?, ry?);
 
         //    Trust region: the per-cell displacement estimate used for the
         //    force scale cannot see coupled modes (a whole chain of cells
@@ -456,7 +570,10 @@ impl<'a> PlacementSession<'a> {
         //    target by blending toward the solve result. Skipped on the
         //    unconstrained first solve of a fresh run.
         let cg_iters = rx.iterations + ry.iterations;
-        if use_hold {
+        // A fault-injected force scale (`boost != 1.0`) bypasses the trust
+        // region, otherwise the injected divergence would be silently
+        // capped and the watchdog would have nothing to detect.
+        if use_hold && boost == 1.0 {
             let xs1 = cg_x.solution_mut();
             let ys1 = cg_y.solution_mut();
             for i in 0..n {
@@ -468,6 +585,18 @@ impl<'a> PlacementSession<'a> {
                     xs1[i] = xs0[i] + dx * blend;
                     ys1[i] = ys0[i] + dy * blend;
                 }
+            }
+        }
+        // Realized step size after the trust region, before the core
+        // clamp: the watchdog's divergence signal.
+        let mut max_displacement = 0.0f64;
+        {
+            let xs1 = cg_x.solution();
+            let ys1 = cg_y.solution();
+            for i in 0..n {
+                let dx = xs1[i] - xs0[i];
+                let dy = ys1[i] - ys0[i];
+                max_displacement = max_displacement.max((dx * dx + dy * dy).sqrt());
             }
         }
         self.system
@@ -488,6 +617,8 @@ impl<'a> PlacementSession<'a> {
             peak_density,
             cg_iterations: cg_iters,
             max_force,
+            max_displacement,
+            cg_converged: rx.converged && ry.converged,
         };
         if tracing {
             let wall_s = iter_started.map_or(0.0, |t| t.elapsed().as_secs_f64());
@@ -506,11 +637,220 @@ impl<'a> PlacementSession<'a> {
                         kraftwerk_trace::Value::from(stats.cg_iterations),
                     ),
                     ("max_force", kraftwerk_trace::Value::from(stats.max_force)),
+                    (
+                        "max_displacement",
+                        kraftwerk_trace::Value::from(stats.max_displacement),
+                    ),
                     ("wall_s", kraftwerk_trace::Value::from(wall_s)),
                 ],
             );
         }
-        stats
+        Ok(stats)
+    }
+
+    /// Executes one transformation under the watchdog: runs the numerics,
+    /// checks the outcome for divergence (non-finite metrics, runaway
+    /// displacement, HPWL explosion, CG stall streaks), and on a trip
+    /// rolls back to the best-so-far checkpoint, damps the force step,
+    /// escalates down the solver fallback ladder and retries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KraftwerkError::Solver`] on unrecoverable solver input
+    /// errors and [`KraftwerkError::Diverged`] when the recovery budget is
+    /// exhausted (or no checkpoint exists to roll back to). The session is
+    /// left on its last checkpoint in that case, so callers may still read
+    /// [`placement`](PlacementSession::placement).
+    pub fn try_transform(&mut self) -> Result<IterationStats, KraftwerkError> {
+        if !self.config.watchdog.enabled {
+            return self.transform_inner().map_err(KraftwerkError::from);
+        }
+        // Sessions that already carry a meaningful placement (ECO resumes,
+        // sessions with completed transformations) get a rollback point
+        // even before any watchdog-accepted progress.
+        if self.wd.checkpoint.is_none() && (self.iteration > 0 || self.hold_from_start) {
+            let hpwl = metrics::hpwl(self.netlist, &self.placement);
+            self.snapshot_checkpoint(hpwl, f64::INFINITY);
+        }
+        loop {
+            let trip: &'static str = match self.transform_inner() {
+                Ok(stats) => match self.judge(&stats) {
+                    None => {
+                        self.note_progress(&stats);
+                        return Ok(stats);
+                    }
+                    Some(reason) => reason,
+                },
+                Err(e) if e.is_recoverable() => "non-finite solver input",
+                Err(e) => return Err(e.into()),
+            };
+            self.wd.trips += 1;
+            kraftwerk_trace::counter("watchdog.trips", 1);
+            let exhausted = self.wd.recoveries >= self.config.watchdog.max_recoveries;
+            // Roll back even when giving up: the session promises to sit on
+            // its last checkpoint after an Err, not on the diverged state.
+            let rolled = self.rollback();
+            if exhausted || !rolled {
+                kraftwerk_trace::event(
+                    kraftwerk_trace::WATCHDOG_EVENT,
+                    vec![
+                        ("iteration", kraftwerk_trace::Value::from(self.iteration)),
+                        ("reason", kraftwerk_trace::Value::from(trip)),
+                        ("action", kraftwerk_trace::Value::from("give_up")),
+                        ("recoveries", kraftwerk_trace::Value::from(self.wd.recoveries)),
+                    ],
+                );
+                return Err(KraftwerkError::Diverged {
+                    iteration: self.iteration,
+                    reason: trip,
+                });
+            }
+            self.wd.recoveries += 1;
+            kraftwerk_trace::counter("watchdog.recoveries", 1);
+            self.escalate(trip);
+            kraftwerk_trace::event(
+                kraftwerk_trace::WATCHDOG_EVENT,
+                vec![
+                    ("iteration", kraftwerk_trace::Value::from(self.iteration)),
+                    ("reason", kraftwerk_trace::Value::from(trip)),
+                    ("action", kraftwerk_trace::Value::from("rollback")),
+                    ("recoveries", kraftwerk_trace::Value::from(self.wd.recoveries)),
+                    ("damping", kraftwerk_trace::Value::from(self.wd.damping)),
+                ],
+            );
+        }
+    }
+
+    /// Checks an accepted transformation's stats against the watchdog
+    /// thresholds; returns the trip reason, or `None` when healthy.
+    fn judge(&mut self, stats: &IterationStats) -> Option<&'static str> {
+        let wd = &self.config.watchdog;
+        if !stats.hpwl.is_finite()
+            || !stats.max_force.is_finite()
+            || !stats.max_displacement.is_finite()
+        {
+            return Some("non-finite coordinates");
+        }
+        // The unconstrained first solve of a fresh run legitimately moves
+        // cells across the whole die; only held transformations (where the
+        // trust region bounds a healthy step) are judged on displacement.
+        let used_hold = self.hold_from_start || self.iteration > 1;
+        if used_hold {
+            let core = self.netlist.core_region();
+            let diag = (core.width() * core.width() + core.height() * core.height()).sqrt();
+            if stats.max_displacement > wd.max_step_fraction * diag {
+                return Some("runaway displacement");
+            }
+        }
+        if stats.hpwl > wd.hpwl_explosion_ratio * self.wd.best_hpwl {
+            return Some("hpwl explosion");
+        }
+        if stats.cg_converged {
+            self.wd.cg_streak = 0;
+        } else {
+            self.wd.cg_streak += 1;
+            if wd.cg_stall_streak > 0 && self.wd.cg_streak >= wd.cg_stall_streak {
+                return Some("cg stall streak");
+            }
+        }
+        None
+    }
+
+    /// Folds an accepted transformation into the best-so-far bookkeeping
+    /// and snapshots a checkpoint when it improves on the previous one.
+    fn note_progress(&mut self, stats: &IterationStats) {
+        self.wd.best_hpwl = self.wd.best_hpwl.min(stats.hpwl);
+        // During spreading HPWL legitimately grows while density falls, so
+        // "best" is driven by peak density with HPWL as the tie-breaker.
+        let improves = match &self.wd.checkpoint {
+            None => true,
+            Some(cp) => {
+                stats.peak_density < cp.peak_density
+                    || (stats.peak_density <= cp.peak_density && stats.hpwl < cp.hpwl)
+            }
+        };
+        if improves {
+            self.snapshot_checkpoint(stats.hpwl, stats.peak_density);
+        }
+    }
+
+    /// Records the current session state as the rollback checkpoint,
+    /// reusing the previous checkpoint's allocation.
+    fn snapshot_checkpoint(&mut self, hpwl: f64, peak_density: f64) {
+        match &mut self.wd.checkpoint {
+            Some(cp) => {
+                cp.placement.clone_from(&self.placement);
+                cp.iteration = self.iteration;
+                cp.empty_len = self.last_empty_square.len();
+                cp.hpwl = hpwl;
+                cp.peak_density = peak_density;
+            }
+            None => {
+                self.wd.checkpoint = Some(Checkpoint {
+                    placement: self.placement.clone(),
+                    iteration: self.iteration,
+                    empty_len: self.last_empty_square.len(),
+                    hpwl,
+                    peak_density,
+                });
+            }
+        }
+    }
+
+    /// Restores the checkpointed placement, iteration counter, and
+    /// stopping-criterion history; `false` when no checkpoint exists.
+    fn rollback(&mut self) -> bool {
+        let Some(cp) = &self.wd.checkpoint else {
+            return false;
+        };
+        self.placement.clone_from(&cp.placement);
+        self.iteration = cp.iteration;
+        self.last_empty_square.truncate(cp.empty_len);
+        self.wd.cg_streak = 0;
+        // The linearized assembly depends on the placement; the cached
+        // static assembly is placement-independent but cheap to rebuild,
+        // and a ladder demotion needs fresh preconditioners either way.
+        self.arena.invalidate_assembly();
+        true
+    }
+
+    /// One step down the recovery ladder: always damp the force step;
+    /// deeper recoveries also demote the preconditioner (SSOR → Jacobi)
+    /// and the field solver (multigrid → direct), and a CG stall buys the
+    /// solver a larger iteration budget.
+    fn escalate(&mut self, trip: &'static str) {
+        self.wd.damping *= 0.5;
+        if trip == "cg stall streak" {
+            self.config.cg.max_iterations *= 2;
+        }
+        if self.wd.recoveries >= 2 && self.config.precond == PrecondKind::Ssor {
+            self.config.precond = PrecondKind::Jacobi;
+            kraftwerk_trace::counter("watchdog.precond_demotions", 1);
+        }
+        if self.wd.recoveries >= 3 && self.config.field_solver == FieldSolverKind::Multigrid {
+            self.config.field_solver = FieldSolverKind::Direct;
+            kraftwerk_trace::counter("watchdog.field_demotions", 1);
+        }
+    }
+
+    /// The watchdog's health record so far (attached to [`PlaceResult`]
+    /// by the run loops).
+    #[must_use]
+    pub fn health(&self) -> RunHealth {
+        RunHealth {
+            trips: self.wd.trips,
+            recoveries: self.wd.recoveries,
+            degraded: self.wd.degraded,
+            budget_exhausted: self.wd.budget_exhausted,
+        }
+    }
+
+    /// Fault injection for robustness tests: the *next* transformation
+    /// multiplies its force scale by `boost` and bypasses the trust
+    /// region; a watchdog rollback retry runs unperturbed again. See also
+    /// [`KraftwerkConfig::force_scale_boost`] for the persistent variant.
+    pub fn inject_force_scale_boost(&mut self, boost: f64) {
+        self.wd.boost_once = Some(boost);
     }
 
     /// Keeps every movable cell's footprint inside the core region. The
@@ -573,15 +913,43 @@ impl<'a> PlacementSession<'a> {
 
     /// Runs transformations until convergence, stall, or the iteration
     /// cap; returns the result and consumes the session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run diverges beyond recovery with no checkpoint to
+    /// fall back to; use [`try_run`](PlacementSession::try_run) for the
+    /// fallible equivalent.
     #[must_use]
-    pub fn run(mut self) -> PlaceResult {
-        let mut stats = Vec::new();
+    pub fn run(self) -> PlaceResult {
+        match self.try_run() {
+            Ok(result) => result,
+            Err(e) => panic!("placement run failed: {e} (use try_run)"),
+        }
+    }
+
+    /// Fallible [`run`](PlacementSession::run): transformations until
+    /// convergence, stall, the iteration cap, or the optional wall-clock
+    /// budget. When a transformation diverges beyond the watchdog's
+    /// recovery budget but a best-so-far checkpoint exists, the run *still
+    /// succeeds* — it returns the checkpointed placement with
+    /// [`RunHealth::degraded`] set rather than discarding the usable work.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only when the pipeline fails before any usable
+    /// placement exists (solver input errors or first-iteration
+    /// divergence with nothing to roll back to).
+    pub fn try_run(mut self) -> Result<PlaceResult, KraftwerkError> {
+        let started = std::time::Instant::now();
+        let mut stats: Vec<IterationStats> = Vec::new();
         if self.system.num_movable() == 0 {
-            return PlaceResult {
+            let health = self.health();
+            return Ok(PlaceResult {
                 placement: self.placement,
                 stats,
                 converged: true,
-            };
+                health,
+            });
         }
         // A resumed (ECO) session may already satisfy the stopping
         // criterion; don't churn a converged placement.
@@ -593,25 +961,62 @@ impl<'a> PlacementSession<'a> {
             );
             if area <= self.config.stop_empty_square_factor * self.netlist.average_cell_area() {
                 self.last_empty_square.push(area);
-                return PlaceResult {
+                let health = self.health();
+                return Ok(PlaceResult {
                     placement: self.placement,
                     stats,
                     converged: true,
-                };
+                    health,
+                });
             }
         }
+        let mut failure: Option<KraftwerkError> = None;
         while self.iteration < self.config.max_transformations {
-            stats.push(self.transform());
-            if self.is_converged() || self.is_stalled() {
-                break;
+            if let Some(budget) = self.config.watchdog.wall_clock_budget {
+                if self.config.watchdog.enabled && started.elapsed().as_secs_f64() > budget {
+                    self.wd.budget_exhausted = true;
+                    kraftwerk_trace::counter("watchdog.budget_exhausted", 1);
+                    break;
+                }
             }
+            match self.try_transform() {
+                Ok(st) => {
+                    // A recovery rewinds the iteration counter; drop the
+                    // stale tail so the record stays monotonic.
+                    while stats.last().is_some_and(|s| s.iteration >= st.iteration) {
+                        stats.pop();
+                    }
+                    stats.push(st);
+                    if self.is_converged() || self.is_stalled() {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = failure {
+            // Give up gracefully: fall back to the checkpointed best if
+            // one exists, otherwise surface the error.
+            if !self.rollback() {
+                return Err(e);
+            }
+            self.wd.degraded = true;
+            while stats.last().is_some_and(|s| s.iteration > self.iteration) {
+                stats.pop();
+            }
+            kraftwerk_trace::counter("watchdog.degraded_runs", 1);
         }
         let converged = self.is_converged();
-        PlaceResult {
+        let health = self.health();
+        Ok(PlaceResult {
             placement: self.placement,
             stats,
             converged,
-        }
+            health,
+        })
     }
 }
 
@@ -638,17 +1043,57 @@ impl GlobalPlacer {
     }
 
     /// Places a netlist from scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid input (non-finite netlist numerics) or
+    /// unrecoverable divergence; use
+    /// [`try_place`](GlobalPlacer::try_place) for the panic-free
+    /// equivalent.
     #[must_use]
     pub fn place(&self, netlist: &Netlist) -> PlaceResult {
         PlacementSession::new(netlist, self.config.clone()).run()
     }
 
+    /// Panic-free placement: validates the netlist at the boundary
+    /// ([`Netlist::validate`]) and runs the watchdog-guarded session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KraftwerkError::Validation`] for rejected input and the
+    /// [`PlacementSession::try_run`] errors for runs that fail before any
+    /// usable placement exists. A diverged run with a usable checkpoint
+    /// returns `Ok` with [`RunHealth::degraded`] set.
+    pub fn try_place(&self, netlist: &Netlist) -> Result<PlaceResult, KraftwerkError> {
+        netlist.validate()?;
+        PlacementSession::new(netlist, self.config.clone()).try_run()
+    }
+
     /// Incremental (ECO) placement: adapts an existing placement to the
     /// netlist with minimal disturbance (section 5). Cells only move where
     /// density deviations or netlist changes create new forces.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid input or unrecoverable divergence; use
+    /// [`try_place_incremental`](GlobalPlacer::try_place_incremental).
     #[must_use]
     pub fn place_incremental(&self, netlist: &Netlist, existing: Placement) -> PlaceResult {
         PlacementSession::resume(netlist, self.config.clone(), existing).run()
+    }
+
+    /// Panic-free incremental placement with boundary validation.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`try_place`](GlobalPlacer::try_place).
+    pub fn try_place_incremental(
+        &self,
+        netlist: &Netlist,
+        existing: Placement,
+    ) -> Result<PlaceResult, KraftwerkError> {
+        netlist.validate()?;
+        PlacementSession::resume(netlist, self.config.clone(), existing).try_run()
     }
 }
 

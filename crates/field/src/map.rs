@@ -100,6 +100,13 @@ impl ScalarMap {
         &self.values
     }
 
+    /// `true` when every bin value is finite. The watchdog uses this as a
+    /// cheap sanity gate before trusting a density or potential field.
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.values.iter().all(|v| v.is_finite())
+    }
+
     /// Mutable raw values in row-major (y-major) order. Reuse hook for
     /// callers that recompute a field in place every iteration.
     pub fn values_mut(&mut self) -> &mut [f64] {
@@ -489,6 +496,18 @@ mod tests {
 
     fn grid() -> ScalarMap {
         ScalarMap::zeros(Rect::new(0.0, 0.0, 8.0, 4.0), 8, 4)
+    }
+
+    #[test]
+    fn is_finite_detects_poisoned_bins() {
+        let mut m = grid();
+        assert!(m.is_finite());
+        m.set(3, 1, f64::NAN);
+        assert!(!m.is_finite());
+        m.set(3, 1, f64::INFINITY);
+        assert!(!m.is_finite());
+        m.set(3, 1, 0.0);
+        assert!(m.is_finite());
     }
 
     #[test]

@@ -65,6 +65,12 @@ impl From<LegalizeError> for FloorplanError {
     }
 }
 
+impl From<FloorplanError> for kraftwerk_core::KraftwerkError {
+    fn from(e: FloorplanError) -> Self {
+        kraftwerk_core::KraftwerkError::Floorplan(e.to_string())
+    }
+}
+
 /// Configuration of the mixed flow.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MixedPlaceConfig {

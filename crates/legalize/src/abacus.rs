@@ -29,6 +29,12 @@ impl fmt::Display for LegalizeError {
 
 impl Error for LegalizeError {}
 
+impl From<LegalizeError> for kraftwerk_core::KraftwerkError {
+    fn from(e: LegalizeError) -> Self {
+        kraftwerk_core::KraftwerkError::Legalize(e.to_string())
+    }
+}
+
 /// One Abacus cluster: a maximal group of touching cells in a segment.
 #[derive(Debug, Clone)]
 struct Cluster {

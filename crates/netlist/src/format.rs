@@ -25,7 +25,7 @@ use crate::ids::CellId;
 use crate::model::{CellKind, Netlist, PinDirection};
 use crate::placement::Placement;
 use kraftwerk_geom::{Point, Rect, Size, Vector};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
 use std::fmt::Write as _;
@@ -59,6 +59,17 @@ impl ParseError {
 fn parse_f64(line: usize, tok: &str, what: &str) -> Result<f64, ParseError> {
     tok.parse()
         .map_err(|_| ParseError::new(line, format!("invalid {what} `{tok}`")))
+}
+
+/// Like [`parse_f64`] but additionally rejects NaN and infinities, which
+/// the text syntax technically parses but no downstream numeric can take.
+fn parse_finite_f64(line: usize, tok: &str, what: &str) -> Result<f64, ParseError> {
+    let v = parse_f64(line, tok, what)?;
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(ParseError::new(line, format!("non-finite {what} `{tok}`")))
+    }
 }
 
 /// Serializes a netlist to the text format.
@@ -123,6 +134,7 @@ pub fn read_netlist(text: &str) -> Result<Netlist, ParseError> {
     }
     let mut builder = NetlistBuilder::new();
     let mut by_name: HashMap<String, CellId> = HashMap::new();
+    let mut net_names: HashSet<String> = HashSet::new();
     for (no, line) in lines {
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -141,8 +153,11 @@ pub fn read_netlist(text: &str) -> Result<Netlist, ParseError> {
                 }
                 let v: Vec<f64> = toks
                     .iter()
-                    .map(|t| parse_f64(no, t, "coordinate"))
+                    .map(|t| parse_finite_f64(no, t, "coordinate"))
                     .collect::<Result<_, _>>()?;
+                if v[2] <= v[0] || v[3] <= v[1] {
+                    return Err(ParseError::new(no, "core region has zero or negative area"));
+                }
                 builder.core_region(Rect::new(v[0], v[1], v[2], v[3]));
             }
             "rows" => {
@@ -152,7 +167,10 @@ pub fn read_netlist(text: &str) -> Result<Netlist, ParseError> {
                 let count: usize = toks[0]
                     .parse()
                     .map_err(|_| ParseError::new(no, format!("invalid row count `{}`", toks[0])))?;
-                let height = parse_f64(no, toks[1], "row height")?;
+                let height = parse_finite_f64(no, toks[1], "row height")?;
+                if height <= 0.0 {
+                    return Err(ParseError::new(no, format!("row height must be positive, got `{height}`")));
+                }
                 builder.rows(count, height);
             }
             "cell" => {
@@ -160,8 +178,14 @@ pub fn read_netlist(text: &str) -> Result<Netlist, ParseError> {
                     return Err(ParseError::new(no, "cell requires name, width, height, kind"));
                 }
                 let name = toks[0];
-                let w = parse_f64(no, toks[1], "width")?;
-                let h = parse_f64(no, toks[2], "height")?;
+                let w = parse_finite_f64(no, toks[1], "width")?;
+                let h = parse_finite_f64(no, toks[2], "height")?;
+                if w <= 0.0 || h <= 0.0 {
+                    return Err(ParseError::new(
+                        no,
+                        format!("cell `{name}` has non-positive size {w} x {h}"),
+                    ));
+                }
                 let size = Size::new(w, h);
                 let mut rest;
                 let id = match toks[3] {
@@ -177,8 +201,8 @@ pub fn read_netlist(text: &str) -> Result<Netlist, ParseError> {
                         if toks.len() < 6 {
                             return Err(ParseError::new(no, "fixed cell requires x and y"));
                         }
-                        let x = parse_f64(no, toks[4], "x")?;
-                        let y = parse_f64(no, toks[5], "y")?;
+                        let x = parse_finite_f64(no, toks[4], "x")?;
+                        let y = parse_finite_f64(no, toks[5], "y")?;
                         rest = 6;
                         builder.add_fixed_cell(name, size, Point::new(x, y))
                     }
@@ -192,14 +216,14 @@ pub fn read_netlist(text: &str) -> Result<Netlist, ParseError> {
                             let p = toks
                                 .get(rest + 1)
                                 .ok_or_else(|| ParseError::new(no, "power requires a value"))?;
-                            builder.set_power(id, parse_f64(no, p, "power")?);
+                            builder.set_power(id, parse_finite_f64(no, p, "power")?);
                             rest += 2;
                         }
                         "delay" => {
                             let d = toks
                                 .get(rest + 1)
                                 .ok_or_else(|| ParseError::new(no, "delay requires a value"))?;
-                            builder.set_delay(id, parse_f64(no, d, "delay")?);
+                            builder.set_delay(id, parse_finite_f64(no, d, "delay")?);
                             rest += 2;
                         }
                         other => {
@@ -216,7 +240,16 @@ pub fn read_netlist(text: &str) -> Result<Netlist, ParseError> {
                     return Err(ParseError::new(no, "net requires name, weight, and >= 2 pins"));
                 }
                 let name = toks[0];
-                let weight = parse_f64(no, toks[1], "net weight")?;
+                if !net_names.insert(name.to_owned()) {
+                    return Err(ParseError::new(no, format!("duplicate net name `{name}`")));
+                }
+                let weight = parse_finite_f64(no, toks[1], "net weight")?;
+                if weight < 0.0 {
+                    return Err(ParseError::new(
+                        no,
+                        format!("net `{name}` has negative weight {weight}"),
+                    ));
+                }
                 let mut pins = Vec::new();
                 for pin_tok in &toks[2..] {
                     let parts: Vec<&str> = pin_tok.split(':').collect();
@@ -229,8 +262,8 @@ pub fn read_netlist(text: &str) -> Result<Netlist, ParseError> {
                     let cell = *by_name.get(parts[0]).ok_or_else(|| {
                         ParseError::new(no, format!("unknown cell `{}` in net `{name}`", parts[0]))
                     })?;
-                    let dx = parse_f64(no, parts[1], "pin dx")?;
-                    let dy = parse_f64(no, parts[2], "pin dy")?;
+                    let dx = parse_finite_f64(no, parts[1], "pin dx")?;
+                    let dy = parse_finite_f64(no, parts[2], "pin dy")?;
                     let dir = match parts[3] {
                         "I" => PinDirection::Input,
                         "O" => PinDirection::Output,
@@ -273,6 +306,7 @@ pub fn read_placement(netlist: &Netlist, text: &str) -> Result<Placement, ParseE
     let by_name: HashMap<&str, CellId> =
         netlist.cells().map(|(id, c)| (c.name(), id)).collect();
     let mut placement = netlist.initial_placement();
+    let mut seen: HashSet<CellId> = HashSet::new();
     for (i, line) in text.lines().enumerate() {
         let no = i + 1;
         let line = line.trim();
@@ -286,8 +320,14 @@ pub fn read_placement(netlist: &Netlist, text: &str) -> Result<Placement, ParseE
         let id = *by_name
             .get(toks[1])
             .ok_or_else(|| ParseError::new(no, format!("unknown cell `{}`", toks[1])))?;
-        let x = parse_f64(no, toks[2], "x")?;
-        let y = parse_f64(no, toks[3], "y")?;
+        if !seen.insert(id) {
+            return Err(ParseError::new(
+                no,
+                format!("cell `{}` placed more than once", toks[1]),
+            ));
+        }
+        let x = parse_finite_f64(no, toks[2], "x")?;
+        let y = parse_finite_f64(no, toks[3], "y")?;
         placement.set_position(id, Point::new(x, y));
     }
     Ok(placement)
@@ -406,5 +446,65 @@ mod tests {
         let nl = sample();
         let err = read_placement(&nl, "place nobody 1 2").unwrap_err();
         assert!(err.message.contains("nobody"));
+    }
+
+    #[test]
+    fn duplicate_net_name_is_rejected_with_line() {
+        let text = "kraftwerk-netlist 1\ncore 0 0 10 10\ncell a 1 1 std\ncell b 1 1 std\nnet n 1 a:0:0:O b:0:0:I\nnet n 1 b:0:0:O a:0:0:I\n";
+        let err = read_netlist(text).unwrap_err();
+        assert_eq!(err.line, 6);
+        assert!(err.message.contains("duplicate net"));
+    }
+
+    #[test]
+    fn negative_cell_width_is_rejected_with_line() {
+        let text = "kraftwerk-netlist 1\ncore 0 0 10 10\ncell a -1 1 std\n";
+        let err = read_netlist(text).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("non-positive"));
+    }
+
+    #[test]
+    fn non_finite_numbers_are_rejected_with_line() {
+        for text in [
+            "kraftwerk-netlist 1\ncore 0 0 NaN 10\n",
+            "kraftwerk-netlist 1\ncore 0 0 10 10\ncell a inf 1 std\n",
+            "kraftwerk-netlist 1\ncore 0 0 10 10\ncell a 1 1 std\ncell b 1 1 std\nnet n NaN a:0:0:O b:0:0:I\n",
+            "kraftwerk-netlist 1\ncore 0 0 10 10\ncell a 1 1 std\ncell b 1 1 std\nnet n 1 a:NaN:0:O b:0:0:I\n",
+        ] {
+            let err = read_netlist(text).unwrap_err();
+            assert!(err.line > 0, "expected a line number for {text:?}");
+            assert!(err.message.contains("non-finite"), "got: {}", err.message);
+        }
+    }
+
+    #[test]
+    fn degenerate_core_is_rejected_with_line() {
+        let err = read_netlist("kraftwerk-netlist 1\ncore 0 0 0 10\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("area"));
+    }
+
+    #[test]
+    fn negative_net_weight_is_rejected() {
+        let text = "kraftwerk-netlist 1\ncore 0 0 10 10\ncell a 1 1 std\ncell b 1 1 std\nnet n -2 a:0:0:O b:0:0:I\n";
+        let err = read_netlist(text).unwrap_err();
+        assert_eq!(err.line, 5);
+        assert!(err.message.contains("negative weight"));
+    }
+
+    #[test]
+    fn duplicate_placement_line_is_rejected() {
+        let nl = sample();
+        let err = read_placement(&nl, "place u1 1 2\nplace u1 3 4\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("more than once"));
+    }
+
+    #[test]
+    fn non_finite_placement_coordinate_is_rejected() {
+        let nl = sample();
+        let err = read_placement(&nl, "place u1 NaN 2\n").unwrap_err();
+        assert!(err.message.contains("non-finite"));
     }
 }

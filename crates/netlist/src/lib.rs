@@ -37,6 +37,7 @@ mod builder;
 mod ids;
 mod model;
 mod placement;
+mod validate;
 
 pub mod format;
 pub mod metrics;
@@ -48,3 +49,4 @@ pub use builder::{BuildError, NetlistBuilder};
 pub use ids::{CellId, NetId, PinId};
 pub use model::{Cell, CellKind, Net, Netlist, Pin, PinDirection, Row};
 pub use placement::Placement;
+pub use validate::{ValidationError, ValidationIssue, MAX_NET_DEGREE};

@@ -1,0 +1,326 @@
+//! Boundary validation of a constructed [`Netlist`].
+//!
+//! [`NetlistBuilder`](crate::NetlistBuilder) rejects structurally broken
+//! input at construction time, but a [`Netlist`] can also arrive through
+//! cloning hooks such as [`Netlist::with_sizes`] or be fed numeric garbage
+//! (NaN pin offsets, fixed cells far outside the die) that the builder does
+//! not police. [`Netlist::validate`] is the single boundary check the CLI
+//! and the placer run before any numerics touch the data: it never panics
+//! and reports *all* problems it finds, not just the first.
+
+use crate::model::{CellKind, Netlist};
+use kraftwerk_geom::Point;
+use std::error::Error;
+use std::fmt;
+
+/// Hard cap on a single net's pin count.
+///
+/// The quadratic clique model creates `k-1` matrix entries per pin of a
+/// `k`-pin net; a pathological clique net (the classic "reset fanout"
+/// degenerate case) turns the sparse system dense and the run
+/// intractable. Nets above this degree are rejected at the boundary.
+pub const MAX_NET_DEGREE: usize = 65_536;
+
+/// One problem found by [`Netlist::validate`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ValidationIssue {
+    /// The core region has zero (or negative) width or height.
+    ZeroAreaCore {
+        /// Core width as given.
+        width: f64,
+        /// Core height as given.
+        height: f64,
+    },
+    /// A core coordinate is NaN or infinite.
+    NonFiniteCore,
+    /// A cell's width or height is NaN, infinite, or negative.
+    BadCellSize {
+        /// Offending cell name.
+        cell: String,
+        /// Cell width as given.
+        width: f64,
+        /// Cell height as given.
+        height: f64,
+    },
+    /// A fixed cell sits outside the core region (beyond one cell extent
+    /// of slack for boundary pads) or has a non-finite position.
+    FixedCellOutsideCore {
+        /// Offending cell name.
+        cell: String,
+        /// The fixed position as given.
+        position: Point,
+    },
+    /// A pin offset is NaN or infinite.
+    NonFinitePinOffset {
+        /// Cell the pin belongs to.
+        cell: String,
+        /// Net the pin belongs to.
+        net: String,
+    },
+    /// A net has no pins at all.
+    EmptyNet {
+        /// Offending net name.
+        net: String,
+    },
+    /// A net has a single pin and therefore no placement meaning.
+    DegenerateNet {
+        /// Offending net name.
+        net: String,
+    },
+    /// A net's pin count exceeds [`MAX_NET_DEGREE`].
+    NetDegreeOverflow {
+        /// Offending net name.
+        net: String,
+        /// The net's actual degree.
+        degree: usize,
+    },
+    /// A net weight is NaN, infinite, or negative.
+    BadNetWeight {
+        /// Offending net name.
+        net: String,
+        /// The weight as given.
+        weight: f64,
+    },
+}
+
+impl fmt::Display for ValidationIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationIssue::ZeroAreaCore { width, height } => {
+                write!(f, "core region has zero area ({width} x {height})")
+            }
+            ValidationIssue::NonFiniteCore => write!(f, "core region has non-finite coordinates"),
+            ValidationIssue::BadCellSize { cell, width, height } => {
+                write!(f, "cell `{cell}` has invalid size {width} x {height}")
+            }
+            ValidationIssue::FixedCellOutsideCore { cell, position } => {
+                write!(
+                    f,
+                    "fixed cell `{cell}` at ({}, {}) lies outside the core region",
+                    position.x, position.y
+                )
+            }
+            ValidationIssue::NonFinitePinOffset { cell, net } => {
+                write!(f, "non-finite pin offset on cell `{cell}` (net `{net}`)")
+            }
+            ValidationIssue::EmptyNet { net } => write!(f, "net `{net}` has no pins"),
+            ValidationIssue::DegenerateNet { net } => {
+                write!(f, "net `{net}` has a single pin")
+            }
+            ValidationIssue::NetDegreeOverflow { net, degree } => {
+                write!(
+                    f,
+                    "net `{net}` has {degree} pins (limit {MAX_NET_DEGREE})"
+                )
+            }
+            ValidationIssue::BadNetWeight { net, weight } => {
+                write!(f, "net `{net}` has invalid weight {weight}")
+            }
+        }
+    }
+}
+
+/// All problems found by one [`Netlist::validate`] pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationError {
+    /// Every issue found, in deterministic (cell/net id) order.
+    pub issues: Vec<ValidationIssue>,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const SHOWN: usize = 3;
+        write!(f, "netlist failed validation with {} issue(s): ", self.issues.len())?;
+        for (i, issue) in self.issues.iter().take(SHOWN).enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{issue}")?;
+        }
+        if self.issues.len() > SHOWN {
+            write!(f, "; and {} more", self.issues.len() - SHOWN)?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for ValidationError {}
+
+impl Netlist {
+    /// Checks the netlist for numeric and structural problems the builder
+    /// does not (or cannot) catch: a degenerate core region, non-finite
+    /// pin offsets, fixed cells outside the core, empty or single-pin
+    /// nets, and pathological clique nets above [`MAX_NET_DEGREE`].
+    ///
+    /// This is the boundary gate the CLI and `Placer::try_place` run
+    /// before any numerics touch the data. It never panics.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidationError`] listing every issue found.
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        let mut issues = Vec::new();
+        let core = self.core_region();
+        let core_finite = core.x_lo.is_finite()
+            && core.y_lo.is_finite()
+            && core.x_hi.is_finite()
+            && core.y_hi.is_finite();
+        if !core_finite {
+            issues.push(ValidationIssue::NonFiniteCore);
+        } else if core.width() <= 0.0 || core.height() <= 0.0 {
+            issues.push(ValidationIssue::ZeroAreaCore {
+                width: core.width(),
+                height: core.height(),
+            });
+        }
+        for (_, cell) in self.cells() {
+            let s = cell.size();
+            if !s.width.is_finite() || !s.height.is_finite() || s.width < 0.0 || s.height < 0.0 {
+                issues.push(ValidationIssue::BadCellSize {
+                    cell: cell.name().to_owned(),
+                    width: s.width,
+                    height: s.height,
+                });
+            }
+            if cell.kind() == CellKind::Fixed {
+                if let Some(p) = cell.fixed_position() {
+                    // Boundary pads legitimately overhang the core edge, so
+                    // allow one full cell extent of slack before flagging.
+                    let slack = s.width.max(s.height).max(0.0);
+                    let ok = p.x.is_finite()
+                        && p.y.is_finite()
+                        && core_finite
+                        && core.inflate(slack).contains(p);
+                    if !ok {
+                        issues.push(ValidationIssue::FixedCellOutsideCore {
+                            cell: cell.name().to_owned(),
+                            position: p,
+                        });
+                    }
+                }
+            }
+        }
+        for (_, net) in self.nets() {
+            match net.degree() {
+                0 => issues.push(ValidationIssue::EmptyNet { net: net.name().to_owned() }),
+                1 => issues.push(ValidationIssue::DegenerateNet { net: net.name().to_owned() }),
+                d if d > MAX_NET_DEGREE => issues.push(ValidationIssue::NetDegreeOverflow {
+                    net: net.name().to_owned(),
+                    degree: d,
+                }),
+                _ => {}
+            }
+            if !net.weight().is_finite() || net.weight() < 0.0 {
+                issues.push(ValidationIssue::BadNetWeight {
+                    net: net.name().to_owned(),
+                    weight: net.weight(),
+                });
+            }
+            for &pin_id in net.pins() {
+                let pin = self.pin(pin_id);
+                if !pin.offset().x.is_finite() || !pin.offset().y.is_finite() {
+                    issues.push(ValidationIssue::NonFinitePinOffset {
+                        cell: self.cell(pin.cell()).name().to_owned(),
+                        net: net.name().to_owned(),
+                    });
+                }
+            }
+        }
+        if issues.is_empty() {
+            Ok(())
+        } else {
+            Err(ValidationError { issues })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::model::PinDirection;
+    use crate::synth::{generate, SynthConfig};
+    use kraftwerk_geom::{Rect, Size, Vector};
+
+    fn base() -> NetlistBuilder {
+        let mut b = NetlistBuilder::new();
+        b.core_region(Rect::new(0.0, 0.0, 100.0, 100.0));
+        b
+    }
+
+    #[test]
+    fn clean_netlist_validates() {
+        let nl = generate(&SynthConfig::with_size("v", 50, 70, 4));
+        assert!(nl.validate().is_ok());
+    }
+
+    #[test]
+    fn nan_pin_offset_is_flagged() {
+        let mut b = base();
+        let a = b.add_cell("a", Size::new(4.0, 8.0));
+        let c = b.add_cell("c", Size::new(4.0, 8.0));
+        b.add_weighted_net(
+            "n",
+            1.0,
+            [
+                (a, Vector::new(f64::NAN, 0.0), PinDirection::Output),
+                (c, Vector::ZERO, PinDirection::Input),
+            ],
+        );
+        let err = b.build().unwrap().validate().unwrap_err();
+        assert!(err
+            .issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::NonFinitePinOffset { .. })));
+    }
+
+    #[test]
+    fn zero_area_core_is_flagged_after_resize() {
+        // The builder rejects a degenerate core, but `with_sizes` shows a
+        // netlist can mutate after construction; emulate a degenerate core
+        // by building with a thin sliver and checking the width==0 path via
+        // direct validation of a zero-height clone is unavailable, so use
+        // NaN sizes instead (also a post-build mutation).
+        let mut b = base();
+        let a = b.add_cell("a", Size::new(4.0, 8.0));
+        let c = b.add_cell("c", Size::new(4.0, 8.0));
+        b.add_net("n", [(a, PinDirection::Output), (c, PinDirection::Input)]);
+        let nl = b.build().unwrap();
+        let bad = nl.with_sizes(|_, _| Size::new(f64::NAN, 8.0));
+        let err = bad.validate().unwrap_err();
+        assert!(err.issues.iter().any(|i| matches!(i, ValidationIssue::BadCellSize { .. })));
+    }
+
+    #[test]
+    fn far_outside_fixed_cell_is_flagged_but_boundary_pad_is_not() {
+        let mut b = base();
+        let a = b.add_cell("a", Size::new(4.0, 8.0));
+        let pad = b.add_fixed_cell("pad", Size::new(2.0, 2.0), kraftwerk_geom::Point::new(0.0, 50.0));
+        let far = b.add_fixed_cell("far", Size::new(2.0, 2.0), kraftwerk_geom::Point::new(-500.0, 50.0));
+        b.add_net("n1", [(a, PinDirection::Output), (pad, PinDirection::Input)]);
+        b.add_net("n2", [(a, PinDirection::Output), (far, PinDirection::Input)]);
+        let err = b.build().unwrap().validate().unwrap_err();
+        let outside: Vec<_> = err
+            .issues
+            .iter()
+            .filter_map(|i| match i {
+                ValidationIssue::FixedCellOutsideCore { cell, .. } => Some(cell.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(outside, vec!["far"]);
+    }
+
+    #[test]
+    fn display_caps_issue_list() {
+        let err = ValidationError {
+            issues: (0..5)
+                .map(|i| ValidationIssue::EmptyNet { net: format!("n{i}") })
+                .collect(),
+        };
+        let text = err.to_string();
+        assert!(text.contains("5 issue(s)"));
+        assert!(text.contains("and 2 more"));
+    }
+}

@@ -3,6 +3,58 @@
 use crate::csr::CsrMatrix;
 use crate::precond::Preconditioner;
 use crate::vecops::{axpy, dot, norm2, xpby};
+use std::error::Error;
+use std::fmt;
+
+/// Why a linear solve could not be attempted (or trusted).
+///
+/// Produced by the checked entry point [`try_solve_with`]. The asserting
+/// wrappers ([`solve`], [`solve_with`]) keep panicking on the same
+/// conditions for callers that guarantee their invariants statically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SolverError {
+    /// A vector length does not match the matrix dimension.
+    DimensionMismatch {
+        /// Which input was mis-sized (`"rhs"` or `"x0"`).
+        what: &'static str,
+        /// The matrix dimension.
+        expected: usize,
+        /// The offending length.
+        got: usize,
+    },
+    /// An input vector contains NaN/infinite entries (or entries so large
+    /// their norm overflows), so no iterate can be trusted.
+    NonFinite {
+        /// Which input was non-finite (`"rhs"` or `"x0"`).
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::DimensionMismatch { what, expected, got } => {
+                write!(f, "{what} length {got} does not match matrix dimension {expected}")
+            }
+            SolverError::NonFinite { what } => {
+                write!(f, "{what} vector contains non-finite (or overflowing) entries")
+            }
+        }
+    }
+}
+
+impl Error for SolverError {}
+
+impl SolverError {
+    /// Whether a watchdog may recover from this error by rolling back and
+    /// retrying with damped forces (`true` for numerical contamination,
+    /// `false` for structural misuse like mismatched dimensions).
+    #[must_use]
+    pub fn is_recoverable(&self) -> bool {
+        matches!(self, SolverError::NonFinite { .. })
+    }
+}
 
 /// Convergence controls for [`solve`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -162,13 +214,65 @@ pub fn solve_with(
 ) -> CgStats {
     let n = a.dim();
     assert_eq!(b.len(), n, "rhs length mismatch");
+    if let Some(x0) = x0 {
+        assert_eq!(x0.len(), n, "x0 length mismatch");
+    }
+    cg_inner(a, b, x0, preconditioner, options, ws)
+}
+
+/// Checked variant of [`solve_with`]: validates vector lengths and
+/// rejects non-finite inputs instead of panicking or silently iterating
+/// on garbage. This is the entry point the panic-free placement pipeline
+/// uses; any `Err` leaves the workspace's previous solution untouched.
+///
+/// # Errors
+///
+/// Returns [`SolverError::DimensionMismatch`] when `b` or `x0` lengths
+/// differ from the matrix dimension, and [`SolverError::NonFinite`] when
+/// either vector contains NaN/infinite entries (detected via the vector
+/// norm, which also flags entries large enough to overflow it — such a
+/// system cannot be solved in `f64` either way).
+pub fn try_solve_with(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    preconditioner: &impl Preconditioner,
+    options: &CgOptions,
+    ws: &mut CgWorkspace,
+) -> Result<CgStats, SolverError> {
+    let n = a.dim();
+    if b.len() != n {
+        return Err(SolverError::DimensionMismatch { what: "rhs", expected: n, got: b.len() });
+    }
+    if !norm2(b).is_finite() {
+        return Err(SolverError::NonFinite { what: "rhs" });
+    }
+    if let Some(x0) = x0 {
+        if x0.len() != n {
+            return Err(SolverError::DimensionMismatch { what: "x0", expected: n, got: x0.len() });
+        }
+        if !norm2(x0).is_finite() {
+            return Err(SolverError::NonFinite { what: "x0" });
+        }
+    }
+    Ok(cg_inner(a, b, x0, preconditioner, options, ws))
+}
+
+/// The preconditioned CG iteration shared by [`solve_with`] and
+/// [`try_solve_with`]; inputs are assumed length-checked.
+fn cg_inner(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    preconditioner: &impl Preconditioner,
+    options: &CgOptions,
+    ws: &mut CgWorkspace,
+) -> CgStats {
+    let n = a.dim();
     ws.resize(n);
     let CgWorkspace { x, r, z, p, ap } = ws;
     match x0 {
-        Some(x0) => {
-            assert_eq!(x0.len(), n, "x0 length mismatch");
-            x.copy_from_slice(x0);
-        }
+        Some(x0) => x.copy_from_slice(x0),
         None => x.fill(0.0),
     }
 
@@ -384,6 +488,46 @@ mod tests {
         assert_eq!(ws.capacity(), cap);
         assert_eq!(again.residual_norm.to_bits(), stats.residual_norm.to_bits());
         assert_eq!(ws.solution(), reference.x.as_slice());
+    }
+
+    #[test]
+    fn try_solve_with_rejects_bad_inputs_without_panicking() {
+        let a = laplacian(8);
+        let mut ws = CgWorkspace::new();
+        let opts = CgOptions::default();
+        let short = vec![1.0; 4];
+        assert_eq!(
+            try_solve_with(&a, &short, None, &IdentityPreconditioner, &opts, &mut ws),
+            Err(SolverError::DimensionMismatch { what: "rhs", expected: 8, got: 4 })
+        );
+        let nan = vec![f64::NAN; 8];
+        let err =
+            try_solve_with(&a, &nan, None, &IdentityPreconditioner, &opts, &mut ws).unwrap_err();
+        assert_eq!(err, SolverError::NonFinite { what: "rhs" });
+        assert!(err.is_recoverable());
+        let b = vec![1.0; 8];
+        let bad_x0 = vec![f64::INFINITY; 8];
+        assert_eq!(
+            try_solve_with(&a, &b, Some(&bad_x0), &IdentityPreconditioner, &opts, &mut ws),
+            Err(SolverError::NonFinite { what: "x0" })
+        );
+        assert!(!SolverError::DimensionMismatch { what: "x0", expected: 8, got: 9 }
+            .is_recoverable());
+    }
+
+    #[test]
+    fn try_solve_with_matches_solve_with_on_valid_inputs() {
+        let n = 40;
+        let a = laplacian(n);
+        let b: Vec<f64> = (0..n).map(|i| ((i * 5) % 11) as f64 - 5.0).collect();
+        let mut ws_a = CgWorkspace::new();
+        let mut ws_b = CgWorkspace::new();
+        let opts = CgOptions::default();
+        let plain = solve_with(&a, &b, None, &IdentityPreconditioner, &opts, &mut ws_a);
+        let checked =
+            try_solve_with(&a, &b, None, &IdentityPreconditioner, &opts, &mut ws_b).unwrap();
+        assert_eq!(plain, checked);
+        assert_eq!(ws_a.solution(), ws_b.solution());
     }
 
     #[test]

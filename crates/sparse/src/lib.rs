@@ -39,6 +39,6 @@ mod csr;
 mod precond;
 pub mod vecops;
 
-pub use cg::{solve, solve_with, CgOptions, CgResult, CgStats, CgWorkspace};
+pub use cg::{solve, solve_with, try_solve_with, CgOptions, CgResult, CgStats, CgWorkspace, SolverError};
 pub use csr::{CooMatrix, CsrBuildScratch, CsrMatrix};
 pub use precond::{IdentityPreconditioner, JacobiPreconditioner, Preconditioner, SsorPreconditioner};

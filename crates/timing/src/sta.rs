@@ -26,6 +26,12 @@ impl fmt::Display for TimingError {
 
 impl Error for TimingError {}
 
+impl From<TimingError> for kraftwerk_core::KraftwerkError {
+    fn from(e: TimingError) -> Self {
+        kraftwerk_core::KraftwerkError::Timing(e.to_string())
+    }
+}
+
 /// Result of one analysis pass.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TimingReport {

@@ -62,7 +62,7 @@ mod span;
 pub use console::{Console, ProgressSink, Verbosity};
 pub use event::{TraceEvent, Value};
 pub use report::{
-    IterationRecord, PhaseStat, RunRecorder, RunReport, ITERATION_EVENT,
+    IterationRecord, PhaseStat, RunRecorder, RunReport, ITERATION_EVENT, WATCHDOG_EVENT,
 };
 pub use sink::{
     counter, emit, enabled, event, gauge, install, uninstall, CollectorSink, FanoutSink,

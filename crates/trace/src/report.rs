@@ -14,6 +14,11 @@ use std::time::Instant;
 /// to the record it produces.
 pub const ITERATION_EVENT: &str = "iteration";
 
+/// Name of the structured event the placement watchdog emits on every
+/// trip, rollback, and give-up. Counted under `events` in the run
+/// summary, so degraded runs are visible in `--report` output.
+pub const WATCHDOG_EVENT: &str = "watchdog";
+
 /// One per-transformation record: the fields of the `iteration` event plus
 /// the per-phase wall times observed since the previous record.
 #[derive(Debug, Clone, PartialEq)]

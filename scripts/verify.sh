@@ -13,6 +13,12 @@ cargo build --release
 # to pass pinned to one worker and at the machine's natural width.
 KRAFTWERK_THREADS=1 cargo test -q
 cargo test -q
+# The adversarial corpus and watchdog-recovery suite must stay green on
+# its own too — it is the contract behind the panic audit below.
+cargo test -q --test robustness
 cargo clippy --all-targets -- -D warnings
+# No new unwrap()/expect()/panic! in library crates (allowlisted
+# invariants only — see scripts/panic-allowlist.txt).
+bash scripts/panic_audit.sh
 
 echo "verify: OK"

@@ -25,6 +25,14 @@
 //! runtime (`0` or absent: the `KRAFTWERK_THREADS` environment variable,
 //! then the machine's parallelism). The placement is bitwise identical at
 //! every setting — see the README "Parallelism & determinism" section.
+//!
+//! Every failure prints a one-line `error:` diagnostic to stderr — never a
+//! panic backtrace — and exits with the stage's code from the
+//! `KraftwerkError` taxonomy: `2` usage, `3` I/O, `4` parse, `5`
+//! build/validation, `6` solver/divergence, `7` legalization, `8`
+//! floorplan, `9` timing (`1` is anything uncategorized). `place
+//! --force-scale <f>` multiplies the force scale (fault injection for the
+//! watchdog — see the README "Robustness & recovery" section).
 
 use kraftwerk::geom::svg::SvgCanvas;
 use kraftwerk::legalize::{check_legality, legalize, refine};
@@ -32,20 +40,65 @@ use kraftwerk::netlist::format::{read_netlist, read_placement, write_netlist, wr
 use kraftwerk::netlist::stats::NetlistStats;
 use kraftwerk::netlist::synth::{generate, SynthConfig};
 use kraftwerk::netlist::{metrics, CellKind, Netlist, Placement};
-use kraftwerk::placer::{GlobalPlacer, KraftwerkConfig};
+use kraftwerk::placer::{GlobalPlacer, KraftwerkConfig, KraftwerkError};
 use kraftwerk::timing::{meet_requirements, optimize_timing_legalized, DelayModel, Sta};
 use std::process::ExitCode;
 
+/// A rendered diagnostic plus the process exit code it maps to.
+struct CliError {
+    message: String,
+    code: u8,
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError { message, code: 1 }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        CliError {
+            message: message.to_string(),
+            code: 1,
+        }
+    }
+}
+
+impl From<KraftwerkError> for CliError {
+    fn from(e: KraftwerkError) -> Self {
+        CliError {
+            message: e.to_string(),
+            code: e.exit_code() as u8,
+        }
+    }
+}
+
+impl CliError {
+    /// Wraps a pipeline error with the file it came from.
+    fn at(path: &str, e: KraftwerkError) -> Self {
+        CliError {
+            message: format!("{path}: {e}"),
+            code: e.exit_code() as u8,
+        }
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  kraftwerk place     <netlist> [-o <placement>] [--fast] [--multilevel] [--svg <file>]\n                      [--threads <n>] [--trace <jsonl>] [--report <json>] [--profile]\n                      [-v|--verbose] [-q|--quiet]\n  kraftwerk timing    <netlist> [--requirement <ns>] [-v|--verbose] [-q|--quiet]\n  kraftwerk gen       <name> <cells> <nets> <rows> [-o <file>]\n  kraftwerk stats     <netlist>\n  kraftwerk check     <netlist> <placement>\n  kraftwerk route     <netlist> <placement>\n  kraftwerk bookshelf <netlist> [<placement>] [-o <dir>]"
+        "usage:\n  kraftwerk place     <netlist> [-o <placement>] [--fast] [--multilevel] [--svg <file>]\n                      [--threads <n>] [--trace <jsonl>] [--report <json>] [--profile]\n                      [--force-scale <f>] [-v|--verbose] [-q|--quiet]\n  kraftwerk timing    <netlist> [--requirement <ns>] [-v|--verbose] [-q|--quiet]\n  kraftwerk gen       <name> <cells> <nets> <rows> [-o <file>]\n  kraftwerk stats     <netlist>\n  kraftwerk check     <netlist> <placement>\n  kraftwerk route     <netlist> <placement>\n  kraftwerk bookshelf <netlist> [<placement>] [-o <dir>]"
     );
     ExitCode::from(2)
 }
 
-fn load(path: &str) -> Result<Netlist, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    read_netlist(&text).map_err(|e| format!("{path}: {e}"))
+fn load(path: &str) -> Result<Netlist, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        CliError::from(KraftwerkError::Io {
+            path: path.to_string(),
+            message: e.to_string(),
+        })
+    })?;
+    read_netlist(&text).map_err(|e| CliError::at(path, KraftwerkError::Parse(e)))
 }
 
 /// Looks up the value of `flag`. `Ok(None)` when the flag is absent; an
@@ -65,7 +118,23 @@ fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
 }
 
-fn snapshot(netlist: &Netlist, placement: &Placement, path: &str) -> Result<(), String> {
+/// Shorthand: any pipeline-stage error into its `CliError` with the
+/// taxonomy exit code.
+fn kerr(e: impl Into<KraftwerkError>) -> CliError {
+    CliError::from(e.into())
+}
+
+/// Writes `content` to `path`, mapping failure to the I/O exit code.
+fn write_file(path: &str, content: String) -> Result<(), CliError> {
+    std::fs::write(path, content).map_err(|e| {
+        kerr(KraftwerkError::Io {
+            path: path.to_string(),
+            message: e.to_string(),
+        })
+    })
+}
+
+fn snapshot(netlist: &Netlist, placement: &Placement, path: &str) -> Result<(), CliError> {
     let core = netlist.core_region();
     let mut svg = SvgCanvas::new(core.inflate(core.width() * 0.03), 900.0);
     for row in netlist.rows() {
@@ -79,10 +148,10 @@ fn snapshot(netlist: &Netlist, placement: &Placement, path: &str) -> Result<(), 
         };
         svg.rect(&placement.cell_rect(id, cell.size()), color, 0.6);
     }
-    std::fs::write(path, svg.finish()).map_err(|e| format!("{path}: {e}"))
+    write_file(path, svg.finish())
 }
 
-fn cmd_place(args: &[String]) -> Result<(), String> {
+fn cmd_place(args: &[String]) -> Result<(), CliError> {
     use kraftwerk::trace::{Console, FanoutSink, ProgressSink, RunRecorder, Value, Verbosity};
     use std::sync::Arc;
 
@@ -105,14 +174,30 @@ fn cmd_place(args: &[String]) -> Result<(), String> {
             .map_err(|_| format!("--threads: `{v}` is not a number"))?,
         None => 0,
     };
+    // Fault injection for the watchdog: multiply the force scale so the
+    // transformation loop diverges on purpose (README "Robustness &
+    // recovery").
+    let force_scale = match flag_value(args, "--force-scale")? {
+        Some(v) => {
+            let f: f64 = v
+                .parse()
+                .map_err(|_| format!("--force-scale: `{v}` is not a number"))?;
+            if !f.is_finite() || f <= 0.0 {
+                return Err(format!("--force-scale: `{v}` must be finite and positive").into());
+            }
+            f
+        }
+        None => 1.0,
+    };
     let netlist = load(input)?;
     let fast = has_flag(args, "--fast");
-    let config = if fast {
+    let mut config = if fast {
         KraftwerkConfig::fast()
     } else {
         KraftwerkConfig::standard()
     }
     .with_threads(threads);
+    config.force_scale_boost = force_scale;
 
     // Telemetry: a recorder feeds --trace/--report/--profile; verbose mode
     // additionally streams per-iteration progress to stderr.
@@ -137,32 +222,59 @@ fn cmd_place(args: &[String]) -> Result<(), String> {
     }
 
     let started = std::time::Instant::now();
-    let global = if has_flag(args, "--multilevel") {
-        kraftwerk::placer::place_multilevel(
-            &netlist,
-            config,
-            &kraftwerk::placer::ClusteringConfig::default(),
-            25,
-        )
+    let place_result = if has_flag(args, "--multilevel") {
+        // The multilevel driver shares the session watchdog; validate the
+        // netlist up front so bad input fails with the same taxonomy.
+        match netlist.validate() {
+            Ok(()) => Ok(kraftwerk::placer::place_multilevel(
+                &netlist,
+                config,
+                &kraftwerk::placer::ClusteringConfig::default(),
+                25,
+            )),
+            Err(e) => Err(KraftwerkError::from(e)),
+        }
     } else {
-        GlobalPlacer::new(config).place(&netlist)
+        GlobalPlacer::new(config).try_place(&netlist)
     };
+    let global = match place_result {
+        Ok(g) => g,
+        Err(e) => {
+            kraftwerk::trace::uninstall();
+            return Err(kerr(e));
+        }
+    };
+    if !global.health.is_clean() {
+        console.info(format!(
+            "watchdog: {} trips, {} recoveries{}{}",
+            global.health.trips,
+            global.health.recoveries,
+            if global.health.degraded { ", degraded (checkpointed best returned)" } else { "" },
+            if global.health.budget_exhausted { ", budget exhausted" } else { "" },
+        ));
+    }
     let mut legal_result = legalize(&netlist, &global.placement);
     if let Ok(legal) = &mut legal_result {
         refine(&netlist, legal, 2);
     }
     let elapsed = started.elapsed().as_secs_f64();
     kraftwerk::trace::uninstall();
-    let legal = legal_result.map_err(|e| e.to_string())?;
 
     if let Some(rec) = &recorder {
+        rec.set_meta("health.trips", Value::from(global.health.trips));
+        rec.set_meta("health.recoveries", Value::from(global.health.recoveries));
+        rec.set_meta("health.degraded", Value::from(global.health.degraded));
+        rec.set_meta(
+            "health.budget_exhausted",
+            Value::from(global.health.budget_exhausted),
+        );
         let run = rec.report();
         if let Some(path) = &trace_path {
-            std::fs::write(path, run.to_jsonl()).map_err(|e| format!("{path}: {e}"))?;
+            write_file(path, run.to_jsonl())?;
             console.info(format!("wrote {path}"));
         }
         if let Some(path) = &report_path {
-            std::fs::write(path, run.to_json()).map_err(|e| format!("{path}: {e}"))?;
+            write_file(path, run.to_json())?;
             console.info(format!("wrote {path}"));
         }
         if profile {
@@ -170,6 +282,7 @@ fn cmd_place(args: &[String]) -> Result<(), String> {
             println!("{}", run.profile_table());
         }
     }
+    let legal = legal_result.map_err(kerr)?;
 
     let report = check_legality(&netlist, &legal, 1e-6);
     console.info(format!(
@@ -182,7 +295,7 @@ fn cmd_place(args: &[String]) -> Result<(), String> {
         report.is_legal(),
     ));
     let out = out_path.unwrap_or_else(|| format!("{input}.pl"));
-    std::fs::write(&out, write_placement(&netlist, &legal)).map_err(|e| format!("{out}: {e}"))?;
+    write_file(&out, write_placement(&netlist, &legal))?;
     console.info(format!("wrote {out}"));
     if let Some(svg_path) = svg_path {
         snapshot(&netlist, &legal, &svg_path)?;
@@ -191,7 +304,7 @@ fn cmd_place(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_timing(args: &[String]) -> Result<(), String> {
+fn cmd_timing(args: &[String]) -> Result<(), CliError> {
     use kraftwerk::trace::Console;
 
     let console = Console::from_flags(
@@ -203,12 +316,12 @@ fn cmd_timing(args: &[String]) -> Result<(), String> {
     };
     let netlist = load(input)?;
     let model = DelayModel::default();
-    let sta = Sta::new(&netlist, model).map_err(|e| e.to_string())?;
+    let sta = Sta::new(&netlist, model).map_err(kerr)?;
     console.info(format!("zero-wire lower bound: {:.3} ns", sta.lower_bound()));
     if let Some(req) = flag_value(args, "--requirement")? {
         let requirement: f64 = req.parse().map_err(|_| format!("bad requirement `{req}`"))?;
         let result = meet_requirements(&netlist, model, KraftwerkConfig::standard(), requirement, 60)
-            .map_err(|e| e.to_string())?;
+            .map_err(kerr)?;
         console.info(format!(
             "requirement {requirement} ns: met = {} ({} trade-off points recorded)",
             result.met,
@@ -222,7 +335,7 @@ fn cmd_timing(args: &[String]) -> Result<(), String> {
         }
     } else {
         let result = optimize_timing_legalized(&netlist, model, KraftwerkConfig::standard(), 3)
-            .map_err(|e| e.to_string())?;
+            .map_err(kerr)?;
         console.info(format!(
             "timing-driven placement: longest path {:.3} ns, hpwl {:.0}",
             sta.analyze(&result.placement).max_delay,
@@ -232,7 +345,19 @@ fn cmd_timing(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_gen(args: &[String]) -> Result<(), String> {
+/// Reads and parses a placement file against `netlist` with taxonomy
+/// exit codes (I/O → 3, parse → 4).
+fn load_placement(netlist: &Netlist, path: &str) -> Result<Placement, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        kerr(KraftwerkError::Io {
+            path: path.to_string(),
+            message: e.to_string(),
+        })
+    })?;
+    read_placement(netlist, &text).map_err(|e| CliError::at(path, KraftwerkError::Parse(e)))
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), CliError> {
     if args.len() < 4 {
         return Err("gen: need <name> <cells> <nets> <rows>".into());
     }
@@ -245,12 +370,12 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     let rows = parse(&args[3], "row count")?;
     let netlist = generate(&SynthConfig::with_size(name.clone(), cells, nets, rows));
     let out = flag_value(args, "-o")?.unwrap_or_else(|| format!("{name}.kw"));
-    std::fs::write(&out, write_netlist(&netlist)).map_err(|e| format!("{out}: {e}"))?;
+    write_file(&out, write_netlist(&netlist))?;
     println!("wrote {out} ({} cells, {} nets, {} rows)", netlist.num_cells(), netlist.num_nets(), rows);
     Ok(())
 }
 
-fn cmd_stats(args: &[String]) -> Result<(), String> {
+fn cmd_stats(args: &[String]) -> Result<(), CliError> {
     let Some(input) = args.first() else {
         return Err("stats: missing netlist path".into());
     };
@@ -259,13 +384,12 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_check(args: &[String]) -> Result<(), String> {
+fn cmd_check(args: &[String]) -> Result<(), CliError> {
     let (Some(nl_path), Some(pl_path)) = (args.first(), args.get(1)) else {
-        return Err("check: need <netlist> <placement>".into());
+        return Err(String::from("check: need <netlist> <placement>").into());
     };
     let netlist = load(nl_path)?;
-    let text = std::fs::read_to_string(pl_path).map_err(|e| format!("{pl_path}: {e}"))?;
-    let placement = read_placement(&netlist, &text).map_err(|e| format!("{pl_path}: {e}"))?;
+    let placement = load_placement(&netlist, pl_path)?;
     let report = check_legality(&netlist, &placement, 1e-6);
     println!(
         "hpwl {:.0}, legal: {} ({} overlapping pairs, {} off-row, {} out of core)",
@@ -278,18 +402,19 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
     if report.is_legal() {
         Ok(())
     } else {
-        Err("placement is not legal".into())
+        Err(kerr(KraftwerkError::Legalize(
+            "placement is not legal".to_string(),
+        )))
     }
 }
 
-fn cmd_route(args: &[String]) -> Result<(), String> {
+fn cmd_route(args: &[String]) -> Result<(), CliError> {
     use kraftwerk::congestion::router::{route, RouterConfig};
     let (Some(nl_path), Some(pl_path)) = (args.first(), args.get(1)) else {
-        return Err("route: need <netlist> <placement>".into());
+        return Err(String::from("route: need <netlist> <placement>").into());
     };
     let netlist = load(nl_path)?;
-    let text = std::fs::read_to_string(pl_path).map_err(|e| format!("{pl_path}: {e}"))?;
-    let placement = read_placement(&netlist, &text).map_err(|e| format!("{pl_path}: {e}"))?;
+    let placement = load_placement(&netlist, pl_path)?;
     let nx = 32;
     let ny = ((netlist.core_region().height() / netlist.core_region().width() * nx as f64)
         .round() as usize)
@@ -302,24 +427,21 @@ fn cmd_route(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_bookshelf(args: &[String]) -> Result<(), String> {
+fn cmd_bookshelf(args: &[String]) -> Result<(), CliError> {
     use kraftwerk::netlist::format::bookshelf;
     let Some(nl_path) = args.first() else {
-        return Err("bookshelf: missing netlist path".into());
+        return Err(String::from("bookshelf: missing netlist path").into());
     };
     let netlist = load(nl_path)?;
     let placement = match args.get(1).filter(|a| !a.starts_with('-')) {
-        Some(pl_path) => {
-            let text = std::fs::read_to_string(pl_path).map_err(|e| format!("{pl_path}: {e}"))?;
-            Some(read_placement(&netlist, &text).map_err(|e| format!("{pl_path}: {e}"))?)
-        }
+        Some(pl_path) => Some(load_placement(&netlist, pl_path)?),
         None => None,
     };
     let dir = flag_value(args, "-o")?.unwrap_or_else(|| format!("{}_bookshelf", netlist.name()));
     std::fs::create_dir_all(&dir).map_err(|e| format!("{dir}: {e}"))?;
     for (ext, content) in bookshelf::write(&netlist, placement.as_ref()) {
         let path = format!("{dir}/{}.{ext}", netlist.name());
-        std::fs::write(&path, content).map_err(|e| format!("{path}: {e}"))?;
+        write_file(&path, content)?;
         println!("wrote {path}");
     }
     Ok(())
@@ -343,9 +465,9 @@ fn main() -> ExitCode {
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
+        Err(CliError { message, code }) => {
             eprintln!("error: {message}");
-            ExitCode::FAILURE
+            ExitCode::from(code.max(1))
         }
     }
 }

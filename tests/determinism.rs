@@ -41,6 +41,34 @@ fn placement_is_bitwise_identical_at_every_thread_count() {
     assert_eq!(p1, p8, "1 vs 8 threads: placements differ");
 }
 
+fn run_degraded_with_threads(nl: &Netlist, threads: usize) -> (Placement, Vec<IterationStats>) {
+    kraftwerk::par::set_threads(threads);
+    let mut config = KraftwerkConfig::standard();
+    // Persistent fault injection: every transformation diverges, the
+    // watchdog trips, rolls back, and finally returns the checkpointed
+    // best (see tests/robustness.rs). The whole trip/rollback/give-up
+    // sequence must be as deterministic as the healthy path.
+    config.force_scale_boost = 40.0;
+    let result = kraftwerk::placer::GlobalPlacer::new(config)
+        .try_place(nl)
+        .expect("degraded run returns the checkpoint");
+    assert!(result.health.recoveries >= 1, "fault injection must trip");
+    (result.placement, result.stats)
+}
+
+#[test]
+fn watchdog_tripping_run_is_bitwise_identical_at_every_thread_count() {
+    let nl = matrix_netlist();
+    let (p1, s1) = run_degraded_with_threads(&nl, 1);
+    let (p2, s2) = run_degraded_with_threads(&nl, 2);
+    let (p8, s8) = run_degraded_with_threads(&nl, 8);
+    kraftwerk::par::set_threads(0);
+    assert_eq!(s1, s2, "1 vs 2 threads: degraded-run stats differ");
+    assert_eq!(s1, s8, "1 vs 8 threads: degraded-run stats differ");
+    assert_eq!(p1, p2, "1 vs 2 threads: degraded placements differ");
+    assert_eq!(p1, p8, "1 vs 8 threads: degraded placements differ");
+}
+
 #[test]
 fn legalization_is_bitwise_identical_at_every_thread_count() {
     let nl = matrix_netlist();

@@ -1,0 +1,243 @@
+//! Adversarial-input and watchdog-recovery tests.
+//!
+//! The library must be panic-free on any input: hostile netlists are
+//! rejected at the validation boundary with a typed [`KraftwerkError`],
+//! and numerically diverging runs are caught by the session watchdog,
+//! rolled back to the best-so-far checkpoint, and either recovered or
+//! returned degraded — never a crash, never a garbage placement.
+
+use kraftwerk::netlist::synth::{generate, SynthConfig};
+use kraftwerk::netlist::{
+    metrics, Netlist, NetlistBuilder, PinDirection, ValidationIssue, MAX_NET_DEGREE,
+};
+use kraftwerk::placer::{
+    GlobalPlacer, KraftwerkConfig, KraftwerkError, PlacementSession, WatchdogConfig,
+};
+use kraftwerk_geom::{Point, Rect, Size, Vector};
+
+fn placer() -> GlobalPlacer {
+    GlobalPlacer::new(KraftwerkConfig::standard())
+}
+
+/// Every coordinate of every movable cell is finite and inside the
+/// (slightly inflated) core.
+fn assert_placement_sane(nl: &Netlist, result: &kraftwerk::placer::PlaceResult) {
+    let core = nl.core_region().inflate(1.0);
+    for (id, cell) in nl.movable_cells() {
+        let p = result.placement.position(id);
+        assert!(
+            p.x.is_finite() && p.y.is_finite(),
+            "cell `{}` has non-finite position",
+            cell.name()
+        );
+        assert!(
+            core.contains(p),
+            "cell `{}` at ({}, {}) escaped the core",
+            cell.name(),
+            p.x,
+            p.y
+        );
+    }
+}
+
+#[test]
+fn single_cell_netlist_places_cleanly() {
+    let mut b = NetlistBuilder::new();
+    b.core_region(Rect::new(0.0, 0.0, 100.0, 100.0));
+    b.add_cell("only", Size::new(4.0, 8.0));
+    let nl = b.build().expect("single-cell netlist builds");
+    let result = placer().try_place(&nl).expect("single cell places");
+    assert!(result.health.is_clean());
+    assert_placement_sane(&nl, &result);
+}
+
+#[test]
+fn all_fixed_netlist_returns_converged() {
+    let mut b = NetlistBuilder::new();
+    b.core_region(Rect::new(0.0, 0.0, 100.0, 100.0));
+    let a = b.add_fixed_cell("a", Size::new(4.0, 8.0), Point::new(10.0, 10.0));
+    let c = b.add_fixed_cell("c", Size::new(4.0, 8.0), Point::new(90.0, 90.0));
+    b.add_net("n", [(a, PinDirection::Output), (c, PinDirection::Input)]);
+    let nl = b.build().expect("all-fixed netlist builds");
+    let result = placer().try_place(&nl).expect("nothing to move");
+    assert!(result.converged);
+    assert!(result.health.is_clean());
+    assert_eq!(result.stats.len(), 0);
+}
+
+#[test]
+fn zero_area_core_is_rejected_without_panic() {
+    let mut b = NetlistBuilder::new();
+    b.core_region(Rect::new(50.0, 20.0, 50.0, 80.0)); // zero width
+    let a = b.add_cell("a", Size::new(4.0, 8.0));
+    let c = b.add_cell("c", Size::new(4.0, 8.0));
+    b.add_net("n", [(a, PinDirection::Output), (c, PinDirection::Input)]);
+    let nl = b.build().expect("builder does not police core area");
+    let err = placer().try_place(&nl).expect_err("validation must reject");
+    let KraftwerkError::Validation(v) = &err else {
+        panic!("expected Validation, got {err:?}");
+    };
+    assert!(v
+        .issues
+        .iter()
+        .any(|i| matches!(i, ValidationIssue::ZeroAreaCore { .. })));
+    assert_eq!(err.exit_code(), 5);
+}
+
+#[test]
+fn nan_pin_offset_is_rejected_without_panic() {
+    let mut b = NetlistBuilder::new();
+    b.core_region(Rect::new(0.0, 0.0, 100.0, 100.0));
+    let a = b.add_cell("a", Size::new(4.0, 8.0));
+    let c = b.add_cell("c", Size::new(4.0, 8.0));
+    b.add_weighted_net(
+        "poison",
+        1.0,
+        [
+            (a, Vector::new(f64::NAN, 0.0), PinDirection::Output),
+            (c, Vector::ZERO, PinDirection::Input),
+        ],
+    );
+    let nl = b.build().expect("builder does not police pin offsets");
+    let err = placer().try_place(&nl).expect_err("validation must reject");
+    assert_eq!(err.stage(), "validation");
+    assert!(err.to_string().contains("non-finite pin offset"));
+}
+
+#[test]
+fn clique_net_above_degree_cap_is_rejected() {
+    let mut b = NetlistBuilder::new();
+    b.core_region(Rect::new(0.0, 0.0, 100.0, 100.0));
+    let a = b.add_cell("a", Size::new(4.0, 8.0));
+    let c = b.add_cell("c", Size::new(4.0, 8.0));
+    let net = b.add_net("reset", [(a, PinDirection::Output), (c, PinDirection::Input)]);
+    for _ in 0..MAX_NET_DEGREE {
+        b.add_pin_to_net(net, a, PinDirection::Input);
+    }
+    let nl = b.build().expect("builder does not cap net degree");
+    let err = placer().try_place(&nl).expect_err("validation must reject");
+    let KraftwerkError::Validation(v) = &err else {
+        panic!("expected Validation, got {err:?}");
+    };
+    assert!(v
+        .issues
+        .iter()
+        .any(|i| matches!(i, ValidationIssue::NetDegreeOverflow { .. })));
+}
+
+#[test]
+fn ten_thousand_pin_net_places_without_panic() {
+    // Below the degree cap a pathological high-fanout net must still go
+    // through (the hybrid net model decomposes it as a star).
+    let mut b = NetlistBuilder::new();
+    b.core_region(Rect::new(0.0, 0.0, 400.0, 400.0));
+    let cells: Vec<_> = (0..200)
+        .map(|i| b.add_cell(format!("c{i}"), Size::new(4.0, 8.0)))
+        .collect();
+    let net = b.add_net(
+        "fanout",
+        [
+            (cells[0], PinDirection::Output),
+            (cells[1], PinDirection::Input),
+        ],
+    );
+    for i in 0..10_000 {
+        b.add_pin_to_net(net, cells[i % 200], PinDirection::Input);
+    }
+    let nl = b.build().expect("high-fanout netlist builds");
+    let result = placer().try_place(&nl).expect("fanout net places");
+    assert_placement_sane(&nl, &result);
+}
+
+#[test]
+fn watchdog_trip_rolls_back_to_best_so_far() {
+    let nl = generate(&SynthConfig::with_size("wd-trip", 150, 200, 6));
+    // Exhaust the recovery budget so the trip is fatal: the session must
+    // end up sitting on its checkpoint, not on the diverged placement.
+    let mut fatal = KraftwerkConfig::standard();
+    fatal.watchdog = WatchdogConfig {
+        max_recoveries: 0,
+        ..fatal.watchdog
+    };
+    let mut session = PlacementSession::new(&nl, fatal);
+    // Record every healthy state: the checkpoint is the density-best of
+    // these, so the rollback must land bitwise on one of them.
+    let mut seen = Vec::new();
+    for _ in 0..3 {
+        session.try_transform().expect("healthy transformations");
+        seen.push((session.iteration(), session.placement().clone()));
+    }
+    assert!(session.health().is_clean(), "healthy run must not trip");
+    session.inject_force_scale_boost(500.0);
+    let err = session.try_transform().expect_err("boosted step must trip");
+    assert!(matches!(err, KraftwerkError::Diverged { .. }));
+    assert_eq!(err.exit_code(), 6);
+    let health = session.health();
+    assert!(health.trips >= 1);
+    assert_eq!(health.recoveries, 0);
+    let restored = seen
+        .iter()
+        .find(|(it, _)| *it == session.iteration())
+        .expect("rollback must rewind to a previously accepted iteration");
+    assert_eq!(
+        &restored.1,
+        session.placement(),
+        "rollback must restore the checkpointed placement bitwise"
+    );
+    let rolled_hpwl = metrics::hpwl(&nl, session.placement());
+    assert!(rolled_hpwl.is_finite());
+}
+
+#[test]
+fn watchdog_recovers_from_one_shot_divergence() {
+    let nl = generate(&SynthConfig::with_size("wd-recover", 150, 200, 6));
+    let mut session = PlacementSession::new(&nl, KraftwerkConfig::standard());
+    for _ in 0..2 {
+        session.try_transform().expect("healthy transformations");
+    }
+    // One-shot fault: the injected boost is consumed by the diverging
+    // attempt, so the rollback retry runs unperturbed and succeeds.
+    session.inject_force_scale_boost(500.0);
+    let stats = session.try_transform().expect("retry after rollback");
+    assert!(stats.hpwl.is_finite());
+    let health = session.health();
+    assert!(health.trips >= 1, "the boosted attempt must trip");
+    assert!(health.recoveries >= 1, "the retry must be a recovery");
+    assert!(!health.degraded);
+}
+
+#[test]
+fn forced_divergence_run_returns_checkpointed_best() {
+    // Persistent fault injection: every retry diverges again, the budget
+    // runs out, and the run must still return the checkpointed best.
+    let nl = generate(&SynthConfig::with_size("wd-degraded", 150, 200, 6));
+    let mut config = KraftwerkConfig::standard();
+    config.force_scale_boost = 40.0;
+    let result = GlobalPlacer::new(config)
+        .try_place(&nl)
+        .expect("degraded run still returns the checkpoint");
+    assert!(result.health.recoveries >= 1);
+    assert!(result.health.degraded);
+    assert!(result.health.trips > result.health.recoveries);
+    assert_placement_sane(&nl, &result);
+}
+
+#[test]
+fn try_place_matches_place_on_healthy_input() {
+    let nl = generate(&SynthConfig::with_size("wd-equiv", 120, 150, 6));
+    let infallible = placer().place(&nl);
+    let fallible = placer().try_place(&nl).expect("healthy input");
+    assert_eq!(infallible.placement, fallible.placement, "bitwise identical");
+    assert_eq!(infallible.stats, fallible.stats);
+    assert!(fallible.health.is_clean());
+}
+
+#[test]
+fn disabled_watchdog_still_returns_finite_placements() {
+    let nl = generate(&SynthConfig::with_size("wd-off", 100, 130, 6));
+    let mut config = KraftwerkConfig::standard();
+    config.watchdog.enabled = false;
+    let result = GlobalPlacer::new(config).try_place(&nl).expect("healthy");
+    assert!(result.health.is_clean());
+    assert_placement_sane(&nl, &result);
+}
