@@ -26,6 +26,8 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
+pub mod compare;
+
 /// The shared reporter for harness binaries: built from the conventional
 /// CLI flags (`--quiet`/`-q`, `--verbose`/`-v`) of the current process.
 #[must_use]
@@ -165,7 +167,18 @@ pub fn run_kraftwerk_recorded(netlist: &Netlist, config: KraftwerkConfig, mode: 
     (result, run)
 }
 
-/// Serializes `--json` runs into the `BENCH_place.json` schema.
+/// Rounds wall-clock seconds to microsecond precision for the JSON
+/// schema: timer noise below a microsecond is meaningless, and a fixed
+/// precision keeps committed baselines diffable.
+#[must_use]
+pub fn round_seconds(seconds: f64) -> f64 {
+    (seconds * 1e6).round() / 1e6
+}
+
+/// Serializes `--json` runs into the `BENCH_place.json` schema. The
+/// `phases` keys are sorted by name and every wall-clock figure is
+/// rounded with [`round_seconds`], so the output is deterministic up to
+/// actual timing differences.
 #[must_use]
 pub fn bench_json(runs: &[JsonRun]) -> String {
     let mut out = String::from("{\"bench\":\"place\",\"host_cpus\":");
@@ -182,15 +195,17 @@ pub fn bench_json(runs: &[JsonRun]) -> String {
         o.u64_field("nets", run.nets as u64);
         o.str_field("mode", &run.mode);
         o.u64_field("threads", run.threads as u64);
-        o.f64_field("wall_s", run.wall_s);
+        o.f64_field("wall_s", round_seconds(run.wall_s));
         o.f64_field("hpwl_m", run.hpwl_m);
         o.u64_field("iterations", run.iterations as u64);
         o.bool_field("legal", run.legal);
+        let mut stats: Vec<&kraftwerk_trace::PhaseStat> = run.phases.iter().collect();
+        stats.sort_by(|a, b| a.name.cmp(&b.name));
         let mut phases = JsonObject::new();
-        for stat in &run.phases {
+        for stat in stats {
             let mut p = JsonObject::new();
             p.u64_field("calls", stat.calls);
-            p.f64_field("wall_s", stat.seconds);
+            p.f64_field("wall_s", round_seconds(stat.seconds));
             phases.raw_field(&stat.name, &p.finish());
         }
         o.raw_field("phases", &phases.finish());

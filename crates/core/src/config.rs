@@ -171,6 +171,12 @@ pub struct KraftwerkConfig {
     /// exercise the watchdog's divergence detection and recovery from
     /// tests and the CLI (`--force-scale`); never set it in production.
     pub force_scale_boost: f64,
+    /// Capture downsampled density/potential-field and cell-position
+    /// snapshots into the trace stream every this many transformations
+    /// (plus the first one). `0` (the default) disables snapshots; any
+    /// value only takes effect while a trace sink is installed, so the
+    /// untraced hot path is unaffected either way.
+    pub snapshot_every: usize,
 }
 
 impl KraftwerkConfig {
@@ -198,6 +204,7 @@ impl KraftwerkConfig {
             precond: PrecondKind::Jacobi,
             watchdog: WatchdogConfig::default(),
             force_scale_boost: 1.0,
+            snapshot_every: 0,
         }
     }
 
@@ -250,6 +257,14 @@ impl KraftwerkConfig {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Overrides the snapshot cadence (builder style); `0` disables
+    /// mid-run field snapshots.
+    #[must_use]
+    pub fn with_snapshot_every(mut self, snapshot_every: usize) -> Self {
+        self.snapshot_every = snapshot_every;
         self
     }
 

@@ -185,6 +185,7 @@ impl QuadraticSystem {
     ///
     /// Panics if `extra_weights` is provided with a length other than the
     /// net count.
+    #[allow(clippy::too_many_arguments)] // mirrors `assemble` plus the two reuse buffers
     pub fn assemble_into(
         &self,
         netlist: &Netlist,

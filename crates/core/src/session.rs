@@ -11,6 +11,7 @@ use kraftwerk_field::{
 };
 use kraftwerk_netlist::{metrics, Netlist, Placement};
 use kraftwerk_sparse::{try_solve_with, SolverError};
+use kraftwerk_trace::Histogram;
 
 /// Per-transformation progress record.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,6 +106,57 @@ pub struct PlacementSession<'a> {
     last_empty_square: Vec<f64>,
     arena: ScratchArena,
     wd: WatchdogState,
+    hists: SessionHistograms,
+}
+
+/// Per-session histogram accumulators, flushed into the trace stream at
+/// the end of every traced transformation. Inert (a relaxed load per
+/// sample) while no trace sink is installed.
+#[derive(Debug)]
+struct SessionHistograms {
+    /// CG iterations per transformation (x + y solves combined).
+    cg_iterations: Histogram,
+    /// Per-cell realized displacement, per transformation.
+    displacement: Histogram,
+    /// Overfull (positive) density-bin deviations, per transformation.
+    density_overflow: Histogram,
+}
+
+impl Default for SessionHistograms {
+    fn default() -> Self {
+        Self {
+            cg_iterations: Histogram::new("place.cg_iterations"),
+            displacement: Histogram::new("place.displacement"),
+            density_overflow: Histogram::new("place.density_overflow"),
+        }
+    }
+}
+
+impl SessionHistograms {
+    fn flush(&self) {
+        self.cg_iterations.flush();
+        self.displacement.flush();
+        self.density_overflow.flush();
+    }
+}
+
+/// Largest snapshot grid side: density/potential captures downsample to
+/// at most this many bins per axis before hitting the trace stream.
+const SNAPSHOT_MAX_SIDE: usize = 32;
+
+/// Largest number of cell positions captured per `cells` snapshot.
+const SNAPSHOT_MAX_CELLS: usize = 512;
+
+/// Downsamples `map` and emits it as one grid snapshot record.
+fn emit_grid_snapshot(kind: &'static str, iteration: usize, map: &ScalarMap) {
+    let small = map.downsampled(SNAPSHOT_MAX_SIDE, SNAPSHOT_MAX_SIDE);
+    kraftwerk_trace::snapshot(
+        kind,
+        iteration as u64,
+        small.nx(),
+        small.ny(),
+        small.values().to_vec(),
+    );
 }
 
 /// A best-so-far snapshot the watchdog can roll the session back to.
@@ -175,6 +227,7 @@ impl<'a> PlacementSession<'a> {
             last_empty_square: Vec::new(),
             arena: ScratchArena::default(),
             wd: WatchdogState::default(),
+            hists: SessionHistograms::default(),
         }
     }
 
@@ -320,6 +373,10 @@ impl<'a> PlacementSession<'a> {
         let iter_started = tracing.then(std::time::Instant::now);
         let boost = self.wd.boost_once.take().unwrap_or(self.config.force_scale_boost);
         self.iteration += 1;
+        // Snapshot cadence: first transformation plus every Nth after it.
+        let snap_due = tracing
+            && self.config.snapshot_every > 0
+            && (self.iteration == 1 || self.iteration.is_multiple_of(self.config.snapshot_every));
         let core = self.netlist.core_region();
         let (nx, ny) = self.grid_dims();
         let lin_eps = self.linearization_eps();
@@ -362,6 +419,23 @@ impl<'a> PlacementSession<'a> {
             density.balance();
         }
         let peak_density = density.max();
+        if tracing {
+            // Positive deviations are the overfull bins the field will
+            // push against; the distribution shows how concentrated the
+            // remaining overlap is.
+            for &d in density.values() {
+                if d > 0.0 {
+                    self.hists.density_overflow.record(d);
+                }
+            }
+            if snap_due {
+                emit_grid_snapshot(
+                    kraftwerk_trace::SNAPSHOT_DENSITY,
+                    self.iteration,
+                    density,
+                );
+            }
+        }
         density_timer.finish();
 
         // 2. Force field (eq. 9 / Poisson solve).
@@ -377,6 +451,15 @@ impl<'a> PlacementSession<'a> {
                 };
                 let out = field_slot.get_or_insert_with(|| ForceField::zeros(core, nx, ny));
                 solver.solve_reusing(density, mg, out);
+                if snap_due {
+                    if let Some(phi) = solver.potential_map(density, mg) {
+                        emit_grid_snapshot(
+                            kraftwerk_trace::SNAPSHOT_POTENTIAL,
+                            self.iteration,
+                            &phi,
+                        );
+                    }
+                }
                 out
             }
             FieldSolverKind::Direct => {
@@ -596,12 +679,19 @@ impl<'a> PlacementSession<'a> {
             for i in 0..n {
                 let dx = xs1[i] - xs0[i];
                 let dy = ys1[i] - ys0[i];
-                max_displacement = max_displacement.max((dx * dx + dy * dy).sqrt());
+                let move_len = (dx * dx + dy * dy).sqrt();
+                if tracing {
+                    self.hists.displacement.record(move_len);
+                }
+                max_displacement = max_displacement.max(move_len);
             }
         }
         self.system
             .write_back(&mut self.placement, cg_x.solution(), cg_y.solution());
         self.clamp_into_core();
+        if snap_due {
+            self.emit_cells_snapshot();
+        }
 
         // 7. Progress metrics.
         let metrics_timer = kraftwerk_trace::span("place.metrics");
@@ -644,8 +734,36 @@ impl<'a> PlacementSession<'a> {
                     ("wall_s", kraftwerk_trace::Value::from(wall_s)),
                 ],
             );
+            self.hists.cg_iterations.record(cg_iters as f64);
+            self.hists.flush();
         }
         Ok(stats)
+    }
+
+    /// Emits a `cells` snapshot: up to [`SNAPSHOT_MAX_CELLS`] movable-cell
+    /// positions, stride-sampled deterministically, stored interleaved as
+    /// `x0, y0, x1, y1, ...` with `nx = count` and `ny = 2`.
+    fn emit_cells_snapshot(&self) {
+        let n = self.system.num_movable();
+        if n == 0 {
+            return;
+        }
+        let stride = n.div_ceil(SNAPSHOT_MAX_CELLS).max(1);
+        let mut values = Vec::with_capacity(2 * n.div_ceil(stride));
+        for i in (0..n).step_by(stride) {
+            let cell = self.system.cell_of(i);
+            let p = self.placement.position(cell);
+            values.push(p.x);
+            values.push(p.y);
+        }
+        let count = values.len() / 2;
+        kraftwerk_trace::snapshot(
+            kraftwerk_trace::SNAPSHOT_CELLS,
+            self.iteration as u64,
+            count,
+            2,
+            values,
+        );
     }
 
     /// Executes one transformation under the watchdog: runs the numerics,

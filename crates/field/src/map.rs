@@ -238,6 +238,37 @@ impl ScalarMap {
             + v11 * tx * ty
     }
 
+    /// Mean-preserving downsample onto a grid no larger than
+    /// `max_nx × max_ny` bins over the same region: every source bin is
+    /// averaged into the coarse bin its index maps to. Returns a clone
+    /// when the map already fits. Snapshot export uses this so mid-run
+    /// density/potential captures stay small regardless of the
+    /// placement grid resolution.
+    #[must_use]
+    pub fn downsampled(&self, max_nx: usize, max_ny: usize) -> ScalarMap {
+        let tnx = self.nx.min(max_nx.max(1));
+        let tny = self.ny.min(max_ny.max(1));
+        if tnx == self.nx && tny == self.ny {
+            return self.clone();
+        }
+        let mut out = ScalarMap::zeros(self.region, tnx, tny);
+        let mut counts = vec![0u32; tnx * tny];
+        for iy in 0..self.ny {
+            let ty = iy * tny / self.ny;
+            for ix in 0..self.nx {
+                let tx = ix * tnx / self.nx;
+                out.values[ty * tnx + tx] += self.values[iy * self.nx + ix];
+                counts[ty * tnx + tx] += 1;
+            }
+        }
+        for (v, c) in out.values.iter_mut().zip(&counts) {
+            if *c > 0 {
+                *v /= f64::from(*c);
+            }
+        }
+        out
+    }
+
     /// Deposits `area` units distributed over `rect ∩ region` with exact
     /// per-bin rectangle overlap, normalized by bin area (so the deposit
     /// reads as coverage density). No-op when the clamped rectangle is
@@ -577,6 +608,26 @@ mod tests {
         // at/beyond the borders: clamped
         assert_eq!(g.sample(Point::new(-1.0, 0.5)), 0.0);
         assert_eq!(g.sample(Point::new(3.0, 0.5)), 10.0);
+    }
+
+    #[test]
+    fn downsampled_preserves_the_mean_and_fits_the_cap() {
+        let mut g = ScalarMap::zeros(Rect::new(0.0, 0.0, 8.0, 6.0), 8, 6);
+        for iy in 0..6 {
+            for ix in 0..8 {
+                g.set(ix, iy, (iy * 8 + ix) as f64);
+            }
+        }
+        let small = g.downsampled(4, 3);
+        assert_eq!((small.nx(), small.ny()), (4, 3));
+        assert_eq!(small.region(), g.region());
+        assert!((small.mean() - g.mean()).abs() < 1e-12, "mean preserved");
+        // The first coarse bin averages the 2x2 source block {0,1,8,9}.
+        assert!((small.get(0, 0) - 4.5).abs() < 1e-12);
+        // Already small enough: unchanged clone.
+        assert_eq!(g.downsampled(100, 100), g);
+        // Degenerate caps clamp to one bin instead of panicking.
+        assert_eq!(g.downsampled(0, 0).values().len(), 1);
     }
 
     #[test]

@@ -375,6 +375,49 @@ impl MultigridSolver {
             }
         }
     }
+
+    /// Samples the Poisson potential φ left in `ws` by the most recent
+    /// [`solve_reusing`](Self::solve_reusing) call onto the bin centers
+    /// of `density` — which must be the same density grid (and the same
+    /// solver settings) that solve was given, since the vertex-grid
+    /// geometry is reconstructed from it. Returns `None` when the
+    /// workspace has not been used yet. This is the export behind the
+    /// `potential` field snapshots.
+    #[must_use]
+    pub fn potential_map(&self, density: &ScalarMap, ws: &MultigridWorkspace) -> Option<ScalarMap> {
+        let len = ws.phi.len();
+        if len == 0 {
+            return None;
+        }
+        let m = (len as f64).sqrt().round() as usize;
+        if m < 2 || m * m != len {
+            return None;
+        }
+        let region = density.region();
+        let extent = region.width().max(region.height());
+        let pad = self.padding * extent;
+        let side = extent + 2.0 * pad;
+        let domain = Rect::from_center(region.center(), kraftwerk_geom::Size::new(side, side));
+        let h = side / (m - 1) as f64;
+        let mut out = ScalarMap::zeros(region, density.nx(), density.ny());
+        for iy in 0..density.ny() {
+            for ix in 0..density.nx() {
+                let c = density.bin_center(ix, iy);
+                let fx = (c.x - domain.x_lo) / h;
+                let fy = (c.y - domain.y_lo) / h;
+                let i0 = (fx.floor() as usize).clamp(0, m - 2);
+                let j0 = (fy.floor() as usize).clamp(0, m - 2);
+                let tx = (fx - i0 as f64).clamp(0.0, 1.0);
+                let ty = (fy - j0 as f64).clamp(0.0, 1.0);
+                let v = ws.phi[idx(m, i0, j0)] * (1.0 - tx) * (1.0 - ty)
+                    + ws.phi[idx(m, i0 + 1, j0)] * tx * (1.0 - ty)
+                    + ws.phi[idx(m, i0, j0 + 1)] * (1.0 - tx) * ty
+                    + ws.phi[idx(m, i0 + 1, j0 + 1)] * tx * ty;
+                out.set(ix, iy, v);
+            }
+        }
+        Some(out)
+    }
 }
 
 impl FieldSolver for MultigridSolver {
@@ -520,6 +563,40 @@ mod tests {
     fn solver_reports_its_name() {
         assert_eq!(MultigridSolver::new().name(), "multigrid");
         assert_eq!(DirectSolver::new().name(), "direct");
+    }
+
+    #[test]
+    fn potential_map_samples_the_last_solve() {
+        let solver = MultigridSolver::new();
+        let mut ws = MultigridWorkspace::default();
+        let d = random_balanced_density(11, 16);
+        // Unused workspace: nothing to sample yet.
+        assert!(solver.potential_map(&d, &ws).is_none());
+        let mut out = ForceField::zeros(d.region(), d.nx(), d.ny());
+        solver.solve_reusing(&d, &mut ws, &mut out);
+        let phi = solver.potential_map(&d, &ws).expect("potential after solve");
+        assert_eq!((phi.nx(), phi.ny()), (d.nx(), d.ny()));
+        assert!(phi.is_finite());
+        assert!(phi.max() > phi.min(), "non-trivial potential");
+        // The exported potential's gradient must point with the force
+        // field (F = ∇φ up to interpolation error): check a strong bin.
+        let mut best = (0usize, 0usize);
+        let mut best_mag = -1.0;
+        for iy in 2..14 {
+            for ix in 2..14 {
+                let f = out.force_at(d.bin_center(ix, iy));
+                if f.norm_sq() > best_mag {
+                    best_mag = f.norm_sq();
+                    best = (ix, iy);
+                }
+            }
+        }
+        let (ix, iy) = best;
+        let gx = (phi.get(ix + 1, iy) - phi.get(ix - 1, iy)) / (2.0 * d.dx());
+        let gy = (phi.get(ix, iy + 1) - phi.get(ix, iy - 1)) / (2.0 * d.dy());
+        let f = out.force_at(d.bin_center(ix, iy));
+        let dot = gx * f.x + gy * f.y;
+        assert!(dot > 0.0, "potential gradient opposes the force field");
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! # kraftwerk-inspect — run dashboards for placement telemetry
+//!
+//! Turns the telemetry the placer already writes (`--trace` JSONL
+//! streams, `--report` summaries) into a **self-contained HTML
+//! dashboard**: convergence curves, a flamegraph-style phase breakdown,
+//! the watchdog trip/recovery timeline, density/potential heatmaps, and
+//! log2-bucket histogram charts — all as inline SVG, no scripts, no
+//! network, no dependencies beyond `kraftwerk-trace` for the JSON
+//! codec and bucket bounds.
+//!
+//! ```
+//! let jsonl = "{\"iteration\":1,\"hpwl\":42.0,\"phases\":{\"place.solve_x\":0.01}}";
+//! let html = kraftwerk_inspect::render_report(jsonl)?;
+//! assert!(html.starts_with("<!DOCTYPE html>"));
+//! # Ok::<(), kraftwerk_inspect::InspectError>(())
+//! ```
+//!
+//! The CLI front-end is `kraftwerk inspect run.jsonl -o report.html`.
+//!
+//! Like the rest of the pipeline, this crate is panic-free on arbitrary
+//! input: malformed telemetry becomes a typed [`InspectError`], partial
+//! telemetry renders a partial dashboard with placeholders.
+
+mod html;
+mod model;
+mod svg;
+
+pub use html::render;
+pub use model::{
+    parse_run, HistogramData, InspectError, IterationPoint, PhaseCost, RunData, SnapshotGrid,
+    TimelinePoint,
+};
+pub use svg::{
+    empty_chart, esc, fmt_value, heatmap, histogram_chart, line_chart, phase_breakdown, scatter,
+    timeline_strip, PhaseSlice, Series, TimelineMark, CHART_H, CHART_W,
+};
+
+/// Parses telemetry text (JSONL stream or `--report` summary) and
+/// renders the full dashboard.
+///
+/// # Errors
+///
+/// Propagates [`InspectError`] from [`parse_run`]: malformed JSON or an
+/// input with no iteration records.
+pub fn render_report(text: &str) -> Result<String, InspectError> {
+    Ok(render(&parse_run(text)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_report_end_to_end() {
+        let html = render_report(
+            "{\"iteration\":1,\"hpwl\":10.0,\"phases\":{\"place.solve_x\":0.5}}\n",
+        )
+        .expect("valid stream renders");
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.ends_with("</html>"));
+        assert!(render_report("garbage").is_err());
+    }
+}

@@ -1,0 +1,515 @@
+//! The run-data model and its two parsers.
+//!
+//! `kraftwerk inspect` accepts both telemetry artifacts the placer
+//! writes:
+//!
+//! * the `--trace` **JSONL stream** — one iteration record per line with
+//!   `meta`/`histogram`/`snapshot`/`watchdog` lines interleaved, and
+//! * the `--report` **summary object** — a single JSON document that
+//!   embeds the same record stream under `records`, `histograms`,
+//!   `snapshots`, and `timeline`.
+//!
+//! Both collapse into one [`RunData`], so the renderer never cares which
+//! file it was given. Parsing is strict about structure (bad JSON is an
+//! error) but lenient about content: unknown record types and missing
+//! optional metrics are kept or skipped, never fatal, so dashboards stay
+//! renderable across schema evolution.
+
+use kraftwerk_trace::json::{self, Json};
+
+/// One placement transformation, as recorded by the trace layer.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IterationPoint {
+    /// 1-based transformation number.
+    pub iteration: u64,
+    /// Half-perimeter wire length after the transformation.
+    pub hpwl: Option<f64>,
+    /// Peak density deviation before the move (the overflow signal).
+    pub peak_density: Option<f64>,
+    /// Conjugate-gradient iterations spent (x + y solves).
+    pub cg_iterations: Option<f64>,
+    /// Largest realized cell displacement.
+    pub max_displacement: Option<f64>,
+    /// Wall-clock seconds for the transformation.
+    pub wall_s: Option<f64>,
+    /// Per-phase seconds within the transformation, in record order.
+    pub phases: Vec<(String, f64)>,
+}
+
+/// One captured field snapshot (density, potential, or cell positions).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SnapshotGrid {
+    /// `"density"`, `"potential"`, or `"cells"`.
+    pub kind: String,
+    /// Transformation the capture belongs to.
+    pub iteration: u64,
+    /// Grid columns (for `cells`: the number of sampled positions).
+    pub nx: usize,
+    /// Grid rows (for `cells`: always 2 — interleaved x, y).
+    pub ny: usize,
+    /// Row-major bin values, `values[iy * nx + ix]`.
+    pub values: Vec<f64>,
+}
+
+/// One accumulated histogram (log2 buckets, sparse).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramData {
+    /// Metric name, e.g. `place.displacement`.
+    pub name: String,
+    /// `(bucket index, count)` pairs ascending by index.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl HistogramData {
+    /// Total samples across all buckets.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().map(|&(_, c)| c).sum()
+    }
+}
+
+/// One timeline event (currently the watchdog's trips and recoveries).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimelinePoint {
+    /// Event type tag (`"watchdog"`).
+    pub kind: String,
+    /// Transformation the event fired at.
+    pub iteration: u64,
+    /// `"rollback"` or `"give_up"` for watchdog events.
+    pub action: String,
+    /// Human-readable detail (trip reason, recovery count, …).
+    pub detail: String,
+}
+
+/// Cumulative cost of one span name across the run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhaseCost {
+    /// Span name, e.g. `place.field_solve`.
+    pub name: String,
+    /// Completed calls.
+    pub calls: u64,
+    /// Total seconds.
+    pub seconds: f64,
+}
+
+/// Everything the dashboard renders, independent of the input format.
+#[derive(Debug, Clone, Default)]
+pub struct RunData {
+    /// Run metadata (`netlist`, `mode`, `health.trips`, …) as strings.
+    pub meta: Vec<(String, String)>,
+    /// Per-transformation records in stream order.
+    pub iterations: Vec<IterationPoint>,
+    /// Captured field snapshots in stream order.
+    pub snapshots: Vec<SnapshotGrid>,
+    /// Accumulated histograms.
+    pub histograms: Vec<HistogramData>,
+    /// Watchdog (and future) timeline events.
+    pub timeline: Vec<TimelinePoint>,
+    /// Cumulative per-phase cost, most expensive first.
+    pub profile: Vec<PhaseCost>,
+}
+
+impl RunData {
+    /// The highest iteration number seen anywhere in the run.
+    #[must_use]
+    pub fn last_iteration(&self) -> u64 {
+        let from_records = self.iterations.iter().map(|p| p.iteration).max();
+        let from_timeline = self.timeline.iter().map(|t| t.iteration).max();
+        from_records.unwrap_or(0).max(from_timeline.unwrap_or(0))
+    }
+
+    /// Meta value lookup.
+    #[must_use]
+    pub fn meta_value(&self, key: &str) -> Option<&str> {
+        self.meta
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Snapshots of one kind, in capture order.
+    #[must_use]
+    pub fn snapshots_of(&self, kind: &str) -> Vec<&SnapshotGrid> {
+        self.snapshots.iter().filter(|s| s.kind == kind).collect()
+    }
+}
+
+/// A problem reading a telemetry artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InspectError {
+    /// The input was not parseable telemetry; the payload says why.
+    Parse(String),
+    /// The input parsed but contains no run data to render.
+    Empty,
+}
+
+impl std::fmt::Display for InspectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InspectError::Parse(why) => write!(f, "unreadable telemetry: {why}"),
+            InspectError::Empty => write!(f, "no iteration records found in the input"),
+        }
+    }
+}
+
+impl std::error::Error for InspectError {}
+
+/// Renders a parsed JSON scalar for the meta table.
+fn scalar_to_string(value: &Json) -> String {
+    match value {
+        Json::Null => "null".to_string(),
+        Json::Bool(b) => b.to_string(),
+        Json::Num(v) => {
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                format!("{v:.0}")
+            } else {
+                format!("{v}")
+            }
+        }
+        Json::Str(s) => s.clone(),
+        Json::Arr(_) => "[…]".to_string(),
+        Json::Obj(_) => "{…}".to_string(),
+    }
+}
+
+fn get_f64(obj: &Json, key: &str) -> Option<f64> {
+    obj.get(key).and_then(Json::as_f64)
+}
+
+fn get_u64(obj: &Json, key: &str) -> Option<u64> {
+    get_f64(obj, key).filter(|v| *v >= 0.0).map(|v| v as u64)
+}
+
+/// Decodes one parsed iteration record (a JSONL line without `type`, or
+/// an element of the summary's `records` array).
+fn decode_iteration(obj: &Json) -> Option<IterationPoint> {
+    let iteration = get_u64(obj, "iteration")?;
+    let mut phases = Vec::new();
+    if let Some(fields) = obj.get("phases").and_then(Json::as_object) {
+        for (name, seconds) in fields {
+            if let Some(s) = seconds.as_f64() {
+                phases.push((name.clone(), s));
+            }
+        }
+    }
+    Some(IterationPoint {
+        iteration,
+        hpwl: get_f64(obj, "hpwl"),
+        peak_density: get_f64(obj, "peak_density"),
+        cg_iterations: get_f64(obj, "cg_iterations"),
+        max_displacement: get_f64(obj, "max_displacement"),
+        wall_s: get_f64(obj, "wall_s"),
+        phases,
+    })
+}
+
+fn decode_histogram(obj: &Json) -> Option<HistogramData> {
+    let name = obj.get("name").and_then(Json::as_str)?.to_string();
+    let mut buckets = Vec::new();
+    for pair in obj.get("buckets").and_then(Json::as_array).unwrap_or(&[]) {
+        let items = pair.as_array().unwrap_or(&[]);
+        if let (Some(index), Some(count)) = (
+            items.first().and_then(Json::as_f64),
+            items.get(1).and_then(Json::as_f64),
+        ) {
+            if (0.0..256.0).contains(&index) && count >= 0.0 {
+                buckets.push((index as u8, count as u64));
+            }
+        }
+    }
+    Some(HistogramData { name, buckets })
+}
+
+fn decode_snapshot(obj: &Json) -> Option<SnapshotGrid> {
+    let kind = obj.get("kind").and_then(Json::as_str)?.to_string();
+    let nx = get_u64(obj, "nx")? as usize;
+    let ny = get_u64(obj, "ny")? as usize;
+    let values: Vec<f64> = obj
+        .get("values")
+        .and_then(Json::as_array)?
+        .iter()
+        .map(|v| v.as_f64().unwrap_or(f64::NAN))
+        .collect();
+    if values.len() != nx.checked_mul(ny)? {
+        return None;
+    }
+    Some(SnapshotGrid {
+        kind,
+        iteration: get_u64(obj, "iteration").unwrap_or(0),
+        nx,
+        ny,
+        values,
+    })
+}
+
+/// Decodes a typed line/timeline entry into a [`TimelinePoint`]. The
+/// detail string concatenates every field except the ones shown
+/// structurally, so new watchdog fields surface without a schema change.
+fn decode_timeline(kind: &str, obj: &Json) -> TimelinePoint {
+    let mut detail = String::new();
+    for (key, value) in obj.as_object().unwrap_or(&[]) {
+        if matches!(key.as_str(), "type" | "iteration" | "action") {
+            continue;
+        }
+        if !detail.is_empty() {
+            detail.push_str(", ");
+        }
+        detail.push_str(key);
+        detail.push('=');
+        detail.push_str(&scalar_to_string(value));
+    }
+    TimelinePoint {
+        kind: kind.to_string(),
+        iteration: get_u64(obj, "iteration").unwrap_or(0),
+        action: obj
+            .get("action")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string(),
+        detail,
+    }
+}
+
+/// Merges one histogram into the accumulated set (JSONL streams may
+/// carry many flushes of the same metric).
+fn merge_histogram(into: &mut Vec<HistogramData>, hist: HistogramData) {
+    if let Some(existing) = into.iter_mut().find(|h| h.name == hist.name) {
+        for (index, count) in hist.buckets {
+            if let Some(slot) = existing.buckets.iter_mut().find(|(i, _)| *i == index) {
+                slot.1 += count;
+            } else {
+                existing.buckets.push((index, count));
+            }
+        }
+        existing.buckets.sort_by_key(|&(i, _)| i);
+    } else {
+        into.push(hist);
+    }
+}
+
+/// Folds one typed object (`type` field present) into the run.
+fn fold_typed(run: &mut RunData, kind: &str, obj: &Json) {
+    match kind {
+        "meta" => {
+            for (key, value) in obj.as_object().unwrap_or(&[]) {
+                if key != "type" {
+                    run.meta.push((key.clone(), scalar_to_string(value)));
+                }
+            }
+        }
+        "histogram" => {
+            if let Some(hist) = decode_histogram(obj) {
+                merge_histogram(&mut run.histograms, hist);
+            }
+        }
+        "snapshot" => {
+            if let Some(snapshot) = decode_snapshot(obj) {
+                run.snapshots.push(snapshot);
+            }
+        }
+        other => run.timeline.push(decode_timeline(other, obj)),
+    }
+}
+
+/// Aggregates per-iteration phase timings into a run-level profile
+/// (used for JSONL inputs, which carry no precomputed profile).
+fn aggregate_profile(iterations: &[IterationPoint]) -> Vec<PhaseCost> {
+    let mut profile: Vec<PhaseCost> = Vec::new();
+    for point in iterations {
+        for (name, seconds) in &point.phases {
+            if let Some(cost) = profile.iter_mut().find(|c| &c.name == name) {
+                cost.calls += 1;
+                cost.seconds += seconds;
+            } else {
+                profile.push(PhaseCost {
+                    name: name.clone(),
+                    calls: 1,
+                    seconds: *seconds,
+                });
+            }
+        }
+    }
+    profile.sort_by(|a, b| {
+        b.seconds
+            .partial_cmp(&a.seconds)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    profile
+}
+
+/// Parses a `--report` summary object.
+fn parse_summary(doc: &Json) -> RunData {
+    let mut run = RunData::default();
+    for (key, value) in doc
+        .get("meta")
+        .and_then(Json::as_object)
+        .unwrap_or(&[])
+    {
+        run.meta.push((key.clone(), scalar_to_string(value)));
+    }
+    for record in doc.get("records").and_then(Json::as_array).unwrap_or(&[]) {
+        if let Some(point) = decode_iteration(record) {
+            run.iterations.push(point);
+        }
+    }
+    for hist in doc.get("histograms").and_then(Json::as_array).unwrap_or(&[]) {
+        if let Some(decoded) = decode_histogram(hist) {
+            merge_histogram(&mut run.histograms, decoded);
+        }
+    }
+    for snap in doc.get("snapshots").and_then(Json::as_array).unwrap_or(&[]) {
+        if let Some(decoded) = decode_snapshot(snap) {
+            run.snapshots.push(decoded);
+        }
+    }
+    for event in doc.get("timeline").and_then(Json::as_array).unwrap_or(&[]) {
+        let kind = event.get("type").and_then(Json::as_str).unwrap_or("event");
+        run.timeline.push(decode_timeline(kind, event));
+    }
+    for entry in doc.get("profile").and_then(Json::as_array).unwrap_or(&[]) {
+        if let Some(name) = entry.get("phase").and_then(Json::as_str) {
+            run.profile.push(PhaseCost {
+                name: name.to_string(),
+                calls: get_u64(entry, "calls").unwrap_or(0),
+                seconds: get_f64(entry, "total_s").unwrap_or(0.0),
+            });
+        }
+    }
+    if run.profile.is_empty() {
+        run.profile = aggregate_profile(&run.iterations);
+    }
+    run
+}
+
+/// Parses either telemetry format into a [`RunData`].
+///
+/// A document that parses as one JSON object with a `records` array is
+/// treated as a `--report` summary; anything else is treated as a JSONL
+/// stream, one record per non-empty line.
+///
+/// # Errors
+///
+/// [`InspectError::Parse`] when a line (or the document) is not valid
+/// JSON, [`InspectError::Empty`] when nothing renderable was found.
+pub fn parse_run(text: &str) -> Result<RunData, InspectError> {
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return Err(InspectError::Empty);
+    }
+    if let Ok(doc) = json::parse(trimmed) {
+        if doc.get("records").is_some() {
+            let run = parse_summary(&doc);
+            if run.iterations.is_empty() {
+                return Err(InspectError::Empty);
+            }
+            return Ok(run);
+        }
+    }
+    let mut run = RunData::default();
+    for (number, line) in trimmed.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let obj = json::parse(line)
+            .map_err(|e| InspectError::Parse(format!("line {}: {e}", number + 1)))?;
+        if let Some(kind) = obj.get("type").and_then(Json::as_str) {
+            // Borrow juggling: `kind` borrows from `obj`, so copy it out.
+            let kind = kind.to_string();
+            fold_typed(&mut run, &kind, &obj);
+        } else if let Some(point) = decode_iteration(&obj) {
+            run.iterations.push(point);
+        }
+    }
+    if run.iterations.is_empty() {
+        return Err(InspectError::Empty);
+    }
+    run.profile = aggregate_profile(&run.iterations);
+    Ok(run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const JSONL: &str = concat!(
+        "{\"type\":\"meta\",\"netlist\":\"demo\",\"mode\":\"fast\",\"k\":0.2}\n",
+        "{\"iteration\":1,\"hpwl\":100.0,\"peak_density\":2.5,\"cg_iterations\":40,",
+        "\"max_displacement\":9.0,\"wall_s\":0.01,\"phases\":{\"place.solve_x\":0.004,",
+        "\"place.density_map\":0.001}}\n",
+        "{\"type\":\"snapshot\",\"kind\":\"density\",\"iteration\":1,\"nx\":2,\"ny\":2,",
+        "\"values\":[0.5,-0.5,1.5,-1.5]}\n",
+        "{\"type\":\"watchdog\",\"iteration\":1,\"reason\":\"hpwl explosion\",",
+        "\"action\":\"rollback\",\"recoveries\":1}\n",
+        "{\"iteration\":2,\"hpwl\":90.0,\"peak_density\":2.0,\"cg_iterations\":30,",
+        "\"max_displacement\":5.0,\"wall_s\":0.02,\"phases\":{\"place.solve_x\":0.009}}\n",
+        "{\"type\":\"histogram\",\"name\":\"place.displacement\",\"count\":3,",
+        "\"buckets\":[[10,2],[12,1]]}\n",
+        "{\"type\":\"histogram\",\"name\":\"place.displacement\",\"count\":2,",
+        "\"buckets\":[[10,1],[13,1]]}\n",
+    );
+
+    #[test]
+    fn jsonl_stream_parses_into_all_sections() {
+        let run = parse_run(JSONL).expect("stream parses");
+        assert_eq!(run.meta_value("netlist"), Some("demo"));
+        assert_eq!(run.meta_value("k"), Some("0.2"));
+        assert_eq!(run.iterations.len(), 2);
+        assert_eq!(run.iterations[0].hpwl, Some(100.0));
+        assert_eq!(run.iterations[1].iteration, 2);
+        assert_eq!(run.snapshots.len(), 1);
+        assert_eq!(run.snapshots[0].kind, "density");
+        assert_eq!(run.timeline.len(), 1);
+        assert_eq!(run.timeline[0].action, "rollback");
+        assert!(run.timeline[0].detail.contains("reason=hpwl explosion"));
+        // The two flushes of the same histogram merged.
+        assert_eq!(run.histograms.len(), 1);
+        assert_eq!(run.histograms[0].buckets, vec![(10, 3), (12, 1), (13, 1)]);
+        assert_eq!(run.histograms[0].total(), 5);
+        // Profile aggregated from the per-iteration phases.
+        assert_eq!(run.profile[0].name, "place.solve_x");
+        assert_eq!(run.profile[0].calls, 2);
+        assert!((run.profile[0].seconds - 0.013).abs() < 1e-12);
+        assert_eq!(run.last_iteration(), 2);
+    }
+
+    #[test]
+    fn summary_object_parses_into_the_same_model() {
+        let summary = concat!(
+            "{\"meta\":{\"netlist\":\"demo\",\"threads\":2},\"iterations\":1,",
+            "\"total_s\":0.5,",
+            "\"profile\":[{\"phase\":\"place.solve_x\",\"calls\":7,\"total_s\":0.2,\"mean_s\":0.03}],",
+            "\"records\":[{\"iteration\":1,\"hpwl\":42.0,\"phases\":{\"place.solve_x\":0.2}}],",
+            "\"histograms\":[{\"type\":\"histogram\",\"name\":\"h\",\"count\":1,\"buckets\":[[3,1]]}],",
+            "\"snapshots\":[{\"type\":\"snapshot\",\"kind\":\"cells\",\"iteration\":1,\"nx\":1,\"ny\":2,\"values\":[4.0,5.0]}],",
+            "\"timeline\":[{\"type\":\"watchdog\",\"iteration\":1,\"reason\":\"x\",\"action\":\"give_up\"}]}",
+        );
+        let run = parse_run(summary).expect("summary parses");
+        assert_eq!(run.meta_value("netlist"), Some("demo"));
+        assert_eq!(run.meta_value("threads"), Some("2"));
+        assert_eq!(run.iterations.len(), 1);
+        assert_eq!(run.iterations[0].hpwl, Some(42.0));
+        assert_eq!(run.histograms.len(), 1);
+        assert_eq!(run.snapshots_of("cells").len(), 1);
+        assert_eq!(run.timeline[0].action, "give_up");
+        assert_eq!(run.profile[0].calls, 7);
+    }
+
+    #[test]
+    fn bad_and_empty_inputs_are_typed_errors() {
+        assert!(matches!(parse_run("   "), Err(InspectError::Empty)));
+        assert!(matches!(parse_run("not json"), Err(InspectError::Parse(_))));
+        assert!(matches!(
+            parse_run("{\"type\":\"histogram\",\"name\":\"only\",\"buckets\":[]}"),
+            Err(InspectError::Empty)
+        ));
+        // A record with a mismatched snapshot payload is dropped, not fatal.
+        let run = parse_run(concat!(
+            "{\"iteration\":1,\"hpwl\":1.0,\"phases\":{}}\n",
+            "{\"type\":\"snapshot\",\"kind\":\"density\",\"iteration\":1,\"nx\":3,\"ny\":3,\"values\":[1.0]}\n",
+        ))
+        .expect("iteration line carries the run");
+        assert!(run.snapshots.is_empty());
+    }
+}

@@ -1,0 +1,695 @@
+//! Hand-rolled SVG chart primitives.
+//!
+//! Everything renders to a `String` with fixed-precision coordinates, so
+//! the same input always produces byte-identical markup — the golden
+//! test diffs whole dashboards across thread counts. No external
+//! plotting library, no scripts in the output: every chart is a static
+//! `<svg>` element that renders anywhere.
+
+use kraftwerk_trace::bucket_bounds;
+
+/// Default chart width in CSS pixels.
+pub const CHART_W: f64 = 660.0;
+/// Default chart height in CSS pixels.
+pub const CHART_H: f64 = 250.0;
+
+const MARGIN_LEFT: f64 = 64.0;
+const MARGIN_RIGHT: f64 = 16.0;
+const MARGIN_TOP: f64 = 30.0;
+const MARGIN_BOTTOM: f64 = 36.0;
+
+/// Escapes text for use in XML content and attribute values.
+#[must_use]
+pub fn esc(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Fixed-precision coordinate: two decimals is sub-pixel on screen and
+/// keeps the markup deterministic and compact.
+fn px(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.2}")
+    } else {
+        "0.00".to_string()
+    }
+}
+
+/// Compact human label for an axis tick or value.
+#[must_use]
+pub fn fmt_value(v: f64) -> String {
+    if !v.is_finite() {
+        return "—".to_string();
+    }
+    let a = v.abs();
+    if a >= 1e6 || (a > 0.0 && a < 1e-3) {
+        format!("{v:.2e}")
+    } else if a >= 100.0 {
+        format!("{v:.0}")
+    } else if a >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// One line-chart series.
+#[derive(Debug, Clone)]
+pub struct Series<'a> {
+    /// Legend label.
+    pub label: &'a str,
+    /// Stroke color (`#rrggbb`).
+    pub color: &'a str,
+    /// `(x, y)` samples; non-finite samples are skipped.
+    pub points: Vec<(f64, f64)>,
+}
+
+fn open_svg(id: &str, width: f64, height: f64, title: &str) -> String {
+    format!(
+        "<svg id=\"{}\" viewBox=\"0 0 {} {}\" width=\"{}\" height=\"{}\" \
+         xmlns=\"http://www.w3.org/2000/svg\" role=\"img\">\
+         <text x=\"8\" y=\"18\" class=\"ct\">{}</text>",
+        esc(id),
+        px(width),
+        px(height),
+        px(width),
+        px(height),
+        esc(title)
+    )
+}
+
+/// A placeholder chart for sections with nothing to plot.
+#[must_use]
+pub fn empty_chart(id: &str, title: &str, note: &str) -> String {
+    let mut out = open_svg(id, CHART_W, 80.0, title);
+    out.push_str(&format!(
+        "<text x=\"8\" y=\"48\" class=\"cn\">{}</text></svg>",
+        esc(note)
+    ));
+    out
+}
+
+/// Linear map of `v` from `[lo, hi]` onto `[out_lo, out_hi]`.
+fn scale(v: f64, lo: f64, hi: f64, out_lo: f64, out_hi: f64) -> f64 {
+    if (hi - lo).abs() < f64::EPSILON {
+        f64::midpoint(out_lo, out_hi)
+    } else {
+        out_lo + (v - lo) / (hi - lo) * (out_hi - out_lo)
+    }
+}
+
+/// A multi-series line chart with axes and a legend. `log_y` plots
+/// `log10(y)` (non-positive samples are dropped) with labels in the
+/// original units.
+#[must_use]
+pub fn line_chart(id: &str, title: &str, series: &[Series<'_>], log_y: bool) -> String {
+    let transform = |y: f64| if log_y { y.max(1e-300).log10() } else { y };
+    let mut xs: Vec<f64> = Vec::new();
+    let mut ys: Vec<f64> = Vec::new();
+    for s in series {
+        for &(x, y) in &s.points {
+            if x.is_finite() && y.is_finite() && (!log_y || y > 0.0) {
+                xs.push(x);
+                ys.push(transform(y));
+            }
+        }
+    }
+    if xs.is_empty() {
+        return empty_chart(id, title, "no data points recorded");
+    }
+    let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_lo, mut y_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &x in &xs {
+        x_lo = x_lo.min(x);
+        x_hi = x_hi.max(x);
+    }
+    for &y in &ys {
+        y_lo = y_lo.min(y);
+        y_hi = y_hi.max(y);
+    }
+    if (y_hi - y_lo).abs() < f64::EPSILON {
+        y_lo -= 0.5;
+        y_hi += 0.5;
+    }
+    let (px0, px1) = (MARGIN_LEFT, CHART_W - MARGIN_RIGHT);
+    let (py0, py1) = (CHART_H - MARGIN_BOTTOM, MARGIN_TOP);
+
+    let mut out = open_svg(id, CHART_W, CHART_H, title);
+    // Gridlines + y tick labels (5 ticks).
+    for tick in 0..=4 {
+        let t = f64::from(tick) / 4.0;
+        let yv = y_lo + (y_hi - y_lo) * t;
+        let y = scale(yv, y_lo, y_hi, py0, py1);
+        let label = if log_y { 10f64.powf(yv) } else { yv };
+        out.push_str(&format!(
+            "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" class=\"grid\"/>\
+             <text x=\"{}\" y=\"{}\" class=\"tick\" text-anchor=\"end\">{}</text>",
+            px(px0),
+            px(y),
+            px(px1),
+            px(y),
+            px(px0 - 6.0),
+            px(y + 4.0),
+            esc(&fmt_value(label))
+        ));
+    }
+    // X tick labels (5 ticks).
+    for tick in 0..=4 {
+        let t = f64::from(tick) / 4.0;
+        let xv = x_lo + (x_hi - x_lo) * t;
+        let x = scale(xv, x_lo, x_hi, px0, px1);
+        out.push_str(&format!(
+            "<text x=\"{}\" y=\"{}\" class=\"tick\" text-anchor=\"middle\">{}</text>",
+            px(x),
+            px(py0 + 16.0),
+            esc(&fmt_value(xv))
+        ));
+    }
+    // Axes.
+    out.push_str(&format!(
+        "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" class=\"axis\"/>\
+         <line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" class=\"axis\"/>",
+        px(px0),
+        px(py1),
+        px(px0),
+        px(py0),
+        px(px0),
+        px(py0),
+        px(px1),
+        px(py0)
+    ));
+    // Series polylines + legend.
+    let mut legend_x = px0 + 8.0;
+    for s in series {
+        let mut path = String::new();
+        for &(x, y) in &s.points {
+            if !x.is_finite() || !y.is_finite() || (log_y && y <= 0.0) {
+                continue;
+            }
+            let cx = scale(x, x_lo, x_hi, px0, px1);
+            let cy = scale(transform(y), y_lo, y_hi, py0, py1);
+            if !path.is_empty() {
+                path.push(' ');
+            }
+            path.push_str(&format!("{},{}", px(cx), px(cy)));
+        }
+        if path.is_empty() {
+            continue;
+        }
+        out.push_str(&format!(
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{}\" stroke-width=\"1.6\"/>",
+            path,
+            esc(s.color)
+        ));
+        out.push_str(&format!(
+            "<rect x=\"{}\" y=\"{}\" width=\"10\" height=\"10\" fill=\"{}\"/>\
+             <text x=\"{}\" y=\"{}\" class=\"tick\">{}</text>",
+            px(legend_x),
+            px(MARGIN_TOP - 16.0),
+            esc(s.color),
+            px(legend_x + 14.0),
+            px(MARGIN_TOP - 7.0),
+            esc(s.label)
+        ));
+        legend_x += 14.0 + 7.0 * (s.label.chars().count() as f64) + 16.0;
+    }
+    out.push_str("</svg>");
+    out
+}
+
+/// A log2-bucket histogram as a bar chart. Bucket labels come from
+/// [`kraftwerk_trace::bucket_bounds`], so bars read in original units.
+#[must_use]
+pub fn histogram_chart(id: &str, title: &str, buckets: &[(u8, u64)], color: &str) -> String {
+    let present: Vec<(u8, u64)> = buckets.iter().copied().filter(|&(_, c)| c > 0).collect();
+    let Some(&(first, _)) = present.first() else {
+        return empty_chart(id, title, "no samples recorded");
+    };
+    let last = present.last().map_or(first, |&(i, _)| i);
+    let max_count = present.iter().map(|&(_, c)| c).max().unwrap_or(1).max(1);
+    let span = usize::from(last - first) + 1;
+    let (px0, px1) = (MARGIN_LEFT, CHART_W - MARGIN_RIGHT);
+    let (py0, py1) = (CHART_H - MARGIN_BOTTOM, MARGIN_TOP);
+    let slot = (px1 - px0) / span as f64;
+    let bar_w = (slot * 0.82).max(1.0);
+
+    let mut out = open_svg(id, CHART_W, CHART_H, title);
+    // Y grid: counts at 0/50/100%.
+    for tick in 0..=2 {
+        let t = f64::from(tick) / 2.0;
+        let y = scale(t, 0.0, 1.0, py0, py1);
+        let count = (max_count as f64 * t).round();
+        out.push_str(&format!(
+            "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" class=\"grid\"/>\
+             <text x=\"{}\" y=\"{}\" class=\"tick\" text-anchor=\"end\">{}</text>",
+            px(px0),
+            px(y),
+            px(px1),
+            px(y),
+            px(px0 - 6.0),
+            px(y + 4.0),
+            esc(&fmt_value(count))
+        ));
+    }
+    for &(index, count) in &present {
+        let offset = usize::from(index - first);
+        let x = px0 + offset as f64 * slot + (slot - bar_w) / 2.0;
+        let h = (count as f64) / (max_count as f64) * (py0 - py1);
+        let (lo, hi) = bucket_bounds(index);
+        out.push_str(&format!(
+            "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"{}\">\
+             <title>[{}, {}): {} samples</title></rect>",
+            px(x),
+            px(py0 - h),
+            px(bar_w),
+            px(h.max(0.5)),
+            esc(color),
+            esc(&fmt_value(lo)),
+            esc(&fmt_value(hi)),
+            count
+        ));
+    }
+    // X labels: lower bound of up to 6 evenly spaced present buckets.
+    let label_step = (span / 6).max(1);
+    for offset in (0..span).step_by(label_step) {
+        let index = first.saturating_add(offset as u8);
+        let (lo, _) = bucket_bounds(index);
+        let x = px0 + offset as f64 * slot + slot / 2.0;
+        out.push_str(&format!(
+            "<text x=\"{}\" y=\"{}\" class=\"tick\" text-anchor=\"middle\">{}</text>",
+            px(x),
+            px(py0 + 16.0),
+            esc(&fmt_value(lo))
+        ));
+    }
+    out.push_str(&format!(
+        "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" class=\"axis\"/></svg>",
+        px(px0),
+        px(py0),
+        px(px1),
+        px(py0)
+    ));
+    out
+}
+
+/// Diverging color for a normalized value in `[-1, 1]`: blue below zero,
+/// white at zero, red above.
+fn diverging_color(t: f64) -> String {
+    let t = t.clamp(-1.0, 1.0);
+    let (r, g, b) = if t < 0.0 {
+        let u = -t;
+        (
+            (255.0 + (37.0 - 255.0) * u) as u8,
+            (255.0 + (99.0 - 255.0) * u) as u8,
+            (255.0 + (235.0 - 255.0) * u) as u8,
+        )
+    } else {
+        (
+            (255.0 + (220.0 - 255.0) * t) as u8,
+            (255.0 + (38.0 - 255.0) * t) as u8,
+            (255.0 + (38.0 - 255.0) * t) as u8,
+        )
+    };
+    format!("#{r:02x}{g:02x}{b:02x}")
+}
+
+/// A field heatmap: one rect per grid bin, diverging palette normalized
+/// by the largest absolute value. Row `iy = 0` is drawn at the bottom
+/// (layout coordinates, not screen coordinates).
+#[must_use]
+pub fn heatmap(id: &str, title: &str, nx: usize, ny: usize, values: &[f64]) -> String {
+    if nx == 0 || ny == 0 || values.len() != nx * ny {
+        return empty_chart(id, title, "malformed grid snapshot");
+    }
+    let side = 220.0;
+    let cell_w = side / nx as f64;
+    let cell_h = side / ny as f64;
+    let width = side + 16.0;
+    let height = side + MARGIN_TOP + 12.0;
+    let peak = values
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite())
+        .fold(0.0f64, |a, v| a.max(v.abs()))
+        .max(f64::EPSILON);
+    let mut out = open_svg(id, width, height, title);
+    for iy in 0..ny {
+        for ix in 0..nx {
+            let v = values.get(iy * nx + ix).copied().unwrap_or(0.0);
+            let t = if v.is_finite() { v / peak } else { 0.0 };
+            let x = 8.0 + ix as f64 * cell_w;
+            let y = MARGIN_TOP + (ny - 1 - iy) as f64 * cell_h;
+            out.push_str(&format!(
+                "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"{}\"/>",
+                px(x),
+                px(y),
+                px(cell_w + 0.5),
+                px(cell_h + 0.5),
+                diverging_color(t)
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "<rect x=\"8\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"none\" class=\"axis\"/></svg>",
+        px(MARGIN_TOP),
+        px(side),
+        px(side)
+    ));
+    out
+}
+
+/// A cell-position scatter plot from a `cells` snapshot (interleaved
+/// `x0, y0, x1, y1, …` values).
+#[must_use]
+pub fn scatter(id: &str, title: &str, values: &[f64]) -> String {
+    let points: Vec<(f64, f64)> = values
+        .chunks_exact(2)
+        .filter(|p| p[0].is_finite() && p[1].is_finite())
+        .map(|p| (p[0], p[1]))
+        .collect();
+    let Some(&(x0, y0)) = points.first() else {
+        return empty_chart(id, title, "no cell positions captured");
+    };
+    let (mut x_lo, mut x_hi, mut y_lo, mut y_hi) = (x0, x0, y0, y0);
+    for &(x, y) in &points {
+        x_lo = x_lo.min(x);
+        x_hi = x_hi.max(x);
+        y_lo = y_lo.min(y);
+        y_hi = y_hi.max(y);
+    }
+    let side = 220.0;
+    let width = side + 16.0;
+    let height = side + MARGIN_TOP + 12.0;
+    let mut out = open_svg(id, width, height, title);
+    for &(x, y) in &points {
+        let cx = scale(x, x_lo, x_hi, 10.0, 6.0 + side);
+        let cy = scale(y, y_lo, y_hi, MARGIN_TOP + side - 2.0, MARGIN_TOP + 2.0);
+        out.push_str(&format!(
+            "<circle cx=\"{}\" cy=\"{}\" r=\"1.6\" fill=\"#2563eb\" fill-opacity=\"0.7\"/>",
+            px(cx),
+            px(cy)
+        ));
+    }
+    out.push_str(&format!(
+        "<rect x=\"8\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"none\" class=\"axis\"/></svg>",
+        px(MARGIN_TOP),
+        px(side),
+        px(side)
+    ));
+    out
+}
+
+/// One phase for [`phase_breakdown`].
+#[derive(Debug, Clone)]
+pub struct PhaseSlice {
+    /// Full span name (`place.field_solve`).
+    pub name: String,
+    /// Total seconds across the run.
+    pub seconds: f64,
+    /// Completed calls.
+    pub calls: u64,
+}
+
+/// A two-level icicle (flamegraph-style) phase breakdown: the top row
+/// groups spans by their name prefix (`place`, `multigrid`, …), the
+/// bottom row shows each span, widths proportional to total seconds.
+#[must_use]
+pub fn phase_breakdown(id: &str, title: &str, phases: &[PhaseSlice]) -> String {
+    let total: f64 = phases.iter().map(|p| p.seconds.max(0.0)).sum();
+    if !total.is_finite() || total <= 0.0 {
+        return empty_chart(id, title, "no phase timings recorded");
+    }
+    // Group by prefix, preserving the (seconds-sorted) input order.
+    let mut groups: Vec<(String, Vec<&PhaseSlice>)> = Vec::new();
+    for phase in phases {
+        let prefix = phase
+            .name
+            .split_once('.')
+            .map_or(phase.name.as_str(), |(head, _)| head)
+            .to_string();
+        if let Some((_, members)) = groups.iter_mut().find(|(name, _)| *name == prefix) {
+            members.push(phase);
+        } else {
+            groups.push((prefix, vec![phase]));
+        }
+    }
+    let width = CHART_W;
+    let row_h = 26.0;
+    let gap = 3.0;
+    let height = MARGIN_TOP + 2.0 * (row_h + gap) + 58.0;
+    let usable = width - 16.0;
+    let palette = ["#2563eb", "#d97706", "#059669", "#7c3aed", "#dc2626", "#0891b2"];
+    let mut out = open_svg(id, width, height, title);
+    let mut x = 8.0;
+    let mut legend: Vec<String> = Vec::new();
+    for (gi, (prefix, members)) in groups.iter().enumerate() {
+        let group_s: f64 = members.iter().map(|p| p.seconds.max(0.0)).sum();
+        let group_w = group_s / total * usable;
+        let color = palette.get(gi % palette.len()).copied().unwrap_or("#6b7280");
+        out.push_str(&format!(
+            "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"{}\" fill-opacity=\"0.45\">\
+             <title>{}: {} s</title></rect>",
+            px(x),
+            px(MARGIN_TOP),
+            px((group_w - 1.0).max(0.5)),
+            px(row_h),
+            color,
+            esc(prefix),
+            esc(&fmt_value(group_s))
+        ));
+        if group_w > 44.0 {
+            out.push_str(&format!(
+                "<text x=\"{}\" y=\"{}\" class=\"tick\">{}</text>",
+                px(x + 4.0),
+                px(MARGIN_TOP + 17.0),
+                esc(prefix)
+            ));
+        }
+        let mut cx = x;
+        for phase in members {
+            let w = phase.seconds.max(0.0) / total * usable;
+            out.push_str(&format!(
+                "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"{}\">\
+                 <title>{}: {} s over {} calls</title></rect>",
+                px(cx),
+                px(MARGIN_TOP + row_h + gap),
+                px((w - 1.0).max(0.5)),
+                px(row_h),
+                color,
+                esc(&phase.name),
+                esc(&fmt_value(phase.seconds)),
+                phase.calls
+            ));
+            legend.push(format!(
+                "<span class=\"sw\" style=\"background:{}\"></span>{} — {} s ({} calls, {}%)",
+                color,
+                esc(&phase.name),
+                esc(&fmt_value(phase.seconds)),
+                phase.calls,
+                esc(&fmt_value(phase.seconds / total * 100.0))
+            ));
+            cx += w;
+        }
+        x += group_w;
+    }
+    out.push_str(&format!(
+        "<text x=\"8\" y=\"{}\" class=\"cn\">total instrumented: {} s</text></svg>",
+        px(MARGIN_TOP + 2.0 * (row_h + gap) + 20.0),
+        esc(&fmt_value(total))
+    ));
+    // The textual legend rides outside the SVG, as an HTML list.
+    out.push_str("<ul class=\"phase-legend\">");
+    for item in legend {
+        out.push_str("<li>");
+        out.push_str(&item);
+        out.push_str("</li>");
+    }
+    out.push_str("</ul>");
+    out
+}
+
+/// One marker on the watchdog timeline.
+#[derive(Debug, Clone)]
+pub struct TimelineMark {
+    /// Iteration the event fired at.
+    pub iteration: u64,
+    /// `"rollback"`, `"give_up"`, or anything future.
+    pub action: String,
+    /// Tooltip detail.
+    pub detail: String,
+}
+
+/// The watchdog trip/recovery timeline: an iteration axis with one
+/// marker per event (amber = recovered rollback, red = give-up).
+#[must_use]
+pub fn timeline_strip(id: &str, title: &str, last_iteration: u64, marks: &[TimelineMark]) -> String {
+    let height = 120.0;
+    let (px0, px1) = (MARGIN_LEFT, CHART_W - MARGIN_RIGHT);
+    let axis_y = height - 38.0;
+    let mut out = open_svg(id, CHART_W, height, title);
+    out.push_str(&format!(
+        "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" class=\"axis\"/>",
+        px(px0),
+        px(axis_y),
+        px(px1),
+        px(axis_y)
+    ));
+    let hi = last_iteration.max(1) as f64;
+    for tick in 0..=4 {
+        let t = f64::from(tick) / 4.0;
+        let xv = 1.0 + (hi - 1.0) * t;
+        let x = scale(xv, 1.0, hi, px0, px1);
+        out.push_str(&format!(
+            "<text x=\"{}\" y=\"{}\" class=\"tick\" text-anchor=\"middle\">{}</text>",
+            px(x),
+            px(axis_y + 16.0),
+            esc(&fmt_value(xv.round()))
+        ));
+    }
+    if marks.is_empty() {
+        out.push_str(&format!(
+            "<text x=\"{}\" y=\"{}\" class=\"cn\">no watchdog events — clean run</text>",
+            px(px0),
+            px(axis_y - 14.0)
+        ));
+    }
+    for mark in marks {
+        let x = scale(mark.iteration.max(1) as f64, 1.0, hi, px0, px1);
+        let color = if mark.action == "give_up" { "#dc2626" } else { "#d97706" };
+        out.push_str(&format!(
+            "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"{}\" stroke-width=\"2\"/>\
+             <circle cx=\"{}\" cy=\"{}\" r=\"4\" fill=\"{}\">\
+             <title>iteration {}: {} ({})</title></circle>",
+            px(x),
+            px(axis_y - 26.0),
+            px(x),
+            px(axis_y),
+            color,
+            px(x),
+            px(axis_y - 26.0),
+            color,
+            mark.iteration,
+            esc(&mark.action),
+            esc(&mark.detail)
+        ));
+    }
+    out.push_str("</svg>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_chart_renders_series_and_survives_empty_input() {
+        let chart = line_chart(
+            "chart-test",
+            "Test",
+            &[Series {
+                label: "hpwl",
+                color: "#2563eb",
+                points: vec![(1.0, 100.0), (2.0, 90.0), (3.0, f64::NAN), (4.0, 70.0)],
+            }],
+            false,
+        );
+        assert!(chart.starts_with("<svg id=\"chart-test\""));
+        assert!(chart.ends_with("</svg>"));
+        assert!(chart.contains("<polyline"));
+        // NaN point was dropped: 3 coordinate pairs.
+        let points = chart
+            .split("points=\"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+            .unwrap_or("");
+        assert_eq!(points.split(' ').count(), 3);
+        let empty = line_chart("chart-none", "None", &[], false);
+        assert!(empty.contains("no data points recorded"));
+    }
+
+    #[test]
+    fn log_scale_drops_non_positive_samples() {
+        let chart = line_chart(
+            "chart-log",
+            "Log",
+            &[Series {
+                label: "s",
+                color: "#000000",
+                points: vec![(1.0, 0.0), (2.0, 10.0), (3.0, 1000.0)],
+            }],
+            true,
+        );
+        let points = chart
+            .split("points=\"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+            .unwrap_or("");
+        assert_eq!(points.split(' ').count(), 2);
+    }
+
+    #[test]
+    fn histogram_heatmap_and_scatter_render() {
+        let hist = histogram_chart("hist-x", "X", &[(10, 5), (12, 1)], "#2563eb");
+        assert!(hist.matches("<rect").count() >= 2);
+        assert!(histogram_chart("hist-e", "E", &[], "#000").contains("no samples"));
+
+        let map = heatmap("heat-1", "H", 2, 2, &[1.0, -1.0, 0.5, 0.0]);
+        assert_eq!(map.matches("<rect").count(), 5, "4 bins + frame");
+        assert!(heatmap("heat-bad", "B", 3, 3, &[1.0]).contains("malformed"));
+
+        let sc = scatter("cells-1", "C", &[0.0, 0.0, 5.0, 5.0, 2.0, 8.0]);
+        assert_eq!(sc.matches("<circle").count(), 3);
+    }
+
+    #[test]
+    fn phase_breakdown_groups_by_prefix() {
+        let chart = phase_breakdown(
+            "phases",
+            "Phases",
+            &[
+                PhaseSlice { name: "place.field_solve".into(), seconds: 2.0, calls: 10 },
+                PhaseSlice { name: "place.solve_x".into(), seconds: 1.0, calls: 10 },
+                PhaseSlice { name: "legalize.abacus".into(), seconds: 1.0, calls: 1 },
+            ],
+        );
+        assert!(chart.contains(">place<") || chart.contains(">place:"), "group label present: {chart}");
+        assert!(chart.contains("place.field_solve"));
+        assert!(chart.contains("phase-legend"));
+        assert!(phase_breakdown("p", "P", &[]).contains("no phase timings"));
+    }
+
+    #[test]
+    fn timeline_marks_and_clean_runs() {
+        let clean = timeline_strip("wd", "Watchdog", 20, &[]);
+        assert!(clean.contains("no watchdog events"));
+        let busy = timeline_strip(
+            "wd2",
+            "Watchdog",
+            20,
+            &[
+                TimelineMark { iteration: 5, action: "rollback".into(), detail: "hpwl".into() },
+                TimelineMark { iteration: 9, action: "give_up".into(), detail: "budget".into() },
+            ],
+        );
+        assert_eq!(busy.matches("<circle").count(), 2);
+        assert!(busy.contains("#dc2626"));
+    }
+
+    #[test]
+    fn output_is_deterministic_and_escaped() {
+        let a = heatmap("h", "T<i>tle&", 1, 2, &[0.25, -0.75]);
+        let b = heatmap("h", "T<i>tle&", 1, 2, &[0.25, -0.75]);
+        assert_eq!(a, b);
+        assert!(a.contains("T&lt;i&gt;tle&amp;"));
+    }
+}

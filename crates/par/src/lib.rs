@@ -193,7 +193,7 @@ pub fn par_map_reduce<R: Send>(
     len: usize,
     chunk: usize,
     map: impl Fn(usize, Range<usize>) -> R + Sync,
-    mut reduce: impl FnMut(R, R) -> R,
+    reduce: impl FnMut(R, R) -> R,
 ) -> Option<R> {
     let n = chunk_count(len, chunk);
     let mut partials: Vec<Option<R>> = Vec::with_capacity(n);
@@ -208,7 +208,7 @@ pub fn par_map_reduce<R: Send>(
         .into_iter()
         .map(|p| p.expect("par_map_reduce: every chunk mapped"));
     let first = ordered.next()?;
-    Some(ordered.fold(first, |acc, r| reduce(acc, r)))
+    Some(ordered.fold(first, reduce))
 }
 
 /// Runs two independent closures, concurrently when more than one thread

@@ -141,6 +141,28 @@ pub enum TraceEvent {
         /// Field key/value pairs, in emission order.
         fields: Vec<(&'static str, Value)>,
     },
+    /// A flushed [`Histogram`](crate::Histogram): sparse log2 buckets.
+    Histogram {
+        /// Histogram name (e.g. `place.displacement`).
+        name: &'static str,
+        /// Sparse `(bucket index, count)` pairs, ascending by index.
+        /// Bucket semantics are defined by
+        /// [`bucket_bounds`](crate::bucket_bounds).
+        buckets: Vec<(u8, u64)>,
+    },
+    /// A downsampled field or cell-position snapshot captured mid-run.
+    Snapshot {
+        /// What was captured: `density`, `potential`, or `cells`.
+        kind: &'static str,
+        /// 1-based transformation number the snapshot belongs to.
+        iteration: u64,
+        /// Grid columns (for `cells`: number of sampled cells).
+        nx: u32,
+        /// Grid rows (for `cells`: 2, the values are interleaved `x,y`).
+        ny: u32,
+        /// Row-major scalar samples (`nx * ny` of them).
+        values: Vec<f64>,
+    },
 }
 
 impl TraceEvent {
@@ -151,7 +173,9 @@ impl TraceEvent {
             TraceEvent::Span { name, .. }
             | TraceEvent::Counter { name, .. }
             | TraceEvent::Gauge { name, .. }
-            | TraceEvent::Event { name, .. } => name,
+            | TraceEvent::Event { name, .. }
+            | TraceEvent::Histogram { name, .. } => name,
+            TraceEvent::Snapshot { kind, .. } => kind,
         }
     }
 
@@ -195,9 +219,48 @@ impl TraceEvent {
                     o.raw_field(key, &raw);
                 }
             }
+            TraceEvent::Histogram { name, buckets } => {
+                o.str_field("type", "histogram");
+                o.str_field("name", name);
+                let count: u64 = buckets.iter().map(|(_, c)| c).sum();
+                o.u64_field("count", count);
+                o.raw_field("buckets", &write_sparse_buckets(buckets));
+            }
+            TraceEvent::Snapshot { kind, iteration, nx, ny, values } => {
+                o.str_field("type", "snapshot");
+                o.str_field("kind", kind);
+                o.u64_field("iteration", *iteration);
+                o.u64_field("nx", u64::from(*nx));
+                o.u64_field("ny", u64::from(*ny));
+                let mut raw = String::from("[");
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        raw.push(',');
+                    }
+                    write_f64(&mut raw, *v);
+                }
+                raw.push(']');
+                o.raw_field("values", &raw);
+            }
         }
         o.finish()
     }
+}
+
+/// Encodes sparse histogram buckets as a JSON array of `[index, count]`
+/// pairs — the wire format shared by the `histogram` event kind and the
+/// run-report folding.
+#[must_use]
+pub(crate) fn write_sparse_buckets(buckets: &[(u8, u64)]) -> String {
+    let mut raw = String::from("[");
+    for (i, (idx, count)) in buckets.iter().enumerate() {
+        if i > 0 {
+            raw.push(',');
+        }
+        let _ = write!(raw, "[{idx},{count}]");
+    }
+    raw.push(']');
+    raw
 }
 
 #[cfg(test)]

@@ -1,0 +1,228 @@
+//! Fixed log-bucketed histogram accumulation with a lock-free hot path.
+//!
+//! [`Histogram`] follows the same zero-cost-when-disabled contract as
+//! [`span`](crate::span) and [`counter`](crate::counter): with no sink
+//! installed, [`Histogram::record`] is one relaxed atomic load — no
+//! allocation, no locking, no floating-point classification. With a sink
+//! installed it is a bit-twiddled bucket lookup plus one relaxed
+//! `fetch_add`; the event allocation happens only at
+//! [`Histogram::flush`] time.
+//!
+//! The bucket layout is fixed so every histogram is mergeable without
+//! negotiation: bucket 0 collects non-positive and sub-`2^-24` values,
+//! buckets `1..=62` cover one power of two each (`2^-24` up to `2^38`),
+//! and bucket 63 collects everything larger plus non-finite values.
+
+use crate::event::TraceEvent;
+use crate::sink::{emit, enabled};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets in every [`Histogram`] (fixed layout).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Smallest binary exponent with its own bucket; values below `2^MIN_EXP`
+/// fold into the underflow bucket 0.
+const MIN_EXP: i32 = -24;
+
+/// Largest binary exponent with its own bucket; values at `2^(MAX_EXP+1)`
+/// and above (and non-finite values) fold into the overflow bucket 63.
+const MAX_EXP: i32 = 37;
+
+/// Maps a sample to its bucket index. Exact floor-log2 via the IEEE-754
+/// exponent field — deterministic and branch-light, no `libm` calls.
+#[inline]
+#[must_use]
+pub fn bucket_index(value: f64) -> usize {
+    if !value.is_finite() {
+        return HISTOGRAM_BUCKETS - 1;
+    }
+    if value <= 0.0 {
+        return 0;
+    }
+    let biased = (value.to_bits() >> 52) & 0x7ff;
+    if biased == 0 {
+        // Subnormal: far below 2^MIN_EXP.
+        return 0;
+    }
+    let exp = biased as i32 - 1023;
+    if exp < MIN_EXP {
+        0
+    } else if exp > MAX_EXP {
+        HISTOGRAM_BUCKETS - 1
+    } else {
+        (exp - MIN_EXP + 1) as usize
+    }
+}
+
+/// The half-open value range `[lo, hi)` a bucket index covers.
+///
+/// Bucket 0 is `[0, 2^-24)` (plus negatives), bucket 63 is
+/// `[2^38, +inf)` (plus non-finite samples).
+#[must_use]
+pub fn bucket_bounds(index: u8) -> (f64, f64) {
+    let index = usize::from(index).min(HISTOGRAM_BUCKETS - 1);
+    if index == 0 {
+        (0.0, (MIN_EXP as f64).exp2())
+    } else if index == HISTOGRAM_BUCKETS - 1 {
+        (((MAX_EXP + 1) as f64).exp2(), f64::INFINITY)
+    } else {
+        let exp = MIN_EXP + (index as i32 - 1);
+        ((exp as f64).exp2(), ((exp + 1) as f64).exp2())
+    }
+}
+
+/// A fixed log2-bucketed histogram with a lock-free record path.
+///
+/// Create one per metric, [`record`](Histogram::record) samples from any
+/// thread while a sink is installed, then [`flush`](Histogram::flush) to
+/// emit the accumulated counts as one
+/// [`TraceEvent::Histogram`] and reset the buckets.
+///
+/// ```
+/// let h = kraftwerk_trace::Histogram::new("demo.values");
+/// h.record(3.0); // no-op: no sink installed
+/// assert_eq!(h.count(), 0);
+/// ```
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Histogram {
+    /// Creates an empty histogram named `name`.
+    #[must_use]
+    pub fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// The histogram's name, as it appears in flushed events.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records one sample. Lock-free; a single relaxed load (and nothing
+    /// else) when no sink is installed.
+    #[inline]
+    pub fn record(&self, value: f64) {
+        if !enabled() {
+            return;
+        }
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` identical samples in one atomic add.
+    #[inline]
+    pub fn record_n(&self, value: f64, n: u64) {
+        if !enabled() || n == 0 {
+            return;
+        }
+        self.buckets[bucket_index(value)].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total samples currently accumulated (not yet flushed).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Drains the buckets into a sparse `(index, count)` list, resetting
+    /// them to zero.
+    #[must_use]
+    pub fn take_sparse(&self) -> Vec<(u8, u64)> {
+        let mut sparse = Vec::new();
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let count = bucket.swap(0, Ordering::Relaxed);
+            if count > 0 {
+                sparse.push((i as u8, count));
+            }
+        }
+        sparse
+    }
+
+    /// Emits accumulated counts as one [`TraceEvent::Histogram`] and
+    /// resets the buckets. A no-op when empty or when no sink is
+    /// installed (counts are retained for a later flush in that case).
+    pub fn flush(&self) {
+        if !enabled() {
+            return;
+        }
+        let buckets = self.take_sparse();
+        if !buckets.is_empty() {
+            emit(TraceEvent::Histogram { name: self.name, buckets });
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Histogram({}, count={})", self.name, self.count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::test_support::with_global_sink_lock;
+    use crate::{install, uninstall, CollectorSink};
+    use std::sync::Arc;
+
+    #[test]
+    fn bucket_index_covers_the_layout() {
+        assert_eq!(bucket_index(f64::NAN), 63);
+        assert_eq!(bucket_index(f64::INFINITY), 63);
+        assert_eq!(bucket_index(-1.0), 0);
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(1e-300), 0);
+        assert_eq!(bucket_index(1e300), 63);
+        // 1.0 = 2^0 lands in the bucket whose low edge is exactly 1.0.
+        let idx = bucket_index(1.0);
+        let (lo, hi) = bucket_bounds(idx as u8);
+        assert_eq!(lo, 1.0);
+        assert_eq!(hi, 2.0);
+        // Every in-range value lands inside its reported bounds.
+        for v in [6e-8, 0.001, 0.5, 1.5, 7.0, 1000.0, 1e9] {
+            let (lo, hi) = bucket_bounds(bucket_index(v) as u8);
+            assert!(lo <= v && v < hi, "{v} outside [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn record_is_inert_without_a_sink() {
+        with_global_sink_lock(|| {
+            let h = Histogram::new("t.inert");
+            h.record(1.0);
+            h.record_n(2.0, 5);
+            assert_eq!(h.count(), 0);
+        });
+    }
+
+    #[test]
+    fn flush_emits_sparse_buckets_and_resets() {
+        with_global_sink_lock(|| {
+            let collector = Arc::new(CollectorSink::new());
+            install(collector.clone());
+            let h = Histogram::new("t.flush");
+            h.record(1.5);
+            h.record(1.5);
+            h.record(100.0);
+            assert_eq!(h.count(), 3);
+            h.flush();
+            assert_eq!(h.count(), 0);
+            h.flush(); // empty: no second event
+            uninstall();
+            let events = collector.snapshot();
+            assert_eq!(events.len(), 1);
+            if let TraceEvent::Histogram { name, buckets } = &events[0] {
+                assert_eq!(*name, "t.flush");
+                assert_eq!(buckets.len(), 2);
+                assert_eq!(buckets.iter().map(|(_, c)| c).sum::<u64>(), 3);
+            } else {
+                panic!("expected a histogram event");
+            }
+        });
+    }
+}

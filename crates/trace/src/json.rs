@@ -522,4 +522,74 @@ mod tests {
         assert_eq!(parse("6.02e23").unwrap().as_f64(), Some(6.02e23));
         assert_eq!(parse("-1.5E-3").unwrap().as_f64(), Some(-1.5e-3));
     }
+
+    #[test]
+    fn histogram_records_round_trip_through_jsonl() {
+        let ev = crate::TraceEvent::Histogram {
+            name: "place.displacement",
+            buckets: vec![(0, 2), (25, 7), (63, 1)],
+        };
+        let line = ev.to_json();
+        let v = parse(&line).expect("histogram line parses");
+        assert_eq!(v.get("type").and_then(Json::as_str), Some("histogram"));
+        assert_eq!(
+            v.get("name").and_then(Json::as_str),
+            Some("place.displacement")
+        );
+        assert_eq!(v.get("count").and_then(Json::as_f64), Some(10.0));
+        let buckets = v.get("buckets").and_then(Json::as_array).unwrap();
+        let decoded: Vec<(u8, u64)> = buckets
+            .iter()
+            .map(|pair| {
+                let pair = pair.as_array().unwrap();
+                (
+                    pair[0].as_f64().unwrap() as u8,
+                    pair[1].as_f64().unwrap() as u64,
+                )
+            })
+            .collect();
+        assert_eq!(decoded, vec![(0, 2), (25, 7), (63, 1)]);
+        // The merged run-report form encodes identically.
+        let stat = crate::HistogramStat {
+            name: "place.displacement".to_string(),
+            buckets: vec![(0, 2), (25, 7), (63, 1)],
+        };
+        assert_eq!(stat.to_json(), line);
+    }
+
+    #[test]
+    fn snapshot_records_round_trip_through_jsonl() {
+        let values = vec![0.0, 0.25, -1.5, 1e6];
+        let ev = crate::TraceEvent::Snapshot {
+            kind: "density",
+            iteration: 15,
+            nx: 2,
+            ny: 2,
+            values: values.clone(),
+        };
+        let line = ev.to_json();
+        let v = parse(&line).expect("snapshot line parses");
+        assert_eq!(v.get("type").and_then(Json::as_str), Some("snapshot"));
+        assert_eq!(v.get("kind").and_then(Json::as_str), Some("density"));
+        assert_eq!(v.get("iteration").and_then(Json::as_f64), Some(15.0));
+        assert_eq!(v.get("nx").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(v.get("ny").and_then(Json::as_f64), Some(2.0));
+        let decoded: Vec<f64> = v
+            .get("values")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .map(|x| x.as_f64().unwrap())
+            .collect();
+        assert_eq!(decoded, values);
+        // The decoded SnapshotRecord form encodes identically.
+        let rec = crate::SnapshotRecord {
+            kind: "density".to_string(),
+            iteration: 15,
+            nx: 2,
+            ny: 2,
+            values,
+        };
+        assert_eq!(rec.to_json(), line);
+    }
 }

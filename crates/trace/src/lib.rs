@@ -22,6 +22,13 @@
 //!   span since the previous `iteration` event becomes that record's
 //!   per-phase time) plus a cumulative phase profile, counter totals, and
 //!   latest gauges.
+//! * [`Histogram`] accumulates fixed log2-bucketed distributions (CG
+//!   iteration counts, cell displacements, density overflow) with a
+//!   lock-free record path that is a single relaxed load when disabled;
+//!   flushing emits a `histogram` record.
+//! * [`snapshot`] emits downsampled density/potential grids and sampled
+//!   cell positions as `snapshot` records every N transformations;
+//!   [`SnapshotRecorder`] collects just those.
 //! * [`json`] is the hand-rolled encoder/parser backing all of it.
 //! * [`Console`] / [`ProgressSink`] provide leveled CLI output so
 //!   binaries share one `--quiet`/`-v` convention.
@@ -54,18 +61,26 @@
 
 pub mod console;
 mod event;
+mod hist;
 pub mod json;
 mod report;
 mod sink;
+mod snapshot;
 mod span;
 
 pub use console::{Console, ProgressSink, Verbosity};
 pub use event::{TraceEvent, Value};
+pub use hist::{bucket_bounds, bucket_index, Histogram, HISTOGRAM_BUCKETS};
 pub use report::{
-    IterationRecord, PhaseStat, RunRecorder, RunReport, ITERATION_EVENT, WATCHDOG_EVENT,
+    HistogramStat, IterationRecord, PhaseStat, RunRecorder, RunReport, TimelineEvent,
+    ITERATION_EVENT, WATCHDOG_EVENT,
 };
 pub use sink::{
     counter, emit, enabled, event, gauge, install, uninstall, CollectorSink, FanoutSink,
     JsonlEventSink, TraceSink,
+};
+pub use snapshot::{
+    snapshot, SnapshotRecord, SnapshotRecorder, SNAPSHOT_CELLS, SNAPSHOT_DENSITY,
+    SNAPSHOT_POTENTIAL,
 };
 pub use span::{span, SpanGuard};

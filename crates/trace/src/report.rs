@@ -1,9 +1,10 @@
 //! Run-level telemetry aggregation: the event stream folded into
 //! per-iteration JSONL records plus a cumulative phase profile.
 
-use crate::event::{TraceEvent, Value};
+use crate::event::{write_sparse_buckets, TraceEvent, Value};
 use crate::json::JsonObject;
 use crate::sink::TraceSink;
+use crate::snapshot::SnapshotRecord;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Mutex;
@@ -78,6 +79,74 @@ pub struct PhaseStat {
     pub seconds: f64,
 }
 
+/// Merged histogram buckets for one metric across the whole run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HistogramStat {
+    /// Histogram name (e.g. `place.displacement`).
+    pub name: String,
+    /// Sparse `(bucket index, count)` pairs, ascending by index; bucket
+    /// semantics are defined by [`bucket_bounds`](crate::bucket_bounds).
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl HistogramStat {
+    /// Total samples across all buckets.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|(_, c)| c).sum()
+    }
+
+    /// Encodes the merged histogram as one JSON object (one JSONL line,
+    /// no newline) — same shape as the originating `histogram` events.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.str_field("type", "histogram");
+        o.str_field("name", &self.name);
+        o.u64_field("count", self.count());
+        o.raw_field("buckets", &write_sparse_buckets(&self.buckets));
+        o.finish()
+    }
+}
+
+/// One retained structured event (watchdog trips/recoveries), kept with
+/// its full field list so dashboards can render a run timeline.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TimelineEvent {
+    /// Originating event name (currently always [`WATCHDOG_EVENT`]).
+    pub name: String,
+    /// Field key/value pairs, in emission order.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl TimelineEvent {
+    /// The 1-based transformation number (0 when the field is absent).
+    #[must_use]
+    pub fn iteration(&self) -> u64 {
+        self.get("iteration").and_then(Value::as_u64).unwrap_or(0)
+    }
+
+    /// Field lookup by key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Encodes the event as one JSON object (one JSONL line, no
+    /// newline): `{"type":"<name>", ...fields}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.str_field("type", &self.name);
+        for (key, value) in &self.fields {
+            let mut raw = String::new();
+            value.write_json(&mut raw);
+            o.raw_field(key, &raw);
+        }
+        o.finish()
+    }
+}
+
 /// The digested outcome of a traced run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunReport {
@@ -93,6 +162,12 @@ pub struct RunReport {
     pub gauges: Vec<(String, f64)>,
     /// Counts of structured events by name (excluding `iteration`).
     pub events: Vec<(String, u64)>,
+    /// Merged histogram buckets per metric, sorted by name.
+    pub histograms: Vec<HistogramStat>,
+    /// Field/position snapshots, in emission order.
+    pub snapshots: Vec<SnapshotRecord>,
+    /// Retained watchdog events, in emission order.
+    pub timeline: Vec<TimelineEvent>,
     /// Wall-clock seconds from recorder creation to report.
     pub total_seconds: f64,
 }
@@ -100,11 +175,62 @@ pub struct RunReport {
 impl RunReport {
     /// One JSONL line per iteration record (trailing newline included when
     /// any records exist) — the `--trace` output format.
+    ///
+    /// When run metadata was set, the stream opens with one
+    /// `{"type":"meta",...}` line so downstream consumers (`kraftwerk
+    /// inspect`) see the same run identity the `--report` summary
+    /// carries. Snapshot and watchdog-timeline records (when any were
+    /// captured) interleave after the iteration record they belong to,
+    /// each as its own line carrying a distinguishing `"type"` field;
+    /// iteration records have no `"type"` field. Histogram records follow
+    /// at the end. A run with no metadata, snapshots, trips, or
+    /// histograms therefore still emits exactly one line per
+    /// transformation.
     #[must_use]
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
+        if !self.meta.is_empty() {
+            let mut o = JsonObject::new();
+            o.str_field("type", "meta");
+            for (key, value) in &self.meta {
+                let mut raw = String::new();
+                value.write_json(&mut raw);
+                o.raw_field(key, &raw);
+            }
+            out.push_str(&o.finish());
+            out.push('\n');
+        }
+        let mut snap_cursor = 0usize;
+        let mut time_cursor = 0usize;
         for record in &self.iterations {
+            let n = record.iteration();
             out.push_str(&record.to_json());
+            out.push('\n');
+            while snap_cursor < self.snapshots.len()
+                && self.snapshots[snap_cursor].iteration <= n
+            {
+                out.push_str(&self.snapshots[snap_cursor].to_json());
+                out.push('\n');
+                snap_cursor += 1;
+            }
+            while time_cursor < self.timeline.len()
+                && self.timeline[time_cursor].iteration() <= n
+            {
+                out.push_str(&self.timeline[time_cursor].to_json());
+                out.push('\n');
+                time_cursor += 1;
+            }
+        }
+        for snap in &self.snapshots[snap_cursor.min(self.snapshots.len())..] {
+            out.push_str(&snap.to_json());
+            out.push('\n');
+        }
+        for event in &self.timeline[time_cursor.min(self.timeline.len())..] {
+            out.push_str(&event.to_json());
+            out.push('\n');
+        }
+        for hist in &self.histograms {
+            out.push_str(&hist.to_json());
             out.push('\n');
         }
         out
@@ -162,6 +288,13 @@ impl RunReport {
             events.u64_field(name, *value);
         }
         o.raw_field("events", &events.finish());
+        // The full per-iteration record stream plus captured snapshots,
+        // histograms, and the watchdog timeline, so a single `--report`
+        // file is self-sufficient for `kraftwerk inspect`.
+        o.raw_field("records", &json_list(self.iterations.iter().map(IterationRecord::to_json)));
+        o.raw_field("histograms", &json_list(self.histograms.iter().map(HistogramStat::to_json)));
+        o.raw_field("snapshots", &json_list(self.snapshots.iter().map(SnapshotRecord::to_json)));
+        o.raw_field("timeline", &json_list(self.timeline.iter().map(TimelineEvent::to_json)));
         o.finish()
     }
 
@@ -195,6 +328,19 @@ impl RunReport {
     }
 }
 
+/// Joins already-encoded JSON fragments into one JSON array.
+fn json_list(items: impl Iterator<Item = String>) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
 #[derive(Debug, Default)]
 struct RecorderState {
     meta: Vec<(String, Value)>,
@@ -204,6 +350,9 @@ struct RecorderState {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     events: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, BTreeMap<u8, u64>>,
+    snapshots: Vec<SnapshotRecord>,
+    timeline: Vec<TimelineEvent>,
 }
 
 /// A [`TraceSink`] that folds the event stream into a [`RunReport`]:
@@ -285,6 +434,16 @@ impl RunRecorder {
             counters: state.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
             gauges: state.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
             events: state.events.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: state
+                .histograms
+                .iter()
+                .map(|(name, buckets)| HistogramStat {
+                    name: name.clone(),
+                    buckets: buckets.iter().map(|(i, c)| (*i, *c)).collect(),
+                })
+                .collect(),
+            snapshots: state.snapshots.clone(),
+            timeline: state.timeline.clone(),
             total_seconds: self.started.elapsed().as_secs_f64(),
         }
     }
@@ -324,8 +483,32 @@ impl TraceSink for RunRecorder {
                     phases,
                 });
             }
-            TraceEvent::Event { name, .. } => {
+            TraceEvent::Event { name, fields } => {
                 *state.events.entry((*name).to_string()).or_insert(0) += 1;
+                if *name == WATCHDOG_EVENT {
+                    state.timeline.push(TimelineEvent {
+                        name: (*name).to_string(),
+                        fields: fields
+                            .iter()
+                            .map(|(k, v)| ((*k).to_string(), v.clone()))
+                            .collect(),
+                    });
+                }
+            }
+            TraceEvent::Histogram { name, buckets } => {
+                let merged = state.histograms.entry((*name).to_string()).or_default();
+                for (index, count) in buckets {
+                    *merged.entry(*index).or_insert(0) += count;
+                }
+            }
+            TraceEvent::Snapshot { kind, iteration, nx, ny, values } => {
+                state.snapshots.push(SnapshotRecord {
+                    kind: (*kind).to_string(),
+                    iteration: *iteration,
+                    nx: *nx as usize,
+                    ny: *ny as usize,
+                    values: values.clone(),
+                });
             }
         }
     }

@@ -1,0 +1,179 @@
+//! Mid-run field snapshots: downsampled density/potential grids and
+//! sampled cell positions, captured every N transformations.
+//!
+//! The session emits [`TraceEvent::Snapshot`] records through the normal
+//! sink machinery; [`RunRecorder`](crate::RunRecorder) folds them into
+//! the JSONL report next to the iteration records, and the standalone
+//! [`SnapshotRecorder`] collects just the snapshots for ad-hoc tooling.
+
+use crate::event::TraceEvent;
+use crate::json::{write_f64, JsonObject};
+use crate::sink::{emit, enabled, TraceSink};
+use std::sync::Mutex;
+
+/// Snapshot kind for downsampled cell-density grids.
+pub const SNAPSHOT_DENSITY: &str = "density";
+/// Snapshot kind for downsampled potential/force-field grids.
+pub const SNAPSHOT_POTENTIAL: &str = "potential";
+/// Snapshot kind for sampled cell positions (`nx` cells, interleaved
+/// `x,y` values, `ny == 2`).
+pub const SNAPSHOT_CELLS: &str = "cells";
+
+/// One captured snapshot, decoded from the event stream.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SnapshotRecord {
+    /// What was captured (`density`, `potential`, or `cells`).
+    pub kind: String,
+    /// 1-based transformation number.
+    pub iteration: u64,
+    /// Grid columns (for `cells`: number of sampled cells).
+    pub nx: usize,
+    /// Grid rows (for `cells`: 2).
+    pub ny: usize,
+    /// Row-major samples (`nx * ny` of them).
+    pub values: Vec<f64>,
+}
+
+impl SnapshotRecord {
+    /// Encodes the record as one JSON object (one JSONL line, no
+    /// newline) — identical to the originating event's encoding.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.str_field("type", "snapshot");
+        o.str_field("kind", &self.kind);
+        o.u64_field("iteration", self.iteration);
+        o.u64_field("nx", self.nx as u64);
+        o.u64_field("ny", self.ny as u64);
+        let mut raw = String::from("[");
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                raw.push(',');
+            }
+            write_f64(&mut raw, *v);
+        }
+        raw.push(']');
+        o.raw_field("values", &raw);
+        o.finish()
+    }
+}
+
+/// Convenience: emits one snapshot event when a sink is installed.
+///
+/// Callers should guard the (potentially expensive) downsampling behind
+/// [`enabled`] themselves; this guard only protects against the sink
+/// being uninstalled in between.
+pub fn snapshot(kind: &'static str, iteration: u64, nx: usize, ny: usize, values: Vec<f64>) {
+    if enabled() {
+        emit(TraceEvent::Snapshot {
+            kind,
+            iteration,
+            nx: nx as u32,
+            ny: ny as u32,
+            values,
+        });
+    }
+}
+
+/// A sink that collects only [`TraceEvent::Snapshot`] records.
+///
+/// Usually composed into a [`FanoutSink`](crate::FanoutSink) next to a
+/// [`RunRecorder`](crate::RunRecorder).
+#[derive(Debug, Default)]
+pub struct SnapshotRecorder {
+    snapshots: Mutex<Vec<SnapshotRecord>>,
+}
+
+impl SnapshotRecorder {
+    /// Creates an empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Everything captured so far, in emission order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned.
+    #[must_use]
+    pub fn snapshots(&self) -> Vec<SnapshotRecord> {
+        self.snapshots.lock().expect("snapshot recorder poisoned").clone()
+    }
+
+    /// Number of snapshots captured so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.snapshots.lock().expect("snapshot recorder poisoned").len()
+    }
+
+    /// Whether nothing has been captured.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for SnapshotRecorder {
+    fn event(&self, event: &TraceEvent) {
+        if let TraceEvent::Snapshot { kind, iteration, nx, ny, values } = event {
+            let mut slot = self.snapshots.lock().expect("snapshot recorder poisoned");
+            slot.push(SnapshotRecord {
+                kind: (*kind).to_string(),
+                iteration: *iteration,
+                nx: *nx as usize,
+                ny: *ny as usize,
+                values: values.clone(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::test_support::with_global_sink_lock;
+    use crate::{install, uninstall};
+    use std::sync::Arc;
+
+    #[test]
+    fn recorder_collects_only_snapshots() {
+        with_global_sink_lock(|| {
+            let rec = Arc::new(SnapshotRecorder::new());
+            install(rec.clone());
+            crate::counter("noise", 1);
+            snapshot(SNAPSHOT_DENSITY, 5, 2, 2, vec![0.0, 1.0, 2.0, 3.0]);
+            uninstall();
+            snapshot(SNAPSHOT_DENSITY, 6, 1, 1, vec![9.0]);
+            let got = rec.snapshots();
+            assert_eq!(got.len(), 1);
+            assert_eq!(got[0].kind, SNAPSHOT_DENSITY);
+            assert_eq!(got[0].iteration, 5);
+            assert_eq!((got[0].nx, got[0].ny), (2, 2));
+            assert_eq!(got[0].values, vec![0.0, 1.0, 2.0, 3.0]);
+        });
+    }
+
+    #[test]
+    fn record_json_matches_event_json() {
+        let rec = SnapshotRecord {
+            kind: "cells".to_string(),
+            iteration: 3,
+            nx: 2,
+            ny: 2,
+            values: vec![1.0, 2.0, 3.0, 4.0],
+        };
+        let ev = TraceEvent::Snapshot {
+            kind: "cells",
+            iteration: 3,
+            nx: 2,
+            ny: 2,
+            values: vec![1.0, 2.0, 3.0, 4.0],
+        };
+        assert_eq!(rec.to_json(), ev.to_json());
+    }
+}

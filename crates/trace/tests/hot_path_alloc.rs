@@ -1,0 +1,56 @@
+//! Asserts the zero-cost-when-disabled contract of the histogram hot
+//! path: with no sink installed, `Histogram::record` must not allocate.
+//!
+//! This lives in its own integration-test binary so the counting global
+//! allocator sees no interference from unrelated tests; keep it the only
+//! `#[test]` here.
+
+use kraftwerk_trace::Histogram;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_histogram_record_does_not_allocate() {
+    // No sink is installed in this binary, so `enabled()` is false.
+    assert!(!kraftwerk_trace::enabled());
+    let hist = Histogram::new("test.hot_path");
+    // Warm up anything lazily initialized by the first call.
+    hist.record(1.0);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..10_000 {
+        hist.record(f64::from(i));
+        hist.record_n(0.5, 3);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled histogram hot path allocated {} times",
+        after - before
+    );
+    // And nothing was accumulated either: the guard short-circuits.
+    assert_eq!(hist.count(), 0);
+}

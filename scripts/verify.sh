@@ -20,5 +20,12 @@ cargo clippy --all-targets -- -D warnings
 # No new unwrap()/expect()/panic! in library crates (allowlisted
 # invariants only — see scripts/panic-allowlist.txt).
 bash scripts/panic_audit.sh
+# Bench schema smoke (writes to a scratch file, never the committed
+# baseline) and the regression gate: HPWL drift beyond 2% against
+# BENCH_place.json is fatal, wall-clock drift is warn-only.
+bench_smoke=$(mktemp)
+trap 'rm -f "$bench_smoke"' EXIT
+cargo run --release --bin kraftwerk -- bench --json --max-cells 200 -o "$bench_smoke" -q
+KRAFTWERK_BIN=target/release/kraftwerk bash scripts/bench_gate.sh
 
 echo "verify: OK"

@@ -2,8 +2,11 @@
 //!
 //! ```text
 //! kraftwerk place      <netlist> [-o placement.pl] [--fast] [--multilevel] [--svg out.svg]
-//!                                [--threads N] [--trace run.jsonl] [--report report.json]
-//!                                [--profile] [-v|--verbose] [-q|--quiet]
+//!                                [--threads N] [--trace [run.jsonl]] [--report report.json]
+//!                                [--snapshot-every N] [--k F] [--profile] [-v|--verbose] [-q|--quiet]
+//! kraftwerk inspect    <telemetry> [-o report.html]
+//! kraftwerk bench      [--json] [--compare baseline.json] [-o out.json] [--max-cells N]
+//!                      [--hpwl-tol PCT] [--wall-tol PCT]
 //! kraftwerk timing     <netlist> [--requirement NS] [-v|--verbose] [-q|--quiet]
 //! kraftwerk gen        <name> <cells> <nets> <rows> [-o netlist.kw]
 //! kraftwerk stats      <netlist>
@@ -15,11 +18,21 @@
 //! Netlists use the text format of `kraftwerk::netlist::format` (see the
 //! `gen` subcommand to create one).
 //!
-//! `place` telemetry: `--trace` writes one JSON record per placement
-//! transformation (JSONL), `--report` the end-of-run summary with the
-//! cumulative phase profile, `--profile` prints that profile as a table,
-//! and `-v` streams per-iteration progress to stderr. See the README
-//! "Observability" section for the record schema.
+//! `place` telemetry: `--trace` enables recording (with a path it also
+//! writes one JSON record per placement transformation as JSONL),
+//! `--report` the end-of-run summary with the cumulative phase profile
+//! and the full embedded record stream, `--snapshot-every N` captures
+//! downsampled density/potential fields and cell positions every N
+//! transformations, `--profile` prints the phase profile as a table, and
+//! `-v` streams per-iteration progress to stderr. See the README
+//! "Observability" and "Inspecting runs" sections for the record schema.
+//!
+//! `inspect` turns either telemetry artifact (the `--trace` JSONL stream
+//! or the `--report` summary) into a self-contained HTML dashboard.
+//! `bench --json` measures the Table 1 subset; `bench --compare`
+//! re-measures against a committed `BENCH_place.json` baseline and exits
+//! non-zero on an HPWL regression beyond `--hpwl-tol` (default 2%);
+//! wall-clock drift beyond `--wall-tol` is warn-only.
 //!
 //! `--threads N` sets the worker-thread count of the data-parallel
 //! runtime (`0` or absent: the `KRAFTWERK_THREADS` environment variable,
@@ -86,7 +99,7 @@ impl CliError {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  kraftwerk place     <netlist> [-o <placement>] [--fast] [--multilevel] [--svg <file>]\n                      [--threads <n>] [--trace <jsonl>] [--report <json>] [--profile]\n                      [--force-scale <f>] [-v|--verbose] [-q|--quiet]\n  kraftwerk timing    <netlist> [--requirement <ns>] [-v|--verbose] [-q|--quiet]\n  kraftwerk gen       <name> <cells> <nets> <rows> [-o <file>]\n  kraftwerk stats     <netlist>\n  kraftwerk check     <netlist> <placement>\n  kraftwerk route     <netlist> <placement>\n  kraftwerk bookshelf <netlist> [<placement>] [-o <dir>]"
+        "usage:\n  kraftwerk place     <netlist> [-o <placement>] [--fast] [--multilevel] [--svg <file>]\n                      [--threads <n>] [--trace [<jsonl>]] [--report <json>] [--profile]\n                      [--snapshot-every <n>] [--k <f>] [--force-scale <f>] [-v|--verbose] [-q|--quiet]\n  kraftwerk inspect   <telemetry> [-o <html>]\n  kraftwerk bench     [--json] [--compare <baseline>] [-o <json>] [--max-cells <n>]\n                      [--hpwl-tol <pct>] [--wall-tol <pct>] [-v|--verbose] [-q|--quiet]\n  kraftwerk timing    <netlist> [--requirement <ns>] [-v|--verbose] [-q|--quiet]\n  kraftwerk gen       <name> <cells> <nets> <rows> [-o <file>]\n  kraftwerk stats     <netlist>\n  kraftwerk check     <netlist> <placement>\n  kraftwerk route     <netlist> <placement>\n  kraftwerk bookshelf <netlist> [<placement>] [-o <dir>]"
     );
     ExitCode::from(2)
 }
@@ -114,8 +127,38 @@ fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
     }
 }
 
+/// Like [`flag_value`] but the value is optional: `Ok(None)` when the
+/// flag is absent, `Ok(Some(None))` when it is passed bare (last, or
+/// followed by another flag), `Ok(Some(Some(v)))` with a value.
+#[allow(clippy::option_option)]
+fn optional_flag_value(args: &[String], flag: &str) -> Option<Option<String>> {
+    let i = args.iter().position(|a| a == flag)?;
+    match args.get(i + 1) {
+        Some(value) if !value.starts_with('-') => Some(Some(value.clone())),
+        _ => Some(None),
+    }
+}
+
 fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
+}
+
+/// Fails fast — I/O taxonomy, exit 3 — when the directory that will hold
+/// the output `path` does not exist, so a long placement never dies at
+/// its final write.
+fn require_parent_dir(path: &str) -> Result<(), CliError> {
+    let parent = std::path::Path::new(path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty());
+    if let Some(dir) = parent {
+        if !dir.is_dir() {
+            return Err(kerr(KraftwerkError::Io {
+                path: path.to_string(),
+                message: format!("output directory `{}` does not exist", dir.display()),
+            }));
+        }
+    }
+    Ok(())
 }
 
 /// Shorthand: any pipeline-stage error into its `CliError` with the
@@ -160,7 +203,9 @@ fn cmd_place(args: &[String]) -> Result<(), CliError> {
         has_flag(args, "--verbose") || has_flag(args, "-v"),
     );
     // Validate every value-taking flag before the (possibly long) run.
-    let trace_path = flag_value(args, "--trace")?;
+    // `--trace` may be passed bare: recording on, no JSONL file.
+    let trace_flag = optional_flag_value(args, "--trace");
+    let trace_path = trace_flag.clone().flatten();
     let report_path = flag_value(args, "--report")?;
     let out_path = flag_value(args, "-o")?;
     let svg_path = flag_value(args, "--svg")?;
@@ -168,6 +213,13 @@ fn cmd_place(args: &[String]) -> Result<(), CliError> {
     let Some(input) = args.first().filter(|a| !a.starts_with('-')) else {
         return Err("place: missing netlist path (it comes before the flags)".into());
     };
+    // Output locations must be writable before the (possibly long) run.
+    for path in [&trace_path, &report_path, &out_path, &svg_path]
+        .into_iter()
+        .flatten()
+    {
+        require_parent_dir(path)?;
+    }
     let threads = match flag_value(args, "--threads")? {
         Some(v) => v
             .parse::<usize>()
@@ -189,6 +241,27 @@ fn cmd_place(args: &[String]) -> Result<(), CliError> {
         }
         None => 1.0,
     };
+    let snapshot_every = match flag_value(args, "--snapshot-every")? {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("--snapshot-every: `{v}` is not a number"))?,
+        None => 0,
+    };
+    // Movement-force weight K (the paper's convergence-speed knob);
+    // defaults to the mode's value when absent. EXPERIMENTS.md overlays
+    // recorded runs at different K through `kraftwerk inspect`.
+    let k_override = match flag_value(args, "--k")? {
+        Some(v) => {
+            let k: f64 = v
+                .parse()
+                .map_err(|_| format!("--k: `{v}` is not a number"))?;
+            if !k.is_finite() || k <= 0.0 {
+                return Err(format!("--k: `{v}` must be finite and positive").into());
+            }
+            Some(k)
+        }
+        None => None,
+    };
     let netlist = load(input)?;
     let fast = has_flag(args, "--fast");
     let mut config = if fast {
@@ -196,12 +269,16 @@ fn cmd_place(args: &[String]) -> Result<(), CliError> {
     } else {
         KraftwerkConfig::standard()
     }
-    .with_threads(threads);
+    .with_threads(threads)
+    .with_snapshot_every(snapshot_every);
+    if let Some(k) = k_override {
+        config = config.with_k(k);
+    }
     config.force_scale_boost = force_scale;
 
     // Telemetry: a recorder feeds --trace/--report/--profile; verbose mode
     // additionally streams per-iteration progress to stderr.
-    let recorder = (trace_path.is_some() || report_path.is_some() || profile)
+    let recorder = (trace_flag.is_some() || report_path.is_some() || profile)
         .then(|| Arc::new(RunRecorder::new()));
     if let Some(rec) = &recorder {
         rec.set_meta("netlist", Value::from(netlist.name()));
@@ -209,6 +286,7 @@ fn cmd_place(args: &[String]) -> Result<(), CliError> {
         rec.set_meta("nets", Value::from(netlist.num_nets()));
         rec.set_meta("mode", Value::from(if fast { "fast" } else { "standard" }));
         rec.set_meta("threads", Value::from(threads));
+        rec.set_meta("k", Value::from(config.k));
     }
     let progress = (console.verbosity() == Verbosity::Verbose)
         .then(|| Arc::new(ProgressSink::new(console)));
@@ -300,6 +378,152 @@ fn cmd_place(args: &[String]) -> Result<(), CliError> {
     if let Some(svg_path) = svg_path {
         snapshot(&netlist, &legal, &svg_path)?;
         console.info(format!("wrote {svg_path}"));
+    }
+    Ok(())
+}
+
+/// `kraftwerk inspect <telemetry> [-o report.html]`: renders a recorded
+/// run (a `--trace` JSONL stream or a `--report` summary) into a
+/// self-contained HTML dashboard.
+fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
+    use kraftwerk::trace::Console;
+
+    let console = Console::from_flags(
+        has_flag(args, "--quiet") || has_flag(args, "-q"),
+        has_flag(args, "--verbose") || has_flag(args, "-v"),
+    );
+    let Some(input) = args.first().filter(|a| !a.starts_with('-')) else {
+        return Err(
+            "inspect: missing telemetry path (a --trace JSONL stream or --report summary)".into(),
+        );
+    };
+    let out = flag_value(args, "-o")?.unwrap_or_else(|| format!("{input}.html"));
+    require_parent_dir(&out)?;
+    let text = std::fs::read_to_string(input).map_err(|e| {
+        kerr(KraftwerkError::Io {
+            path: input.to_string(),
+            message: e.to_string(),
+        })
+    })?;
+    let html = kraftwerk::inspect::render_report(&text).map_err(|e| CliError {
+        message: format!("{input}: {e}"),
+        // Unreadable telemetry is a parse failure in the taxonomy.
+        code: 4,
+    })?;
+    write_file(&out, html)?;
+    console.info(format!("wrote {out}"));
+    Ok(())
+}
+
+/// A percentage-valued flag (`--hpwl-tol 2` = 2%) as a fraction.
+fn tolerance_flag(args: &[String], flag: &str, default_pct: f64) -> Result<f64, CliError> {
+    match flag_value(args, flag)? {
+        Some(v) => {
+            let pct: f64 = v
+                .parse()
+                .map_err(|_| format!("{flag}: `{v}` is not a number"))?;
+            if !pct.is_finite() || pct < 0.0 {
+                return Err(format!("{flag}: `{v}` must be finite and non-negative").into());
+            }
+            Ok(pct / 100.0)
+        }
+        None => Ok(default_pct / 100.0),
+    }
+}
+
+/// `kraftwerk bench`: `--json` measures the Table 1 subset fresh;
+/// `--compare <baseline>` re-measures and gates against a committed
+/// `BENCH_place.json` (hard-fail on HPWL drift, warn-only on wall clock).
+fn cmd_bench(args: &[String]) -> Result<(), CliError> {
+    use kraftwerk::bench::compare::{parse_baseline, run_compare, CompareConfig};
+    use kraftwerk::netlist::synth::{generate, mcnc};
+    use kraftwerk::trace::Console;
+
+    let console = Console::from_flags(
+        has_flag(args, "--quiet") || has_flag(args, "-q"),
+        has_flag(args, "--verbose") || has_flag(args, "-v"),
+    );
+    let max_cells = match flag_value(args, "--max-cells")? {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("--max-cells: `{v}` is not a number"))?,
+        None => 2000,
+    };
+    let out = flag_value(args, "-o")?;
+    if let Some(path) = &out {
+        require_parent_dir(path)?;
+    }
+
+    if let Some(baseline_path) = flag_value(args, "--compare")? {
+        let text = std::fs::read_to_string(&baseline_path).map_err(|e| {
+            kerr(KraftwerkError::Io {
+                path: baseline_path.clone(),
+                message: e.to_string(),
+            })
+        })?;
+        let baseline = parse_baseline(&text).map_err(|e| CliError {
+            message: format!("{baseline_path}: {e}"),
+            code: 4,
+        })?;
+        let config = CompareConfig {
+            hpwl_tolerance: tolerance_flag(args, "--hpwl-tol", 2.0)?,
+            wall_tolerance: tolerance_flag(args, "--wall-tol", 25.0)?,
+            max_cells,
+        };
+        let report = run_compare(&baseline, &config);
+        console.info(report.summary_table());
+        match &out {
+            Some(path) => {
+                write_file(path, report.to_json())?;
+                console.info(format!("wrote {path}"));
+            }
+            // The machine-readable verdict is the command's output.
+            None => println!("{}", report.to_json()),
+        }
+        if !report.passed() {
+            return Err(format!(
+                "bench: HPWL regression beyond {:.2}% against {baseline_path}",
+                config.hpwl_tolerance * 100.0
+            )
+            .into());
+        }
+        if report.wall_warnings() > 0 {
+            console.info(format!(
+                "bench: {} wall-clock drift warning(s) beyond {:.0}% (not fatal)",
+                report.wall_warnings(),
+                config.wall_tolerance * 100.0
+            ));
+        }
+        return Ok(());
+    }
+
+    if !has_flag(args, "--json") {
+        return Err("bench: pass --json to measure or --compare <baseline> to gate".into());
+    }
+    let mut runs = Vec::new();
+    for preset in kraftwerk::bench::table1_circuits(max_cells) {
+        let netlist = generate(&mcnc::config_for(preset));
+        for mode in ["standard", "fast"] {
+            let config = if mode == "fast" {
+                KraftwerkConfig::fast()
+            } else {
+                KraftwerkConfig::standard()
+            };
+            let (_, run) = kraftwerk::bench::run_kraftwerk_recorded(&netlist, config, mode);
+            console.info(format!(
+                "{} ({mode}): hpwl {:.6} m in {:.2}s over {} transformations",
+                run.netlist, run.hpwl_m, run.wall_s, run.iterations
+            ));
+            runs.push(run);
+        }
+    }
+    let json = kraftwerk::bench::bench_json(&runs);
+    match &out {
+        Some(path) => {
+            write_file(path, json)?;
+            console.info(format!("wrote {path} ({} runs)", runs.len()));
+        }
+        None => println!("{json}"),
     }
     Ok(())
 }
@@ -455,6 +679,8 @@ fn main() -> ExitCode {
     let rest = &args[1..];
     let result = match cmd.as_str() {
         "place" => cmd_place(rest),
+        "inspect" => cmd_inspect(rest),
+        "bench" => cmd_bench(rest),
         "timing" => cmd_timing(rest),
         "gen" => cmd_gen(rest),
         "stats" => cmd_stats(rest),

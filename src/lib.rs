@@ -27,6 +27,8 @@
 //! | [`timing`] | `kraftwerk-timing` | Elmore STA, criticality weighting, timing-driven flows |
 //! | [`congestion`] | `kraftwerk-congestion` | routing demand, congestion and thermal maps |
 //! | [`floorplan`] | `kraftwerk-floorplan` | mixed block/cell flows |
+//! | [`inspect`] | `kraftwerk-inspect` | HTML/SVG run dashboards from recorded telemetry |
+//! | [`bench`] | `kraftwerk-bench` | experiment harness and the bench regression gate |
 //!
 //! # Quick start
 //!
@@ -51,11 +53,13 @@
 //! the paper.
 
 pub use kraftwerk_baselines as baselines;
+pub use kraftwerk_bench as bench;
 pub use kraftwerk_congestion as congestion;
 pub use kraftwerk_core as placer;
 pub use kraftwerk_field as field;
 pub use kraftwerk_floorplan as floorplan;
 pub use kraftwerk_geom as geom;
+pub use kraftwerk_inspect as inspect;
 pub use kraftwerk_legalize as legalize;
 pub use kraftwerk_netlist as netlist;
 pub use kraftwerk_par as par;
