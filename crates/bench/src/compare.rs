@@ -17,7 +17,7 @@
 //! (`scripts/bench_gate.sh`) can consume it without scraping the table.
 
 use crate::{run_kraftwerk, table1_circuits};
-use kraftwerk_core::KraftwerkConfig;
+use kraftwerk_core::{FieldSolverKind, KraftwerkConfig};
 use kraftwerk_netlist::synth::{generate, mcnc};
 use kraftwerk_trace::json::{self, Json, JsonObject};
 
@@ -106,16 +106,19 @@ pub struct CompareReport {
     pub wall_tolerance: f64,
 }
 
+/// Relative drift of `current` against `baseline` (`+0.03` = 3% worse).
+///
+/// A zero or non-finite baseline (or a non-finite measurement) cannot
+/// anchor a comparison, so the drift is NaN — and because `NaN > tol` is
+/// `false` for every tolerance, callers must fail hard on a non-finite
+/// drift instead of comparing it. The old formulation divided through and
+/// let a corrupt baseline (NaN fields, zeroed HPWL) sail past the gate as
+/// a silent pass.
 fn relative_delta(baseline: f64, current: f64) -> f64 {
-    if baseline.abs() < f64::EPSILON {
-        if current.abs() < f64::EPSILON {
-            0.0
-        } else {
-            f64::INFINITY
-        }
-    } else {
-        (current - baseline) / baseline
+    if !baseline.is_finite() || baseline.abs() < f64::EPSILON || !current.is_finite() {
+        return f64::NAN;
     }
+    (current - baseline) / baseline
 }
 
 impl CompareReport {
@@ -185,7 +188,9 @@ impl CompareReport {
             "circuit      mode      hpwl Δ      wall Δ      status\n",
         );
         for d in &self.deltas {
-            let status = if d.hpwl_regressed {
+            let status = if !d.hpwl_delta().is_finite() {
+                "FAIL (corrupt baseline)"
+            } else if d.hpwl_regressed {
                 "FAIL (hpwl)"
             } else if d.wall_regressed {
                 "warn (wall)"
@@ -252,6 +257,9 @@ fn config_for_mode(mode: &str) -> Option<KraftwerkConfig> {
     match mode {
         "standard" => Some(KraftwerkConfig::standard()),
         "fast" => Some(KraftwerkConfig::fast()),
+        "spectral" => {
+            Some(KraftwerkConfig::standard().with_field_solver(FieldSolverKind::Spectral))
+        }
         _ => None,
     }
 }
@@ -308,9 +316,11 @@ pub fn run_compare(baseline: &[BaselineRun], config: &CompareConfig) -> CompareR
             current_wall_s: fresh.seconds,
             // Only *worse* wire length fails: improvements are flagged in
             // the table (large negative delta) but should prompt a
-            // re-baseline, not a red build.
-            hpwl_regressed: hpwl_delta > config.hpwl_tolerance,
-            wall_regressed: wall_delta > config.wall_tolerance,
+            // re-baseline, not a red build. A non-finite drift means the
+            // baseline itself is corrupt — that is a hard failure, never
+            // a silent pass.
+            hpwl_regressed: !hpwl_delta.is_finite() || hpwl_delta > config.hpwl_tolerance,
+            wall_regressed: !wall_delta.is_finite() || wall_delta > config.wall_tolerance,
         });
     }
     report
@@ -373,6 +383,66 @@ mod tests {
                 .and_then(kraftwerk_trace::json::Json::as_f64),
             Some(1.0)
         );
+    }
+
+    #[test]
+    fn corrupt_baselines_fail_hard_instead_of_sliding_past_the_gate() {
+        // Before the fix, a NaN baseline made the drift NaN and
+        // `NaN > tolerance` is false, so the run counted as a pass; a
+        // zeroed baseline behaved the same through the zero-guard. Both
+        // must now be hard failures with an explicit verdict.
+        let config = CompareConfig::default();
+        for corrupt_hpwl in [f64::NAN, 0.0, f64::INFINITY] {
+            let baseline = vec![BaselineRun {
+                netlist: "fract".to_string(),
+                mode: "fast".to_string(),
+                cells: 125,
+                wall_s: 0.1,
+                hpwl_m: corrupt_hpwl,
+            }];
+            let report = run_compare(&baseline, &config);
+            assert_eq!(report.deltas.len(), 1);
+            assert!(
+                !report.passed(),
+                "corrupt baseline hpwl={corrupt_hpwl} must fail the gate:\n{}",
+                report.summary_table()
+            );
+            assert!(
+                report.summary_table().contains("FAIL (corrupt baseline)"),
+                "verdict must name the corrupt baseline:\n{}",
+                report.summary_table()
+            );
+            // The verdict JSON stays machine-parseable (NaN → null).
+            let verdict =
+                kraftwerk_trace::json::parse(&report.to_json()).expect("verdict JSON parses");
+            assert_eq!(
+                verdict
+                    .get("verdict")
+                    .and_then(kraftwerk_trace::json::Json::as_str),
+                Some("fail")
+            );
+        }
+    }
+
+    #[test]
+    fn relative_delta_flags_unusable_baselines_as_nan() {
+        assert!((relative_delta(2.0, 2.1) - 0.05).abs() < 1e-12);
+        assert!(relative_delta(0.0, 1.0).is_nan());
+        assert!(relative_delta(0.0, 0.0).is_nan());
+        assert!(relative_delta(f64::NAN, 1.0).is_nan());
+        assert!(relative_delta(f64::INFINITY, 1.0).is_nan());
+        assert!(relative_delta(1.0, f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn spectral_mode_is_reproducible_by_the_gate() {
+        let cfg = config_for_mode("spectral").expect("spectral maps to a config");
+        assert_eq!(cfg.field_solver, FieldSolverKind::Spectral);
+        // Everything else matches standard mode: only the Poisson
+        // backend differs, so spectral baseline rows gate the backend.
+        let standard = KraftwerkConfig::standard();
+        assert_eq!(cfg.k, standard.k);
+        assert_eq!(cfg.max_transformations, standard.max_transformations);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::config::PrecondKind;
 use crate::quadratic::{Assembled, AssemblyScratch};
-use kraftwerk_field::{DensityScratch, ForceField, MultigridWorkspace, ScalarMap};
+use kraftwerk_field::{DensityScratch, ForceField, MultigridWorkspace, ScalarMap, SpectralWorkspace};
 use kraftwerk_geom::Vector;
 use kraftwerk_sparse::{
     CgWorkspace, CsrMatrix, JacobiPreconditioner, Preconditioner, SsorPreconditioner,
@@ -129,7 +129,9 @@ pub(crate) struct ScratchArena {
     pub density_scratch: DensityScratch,
     /// Multigrid Poisson-solve grids.
     pub mg: MultigridWorkspace,
-    /// The force field written by the in-place multigrid solve.
+    /// Spectral Poisson-solve buffers (FFT plan + transform scratch).
+    pub spectral: SpectralWorkspace,
+    /// The force field written by the in-place Poisson solves.
     pub field: Option<ForceField>,
 }
 

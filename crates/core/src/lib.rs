@@ -48,7 +48,9 @@ mod multilevel;
 mod quadratic;
 mod session;
 
-pub use config::{FieldSolverKind, KraftwerkConfig, NetModel, PrecondKind, WatchdogConfig};
+pub use config::{
+    FieldSolverKind, KraftwerkConfig, NetModel, PoissonBackend, PrecondKind, WatchdogConfig,
+};
 pub use error::KraftwerkError;
 pub use multilevel::{cluster, place_multilevel, Clustering, ClusteringConfig};
 pub use quadratic::QuadraticSystem;

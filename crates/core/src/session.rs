@@ -7,7 +7,7 @@ use crate::error::KraftwerkError;
 use crate::quadratic::QuadraticSystem;
 use kraftwerk_field::{
     density_map_into, largest_empty_square, DirectSolver, FieldSolver, ForceField,
-    MultigridSolver, ScalarMap,
+    MultigridSolver, ScalarMap, SpectralSolver,
 };
 use kraftwerk_netlist::{metrics, Netlist, Placement};
 use kraftwerk_sparse::{try_solve_with, SolverError};
@@ -120,6 +120,8 @@ struct SessionHistograms {
     displacement: Histogram,
     /// Overfull (positive) density-bin deviations, per transformation.
     density_overflow: Histogram,
+    /// Peak force-field magnitude per Poisson solve (any backend).
+    field_magnitude: Histogram,
 }
 
 impl Default for SessionHistograms {
@@ -128,6 +130,7 @@ impl Default for SessionHistograms {
             cg_iterations: Histogram::new("place.cg_iterations"),
             displacement: Histogram::new("place.displacement"),
             density_overflow: Histogram::new("place.density_overflow"),
+            field_magnitude: Histogram::new("place.field_magnitude"),
         }
     }
 }
@@ -137,6 +140,7 @@ impl SessionHistograms {
         self.cg_iterations.flush();
         self.displacement.flush();
         self.density_overflow.flush();
+        self.field_magnitude.flush();
     }
 }
 
@@ -405,6 +409,7 @@ impl<'a> PlacementSession<'a> {
             density: density_slot,
             density_scratch,
             mg,
+            spectral,
             field: field_slot,
         } = &mut self.arena;
 
@@ -462,11 +467,32 @@ impl<'a> PlacementSession<'a> {
                 }
                 out
             }
+            FieldSolverKind::Spectral => {
+                let solver = SpectralSolver::new();
+                let out = field_slot.get_or_insert_with(|| ForceField::zeros(core, nx, ny));
+                solver.solve_reusing(density, spectral, out);
+                if snap_due {
+                    if let Some(phi) = solver.potential_map(density, spectral) {
+                        emit_grid_snapshot(
+                            kraftwerk_trace::SNAPSHOT_POTENTIAL,
+                            self.iteration,
+                            &phi,
+                        );
+                    }
+                }
+                out
+            }
             FieldSolverKind::Direct => {
                 *field_slot = Some(DirectSolver::new().solve(density));
                 field_slot.as_ref().expect("field stored above")
             }
         };
+        if tracing {
+            // Deterministic per-solve summary (bitwise identical at any
+            // thread count, unlike a wall-clock sample): the strongest
+            // force the field produced this transformation.
+            self.hists.field_magnitude.record(field.max_magnitude());
+        }
         field_timer.finish();
 
         // 3. Assemble the current quadratic system; its diagonal is the
@@ -934,8 +960,9 @@ impl<'a> PlacementSession<'a> {
 
     /// One step down the recovery ladder: always damp the force step;
     /// deeper recoveries also demote the preconditioner (SSOR → Jacobi)
-    /// and the field solver (multigrid → direct), and a CG stall buys the
-    /// solver a larger iteration budget.
+    /// and the field solver one rung down the backend ladder
+    /// (spectral → multigrid → direct), and a CG stall buys the solver a
+    /// larger iteration budget.
     fn escalate(&mut self, trip: &'static str) {
         self.wd.damping *= 0.5;
         if trip == "cg stall streak" {
@@ -945,9 +972,16 @@ impl<'a> PlacementSession<'a> {
             self.config.precond = PrecondKind::Jacobi;
             kraftwerk_trace::counter("watchdog.precond_demotions", 1);
         }
-        if self.wd.recoveries >= 3 && self.config.field_solver == FieldSolverKind::Multigrid {
-            self.config.field_solver = FieldSolverKind::Direct;
-            kraftwerk_trace::counter("watchdog.field_demotions", 1);
+        if self.wd.recoveries >= 3 {
+            let demoted = match self.config.field_solver {
+                FieldSolverKind::Spectral => Some(FieldSolverKind::Multigrid),
+                FieldSolverKind::Multigrid => Some(FieldSolverKind::Direct),
+                FieldSolverKind::Direct => None,
+            };
+            if let Some(next) = demoted {
+                self.config.field_solver = next;
+                kraftwerk_trace::counter("watchdog.field_demotions", 1);
+            }
         }
     }
 
@@ -1474,9 +1508,13 @@ mod tests {
     }
 
     #[test]
-    fn direct_and_multigrid_solvers_both_spread() {
+    fn all_three_poisson_backends_spread() {
         let nl = generate(&SynthConfig::with_size("tiny", 80, 100, 4));
-        for kind in [FieldSolverKind::Multigrid, FieldSolverKind::Direct] {
+        for kind in [
+            FieldSolverKind::Multigrid,
+            FieldSolverKind::Direct,
+            FieldSolverKind::Spectral,
+        ] {
             let cfg = KraftwerkConfig::standard().with_field_solver(kind);
             let result = GlobalPlacer::new(cfg).place(&nl);
             let overlap = metrics::overlap_ratio(&nl, &result.placement);

@@ -239,8 +239,13 @@ impl ScalarMap {
     }
 
     /// Mean-preserving downsample onto a grid no larger than
-    /// `max_nx × max_ny` bins over the same region: every source bin is
-    /// averaged into the coarse bin its index maps to. Returns a clone
+    /// `max_nx × max_ny` bins over the same region: every source bin's
+    /// value is spread over the coarse bins it geometrically overlaps,
+    /// weighted by overlap area. When the dimensions divide evenly this
+    /// is plain block averaging; otherwise the seam bins split their
+    /// value proportionally instead of voting with full weight in
+    /// whichever coarse bin their index happens to land, which kept
+    /// biasing snapshot heatmaps at row/column seams. Returns a clone
     /// when the map already fits. Snapshot export uses this so mid-run
     /// density/potential captures stay small regardless of the
     /// placement grid resolution.
@@ -251,19 +256,47 @@ impl ScalarMap {
         if tnx == self.nx && tny == self.ny {
             return self.clone();
         }
+        // Overlap bookkeeping on an integer lattice (the axis scaled by
+        // the coarse bin count) so seam weights are exact: source bin `i`
+        // spans `[i·tn, (i+1)·tn)`, coarse bin `t` spans `[t·n, (t+1)·n)`,
+        // and `tn ≤ n` means a source bin touches at most two coarse
+        // bins. Per source bin: the first coarse bin, its overlap, and
+        // the spill into the next one (zero off-seam).
+        let seam_split = |n: usize, tn: usize| -> Vec<(usize, f64, f64)> {
+            (0..n)
+                .map(|i| {
+                    let lo = i * tn;
+                    let hi = (i + 1) * tn;
+                    let t0 = lo / n;
+                    let cut = (t0 + 1) * n;
+                    if hi <= cut {
+                        (t0, tn as f64, 0.0)
+                    } else {
+                        (t0, (cut - lo) as f64, (hi - cut) as f64)
+                    }
+                })
+                .collect()
+        };
+        let xs = seam_split(self.nx, tnx);
+        let ys = seam_split(self.ny, tny);
+        // Per coarse bin the overlaps sum to nx (resp. ny) lattice units,
+        // so this normalization makes each output value the overlap-area
+        // weighted average of the sources it covers.
+        let norm = 1.0 / (self.nx as f64 * self.ny as f64);
         let mut out = ScalarMap::zeros(self.region, tnx, tny);
-        let mut counts = vec![0u32; tnx * tny];
-        for iy in 0..self.ny {
-            let ty = iy * tny / self.ny;
-            for ix in 0..self.nx {
-                let tx = ix * tnx / self.nx;
-                out.values[ty * tnx + tx] += self.values[iy * self.nx + ix];
-                counts[ty * tnx + tx] += 1;
-            }
-        }
-        for (v, c) in out.values.iter_mut().zip(&counts) {
-            if *c > 0 {
-                *v /= f64::from(*c);
+        for (iy, &(ty0, wy0, wy1)) in ys.iter().enumerate() {
+            for (ix, &(tx0, wx0, wx1)) in xs.iter().enumerate() {
+                let v = self.values[iy * self.nx + ix] * norm;
+                out.values[ty0 * tnx + tx0] += v * wx0 * wy0;
+                if wx1 > 0.0 {
+                    out.values[ty0 * tnx + tx0 + 1] += v * wx1 * wy0;
+                }
+                if wy1 > 0.0 {
+                    out.values[(ty0 + 1) * tnx + tx0] += v * wx0 * wy1;
+                    if wx1 > 0.0 {
+                        out.values[(ty0 + 1) * tnx + tx0 + 1] += v * wx1 * wy1;
+                    }
+                }
             }
         }
         out
@@ -628,6 +661,34 @@ mod tests {
         assert_eq!(g.downsampled(100, 100), g);
         // Degenerate caps clamp to one bin instead of panicking.
         assert_eq!(g.downsampled(0, 0).values().len(), 1);
+    }
+
+    #[test]
+    fn downsampled_splits_seam_bins_by_overlap_area() {
+        // 5x3 → 2x2: the center source bin (2,1) straddles both seams
+        // exactly, so its value must spread evenly over all four coarse
+        // bins. Index-voting (the old behaviour) dumped it wholly into
+        // coarse (0,0), biasing every seam of a non-divisible snapshot.
+        let mut g = ScalarMap::zeros(Rect::new(0.0, 0.0, 5.0, 3.0), 5, 3);
+        g.set(2, 1, 30.0);
+        let small = g.downsampled(2, 2);
+        assert_eq!((small.nx(), small.ny()), (2, 2));
+        for iy in 0..2 {
+            for ix in 0..2 {
+                assert!(
+                    (small.get(ix, iy) - 2.0).abs() < 1e-12,
+                    "coarse ({ix},{iy}) = {}, want the even split 30/15",
+                    small.get(ix, iy)
+                );
+            }
+        }
+        assert!((small.mean() - g.mean()).abs() < 1e-12, "mean preserved");
+        // Off-seam source bins still map wholly to their coarse bin.
+        let mut corner = ScalarMap::zeros(Rect::new(0.0, 0.0, 5.0, 3.0), 5, 3);
+        corner.set(0, 0, 15.0);
+        let c = corner.downsampled(2, 2);
+        assert!((c.get(0, 0) - 15.0 * 4.0 / 15.0).abs() < 1e-12);
+        assert_eq!(c.get(1, 1), 0.0);
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //! `f = ∇Φ` evaluated with central differences.
 
 use crate::field::{FieldSolver, ForceField};
+use crate::grid::{self, idx, SolveGrid};
 use crate::map::ScalarMap;
-use kraftwerk_geom::{Point, Rect};
 
 /// Multigrid V-cycle Poisson solver.
 ///
@@ -57,10 +57,6 @@ impl MultigridSolver {
 struct Level {
     m: usize,
     h: f64,
-}
-
-fn idx(m: usize, i: usize, j: usize) -> usize {
-    j * m + i
 }
 
 /// Red-black Gauss-Seidel sweeps for `ΔΦ = rhs` (5-point stencil, zero
@@ -236,61 +232,15 @@ impl MultigridSolver {
         out: &mut ForceField,
     ) {
         let _timer = kraftwerk_trace::span("multigrid.solve");
-        let region = density.region();
-        let extent = region.width().max(region.height());
-        let pad = self.padding * extent;
-        let side = extent + 2.0 * pad;
-        let domain_center = region.center();
-        let domain = Rect::from_center(domain_center, kraftwerk_geom::Size::new(side, side));
-
-        // Pick the vertex count so the vertex spacing resolves the density
-        // bins (~2 vertices per bin) regardless of how much padding was
-        // requested.
-        let bins_across = density.nx().max(density.ny()) as f64;
-        let want = (2.0 * bins_across * side / extent).ceil() as usize;
-        let mut pow2 = 8usize;
-        while pow2 < want && pow2 + 1 < self.max_vertices {
-            pow2 *= 2;
-        }
-        let m = pow2 + 1;
-        let h = side / pow2 as f64;
+        // The solve grid, RHS deposit and force sampling are shared with
+        // the spectral backend (see `grid`): both solve the identical
+        // discrete system, so only the linear-system solve differs.
+        let solve_grid = SolveGrid::for_density(density, self.padding, self.max_vertices);
+        let SolveGrid { m, h, .. } = solve_grid;
         let level = Level { m, h };
 
-        // Deposit bin charges bilinearly onto vertices as RHS density.
-        // Each bin carries total charge D * bin_area; a vertex sample of
-        // the RHS must be charge / h² to make the discrete delta integrate
-        // correctly.
-        let bin_area = density.dx() * density.dy();
         let MultigridWorkspace { rhs, phi, resid, depth } = ws;
-        rhs.clear();
-        rhs.resize(m * m, 0.0);
-        for iy in 0..density.ny() {
-            for ix in 0..density.nx() {
-                let d = density.get(ix, iy);
-                if d == 0.0 {
-                    continue;
-                }
-                let c = density.bin_center(ix, iy);
-                let fx = (c.x - domain.x_lo) / h;
-                let fy = (c.y - domain.y_lo) / h;
-                let i0 = (fx.floor() as usize).clamp(0, m - 2);
-                let j0 = (fy.floor() as usize).clamp(0, m - 2);
-                let tx = (fx - i0 as f64).clamp(0.0, 1.0);
-                let ty = (fy - j0 as f64).clamp(0.0, 1.0);
-                let q = d * bin_area / (h * h);
-                rhs[idx(m, i0, j0)] += q * (1.0 - tx) * (1.0 - ty);
-                rhs[idx(m, i0 + 1, j0)] += q * tx * (1.0 - ty);
-                rhs[idx(m, i0, j0 + 1)] += q * (1.0 - tx) * ty;
-                rhs[idx(m, i0 + 1, j0 + 1)] += q * tx * ty;
-            }
-        }
-        // Zero Dirichlet: clear boundary contributions.
-        for i in 0..m {
-            rhs[idx(m, i, 0)] = 0.0;
-            rhs[idx(m, i, m - 1)] = 0.0;
-            rhs[idx(m, 0, i)] = 0.0;
-            rhs[idx(m, m - 1, i)] = 0.0;
-        }
+        grid::deposit_rhs(density, &solve_grid, rhs);
 
         let rhs_norm: f64 = rhs.iter().map(|v| v * v).sum::<f64>().sqrt();
         phi.clear();
@@ -332,48 +282,7 @@ impl MultigridSolver {
             kraftwerk_trace::counter("multigrid.solves", 1);
         }
 
-        // Gradient at vertices (central differences), then sample at the
-        // density bin centers.
-        let vertex_grad = |i: usize, j: usize| -> (f64, f64) {
-            let i = i.clamp(1, m - 2);
-            let j = j.clamp(1, m - 2);
-            (
-                (phi[idx(m, i + 1, j)] - phi[idx(m, i - 1, j)]) / (2.0 * h),
-                (phi[idx(m, i, j + 1)] - phi[idx(m, i, j - 1)]) / (2.0 * h),
-            )
-        };
-        let grad = |p: Point| -> (f64, f64) {
-            // Bilinear interpolation of the four surrounding vertex
-            // gradients — smoother than nearest-vertex sampling and what
-            // keeps the field continuous across bins.
-            let fx = (p.x - domain.x_lo) / h;
-            let fy = (p.y - domain.y_lo) / h;
-            let i0 = (fx.floor() as usize).clamp(0, m - 2);
-            let j0 = (fy.floor() as usize).clamp(0, m - 2);
-            let tx = (fx - i0 as f64).clamp(0.0, 1.0);
-            let ty = (fy - j0 as f64).clamp(0.0, 1.0);
-            let (g00x, g00y) = vertex_grad(i0, j0);
-            let (g10x, g10y) = vertex_grad(i0 + 1, j0);
-            let (g01x, g01y) = vertex_grad(i0, j0 + 1);
-            let (g11x, g11y) = vertex_grad(i0 + 1, j0 + 1);
-            let gx = g00x * (1.0 - tx) * (1.0 - ty)
-                + g10x * tx * (1.0 - ty)
-                + g01x * (1.0 - tx) * ty
-                + g11x * tx * ty;
-            let gy = g00y * (1.0 - tx) * (1.0 - ty)
-                + g10y * tx * (1.0 - ty)
-                + g01y * (1.0 - tx) * ty
-                + g11y * tx * ty;
-            (gx, gy)
-        };
-
-        out.reset(region, density.nx(), density.ny());
-        for iy in 0..density.ny() {
-            for ix in 0..density.nx() {
-                let (gx, gy) = grad(density.bin_center(ix, iy));
-                out.set_bin(ix, iy, gx, gy);
-            }
-        }
+        grid::write_forces(phi, &solve_grid, density, out);
     }
 
     /// Samples the Poisson potential φ left in `ws` by the most recent
@@ -385,38 +294,8 @@ impl MultigridSolver {
     /// `potential` field snapshots.
     #[must_use]
     pub fn potential_map(&self, density: &ScalarMap, ws: &MultigridWorkspace) -> Option<ScalarMap> {
-        let len = ws.phi.len();
-        if len == 0 {
-            return None;
-        }
-        let m = (len as f64).sqrt().round() as usize;
-        if m < 2 || m * m != len {
-            return None;
-        }
-        let region = density.region();
-        let extent = region.width().max(region.height());
-        let pad = self.padding * extent;
-        let side = extent + 2.0 * pad;
-        let domain = Rect::from_center(region.center(), kraftwerk_geom::Size::new(side, side));
-        let h = side / (m - 1) as f64;
-        let mut out = ScalarMap::zeros(region, density.nx(), density.ny());
-        for iy in 0..density.ny() {
-            for ix in 0..density.nx() {
-                let c = density.bin_center(ix, iy);
-                let fx = (c.x - domain.x_lo) / h;
-                let fy = (c.y - domain.y_lo) / h;
-                let i0 = (fx.floor() as usize).clamp(0, m - 2);
-                let j0 = (fy.floor() as usize).clamp(0, m - 2);
-                let tx = (fx - i0 as f64).clamp(0.0, 1.0);
-                let ty = (fy - j0 as f64).clamp(0.0, 1.0);
-                let v = ws.phi[idx(m, i0, j0)] * (1.0 - tx) * (1.0 - ty)
-                    + ws.phi[idx(m, i0 + 1, j0)] * tx * (1.0 - ty)
-                    + ws.phi[idx(m, i0, j0 + 1)] * (1.0 - tx) * ty
-                    + ws.phi[idx(m, i0 + 1, j0 + 1)] * tx * ty;
-                out.set(ix, iy, v);
-            }
-        }
-        Some(out)
+        let solve_grid = SolveGrid::from_saved(density, self.padding, ws.phi.len())?;
+        Some(grid::sample_potential(&ws.phi, &solve_grid, density))
     }
 }
 
@@ -436,7 +315,7 @@ impl FieldSolver for MultigridSolver {
 mod tests {
     use super::*;
     use crate::direct::DirectSolver;
-    use kraftwerk_geom::Vector;
+    use kraftwerk_geom::{Point, Rect, Vector};
     use rand::{Rng, SeedableRng};
 
     fn random_balanced_density(seed: u64, n: usize) -> ScalarMap {

@@ -1,0 +1,513 @@
+//! Spectral (FFT/DST) Poisson solver — the iteration-free fast path.
+//!
+//! Solves the same padded zero-Dirichlet discrete system as
+//! [`crate::MultigridSolver`] (the shared geometry lives in `grid`) in a
+//! single direct pass: the 5-point Laplacian with zero-Dirichlet walls is
+//! *exactly* diagonalized by the type-I discrete sine transform (DST-I),
+//! so the solve is forward 2-D DST → divide by the stencil eigenvalues
+//! `λ_{kl} = (2cos(πk/(n+1)) + 2cos(πl/(n+1)) − 4)/h²` → inverse 2-D DST,
+//! `O(m² log m)` with no V-cycles and no convergence tolerance. Each 1-D
+//! DST is computed through an odd extension into a power-of-two complex
+//! radix-2 FFT, hand-rolled with precomputed twiddle and bit-reversal
+//! tables — no external crates. Non-power-of-two density grids need no
+//! special casing because the shared vertex grid is always `2^k + 1` per
+//! side, so the FFT length `2(n+1) = 2^{k+1}` is always a power of two.
+//!
+//! The row and column transform passes are data-parallel over
+//! [`kraftwerk_par`] with one chunk per row/column; chunk boundaries are
+//! a pure function of the grid size and every chunk writes only its own
+//! disjoint scratch, so results are bitwise identical at any
+//! `KRAFTWERK_THREADS` setting.
+//!
+//! On boundary conditions: the paper idealizes an open (free-space)
+//! boundary. A DCT backend would impose reflecting Neumann walls instead;
+//! the padded Dirichlet box decays like free space for the zero-mean
+//! density deviation *and* lets spectral and multigrid share one discrete
+//! system, which is what makes the backends interchangeable mid-run (the
+//! watchdog demotion ladder) without a force discontinuity. See
+//! DESIGN.md for the full trade-off.
+
+use crate::field::{FieldSolver, ForceField};
+use crate::grid::{self, idx, SolveGrid};
+use crate::map::ScalarMap;
+
+/// DST-based spectral Poisson solver.
+///
+/// Shares the geometry knobs of [`crate::MultigridSolver`] so both
+/// backends pick the identical solve grid for a given density map:
+///
+/// * `padding` — border added around the density region on each side, as
+///   a fraction of the larger region extent (default `0.5`).
+/// * `max_vertices` — cap on vertices per side (`2^k + 1`, default
+///   `1025`); the solver picks the smallest power of two that resolves
+///   the density grid, up to this cap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectralSolver {
+    /// Border fraction added on each side of the density region.
+    pub padding: f64,
+    /// Cap on vertices per side (`2^k + 1`), matching the multigrid cap
+    /// so both backends solve the same discrete system.
+    pub max_vertices: usize,
+}
+
+impl Default for SpectralSolver {
+    fn default() -> Self {
+        Self {
+            padding: 0.5,
+            max_vertices: 1025,
+        }
+    }
+}
+
+impl SpectralSolver {
+    /// Creates the solver with default parameters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Precomputed transform tables for one interior size `n`: bit-reversal
+/// permutation and twiddle factors for the length-`2(n+1)` complex FFT,
+/// plus the 1-D second-difference eigenvalues (before the `1/h²` scale).
+#[derive(Debug, Default)]
+struct DstPlan {
+    /// Interior points per side (`m − 2`).
+    n: usize,
+    /// FFT length `2(n+1)`, always a power of two.
+    nfft: usize,
+    /// Bit-reversal permutation of `0..nfft`.
+    rev: Vec<u32>,
+    /// Twiddle real parts `cos(−2πk/nfft)` for `k < nfft/2`.
+    tw_re: Vec<f64>,
+    /// Twiddle imaginary parts `sin(−2πk/nfft)` for `k < nfft/2`.
+    tw_im: Vec<f64>,
+    /// `2cos(πk/(n+1)) − 2` for `k = 1..=n` — strictly negative, so the
+    /// 2-D eigenvalue sum can never vanish (no zero mode to pin under
+    /// Dirichlet walls; the division is still guarded defensively).
+    lam: Vec<f64>,
+}
+
+impl DstPlan {
+    /// (Re)builds the tables for interior size `n`; a no-op when the size
+    /// is unchanged, so steady-state solves never allocate here.
+    fn prepare(&mut self, n: usize) {
+        if self.n == n {
+            return;
+        }
+        let nfft = 2 * (n + 1);
+        debug_assert!(nfft.is_power_of_two(), "vertex grids are 2^k + 1");
+        let bits = nfft.trailing_zeros();
+        self.rev.clear();
+        self.rev.extend((0..nfft as u32).map(|i| i.reverse_bits() >> (32 - bits)));
+        let half = nfft / 2;
+        self.tw_re.clear();
+        self.tw_im.clear();
+        self.tw_re.reserve(half);
+        self.tw_im.reserve(half);
+        for k in 0..half {
+            let theta = -2.0 * std::f64::consts::PI * k as f64 / nfft as f64;
+            self.tw_re.push(theta.cos());
+            self.tw_im.push(theta.sin());
+        }
+        self.lam.clear();
+        self.lam.extend(
+            (1..=n).map(|k| 2.0 * (std::f64::consts::PI * k as f64 / (n + 1) as f64).cos() - 2.0),
+        );
+        self.n = n;
+        self.nfft = nfft;
+    }
+
+    /// In-place iterative radix-2 complex FFT of length `nfft`.
+    fn fft(&self, re: &mut [f64], im: &mut [f64]) {
+        let n = self.nfft;
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if j > i {
+                re.swap(i, j);
+                im.swap(i, j);
+            }
+        }
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let step = n / len;
+            let mut start = 0;
+            while start < n {
+                for j in 0..half {
+                    let wr = self.tw_re[j * step];
+                    let wi = self.tw_im[j * step];
+                    let a = start + j;
+                    let b = a + half;
+                    let tr = re[b] * wr - im[b] * wi;
+                    let ti = re[b] * wi + im[b] * wr;
+                    re[b] = re[a] - tr;
+                    im[b] = im[a] - ti;
+                    re[a] += tr;
+                    im[a] += ti;
+                }
+                start += len;
+            }
+            len *= 2;
+        }
+    }
+
+    /// DST-I of the `n` values packed in `chunk[..n]`; the coefficients
+    /// `S[k] = Σ_j x_j sin(πjk/(n+1))` replace `chunk[..n]`.
+    ///
+    /// `chunk` is one row/column's `2·nfft`-float scratch (`re` then `im`
+    /// halves). The input is extended to the odd sequence
+    /// `(0, x_1..x_n, 0, −x_n..−x_1)` whose DFT is purely imaginary with
+    /// `X[k] = −2i·S[k]`, so one complex FFT yields the transform. DST-I
+    /// is its own inverse up to the factor `2/(n+1)`, which callers fold
+    /// in once per round trip.
+    fn dst(&self, chunk: &mut [f64]) {
+        let n = self.n;
+        let nfft = self.nfft;
+        let (re, im) = chunk.split_at_mut(nfft);
+        // Build the odd extension from the packed input, descending so
+        // the shifted store never clobbers an unread value.
+        for j in (0..n).rev() {
+            let v = re[j];
+            re[nfft - 1 - j] = -v;
+            re[j + 1] = v;
+        }
+        re[0] = 0.0;
+        re[n + 1] = 0.0;
+        im.fill(0.0);
+        self.fft(re, im);
+        for k in 0..n {
+            re[k] = -0.5 * im[k + 1];
+        }
+    }
+}
+
+/// Reusable buffers for [`SpectralSolver::solve_reusing`]: the vertex
+/// RHS/potential, the per-row transform scratch for the three passes, and
+/// the FFT plan. All grow-only, so holding one across placement
+/// iterations makes the steady-state spectral solve allocation-free. The
+/// solved potential stays behind for [`SpectralSolver::potential_map`].
+#[derive(Debug, Default)]
+pub struct SpectralWorkspace {
+    plan: DstPlan,
+    rhs: Vec<f64>,
+    phi: Vec<f64>,
+    ext1: Vec<f64>,
+    ext2: Vec<f64>,
+}
+
+impl SpectralSolver {
+    /// In-place variant of [`FieldSolver::solve`]: the same spectral
+    /// solve, but every buffer comes from `ws` and the force field is
+    /// written into `out` (re-shaped to the density grid). Bin values are
+    /// bitwise identical to the allocating path and to every
+    /// `KRAFTWERK_THREADS` setting.
+    pub fn solve_reusing(
+        &self,
+        density: &ScalarMap,
+        ws: &mut SpectralWorkspace,
+        out: &mut ForceField,
+    ) {
+        let _timer = kraftwerk_trace::span("spectral.solve");
+        let solve_grid = SolveGrid::for_density(density, self.padding, self.max_vertices);
+        let m = solve_grid.m;
+        let SpectralWorkspace { plan, rhs, phi, ext1, ext2 } = ws;
+        grid::deposit_rhs(density, &solve_grid, rhs);
+        phi.clear();
+        phi.resize(m * m, 0.0);
+
+        let rhs_norm: f64 = rhs.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let n = m - 2;
+        if rhs_norm > 0.0 {
+            plan.prepare(n);
+            let stride = 2 * plan.nfft;
+            ext1.resize(n * stride, 0.0);
+            ext2.resize(n * stride, 0.0);
+            let h2 = solve_grid.h * solve_grid.h;
+            let plan = &*plan;
+
+            // Pass A — forward DST along x for every interior row j.
+            {
+                let rhs: &[f64] = rhs;
+                kraftwerk_par::for_each_chunk_mut(ext1, stride, |j, chunk| {
+                    for i in 0..n {
+                        chunk[i] = rhs[idx(m, i + 1, j + 1)];
+                    }
+                    plan.dst(chunk);
+                });
+            }
+            // Pass B — per x-frequency column c: forward DST along y,
+            // eigenvalue division, inverse DST along y (fused: two FFTs
+            // per chunk, no barrier-sized temporaries).
+            {
+                let src: &[f64] = ext1;
+                kraftwerk_par::for_each_chunk_mut(ext2, stride, |c, chunk| {
+                    for j in 0..n {
+                        chunk[j] = src[j * stride + c];
+                    }
+                    plan.dst(chunk);
+                    let lx = plan.lam[c];
+                    for (value, &ly) in chunk.iter_mut().zip(&plan.lam[..n]) {
+                        let den = lx + ly;
+                        *value = if den == 0.0 { 0.0 } else { *value * h2 / den };
+                    }
+                    plan.dst(chunk);
+                });
+            }
+            // Pass C — inverse DST along x for every interior row j.
+            {
+                let src: &[f64] = ext2;
+                kraftwerk_par::for_each_chunk_mut(ext1, stride, |j, chunk| {
+                    for c in 0..n {
+                        chunk[c] = src[c * stride + j];
+                    }
+                    plan.dst(chunk);
+                });
+            }
+            // Two inverse DST applications fold into one scale here.
+            let s = 2.0 / (n + 1) as f64;
+            let scale = s * s;
+            for j in 0..n {
+                for i in 0..n {
+                    phi[idx(m, i + 1, j + 1)] = scale * ext1[j * stride + i];
+                }
+            }
+        }
+
+        if kraftwerk_trace::enabled() {
+            kraftwerk_trace::event(
+                "spectral.solve",
+                vec![
+                    ("vertices_per_side", kraftwerk_trace::Value::from(m)),
+                    ("fft_len", kraftwerk_trace::Value::from(2 * (n + 1))),
+                    ("trivial", kraftwerk_trace::Value::from(rhs_norm == 0.0)),
+                ],
+            );
+            kraftwerk_trace::counter("spectral.solves", 1);
+        }
+
+        grid::write_forces(phi, &solve_grid, density, out);
+    }
+
+    /// Samples the Poisson potential φ left in `ws` by the most recent
+    /// [`solve_reusing`](Self::solve_reusing) call onto the bin centers
+    /// of `density` — which must be the same density grid (and the same
+    /// solver settings) that solve was given, since the vertex-grid
+    /// geometry is reconstructed from it. Returns `None` when the
+    /// workspace has not been used yet. This is the export behind the
+    /// `potential` field snapshots.
+    #[must_use]
+    pub fn potential_map(&self, density: &ScalarMap, ws: &SpectralWorkspace) -> Option<ScalarMap> {
+        let solve_grid = SolveGrid::from_saved(density, self.padding, ws.phi.len())?;
+        Some(grid::sample_potential(&ws.phi, &solve_grid, density))
+    }
+}
+
+impl FieldSolver for SpectralSolver {
+    fn solve(&self, density: &ScalarMap) -> ForceField {
+        let mut out = ForceField::zeros(density.region(), density.nx(), density.ny());
+        self.solve_reusing(density, &mut SpectralWorkspace::default(), &mut out);
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "spectral"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multigrid::{MultigridSolver, MultigridWorkspace};
+    use kraftwerk_geom::{Point, Rect};
+    use rand::{Rng, SeedableRng};
+
+    fn random_balanced_density(seed: u64, nx: usize, ny: usize) -> ScalarMap {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut d = ScalarMap::zeros(Rect::new(0.0, 0.0, 10.0, 10.0), nx, ny);
+        for iy in 0..ny {
+            for ix in 0..nx {
+                d.set(ix, iy, rng.gen_range(0.0..1.0));
+            }
+        }
+        d.balance();
+        d
+    }
+
+    /// Tight-tolerance multigrid reference: iterated far past its
+    /// production tolerance so residual error is negligible next to the
+    /// 1e-6 agreement budget.
+    fn reference_multigrid() -> MultigridSolver {
+        MultigridSolver {
+            tolerance: 1e-12,
+            max_cycles: 300,
+            ..MultigridSolver::default()
+        }
+    }
+
+    #[test]
+    fn dst_matches_the_naive_transform() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        for n in [7usize, 15, 31] {
+            let mut plan = DstPlan::default();
+            plan.prepare(n);
+            let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut chunk = vec![f64::NAN; 2 * plan.nfft];
+            chunk[..n].copy_from_slice(&x);
+            plan.dst(&mut chunk);
+            for k in 1..=n {
+                let naive: f64 = (1..=n)
+                    .map(|j| {
+                        x[j - 1]
+                            * (std::f64::consts::PI * (j * k) as f64 / (n + 1) as f64).sin()
+                    })
+                    .sum();
+                assert!(
+                    (chunk[k - 1] - naive).abs() < 1e-10,
+                    "n={n} k={k}: fft {} vs naive {naive}",
+                    chunk[k - 1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dst_applied_twice_is_a_scaled_identity() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        let n = 31;
+        let mut plan = DstPlan::default();
+        plan.prepare(n);
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut chunk = vec![0.0; 2 * plan.nfft];
+        chunk[..n].copy_from_slice(&x);
+        plan.dst(&mut chunk);
+        plan.dst(&mut chunk);
+        let s = 2.0 / (n + 1) as f64;
+        for j in 0..n {
+            assert!((s * chunk[j] - x[j]).abs() < 1e-12, "round trip at {j}");
+        }
+    }
+
+    #[test]
+    fn potential_matches_multigrid_to_one_part_per_million() {
+        // Power-of-two and non-power-of-two density grids, square and
+        // rectangular bin counts: the shared vertex grid pads all of them
+        // to 2^k + 1 per side, and the two backends must agree on the
+        // resulting discrete solution to ≤1e-6 relative.
+        for (seed, nx, ny) in [(11u64, 16usize, 16usize), (12, 24, 24), (13, 33, 17)] {
+            let d = random_balanced_density(seed, nx, ny);
+            let spectral = SpectralSolver::new();
+            let mut sp_ws = SpectralWorkspace::default();
+            let mut sp_out = ForceField::zeros(d.region(), d.nx(), d.ny());
+            spectral.solve_reusing(&d, &mut sp_ws, &mut sp_out);
+            let sp_phi = spectral.potential_map(&d, &sp_ws).expect("spectral potential");
+
+            let mg = reference_multigrid();
+            let mut mg_ws = MultigridWorkspace::default();
+            let mut mg_out = ForceField::zeros(d.region(), d.nx(), d.ny());
+            mg.solve_reusing(&d, &mut mg_ws, &mut mg_out);
+            let mg_phi = mg.potential_map(&d, &mg_ws).expect("multigrid potential");
+
+            let mut err_sq = 0.0;
+            let mut base_sq = 0.0;
+            for iy in 0..d.ny() {
+                for ix in 0..d.nx() {
+                    err_sq += (sp_phi.get(ix, iy) - mg_phi.get(ix, iy)).powi(2);
+                    base_sq += mg_phi.get(ix, iy).powi(2);
+                }
+            }
+            let rel = (err_sq / base_sq).sqrt();
+            assert!(rel <= 1e-6, "grid {nx}x{ny}: relative potential error {rel:e}");
+        }
+    }
+
+    #[test]
+    fn forces_point_away_from_a_source() {
+        let mut d = ScalarMap::zeros(Rect::new(0.0, 0.0, 10.0, 10.0), 17, 17);
+        d.set(8, 8, 1.0);
+        d.balance();
+        let f = SpectralSolver::new().solve(&d);
+        let center = d.bin_center(8, 8);
+        for probe in [
+            Point::new(2.0, 5.0),
+            Point::new(8.0, 5.0),
+            Point::new(5.0, 2.0),
+            Point::new(5.0, 8.5),
+        ] {
+            let force = f.force_at(probe);
+            assert!(
+                force.dot(probe - center) > 0.0,
+                "force {force} at {probe} not outward"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_density_gives_zero_field() {
+        let d = ScalarMap::zeros(Rect::new(0.0, 0.0, 4.0, 4.0), 8, 8);
+        let f = SpectralSolver::new().solve(&d);
+        assert_eq!(f.max_magnitude(), 0.0);
+    }
+
+    #[test]
+    fn rectangular_density_regions_are_handled() {
+        let mut d = ScalarMap::zeros(Rect::new(0.0, 0.0, 20.0, 5.0), 32, 8);
+        d.set(16, 4, 1.0);
+        d.balance();
+        let f = SpectralSolver::new().solve(&d);
+        assert!(f.max_magnitude() > 0.0);
+        let left = f.force_at(Point::new(5.0, 2.5));
+        assert!(left.x < 0.0, "expected push to the left, got {left}");
+    }
+
+    #[test]
+    fn solve_reusing_matches_solve_and_reuses_buffers() {
+        let d = random_balanced_density(7, 20, 20);
+        let solver = SpectralSolver::new();
+        let reference = solver.solve(&d);
+        let mut ws = SpectralWorkspace::default();
+        let mut out = ForceField::zeros(d.region(), d.nx(), d.ny());
+        solver.solve_reusing(&d, &mut ws, &mut out);
+        assert_eq!(out, reference, "in-place solve diverged from solve()");
+        // Second solve with the same workspace must not regrow a buffer
+        // or rebuild the plan.
+        let caps = (
+            ws.rhs.capacity(),
+            ws.phi.capacity(),
+            ws.ext1.capacity(),
+            ws.ext2.capacity(),
+            ws.plan.rev.capacity(),
+        );
+        solver.solve_reusing(&d, &mut ws, &mut out);
+        assert_eq!(
+            caps,
+            (
+                ws.rhs.capacity(),
+                ws.phi.capacity(),
+                ws.ext1.capacity(),
+                ws.ext2.capacity(),
+                ws.plan.rev.capacity(),
+            )
+        );
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn potential_map_samples_the_last_solve() {
+        let solver = SpectralSolver::new();
+        let mut ws = SpectralWorkspace::default();
+        let d = random_balanced_density(11, 16, 16);
+        assert!(solver.potential_map(&d, &ws).is_none());
+        let mut out = ForceField::zeros(d.region(), d.nx(), d.ny());
+        solver.solve_reusing(&d, &mut ws, &mut out);
+        let phi = solver.potential_map(&d, &ws).expect("potential after solve");
+        assert_eq!((phi.nx(), phi.ny()), (d.nx(), d.ny()));
+        assert!(phi.is_finite());
+        assert!(phi.max() > phi.min(), "non-trivial potential");
+    }
+
+    #[test]
+    fn solver_reports_its_name() {
+        assert_eq!(SpectralSolver::new().name(), "spectral");
+    }
+}

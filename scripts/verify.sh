@@ -13,6 +13,10 @@ cargo build --release
 # to pass pinned to one worker and at the machine's natural width.
 KRAFTWERK_THREADS=1 cargo test -q
 cargo test -q
+# The whole suite must also hold with the spectral Poisson backend forced
+# through the KRAFTWERK_POISSON override — the backends are drop-in
+# replacements, not separately-tested islands.
+KRAFTWERK_POISSON=spectral cargo test -q
 # The adversarial corpus and watchdog-recovery suite must stay green on
 # its own too — it is the contract behind the panic audit below.
 cargo test -q --test robustness

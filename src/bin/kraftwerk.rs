@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! kraftwerk place      <netlist> [-o placement.pl] [--fast] [--multilevel] [--svg out.svg]
-//!                                [--threads N] [--trace [run.jsonl]] [--report report.json]
+//!                                [--poisson multigrid|spectral|direct] [--threads N]
+//!                                [--trace [run.jsonl]] [--report report.json]
 //!                                [--snapshot-every N] [--k F] [--profile] [-v|--verbose] [-q|--quiet]
 //! kraftwerk inspect    <telemetry> [-o report.html]
 //! kraftwerk bench      [--json] [--compare baseline.json] [-o out.json] [--max-cells N]
@@ -53,7 +54,7 @@ use kraftwerk::netlist::format::{read_netlist, read_placement, write_netlist, wr
 use kraftwerk::netlist::stats::NetlistStats;
 use kraftwerk::netlist::synth::{generate, SynthConfig};
 use kraftwerk::netlist::{metrics, CellKind, Netlist, Placement};
-use kraftwerk::placer::{GlobalPlacer, KraftwerkConfig, KraftwerkError};
+use kraftwerk::placer::{FieldSolverKind, GlobalPlacer, KraftwerkConfig, KraftwerkError};
 use kraftwerk::timing::{meet_requirements, optimize_timing_legalized, DelayModel, Sta};
 use std::process::ExitCode;
 
@@ -99,7 +100,7 @@ impl CliError {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  kraftwerk place     <netlist> [-o <placement>] [--fast] [--multilevel] [--svg <file>]\n                      [--threads <n>] [--trace [<jsonl>]] [--report <json>] [--profile]\n                      [--snapshot-every <n>] [--k <f>] [--force-scale <f>] [-v|--verbose] [-q|--quiet]\n  kraftwerk inspect   <telemetry> [-o <html>]\n  kraftwerk bench     [--json] [--compare <baseline>] [-o <json>] [--max-cells <n>]\n                      [--hpwl-tol <pct>] [--wall-tol <pct>] [-v|--verbose] [-q|--quiet]\n  kraftwerk timing    <netlist> [--requirement <ns>] [-v|--verbose] [-q|--quiet]\n  kraftwerk gen       <name> <cells> <nets> <rows> [-o <file>]\n  kraftwerk stats     <netlist>\n  kraftwerk check     <netlist> <placement>\n  kraftwerk route     <netlist> <placement>\n  kraftwerk bookshelf <netlist> [<placement>] [-o <dir>]"
+        "usage:\n  kraftwerk place     <netlist> [-o <placement>] [--fast] [--multilevel] [--svg <file>]\n                      [--poisson <multigrid|spectral|direct>] [--threads <n>]\n                      [--trace [<jsonl>]] [--report <json>] [--profile]\n                      [--snapshot-every <n>] [--k <f>] [--force-scale <f>] [-v|--verbose] [-q|--quiet]\n  kraftwerk inspect   <telemetry> [-o <html>]\n  kraftwerk bench     [--json] [--compare <baseline>] [-o <json>] [--max-cells <n>]\n                      [--hpwl-tol <pct>] [--wall-tol <pct>] [-v|--verbose] [-q|--quiet]\n  kraftwerk timing    <netlist> [--requirement <ns>] [-v|--verbose] [-q|--quiet]\n  kraftwerk gen       <name> <cells> <nets> <rows> [-o <file>]\n  kraftwerk stats     <netlist>\n  kraftwerk check     <netlist> <placement>\n  kraftwerk route     <netlist> <placement>\n  kraftwerk bookshelf <netlist> [<placement>] [-o <dir>]"
     );
     ExitCode::from(2)
 }
@@ -274,6 +275,13 @@ fn cmd_place(args: &[String]) -> Result<(), CliError> {
     if let Some(k) = k_override {
         config = config.with_k(k);
     }
+    // Poisson backend: the flag beats the `KRAFTWERK_POISSON` environment
+    // override already applied by `standard()`/`fast()`.
+    if let Some(name) = flag_value(args, "--poisson")? {
+        let kind = FieldSolverKind::parse(&name)
+            .ok_or_else(|| format!("--poisson: `{name}` is not multigrid, spectral or direct"))?;
+        config = config.with_field_solver(kind);
+    }
     config.force_scale_boost = force_scale;
 
     // Telemetry: a recorder feeds --trace/--report/--profile; verbose mode
@@ -285,6 +293,7 @@ fn cmd_place(args: &[String]) -> Result<(), CliError> {
         rec.set_meta("cells", Value::from(netlist.num_movable()));
         rec.set_meta("nets", Value::from(netlist.num_nets()));
         rec.set_meta("mode", Value::from(if fast { "fast" } else { "standard" }));
+        rec.set_meta("poisson", Value::from(config.field_solver.name()));
         rec.set_meta("threads", Value::from(threads));
         rec.set_meta("k", Value::from(config.k));
     }
@@ -503,11 +512,15 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
     let mut runs = Vec::new();
     for preset in kraftwerk::bench::table1_circuits(max_cells) {
         let netlist = generate(&mcnc::config_for(preset));
-        for mode in ["standard", "fast"] {
-            let config = if mode == "fast" {
-                KraftwerkConfig::fast()
-            } else {
-                KraftwerkConfig::standard()
+        for mode in ["standard", "fast", "spectral"] {
+            // Must stay in sync with `config_for_mode` in the bench crate,
+            // which rebuilds the same configs when gating with --compare.
+            let config = match mode {
+                "fast" => KraftwerkConfig::fast(),
+                "spectral" => {
+                    KraftwerkConfig::standard().with_field_solver(FieldSolverKind::Spectral)
+                }
+                _ => KraftwerkConfig::standard(),
             };
             let (_, run) = kraftwerk::bench::run_kraftwerk_recorded(&netlist, config, mode);
             console.info(format!(
