@@ -135,6 +135,30 @@ impl CompareReport {
         self.deltas.iter().filter(|d| d.wall_regressed).count()
     }
 
+    /// Human-readable warning strings for every soft (non-fatal)
+    /// finding: one per wall-clock drift beyond the soft tolerance, one
+    /// per skipped baseline run. Serialized as the verdict's `warnings`
+    /// array so CI can surface them without re-deriving the phrasing.
+    #[must_use]
+    pub fn warnings(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .deltas
+            .iter()
+            .filter(|d| d.wall_regressed)
+            .map(|d| {
+                format!(
+                    "{}/{}: wall clock {:+.1}% vs baseline (soft tolerance {:.0}%)",
+                    d.netlist,
+                    d.mode,
+                    d.wall_delta() * 100.0,
+                    self.wall_tolerance * 100.0
+                )
+            })
+            .collect();
+        out.extend(self.skipped.iter().map(|s| format!("skipped {s}")));
+        out
+    }
+
     /// Machine-readable verdict consumed by `scripts/bench_gate.sh`.
     #[must_use]
     pub fn to_json(&self) -> String {
@@ -147,6 +171,15 @@ impl CompareReport {
             self.deltas.iter().filter(|d| d.hpwl_regressed).count() as u64,
         );
         o.u64_field("wall_warnings", self.wall_warnings() as u64);
+        let mut warnings = String::from("[");
+        for (i, w) in self.warnings().iter().enumerate() {
+            if i > 0 {
+                warnings.push(',');
+            }
+            json::write_escaped(&mut warnings, w);
+        }
+        warnings.push(']');
+        o.raw_field("warnings", &warnings);
         let mut items = String::from("[");
         for (i, d) in self.deltas.iter().enumerate() {
             if i > 0 {
@@ -172,9 +205,10 @@ impl CompareReport {
             if i > 0 {
                 skipped.push(',');
             }
-            skipped.push('"');
+            // `write_escaped` emits the quotes itself; wrapping it in
+            // another pair used to make any non-empty skip list invalid
+            // JSON.
             json::write_escaped(&mut skipped, s);
-            skipped.push('"');
         }
         skipped.push(']');
         o.raw_field("skipped", &skipped);
@@ -422,6 +456,50 @@ mod tests {
                 Some("fail")
             );
         }
+    }
+
+    #[test]
+    fn verdict_warnings_array_names_wall_drift_and_skips() {
+        let report = CompareReport {
+            deltas: vec![Delta {
+                netlist: "fract".to_string(),
+                mode: "fast".to_string(),
+                baseline_hpwl_m: 1.0,
+                current_hpwl_m: 1.0,
+                baseline_wall_s: 1.0,
+                current_wall_s: 1.5,
+                hpwl_regressed: false,
+                wall_regressed: true,
+            }],
+            skipped: vec!["weird/\"mode\": not a Table 1 circuit".to_string()],
+            hpwl_tolerance: 0.02,
+            wall_tolerance: 0.25,
+        };
+        let warnings = report.warnings();
+        assert_eq!(warnings.len(), 2);
+        assert!(warnings[0].contains("fract/fast"));
+        assert!(warnings[0].contains("+50.0%"));
+        assert!(warnings[1].starts_with("skipped "));
+        // The verdict JSON stays parseable with a non-empty skip list
+        // (double-quoted skip entries used to corrupt the document) and
+        // round-trips the warnings array for CI.
+        let verdict =
+            kraftwerk_trace::json::parse(&report.to_json()).expect("verdict JSON parses");
+        let parsed = verdict
+            .get("warnings")
+            .and_then(kraftwerk_trace::json::Json::as_array)
+            .expect("warnings array");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(
+            parsed[0].as_str().map(|w| w.contains("wall clock")),
+            Some(true)
+        );
+        assert_eq!(
+            verdict
+                .get("wall_warnings")
+                .and_then(kraftwerk_trace::json::Json::as_f64),
+            Some(1.0)
+        );
     }
 
     #[test]

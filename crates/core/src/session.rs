@@ -163,6 +163,75 @@ fn emit_grid_snapshot(kind: &'static str, iteration: usize, map: &ScalarMap) {
     );
 }
 
+/// Per-phase resource bracket: samples the heap counters (when
+/// `--alloc-stats` tracking is on) and the worker-pool utilization
+/// counters (when a trace sink is installed) at phase entry, and emits
+/// the deltas as `alloc` / `par.utilization` events at phase exit.
+///
+/// All telemetry-side work runs under [`kraftwerk_trace::alloc::untracked`]
+/// so the act of measuring never shows up in the heap measurement, and
+/// nothing here reads a clock or touches an atomic unless the matching
+/// consumer is switched on — an untraced, untracked run pays two branch
+/// tests per phase.
+struct PhaseScope {
+    phase: &'static str,
+    tracing: bool,
+    alloc_base: Option<kraftwerk_trace::alloc::AllocStats>,
+    util_base: Option<(std::time::Instant, kraftwerk_par::UtilizationSnapshot)>,
+}
+
+impl PhaseScope {
+    fn begin(phase: &'static str, tracing: bool) -> Self {
+        let alloc_base = kraftwerk_trace::alloc::tracking().then(kraftwerk_trace::alloc::stats);
+        let util_base = tracing.then(|| {
+            kraftwerk_trace::alloc::untracked(|| {
+                (
+                    std::time::Instant::now(),
+                    kraftwerk_par::UtilizationSnapshot::capture(),
+                )
+            })
+        });
+        Self { phase, tracing, alloc_base, util_base }
+    }
+
+    fn finish(self) {
+        use kraftwerk_trace::Value;
+        if let Some(base) = self.alloc_base {
+            let delta = kraftwerk_trace::alloc::stats().since(&base);
+            kraftwerk_trace::alloc::record_phase(self.phase, delta);
+            if self.tracing {
+                kraftwerk_trace::event(
+                    kraftwerk_trace::ALLOC_EVENT,
+                    vec![
+                        ("phase", Value::from(self.phase)),
+                        ("allocs", Value::from(delta.allocs)),
+                        ("deallocs", Value::from(delta.deallocs)),
+                        ("bytes", Value::from(delta.bytes_allocated)),
+                        ("peak_bytes", Value::from(delta.peak_bytes)),
+                    ],
+                );
+            }
+        }
+        if let Some((started, base)) = self.util_base {
+            kraftwerk_trace::alloc::untracked(|| {
+                let wall_s = started.elapsed().as_secs_f64();
+                let spun = kraftwerk_par::UtilizationSnapshot::capture().since(&base);
+                kraftwerk_trace::event(
+                    kraftwerk_trace::UTILIZATION_EVENT,
+                    vec![
+                        ("span", Value::from(self.phase)),
+                        ("wall_s", Value::from(wall_s)),
+                        ("busy_s", Value::from(spun.busy_seconds())),
+                        ("chunks", Value::from(spun.total_chunks())),
+                        ("threads", Value::from(kraftwerk_par::current_threads())),
+                        ("workers", Value::from(spun.workers_engaged())),
+                    ],
+                );
+            });
+        }
+    }
+}
+
 /// A best-so-far snapshot the watchdog can roll the session back to.
 #[derive(Debug, Clone)]
 struct Checkpoint {
@@ -416,6 +485,7 @@ impl<'a> PlacementSession<'a> {
         // 1. Density deviation of the current placement (eq. 4), plus any
         //    injected congestion/heat demand.
         let density_timer = kraftwerk_trace::span("place.density_map");
+        let density_scope = PhaseScope::begin("place.density_map", tracing);
         let density =
             density_slot.get_or_insert_with(|| ScalarMap::zeros(core, nx, ny));
         density_map_into(self.netlist, &self.placement, nx, ny, density, density_scratch);
@@ -441,10 +511,12 @@ impl<'a> PlacementSession<'a> {
                 );
             }
         }
+        density_scope.finish();
         density_timer.finish();
 
         // 2. Force field (eq. 9 / Poisson solve).
         let field_timer = kraftwerk_trace::span("place.field_solve");
+        let field_scope = PhaseScope::begin("place.field_solve", tracing);
         let field: &ForceField = match self.config.field_solver {
             FieldSolverKind::Multigrid => {
                 let solver = MultigridSolver {
@@ -493,6 +565,7 @@ impl<'a> PlacementSession<'a> {
             // force the field produced this transformation.
             self.hists.field_magnitude.record(field.max_magnitude());
         }
+        field_scope.finish();
         field_timer.finish();
 
         // 3. Assemble the current quadratic system; its diagonal is the
@@ -501,6 +574,7 @@ impl<'a> PlacementSession<'a> {
         //    independent, so its matrix (and diagonal and preconditioner)
         //    survives across iterations until the net weights change.
         let assembly_timer = kraftwerk_trace::span("place.force_assembly");
+        let assembly_scope = PhaseScope::begin("place.force_assembly", tracing);
         let static_model =
             self.config.net_model == NetModel::Clique && !self.config.linearization;
         let rebuild = !(static_model && *asm_valid);
@@ -648,6 +722,7 @@ impl<'a> PlacementSession<'a> {
             bx.push(-asm.dx[i] + hx[i] + f.x);
             by.push(-asm.dy[i] + hy[i] + f.y);
         }
+        assembly_scope.finish();
         assembly_timer.finish();
 
         // 6. Solve, warm-started from the current placement. The x and y
@@ -656,6 +731,9 @@ impl<'a> PlacementSession<'a> {
         //    thread (each keeps its own workspace and preconditioner, so
         //    the results are identical to the sequential order).
         let cg_opts = &self.config.cg;
+        // The two axis solves overlap in time, so they share one resource
+        // bracket (per-axis heap deltas would double-count each other).
+        let solve_scope = PhaseScope::begin("place.solve_xy", tracing);
         let (rx, ry) = kraftwerk_par::join(
             || {
                 let timer = kraftwerk_trace::span("place.solve_x");
@@ -670,6 +748,7 @@ impl<'a> PlacementSession<'a> {
                 stats
             },
         );
+        solve_scope.finish();
         let (rx, ry) = (rx?, ry?);
 
         //    Trust region: the per-cell displacement estimate used for the
@@ -721,10 +800,12 @@ impl<'a> PlacementSession<'a> {
 
         // 7. Progress metrics.
         let metrics_timer = kraftwerk_trace::span("place.metrics");
+        let metrics_scope = PhaseScope::begin("place.metrics", tracing);
         let empty_square_area =
             largest_empty_square(self.netlist, &self.placement, self.empty_square_resolution());
         self.last_empty_square.push(empty_square_area);
         let hpwl = metrics::hpwl(self.netlist, &self.placement);
+        metrics_scope.finish();
         metrics_timer.finish();
         let stats = IterationStats {
             iteration: self.iteration,

@@ -218,8 +218,18 @@ impl SpectralSolver {
 
         let rhs_norm: f64 = rhs.iter().map(|v| v * v).sum::<f64>().sqrt();
         let n = m - 2;
+        let tracing = kraftwerk_trace::enabled();
+        // Plan-preparation vs transform-pass split, for the convergence
+        // telemetry. Clock reads only happen under an installed sink.
+        let mut plan_s = 0.0f64;
+        let mut transform_s = 0.0f64;
         if rhs_norm > 0.0 {
+            let t0 = tracing.then(std::time::Instant::now);
             plan.prepare(n);
+            if let Some(t0) = t0 {
+                plan_s = t0.elapsed().as_secs_f64();
+            }
+            let t1 = tracing.then(std::time::Instant::now);
             let stride = 2 * plan.nfft;
             ext1.resize(n * stride, 0.0);
             ext2.resize(n * stride, 0.0);
@@ -272,15 +282,20 @@ impl SpectralSolver {
                     phi[idx(m, i + 1, j + 1)] = scale * ext1[j * stride + i];
                 }
             }
+            if let Some(t1) = t1 {
+                transform_s = t1.elapsed().as_secs_f64();
+            }
         }
 
-        if kraftwerk_trace::enabled() {
+        if tracing {
             kraftwerk_trace::event(
                 "spectral.solve",
                 vec![
                     ("vertices_per_side", kraftwerk_trace::Value::from(m)),
                     ("fft_len", kraftwerk_trace::Value::from(2 * (n + 1))),
                     ("trivial", kraftwerk_trace::Value::from(rhs_norm == 0.0)),
+                    ("plan_s", kraftwerk_trace::Value::from(plan_s)),
+                    ("transform_s", kraftwerk_trace::Value::from(transform_s)),
                 ],
             );
             kraftwerk_trace::counter("spectral.solves", 1);

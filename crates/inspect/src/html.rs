@@ -14,7 +14,7 @@ use crate::svg::{
     timeline_strip, PhaseSlice, Series, TimelineMark,
 };
 
-const STYLE: &str = "\
+pub(crate) const STYLE: &str = "\
 body{font-family:system-ui,sans-serif;margin:0;background:#f8fafc;color:#0f172a}\
 header{background:#0f172a;color:#f8fafc;padding:14px 24px}\
 header h1{margin:0;font-size:20px}\

@@ -16,20 +16,30 @@
 //! ```
 //!
 //! The CLI front-end is `kraftwerk inspect run.jsonl -o report.html`.
+//! Two more renderers share the same [`RunData`] model:
+//! [`render_perfetto`] exports a Chrome trace-event JSON document that
+//! loads in Perfetto (`kraftwerk inspect run.jsonl --perfetto
+//! trace.json`), and [`render_comparison`] overlays several runs —
+//! convergence curves, phase deltas, peak memory, parallel efficiency —
+//! in one document (`kraftwerk inspect a.jsonl b.jsonl -o cmp.html`).
 //!
 //! Like the rest of the pipeline, this crate is panic-free on arbitrary
 //! input: malformed telemetry becomes a typed [`InspectError`], partial
 //! telemetry renders a partial dashboard with placeholders.
 
+mod compare;
 mod html;
 mod model;
+mod perfetto;
 mod svg;
 
+pub use compare::render_comparison;
 pub use html::render;
 pub use model::{
-    parse_run, HistogramData, InspectError, IterationPoint, PhaseCost, RunData, SnapshotGrid,
-    TimelinePoint,
+    parse_run, AllocPoint, ConvergenceTrace, HistogramData, InspectError, IterationPoint,
+    PhaseCost, RunData, SnapshotGrid, TimelinePoint, UtilizationPoint,
 };
+pub use perfetto::render_perfetto;
 pub use svg::{
     empty_chart, esc, fmt_value, heatmap, histogram_chart, line_chart, phase_breakdown, scatter,
     timeline_strip, PhaseSlice, Series, TimelineMark, CHART_H, CHART_W,

@@ -92,6 +92,60 @@ pub struct PhaseCost {
     pub seconds: f64,
 }
 
+/// One retained solver-convergence record (a CG residual trajectory, a
+/// multigrid V-cycle curve, or spectral plan/transform timings).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConvergenceTrace {
+    /// Solver tag: `cg`, `multigrid`, or `spectral`.
+    pub solver: String,
+    /// The placement transformation the solve ran inside.
+    pub iteration: u64,
+    /// Residual curve (`residual_trajectory` / `relative_residuals`),
+    /// empty for solvers that report only scalar timings.
+    pub curve: Vec<f64>,
+    /// Whether the solve reported convergence (absent for spectral).
+    pub converged: Option<bool>,
+    /// Every other numeric field of the record, in emission order
+    /// (`dim`, `iterations`, `residual`, `plan_s`, `transform_s`, …).
+    pub metrics: Vec<(String, f64)>,
+}
+
+/// Per-phase heap accounting for one instrumented phase.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AllocPoint {
+    /// Instrumented phase name, e.g. `place.density_map`.
+    pub phase: String,
+    /// Phase executions folded into this stat.
+    pub samples: u64,
+    /// Total allocations across all samples.
+    pub allocs: u64,
+    /// Total deallocations across all samples.
+    pub deallocs: u64,
+    /// Total bytes allocated across all samples.
+    pub bytes: u64,
+    /// Highest process-wide bytes-in-use peak observed.
+    pub peak_bytes: u64,
+}
+
+/// Worker-pool utilization for one instrumented span.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UtilizationPoint {
+    /// Instrumented span name, e.g. `place.field_solve`.
+    pub span: String,
+    /// Span executions folded into this stat.
+    pub samples: u64,
+    /// Total wall-clock seconds across all samples.
+    pub wall_s: f64,
+    /// Total busy seconds summed over every participating thread.
+    pub busy_s: f64,
+    /// Total chunk bodies executed.
+    pub chunks: u64,
+    /// Largest configured thread count seen.
+    pub threads: u64,
+    /// Parallel efficiency as recorded (busy / (wall × threads)).
+    pub efficiency: f64,
+}
+
 /// Everything the dashboard renders, independent of the input format.
 #[derive(Debug, Clone, Default)]
 pub struct RunData {
@@ -107,6 +161,12 @@ pub struct RunData {
     pub timeline: Vec<TimelinePoint>,
     /// Cumulative per-phase cost, most expensive first.
     pub profile: Vec<PhaseCost>,
+    /// Retained solver-convergence records, in stream order.
+    pub convergence: Vec<ConvergenceTrace>,
+    /// Per-phase heap accounting (empty unless allocation tracking ran).
+    pub alloc: Vec<AllocPoint>,
+    /// Per-span worker-pool utilization.
+    pub utilization: Vec<UtilizationPoint>,
 }
 
 impl RunData {
@@ -131,6 +191,18 @@ impl RunData {
     #[must_use]
     pub fn snapshots_of(&self, kind: &str) -> Vec<&SnapshotGrid> {
         self.snapshots.iter().filter(|s| s.kind == kind).collect()
+    }
+
+    /// Convergence records of one solver, in stream order.
+    #[must_use]
+    pub fn convergence_of(&self, solver: &str) -> Vec<&ConvergenceTrace> {
+        self.convergence.iter().filter(|c| c.solver == solver).collect()
+    }
+
+    /// The highest `peak_bytes` across every instrumented phase.
+    #[must_use]
+    pub fn peak_bytes(&self) -> u64 {
+        self.alloc.iter().map(|a| a.peak_bytes).max().unwrap_or(0)
     }
 }
 
@@ -242,6 +314,64 @@ fn decode_snapshot(obj: &Json) -> Option<SnapshotGrid> {
     })
 }
 
+/// Decodes one `type:"convergence"` record. Arrays become the residual
+/// curve (first array field wins), `converged` is kept as a flag, and
+/// every other numeric field lands in `metrics` so new solver outputs
+/// surface without a schema change.
+fn decode_convergence(obj: &Json) -> Option<ConvergenceTrace> {
+    let solver = obj.get("solver").and_then(Json::as_str)?.to_string();
+    let mut trace = ConvergenceTrace {
+        solver,
+        iteration: get_u64(obj, "iteration").unwrap_or(0),
+        ..ConvergenceTrace::default()
+    };
+    for (key, value) in obj.as_object().unwrap_or(&[]) {
+        match key.as_str() {
+            "type" | "solver" | "iteration" => {}
+            "converged" => {
+                trace.converged = match value {
+                    Json::Bool(b) => Some(*b),
+                    other => other.as_f64().map(|v| v != 0.0),
+                };
+            }
+            _ => {
+                if let Some(items) = value.as_array() {
+                    if trace.curve.is_empty() {
+                        trace.curve =
+                            items.iter().filter_map(Json::as_f64).collect();
+                    }
+                } else if let Some(v) = value.as_f64() {
+                    trace.metrics.push((key.clone(), v));
+                }
+            }
+        }
+    }
+    Some(trace)
+}
+
+fn decode_alloc(obj: &Json) -> Option<AllocPoint> {
+    Some(AllocPoint {
+        phase: obj.get("phase").and_then(Json::as_str)?.to_string(),
+        samples: get_u64(obj, "samples").unwrap_or(0),
+        allocs: get_u64(obj, "allocs").unwrap_or(0),
+        deallocs: get_u64(obj, "deallocs").unwrap_or(0),
+        bytes: get_u64(obj, "bytes").unwrap_or(0),
+        peak_bytes: get_u64(obj, "peak_bytes").unwrap_or(0),
+    })
+}
+
+fn decode_utilization(obj: &Json) -> Option<UtilizationPoint> {
+    Some(UtilizationPoint {
+        span: obj.get("span").and_then(Json::as_str)?.to_string(),
+        samples: get_u64(obj, "samples").unwrap_or(0),
+        wall_s: get_f64(obj, "wall_s").unwrap_or(0.0),
+        busy_s: get_f64(obj, "busy_s").unwrap_or(0.0),
+        chunks: get_u64(obj, "chunks").unwrap_or(0),
+        threads: get_u64(obj, "threads").unwrap_or(0),
+        efficiency: get_f64(obj, "efficiency").unwrap_or(0.0),
+    })
+}
+
 /// Decodes a typed line/timeline entry into a [`TimelinePoint`]. The
 /// detail string concatenates every field except the ones shown
 /// structurally, so new watchdog fields surface without a schema change.
@@ -307,6 +437,21 @@ fn fold_typed(run: &mut RunData, kind: &str, obj: &Json) {
                 run.snapshots.push(snapshot);
             }
         }
+        "convergence" => {
+            if let Some(trace) = decode_convergence(obj) {
+                run.convergence.push(trace);
+            }
+        }
+        "alloc" => {
+            if let Some(point) = decode_alloc(obj) {
+                run.alloc.push(point);
+            }
+        }
+        "utilization" => {
+            if let Some(point) = decode_utilization(obj) {
+                run.utilization.push(point);
+            }
+        }
         other => run.timeline.push(decode_timeline(other, obj)),
     }
 }
@@ -366,6 +511,21 @@ fn parse_summary(doc: &Json) -> RunData {
     for event in doc.get("timeline").and_then(Json::as_array).unwrap_or(&[]) {
         let kind = event.get("type").and_then(Json::as_str).unwrap_or("event");
         run.timeline.push(decode_timeline(kind, event));
+    }
+    for record in doc.get("convergence").and_then(Json::as_array).unwrap_or(&[]) {
+        if let Some(trace) = decode_convergence(record) {
+            run.convergence.push(trace);
+        }
+    }
+    for stat in doc.get("alloc").and_then(Json::as_array).unwrap_or(&[]) {
+        if let Some(point) = decode_alloc(stat) {
+            run.alloc.push(point);
+        }
+    }
+    for stat in doc.get("utilization").and_then(Json::as_array).unwrap_or(&[]) {
+        if let Some(point) = decode_utilization(stat) {
+            run.utilization.push(point);
+        }
     }
     for entry in doc.get("profile").and_then(Json::as_array).unwrap_or(&[]) {
         if let Some(name) = entry.get("phase").and_then(Json::as_str) {
@@ -494,6 +654,61 @@ mod tests {
         assert_eq!(run.snapshots_of("cells").len(), 1);
         assert_eq!(run.timeline[0].action, "give_up");
         assert_eq!(run.profile[0].calls, 7);
+    }
+
+    #[test]
+    fn resource_and_convergence_records_parse_from_both_formats() {
+        let jsonl = concat!(
+            "{\"iteration\":1,\"hpwl\":10.0,\"phases\":{}}\n",
+            "{\"type\":\"convergence\",\"solver\":\"cg\",\"iteration\":1,\"dim\":128,",
+            "\"iterations\":9,\"residual\":1e-8,\"converged\":true,",
+            "\"residual_trajectory\":[1.0,0.5,0.01]}\n",
+            "{\"type\":\"convergence\",\"solver\":\"spectral\",\"iteration\":1,",
+            "\"plan_s\":0.001,\"transform_s\":0.002}\n",
+            "{\"type\":\"alloc\",\"phase\":\"place.field_solve\",\"samples\":3,",
+            "\"allocs\":12,\"deallocs\":12,\"bytes\":4096,\"peak_bytes\":8192}\n",
+            "{\"type\":\"utilization\",\"span\":\"place.solve_xy\",\"samples\":3,",
+            "\"wall_s\":0.5,\"busy_s\":0.9,\"chunks\":24,\"threads\":2,\"efficiency\":0.9}\n",
+        );
+        let run = parse_run(jsonl).expect("stream parses");
+        assert_eq!(run.convergence.len(), 2);
+        let cg = &run.convergence[0];
+        assert_eq!(cg.solver, "cg");
+        assert_eq!(cg.iteration, 1);
+        assert_eq!(cg.curve, vec![1.0, 0.5, 0.01]);
+        assert_eq!(cg.converged, Some(true));
+        assert!(cg.metrics.iter().any(|(k, v)| k == "iterations" && *v == 9.0));
+        let spectral = &run.convergence[1];
+        assert!(spectral.curve.is_empty());
+        assert!(spectral.metrics.iter().any(|(k, v)| k == "plan_s" && *v == 0.001));
+        assert_eq!(run.convergence_of("cg").len(), 1);
+        assert_eq!(run.alloc.len(), 1);
+        assert_eq!(run.alloc[0].phase, "place.field_solve");
+        assert_eq!(run.alloc[0].peak_bytes, 8192);
+        assert_eq!(run.peak_bytes(), 8192);
+        assert_eq!(run.utilization.len(), 1);
+        assert_eq!(run.utilization[0].span, "place.solve_xy");
+        assert_eq!(run.utilization[0].threads, 2);
+        assert!((run.utilization[0].efficiency - 0.9).abs() < 1e-12);
+        // None of the typed resource records leak into the timeline.
+        assert!(run.timeline.is_empty());
+
+        let summary = concat!(
+            "{\"meta\":{\"netlist\":\"demo\"},",
+            "\"records\":[{\"iteration\":1,\"hpwl\":10.0,\"phases\":{}}],",
+            "\"convergence\":[{\"type\":\"convergence\",\"solver\":\"multigrid\",",
+            "\"iteration\":1,\"cycles\":4,\"converged\":true,",
+            "\"relative_residuals\":[0.5,0.01]}],",
+            "\"alloc\":[{\"type\":\"alloc\",\"phase\":\"place.metrics\",\"samples\":1,",
+            "\"allocs\":2,\"deallocs\":2,\"bytes\":64,\"peak_bytes\":128}],",
+            "\"utilization\":[{\"type\":\"utilization\",\"span\":\"place.density_map\",",
+            "\"samples\":1,\"wall_s\":0.1,\"busy_s\":0.08,\"chunks\":8,\"threads\":1,",
+            "\"efficiency\":0.8}]}",
+        );
+        let run = parse_run(summary).expect("summary parses");
+        assert_eq!(run.convergence_of("multigrid")[0].curve, vec![0.5, 0.01]);
+        assert_eq!(run.alloc[0].phase, "place.metrics");
+        assert_eq!(run.utilization[0].chunks, 8);
     }
 
     #[test]

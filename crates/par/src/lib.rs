@@ -111,16 +111,22 @@ pub fn run_chunks(n_chunks: usize, run: &(dyn Fn(usize) + Sync)) {
         return;
     }
     let threads = current_threads();
+    let timed = kraftwerk_trace::enabled();
     if threads <= 1 || n_chunks == 1 {
+        let start = timed.then(std::time::Instant::now);
         for i in 0..n_chunks {
             run(i);
         }
+        if let Some(start) = start {
+            let busy = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            pool::record_inline(busy, n_chunks as u64);
+        }
         return;
     }
-    if kraftwerk_trace::enabled() {
+    if timed {
         kraftwerk_trace::counter("par.tasks", 1);
     }
-    pool::pool().run(n_chunks, threads, run);
+    pool::pool().run(n_chunks, threads, timed, run);
 }
 
 /// Calls `f(chunk_index, chunk_slice)` for every `chunk`-sized piece of
@@ -209,6 +215,95 @@ pub fn par_map_reduce<R: Send>(
         .map(|p| p.expect("par_map_reduce: every chunk mapped"));
     let first = ordered.next()?;
     Some(ordered.fold(first, reduce))
+}
+
+/// Cumulative worker-utilization counters, captured with
+/// [`UtilizationSnapshot::capture`].
+///
+/// Slot 0 is the publishing (or inline) thread; slot `i >= 1` is worker
+/// thread `i - 1`. Counters only advance while a `kraftwerk-trace` sink
+/// is installed (timing is captured per job at publish time), so they
+/// cost nothing in untraced runs. Subtract two snapshots with
+/// [`UtilizationSnapshot::since`] to get the utilization of one span.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UtilizationSnapshot {
+    /// Busy nanoseconds per slot, trimmed to the last non-zero slot.
+    pub busy_ns: Vec<u64>,
+    /// Chunk-body executions per slot, trimmed like `busy_ns`.
+    pub chunks: Vec<u64>,
+}
+
+impl UtilizationSnapshot {
+    /// Reads the current cumulative counters.
+    #[must_use]
+    pub fn capture() -> Self {
+        let counters = pool::utilization_counters();
+        let used = counters
+            .iter()
+            .rposition(|&(busy, chunks)| busy > 0 || chunks > 0)
+            .map_or(0, |i| i + 1);
+        Self {
+            busy_ns: counters[..used].iter().map(|&(b, _)| b).collect(),
+            chunks: counters[..used].iter().map(|&(_, c)| c).collect(),
+        }
+    }
+
+    /// The counter advance from `earlier` to `self` (saturating, so a
+    /// stale "earlier" snapshot never underflows).
+    #[must_use]
+    pub fn since(&self, earlier: &Self) -> Self {
+        let delta = |now: &[u64], then: &[u64]| -> Vec<u64> {
+            now.iter()
+                .enumerate()
+                .map(|(i, &v)| v.saturating_sub(then.get(i).copied().unwrap_or(0)))
+                .collect()
+        };
+        let mut out = Self {
+            busy_ns: delta(&self.busy_ns, &earlier.busy_ns),
+            chunks: delta(&self.chunks, &earlier.chunks),
+        };
+        let used = out
+            .busy_ns
+            .iter()
+            .zip(&out.chunks)
+            .rposition(|(&b, &c)| b > 0 || c > 0)
+            .map_or(0, |i| i + 1);
+        out.busy_ns.truncate(used);
+        out.chunks.truncate(used);
+        out
+    }
+
+    /// Total busy time across all slots, in seconds.
+    #[must_use]
+    pub fn busy_seconds(&self) -> f64 {
+        self.busy_ns.iter().map(|&ns| ns as f64).sum::<f64>() / 1e9
+    }
+
+    /// Total chunk-body executions across all slots.
+    #[must_use]
+    pub fn total_chunks(&self) -> u64 {
+        self.chunks.iter().sum()
+    }
+
+    /// Number of slots that did any work.
+    #[must_use]
+    pub fn workers_engaged(&self) -> usize {
+        self.busy_ns
+            .iter()
+            .zip(&self.chunks)
+            .filter(|&(&b, &c)| b > 0 || c > 0)
+            .count()
+    }
+
+    /// Parallel efficiency of a span: busy time divided by the
+    /// wall-clock capacity `wall_s * threads`. 1.0 means every thread
+    /// was busy for the whole span; returns `None` for a degenerate
+    /// (zero-capacity) span.
+    #[must_use]
+    pub fn parallel_efficiency(&self, wall_s: f64, threads: usize) -> Option<f64> {
+        let capacity = wall_s * threads as f64;
+        (capacity > 0.0).then(|| self.busy_seconds() / capacity)
+    }
 }
 
 /// Runs two independent closures, concurrently when more than one thread
@@ -424,6 +519,35 @@ mod tests {
                 join(|| 1u8, || -> u8 { panic!("right branch") })
             });
             assert!(result.is_err());
+        });
+    }
+
+    #[test]
+    fn utilization_counters_only_advance_under_a_sink() {
+        with_threads(2, || {
+            // Untraced: the counters must not move at all.
+            let before = UtilizationSnapshot::capture();
+            run_chunks(8, &|_| {
+                std::hint::black_box(0u64);
+            });
+            let idle = UtilizationSnapshot::capture().since(&before);
+            assert_eq!(idle.total_chunks(), 0, "untraced run advanced counters");
+
+            // Traced: every chunk body is accounted for exactly once.
+            let recorder = std::sync::Arc::new(kraftwerk_trace::RunRecorder::new());
+            kraftwerk_trace::install(recorder);
+            let before = UtilizationSnapshot::capture();
+            run_chunks(16, &|_| {
+                std::hint::black_box(0u64);
+            });
+            let spun = UtilizationSnapshot::capture().since(&before);
+            kraftwerk_trace::uninstall();
+            assert_eq!(spun.total_chunks(), 16, "each chunk counted once");
+            assert!(spun.workers_engaged() >= 1);
+            assert!(spun.busy_seconds() >= 0.0);
+            assert!(spun.parallel_efficiency(0.0, 2).is_none());
+            let eff = spun.parallel_efficiency(1.0, 2).unwrap();
+            assert!(eff >= 0.0);
         });
     }
 

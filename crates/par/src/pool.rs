@@ -22,9 +22,55 @@
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Sanity cap on the worker count (`KRAFTWERK_THREADS` is clamped here).
 pub(crate) const MAX_THREADS: usize = 256;
+
+/// Utilization slots: slot 0 is the publishing (or inline) thread, slots
+/// `1..=MAX_THREADS-1` belong to the workers of the same index.
+pub(crate) const UTIL_SLOTS: usize = MAX_THREADS;
+
+/// Cumulative busy nanoseconds per slot. Only written when a job was
+/// published with `timed == true`, so an untraced run never touches them.
+static BUSY_NS: [AtomicU64; UTIL_SLOTS] = [const { AtomicU64::new(0) }; UTIL_SLOTS];
+/// Cumulative chunk-body executions per slot.
+static CHUNKS: [AtomicU64; UTIL_SLOTS] = [const { AtomicU64::new(0) }; UTIL_SLOTS];
+
+thread_local! {
+    /// This thread's utilization slot; non-worker threads publish into 0.
+    static WORKER_SLOT: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Adds one finished stretch of chunk work to this thread's slot.
+///
+/// Called once per `Job::execute` invocation (not per chunk), so the
+/// atomics sit well off the chunk-claim hot loop.
+fn flush_busy(busy_ns: u64, chunks: u64) {
+    if chunks == 0 {
+        return;
+    }
+    let slot = WORKER_SLOT.with(std::cell::Cell::get).min(UTIL_SLOTS - 1);
+    BUSY_NS[slot].fetch_add(busy_ns, Ordering::Relaxed);
+    CHUNKS[slot].fetch_add(chunks, Ordering::Relaxed);
+}
+
+/// Records timed inline execution (the no-pool path) into slot 0.
+pub(crate) fn record_inline(busy_ns: u64, chunks: u64) {
+    flush_busy(busy_ns, chunks);
+}
+
+/// Reads the cumulative per-slot counters: `(busy_ns, chunks)` per slot.
+pub(crate) fn utilization_counters() -> Vec<(u64, u64)> {
+    (0..UTIL_SLOTS)
+        .map(|s| {
+            (
+                BUSY_NS[s].load(Ordering::Relaxed),
+                CHUNKS[s].load(Ordering::Relaxed),
+            )
+        })
+        .collect()
+}
 
 /// Type-erased pointer to the caller's chunk closure.
 ///
@@ -53,6 +99,9 @@ struct Job {
     /// Workers that adopted this job (the publisher is not counted).
     helpers: AtomicUsize,
     max_helpers: usize,
+    /// Captured from `kraftwerk_trace::enabled()` at publish time, so the
+    /// per-chunk clock reads only happen under an installed sink.
+    timed: bool,
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
     done: Mutex<bool>,
     done_cv: Condvar,
@@ -61,21 +110,31 @@ struct Job {
 impl Job {
     /// Claims and executes chunks until the cursor runs past `total`.
     fn execute(&self) {
+        let mut busy_ns = 0u64;
+        let mut chunks = 0u64;
         loop {
             let i = self.next.fetch_add(1, Ordering::SeqCst);
             if i >= self.total {
-                return;
+                break;
             }
             // SAFETY: `pending > 0` here (this chunk has not finished),
             // so the publisher is still blocked and the closure alive.
             let run = unsafe { &*self.run.0 };
+            let start = self.timed.then(Instant::now);
             if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run(i))) {
                 *self.panic.lock().expect("par: panic slot poisoned") = Some(payload);
+            }
+            if let Some(start) = start {
+                busy_ns += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                chunks += 1;
             }
             if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
                 *self.done.lock().expect("par: done flag poisoned") = true;
                 self.done_cv.notify_all();
             }
+        }
+        if self.timed {
+            flush_busy(busy_ns, chunks);
         }
     }
 }
@@ -103,7 +162,13 @@ impl Pool {
     /// Runs `run(0..n_chunks)` across up to `threads` threads (publisher
     /// included) and returns once every chunk has finished, re-raising
     /// the first captured panic payload.
-    pub(crate) fn run(&'static self, n_chunks: usize, threads: usize, run: &(dyn Fn(usize) + Sync)) {
+    pub(crate) fn run(
+        &'static self,
+        n_chunks: usize,
+        threads: usize,
+        timed: bool,
+        run: &(dyn Fn(usize) + Sync),
+    ) {
         let helpers = threads.min(MAX_THREADS) - 1;
         self.ensure_workers(helpers);
         // SAFETY: lifetime erasure only; see `RunPtr` for the protocol
@@ -122,6 +187,7 @@ impl Pool {
             pending: AtomicUsize::new(n_chunks),
             helpers: AtomicUsize::new(0),
             max_helpers: helpers,
+            timed,
             panic: Mutex::new(None),
             done: Mutex::new(false),
             done_cv: Condvar::new(),
@@ -159,13 +225,14 @@ impl Pool {
             let index = *spawned;
             std::thread::Builder::new()
                 .name(format!("kraftwerk-par-{index}"))
-                .spawn(move || self.worker_loop())
+                .spawn(move || self.worker_loop(index))
                 .expect("par: spawn worker thread");
             *spawned += 1;
         }
     }
 
-    fn worker_loop(&'static self) {
+    fn worker_loop(&'static self, index: usize) {
+        WORKER_SLOT.with(|slot| slot.set((index + 1).min(UTIL_SLOTS - 1)));
         let mut last_seq = 0u64;
         loop {
             let job = {

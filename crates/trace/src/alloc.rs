@@ -1,0 +1,396 @@
+//! Opt-in heap accounting behind the process's global allocator.
+//!
+//! The arena refactor promises zero steady-state heap allocation per
+//! placement transformation; this module turns that claim into a
+//! runtime-verified metric instead of a code-review argument. The
+//! `kraftwerk` binary installs [`CountingAllocator`] as its
+//! `#[global_allocator]`; the counters stay dormant (one relaxed atomic
+//! load per allocation) until [`set_tracking`] switches them on — the
+//! `--alloc-stats` CLI flag — so library users and the untraced hot path
+//! pay nothing they can measure.
+//!
+//! Two consumers sit on top of the raw counters:
+//!
+//! * [`stats`] / [`AllocStats::since`] sample process-wide totals, which
+//!   the placement session brackets around each instrumented phase;
+//! * [`record_phase`] folds those per-phase deltas into a process-wide
+//!   per-phase table ([`phase_report`]) that is readable *without* a
+//!   trace sink, so `--alloc-stats` alone can verify the arena claim.
+//!
+//! Telemetry must not falsify its own measurement: delivering an event to
+//! a sink allocates (the recorder clones field vectors), so the sink
+//! dispatch path and every telemetry-side allocation runs under
+//! [`untracked`], which pauses accounting on the current thread.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Whether an installed [`CountingAllocator`] updates the counters.
+static TRACK: AtomicBool = AtomicBool::new(false);
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static IN_USE: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Depth of [`untracked`] scopes on this thread; accounting is
+    /// suspended while non-zero.
+    static PAUSE_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// A counting wrapper around the system allocator, meant to be installed
+/// as the binary's `#[global_allocator]`:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static GLOBAL: kraftwerk_trace::alloc::CountingAllocator =
+///     kraftwerk_trace::alloc::CountingAllocator::system();
+/// ```
+///
+/// Every request is forwarded to [`System`] unconditionally; the counters
+/// are only updated while [`set_tracking`]`(true)` is in effect and the
+/// current thread is not inside an [`untracked`] scope.
+#[derive(Debug)]
+pub struct CountingAllocator {
+    inner: System,
+}
+
+impl CountingAllocator {
+    /// The system-allocator-backed counting allocator.
+    #[must_use]
+    pub const fn system() -> Self {
+        Self { inner: System }
+    }
+}
+
+#[inline]
+fn counting_now() -> bool {
+    TRACK.load(Ordering::Relaxed)
+        && PAUSE_DEPTH.try_with(|depth| depth.get() == 0).unwrap_or(false)
+}
+
+#[inline]
+fn record_alloc(size: usize) {
+    if !counting_now() {
+        return;
+    }
+    ALLOCS.fetch_add(1, Ordering::Relaxed);
+    ALLOC_BYTES.fetch_add(size as u64, Ordering::Relaxed);
+    let live = IN_USE.fetch_add(size as u64, Ordering::Relaxed) + size as u64;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+#[inline]
+fn record_dealloc(size: usize) {
+    if !counting_now() {
+        return;
+    }
+    DEALLOCS.fetch_add(1, Ordering::Relaxed);
+    // Blocks allocated before tracking started may be freed while it is
+    // on; saturate instead of wrapping the live-bytes gauge.
+    let _ = IN_USE.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |live| {
+        Some(live.saturating_sub(size as u64))
+    });
+}
+
+// SAFETY: every method forwards verbatim to `System`, which upholds the
+// `GlobalAlloc` contract; the counter updates have no effect on the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = unsafe { self.inner.alloc(layout) };
+        if !ptr.is_null() {
+            record_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = unsafe { self.inner.alloc_zeroed(layout) };
+        if !ptr.is_null() {
+            record_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        record_dealloc(layout.size());
+        unsafe { self.inner.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = unsafe { self.inner.realloc(ptr, layout, new_size) };
+        if !new_ptr.is_null() {
+            record_dealloc(layout.size());
+            record_alloc(new_size);
+        }
+        new_ptr
+    }
+}
+
+/// Switches allocation accounting on or off. A no-op unless the binary
+/// installed a [`CountingAllocator`] (the counters then simply stay
+/// zero).
+pub fn set_tracking(on: bool) {
+    TRACK.store(on, Ordering::SeqCst);
+}
+
+/// Whether allocation accounting is currently switched on.
+#[inline]
+#[must_use]
+pub fn tracking() -> bool {
+    TRACK.load(Ordering::Relaxed)
+}
+
+/// Whether a [`CountingAllocator`] is actually installed as the global
+/// allocator: probes with one small allocation under temporary tracking.
+/// Intended for CLI startup diagnostics, not concurrent use.
+#[must_use]
+pub fn allocator_installed() -> bool {
+    let was = TRACK.swap(true, Ordering::SeqCst);
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let probe = std::hint::black_box(Box::new(0u8));
+    drop(probe);
+    let counted = ALLOCS.load(Ordering::SeqCst) > before;
+    TRACK.store(was, Ordering::SeqCst);
+    counted
+}
+
+/// Zeroes every counter and the per-phase table (the peak restarts from
+/// the current moment, not from the historical live-byte level — a reset
+/// mid-run measures the run from here on).
+///
+/// # Panics
+///
+/// Panics if the phase-table lock is poisoned.
+pub fn reset() {
+    ALLOCS.store(0, Ordering::SeqCst);
+    DEALLOCS.store(0, Ordering::SeqCst);
+    ALLOC_BYTES.store(0, Ordering::SeqCst);
+    IN_USE.store(0, Ordering::SeqCst);
+    PEAK.store(0, Ordering::SeqCst);
+    PHASES.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
+}
+
+/// A point-in-time sample of the process-wide allocation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Allocations (including reallocs) observed while tracking.
+    pub allocs: u64,
+    /// Deallocations observed while tracking.
+    pub deallocs: u64,
+    /// Cumulative bytes requested by those allocations.
+    pub bytes_allocated: u64,
+    /// Tracked bytes currently live.
+    pub bytes_in_use: u64,
+    /// High-water mark of [`bytes_in_use`](Self::bytes_in_use).
+    pub peak_bytes: u64,
+}
+
+impl AllocStats {
+    /// The delta from `base` to `self` for the monotone counters;
+    /// `bytes_in_use` and `peak_bytes` keep their absolute values (a peak
+    /// is a high-water mark, not a rate).
+    #[must_use]
+    pub fn since(&self, base: &AllocStats) -> AllocStats {
+        AllocStats {
+            allocs: self.allocs.saturating_sub(base.allocs),
+            deallocs: self.deallocs.saturating_sub(base.deallocs),
+            bytes_allocated: self.bytes_allocated.saturating_sub(base.bytes_allocated),
+            bytes_in_use: self.bytes_in_use,
+            peak_bytes: self.peak_bytes,
+        }
+    }
+}
+
+/// Samples the current counters.
+#[must_use]
+pub fn stats() -> AllocStats {
+    AllocStats {
+        allocs: ALLOCS.load(Ordering::Relaxed),
+        deallocs: DEALLOCS.load(Ordering::Relaxed),
+        bytes_allocated: ALLOC_BYTES.load(Ordering::Relaxed),
+        bytes_in_use: IN_USE.load(Ordering::Relaxed),
+        peak_bytes: PEAK.load(Ordering::Relaxed),
+    }
+}
+
+/// Suspends accounting on the current thread for the duration of `f`.
+/// Telemetry-delivery code uses this so the act of measuring does not
+/// show up in the measurement.
+pub fn untracked<R>(f: impl FnOnce() -> R) -> R {
+    let entered = PAUSE_DEPTH
+        .try_with(|depth| {
+            depth.set(depth.get() + 1);
+        })
+        .is_ok();
+    let result = f();
+    if entered {
+        let _ = PAUSE_DEPTH.try_with(|depth| {
+            depth.set(depth.get().saturating_sub(1));
+        });
+    }
+    result
+}
+
+/// Accumulated heap accounting for one instrumented phase across a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseAllocTotals {
+    /// Samples recorded (one per phase execution).
+    pub samples: u64,
+    /// Total allocations across all samples.
+    pub allocs: u64,
+    /// Total deallocations across all samples.
+    pub deallocs: u64,
+    /// Total bytes allocated across all samples.
+    pub bytes: u64,
+    /// Highest process-wide peak observed at any sample.
+    pub peak_bytes: u64,
+    /// Allocations in the most recent sample (steady-state probe: after
+    /// arena warm-up this must read zero for the hot phases).
+    pub last_allocs: u64,
+}
+
+static PHASES: Mutex<Vec<(&'static str, PhaseAllocTotals)>> = Mutex::new(Vec::new());
+
+/// Folds one per-phase delta (produced via [`AllocStats::since`]) into
+/// the process-wide per-phase table. Call sites bracket a phase with
+/// [`stats`] and hand the delta here; the table itself is maintained
+/// under [`untracked`] so it never pollutes the counters.
+///
+/// # Panics
+///
+/// Panics if the phase-table lock is poisoned.
+pub fn record_phase(phase: &'static str, delta: AllocStats) {
+    untracked(|| {
+        let mut phases = PHASES.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some((_, totals)) = phases.iter_mut().find(|(name, _)| *name == phase) {
+            totals.samples += 1;
+            totals.allocs += delta.allocs;
+            totals.deallocs += delta.deallocs;
+            totals.bytes += delta.bytes_allocated;
+            totals.peak_bytes = totals.peak_bytes.max(delta.peak_bytes);
+            totals.last_allocs = delta.allocs;
+        } else {
+            phases.push((
+                phase,
+                PhaseAllocTotals {
+                    samples: 1,
+                    allocs: delta.allocs,
+                    deallocs: delta.deallocs,
+                    bytes: delta.bytes_allocated,
+                    peak_bytes: delta.peak_bytes,
+                    last_allocs: delta.allocs,
+                },
+            ));
+        }
+    });
+}
+
+/// The per-phase table accumulated via [`record_phase`], in first-seen
+/// order.
+///
+/// # Panics
+///
+/// Panics if the phase-table lock is poisoned.
+#[must_use]
+pub fn phase_report() -> Vec<(&'static str, PhaseAllocTotals)> {
+    PHASES.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+}
+
+/// A human-readable rendering of [`phase_report`] plus the process-wide
+/// totals — the `--alloc-stats` CLI view.
+#[must_use]
+pub fn report_table() -> String {
+    let totals = stats();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<24} {:>8} {:>10} {:>12} {:>12} {:>10}",
+        "phase", "samples", "allocs", "bytes", "peak bytes", "last"
+    );
+    for (phase, t) in phase_report() {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>8} {:>10} {:>12} {:>12} {:>10}",
+            phase, t.samples, t.allocs, t.bytes, t.peak_bytes, t.last_allocs
+        );
+    }
+    let _ = writeln!(
+        out,
+        "process totals: {} allocs / {} deallocs, {} bytes allocated, peak {} bytes in use",
+        totals.allocs, totals.deallocs, totals.bytes_allocated, totals.peak_bytes
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The test binary does not install the counting allocator, so the
+    // counters stay zero; these tests cover the bookkeeping around them.
+
+    #[test]
+    fn since_subtracts_monotone_counters_and_keeps_peaks() {
+        let base = AllocStats {
+            allocs: 10,
+            deallocs: 4,
+            bytes_allocated: 1000,
+            bytes_in_use: 600,
+            peak_bytes: 800,
+        };
+        let now = AllocStats {
+            allocs: 15,
+            deallocs: 9,
+            bytes_allocated: 1600,
+            bytes_in_use: 700,
+            peak_bytes: 900,
+        };
+        let delta = now.since(&base);
+        assert_eq!(delta.allocs, 5);
+        assert_eq!(delta.deallocs, 5);
+        assert_eq!(delta.bytes_allocated, 600);
+        assert_eq!(delta.bytes_in_use, 700);
+        assert_eq!(delta.peak_bytes, 900);
+    }
+
+    #[test]
+    fn phase_table_accumulates_and_resets() {
+        reset();
+        record_phase(
+            "test.phase",
+            AllocStats { allocs: 3, deallocs: 1, bytes_allocated: 64, peak_bytes: 128, ..AllocStats::default() },
+        );
+        record_phase(
+            "test.phase",
+            AllocStats { allocs: 0, deallocs: 0, bytes_allocated: 0, peak_bytes: 256, ..AllocStats::default() },
+        );
+        let report = phase_report();
+        let (_, totals) = report.iter().find(|(n, _)| *n == "test.phase").expect("phase recorded");
+        assert_eq!(totals.samples, 2);
+        assert_eq!(totals.allocs, 3);
+        assert_eq!(totals.bytes, 64);
+        assert_eq!(totals.peak_bytes, 256);
+        assert_eq!(totals.last_allocs, 0, "steady-state probe keeps the latest sample");
+        let table = report_table();
+        assert!(table.contains("test.phase"));
+        reset();
+        assert!(phase_report().is_empty());
+        assert_eq!(stats(), AllocStats::default());
+    }
+
+    #[test]
+    fn untracked_nests_and_restores() {
+        untracked(|| {
+            untracked(|| {});
+        });
+        // Accounting flag itself is orthogonal to the pause depth.
+        assert!(!tracking());
+    }
+}

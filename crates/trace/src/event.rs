@@ -67,6 +67,15 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The value as `&str`, when it is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
 }
 
 impl From<bool> for Value {

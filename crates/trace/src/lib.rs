@@ -59,6 +59,7 @@
 //! Tests that install the global sink must serialize themselves (the sink
 //! is process-wide and `cargo test` runs tests concurrently).
 
+pub mod alloc;
 pub mod console;
 mod event;
 mod hist;
@@ -72,8 +73,9 @@ pub use console::{Console, ProgressSink, Verbosity};
 pub use event::{TraceEvent, Value};
 pub use hist::{bucket_bounds, bucket_index, Histogram, HISTOGRAM_BUCKETS};
 pub use report::{
-    HistogramStat, IterationRecord, PhaseStat, RunRecorder, RunReport, TimelineEvent,
-    ITERATION_EVENT, WATCHDOG_EVENT,
+    AllocStat, ConvergenceRecord, HistogramStat, IterationRecord, PhaseStat, RunRecorder,
+    RunReport, TimelineEvent, UtilizationStat, ALLOC_EVENT, CONVERGENCE_CAP, CONVERGENCE_EVENTS,
+    ITERATION_EVENT, UTILIZATION_EVENT, WATCHDOG_EVENT,
 };
 pub use sink::{
     counter, emit, enabled, event, gauge, install, uninstall, CollectorSink, FanoutSink,

@@ -20,6 +20,24 @@ pub const ITERATION_EVENT: &str = "iteration";
 /// summary, so degraded runs are visible in `--report` output.
 pub const WATCHDOG_EVENT: &str = "watchdog";
 
+/// Name of the per-phase heap-accounting event the placement session
+/// emits while `--alloc-stats` tracking is on; folded into
+/// [`RunReport::alloc`].
+pub const ALLOC_EVENT: &str = "alloc";
+
+/// Name of the per-span worker-pool utilization event; folded into
+/// [`RunReport::utilization`].
+pub const UTILIZATION_EVENT: &str = "par.utilization";
+
+/// Solver events retained as [`ConvergenceRecord`]s (the `".solve"`
+/// suffix is stripped into the record's `solver` tag).
+pub const CONVERGENCE_EVENTS: [&str; 3] = ["cg.solve", "multigrid.solve", "spectral.solve"];
+
+/// Upper bound on retained [`ConvergenceRecord`]s per run. Solver events
+/// beyond the cap still count under `events`, but their residual curves
+/// are dropped — the report stays bounded on arbitrarily long runs.
+pub const CONVERGENCE_CAP: usize = 512;
+
 /// One per-transformation record: the fields of the `iteration` event plus
 /// the per-phase wall times observed since the previous record.
 #[derive(Debug, Clone, PartialEq)]
@@ -147,6 +165,123 @@ impl TimelineEvent {
     }
 }
 
+/// One retained solver-convergence event (a CG residual trajectory, a
+/// multigrid V-cycle residual curve, or spectral plan/transform
+/// timings), tagged with the placement transformation it ran inside.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConvergenceRecord {
+    /// Solver tag: `cg`, `multigrid`, or `spectral`.
+    pub solver: String,
+    /// The 1-based placement transformation the solve belongs to.
+    pub iteration: u64,
+    /// Fields of the originating event, in emission order.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl ConvergenceRecord {
+    /// Field lookup by key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Encodes the record as one JSON object (one JSONL line, no
+    /// newline): `{"type":"convergence","solver":...,"iteration":...}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.str_field("type", "convergence");
+        o.str_field("solver", &self.solver);
+        o.u64_field("iteration", self.iteration);
+        for (key, value) in &self.fields {
+            let mut raw = String::new();
+            value.write_json(&mut raw);
+            o.raw_field(key, &raw);
+        }
+        o.finish()
+    }
+}
+
+/// Per-phase heap accounting aggregated across the whole run (counts
+/// sum, peaks take the maximum).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AllocStat {
+    /// Instrumented phase name (e.g. `place.density_map`).
+    pub phase: String,
+    /// Samples folded in (one per phase execution).
+    pub samples: u64,
+    /// Total allocations across all samples.
+    pub allocs: u64,
+    /// Total deallocations across all samples.
+    pub deallocs: u64,
+    /// Total bytes allocated across all samples.
+    pub bytes: u64,
+    /// Highest process-wide peak (bytes in use) observed at any sample.
+    pub peak_bytes: u64,
+}
+
+impl AllocStat {
+    /// Encodes the stat as one JSON object (one JSONL line, no newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.str_field("type", "alloc");
+        o.str_field("phase", &self.phase);
+        o.u64_field("samples", self.samples);
+        o.u64_field("allocs", self.allocs);
+        o.u64_field("deallocs", self.deallocs);
+        o.u64_field("bytes", self.bytes);
+        o.u64_field("peak_bytes", self.peak_bytes);
+        o.finish()
+    }
+}
+
+/// Per-span worker-pool utilization aggregated across the whole run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct UtilizationStat {
+    /// Instrumented span name (e.g. `place.field_solve`).
+    pub span: String,
+    /// Samples folded in (one per span execution).
+    pub samples: u64,
+    /// Total wall-clock seconds across all samples.
+    pub wall_seconds: f64,
+    /// Total busy seconds summed over every worker (and the publisher).
+    pub busy_seconds: f64,
+    /// Total chunks executed.
+    pub chunks: u64,
+    /// Largest configured thread count seen.
+    pub threads: u64,
+}
+
+impl UtilizationStat {
+    /// Parallel efficiency: busy time over the `threads × wall` budget
+    /// (1.0 = every configured thread busy the entire span).
+    #[must_use]
+    pub fn efficiency(&self) -> f64 {
+        let budget = self.wall_seconds * self.threads.max(1) as f64;
+        if budget > 0.0 {
+            (self.busy_seconds / budget).min(1.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Encodes the stat as one JSON object (one JSONL line, no newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.str_field("type", "utilization");
+        o.str_field("span", &self.span);
+        o.u64_field("samples", self.samples);
+        o.f64_field("wall_s", self.wall_seconds);
+        o.f64_field("busy_s", self.busy_seconds);
+        o.u64_field("chunks", self.chunks);
+        o.u64_field("threads", self.threads);
+        o.f64_field("efficiency", self.efficiency());
+        o.finish()
+    }
+}
+
 /// The digested outcome of a traced run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunReport {
@@ -168,6 +303,14 @@ pub struct RunReport {
     pub snapshots: Vec<SnapshotRecord>,
     /// Retained watchdog events, in emission order.
     pub timeline: Vec<TimelineEvent>,
+    /// Retained solver-convergence records, in emission order (capped at
+    /// [`CONVERGENCE_CAP`]).
+    pub convergence: Vec<ConvergenceRecord>,
+    /// Per-phase heap accounting (empty unless allocation tracking was
+    /// on), sorted by phase name.
+    pub alloc: Vec<AllocStat>,
+    /// Per-span worker-pool utilization, sorted by span name.
+    pub utilization: Vec<UtilizationStat>,
     /// Wall-clock seconds from recorder creation to report.
     pub total_seconds: f64,
 }
@@ -202,6 +345,7 @@ impl RunReport {
         }
         let mut snap_cursor = 0usize;
         let mut time_cursor = 0usize;
+        let mut conv_cursor = 0usize;
         for record in &self.iterations {
             let n = record.iteration();
             out.push_str(&record.to_json());
@@ -220,6 +364,13 @@ impl RunReport {
                 out.push('\n');
                 time_cursor += 1;
             }
+            while conv_cursor < self.convergence.len()
+                && self.convergence[conv_cursor].iteration <= n
+            {
+                out.push_str(&self.convergence[conv_cursor].to_json());
+                out.push('\n');
+                conv_cursor += 1;
+            }
         }
         for snap in &self.snapshots[snap_cursor.min(self.snapshots.len())..] {
             out.push_str(&snap.to_json());
@@ -229,8 +380,20 @@ impl RunReport {
             out.push_str(&event.to_json());
             out.push('\n');
         }
+        for record in &self.convergence[conv_cursor.min(self.convergence.len())..] {
+            out.push_str(&record.to_json());
+            out.push('\n');
+        }
         for hist in &self.histograms {
             out.push_str(&hist.to_json());
+            out.push('\n');
+        }
+        for stat in &self.alloc {
+            out.push_str(&stat.to_json());
+            out.push('\n');
+        }
+        for stat in &self.utilization {
+            out.push_str(&stat.to_json());
             out.push('\n');
         }
         out
@@ -295,6 +458,15 @@ impl RunReport {
         o.raw_field("histograms", &json_list(self.histograms.iter().map(HistogramStat::to_json)));
         o.raw_field("snapshots", &json_list(self.snapshots.iter().map(SnapshotRecord::to_json)));
         o.raw_field("timeline", &json_list(self.timeline.iter().map(TimelineEvent::to_json)));
+        o.raw_field(
+            "convergence",
+            &json_list(self.convergence.iter().map(ConvergenceRecord::to_json)),
+        );
+        o.raw_field("alloc", &json_list(self.alloc.iter().map(AllocStat::to_json)));
+        o.raw_field(
+            "utilization",
+            &json_list(self.utilization.iter().map(UtilizationStat::to_json)),
+        );
         o.finish()
     }
 
@@ -353,6 +525,9 @@ struct RecorderState {
     histograms: BTreeMap<String, BTreeMap<u8, u64>>,
     snapshots: Vec<SnapshotRecord>,
     timeline: Vec<TimelineEvent>,
+    convergence: Vec<ConvergenceRecord>,
+    alloc: BTreeMap<String, AllocStat>,
+    utilization: BTreeMap<String, UtilizationStat>,
 }
 
 /// A [`TraceSink`] that folds the event stream into a [`RunReport`]:
@@ -444,6 +619,9 @@ impl RunRecorder {
                 .collect(),
             snapshots: state.snapshots.clone(),
             timeline: state.timeline.clone(),
+            convergence: state.convergence.clone(),
+            alloc: state.alloc.values().cloned().collect(),
+            utilization: state.utilization.values().cloned().collect(),
             total_seconds: self.started.elapsed().as_secs_f64(),
         }
     }
@@ -485,9 +663,48 @@ impl TraceSink for RunRecorder {
             }
             TraceEvent::Event { name, fields } => {
                 *state.events.entry((*name).to_string()).or_insert(0) += 1;
+                let field =
+                    |key: &str| fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v);
+                let field_u64 = |key: &str| field(key).and_then(Value::as_u64).unwrap_or(0);
+                let field_f64 = |key: &str| field(key).and_then(Value::as_f64).unwrap_or(0.0);
                 if *name == WATCHDOG_EVENT {
                     state.timeline.push(TimelineEvent {
                         name: (*name).to_string(),
+                        fields: fields
+                            .iter()
+                            .map(|(k, v)| ((*k).to_string(), v.clone()))
+                            .collect(),
+                    });
+                } else if *name == ALLOC_EVENT {
+                    let phase = field("phase").and_then(Value::as_str).unwrap_or("?").to_string();
+                    let stat = state.alloc.entry(phase.clone()).or_insert_with(|| AllocStat {
+                        phase,
+                        ..AllocStat::default()
+                    });
+                    stat.samples += 1;
+                    stat.allocs += field_u64("allocs");
+                    stat.deallocs += field_u64("deallocs");
+                    stat.bytes += field_u64("bytes");
+                    stat.peak_bytes = stat.peak_bytes.max(field_u64("peak_bytes"));
+                } else if *name == UTILIZATION_EVENT {
+                    let span = field("span").and_then(Value::as_str).unwrap_or("?").to_string();
+                    let stat =
+                        state.utilization.entry(span.clone()).or_insert_with(|| UtilizationStat {
+                            span,
+                            ..UtilizationStat::default()
+                        });
+                    stat.samples += 1;
+                    stat.wall_seconds += field_f64("wall_s");
+                    stat.busy_seconds += field_f64("busy_s");
+                    stat.chunks += field_u64("chunks");
+                    stat.threads = stat.threads.max(field_u64("threads"));
+                } else if CONVERGENCE_EVENTS.contains(name)
+                    && state.convergence.len() < CONVERGENCE_CAP
+                {
+                    let iteration = state.iterations.len() as u64 + 1;
+                    state.convergence.push(ConvergenceRecord {
+                        solver: name.trim_end_matches(".solve").to_string(),
+                        iteration,
                         fields: fields
                             .iter()
                             .map(|(k, v)| ((*k).to_string(), v.clone()))
@@ -615,6 +832,116 @@ mod tests {
             summary.get("events").and_then(|e| e.get("cg.solve")).and_then(Json::as_f64),
             Some(1.0)
         );
+    }
+
+    #[test]
+    fn convergence_events_fold_with_iteration_tags_and_cap() {
+        let recorder = RunRecorder::new();
+        recorder.event(&TraceEvent::Event {
+            name: "cg.solve",
+            fields: vec![
+                ("iterations", Value::UInt(12)),
+                ("residual_trajectory", Value::from(vec![1.0, 0.1, 0.01])),
+            ],
+        });
+        recorder.event(&iteration_event(1, 100.0));
+        recorder.event(&TraceEvent::Event {
+            name: "multigrid.solve",
+            fields: vec![("cycles", Value::UInt(3))],
+        });
+        recorder.event(&iteration_event(2, 90.0));
+        let report = recorder.report();
+        assert_eq!(report.convergence.len(), 2);
+        assert_eq!(report.convergence[0].solver, "cg");
+        assert_eq!(report.convergence[0].iteration, 1);
+        assert_eq!(report.convergence[1].solver, "multigrid");
+        assert_eq!(report.convergence[1].iteration, 2);
+        let line = parse(&report.convergence[0].to_json()).unwrap();
+        assert_eq!(line.get("type").and_then(Json::as_str), Some("convergence"));
+        assert_eq!(line.get("solver").and_then(Json::as_str), Some("cg"));
+        // Retention is bounded; the events map still counts everything.
+        let capped = RunRecorder::new();
+        for _ in 0..(CONVERGENCE_CAP + 10) {
+            capped.event(&TraceEvent::Event { name: "cg.solve", fields: vec![] });
+        }
+        let capped = capped.report();
+        assert_eq!(capped.convergence.len(), CONVERGENCE_CAP);
+        assert_eq!(
+            capped.events.iter().find(|(n, _)| n == "cg.solve").map(|(_, c)| *c),
+            Some(CONVERGENCE_CAP as u64 + 10)
+        );
+    }
+
+    #[test]
+    fn alloc_and_utilization_events_aggregate_per_key() {
+        let recorder = RunRecorder::new();
+        for (allocs, peak) in [(3u64, 1000u64), (0, 2000)] {
+            recorder.event(&TraceEvent::Event {
+                name: ALLOC_EVENT,
+                fields: vec![
+                    ("phase", Value::from("place.density_map")),
+                    ("allocs", Value::UInt(allocs)),
+                    ("deallocs", Value::UInt(allocs)),
+                    ("bytes", Value::UInt(allocs * 64)),
+                    ("peak_bytes", Value::UInt(peak)),
+                ],
+            });
+        }
+        for busy in [0.06f64, 0.08] {
+            recorder.event(&TraceEvent::Event {
+                name: UTILIZATION_EVENT,
+                fields: vec![
+                    ("span", Value::from("place.field_solve")),
+                    ("wall_s", Value::Float(0.05)),
+                    ("busy_s", Value::Float(busy)),
+                    ("chunks", Value::UInt(40)),
+                    ("threads", Value::UInt(2)),
+                ],
+            });
+        }
+        let report = recorder.report();
+        assert_eq!(report.alloc.len(), 1);
+        let alloc = &report.alloc[0];
+        assert_eq!(alloc.phase, "place.density_map");
+        assert_eq!(alloc.samples, 2);
+        assert_eq!(alloc.allocs, 3);
+        assert_eq!(alloc.bytes, 192);
+        assert_eq!(alloc.peak_bytes, 2000, "peaks max, not sum");
+        assert_eq!(report.utilization.len(), 1);
+        let util = &report.utilization[0];
+        assert_eq!(util.samples, 2);
+        assert_eq!(util.chunks, 80);
+        assert!((util.busy_seconds - 0.14).abs() < 1e-12);
+        assert!((util.efficiency() - 0.7).abs() < 1e-9, "busy / (wall * threads)");
+        // Both serialize as typed JSONL lines and into the summary.
+        let jsonl = report.to_jsonl();
+        assert!(jsonl.lines().any(|l| l.contains("\"type\":\"alloc\"")));
+        assert!(jsonl.lines().any(|l| l.contains("\"type\":\"utilization\"")));
+        let summary = parse(&report.to_json()).unwrap();
+        assert_eq!(
+            summary.get("alloc").and_then(Json::as_array).map(<[Json]>::len),
+            Some(1)
+        );
+        let util_json = summary.get("utilization").and_then(Json::as_array).unwrap();
+        assert!(util_json[0].get("efficiency").and_then(Json::as_f64).is_some());
+    }
+
+    #[test]
+    fn convergence_lines_interleave_by_iteration() {
+        let recorder = RunRecorder::new();
+        recorder.event(&TraceEvent::Event { name: "cg.solve", fields: vec![] });
+        recorder.event(&iteration_event(1, 10.0));
+        recorder.event(&TraceEvent::Event { name: "spectral.solve", fields: vec![] });
+        recorder.event(&iteration_event(2, 9.0));
+        let jsonl = recorder.report().to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // iteration 1, its convergence record, iteration 2, its record.
+        assert!(lines[1].contains("\"solver\":\"cg\""));
+        assert!(lines[3].contains("\"solver\":\"spectral\""));
+        for line in lines {
+            parse(line).expect("every line parses");
+        }
     }
 
     #[test]

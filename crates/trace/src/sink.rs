@@ -62,7 +62,10 @@ pub fn emit(event: TraceEvent) {
         slot.clone()
     };
     if let Some(sink) = sink {
-        sink.event(&event);
+        // Sinks allocate (recorders clone field vectors); keep that out
+        // of the opt-in heap accounting so telemetry delivery never
+        // shows up as a phase allocation.
+        crate::alloc::untracked(|| sink.event(&event));
     }
 }
 

@@ -38,7 +38,7 @@ fn main() -> std::io::Result<()> {
     loop {
         let stats = session.transform();
         let snapshot_due = stats.iteration == 1
-            || stats.iteration % 8 == 0
+            || stats.iteration.is_multiple_of(8)
             || session.is_converged()
             || session.is_stalled();
         if snapshot_due {

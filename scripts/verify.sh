@@ -28,8 +28,52 @@ bash scripts/panic_audit.sh
 # baseline) and the regression gate: HPWL drift beyond 2% against
 # BENCH_place.json is fatal, wall-clock drift is warn-only.
 bench_smoke=$(mktemp)
-trap 'rm -f "$bench_smoke"' EXIT
+obs_dir=$(mktemp -d)
+trap 'rm -f "$bench_smoke"; rm -rf "$obs_dir"' EXIT
 cargo run --release --bin kraftwerk -- bench --json --max-cells 200 -o "$bench_smoke" -q
 KRAFTWERK_BIN=target/release/kraftwerk bash scripts/bench_gate.sh
+
+# Observability smoke on a fract-scale run. Three contracts:
+#   1. telemetry is observation-only — the placement with every probe on
+#      (trace + report + alloc tracking + perfetto) is bitwise identical
+#      to the untraced one;
+#   2. the arena claim holds at runtime — per-phase steady-state heap
+#      allocation is bounded (density_map amortizes to zero allocations
+#      per iteration, no phase exceeds a small per-iteration constant);
+#   3. the Perfetto export is a valid trace whose span tree carries the
+#      report's phases.
+target/release/kraftwerk gen fract 125 147 6 -o "$obs_dir/fract.kw" > /dev/null
+target/release/kraftwerk place "$obs_dir/fract.kw" --fast -o "$obs_dir/plain.pl" --quiet
+target/release/kraftwerk place "$obs_dir/fract.kw" --fast -o "$obs_dir/traced.pl" \
+    --alloc-stats --trace "$obs_dir/run.jsonl" --report "$obs_dir/report.json" \
+    --perfetto "$obs_dir/trace.json" --quiet > /dev/null
+cmp "$obs_dir/plain.pl" "$obs_dir/traced.pl" \
+    || { echo "verify: telemetry perturbed the placement" >&2; exit 1; }
+python3 - "$obs_dir" <<'EOF'
+import json, sys
+d = sys.argv[1]
+report = json.load(open(f"{d}/report.json"))
+alloc = {a["phase"]: a for a in report["alloc"]}
+assert alloc, "no alloc records in report"
+for phase, a in alloc.items():
+    per_iter = a["allocs"] / max(a["samples"], 1)
+    assert per_iter <= 32, f"{phase}: {per_iter:.1f} allocs/iteration — arena regression"
+dm = alloc["place.density_map"]
+assert dm["allocs"] < dm["samples"], "density_map no longer allocation-free at steady state"
+assert {u["span"] for u in report["utilization"]} >= set(alloc), "utilization spans missing"
+trace = json.load(open(f"{d}/trace.json"))
+events = trace["traceEvents"]
+assert events and all("ph" in e and "name" in e for e in events), "malformed trace events"
+spans = {e["name"] for e in events if e["ph"] == "X"}
+# The alloc bracket wraps the X/Y join as one phase (`place.solve_xy`);
+# the timed span tree records the two overlapped solves individually.
+if {"place.solve_x", "place.solve_y"} <= spans:
+    spans.add("place.solve_xy")
+missing = set(alloc) - spans
+assert not missing, f"report phases absent from perfetto span tree: {missing}"
+assert any(e["ph"] == "C" for e in events), "no counter tracks in perfetto export"
+print(f"observability smoke: OK ({len(events)} trace events, "
+      f"{len(alloc)} instrumented phases)")
+EOF
 
 echo "verify: OK"

@@ -4,8 +4,9 @@
 //! kraftwerk place      <netlist> [-o placement.pl] [--fast] [--multilevel] [--svg out.svg]
 //!                                [--poisson multigrid|spectral|direct] [--threads N]
 //!                                [--trace [run.jsonl]] [--report report.json]
-//!                                [--snapshot-every N] [--k F] [--profile] [-v|--verbose] [-q|--quiet]
-//! kraftwerk inspect    <telemetry> [-o report.html]
+//!                                [--snapshot-every N] [--k F] [--profile]
+//!                                [--alloc-stats] [--perfetto trace.json] [-v|--verbose] [-q|--quiet]
+//! kraftwerk inspect    <telemetry>... [-o report.html] [--perfetto trace.json]
 //! kraftwerk bench      [--json] [--compare baseline.json] [-o out.json] [--max-cells N]
 //!                      [--hpwl-tol PCT] [--wall-tol PCT]
 //! kraftwerk timing     <netlist> [--requirement NS] [-v|--verbose] [-q|--quiet]
@@ -28,8 +29,19 @@
 //! `-v` streams per-iteration progress to stderr. See the README
 //! "Observability" and "Inspecting runs" sections for the record schema.
 //!
+//! `place --alloc-stats` switches the counting global allocator's
+//! accounting on and prints the per-phase heap table after the run (the
+//! arena claim as a runtime-verified metric); with `--trace`/`--report`
+//! the same per-phase deltas land in the telemetry as `alloc` records.
+//! `place --perfetto trace.json` additionally exports the run as a
+//! Chrome trace-event document that loads in Perfetto.
+//!
 //! `inspect` turns either telemetry artifact (the `--trace` JSONL stream
 //! or the `--report` summary) into a self-contained HTML dashboard.
+//! With two or more inputs it renders a cross-run comparison instead
+//! (overlaid convergence curves, phase deltas, peak memory, parallel
+//! efficiency); with `--perfetto <json>` it exports the Chrome
+//! trace-event document instead of (or alongside `-o`) the dashboard.
 //! `bench --json` measures the Table 1 subset; `bench --compare`
 //! re-measures against a committed `BENCH_place.json` baseline and exits
 //! non-zero on an HPWL regression beyond `--hpwl-tol` (default 2%);
@@ -57,6 +69,14 @@ use kraftwerk::netlist::{metrics, CellKind, Netlist, Placement};
 use kraftwerk::placer::{FieldSolverKind, GlobalPlacer, KraftwerkConfig, KraftwerkError};
 use kraftwerk::timing::{meet_requirements, optimize_timing_legalized, DelayModel, Sta};
 use std::process::ExitCode;
+
+/// The counting allocator behind `place --alloc-stats`. It forwards
+/// every request to the system allocator and its counters stay dormant
+/// (one relaxed atomic load per allocation) until tracking is switched
+/// on, so the untracked paths pay nothing measurable.
+#[global_allocator]
+static GLOBAL: kraftwerk::trace::alloc::CountingAllocator =
+    kraftwerk::trace::alloc::CountingAllocator::system();
 
 /// A rendered diagnostic plus the process exit code it maps to.
 struct CliError {
@@ -100,7 +120,7 @@ impl CliError {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  kraftwerk place     <netlist> [-o <placement>] [--fast] [--multilevel] [--svg <file>]\n                      [--poisson <multigrid|spectral|direct>] [--threads <n>]\n                      [--trace [<jsonl>]] [--report <json>] [--profile]\n                      [--snapshot-every <n>] [--k <f>] [--force-scale <f>] [-v|--verbose] [-q|--quiet]\n  kraftwerk inspect   <telemetry> [-o <html>]\n  kraftwerk bench     [--json] [--compare <baseline>] [-o <json>] [--max-cells <n>]\n                      [--hpwl-tol <pct>] [--wall-tol <pct>] [-v|--verbose] [-q|--quiet]\n  kraftwerk timing    <netlist> [--requirement <ns>] [-v|--verbose] [-q|--quiet]\n  kraftwerk gen       <name> <cells> <nets> <rows> [-o <file>]\n  kraftwerk stats     <netlist>\n  kraftwerk check     <netlist> <placement>\n  kraftwerk route     <netlist> <placement>\n  kraftwerk bookshelf <netlist> [<placement>] [-o <dir>]"
+        "usage:\n  kraftwerk place     <netlist> [-o <placement>] [--fast] [--multilevel] [--svg <file>]\n                      [--poisson <multigrid|spectral|direct>] [--threads <n>]\n                      [--trace [<jsonl>]] [--report <json>] [--profile]\n                      [--alloc-stats] [--perfetto <json>]\n                      [--snapshot-every <n>] [--k <f>] [--force-scale <f>] [-v|--verbose] [-q|--quiet]\n  kraftwerk inspect   <telemetry>... [-o <html>] [--perfetto <json>]\n  kraftwerk bench     [--json] [--compare <baseline>] [-o <json>] [--max-cells <n>]\n                      [--hpwl-tol <pct>] [--wall-tol <pct>] [-v|--verbose] [-q|--quiet]\n  kraftwerk timing    <netlist> [--requirement <ns>] [-v|--verbose] [-q|--quiet]\n  kraftwerk gen       <name> <cells> <nets> <rows> [-o <file>]\n  kraftwerk stats     <netlist>\n  kraftwerk check     <netlist> <placement>\n  kraftwerk route     <netlist> <placement>\n  kraftwerk bookshelf <netlist> [<placement>] [-o <dir>]"
     );
     ExitCode::from(2)
 }
@@ -210,12 +230,14 @@ fn cmd_place(args: &[String]) -> Result<(), CliError> {
     let report_path = flag_value(args, "--report")?;
     let out_path = flag_value(args, "-o")?;
     let svg_path = flag_value(args, "--svg")?;
+    let perfetto_path = flag_value(args, "--perfetto")?;
     let profile = has_flag(args, "--profile");
+    let alloc_stats = has_flag(args, "--alloc-stats");
     let Some(input) = args.first().filter(|a| !a.starts_with('-')) else {
         return Err("place: missing netlist path (it comes before the flags)".into());
     };
     // Output locations must be writable before the (possibly long) run.
-    for path in [&trace_path, &report_path, &out_path, &svg_path]
+    for path in [&trace_path, &report_path, &out_path, &svg_path, &perfetto_path]
         .into_iter()
         .flatten()
     {
@@ -284,9 +306,18 @@ fn cmd_place(args: &[String]) -> Result<(), CliError> {
     }
     config.force_scale_boost = force_scale;
 
-    // Telemetry: a recorder feeds --trace/--report/--profile; verbose mode
-    // additionally streams per-iteration progress to stderr.
-    let recorder = (trace_flag.is_some() || report_path.is_some() || profile)
+    // Heap accounting: the counting global allocator is always installed;
+    // `--alloc-stats` switches its counters on for this run.
+    if alloc_stats {
+        kraftwerk::trace::alloc::set_tracking(true);
+    }
+
+    // Telemetry: a recorder feeds --trace/--report/--profile/--perfetto;
+    // verbose mode additionally streams per-iteration progress to stderr.
+    let recorder = (trace_flag.is_some()
+        || report_path.is_some()
+        || perfetto_path.is_some()
+        || profile)
         .then(|| Arc::new(RunRecorder::new()));
     if let Some(rec) = &recorder {
         rec.set_meta("netlist", Value::from(netlist.name()));
@@ -296,6 +327,26 @@ fn cmd_place(args: &[String]) -> Result<(), CliError> {
         rec.set_meta("poisson", Value::from(config.field_solver.name()));
         rec.set_meta("threads", Value::from(threads));
         rec.set_meta("k", Value::from(config.k));
+        // Config provenance: where the resolved backend and thread count
+        // came from, so two reports are comparable without the shell
+        // history that produced them.
+        rec.set_meta(
+            "poisson.source",
+            Value::from(if flag_value(args, "--poisson")?.is_some() {
+                "--poisson"
+            } else if std::env::var_os("KRAFTWERK_POISSON").is_some() {
+                "KRAFTWERK_POISSON"
+            } else {
+                "default"
+            }),
+        );
+        if let Ok(value) = std::env::var("KRAFTWERK_POISSON") {
+            rec.set_meta("env.KRAFTWERK_POISSON", Value::from(value));
+        }
+        if let Ok(value) = std::env::var("KRAFTWERK_THREADS") {
+            rec.set_meta("env.KRAFTWERK_THREADS", Value::from(value));
+        }
+        rec.set_meta("alloc.tracking", Value::from(kraftwerk::trace::alloc::tracking()));
     }
     let progress = (console.verbosity() == Verbosity::Verbose)
         .then(|| Arc::new(ProgressSink::new(console)));
@@ -355,6 +406,10 @@ fn cmd_place(args: &[String]) -> Result<(), CliError> {
             "health.budget_exhausted",
             Value::from(global.health.budget_exhausted),
         );
+        rec.set_meta(
+            "threads.resolved",
+            Value::from(kraftwerk::par::current_threads()),
+        );
         let run = rec.report();
         if let Some(path) = &trace_path {
             write_file(path, run.to_jsonl())?;
@@ -364,10 +419,24 @@ fn cmd_place(args: &[String]) -> Result<(), CliError> {
             write_file(path, run.to_json())?;
             console.info(format!("wrote {path}"));
         }
+        if let Some(path) = &perfetto_path {
+            // The exporter reads the same stream `--trace` writes, so the
+            // Perfetto span tree always matches the JSONL report.
+            let data = kraftwerk::inspect::parse_run(&run.to_jsonl()).map_err(|e| CliError {
+                message: format!("--perfetto: {e}"),
+                code: 4,
+            })?;
+            write_file(path, kraftwerk::inspect::render_perfetto(&data))?;
+            console.info(format!("wrote {path}"));
+        }
         if profile {
             // Explicitly requested output: printed even under --quiet.
             println!("{}", run.profile_table());
         }
+    }
+    if alloc_stats {
+        // Explicitly requested output: printed even under --quiet.
+        println!("{}", kraftwerk::trace::alloc::report_table());
     }
     let legal = legal_result.map_err(kerr)?;
 
@@ -391,9 +460,11 @@ fn cmd_place(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `kraftwerk inspect <telemetry> [-o report.html]`: renders a recorded
-/// run (a `--trace` JSONL stream or a `--report` summary) into a
-/// self-contained HTML dashboard.
+/// `kraftwerk inspect <telemetry>... [-o report.html] [--perfetto
+/// trace.json]`: renders recorded runs (`--trace` JSONL streams or
+/// `--report` summaries). One input yields the single-run HTML dashboard
+/// and/or a Chrome trace-event export; two or more yield the cross-run
+/// comparison document.
 fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
     use kraftwerk::trace::Console;
 
@@ -401,26 +472,55 @@ fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
         has_flag(args, "--quiet") || has_flag(args, "-q"),
         has_flag(args, "--verbose") || has_flag(args, "-v"),
     );
-    let Some(input) = args.first().filter(|a| !a.starts_with('-')) else {
+    // Every leading non-flag argument is a telemetry file.
+    let inputs: Vec<&String> = args.iter().take_while(|a| !a.starts_with('-')).collect();
+    if inputs.is_empty() {
         return Err(
             "inspect: missing telemetry path (a --trace JSONL stream or --report summary)".into(),
         );
-    };
-    let out = flag_value(args, "-o")?.unwrap_or_else(|| format!("{input}.html"));
-    require_parent_dir(&out)?;
-    let text = std::fs::read_to_string(input).map_err(|e| {
-        kerr(KraftwerkError::Io {
-            path: input.to_string(),
-            message: e.to_string(),
-        })
-    })?;
-    let html = kraftwerk::inspect::render_report(&text).map_err(|e| CliError {
-        message: format!("{input}: {e}"),
-        // Unreadable telemetry is a parse failure in the taxonomy.
-        code: 4,
-    })?;
-    write_file(&out, html)?;
-    console.info(format!("wrote {out}"));
+    }
+    let perfetto_path = flag_value(args, "--perfetto")?;
+    let out_flag = flag_value(args, "-o")?;
+    let mut runs: Vec<(String, kraftwerk::inspect::RunData)> = Vec::new();
+    for input in &inputs {
+        let text = std::fs::read_to_string(input).map_err(|e| {
+            kerr(KraftwerkError::Io {
+                path: (*input).clone(),
+                message: e.to_string(),
+            })
+        })?;
+        let run = kraftwerk::inspect::parse_run(&text).map_err(|e| CliError {
+            message: format!("{input}: {e}"),
+            // Unreadable telemetry is a parse failure in the taxonomy.
+            code: 4,
+        })?;
+        runs.push(((*input).clone(), run));
+    }
+
+    if runs.len() > 1 {
+        if perfetto_path.is_some() {
+            return Err("inspect: --perfetto takes exactly one telemetry input".into());
+        }
+        let out = out_flag.unwrap_or_else(|| "compare.html".to_string());
+        require_parent_dir(&out)?;
+        write_file(&out, kraftwerk::inspect::render_comparison(&runs))?;
+        console.info(format!("wrote {out} ({} runs)", runs.len()));
+        return Ok(());
+    }
+
+    let (input, run) = &runs[0];
+    if let Some(path) = &perfetto_path {
+        require_parent_dir(path)?;
+        write_file(path, kraftwerk::inspect::render_perfetto(run))?;
+        console.info(format!("wrote {path}"));
+    }
+    // With --perfetto and no -o, the trace is the only requested output.
+    if perfetto_path.is_none() || out_flag.is_some() {
+        let out = out_flag.unwrap_or_else(|| format!("{input}.html"));
+        require_parent_dir(&out)?;
+        write_file(&out, kraftwerk::inspect::render(run))?;
+        console.info(format!("wrote {out}"));
+    }
     Ok(())
 }
 

@@ -119,6 +119,98 @@ fn rendering_is_bitwise_identical_across_thread_counts() {
     assert_eq!(id_sets[1], id_sets[2], "2 vs 8 threads changed dashboard structure");
 }
 
+/// Golden-schema round trip: a real recorded run must surface **every**
+/// record kind the trace layer can emit — iteration, meta, snapshot,
+/// histogram, convergence, alloc, utilization, timeline — through the
+/// inspect reader, from both the JSONL stream and the `--report`
+/// summary, with the resource numbers intact.
+#[test]
+fn every_record_kind_round_trips_through_the_reader() {
+    let _guard = sink_lock();
+    let netlist = mcnc::by_name("fract");
+    let recorder = Arc::new(RunRecorder::new());
+    recorder.set_meta("netlist", Value::from("fract"));
+    recorder.set_meta("mode", Value::from("fast"));
+    // Heap accounting on: the test binary has no counting allocator
+    // installed, so the deltas are zero — the schema still flows.
+    trace::alloc::set_tracking(true);
+    trace::install(recorder.clone());
+    let result =
+        GlobalPlacer::new(KraftwerkConfig::fast().with_snapshot_every(5)).try_place(&netlist);
+    trace::uninstall();
+    trace::alloc::set_tracking(false);
+    result.expect("fract places cleanly");
+    let report = recorder.report();
+    assert!(!report.convergence.is_empty(), "no solver convergence recorded");
+    assert!(!report.alloc.is_empty(), "no alloc stats recorded");
+    assert!(!report.utilization.is_empty(), "no utilization recorded");
+    assert!(!report.snapshots.is_empty(), "no snapshots recorded");
+    assert!(!report.histograms.is_empty(), "no histograms recorded");
+
+    let check = |run: &inspect::RunData, source: &str| {
+        assert_eq!(run.iterations.len(), report.iterations.len(), "{source}: iterations");
+        assert_eq!(run.meta_value("netlist"), Some("fract"), "{source}: meta");
+        assert_eq!(run.snapshots.len(), report.snapshots.len(), "{source}: snapshots");
+        assert_eq!(run.histograms.len(), report.histograms.len(), "{source}: histograms");
+        assert_eq!(run.convergence.len(), report.convergence.len(), "{source}: convergence");
+        for (parsed, recorded) in run.convergence.iter().zip(&report.convergence) {
+            assert_eq!(parsed.solver, recorded.solver, "{source}: solver tag");
+            assert_eq!(parsed.iteration, recorded.iteration, "{source}: solve iteration");
+        }
+        let cg = run.convergence_of("cg");
+        assert!(!cg.is_empty(), "{source}: no cg records");
+        assert!(!cg[0].curve.is_empty(), "{source}: cg residual curve lost");
+        assert!(
+            cg[0].metrics.iter().any(|(k, v)| k == "iterations" && *v >= 1.0),
+            "{source}: cg iteration count lost"
+        );
+        assert_eq!(run.alloc.len(), report.alloc.len(), "{source}: alloc");
+        for (parsed, recorded) in run.alloc.iter().zip(&report.alloc) {
+            assert_eq!(parsed.phase, recorded.phase, "{source}: alloc phase");
+            assert_eq!(parsed.samples, recorded.samples, "{source}: alloc samples");
+            assert_eq!(parsed.allocs, recorded.allocs, "{source}: alloc count");
+            assert_eq!(parsed.bytes, recorded.bytes, "{source}: alloc bytes");
+            assert_eq!(parsed.peak_bytes, recorded.peak_bytes, "{source}: peak bytes");
+        }
+        assert_eq!(run.utilization.len(), report.utilization.len(), "{source}: utilization");
+        for (parsed, recorded) in run.utilization.iter().zip(&report.utilization) {
+            assert_eq!(parsed.span, recorded.span, "{source}: span name");
+            assert_eq!(parsed.samples, recorded.samples, "{source}: span samples");
+            assert_eq!(parsed.chunks, recorded.chunks, "{source}: span chunks");
+            assert_eq!(parsed.threads, recorded.threads, "{source}: span threads");
+            // The JSON number codec round-trips f64 exactly (shortest
+            // representation), so equality is exact, not approximate.
+            assert_eq!(parsed.wall_s, recorded.wall_seconds, "{source}: span wall");
+            assert_eq!(parsed.busy_s, recorded.busy_seconds, "{source}: span busy");
+            assert_eq!(parsed.efficiency, recorded.efficiency(), "{source}: efficiency");
+        }
+    };
+
+    // A synthetic watchdog line rides along with the stream so the
+    // timeline kind is covered even on a clean run.
+    let mut jsonl = report.to_jsonl();
+    jsonl.push_str(
+        "{\"type\":\"watchdog\",\"iteration\":1,\"reason\":\"synthetic\",\"action\":\"rollback\"}\n",
+    );
+    let from_stream = inspect::parse_run(&jsonl).expect("stream parses");
+    check(&from_stream, "jsonl");
+    assert_eq!(from_stream.timeline.len(), 1, "jsonl: watchdog line lost");
+    assert_eq!(from_stream.timeline[0].action, "rollback");
+
+    let from_summary = inspect::parse_run(&report.to_json()).expect("summary parses");
+    check(&from_summary, "summary");
+
+    // Both artifacts drive the Perfetto exporter and the comparison
+    // renderer without loss of the resource sections.
+    let trace_json = inspect::render_perfetto(&from_stream);
+    assert!(trace_json.contains("\"traceEvents\""));
+    let cmp = inspect::render_comparison(&[
+        ("stream".to_string(), from_stream),
+        ("summary".to_string(), from_summary),
+    ]);
+    assert!(cmp.contains("<section id=\"utilization\">"));
+}
+
 #[test]
 fn summary_and_stream_render_equivalent_structure() {
     let _guard = sink_lock();

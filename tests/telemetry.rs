@@ -59,10 +59,22 @@ fn one_record_per_transformation_with_increasing_iterations() {
             !record.phases.is_empty(),
             "each transformation should report phase timings"
         );
-        // Phases are sub-spans of the transformation, so their total
-        // cannot exceed the recorded wall time by more than noise.
+        // The `place.*` phases are disjoint sub-spans of the
+        // transformation, so their total cannot exceed the recorded wall
+        // time by more than noise. (Nested solver spans like
+        // `multigrid.solve` overlap `place.field_solve` and would double
+        // count, so they are excluded from the sum.)
         let wall = record.get("wall_s").and_then(Value::as_f64).unwrap();
-        assert!(record.phase_seconds() <= wall * 1.5 + 1e-3);
+        let top_level: f64 = record
+            .phases
+            .iter()
+            .filter(|(name, _)| name.starts_with("place."))
+            .map(|(_, s)| s)
+            .sum();
+        assert!(
+            top_level <= wall * 1.5 + 1e-3,
+            "disjoint place.* phases ({top_level:.6}s) exceed wall time ({wall:.6}s)"
+        );
     }
 }
 

@@ -1,0 +1,262 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace uses: the [`proptest!`] macro
+//! (with an optional `#![proptest_config(..)]` header), [`prop_assert!`] /
+//! [`prop_assert_eq!`], range and tuple [`Strategy`]s, and `prop_map`.
+//! Inputs are sampled deterministically (seeded per test name), so runs
+//! are reproducible; there is no shrinking — a failing case panics with
+//! the normal assertion message.
+
+/// Runner configuration (only the case count is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` inputs per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Deterministic per-test value source (splitmix64 seeded by test name).
+#[derive(Debug)]
+pub struct TestRunner {
+    state: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner seeded from the property's name.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        // FNV-1a over the name gives a stable, name-sensitive seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self { state: h }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Produces values of an input type for a property.
+pub trait Strategy {
+    /// The generated input type.
+    type Value;
+
+    /// Generates one input.
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, map: f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, runner: &mut TestRunner) -> O {
+        (self.map)(self.source.new_value(runner))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),+) => {$(
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+
+            fn new_value(&self, runner: &mut TestRunner) -> $ty {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (u128::from(runner.next_u64()) % span) as i128;
+                (self.start as i128 + offset) as $ty
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn new_value(&self, runner: &mut TestRunner) -> $ty {
+                assert!(self.start() <= self.end(), "empty strategy range");
+                let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                let offset = (u128::from(runner.next_u64()) % span) as i128;
+                (*self.start() as i128 + offset) as $ty
+            }
+        }
+    )+};
+}
+
+int_range_strategy! { i32, u32, i64, u64, isize, usize }
+
+macro_rules! float_range_strategy {
+    ($($ty:ty),+) => {$(
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+
+            fn new_value(&self, runner: &mut TestRunner) -> $ty {
+                assert!(self.start < self.end, "empty strategy range");
+                let unit = runner.next_unit() as $ty;
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    )+};
+}
+
+float_range_strategy! { f32, f64 }
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(runner),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+/// Asserts a property-test condition (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let __strategy = ( $($strat,)+ );
+                let mut __runner = $crate::TestRunner::new(stringify!($name));
+                for __case in 0..__config.cases {
+                    let ( $($arg,)+ ) =
+                        $crate::Strategy::new_value(&__strategy, &mut __runner);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { .. }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! {
+            (<$crate::ProptestConfig as ::core::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+/// The usual glob import for call sites.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut runner = crate::TestRunner::new("ranges_sample_in_bounds");
+        for _ in 0..500 {
+            let v = Strategy::new_value(&(3usize..10), &mut runner);
+            assert!((3..10).contains(&v));
+            let f = Strategy::new_value(&(-2.0..4.0f64), &mut runner);
+            assert!((-2.0..4.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic_per_name() {
+        let mut a = crate::TestRunner::new("x");
+        let mut b = crate::TestRunner::new("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn macro_generates_runnable_tests(a in 0u64..100, (x, y) in (0.0..1.0f64, 1i32..5)) {
+            prop_assert!(a < 100);
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert_eq!(y.clamp(1, 4), y, "y out of range: {}", y);
+        }
+    }
+}

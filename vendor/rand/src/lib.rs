@@ -1,0 +1,476 @@
+//! Offline stand-in for the `rand` 0.8 crate.
+//!
+//! The build sandbox has no registry access, so the workspace vendors the
+//! exact subset of `rand` 0.8.5 it uses. Every sampling algorithm below is
+//! a faithful port of the upstream implementation and produces
+//! **bit-identical streams** for a given [`RngCore`] — this matters
+//! because the committed benchmark baselines (`BENCH_place.json`) and the
+//! MCNC-style synthetic circuits were generated with the real crate.
+//!
+//! Ported pieces:
+//! * [`SeedableRng::seed_from_u64`] — the PCG32-based seed expansion from
+//!   `rand_core` 0.6.
+//! * `Standard` `f64`/`f32` — the multiply-based 53-/24-bit conversion.
+//! * `UniformFloat::sample_single[_inclusive]` — the `[1,2)` mantissa
+//!   trick with multiply-before-add.
+//! * `UniformInt::sample_single_inclusive` — widening-multiply rejection
+//!   with the `(range << lz) - 1` zone.
+//! * `SliceRandom::shuffle` — Fisher–Yates with the `u32` index path.
+
+/// The core of a random number generator: raw 32/64-bit draws.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest);
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// Seed material (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates the generator from seed bytes.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with the PCG32 stream used by
+    /// `rand_core` 0.6 (bit-exact).
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6_364_136_223_846_793_005;
+        const INC: u64 = 11_634_580_027_462_260_723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            // Advance the state first, in case the input has low Hamming
+            // weight (matches rand_core's comment and behaviour).
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Distributions (the subset backing `Rng::gen`).
+pub mod distributions {
+    use super::RngCore;
+
+    /// Samples values of type `T` from an RNG.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The standard distribution (uniform over the type's natural range).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // Multiply-based 53-bit conversion (rand 0.8 `Standard`).
+            let value = rng.next_u64() >> 11;
+            let scale = 1.0 / ((1u64 << 53) as f64);
+            scale * value as f64
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            let value = rng.next_u32() >> 8;
+            let scale = 1.0 / ((1u32 << 24) as f32);
+            scale * value as f32
+        }
+    }
+
+    impl Distribution<u32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<i32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i32 {
+            rng.next_u32() as i32
+        }
+    }
+
+    impl Distribution<i64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i64 {
+            rng.next_u64() as i64
+        }
+    }
+
+    impl Distribution<usize> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            // rand 0.8 samples usize via u64 on 64-bit targets.
+            rng.next_u64() as usize
+        }
+    }
+
+    /// Uniform-range sampling (the subset backing `Rng::gen_range`).
+    pub mod uniform {
+        use super::super::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        #[inline]
+        fn wmul32(a: u32, b: u32) -> (u32, u32) {
+            let t = u64::from(a) * u64::from(b);
+            ((t >> 32) as u32, t as u32)
+        }
+
+        #[inline]
+        fn wmul64(a: u64, b: u64) -> (u64, u64) {
+            let t = u128::from(a) * u128::from(b);
+            ((t >> 64) as u64, t as u64)
+        }
+
+        /// Types samplable uniformly from a range, matching the rand 0.8
+        /// single-shot (`sample_single`) algorithms bit-for-bit.
+        pub trait SampleUniform: Sized {
+            /// Samples from `[low, high)`.
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+            /// Samples from `[low, high]`.
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self;
+        }
+
+        macro_rules! uniform_int_impl {
+            ($ty:ty, $uty:ty, $u_large:ty, $draw:ident, $wmul:ident) => {
+                impl SampleUniform for $ty {
+                    fn sample_single<R: RngCore + ?Sized>(
+                        low: Self,
+                        high: Self,
+                        rng: &mut R,
+                    ) -> Self {
+                        assert!(low < high, "cannot sample empty range");
+                        Self::sample_single_inclusive(low, high - 1, rng)
+                    }
+
+                    fn sample_single_inclusive<R: RngCore + ?Sized>(
+                        low: Self,
+                        high: Self,
+                        rng: &mut R,
+                    ) -> Self {
+                        assert!(low <= high, "cannot sample empty range");
+                        let range = high.wrapping_sub(low).wrapping_add(1) as $uty as $u_large;
+                        if range == 0 {
+                            // The range covers the whole domain.
+                            return rng.$draw() as $ty;
+                        }
+                        // Widening-multiply rejection zone, as in rand 0.8
+                        // for types wider than 16 bits.
+                        let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                        loop {
+                            let v: $u_large = rng.$draw() as $u_large;
+                            let (hi, lo) = $wmul(v, range);
+                            if lo <= zone {
+                                return low.wrapping_add(hi as $ty);
+                            }
+                        }
+                    }
+                }
+            };
+        }
+
+        uniform_int_impl! { i32, u32, u32, next_u32, wmul32 }
+        uniform_int_impl! { u32, u32, u32, next_u32, wmul32 }
+        uniform_int_impl! { i64, u64, u64, next_u64, wmul64 }
+        uniform_int_impl! { u64, u64, u64, next_u64, wmul64 }
+        uniform_int_impl! { isize, usize, u64, next_u64, wmul64 }
+        uniform_int_impl! { usize, usize, u64, next_u64, wmul64 }
+
+        macro_rules! uniform_float_impl {
+            ($ty:ty, $bits_to_discard:expr, $one_bits:expr, $from_bits:path, $draw:ident) => {
+                impl SampleUniform for $ty {
+                    fn sample_single<R: RngCore + ?Sized>(
+                        low: Self,
+                        high: Self,
+                        rng: &mut R,
+                    ) -> Self {
+                        let scale = high - low;
+                        // A value in [1, 2): random mantissa, exponent 0.
+                        let value1_2 = $from_bits((rng.$draw() >> $bits_to_discard) | $one_bits);
+                        let value0_1 = value1_2 - 1.0;
+                        // Multiply before add (upstream's FMA-friendly order).
+                        value0_1 * scale + low
+                    }
+
+                    fn sample_single_inclusive<R: RngCore + ?Sized>(
+                        low: Self,
+                        high: Self,
+                        rng: &mut R,
+                    ) -> Self {
+                        assert!(low <= high, "cannot sample empty range");
+                        let scale = (high - low) / (1.0 - <$ty>::EPSILON / 2.0);
+                        let value1_2 = $from_bits((rng.$draw() >> $bits_to_discard) | $one_bits);
+                        let value0_1 = value1_2 - 1.0;
+                        value0_1 * scale + low
+                    }
+                }
+            };
+        }
+
+        uniform_float_impl! { f64, 12u32, 0x3FF0_0000_0000_0000u64, f64::from_bits, next_u64 }
+        uniform_float_impl! { f32, 9u32, 0x3F80_0000u32, f32::from_bits, next_u32 }
+
+        /// Range types accepted by `Rng::gen_range`.
+        pub trait SampleRange<T> {
+            /// Samples one value from the range.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_single(self.start, self.end, rng)
+            }
+        }
+
+        impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_single_inclusive(*self.start(), *self.end(), rng)
+            }
+        }
+    }
+}
+
+pub use distributions::uniform::{SampleRange, SampleUniform};
+pub use distributions::{Distribution, Standard};
+
+/// Convenience extensions over [`RngCore`] (the user-facing trait).
+pub trait Rng: RngCore {
+    /// Draws a value from the standard distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+        Self: Sized,
+    {
+        Standard.sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Sequence-related helpers (`shuffle`).
+pub mod seq {
+    use super::{RngCore, SampleUniform};
+
+    // rand 0.8 routes indices below 2^32 through the u32 sampler.
+    fn gen_index<R: RngCore + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+        if ubound <= (u32::MAX as usize) {
+            u32::sample_single(0, ubound as u32, rng) as usize
+        } else {
+            usize::sample_single(0, ubound, rng)
+        }
+    }
+
+    /// Slice shuffling and sampling, bit-exact with rand 0.8 in the
+    /// regimes this workspace uses.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates, `u32` index path).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Samples `amount` distinct elements. Matches rand 0.8's draw
+        /// pattern (Floyd's algorithm below the `amount < 163` inplace
+        /// threshold), so the selected *set* and the RNG state afterwards
+        /// are identical; the iteration order of duplicte-hit cases may
+        /// differ from upstream's randomized-order trick.
+        fn choose_multiple<R: RngCore + ?Sized>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> SliceChooseIter<'_, Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, gen_index(rng, i + 1));
+            }
+        }
+
+        fn choose_multiple<R: RngCore + ?Sized>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> SliceChooseIter<'_, T> {
+            let amount = amount.min(self.len());
+            let indices = sample_indices(rng, self.len() as u32, amount as u32);
+            SliceChooseIter { slice: self, indices: indices.into_iter() }
+        }
+    }
+
+    /// Iterator over elements selected by
+    /// [`SliceRandom::choose_multiple`].
+    #[derive(Debug)]
+    pub struct SliceChooseIter<'a, T> {
+        slice: &'a [T],
+        indices: std::vec::IntoIter<u32>,
+    }
+
+    impl<'a, T> Iterator for SliceChooseIter<'a, T> {
+        type Item = &'a T;
+
+        fn next(&mut self) -> Option<&'a T> {
+            self.indices.next().map(|i| &self.slice[i as usize])
+        }
+
+        fn size_hint(&self) -> (usize, Option<usize>) {
+            self.indices.size_hint()
+        }
+    }
+
+    // Port of rand 0.8 `seq::index::sample` for `amount < 163`: Floyd's
+    // algorithm unless the slice is barely larger than the sample, in
+    // which case a partial Fisher–Yates over all indices is cheaper.
+    fn sample_indices<R: RngCore + ?Sized>(rng: &mut R, length: u32, amount: u32) -> Vec<u32> {
+        debug_assert!(amount <= length);
+        if (length as f32) < 1.6 * amount as f32 {
+            // sample_inplace: partial shuffle of 0..length.
+            let mut indices: Vec<u32> = (0..length).collect();
+            for i in 0..amount {
+                let j = u32::sample_single(i, length, rng);
+                indices.swap(i as usize, j as usize);
+            }
+            indices.truncate(amount as usize);
+            indices
+        } else {
+            // sample_floyd: `amount` inclusive draws, one per j.
+            let mut indices: Vec<u32> = Vec::with_capacity(amount as usize);
+            for j in length - amount..length {
+                let t = u32::sample_single_inclusive(0, j, rng);
+                if indices.contains(&t) {
+                    indices.push(j);
+                } else {
+                    indices.push(t);
+                }
+            }
+            indices
+        }
+    }
+}
+
+/// Small supplementary generators (used by tests of this stand-in only).
+pub mod rngs {
+    /// A tiny splitmix64 generator for self-tests.
+    #[derive(Debug, Clone)]
+    pub struct SplitMix64(pub u64);
+
+    impl super::RngCore for SplitMix64 {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let b = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&b[..chunk.len()]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    /// A counter RNG with predictable output for algorithm KATs.
+    struct StepRng(u64);
+
+    impl RngCore for StepRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            let v = self.0;
+            self.0 = self.0.wrapping_add(1);
+            v
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest.iter_mut() {
+                *b = self.next_u64() as u8;
+            }
+        }
+    }
+
+    #[test]
+    fn standard_f64_is_53_bit_multiply() {
+        let mut rng = StepRng(1u64 << 11);
+        let v: f64 = rng.gen();
+        assert_eq!(v, 1.0 / (1u64 << 53) as f64);
+    }
+
+    #[test]
+    fn float_range_hits_low_end_at_zero_draw() {
+        let mut rng = StepRng(0);
+        let v = rng.gen_range(3.0..5.0);
+        assert_eq!(v, 3.0);
+    }
+
+    #[test]
+    fn int_range_is_in_bounds() {
+        let mut rng = rngs::SplitMix64(42);
+        for _ in 0..1000 {
+            let v = rng.gen_range(0..7);
+            assert!((0..7).contains(&v));
+            let w = rng.gen_range(10usize..=20);
+            assert!((10..=20).contains(&w));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut v: Vec<u32> = (0..100).collect();
+        let mut rng = rngs::SplitMix64(7);
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice untouched");
+    }
+}

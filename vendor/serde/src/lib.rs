@@ -1,0 +1,7 @@
+//! Offline placeholder for `serde`.
+//!
+//! The workspace declares serde only as an *optional* dependency whose
+//! feature is never enabled; this empty crate exists purely so dependency
+//! resolution succeeds without registry access. If a future change
+//! actually turns the feature on, the compile error from the missing
+//! derives will point straight here.
