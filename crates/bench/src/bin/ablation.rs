@@ -47,7 +47,7 @@ fn main() {
 /// A5: multilevel (clustered) placement — the paper's "larger netlists
 /// in less time" extension.
 fn multilevel() {
-    use kraftwerk_core::{place_multilevel, ClusteringConfig, GlobalPlacer};
+    use kraftwerk_core::{place_multilevel, GlobalPlacer, MultilevelConfig};
     use kraftwerk_legalize::{legalize, refine};
     let console = kraftwerk_bench::console();
     console.info("A5: multilevel placement (cluster -> place coarse -> expand -> refine)");
@@ -64,8 +64,10 @@ fn multilevel() {
     let ml = place_multilevel(
         &nl,
         KraftwerkConfig::standard(),
-        &ClusteringConfig::default(),
-        25,
+        &MultilevelConfig {
+            coarsest_movable: 1500,
+            ..MultilevelConfig::default()
+        },
     );
     let t_ml = t0.elapsed().as_secs_f64();
     let (flat_wire, ml_wire) = (finish(&flat.placement), finish(&ml.placement));

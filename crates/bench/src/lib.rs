@@ -16,7 +16,7 @@
 //! `bench.flow` trace event when a sink is installed.
 
 use kraftwerk_baselines::{AnnealingConfig, AnnealingPlacer, GordianConfig, GordianPlacer};
-use kraftwerk_core::{GlobalPlacer, KraftwerkConfig};
+use kraftwerk_core::{try_place_multilevel, GlobalPlacer, KraftwerkConfig, MultilevelConfig};
 use kraftwerk_legalize::{check_legality, legalize, refine};
 use kraftwerk_netlist::{metrics, Netlist, Placement};
 use kraftwerk_timing::{optimize_timing_legalized, CriticalityTracker, DelayModel, Sta};
@@ -99,6 +99,33 @@ pub fn run_kraftwerk(netlist: &Netlist, config: KraftwerkConfig) -> FlowResult {
     finish("kraftwerk", netlist, result.placement, started)
 }
 
+/// The multilevel Kraftwerk flow: V-cycle clustering hierarchy with the
+/// bound-to-bound net model — the documented path for netlists beyond
+/// ~25k cells (the `scale*` tiers).
+///
+/// # Panics
+///
+/// Panics when the netlist fails to place or the watchdog had to degrade
+/// the run. Recovered watchdog trips are tolerated: across a deep
+/// hierarchy an occasional trip on a coarse level is expected and the
+/// refinement levels absorb it.
+#[must_use]
+pub fn run_kraftwerk_multilevel(
+    netlist: &Netlist,
+    config: KraftwerkConfig,
+    ml: &MultilevelConfig,
+) -> FlowResult {
+    let started = Instant::now();
+    let result = try_place_multilevel(netlist, config, ml)
+        .unwrap_or_else(|e| panic!("benchmark placement failed: {e}"));
+    assert!(
+        !result.health.degraded && !result.health.budget_exhausted,
+        "benchmark run degraded: {:?}",
+        result.health
+    );
+    finish("kraftwerk-multilevel", netlist, result.placement, started)
+}
+
 /// The TimberWolf-class simulated annealing flow.
 #[must_use]
 pub fn run_annealing(netlist: &Netlist, config: AnnealingConfig) -> FlowResult {
@@ -142,14 +169,17 @@ pub struct JsonRun {
     pub phases: Vec<kraftwerk_trace::PhaseStat>,
 }
 
-/// Runs the Kraftwerk flow under a private [`RunRecorder`] and returns
-/// the result together with its [`JsonRun`] record. Any previously
-/// installed trace sink is replaced for the duration of the run.
-#[must_use]
-pub fn run_kraftwerk_recorded(netlist: &Netlist, config: KraftwerkConfig, mode: &str) -> (FlowResult, JsonRun) {
+/// Runs a flow under a private [`RunRecorder`] and builds its [`JsonRun`]
+/// record. Any previously installed trace sink is replaced for the
+/// duration of the run.
+fn record_flow(
+    netlist: &Netlist,
+    mode: &str,
+    flow: impl FnOnce() -> FlowResult,
+) -> (FlowResult, JsonRun) {
     let recorder = Arc::new(RunRecorder::new());
     kraftwerk_trace::install(recorder.clone());
-    let result = run_kraftwerk(netlist, config);
+    let result = flow();
     kraftwerk_trace::uninstall();
     let report = recorder.report();
     let run = JsonRun {
@@ -165,6 +195,25 @@ pub fn run_kraftwerk_recorded(netlist: &Netlist, config: KraftwerkConfig, mode: 
         phases: report.profile,
     };
     (result, run)
+}
+
+/// Runs the Kraftwerk flow under a private [`RunRecorder`] and returns
+/// the result together with its [`JsonRun`] record.
+#[must_use]
+pub fn run_kraftwerk_recorded(netlist: &Netlist, config: KraftwerkConfig, mode: &str) -> (FlowResult, JsonRun) {
+    record_flow(netlist, mode, || run_kraftwerk(netlist, config))
+}
+
+/// Runs the multilevel Kraftwerk flow under a private [`RunRecorder`] and
+/// returns the result together with its [`JsonRun`] record.
+#[must_use]
+pub fn run_kraftwerk_multilevel_recorded(
+    netlist: &Netlist,
+    config: KraftwerkConfig,
+    ml: &MultilevelConfig,
+    mode: &str,
+) -> (FlowResult, JsonRun) {
+    record_flow(netlist, mode, || run_kraftwerk_multilevel(netlist, config, ml))
 }
 
 /// Rounds wall-clock seconds to microsecond precision for the JSON
@@ -425,6 +474,20 @@ mod tests {
                 .is_some(),
             "per-phase wall time missing: {json}"
         );
+    }
+
+    #[test]
+    fn multilevel_flow_produces_legal_placements() {
+        let nl = generate(&SynthConfig::with_size("mlharness", 400, 480, 10));
+        let ml = MultilevelConfig {
+            coarsest_movable: 100,
+            ..MultilevelConfig::default()
+        };
+        let (result, run) =
+            run_kraftwerk_multilevel_recorded(&nl, KraftwerkConfig::fast(), &ml, "multilevel-b2b");
+        assert!(result.legal);
+        assert_eq!(run.mode, "multilevel-b2b");
+        assert!(run.iterations > 0, "no iteration records captured");
     }
 
     #[test]

@@ -19,6 +19,13 @@ pub enum NetModel {
         /// Largest net degree still expanded as a clique.
         clique_threshold: usize,
     },
+    /// Bound-to-bound (Coloquinte/Kraftwerk2 style): each pin connects to
+    /// the net's current extreme pins per axis with weight
+    /// `w/(2(k−1)·len)`, so the model's gradient at the reference
+    /// placement equals the exact HPWL gradient for every degree while
+    /// the matrix stays linear in `k`. The edge set is rebuilt from the
+    /// previous placement each transformation.
+    B2B,
 }
 
 impl Default for NetModel {

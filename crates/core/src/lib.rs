@@ -52,8 +52,11 @@ pub use config::{
     FieldSolverKind, KraftwerkConfig, NetModel, PoissonBackend, PrecondKind, WatchdogConfig,
 };
 pub use error::KraftwerkError;
-pub use multilevel::{cluster, place_multilevel, Clustering, ClusteringConfig};
-pub use quadratic::QuadraticSystem;
+pub use multilevel::{
+    build_hierarchy, cluster, place_multilevel, try_place_multilevel, Clustering,
+    ClusteringConfig, MultilevelConfig,
+};
+pub use quadratic::{QuadraticSystem, CLIQUE_DEGREE_CAP};
 pub use session::{
     GlobalPlacer, IterationStats, PlaceResult, PlacementSession, RunHealth,
 };

@@ -1,22 +1,31 @@
 //! Multilevel (clustered) placement — the extension the paper's
 //! conclusion points at ("placing larger netlists in less time").
 //!
-//! The flow is the classical multilevel scheme on top of the Kraftwerk
-//! engine:
+//! The flow is a recursive V-cycle in the spirit of the Ron–Safro–Brandt
+//! multigrid energy-minimization scheme, built on the Kraftwerk engine:
 //!
-//! 1. **Coarsen** ([`cluster`]): heavy-edge matching merges strongly
-//!    connected movable cells pairwise (repeatedly, until the target
-//!    ratio), producing a clustered netlist whose cluster cells carry the
-//!    combined area;
-//! 2. **Place coarse**: the ordinary Kraftwerk iteration on the clustered
-//!    netlist — fewer variables, bigger objects, same algorithm (the
-//!    mixed-size claim of section 5 is what makes this work unchanged);
-//! 3. **Uncluster** ([`Clustering::expand`]): members take their
-//!    cluster's location (fanned out over the cluster footprint);
-//! 4. **Refine**: a resumed (ECO-style) session on the flat netlist
-//!    polishes the expanded placement with a handful of transformations.
+//! 1. **Coarsen recursively** ([`cluster`] per level): heavy-edge
+//!    matching merges strongly connected movable cells pairwise; each
+//!    level coarsens the previous one until at most
+//!    [`MultilevelConfig::coarsest_movable`] movables remain;
+//! 2. **Place the coarsest level fully**: the ordinary Kraftwerk
+//!    iteration on the smallest clustered netlist — fewer variables,
+//!    bigger objects, same algorithm (the mixed-size claim of section 5
+//!    is what makes this work unchanged);
+//! 3. **Interpolate + refine per level** ([`Clustering::expand`], then a
+//!    resumed ECO-style session): walking back down the hierarchy, every
+//!    level seeds from its parent's placement and runs a *shrinking*
+//!    number of refinement transformations — the finer the level, the
+//!    fewer (and cheaper-per-variable) the corrections it needs.
 //!
-//! [`place_multilevel`] packages the whole flow.
+//! One [`PlacementSession`] scratch arena is threaded through every
+//! level, so the zero-steady-state-allocation property holds per level
+//! instead of paying a cold-start growth at each.
+//!
+//! [`place_multilevel`] packages the whole flow; by default it also
+//! switches the net model to [`NetModel::B2B`], whose assembly is linear
+//! in net degree — the combination is the supported path for designs
+//! beyond ~25k cells.
 //!
 //! ```
 //! use kraftwerk_core::{cluster, ClusteringConfig};
@@ -27,7 +36,9 @@
 //! assert!(clustering.coarse().num_movable() < nl.num_movable());
 //! ```
 
-use crate::config::KraftwerkConfig;
+use crate::arena::ScratchArena;
+use crate::config::{KraftwerkConfig, NetModel};
+use crate::error::KraftwerkError;
 use crate::session::{PlaceResult, PlacementSession};
 use kraftwerk_geom::{Point, Size, Vector};
 use kraftwerk_netlist::{CellId, CellKind, Netlist, NetlistBuilder, PinDirection, Placement};
@@ -50,6 +61,52 @@ impl Default for ClusteringConfig {
         Self {
             target_ratio: 0.3,
             max_cluster_area_factor: 12.0,
+        }
+    }
+}
+
+/// Controls for the recursive multilevel V-cycle
+/// ([`place_multilevel`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultilevelConfig {
+    /// Per-level coarsening controls. The per-level
+    /// [`target_ratio`](ClusteringConfig::target_ratio) is deliberately
+    /// gentler than the one-shot default (0.45 vs 0.3): several gentle
+    /// levels preserve more connectivity signal than one aggressive
+    /// collapse.
+    pub clustering: ClusteringConfig,
+    /// Stop coarsening once a level has at most this many movable cells;
+    /// that level is placed with the full transformation budget.
+    pub coarsest_movable: usize,
+    /// Hard cap on hierarchy depth (safety valve; the coarsest-movable
+    /// threshold is what normally terminates coarsening).
+    pub max_levels: usize,
+    /// Refinement-transformation budget at the level just above the
+    /// coarsest; finer levels shrink proportionally to their size (a
+    /// level with `r×` the coarsest's movables gets `refine_base/r`
+    /// transformations, floored at [`refine_min`](Self::refine_min)).
+    pub refine_base: usize,
+    /// Minimum refinement transformations at any level.
+    pub refine_min: usize,
+    /// Net-model override applied to every level's session. Defaults to
+    /// [`NetModel::B2B`], whose assembly is linear in net degree — the
+    /// right trade at the scales that justify a multilevel run. `None`
+    /// keeps the caller's configured model.
+    pub net_model: Option<NetModel>,
+}
+
+impl Default for MultilevelConfig {
+    fn default() -> Self {
+        Self {
+            clustering: ClusteringConfig {
+                target_ratio: 0.45,
+                max_cluster_area_factor: 12.0,
+            },
+            coarsest_movable: 3000,
+            max_levels: 12,
+            refine_base: 32,
+            refine_min: 8,
+            net_model: Some(NetModel::B2B),
         }
     }
 }
@@ -94,9 +151,12 @@ impl Clustering {
 
     /// Expands a coarse placement onto the original netlist: every member
     /// lands at its cluster's position, fanned out horizontally over the
-    /// cluster's width so members do not sit exactly on top of each other.
+    /// cluster's width so members do not sit exactly on top of each
+    /// other, then clamped so the member's own footprint stays inside the
+    /// core region even when the cluster was placed against an edge.
     #[must_use]
     pub fn expand(&self, original: &Netlist, coarse_placement: &Placement) -> Placement {
+        let core = original.core_region();
         let mut placement = original.initial_placement();
         for (cluster_idx, members) in self.members.iter().enumerate() {
             let cluster_id = CellId::from_index(cluster_idx);
@@ -110,9 +170,17 @@ impl Clustering {
                 if !original.cell(member).is_movable() {
                     continue;
                 }
-                let w = original.cell(member).size().width;
-                placement.set_position(member, Point::new(x + w * 0.5, at.y));
-                x += w;
+                let size = original.cell(member).size();
+                let half_w = (size.width * 0.5).min(core.width() * 0.5);
+                let half_h = (size.height * 0.5).min(core.height() * 0.5);
+                placement.set_position(
+                    member,
+                    Point::new(
+                        (x + size.width * 0.5).clamp(core.x_lo + half_w, core.x_hi - half_w),
+                        at.y.clamp(core.y_lo + half_h, core.y_hi - half_h),
+                    ),
+                );
+                x += size.width;
             }
         }
         placement
@@ -287,34 +355,112 @@ pub fn cluster(netlist: &Netlist, config: &ClusteringConfig) -> Clustering {
     }
 }
 
-/// The complete multilevel flow: coarsen, place coarse, expand, refine
-/// flat with a bounded number of transformations.
+/// Builds the coarsening hierarchy: `levels[0]` clusters `netlist`,
+/// `levels[i]` clusters `levels[i-1].coarse()`, until the coarsest level
+/// fits under `ml.coarsest_movable` movables, coarsening stalls, or the
+/// depth cap is reached. Empty when the netlist is already small enough.
+#[must_use]
+pub fn build_hierarchy(netlist: &Netlist, ml: &MultilevelConfig) -> Vec<Clustering> {
+    let mut levels: Vec<Clustering> = Vec::new();
+    for _ in 0..ml.max_levels {
+        let cur: &Netlist = levels.last().map_or(netlist, |c| c.coarse());
+        if cur.num_movable() <= ml.coarsest_movable {
+            break;
+        }
+        let next = cluster(cur, &ml.clustering);
+        // No-progress guard: matching can stall (area caps, fixed cells);
+        // a level that barely shrinks would only add interpolation error.
+        if next.coarse().num_movable() * 50 >= cur.num_movable() * 49 {
+            break;
+        }
+        levels.push(next);
+    }
+    levels
+}
+
+/// The complete multilevel V-cycle: coarsen recursively, place the
+/// coarsest level with the full budget, then expand and refine each
+/// finer level with a shrinking number of transformations (see the
+/// module docs). One scratch arena serves every level.
+///
+/// # Panics
+///
+/// Panics when a level's run fails beyond recovery; use
+/// [`try_place_multilevel`] for the fallible equivalent.
 #[must_use]
 pub fn place_multilevel(
     netlist: &Netlist,
     config: KraftwerkConfig,
-    clustering_config: &ClusteringConfig,
-    refine_transformations: usize,
+    ml: &MultilevelConfig,
 ) -> PlaceResult {
-    let clustering = cluster(netlist, clustering_config);
-    let coarse_result =
-        PlacementSession::new(clustering.coarse(), config.clone()).run();
-    let expanded = clustering.expand(netlist, &coarse_result.placement);
-    let mut session = PlacementSession::resume(netlist, config, expanded);
-    let mut stats = Vec::new();
-    for _ in 0..refine_transformations {
-        stats.push(session.transform());
-        if session.is_converged() {
-            break;
-        }
+    match try_place_multilevel(netlist, config, ml) {
+        Ok(result) => result,
+        Err(e) => panic!("multilevel placement failed: {e} (use try_place_multilevel)"),
     }
-    let converged = session.is_converged();
-    PlaceResult {
-        placement: session.placement().clone(),
+}
+
+/// Fallible [`place_multilevel`].
+///
+/// # Errors
+///
+/// Propagates the first level run that fails before producing any usable
+/// placement (see [`PlacementSession::try_run`] for the contract).
+pub fn try_place_multilevel(
+    netlist: &Netlist,
+    config: KraftwerkConfig,
+    ml: &MultilevelConfig,
+) -> Result<PlaceResult, KraftwerkError> {
+    let mut cfg = config;
+    if let Some(model) = ml.net_model {
+        cfg.net_model = model;
+    }
+    let levels = build_hierarchy(netlist, ml);
+    kraftwerk_trace::counter("multilevel.levels", levels.len() as u64 + 1);
+
+    // Place the coarsest level with the full transformation budget.
+    let coarsest: &Netlist = levels.last().map_or(netlist, |c| c.coarse());
+    let coarsest_movable = coarsest.num_movable().max(1);
+    let mut session = PlacementSession::with_arena(coarsest, cfg.clone(), ScratchArena::default());
+    let (mut stats, mut converged) = session.run_loop()?;
+    let mut health = session.health_snapshot();
+    let (mut placement, mut arena) = session.into_parts();
+
+    // Walk back down the hierarchy: interpolate the parent's placement
+    // onto the finer level, then refine with a budget that shrinks in
+    // proportion to the level's size so total work stays near-linear.
+    for li in (0..levels.len()).rev() {
+        let clustering = &levels[li];
+        let fine: &Netlist = if li == 0 { netlist } else { levels[li - 1].coarse() };
+        let expanded = clustering.expand(fine, &placement);
+        let ratio = coarsest_movable as f64 / fine.num_movable().max(1) as f64;
+        let budget = ((ml.refine_base as f64 * ratio).round() as usize)
+            .clamp(ml.refine_min.max(1), ml.refine_base.max(1));
+        let mut level_cfg = cfg.clone();
+        level_cfg.max_transformations = budget;
+        let mut session = PlacementSession::resume_with_arena(fine, level_cfg, expanded, arena);
+        let (level_stats, level_converged) = session.run_loop()?;
+        let h = session.health_snapshot();
+        health.trips += h.trips;
+        health.recoveries += h.recoveries;
+        health.degraded |= h.degraded;
+        health.budget_exhausted |= h.budget_exhausted;
+        // Renumber so the combined record stays monotonic across levels.
+        let offset = stats.last().map_or(0, |s| s.iteration);
+        stats.extend(level_stats.into_iter().map(|mut s| {
+            s.iteration += offset;
+            s
+        }));
+        converged = level_converged;
+        let parts = session.into_parts();
+        placement = parts.0;
+        arena = parts.1;
+    }
+    Ok(PlaceResult {
+        placement,
         stats,
         converged,
-        health: session.health(),
-    }
+        health,
+    })
 }
 
 #[cfg(test)]
@@ -416,12 +562,13 @@ mod tests {
     fn multilevel_flow_is_competitive_with_flat_placement() {
         let nl = circuit();
         let flat = GlobalPlacer::new(KraftwerkConfig::standard()).place(&nl);
-        let ml = place_multilevel(
-            &nl,
-            KraftwerkConfig::standard(),
-            &ClusteringConfig::default(),
-            20,
-        );
+        // Force at least one real level: the 600-cell circuit is below
+        // the default coarsest threshold.
+        let ml_cfg = MultilevelConfig {
+            coarsest_movable: 200,
+            ..MultilevelConfig::default()
+        };
+        let ml = place_multilevel(&nl, KraftwerkConfig::standard(), &ml_cfg);
         let flat_hpwl = metrics::hpwl(&nl, &flat.placement);
         let ml_hpwl = metrics::hpwl(&nl, &ml.placement);
         assert!(
@@ -433,8 +580,118 @@ mod tests {
     #[test]
     fn multilevel_is_deterministic() {
         let nl = circuit();
-        let a = place_multilevel(&nl, KraftwerkConfig::standard(), &ClusteringConfig::default(), 10);
-        let b = place_multilevel(&nl, KraftwerkConfig::standard(), &ClusteringConfig::default(), 10);
+        let ml_cfg = MultilevelConfig {
+            coarsest_movable: 200,
+            ..MultilevelConfig::default()
+        };
+        let a = place_multilevel(&nl, KraftwerkConfig::standard(), &ml_cfg);
+        let b = place_multilevel(&nl, KraftwerkConfig::standard(), &ml_cfg);
         assert_eq!(a.placement, b.placement);
+    }
+
+    #[test]
+    fn hierarchy_shrinks_every_level_to_the_coarsest_threshold() {
+        let nl = circuit();
+        let ml_cfg = MultilevelConfig {
+            coarsest_movable: 100,
+            ..MultilevelConfig::default()
+        };
+        let levels = build_hierarchy(&nl, &ml_cfg);
+        assert!(!levels.is_empty(), "600 movables must coarsen below 100");
+        let mut prev = nl.num_movable();
+        for level in &levels {
+            let now = level.coarse().num_movable();
+            assert!(now < prev, "level did not shrink: {prev} -> {now}");
+            prev = now;
+        }
+        assert!(
+            prev <= ml_cfg.coarsest_movable || levels.len() == ml_cfg.max_levels,
+            "coarsest level still has {prev} movables"
+        );
+        // A netlist already below the threshold yields an empty hierarchy.
+        assert!(build_hierarchy(&nl, &MultilevelConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn expand_conserves_total_movable_area_through_the_hierarchy() {
+        let nl = circuit();
+        let ml_cfg = MultilevelConfig {
+            coarsest_movable: 100,
+            ..MultilevelConfig::default()
+        };
+        let levels = build_hierarchy(&nl, &ml_cfg);
+        let total = nl.total_movable_area();
+        for level in &levels {
+            let coarse_total = level.coarse().total_movable_area();
+            assert!(
+                (coarse_total - total).abs() < 1e-6 * total,
+                "movable area drifted: {total} -> {coarse_total}"
+            );
+        }
+    }
+
+    #[test]
+    fn expand_keeps_every_member_inside_the_core_region() {
+        let nl = circuit();
+        let c = cluster(&nl, &ClusteringConfig::default());
+        let core = nl.core_region();
+        // Park every cluster at the corners and edges of the core: the
+        // naive fan-out would push wide members outside.
+        let mut coarse_placement = c.coarse().initial_placement();
+        let corners = [
+            Point::new(core.x_lo, core.y_lo),
+            Point::new(core.x_hi, core.y_lo),
+            Point::new(core.x_lo, core.y_hi),
+            Point::new(core.x_hi, core.y_hi),
+        ];
+        for (i, id) in c.coarse().cell_ids().enumerate() {
+            if c.coarse().cell(id).is_movable() {
+                coarse_placement.set_position(id, corners[i % corners.len()]);
+            }
+        }
+        let flat = c.expand(&nl, &coarse_placement);
+        for (id, cell) in nl.cells() {
+            if !cell.is_movable() {
+                continue;
+            }
+            let p = flat.position(id);
+            let half_w = (cell.size().width * 0.5).min(core.width() * 0.5);
+            let half_h = (cell.size().height * 0.5).min(core.height() * 0.5);
+            assert!(
+                p.x >= core.x_lo + half_w - 1e-9 && p.x <= core.x_hi - half_w + 1e-9,
+                "cell {id} x={} outside [{}, {}]",
+                p.x,
+                core.x_lo + half_w,
+                core.x_hi - half_w
+            );
+            assert!(
+                p.y >= core.y_lo + half_h - 1e-9 && p.y <= core.y_hi - half_h + 1e-9,
+                "cell {id} y={} outside the core",
+                p.y
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_maps_are_identical_at_any_thread_count() {
+        // Clustering is sequential by construction; this pins the
+        // contract: the cell→cluster map and the member lists must be
+        // bitwise identical at 1, 2 and 8 worker threads.
+        let nl = circuit();
+        let mut maps: Vec<(Vec<CellId>, Vec<Vec<CellId>>)> = Vec::new();
+        for threads in [1usize, 2, 8] {
+            kraftwerk_par::set_threads(threads);
+            let c = cluster(&nl, &ClusteringConfig::default());
+            let cluster_of: Vec<CellId> = nl.cell_ids().map(|id| c.cluster_of(id)).collect();
+            let members: Vec<Vec<CellId>> = c
+                .coarse()
+                .cell_ids()
+                .map(|id| c.members(id).to_vec())
+                .collect();
+            maps.push((cluster_of, members));
+        }
+        kraftwerk_par::set_threads(0);
+        assert_eq!(maps[0], maps[1], "1 vs 2 threads");
+        assert_eq!(maps[0], maps[2], "1 vs 8 threads");
     }
 }

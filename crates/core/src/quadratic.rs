@@ -15,11 +15,19 @@ use kraftwerk_geom::Point;
 use kraftwerk_netlist::{CellId, Netlist, Placement};
 use kraftwerk_sparse::{CooMatrix, CsrBuildScratch, CsrMatrix};
 
+/// Largest net degree ever expanded as a clique, regardless of the
+/// configured model or threshold. A k-pin clique stages `2k(k-1)` COO
+/// triplets per axis; past this cap (a 65k-pin clock net would stage
+/// ~17 G triplets) the assembly silently falls back to the star model,
+/// which is linear in `k`.
+pub const CLIQUE_DEGREE_CAP: usize = 256;
+
 /// Maps movable cells to matrix indices and assembles `C`/`d` per axis.
 #[derive(Debug, Clone)]
 pub struct QuadraticSystem {
     movable_of_cell: Vec<Option<u32>>,
     cell_of_movable: Vec<CellId>,
+    max_net_degree: usize,
 }
 
 /// One axis-separable assembled system: `C_x x + d_x = 0` and
@@ -72,9 +80,11 @@ impl QuadraticSystem {
                 cell_of_movable.push(id);
             }
         }
+        let max_net_degree = netlist.nets().map(|(_, net)| net.degree()).max().unwrap_or(0);
         Self {
             movable_of_cell,
             cell_of_movable,
+            max_net_degree,
         }
     }
 
@@ -82,6 +92,23 @@ impl QuadraticSystem {
     #[must_use]
     pub fn num_movable(&self) -> usize {
         self.cell_of_movable.len()
+    }
+
+    /// Largest net degree in the netlist this system was built for.
+    #[must_use]
+    pub fn max_net_degree(&self) -> usize {
+        self.max_net_degree
+    }
+
+    /// `true` when re-assembling under this model/linearization pair is
+    /// guaranteed to reproduce the same matrices regardless of the
+    /// placement, so a cached assembly stays valid across
+    /// transformations. Linearization, star centroids, B2B extremes and
+    /// the over-cap clique→star fallback all read the current placement,
+    /// so only an uncapped pure clique qualifies.
+    #[must_use]
+    pub fn assembly_is_static(&self, model: NetModel, linearization: bool) -> bool {
+        !linearization && model == NetModel::Clique && self.max_net_degree <= CLIQUE_DEGREE_CAP
     }
 
     /// Matrix index of a cell, `None` when fixed.
@@ -208,6 +235,12 @@ impl QuadraticSystem {
         out.dy.clear();
         out.dy.resize(n, 0.0);
         let (dx, dy) = (&mut out.dx[..], &mut out.dy[..]);
+        // B2B divides each edge weight by the current edge length exactly
+        // once (that division *is* the model's linearization), flooring at
+        // the configured GORDIAN-L epsilon when linearization is on and at
+        // a small fraction of the core half-perimeter otherwise.
+        let b2b_eps = linearization_epsilon
+            .unwrap_or_else(|| 1e-3 * netlist.core_region().half_perimeter().max(1.0));
 
         for (net_id, net) in netlist.nets() {
             let k = net.degree();
@@ -232,10 +265,23 @@ impl QuadraticSystem {
                 });
             }
 
+            if model == NetModel::B2B {
+                let w_base = w_net / (2.0 * (k as f64 - 1.0));
+                b2b_axis(coo_x, dx, pins, Axis::X, w_base, b2b_eps);
+                b2b_axis(coo_y, dy, pins, Axis::Y, w_base, b2b_eps);
+                continue;
+            }
+
+            // The cap applies to every model: an over-threshold Hybrid net
+            // already goes to the star, and a pure Clique past the cap
+            // falls back to the star too rather than staging O(k²)
+            // triplets.
             let use_clique = match model {
-                NetModel::Clique => true,
-                NetModel::Star => false,
-                NetModel::Hybrid { clique_threshold } => k <= clique_threshold,
+                NetModel::Clique => k <= CLIQUE_DEGREE_CAP,
+                NetModel::Star | NetModel::B2B => false,
+                NetModel::Hybrid { clique_threshold } => {
+                    k <= clique_threshold.min(CLIQUE_DEGREE_CAP)
+                }
             };
 
             if use_clique {
@@ -335,6 +381,60 @@ impl QuadraticSystem {
             fx[i] = -(fx[i] + assembled.dx[i]);
             fy[i] = -(fy[i] + assembled.dy[i]);
         }
+    }
+}
+
+/// Which coordinate a [`b2b_axis`] expansion reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Axis {
+    X,
+    Y,
+}
+
+impl Axis {
+    fn of(self, p: PinInfo) -> (f64, f64) {
+        match self {
+            Axis::X => (p.offset.0, p.pos.0),
+            Axis::Y => (p.offset.1, p.pos.1),
+        }
+    }
+}
+
+/// Bound-to-bound expansion of one net on one axis: the two extreme pins
+/// connect to each other and every interior pin connects to both
+/// extremes, each edge weighted `w_base / max(len, eps)` with
+/// `w_base = w/(2(k−1))`. Summing the edge gradients at the reference
+/// placement gives exactly `+w` on the upper extreme, `−w` on the lower
+/// and `0` on interior pins — the HPWL gradient — for every degree.
+///
+/// Extreme selection is index-deterministic: the *first* pin achieving
+/// the minimum and the *last* pin achieving the maximum, so ties (fully
+/// overlapping pins) still yield two distinct endpoints and the edge set
+/// is identical at every thread count.
+fn b2b_axis(c: &mut CooMatrix, d: &mut [f64], pins: &[PinInfo], axis: Axis, w_base: f64, eps: f64) {
+    let coord = |p: PinInfo| axis.of(p).1;
+    let (mut lo, mut hi) = (0usize, 0usize);
+    for i in 1..pins.len() {
+        if coord(pins[i]) < coord(pins[lo]) {
+            lo = i;
+        }
+        if coord(pins[i]) >= coord(pins[hi]) {
+            hi = i;
+        }
+    }
+    let mut edge = |a: PinInfo, b: PinInfo| {
+        let (a_off, a_pos) = axis.of(a);
+        let (b_off, b_pos) = axis.of(b);
+        let w = w_base / (a_pos - b_pos).abs().max(eps);
+        add_axis_edge(c, d, a.movable, b.movable, a_off, b_off, a_pos, b_pos, w);
+    };
+    edge(pins[lo], pins[hi]);
+    for (i, &p) in pins.iter().enumerate() {
+        if i == lo || i == hi {
+            continue;
+        }
+        edge(p, pins[lo]);
+        edge(p, pins[hi]);
     }
 }
 
@@ -621,6 +721,191 @@ mod tests {
         let (fx, _) = sys.spring_force(&asm, &xs, &ys);
         let ia = sys.movable_index(a).unwrap();
         assert!(fx[ia] < 0.0, "force should pull a leftward, got {}", fx[ia]);
+    }
+
+    #[test]
+    fn b2b_matches_linearized_clique_on_two_pin_nets() {
+        // Degree 2 is where the models coincide exactly: one edge of
+        // per-axis weight w/(2·max(len, eps)) either way.
+        let (nl, a, b) = chain();
+        let sys = QuadraticSystem::new(&nl);
+        let mut p = nl.initial_placement();
+        p.set_position(a, Point::new(2.0, 4.0));
+        p.set_position(b, Point::new(7.0, 6.0));
+        let eps = Some(0.01);
+        let asm_c = sys.assemble(&nl, &p, None, NetModel::Clique, eps);
+        let asm_b = sys.assemble(&nl, &p, None, NetModel::B2B, eps);
+        let ia = sys.movable_index(a).unwrap();
+        let ib = sys.movable_index(b).unwrap();
+        for (mc, mb) in [(&asm_c.cx, &asm_b.cx), (&asm_c.cy, &asm_b.cy)] {
+            assert_eq!(mc.get(ia, ib), mb.get(ia, ib));
+            assert_eq!(mc.get(ia, ia), mb.get(ia, ia));
+            assert_eq!(mc.get(ib, ib), mb.get(ib, ib));
+        }
+        assert_eq!(asm_c.dx, asm_b.dx);
+        assert_eq!(asm_c.dy, asm_b.dy);
+    }
+
+    #[test]
+    fn b2b_gradient_is_the_hpwl_gradient() {
+        // Degree-4 net at distinct positions: the B2B spring force at the
+        // reference placement is -w on the per-axis max pin, +w on the min
+        // pin and ~0 on interior pins — exactly -w·∇HPWL.
+        let mut bld = NetlistBuilder::new();
+        bld.core_region(Rect::new(0.0, 0.0, 20.0, 20.0));
+        let ids: Vec<_> = (0..4)
+            .map(|i| bld.add_cell(format!("c{i}"), Size::new(1.0, 1.0)))
+            .collect();
+        bld.add_weighted_net(
+            "n",
+            2.0,
+            ids.iter()
+                .enumerate()
+                .map(|(i, &id)| {
+                    (
+                        id,
+                        Vector::ZERO,
+                        if i == 0 { PinDirection::Output } else { PinDirection::Input },
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+        let nl = bld.build().unwrap();
+        let sys = QuadraticSystem::new(&nl);
+        let mut p = nl.initial_placement();
+        let xs_ref = [2.0, 5.0, 9.0, 14.0];
+        let ys_ref = [3.0, 11.0, 6.0, 8.0];
+        for (i, &id) in ids.iter().enumerate() {
+            p.set_position(id, Point::new(xs_ref[i], ys_ref[i]));
+        }
+        let asm = sys.assemble(&nl, &p, None, NetModel::B2B, None);
+        let (xs, ys) = sys.coords(&p);
+        let (fx, fy) = sys.spring_force(&asm, &xs, &ys);
+        let w = 2.0;
+        let expected_x = [w, 0.0, 0.0, -w]; // min pin pulled right, max left
+        let expected_y = [w, -w, 0.0, 0.0];
+        for (i, &id) in ids.iter().enumerate() {
+            let m = sys.movable_index(id).unwrap();
+            assert!(
+                (fx[m] - expected_x[i]).abs() < 1e-3,
+                "fx[{i}] = {} expected {}",
+                fx[m],
+                expected_x[i]
+            );
+            assert!(
+                (fy[m] - expected_y[i]).abs() < 1e-3,
+                "fy[{i}] = {} expected {}",
+                fy[m],
+                expected_y[i]
+            );
+        }
+    }
+
+    #[test]
+    fn b2b_handles_fully_overlapping_pins() {
+        // All pins at the same point: first-min/last-max tie-breaking
+        // still yields two distinct extremes and the eps floor keeps the
+        // weights finite.
+        let mut bld = NetlistBuilder::new();
+        bld.core_region(Rect::new(0.0, 0.0, 10.0, 10.0));
+        let ids: Vec<_> = (0..3)
+            .map(|i| bld.add_cell(format!("c{i}"), Size::new(1.0, 1.0)))
+            .collect();
+        bld.add_net(
+            "n",
+            ids.iter()
+                .enumerate()
+                .map(|(i, &id)| {
+                    (
+                        id,
+                        if i == 0 { PinDirection::Output } else { PinDirection::Input },
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+        let nl = bld.build().unwrap();
+        let sys = QuadraticSystem::new(&nl);
+        let mut p = nl.initial_placement();
+        for &id in &ids {
+            p.set_position(id, Point::new(5.0, 5.0));
+        }
+        let asm = sys.assemble(&nl, &p, None, NetModel::B2B, None);
+        for v in asm.cx.diagonal() {
+            assert!(v.is_finite() && v > 0.0, "diagonal {v}");
+        }
+        let (xs, ys) = solve_assembled(&sys, &asm);
+        for i in 0..3 {
+            assert!(xs[i].is_finite() && ys[i].is_finite());
+        }
+    }
+
+    #[test]
+    fn clique_past_the_degree_cap_falls_back_to_star() {
+        // A net over CLIQUE_DEGREE_CAP pins must assemble linearly in k
+        // (the star expansion), not stage O(k²) triplets.
+        let k = CLIQUE_DEGREE_CAP + 1;
+        let mut bld = NetlistBuilder::new();
+        bld.core_region(Rect::new(0.0, 0.0, 100.0, 100.0));
+        let ids: Vec<_> = (0..k)
+            .map(|i| bld.add_cell(format!("c{i}"), Size::new(1.0, 1.0)))
+            .collect();
+        bld.add_net(
+            "huge",
+            ids.iter()
+                .enumerate()
+                .map(|(i, &id)| {
+                    (
+                        id,
+                        if i == 0 { PinDirection::Output } else { PinDirection::Input },
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+        let nl = bld.build().unwrap();
+        let sys = QuadraticSystem::new(&nl);
+        assert_eq!(sys.max_net_degree(), k);
+        let p = nl.initial_placement();
+        let asm_clique = sys.assemble(&nl, &p, None, NetModel::Clique, None);
+        let asm_star = sys.assemble(&nl, &p, None, NetModel::Star, None);
+        assert_eq!(asm_clique.cx.nnz(), asm_star.cx.nnz());
+        assert_eq!(asm_clique.cx.get(0, 0), asm_star.cx.get(0, 0));
+        assert_eq!(asm_clique.dx, asm_star.dx);
+        // A star of k pins touches only the diagonal: k entries, far from
+        // the k(k-1)/2 off-diagonal pairs a clique would stage.
+        assert!(asm_clique.cx.nnz() <= k, "nnz {}", asm_clique.cx.nnz());
+    }
+
+    #[test]
+    fn static_assembly_requires_uncapped_clique() {
+        let (nl, _, _) = chain();
+        let sys = QuadraticSystem::new(&nl);
+        assert!(sys.assembly_is_static(NetModel::Clique, false));
+        assert!(!sys.assembly_is_static(NetModel::Clique, true));
+        assert!(!sys.assembly_is_static(NetModel::B2B, false));
+        assert!(!sys.assembly_is_static(NetModel::Star, false));
+        assert!(!sys.assembly_is_static(NetModel::Hybrid { clique_threshold: 30 }, false));
+        // Past the cap even the pure clique becomes placement-dependent
+        // (star fallback reads the centroid).
+        let mut bld = NetlistBuilder::new();
+        bld.core_region(Rect::new(0.0, 0.0, 100.0, 100.0));
+        let ids: Vec<_> = (0..CLIQUE_DEGREE_CAP + 1)
+            .map(|i| bld.add_cell(format!("c{i}"), Size::new(1.0, 1.0)))
+            .collect();
+        bld.add_net(
+            "huge",
+            ids.iter()
+                .enumerate()
+                .map(|(i, &id)| {
+                    (
+                        id,
+                        if i == 0 { PinDirection::Output } else { PinDirection::Input },
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+        let nl = bld.build().unwrap();
+        let sys = QuadraticSystem::new(&nl);
+        assert!(!sys.assembly_is_static(NetModel::Clique, false));
     }
 
     #[test]

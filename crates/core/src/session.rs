@@ -2,7 +2,7 @@
 //! accumulated additional forces.
 
 use crate::arena::ScratchArena;
-use crate::config::{FieldSolverKind, KraftwerkConfig, NetModel, PrecondKind};
+use crate::config::{FieldSolverKind, KraftwerkConfig, PrecondKind};
 use crate::error::KraftwerkError;
 use crate::quadratic::QuadraticSystem;
 use kraftwerk_field::{
@@ -317,6 +317,53 @@ impl<'a> PlacementSession<'a> {
         session
     }
 
+    /// Fresh session reusing a scratch arena from a previous session
+    /// (possibly over a *different* netlist — every buffer reshapes on
+    /// use, and the cached assembly is invalidated here). The multilevel
+    /// driver threads one arena through all hierarchy levels so the
+    /// zero-steady-state-allocation property holds per level instead of
+    /// paying a cold-start growth at each.
+    #[must_use]
+    pub(crate) fn with_arena(
+        netlist: &'a Netlist,
+        config: KraftwerkConfig,
+        mut arena: ScratchArena,
+    ) -> Self {
+        arena.invalidate_assembly();
+        let mut session = Self::new(netlist, config);
+        session.arena = arena;
+        session
+    }
+
+    /// [`Self::resume`] reusing a scratch arena (see
+    /// [`Self::with_arena`]).
+    #[must_use]
+    pub(crate) fn resume_with_arena(
+        netlist: &'a Netlist,
+        config: KraftwerkConfig,
+        placement: Placement,
+        arena: ScratchArena,
+    ) -> Self {
+        let mut session = Self::with_arena(netlist, config, arena);
+        session.placement = placement;
+        session.hold_from_start = true;
+        session
+    }
+
+    /// Tears the session down into its final placement and the scratch
+    /// arena, for reuse by the next hierarchy level.
+    #[must_use]
+    pub(crate) fn into_parts(self) -> (Placement, ScratchArena) {
+        (self.placement, self.arena)
+    }
+
+    /// Watchdog health accumulated so far (for drivers using
+    /// [`Self::run_loop`] directly).
+    #[must_use]
+    pub(crate) fn health_snapshot(&self) -> RunHealth {
+        self.health()
+    }
+
     /// Sets per-net weight multipliers (timing criticality). Takes effect
     /// from the next transformation: the placement relaxes toward the new
     /// weighting (critical nets contract) while the held equilibrium keeps
@@ -575,8 +622,9 @@ impl<'a> PlacementSession<'a> {
         //    survives across iterations until the net weights change.
         let assembly_timer = kraftwerk_trace::span("place.force_assembly");
         let assembly_scope = PhaseScope::begin("place.force_assembly", tracing);
-        let static_model =
-            self.config.net_model == NetModel::Clique && !self.config.linearization;
+        let static_model = self
+            .system
+            .assembly_is_static(self.config.net_model, self.config.linearization);
         let rebuild = !(static_model && *asm_valid);
         if rebuild {
             self.system.assemble_into(
@@ -1173,16 +1221,25 @@ impl<'a> PlacementSession<'a> {
     /// placement exists (solver input errors or first-iteration
     /// divergence with nothing to roll back to).
     pub fn try_run(mut self) -> Result<PlaceResult, KraftwerkError> {
+        let (stats, converged) = self.run_loop()?;
+        let health = self.health();
+        Ok(PlaceResult {
+            placement: self.placement,
+            stats,
+            converged,
+            health,
+        })
+    }
+
+    /// The transformation loop behind [`try_run`](Self::try_run), usable
+    /// without consuming the session: the multilevel driver runs one
+    /// session per hierarchy level and needs the placement *and* the
+    /// scratch arena back afterwards ([`Self::into_parts`]).
+    pub(crate) fn run_loop(&mut self) -> Result<(Vec<IterationStats>, bool), KraftwerkError> {
         let started = std::time::Instant::now();
         let mut stats: Vec<IterationStats> = Vec::new();
         if self.system.num_movable() == 0 {
-            let health = self.health();
-            return Ok(PlaceResult {
-                placement: self.placement,
-                stats,
-                converged: true,
-                health,
-            });
+            return Ok((stats, true));
         }
         // A resumed (ECO) session may already satisfy the stopping
         // criterion; don't churn a converged placement.
@@ -1194,13 +1251,7 @@ impl<'a> PlacementSession<'a> {
             );
             if area <= self.config.stop_empty_square_factor * self.netlist.average_cell_area() {
                 self.last_empty_square.push(area);
-                let health = self.health();
-                return Ok(PlaceResult {
-                    placement: self.placement,
-                    stats,
-                    converged: true,
-                    health,
-                });
+                return Ok((stats, true));
             }
         }
         let mut failure: Option<KraftwerkError> = None;
@@ -1243,13 +1294,7 @@ impl<'a> PlacementSession<'a> {
             kraftwerk_trace::counter("watchdog.degraded_runs", 1);
         }
         let converged = self.is_converged();
-        let health = self.health();
-        Ok(PlaceResult {
-            placement: self.placement,
-            stats,
-            converged,
-            health,
-        })
+        Ok((stats, converged))
     }
 }
 

@@ -287,7 +287,9 @@ mod tests {
         let c = b.add_cell("c", Size::new(4.0, 8.0));
         b.add_net("n", [(a, PinDirection::Output), (c, PinDirection::Input)]);
         let nl = b.build().unwrap();
-        let bad = nl.with_sizes(|_, _| Size::new(f64::NAN, 8.0));
+        // Bypass Size::new — its debug_assert would fire before validation
+        // gets a chance to flag the bad size.
+        let bad = nl.with_sizes(|_, _| Size { width: f64::NAN, height: 8.0 });
         let err = bad.validate().unwrap_err();
         assert!(err.issues.iter().any(|i| matches!(i, ValidationIssue::BadCellSize { .. })));
     }

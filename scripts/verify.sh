@@ -33,6 +33,21 @@ trap 'rm -f "$bench_smoke"; rm -rf "$obs_dir"' EXIT
 cargo run --release --bin kraftwerk -- bench --json --max-cells 200 -o "$bench_smoke" -q
 KRAFTWERK_BIN=target/release/kraftwerk bash scripts/bench_gate.sh
 
+# Large-netlist smoke: the 50k-cell scale tier must place end-to-end
+# through the multilevel + bound-to-bound flow inside a generous
+# wall-clock budget (measured ~12 s; the budget allows for slow CI).
+timeout 300 target/release/kraftwerk bench --json --modes multilevel-b2b \
+    --max-cells 50000 -o "$bench_smoke" -q \
+    || { echo "verify: 50k multilevel smoke failed or exceeded 300s" >&2; exit 1; }
+python3 - "$bench_smoke" <<'EOF'
+import json, sys
+runs = json.load(open(sys.argv[1]))["runs"]
+tiers = {r["netlist"]: r for r in runs if r["mode"] == "multilevel-b2b"}
+assert "scale50k" in tiers, f"scale50k row missing: {sorted(tiers)}"
+assert all(r["legal"] for r in tiers.values()), "multilevel smoke produced illegal placement"
+print("multilevel smoke: OK (" + ", ".join(f"{n} in {r['wall_s']:.1f}s" for n, r in sorted(tiers.items())) + ")")
+EOF
+
 # Observability smoke on a fract-scale run. Three contracts:
 #   1. telemetry is observation-only — the placement with every probe on
 #      (trace + report + alloc tracking + perfetto) is bitwise identical

@@ -7,10 +7,10 @@
 //!                                [--snapshot-every N] [--k F] [--profile]
 //!                                [--alloc-stats] [--perfetto trace.json] [-v|--verbose] [-q|--quiet]
 //! kraftwerk inspect    <telemetry>... [-o report.html] [--perfetto trace.json]
-//! kraftwerk bench      [--json] [--compare baseline.json] [-o out.json] [--max-cells N]
+//! kraftwerk bench      [--json] [--compare baseline.json] [-o out.json] [--max-cells N] [--modes a,b]
 //!                      [--hpwl-tol PCT] [--wall-tol PCT]
 //! kraftwerk timing     <netlist> [--requirement NS] [-v|--verbose] [-q|--quiet]
-//! kraftwerk gen        <name> <cells> <nets> <rows> [-o netlist.kw]
+//! kraftwerk gen        <name> <cells> <nets> <rows> [--seed N] [--blocks N] [-o netlist.kw]
 //! kraftwerk stats      <netlist>
 //! kraftwerk check      <netlist> <placement>
 //! kraftwerk route      <netlist> <placement>
@@ -120,7 +120,7 @@ impl CliError {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  kraftwerk place     <netlist> [-o <placement>] [--fast] [--multilevel] [--svg <file>]\n                      [--poisson <multigrid|spectral|direct>] [--threads <n>]\n                      [--trace [<jsonl>]] [--report <json>] [--profile]\n                      [--alloc-stats] [--perfetto <json>]\n                      [--snapshot-every <n>] [--k <f>] [--force-scale <f>] [-v|--verbose] [-q|--quiet]\n  kraftwerk inspect   <telemetry>... [-o <html>] [--perfetto <json>]\n  kraftwerk bench     [--json] [--compare <baseline>] [-o <json>] [--max-cells <n>]\n                      [--hpwl-tol <pct>] [--wall-tol <pct>] [-v|--verbose] [-q|--quiet]\n  kraftwerk timing    <netlist> [--requirement <ns>] [-v|--verbose] [-q|--quiet]\n  kraftwerk gen       <name> <cells> <nets> <rows> [-o <file>]\n  kraftwerk stats     <netlist>\n  kraftwerk check     <netlist> <placement>\n  kraftwerk route     <netlist> <placement>\n  kraftwerk bookshelf <netlist> [<placement>] [-o <dir>]"
+        "usage:\n  kraftwerk place     <netlist> [-o <placement>] [--fast] [--multilevel] [--svg <file>]\n                      [--poisson <multigrid|spectral|direct>] [--threads <n>]\n                      [--trace [<jsonl>]] [--report <json>] [--profile]\n                      [--alloc-stats] [--perfetto <json>]\n                      [--snapshot-every <n>] [--k <f>] [--force-scale <f>] [-v|--verbose] [-q|--quiet]\n  kraftwerk inspect   <telemetry>... [-o <html>] [--perfetto <json>]\n  kraftwerk bench     [--json] [--compare <baseline>] [-o <json>] [--max-cells <n>]\n                      [--modes <a,b>] [--hpwl-tol <pct>] [--wall-tol <pct>] [-v|--verbose] [-q|--quiet]\n  kraftwerk timing    <netlist> [--requirement <ns>] [-v|--verbose] [-q|--quiet]\n  kraftwerk gen       <name> <cells> <nets> <rows> [--seed <n>] [--blocks <n>] [-o <file>]\n  kraftwerk stats     <netlist>\n  kraftwerk check     <netlist> <placement>\n  kraftwerk route     <netlist> <placement>\n  kraftwerk bookshelf <netlist> [<placement>] [-o <dir>]"
     );
     ExitCode::from(2)
 }
@@ -364,12 +364,11 @@ fn cmd_place(args: &[String]) -> Result<(), CliError> {
         // The multilevel driver shares the session watchdog; validate the
         // netlist up front so bad input fails with the same taxonomy.
         match netlist.validate() {
-            Ok(()) => Ok(kraftwerk::placer::place_multilevel(
+            Ok(()) => kraftwerk::placer::try_place_multilevel(
                 &netlist,
                 config,
-                &kraftwerk::placer::ClusteringConfig::default(),
-                25,
-            )),
+                &kraftwerk::placer::MultilevelConfig::default(),
+            ),
             Err(e) => Err(KraftwerkError::from(e)),
         }
     } else {
@@ -545,7 +544,7 @@ fn tolerance_flag(args: &[String], flag: &str, default_pct: f64) -> Result<f64, 
 /// `BENCH_place.json` (hard-fail on HPWL drift, warn-only on wall clock).
 fn cmd_bench(args: &[String]) -> Result<(), CliError> {
     use kraftwerk::bench::compare::{parse_baseline, run_compare, CompareConfig};
-    use kraftwerk::netlist::synth::{generate, mcnc};
+    use kraftwerk::netlist::synth::{generate, mcnc, scale};
     use kraftwerk::trace::Console;
 
     let console = Console::from_flags(
@@ -609,10 +608,19 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
     if !has_flag(args, "--json") {
         return Err("bench: pass --json to measure or --compare <baseline> to gate".into());
     }
+    // --modes restricts which configs run (comma-separated), so scaling
+    // measurements don't have to re-run the whole MCNC × mode matrix.
+    let selected: Option<Vec<String>> = flag_value(args, "--modes")?
+        .map(|v| v.split(',').map(|m| m.trim().to_owned()).collect());
+    let wants = |mode: &str| selected.as_ref().is_none_or(|s| s.iter().any(|m| m == mode));
     let mut runs = Vec::new();
-    for preset in kraftwerk::bench::table1_circuits(max_cells) {
+    let mcnc_modes: Vec<&str> = ["standard", "fast", "spectral"]
+        .into_iter()
+        .filter(|m| wants(m))
+        .collect();
+    for preset in kraftwerk::bench::table1_circuits(if mcnc_modes.is_empty() { 0 } else { max_cells }) {
         let netlist = generate(&mcnc::config_for(preset));
-        for mode in ["standard", "fast", "spectral"] {
+        for &mode in &mcnc_modes {
             // Must stay in sync with `config_for_mode` in the bench crate,
             // which rebuilds the same configs when gating with --compare.
             let config = match mode {
@@ -629,6 +637,25 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
             ));
             runs.push(run);
         }
+    }
+    // Scaling-curve tiers (10k → 1M cells) run in the multilevel +
+    // bound-to-bound flow, the documented path past ~25k cells. They only
+    // enter the measurement when --max-cells is raised to reach them, so
+    // the default quick run stays quick. The bench gate treats their rows
+    // warn-only until a baseline records them.
+    for tier in scale::TIERS.iter().filter(|t| t.cells <= max_cells && wants("multilevel-b2b")) {
+        let netlist = generate(&scale::config_for(*tier));
+        let (_, run) = kraftwerk::bench::run_kraftwerk_multilevel_recorded(
+            &netlist,
+            KraftwerkConfig::fast(),
+            &kraftwerk::placer::MultilevelConfig::default(),
+            "multilevel-b2b",
+        );
+        console.info(format!(
+            "{} (multilevel-b2b): hpwl {:.6} m in {:.2}s over {} transformations",
+            run.netlist, run.hpwl_m, run.wall_s, run.iterations
+        ));
+        runs.push(run);
     }
     let json = kraftwerk::bench::bench_json(&runs);
     match &out {
@@ -705,7 +732,21 @@ fn cmd_gen(args: &[String]) -> Result<(), CliError> {
     let cells = parse(&args[1], "cell count")?;
     let nets = parse(&args[2], "net count")?;
     let rows = parse(&args[3], "row count")?;
-    let netlist = generate(&SynthConfig::with_size(name.clone(), cells, nets, rows));
+    let mut synth = SynthConfig::with_size(name.clone(), cells, nets, rows);
+    if let Some(seed) = flag_value(args, "--seed")? {
+        synth = synth.seed(
+            seed.parse()
+                .map_err(|_| CliError::from(format!("gen: bad --seed `{seed}`")))?,
+        );
+    }
+    if let Some(blocks) = flag_value(args, "--blocks")? {
+        synth = synth.blocks(
+            blocks
+                .parse()
+                .map_err(|_| CliError::from(format!("gen: bad --blocks `{blocks}`")))?,
+        );
+    }
+    let netlist = generate(&synth);
     let out = flag_value(args, "-o")?.unwrap_or_else(|| format!("{name}.kw"));
     write_file(&out, write_netlist(&netlist))?;
     println!("wrote {out} ({} cells, {} nets, {} rows)", netlist.num_cells(), netlist.num_nets(), rows);

@@ -93,6 +93,37 @@ fn watchdog_tripping_run_is_bitwise_identical_at_every_thread_count() {
     assert_eq!(p1, p8, "1 vs 8 threads: degraded placements differ");
 }
 
+fn run_multilevel_with_threads(nl: &Netlist, threads: usize) -> (Placement, Vec<IterationStats>) {
+    kraftwerk::par::set_threads(threads);
+    // A low coarsening threshold forces a real hierarchy (several
+    // cluster/expand levels) even on this test-sized netlist; the default
+    // multilevel config selects the bound-to-bound net model.
+    let ml = kraftwerk::placer::MultilevelConfig {
+        coarsest_movable: 400,
+        ..kraftwerk::placer::MultilevelConfig::default()
+    };
+    let result = kraftwerk::placer::try_place_multilevel(nl, KraftwerkConfig::fast(), &ml)
+        .expect("multilevel run places");
+    (result.placement, result.stats)
+}
+
+/// The multilevel V-cycle composes clustering (sequential), per-level
+/// B2B assemblies (extreme-pin scans with fixed tie-breaks) and the
+/// shared transformation loop — every stage must stay bitwise identical
+/// across worker counts for the flow to be reproducible.
+#[test]
+fn multilevel_b2b_placement_is_bitwise_identical_at_every_thread_count() {
+    let nl = matrix_netlist();
+    let (p1, s1) = run_multilevel_with_threads(&nl, 1);
+    let (p2, s2) = run_multilevel_with_threads(&nl, 2);
+    let (p8, s8) = run_multilevel_with_threads(&nl, 8);
+    kraftwerk::par::set_threads(0);
+    assert_eq!(s1, s2, "1 vs 2 threads: multilevel iteration stats differ");
+    assert_eq!(s1, s8, "1 vs 8 threads: multilevel iteration stats differ");
+    assert_eq!(p1, p2, "1 vs 2 threads: multilevel placements differ");
+    assert_eq!(p1, p8, "1 vs 8 threads: multilevel placements differ");
+}
+
 #[test]
 fn legalization_is_bitwise_identical_at_every_thread_count() {
     let nl = matrix_netlist();

@@ -5,7 +5,7 @@ use kraftwerk::baselines::{AnnealingConfig, AnnealingPlacer, GordianConfig, Gord
 use kraftwerk::legalize::{check_legality, legalize, refine};
 use kraftwerk::netlist::synth::{generate, mcnc, SynthConfig};
 use kraftwerk::netlist::{metrics, Netlist, Placement};
-use kraftwerk::placer::{GlobalPlacer, KraftwerkConfig};
+use kraftwerk::placer::{GlobalPlacer, KraftwerkConfig, NetModel};
 
 fn finish(netlist: &Netlist, global: &Placement) -> Placement {
     let mut legal = legalize(netlist, global).expect("legalizable");
@@ -75,6 +75,29 @@ fn pipeline_handles_the_fast_mode() {
     let global = GlobalPlacer::new(KraftwerkConfig::fast()).place(&nl);
     let legal = finish(&nl, &global.placement);
     assert!(check_legality(&nl, &legal, 1e-6).is_legal());
+}
+
+#[test]
+fn b2b_and_clique_agree_on_mcnc_wirelength() {
+    // The bound-to-bound model approximates the same HPWL objective the
+    // clique model does, so end-to-end legalized wire length on the MCNC
+    // stand-ins must land in the same ballpark — B2B no more than 20%
+    // worse and not suspiciously shorter than half the clique result.
+    for name in ["fract", "primary1"] {
+        let nl = mcnc::by_name(name);
+        let run = |model: NetModel| {
+            let mut cfg = KraftwerkConfig::standard();
+            cfg.net_model = model;
+            let global = GlobalPlacer::new(cfg).place(&nl);
+            metrics::hpwl(&nl, &finish(&nl, &global.placement))
+        };
+        let clique = run(NetModel::Clique);
+        let b2b = run(NetModel::B2B);
+        assert!(
+            b2b < 1.2 * clique && b2b > 0.5 * clique,
+            "{name}: b2b {b2b:.0} vs clique {clique:.0}"
+        );
+    }
 }
 
 #[test]

@@ -9,7 +9,7 @@ use kraftwerk::geom::Rect;
 use kraftwerk::legalize::{check_legality, legalize};
 use kraftwerk::netlist::format::{bookshelf, read_netlist, write_netlist};
 use kraftwerk::netlist::synth::{generate, SynthConfig};
-use kraftwerk::netlist::{metrics, PinDirection};
+use kraftwerk::netlist::{metrics, NetlistBuilder, PinDirection};
 use kraftwerk::placer::{NetModel, QuadraticSystem};
 use kraftwerk::sparse::{solve, CgOptions, JacobiPreconditioner};
 use kraftwerk::timing::{DelayModel, Sta};
@@ -174,6 +174,83 @@ proptest! {
         for &net in &report.critical_path {
             let s = report.net_slack[net.index()];
             prop_assert!(s < 1e-6 || s.is_infinite(), "slack {} on critical net", s);
+        }
+    }
+
+    #[test]
+    fn b2b_and_clique_gradients_match_hpwl_on_short_nets(
+        k in 2usize..=3,
+        px in 0usize..6,
+        py in 0usize..6,
+        j in (
+            (0.0f64..8.0, 0.0f64..8.0, 0.0f64..8.0),
+            (0.0f64..8.0, 0.0f64..8.0, 0.0f64..8.0),
+        ),
+    ) {
+        let jx = [j.0 .0, j.0 .1, j.0 .2];
+        let jy = [j.1 .0, j.1 .1, j.1 .2];
+        // For degree-2 and degree-3 nets both net models linearize to the
+        // exact HPWL gradient pattern at the reference placement: ∓w on
+        // the per-axis extreme pins, 0 on an interior pin. B2B produces
+        // the gradient at unit scale for every degree; the clique's scale
+        // is 2(k−1)/k (each extreme sees k−1 linearized edges of weight
+        // w/k), which is 1 at k = 2 and 4/3 at k = 3.
+        const PERM3: [[usize; 3]; 6] =
+            [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        // Slot bases 30 units apart with <8 units of jitter keep the three
+        // coordinates distinct per axis, so extreme pins are unambiguous.
+        let xs_ref: Vec<f64> =
+            (0..k).map(|i| 10.0 + 30.0 * PERM3[px][i] as f64 + jx[i]).collect();
+        let ys_ref: Vec<f64> =
+            (0..k).map(|i| 10.0 + 30.0 * PERM3[py][i] as f64 + jy[i]).collect();
+
+        let mut bld = NetlistBuilder::new();
+        bld.core_region(Rect::new(0.0, 0.0, 100.0, 100.0));
+        let ids: Vec<_> = (0..k)
+            .map(|i| bld.add_cell(format!("c{i}"), kraftwerk::geom::Size::new(1.0, 1.0)))
+            .collect();
+        bld.add_net(
+            "n",
+            ids.iter().enumerate().map(|(i, &id)| {
+                (id, if i == 0 { PinDirection::Output } else { PinDirection::Input })
+            }),
+        );
+        let nl = bld.build().expect("valid net");
+        let mut p = nl.initial_placement();
+        for (i, &id) in ids.iter().enumerate() {
+            p.set_position(id, kraftwerk::geom::Point::new(xs_ref[i], ys_ref[i]));
+        }
+
+        let sys = QuadraticSystem::new(&nl);
+        let (xs, ys) = sys.coords(&p);
+        let force = |model: NetModel| {
+            let asm = sys.assemble(&nl, &p, None, model, Some(1e-6));
+            sys.spring_force(&asm, &xs, &ys)
+        };
+        let (bfx, bfy) = force(NetModel::B2B);
+        let (cfx, cfy) = force(NetModel::Clique);
+
+        // Force = −gradient: +1 on the min pin, −1 on the max pin.
+        let expected = |coords: &[f64], i: usize| {
+            let min = (0..k).min_by(|&a, &b| coords[a].total_cmp(&coords[b])).unwrap();
+            let max = (0..k).max_by(|&a, &b| coords[a].total_cmp(&coords[b])).unwrap();
+            if i == min { 1.0 } else if i == max { -1.0 } else { 0.0 }
+        };
+        let clique_scale = 2.0 * (k as f64 - 1.0) / k as f64;
+        for (i, &id) in ids.iter().enumerate() {
+            let m = sys.movable_index(id).unwrap();
+            let (ex, ey) = (expected(&xs_ref, i), expected(&ys_ref, i));
+            // 1e-3 absorbs the tiny center anchor every assembly adds.
+            prop_assert!((bfx[m] - ex).abs() < 1e-3, "b2b fx[{}] = {} want {}", i, bfx[m], ex);
+            prop_assert!((bfy[m] - ey).abs() < 1e-3, "b2b fy[{}] = {} want {}", i, bfy[m], ey);
+            prop_assert!(
+                (cfx[m] - clique_scale * ex).abs() < 1e-3,
+                "clique fx[{}] = {} want {}", i, cfx[m], clique_scale * ex
+            );
+            prop_assert!(
+                (cfy[m] - clique_scale * ey).abs() < 1e-3,
+                "clique fy[{}] = {} want {}", i, cfy[m], clique_scale * ey
+            );
         }
     }
 
