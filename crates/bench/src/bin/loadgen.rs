@@ -1,0 +1,222 @@
+//! `loadgen` — saturation load generator for the placement daemon.
+//!
+//! Spins up an in-process `kraftwerk-serve` daemon (or targets an
+//! external one via `--addr`), then drives it with concurrent client
+//! threads submitting placement jobs back to back. Reports throughput
+//! (jobs/sec), latency percentiles (p50/p99), and the degraded/rejected
+//! fractions per concurrency level.
+//!
+//! ```text
+//! loadgen [--cells N] [--jobs N] [--clients 1,2,8] [--workers N]
+//!         [--mode fast|standard|multilevel] [--addr host:port]
+//! ```
+//!
+//! With `--addr` the daemon is external and `--workers` is ignored;
+//! without it each concurrency level gets a fresh in-process daemon with
+//! `--workers` placement threads (default: the client count, the
+//! saturation configuration the EXPERIMENTS.md recipe measures).
+//!
+//! `busy` rejections are retried after the daemon's `retry_after_ms`
+//! hint — the load generator exercises the backpressure path rather than
+//! treating it as failure; only transport errors and daemon-side error
+//! frames count as failures.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use kraftwerk_netlist::format::write_netlist;
+use kraftwerk_netlist::synth::{generate, SynthConfig};
+use kraftwerk_serve::{Client, Mode, PlaceOptions, ServeConfig, Server};
+
+struct Args {
+    cells: usize,
+    jobs: usize,
+    clients: Vec<usize>,
+    workers: Option<usize>,
+    mode: Mode,
+    addr: Option<String>,
+    deadline_s: f64,
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cells = flag(&argv, "--cells")
+        .map(|v| v.parse().expect("--cells expects a number"))
+        .unwrap_or(500);
+    let jobs = flag(&argv, "--jobs")
+        .map(|v| v.parse().expect("--jobs expects a number"))
+        .unwrap_or(24);
+    let clients = flag(&argv, "--clients")
+        .map(|v| {
+            v.split(',')
+                .map(|c| c.trim().parse().expect("--clients expects numbers"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 2, 8]);
+    let workers = flag(&argv, "--workers").map(|v| v.parse().expect("--workers expects a number"));
+    let mode = flag(&argv, "--mode")
+        .map(|v| Mode::parse(&v).expect("--mode expects fast|standard|multilevel"))
+        .unwrap_or(Mode::Fast);
+    let addr = flag(&argv, "--addr");
+    let deadline_s = flag(&argv, "--deadline")
+        .map(|v| v.parse().expect("--deadline expects seconds"))
+        .unwrap_or(60.0);
+    Args {
+        cells,
+        jobs,
+        clients,
+        workers,
+        mode,
+        addr,
+        deadline_s,
+    }
+}
+
+#[derive(Default)]
+struct Tally {
+    ok: AtomicU64,
+    degraded: AtomicU64,
+    errors: AtomicU64,
+    busy_retries: AtomicU64,
+    next_job: AtomicUsize,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return f64::NAN;
+    }
+    let rank = (p * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[rank.min(sorted_ms.len() - 1)]
+}
+
+fn drive(addr: std::net::SocketAddr, args: &Args, concurrency: usize, netlist_text: Arc<String>) {
+    let tally = Arc::new(Tally::default());
+    let opts = PlaceOptions {
+        mode: args.mode,
+        deadline_s: Some(args.deadline_s),
+        ..PlaceOptions::default()
+    };
+    let started = Instant::now();
+    let mut threads = Vec::new();
+    for client_idx in 0..concurrency {
+        let tally = Arc::clone(&tally);
+        let text = Arc::clone(&netlist_text);
+        let opts = opts.clone();
+        let total_jobs = args.jobs;
+        threads.push(std::thread::spawn(move || {
+            let mut latencies_ms: Vec<f64> = Vec::new();
+            let mut client = Client::connect(addr).expect("loadgen connect");
+            loop {
+                let job_idx = tally.next_job.fetch_add(1, Ordering::SeqCst);
+                if job_idx >= total_jobs {
+                    break;
+                }
+                let id = format!("load-c{client_idx}-j{job_idx}");
+                let job_started = Instant::now();
+                loop {
+                    match client.place(&id, &text, &opts) {
+                        Ok(out) if out.status == "busy" => {
+                            tally.busy_retries.fetch_add(1, Ordering::Relaxed);
+                            let backoff = out.retry_after_ms.unwrap_or(50);
+                            std::thread::sleep(Duration::from_millis(backoff));
+                        }
+                        Ok(out) => {
+                            match out.status.as_str() {
+                                "ok" => tally.ok.fetch_add(1, Ordering::Relaxed),
+                                "degraded" => tally.degraded.fetch_add(1, Ordering::Relaxed),
+                                _ => tally.errors.fetch_add(1, Ordering::Relaxed),
+                            };
+                            latencies_ms
+                                .push(job_started.elapsed().as_secs_f64() * 1e3);
+                            break;
+                        }
+                        Err(e) => {
+                            eprintln!("loadgen: transport error on {id}: {e}");
+                            tally.errors.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
+            }
+            latencies_ms
+        }));
+    }
+    let mut latencies: Vec<f64> = Vec::new();
+    for t in threads {
+        latencies.extend(t.join().expect("client thread"));
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let ok = tally.ok.load(Ordering::Relaxed);
+    let degraded = tally.degraded.load(Ordering::Relaxed);
+    let errors = tally.errors.load(Ordering::Relaxed);
+    let done = ok + degraded;
+    println!(
+        "clients={concurrency:<2} jobs={done:<4} wall={wall_s:>6.2}s  \
+         jobs/s={:>6.2}  p50={:>7.1}ms  p99={:>7.1}ms  \
+         degraded={:.1}%  errors={errors}  busy_retries={}",
+        done as f64 / wall_s,
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.99),
+        if done > 0 { 100.0 * degraded as f64 / done as f64 } else { 0.0 },
+        tally.busy_retries.load(Ordering::Relaxed),
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    let netlist_text = Arc::new(write_netlist(&generate(&SynthConfig::with_size(
+        "loadgen",
+        args.cells,
+        args.cells + args.cells / 4,
+        (args.cells / 60).max(4),
+    ))));
+    println!(
+        "loadgen: {} cells, {} jobs per level, mode {}, clients {:?}",
+        args.cells,
+        args.jobs,
+        args.mode.name(),
+        args.clients
+    );
+    if let Some(addr) = &args.addr {
+        let addr: std::net::SocketAddr = addr.parse().expect("--addr expects host:port");
+        for &concurrency in &args.clients {
+            drive(addr, &args, concurrency, Arc::clone(&netlist_text));
+        }
+        return;
+    }
+    for &concurrency in &args.clients {
+        // A fresh daemon per level keeps the levels independent; workers
+        // default to the client count so each level measures a matched
+        // daemon (the saturation configuration).
+        let server = Server::bind(ServeConfig {
+            workers: args.workers.unwrap_or(concurrency),
+            queue_capacity: (concurrency * 2).max(4),
+            ..ServeConfig::default()
+        })
+        .expect("loadgen bind");
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run());
+        drive(addr, &args, concurrency, Arc::clone(&netlist_text));
+        handle.shutdown();
+        let summary = join
+            .join()
+            .expect("server thread")
+            .expect("server run");
+        if summary.jobs_failed > 0 {
+            eprintln!(
+                "loadgen: daemon reported {} failed job(s) at {} clients",
+                summary.jobs_failed, concurrency
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -16,9 +16,9 @@
 //! The verdict serializes through [`CompareReport::to_json`] so scripts
 //! (`scripts/bench_gate.sh`) can consume it without scraping the table.
 
-use crate::{run_kraftwerk, table1_circuits};
-use kraftwerk_core::{FieldSolverKind, KraftwerkConfig};
-use kraftwerk_netlist::synth::{generate, mcnc};
+use crate::{run_kraftwerk, run_kraftwerk_multilevel, table1_circuits};
+use kraftwerk_core::{FieldSolverKind, KraftwerkConfig, MultilevelConfig};
+use kraftwerk_netlist::synth::{generate, mcnc, scale};
 use kraftwerk_trace::json::{self, Json, JsonObject};
 
 /// Tolerances and scope for one gate run.
@@ -315,6 +315,36 @@ pub fn run_compare(baseline: &[BaselineRun], config: &CompareConfig) -> CompareR
     let mut cache: Vec<(String, kraftwerk_netlist::Netlist)> = Vec::new();
     for run in baseline {
         let tag = format!("{}/{}", run.netlist, run.mode);
+        // Scale-tier rows run the multilevel + bound-to-bound flow with
+        // the same config `kraftwerk bench --json` measures them with
+        // (fast + default V-cycle), so their HPWL is reproducible and
+        // the gate enforces it like any Table 1 row.
+        if run.mode == "multilevel-b2b" {
+            let Some(tier) = scale::TIERS.iter().find(|t| t.name == run.netlist) else {
+                report.skipped.push(format!("{tag}: not a scale tier"));
+                continue;
+            };
+            if tier.cells > config.max_cells {
+                report
+                    .skipped
+                    .push(format!("{tag}: above --max-cells {}", config.max_cells));
+                continue;
+            }
+            if !cache.iter().any(|(name, _)| name == run.netlist.as_str()) {
+                cache.push((run.netlist.clone(), generate(&scale::config_for(*tier))));
+            }
+            let Some((_, netlist)) = cache.iter().find(|(name, _)| name == run.netlist.as_str())
+            else {
+                continue;
+            };
+            let fresh = run_kraftwerk_multilevel(
+                netlist,
+                KraftwerkConfig::fast(),
+                &MultilevelConfig::default(),
+            );
+            push_delta(&mut report, run, &fresh, config);
+            continue;
+        }
         if !mcnc::TABLE1.iter().any(|p| p.name == run.netlist) {
             report.skipped.push(format!("{tag}: not a Table 1 circuit"));
             continue;
@@ -339,25 +369,35 @@ pub fn run_compare(baseline: &[BaselineRun], config: &CompareConfig) -> CompareR
             continue;
         };
         let fresh = run_kraftwerk(netlist, kw_config);
-        let hpwl_delta = relative_delta(run.hpwl_m, fresh.wirelength_m);
-        let wall_delta = relative_delta(run.wall_s, fresh.seconds);
-        report.deltas.push(Delta {
-            netlist: run.netlist.clone(),
-            mode: run.mode.clone(),
-            baseline_hpwl_m: run.hpwl_m,
-            current_hpwl_m: fresh.wirelength_m,
-            baseline_wall_s: run.wall_s,
-            current_wall_s: fresh.seconds,
-            // Only *worse* wire length fails: improvements are flagged in
-            // the table (large negative delta) but should prompt a
-            // re-baseline, not a red build. A non-finite drift means the
-            // baseline itself is corrupt — that is a hard failure, never
-            // a silent pass.
-            hpwl_regressed: !hpwl_delta.is_finite() || hpwl_delta > config.hpwl_tolerance,
-            wall_regressed: !wall_delta.is_finite() || wall_delta > config.wall_tolerance,
-        });
+        push_delta(&mut report, run, &fresh, config);
     }
     report
+}
+
+/// Diffs one fresh measurement against its baseline row.
+fn push_delta(
+    report: &mut CompareReport,
+    run: &BaselineRun,
+    fresh: &crate::FlowResult,
+    config: &CompareConfig,
+) {
+    let hpwl_delta = relative_delta(run.hpwl_m, fresh.wirelength_m);
+    let wall_delta = relative_delta(run.wall_s, fresh.seconds);
+    report.deltas.push(Delta {
+        netlist: run.netlist.clone(),
+        mode: run.mode.clone(),
+        baseline_hpwl_m: run.hpwl_m,
+        current_hpwl_m: fresh.wirelength_m,
+        baseline_wall_s: run.wall_s,
+        current_wall_s: fresh.seconds,
+        // Only *worse* wire length fails: improvements are flagged in
+        // the table (large negative delta) but should prompt a
+        // re-baseline, not a red build. A non-finite drift means the
+        // baseline itself is corrupt — that is a hard failure, never
+        // a silent pass.
+        hpwl_regressed: !hpwl_delta.is_finite() || hpwl_delta > config.hpwl_tolerance,
+        wall_regressed: !wall_delta.is_finite() || wall_delta > config.wall_tolerance,
+    });
 }
 
 #[cfg(test)]
@@ -552,6 +592,35 @@ mod tests {
         assert!(report.deltas.is_empty());
         assert_eq!(report.skipped.len(), 3);
         assert!(report.passed(), "skips alone never fail the gate");
+    }
+
+    #[test]
+    fn multilevel_b2b_rows_gate_on_scale_tiers_only() {
+        // A multilevel-b2b row must name a scale tier, and tiers above
+        // --max-cells are skipped, not rerun (the big tiers would take
+        // minutes in a unit test).
+        let baseline = vec![
+            BaselineRun {
+                netlist: "fract".to_string(),
+                mode: "multilevel-b2b".to_string(),
+                cells: 125,
+                wall_s: 1.0,
+                hpwl_m: 1.0,
+            },
+            BaselineRun {
+                netlist: "scale10k".to_string(),
+                mode: "multilevel-b2b".to_string(),
+                cells: 10_000,
+                wall_s: 10.0,
+                hpwl_m: 5.0,
+            },
+        ];
+        let report = run_compare(&baseline, &CompareConfig::default());
+        assert!(report.deltas.is_empty());
+        assert_eq!(report.skipped.len(), 2);
+        assert!(report.skipped[0].contains("not a scale tier"));
+        assert!(report.skipped[1].contains("above --max-cells"));
+        assert!(report.passed());
     }
 
     #[test]

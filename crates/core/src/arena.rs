@@ -77,62 +77,62 @@ impl Preconditioner for SessionPrecond {
 /// every iteration (or cached — see `asm_valid`); none carry semantic
 /// state across iterations.
 #[derive(Debug, Default)]
-pub(crate) struct ScratchArena {
+pub struct ScratchArena {
     /// COO staging + CSR build scratch for system assembly.
-    pub assembly: AssemblyScratch,
+    pub(crate) assembly: AssemblyScratch,
     /// The assembled system (matrices and linear terms, storage reused).
-    pub asm: Assembled,
+    pub(crate) asm: Assembled,
     /// Whether `asm` is still valid for the current placement. Only ever
     /// `true` for placement-independent assemblies (pure clique model, no
     /// linearization), where the matrix can be cached across iterations.
-    pub asm_valid: bool,
+    pub(crate) asm_valid: bool,
     /// The unweighted assembly the hold force is derived from when timing
     /// weights are active.
-    pub hold_asm: Assembled,
+    pub(crate) hold_asm: Assembled,
     /// Whether `hold_asm` is valid (same caching rule as `asm_valid`).
-    pub hold_valid: bool,
+    pub(crate) hold_valid: bool,
     /// Cached diagonal of `asm.cx`, rebuilt with the assembly.
-    pub diag_x: Vec<f64>,
+    pub(crate) diag_x: Vec<f64>,
     /// Cached diagonal of `asm.cy`, rebuilt with the assembly.
-    pub diag_y: Vec<f64>,
+    pub(crate) diag_y: Vec<f64>,
     /// Per-cell mean stiffness, sorted for the median estimate.
-    pub stiffness: Vec<f64>,
+    pub(crate) stiffness: Vec<f64>,
     /// Raw (unscaled) field force per movable cell.
-    pub raw: Vec<Vector>,
+    pub(crate) raw: Vec<Vector>,
     /// Holding-force x component.
-    pub hx: Vec<f64>,
+    pub(crate) hx: Vec<f64>,
     /// Holding-force y component.
-    pub hy: Vec<f64>,
+    pub(crate) hy: Vec<f64>,
     /// Spring-force scratch (x), input to the hold computation.
-    pub sx: Vec<f64>,
+    pub(crate) sx: Vec<f64>,
     /// Spring-force scratch (y).
-    pub sy: Vec<f64>,
+    pub(crate) sy: Vec<f64>,
     /// Right-hand side of the x solve.
-    pub bx: Vec<f64>,
+    pub(crate) bx: Vec<f64>,
     /// Right-hand side of the y solve.
-    pub by: Vec<f64>,
+    pub(crate) by: Vec<f64>,
     /// Movable-cell x coordinates before the solve (warm start).
-    pub xs0: Vec<f64>,
+    pub(crate) xs0: Vec<f64>,
     /// Movable-cell y coordinates before the solve.
-    pub ys0: Vec<f64>,
+    pub(crate) ys0: Vec<f64>,
     /// Preconditioner slot for the x system, refreshed with the assembly.
-    pub px: SessionPrecond,
+    pub(crate) px: SessionPrecond,
     /// Preconditioner slot for the y system.
-    pub py: SessionPrecond,
+    pub(crate) py: SessionPrecond,
     /// Conjugate-gradient workspace for the x solve.
-    pub cg_x: CgWorkspace,
+    pub(crate) cg_x: CgWorkspace,
     /// Conjugate-gradient workspace for the y solve.
-    pub cg_y: CgWorkspace,
+    pub(crate) cg_y: CgWorkspace,
     /// The density deviation grid, re-shaped in place each iteration.
-    pub density: Option<ScalarMap>,
+    pub(crate) density: Option<ScalarMap>,
     /// Clamped cell rectangles for the density build.
-    pub density_scratch: DensityScratch,
+    pub(crate) density_scratch: DensityScratch,
     /// Multigrid Poisson-solve grids.
-    pub mg: MultigridWorkspace,
+    pub(crate) mg: MultigridWorkspace,
     /// Spectral Poisson-solve buffers (FFT plan + transform scratch).
-    pub spectral: SpectralWorkspace,
+    pub(crate) spectral: SpectralWorkspace,
     /// The force field written by the in-place Poisson solves.
-    pub field: Option<ForceField>,
+    pub(crate) field: Option<ForceField>,
 }
 
 impl ScratchArena {

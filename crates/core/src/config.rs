@@ -146,7 +146,19 @@ pub struct WatchdogConfig {
     /// `RunHealth::budget_exhausted` set. **Off by default** because a
     /// wall-clock cut-off makes results machine-dependent and breaks the
     /// bitwise determinism guarantee.
+    ///
+    /// When [`deadline`](Self::deadline) is unset, the budget is resolved
+    /// into a monotonic deadline once, when the session starts; the
+    /// deadline is then checked before every transformation.
     pub wall_clock_budget: Option<f64>,
+    /// Optional absolute monotonic deadline for a whole run. Takes
+    /// precedence over [`wall_clock_budget`](Self::wall_clock_budget),
+    /// and — unlike a relative budget — is shared verbatim by every
+    /// session built from the same config, so a multilevel V-cycle (or a
+    /// serving daemon handing one config to retries) enforces one
+    /// wall-clock cut-off across all its levels rather than restarting
+    /// the clock per level.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for WatchdogConfig {
@@ -158,7 +170,30 @@ impl Default for WatchdogConfig {
             cg_stall_streak: 8,
             max_recoveries: 3,
             wall_clock_budget: None,
+            deadline: None,
         }
+    }
+}
+
+impl WatchdogConfig {
+    /// The effective monotonic deadline for a session starting *now*: the
+    /// explicit [`deadline`](Self::deadline) when set, otherwise
+    /// [`wall_clock_budget`](Self::wall_clock_budget) seconds from now
+    /// (non-finite or negative budgets resolve to an already-expired
+    /// deadline so a nonsense budget fails loudly instead of silently
+    /// running unbounded).
+    #[must_use]
+    pub fn resolve_deadline(&self) -> Option<std::time::Instant> {
+        self.deadline.or_else(|| {
+            let budget = self.wall_clock_budget?;
+            let now = std::time::Instant::now();
+            Some(
+                std::time::Duration::try_from_secs_f64(budget)
+                    .ok()
+                    .and_then(|d| now.checked_add(d))
+                    .unwrap_or(now),
+            )
+        })
     }
 }
 

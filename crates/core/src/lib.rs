@@ -51,6 +51,7 @@ mod session;
 pub use config::{
     FieldSolverKind, KraftwerkConfig, NetModel, PoissonBackend, PrecondKind, WatchdogConfig,
 };
+pub use arena::ScratchArena;
 pub use error::KraftwerkError;
 pub use multilevel::{
     build_hierarchy, cluster, place_multilevel, try_place_multilevel, Clustering,

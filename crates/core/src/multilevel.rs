@@ -414,6 +414,10 @@ pub fn try_place_multilevel(
     if let Some(model) = ml.net_model {
         cfg.net_model = model;
     }
+    // Resolve a relative wall-clock budget into one absolute deadline up
+    // front: every level session clones this config, so the whole V-cycle
+    // shares a single cut-off instead of restarting the clock per level.
+    cfg.watchdog.deadline = cfg.watchdog.resolve_deadline();
     let levels = build_hierarchy(netlist, ml);
     kraftwerk_trace::counter("multilevel.levels", levels.len() as u64 + 1);
 
@@ -444,6 +448,11 @@ pub fn try_place_multilevel(
         health.recoveries += h.recoveries;
         health.degraded |= h.degraded;
         health.budget_exhausted |= h.budget_exhausted;
+        // Levels share one deadline, so the later snapshot is the
+        // authoritative remaining budget.
+        if h.remaining_budget_ms.is_some() {
+            health.remaining_budget_ms = h.remaining_budget_ms;
+        }
         // Renumber so the combined record stays monotonic across levels.
         let offset = stats.last().map_or(0, |s| s.iteration);
         stats.extend(level_stats.into_iter().map(|mut s| {

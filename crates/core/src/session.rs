@@ -51,6 +51,11 @@ pub struct RunHealth {
     pub degraded: bool,
     /// `true` when the optional wall-clock budget cut the run short.
     pub budget_exhausted: bool,
+    /// Wall-clock milliseconds left of the optional budget when the
+    /// health record was taken (`None` when the run had no budget, so
+    /// budget-free runs stay bitwise comparable). A serving daemon
+    /// translates this into the client-visible remaining deadline.
+    pub remaining_budget_ms: Option<u64>,
 }
 
 impl RunHealth {
@@ -257,6 +262,10 @@ struct WatchdogState {
     recoveries: usize,
     degraded: bool,
     budget_exhausted: bool,
+    /// Monotonic whole-run deadline, resolved once at session start from
+    /// [`WatchdogConfig::resolve_deadline`] and checked before every
+    /// transformation by the run loop.
+    deadline: Option<std::time::Instant>,
     /// Multiplies the force-step target; halved on every recovery.
     damping: f64,
     /// One-shot force-scale fault injection, consumed by the next
@@ -274,6 +283,7 @@ impl Default for WatchdogState {
             recoveries: 0,
             degraded: false,
             budget_exhausted: false,
+            deadline: None,
             damping: 1.0,
             boost_once: None,
         }
@@ -288,6 +298,10 @@ impl<'a> PlacementSession<'a> {
         if config.threads != 0 {
             kraftwerk_par::set_threads(config.threads);
         }
+        let wd = WatchdogState {
+            deadline: config.watchdog.resolve_deadline(),
+            ..WatchdogState::default()
+        };
         Self {
             netlist,
             config,
@@ -299,7 +313,7 @@ impl<'a> PlacementSession<'a> {
             iteration: 0,
             last_empty_square: Vec::new(),
             arena: ScratchArena::default(),
-            wd: WatchdogState::default(),
+            wd,
             hists: SessionHistograms::default(),
         }
     }
@@ -320,15 +334,12 @@ impl<'a> PlacementSession<'a> {
     /// Fresh session reusing a scratch arena from a previous session
     /// (possibly over a *different* netlist — every buffer reshapes on
     /// use, and the cached assembly is invalidated here). The multilevel
-    /// driver threads one arena through all hierarchy levels so the
-    /// zero-steady-state-allocation property holds per level instead of
+    /// driver threads one arena through all hierarchy levels, and the
+    /// serving daemon pools arenas across requests, so the
+    /// zero-steady-state-allocation property holds per run instead of
     /// paying a cold-start growth at each.
     #[must_use]
-    pub(crate) fn with_arena(
-        netlist: &'a Netlist,
-        config: KraftwerkConfig,
-        mut arena: ScratchArena,
-    ) -> Self {
+    pub fn with_arena(netlist: &'a Netlist, config: KraftwerkConfig, mut arena: ScratchArena) -> Self {
         arena.invalidate_assembly();
         let mut session = Self::new(netlist, config);
         session.arena = arena;
@@ -338,7 +349,7 @@ impl<'a> PlacementSession<'a> {
     /// [`Self::resume`] reusing a scratch arena (see
     /// [`Self::with_arena`]).
     #[must_use]
-    pub(crate) fn resume_with_arena(
+    pub fn resume_with_arena(
         netlist: &'a Netlist,
         config: KraftwerkConfig,
         placement: Placement,
@@ -351,17 +362,26 @@ impl<'a> PlacementSession<'a> {
     }
 
     /// Tears the session down into its final placement and the scratch
-    /// arena, for reuse by the next hierarchy level.
+    /// arena, for reuse by the next hierarchy level or the next request.
     #[must_use]
-    pub(crate) fn into_parts(self) -> (Placement, ScratchArena) {
+    pub fn into_parts(self) -> (Placement, ScratchArena) {
         (self.placement, self.arena)
     }
 
     /// Watchdog health accumulated so far (for drivers using
     /// [`Self::run_loop`] directly).
     #[must_use]
-    pub(crate) fn health_snapshot(&self) -> RunHealth {
+    pub fn health_snapshot(&self) -> RunHealth {
         self.health()
+    }
+
+    /// Wall-clock time left of the optional whole-run budget; `None` when
+    /// the session has no deadline. Zero once the deadline has passed.
+    #[must_use]
+    pub fn remaining_budget(&self) -> Option<std::time::Duration> {
+        self.wd
+            .deadline
+            .map(|d| d.saturating_duration_since(std::time::Instant::now()))
     }
 
     /// Sets per-net weight multipliers (timing criticality). Takes effect
@@ -1123,6 +1143,9 @@ impl<'a> PlacementSession<'a> {
             recoveries: self.wd.recoveries,
             degraded: self.wd.degraded,
             budget_exhausted: self.wd.budget_exhausted,
+            remaining_budget_ms: self.remaining_budget().map(|d| {
+                u64::try_from(d.as_millis()).unwrap_or(u64::MAX)
+            }),
         }
     }
 
@@ -1235,8 +1258,20 @@ impl<'a> PlacementSession<'a> {
     /// without consuming the session: the multilevel driver runs one
     /// session per hierarchy level and needs the placement *and* the
     /// scratch arena back afterwards ([`Self::into_parts`]).
-    pub(crate) fn run_loop(&mut self) -> Result<(Vec<IterationStats>, bool), KraftwerkError> {
-        let started = std::time::Instant::now();
+    pub fn run_loop(&mut self) -> Result<(Vec<IterationStats>, bool), KraftwerkError> {
+        self.run_loop_with(|_, _| {})
+    }
+
+    /// [`Self::run_loop`] with a per-transformation observer: `observe`
+    /// is called once for every *accepted* transformation, after the
+    /// watchdog has judged it, with the stats and the current placement.
+    /// The serving daemon uses this to stream progress frames and write
+    /// crash-safe position journals without a process-global trace sink
+    /// (which could not be scoped per concurrent job).
+    pub fn run_loop_with(
+        &mut self,
+        mut observe: impl FnMut(&IterationStats, &Placement),
+    ) -> Result<(Vec<IterationStats>, bool), KraftwerkError> {
         let mut stats: Vec<IterationStats> = Vec::new();
         if self.system.num_movable() == 0 {
             return Ok((stats, true));
@@ -1256,8 +1291,8 @@ impl<'a> PlacementSession<'a> {
         }
         let mut failure: Option<KraftwerkError> = None;
         while self.iteration < self.config.max_transformations {
-            if let Some(budget) = self.config.watchdog.wall_clock_budget {
-                if self.config.watchdog.enabled && started.elapsed().as_secs_f64() > budget {
+            if let Some(deadline) = self.wd.deadline {
+                if self.config.watchdog.enabled && std::time::Instant::now() >= deadline {
                     self.wd.budget_exhausted = true;
                     kraftwerk_trace::counter("watchdog.budget_exhausted", 1);
                     break;
@@ -1270,6 +1305,7 @@ impl<'a> PlacementSession<'a> {
                     while stats.last().is_some_and(|s| s.iteration >= st.iteration) {
                         stats.pop();
                     }
+                    observe(&st, &self.placement);
                     stats.push(st);
                     if self.is_converged() || self.is_stalled() {
                         break;

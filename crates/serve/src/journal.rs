@@ -1,0 +1,222 @@
+//! Crash-safe per-job journaling: every job appends JSONL records to its
+//! own `<journal_dir>/<job_id>.jsonl` file, flushed line by line, so a
+//! daemon killed mid-job can report the last-known-good positions on
+//! restart (the `recover` protocol frame).
+//!
+//! Journal I/O must never take a job down: every write degrades to a
+//! no-op on failure (the job still completes and reports over the wire;
+//! only crash recovery for that job is lost).
+
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+
+use kraftwerk_trace::json::{Json, JsonObject};
+
+/// Append-only JSONL journal for one job; inert when the daemon runs
+/// without a journal directory.
+#[derive(Debug, Default)]
+pub struct JobJournal {
+    out: Option<BufWriter<File>>,
+}
+
+impl JobJournal {
+    /// Opens (truncates) the journal for `job_id` under `dir`; `None` or
+    /// an unwritable directory yields an inert journal. The caller must
+    /// have validated the id ([`crate::proto::valid_job_id`]).
+    #[must_use]
+    pub fn open(dir: Option<&Path>, job_id: &str) -> Self {
+        let out = dir.and_then(|d| {
+            std::fs::create_dir_all(d).ok()?;
+            File::create(d.join(format!("{job_id}.jsonl"))).ok()
+        });
+        Self {
+            out: out.map(BufWriter::new),
+        }
+    }
+
+    fn write_line(&mut self, line: &str) {
+        if let Some(out) = &mut self.out {
+            let failed =
+                out.write_all(line.as_bytes()).is_err() || out.write_all(b"\n").is_err() || out.flush().is_err();
+            if failed {
+                // Journal I/O lost (disk full, dir removed): keep serving.
+                self.out = None;
+            }
+        }
+    }
+
+    /// Records job admission (cells/mode/deadline for the recovery view).
+    pub fn start(&mut self, job_id: &str, cells: usize, mode: &str, deadline_ms: u64) {
+        let mut o = JsonObject::new();
+        o.str_field("record", "job_start");
+        o.str_field("id", job_id);
+        o.u64_field("cells", cells as u64);
+        o.str_field("mode", mode);
+        o.u64_field("deadline_ms", deadline_ms);
+        self.write_line(&o.finish());
+    }
+
+    /// Records one accepted transformation.
+    pub fn progress(&mut self, iteration: usize, hpwl: f64) {
+        let mut o = JsonObject::new();
+        o.str_field("record", "progress");
+        o.u64_field("iteration", iteration as u64);
+        o.f64_field("hpwl", hpwl);
+        self.write_line(&o.finish());
+    }
+
+    /// Records a full position snapshot (placement text) — the
+    /// last-known-good state a restarted daemon serves.
+    pub fn positions(&mut self, iteration: usize, placement_text: &str) {
+        let mut o = JsonObject::new();
+        o.str_field("record", "positions");
+        o.u64_field("iteration", iteration as u64);
+        o.str_field("placement", placement_text);
+        self.write_line(&o.finish());
+    }
+
+    /// Records job completion; a journal without this record belongs to a
+    /// job the daemon died under.
+    pub fn end(&mut self, status: &str, hpwl: f64, iterations: usize) {
+        let mut o = JsonObject::new();
+        o.str_field("record", "job_end");
+        o.str_field("status", status);
+        o.f64_field("hpwl", hpwl);
+        o.u64_field("iterations", iterations as u64);
+        self.write_line(&o.finish());
+    }
+}
+
+/// The recovered view of one journaled job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredJob {
+    /// Job id (journal file stem).
+    pub id: String,
+    /// Whether a `job_end` record exists (the job finished cleanly).
+    pub finished: bool,
+    /// Last journaled iteration.
+    pub iteration: u64,
+    /// Last journaled HPWL (NaN when the job never progressed).
+    pub hpwl: f64,
+    /// Last journaled placement text, when any `positions` record exists.
+    pub placement: Option<String>,
+}
+
+/// Reads every `*.jsonl` journal under `dir` back into per-job summaries,
+/// sorted by id. Unreadable files and malformed lines are skipped — a
+/// half-written final line is exactly the crash scenario this recovers
+/// from.
+#[must_use]
+pub fn recover_journals(dir: &Path) -> Vec<RecoveredJob> {
+    let mut jobs: Vec<RecoveredJob> = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return jobs;
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "jsonl"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+            continue;
+        };
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let mut job = RecoveredJob {
+            id: stem.to_string(),
+            finished: false,
+            iteration: 0,
+            hpwl: f64::NAN,
+            placement: None,
+        };
+        for line in text.lines() {
+            let Ok(value) = kraftwerk_trace::json::parse(line) else {
+                continue; // torn tail line: keep what we have
+            };
+            match value.get("record").and_then(Json::as_str) {
+                Some("progress") => {
+                    if let Some(it) = value.get("iteration").and_then(Json::as_f64) {
+                        job.iteration = it.max(0.0) as u64;
+                    }
+                    if let Some(h) = value.get("hpwl").and_then(Json::as_f64) {
+                        job.hpwl = h;
+                    }
+                }
+                Some("positions") => {
+                    if let Some(p) = value.get("placement").and_then(Json::as_str) {
+                        job.placement = Some(p.to_string());
+                    }
+                    if let Some(it) = value.get("iteration").and_then(Json::as_f64) {
+                        job.iteration = it.max(0.0) as u64;
+                    }
+                }
+                Some("job_end") => {
+                    job.finished = true;
+                    if let Some(h) = value.get("hpwl").and_then(Json::as_f64) {
+                        job.hpwl = h;
+                    }
+                }
+                _ => {}
+            }
+        }
+        jobs.push(job);
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn journal_round_trips_through_recovery() {
+        let dir = std::env::temp_dir().join(format!("kw-journal-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut j = JobJournal::open(Some(&dir), "job-a");
+        j.start("job-a", 10, "fast", 5000);
+        j.progress(1, 123.0);
+        j.positions(2, "kraftwerk-placement");
+        // No `end`: this is the killed-mid-job case.
+        let mut k = JobJournal::open(Some(&dir), "job-b");
+        k.start("job-b", 4, "fast", 5000);
+        k.end("ok", 50.0, 3);
+        let jobs = recover_journals(&dir);
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].id, "job-a");
+        assert!(!jobs[0].finished);
+        assert_eq!(jobs[0].iteration, 2);
+        assert_eq!(jobs[0].placement.as_deref(), Some("kraftwerk-placement"));
+        assert!(jobs[1].finished);
+        assert_eq!(jobs[1].hpwl, 50.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_lines_are_tolerated() {
+        let dir = std::env::temp_dir().join(format!("kw-journal-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut j = JobJournal::open(Some(&dir), "torn");
+        j.progress(7, 99.0);
+        drop(j);
+        // Simulate a crash mid-write: append half a record.
+        let path = dir.join("torn.jsonl");
+        let mut text = std::fs::read_to_string(&path).expect("journal readable");
+        text.push_str("{\"record\":\"progre");
+        std::fs::write(&path, text).expect("journal writable");
+        let jobs = recover_journals(&dir);
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].iteration, 7);
+        assert_eq!(jobs[0].hpwl, 99.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disabled_journal_is_inert() {
+        let mut j = JobJournal::open(None, "x");
+        j.start("x", 1, "fast", 0);
+        j.end("ok", 1.0, 0);
+    }
+}

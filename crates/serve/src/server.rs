@@ -1,0 +1,893 @@
+//! The placement daemon: a TCP listener, per-connection reader threads,
+//! and a fixed pool of placement workers draining one bounded job queue.
+//!
+//! The robustness contract (in order of the guarantees clients rely on):
+//!
+//! 1. **Backpressure, not collapse** — a full queue answers `busy` with a
+//!    `retry_after_ms` hint instead of accepting unbounded work.
+//! 2. **Deadlines** — every job gets a wall-clock deadline enforced
+//!    through the session watchdog budget; an exhausted budget returns
+//!    the best-so-far placement, marked `budget_exhausted`.
+//! 3. **Retry-with-backoff** — a degraded first attempt is retried once
+//!    at damped force scale before the checkpointed best is reported.
+//! 4. **Isolation** — a malformed request or a panicking job produces a
+//!    structured error frame; the daemon (and the connection) keep
+//!    serving.
+//! 5. **Arena pooling** — session scratch arenas are recycled across
+//!    requests, so the steady-state-allocation-free property becomes
+//!    cross-request cache reuse.
+//! 6. **Crash-safe journaling** — progress and position snapshots stream
+//!    to a per-job journal, so a killed daemon reports last-known-good
+//!    positions after restart (`recover` frame).
+
+use std::collections::{HashSet, VecDeque};
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use kraftwerk_core::{
+    try_place_multilevel, KraftwerkConfig, MultilevelConfig, PlacementSession, RunHealth,
+    ScratchArena,
+};
+use kraftwerk_netlist::format::{read_netlist, write_placement};
+use kraftwerk_netlist::{metrics, Netlist, Placement};
+use kraftwerk_trace::json::JsonObject;
+
+use crate::fault::{FaultKind, DIVERGENCE_BOOST, STALL_MS};
+use crate::journal::{recover_journals, JobJournal};
+use crate::proto::{
+    busy_frame, error_frame, parse_request, progress_frame, queued_frame, result_frame, JobReport,
+    Mode, PlaceRequest, ProtoError, Request, CODE_INTERNAL,
+};
+
+/// Locks a mutex, recovering the guard from a poisoned lock: a panicking
+/// job must never wedge the daemon, and every guarded structure is valid
+/// at every await-free point.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7341` (`:0` picks a free port).
+    pub addr: String,
+    /// Placement worker threads draining the job queue.
+    pub workers: usize,
+    /// Bounded queue capacity; a full queue answers `busy`.
+    pub queue_capacity: usize,
+    /// The `retry_after_ms` hint sent with `busy` rejections.
+    pub retry_after_ms: u64,
+    /// Default per-job wall-clock deadline in seconds (requests may set
+    /// their own).
+    pub default_deadline_s: f64,
+    /// Hard per-frame byte cap; longer request lines answer an
+    /// oversized-frame validation error.
+    pub max_frame_bytes: usize,
+    /// Per-job journal directory; `None` disables journaling.
+    pub journal_dir: Option<PathBuf>,
+    /// Journal a full position snapshot every this many accepted
+    /// transformations (`0`: only at job end).
+    pub journal_positions_every: usize,
+    /// Whether degraded jobs get one retry at damped force scale.
+    pub retry_degraded: bool,
+    /// Backoff before the retry attempt, in milliseconds.
+    pub retry_backoff_ms: u64,
+    /// Daemon-wide injected fault applied to every job (tests/drills);
+    /// `None` falls back to the `KRAFTWERK_FAULT` environment variable.
+    pub fault: Option<FaultKind>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_capacity: 16,
+            retry_after_ms: 100,
+            default_deadline_s: 60.0,
+            max_frame_bytes: 8 << 20,
+            journal_dir: None,
+            journal_positions_every: 10,
+            retry_degraded: true,
+            retry_backoff_ms: 50,
+            fault: None,
+        }
+    }
+}
+
+/// Counters reported by the `stats` frame and the final summary.
+#[derive(Debug, Default)]
+struct Stats {
+    connections: AtomicU64,
+    jobs_ok: AtomicU64,
+    jobs_degraded: AtomicU64,
+    jobs_failed: AtomicU64,
+    jobs_rejected: AtomicU64,
+    retries: AtomicU64,
+    arena_reuses: AtomicU64,
+}
+
+/// End-of-run totals returned by [`Server::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerSummary {
+    /// Jobs that finished with status `ok`.
+    pub jobs_ok: u64,
+    /// Jobs that finished with status `degraded`.
+    pub jobs_degraded: u64,
+    /// Jobs that ended in an error frame.
+    pub jobs_failed: u64,
+    /// Jobs rejected with `busy` backpressure.
+    pub jobs_rejected: u64,
+    /// Damped-force retry attempts performed.
+    pub retries: u64,
+    /// Jobs that reused a pooled arena.
+    pub arena_reuses: u64,
+    /// Connections accepted.
+    pub connections: u64,
+}
+
+/// One queued job: the parsed request plus the connection to answer on.
+struct Job {
+    req: PlaceRequest,
+    out: ConnOut,
+}
+
+/// Shared daemon state.
+struct Shared {
+    cfg: ServeConfig,
+    /// Effective daemon-wide fault (config, else `KRAFTWERK_FAULT`).
+    env_fault: Option<FaultKind>,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    /// Ids of queued or running jobs (duplicate-id rejection).
+    active_ids: Mutex<HashSet<String>>,
+    /// Cross-request scratch-arena pool (bounded by `workers`).
+    arenas: Mutex<Vec<ScratchArena>>,
+    shutdown: AtomicBool,
+    stats: Stats,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || sig::termed()
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue_cv.notify_all();
+    }
+}
+
+/// The write half of a connection, shared by the reader thread and any
+/// worker currently serving one of its jobs. A failed write marks the
+/// connection dead; the job keeps running (its result still lands in the
+/// journal) and later sends become no-ops — a client disconnecting
+/// mid-stream never takes a worker down.
+#[derive(Clone)]
+struct ConnOut {
+    stream: Arc<Mutex<TcpStream>>,
+    alive: Arc<AtomicBool>,
+}
+
+impl ConnOut {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream: Arc::new(Mutex::new(stream)),
+            alive: Arc::new(AtomicBool::new(true)),
+        }
+    }
+
+    fn send(&self, frame: &str) {
+        if !self.alive.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut stream = lock(&self.stream);
+        let failed = stream.write_all(frame.as_bytes()).is_err()
+            || stream.write_all(b"\n").is_err()
+            || stream.flush().is_err();
+        if failed {
+            self.alive.store(false, Ordering::SeqCst);
+        }
+    }
+}
+
+/// A handle for stopping a running server from another thread (tests and
+/// embedders; network clients use the `shutdown` frame).
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// The bound listen address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful shutdown (drain running jobs, then exit).
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+}
+
+/// The placement daemon. [`Server::bind`], then [`Server::run`].
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listen socket and installs the termination-signal flag.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind/configuration failures.
+    pub fn bind(cfg: ServeConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        sig::install();
+        let env_fault = cfg.fault.or_else(FaultKind::from_env);
+        let shared = Arc::new(Shared {
+            cfg,
+            env_fault,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            active_ids: Mutex::new(HashSet::new()),
+            arenas: Mutex::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+            stats: Stats::default(),
+        });
+        Ok(Self {
+            listener,
+            addr,
+            shared,
+        })
+    }
+
+    /// The bound listen address (useful with `:0`).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A shutdown handle usable from other threads.
+    #[must_use]
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+            addr: self.addr,
+        }
+    }
+
+    /// Serves until a `shutdown` frame, [`ServerHandle::shutdown`], or
+    /// SIGTERM/SIGINT; drains running jobs and returns the totals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates worker-thread spawn failures; per-connection and
+    /// per-job failures are answered over the wire instead.
+    pub fn run(self) -> std::io::Result<ServerSummary> {
+        let mut workers = Vec::new();
+        for i in 0..self.shared.cfg.workers.max(1) {
+            let shared = Arc::clone(&self.shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("kraftwerk-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+        let mut readers = Vec::new();
+        while !self.shared.shutting_down() {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                    let shared = Arc::clone(&self.shared);
+                    if let Ok(handle) = std::thread::Builder::new()
+                        .name("kraftwerk-serve-conn".into())
+                        .spawn(move || connection_loop(&shared, stream))
+                    {
+                        readers.push(handle);
+                    }
+                    readers.retain(|h| !h.is_finished());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+        self.shared.begin_shutdown();
+        for h in workers {
+            let _ = h.join();
+        }
+        for h in readers {
+            let _ = h.join();
+        }
+        let s = &self.shared.stats;
+        Ok(ServerSummary {
+            jobs_ok: s.jobs_ok.load(Ordering::Relaxed),
+            jobs_degraded: s.jobs_degraded.load(Ordering::Relaxed),
+            jobs_failed: s.jobs_failed.load(Ordering::Relaxed),
+            jobs_rejected: s.jobs_rejected.load(Ordering::Relaxed),
+            retries: s.retries.load(Ordering::Relaxed),
+            arena_reuses: s.arena_reuses.load(Ordering::Relaxed),
+            connections: s.connections.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// One request line read from a connection.
+enum LineRead {
+    Line(String),
+    Oversized,
+    BadUtf8,
+    Closed,
+}
+
+/// Reads one newline-terminated frame with a hard byte cap. An oversized
+/// line is consumed to its newline (so the stream resyncs) and reported
+/// without buffering more than one internal block of it.
+fn read_frame_line(reader: &mut BufReader<TcpStream>, max: usize, shared: &Shared) -> LineRead {
+    let mut line: Vec<u8> = Vec::new();
+    let mut oversized = false;
+    loop {
+        if shared.shutting_down() {
+            return LineRead::Closed;
+        }
+        let (advance, done) = {
+            let buf = match reader.fill_buf() {
+                Ok(buf) => buf,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    continue;
+                }
+                Err(_) => return LineRead::Closed,
+            };
+            if buf.is_empty() {
+                return LineRead::Closed;
+            }
+            match buf.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    if !oversized {
+                        line.extend_from_slice(&buf[..i]);
+                        if line.len() > max {
+                            oversized = true;
+                        }
+                    }
+                    (i + 1, true)
+                }
+                None => {
+                    if !oversized {
+                        line.extend_from_slice(buf);
+                        if line.len() > max {
+                            oversized = true;
+                            line.clear();
+                            line.shrink_to_fit();
+                        }
+                    }
+                    (buf.len(), false)
+                }
+            }
+        };
+        reader.consume(advance);
+        if done {
+            if oversized {
+                return LineRead::Oversized;
+            }
+            return match String::from_utf8(line) {
+                Ok(s) => LineRead::Line(s),
+                Err(_) => LineRead::BadUtf8,
+            };
+        }
+    }
+}
+
+/// Per-connection reader: parses frames and dispatches until EOF or
+/// shutdown. Every failure mode answers a structured frame; none
+/// terminate the daemon.
+fn connection_loop(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let out = match stream.try_clone() {
+        Ok(w) => ConnOut::new(w),
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_frame_line(&mut reader, shared.cfg.max_frame_bytes, shared) {
+            LineRead::Closed => return,
+            LineRead::Oversized => {
+                out.send(&error_frame(
+                    None,
+                    &ProtoError::validation(format!(
+                        "frame exceeds {} bytes",
+                        shared.cfg.max_frame_bytes
+                    )),
+                ));
+            }
+            LineRead::BadUtf8 => {
+                out.send(&error_frame(
+                    None,
+                    &ProtoError::protocol("frame is not valid UTF-8"),
+                ));
+            }
+            LineRead::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match parse_request(&line) {
+                    Err(e) => out.send(&error_frame(None, &e)),
+                    Ok(Request::Ping) => {
+                        let mut o = JsonObject::new();
+                        o.str_field("type", "pong");
+                        o.u64_field("active", lock(&shared.active_ids).len() as u64);
+                        out.send(&o.finish());
+                    }
+                    Ok(Request::Stats) => out.send(&stats_frame(shared)),
+                    Ok(Request::Recover { include_placement }) => {
+                        out.send(&recover_frame(shared, include_placement));
+                    }
+                    Ok(Request::Shutdown) => {
+                        let mut o = JsonObject::new();
+                        o.str_field("type", "bye");
+                        out.send(&o.finish());
+                        shared.begin_shutdown();
+                        return;
+                    }
+                    Ok(Request::Place(req)) => enqueue_job(shared, *req, &out),
+                }
+            }
+        }
+        if !out.alive.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Admission control: duplicate-id rejection, then bounded-queue
+/// backpressure, then the `queued` acknowledgment.
+fn enqueue_job(shared: &Shared, req: PlaceRequest, out: &ConnOut) {
+    {
+        let mut ids = lock(&shared.active_ids);
+        if !ids.insert(req.id.clone()) {
+            out.send(&error_frame(
+                Some(&req.id),
+                &ProtoError::validation(format!("duplicate job id `{}`", req.id)),
+            ));
+            return;
+        }
+    }
+    let id = req.id.clone();
+    {
+        let mut queue = lock(&shared.queue);
+        if queue.len() >= shared.cfg.queue_capacity || shared.shutting_down() {
+            let depth = queue.len();
+            drop(queue);
+            lock(&shared.active_ids).remove(&id);
+            shared.stats.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            out.send(&busy_frame(&id, shared.cfg.retry_after_ms, depth));
+            return;
+        }
+        queue.push_back(Job {
+            req,
+            out: out.clone(),
+        });
+        // Ack while still holding the queue lock: a worker cannot pop the
+        // job without that lock, so the `queued` frame is on the wire
+        // before any progress/result frame. (Lock order is queue -> stream;
+        // workers never take them nested, so this cannot deadlock.)
+        out.send(&queued_frame(&id, queue.len()));
+    }
+    shared.queue_cv.notify_one();
+}
+
+/// The `stats` response frame.
+fn stats_frame(shared: &Shared) -> String {
+    let s = &shared.stats;
+    let mut o = JsonObject::new();
+    o.str_field("type", "stats");
+    o.u64_field("workers", shared.cfg.workers as u64);
+    o.u64_field("queue_capacity", shared.cfg.queue_capacity as u64);
+    o.u64_field("queue_depth", lock(&shared.queue).len() as u64);
+    o.u64_field("active", lock(&shared.active_ids).len() as u64);
+    o.u64_field("arenas_pooled", lock(&shared.arenas).len() as u64);
+    o.u64_field("jobs_ok", s.jobs_ok.load(Ordering::Relaxed));
+    o.u64_field("jobs_degraded", s.jobs_degraded.load(Ordering::Relaxed));
+    o.u64_field("jobs_failed", s.jobs_failed.load(Ordering::Relaxed));
+    o.u64_field("jobs_rejected", s.jobs_rejected.load(Ordering::Relaxed));
+    o.u64_field("retries", s.retries.load(Ordering::Relaxed));
+    o.u64_field("arena_reuses", s.arena_reuses.load(Ordering::Relaxed));
+    o.finish()
+}
+
+/// The `recovered` response frame: last-known-good state per journaled
+/// job (see [`crate::journal`]).
+fn recover_frame(shared: &Shared, include_placement: bool) -> String {
+    let mut jobs_json = String::from("[");
+    if let Some(dir) = &shared.cfg.journal_dir {
+        for (i, job) in recover_journals(dir).iter().enumerate() {
+            if i > 0 {
+                jobs_json.push(',');
+            }
+            let mut o = JsonObject::new();
+            o.str_field("id", &job.id);
+            o.bool_field("finished", job.finished);
+            o.u64_field("iteration", job.iteration);
+            o.f64_field("hpwl", job.hpwl);
+            o.bool_field("has_positions", job.placement.is_some());
+            if include_placement {
+                if let Some(p) = &job.placement {
+                    o.str_field("placement", p);
+                }
+            }
+            jobs_json.push_str(&o.finish());
+        }
+    }
+    jobs_json.push(']');
+    let mut o = JsonObject::new();
+    o.str_field("type", "recovered");
+    o.raw_field("jobs", &jobs_json);
+    o.finish()
+}
+
+/// Worker thread: drains the queue until shutdown, isolating each job
+/// behind `catch_unwind` so one poisoned input can never take the daemon
+/// down.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if shared.shutting_down() {
+                    return;
+                }
+                let (guard, _timeout) = shared
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .unwrap_or_else(PoisonError::into_inner);
+                queue = guard;
+            }
+        };
+        let id = job.req.id.clone();
+        let out = job.out.clone();
+        let outcome = catch_unwind(AssertUnwindSafe(|| process_job(shared, &job)));
+        if let Err(panic) = outcome {
+            // Job isolation: report the panic as an internal error and
+            // keep serving. The arena (if any) died with the job.
+            let message = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("worker panicked");
+            shared.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            out.send(&error_frame(
+                Some(&id),
+                &ProtoError {
+                    stage: "internal".into(),
+                    code: CODE_INTERNAL,
+                    message: format!("job panicked: {message}"),
+                },
+            ));
+        }
+        lock(&shared.active_ids).remove(&id);
+    }
+}
+
+/// Outcome of one placement attempt.
+struct Attempt {
+    placement: Placement,
+    health: RunHealth,
+    hpwl: f64,
+    iterations: usize,
+    converged: bool,
+}
+
+/// Runs one job end to end: fault injection, parse, validate, place (with
+/// deadline + progress streaming + journaling), optional damped retry,
+/// result/error frame.
+fn process_job(shared: &Shared, job: &Job) {
+    let req = &job.req;
+    let started = Instant::now();
+    let fault = req.fault.or(shared.env_fault);
+    let mut journal = JobJournal::open(shared.cfg.journal_dir.as_deref(), &req.id);
+
+    // 1. Parse (with optional injected corruption) and validate.
+    let text: &str = &req.netlist_text;
+    let corrupted;
+    let text = if fault == Some(FaultKind::Parse) {
+        corrupted = FaultKind::corrupt_netlist(text);
+        &corrupted
+    } else {
+        text
+    };
+    let netlist = match read_netlist(text) {
+        Ok(nl) => nl,
+        Err(e) => {
+            let err = ProtoError::pipeline(&kraftwerk_core::KraftwerkError::from(e));
+            journal.end("error", f64::NAN, 0);
+            shared.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            job.out.send(&error_frame(Some(&req.id), &err));
+            return;
+        }
+    };
+    if let Err(e) = netlist.validate() {
+        let err = ProtoError::pipeline(&kraftwerk_core::KraftwerkError::from(e));
+        journal.end("error", f64::NAN, 0);
+        shared.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
+        job.out.send(&error_frame(Some(&req.id), &err));
+        return;
+    }
+
+    // 2. Configure: mode, deadline, fault knobs.
+    let mut cfg = match req.mode {
+        Mode::Standard => KraftwerkConfig::standard(),
+        Mode::Fast | Mode::Multilevel => KraftwerkConfig::fast(),
+    };
+    if let Some(cap) = req.max_transformations {
+        cfg.max_transformations = cap;
+    }
+    let deadline_s = req
+        .deadline_s
+        .unwrap_or(shared.cfg.default_deadline_s)
+        .max(0.0);
+    let deadline = if fault == Some(FaultKind::Deadline) {
+        Instant::now()
+    } else {
+        Instant::now()
+            .checked_add(Duration::try_from_secs_f64(deadline_s).unwrap_or(Duration::ZERO))
+            .unwrap_or_else(Instant::now)
+    };
+    cfg.watchdog.deadline = Some(deadline);
+    if fault == Some(FaultKind::Divergence) {
+        cfg.force_scale_boost = DIVERGENCE_BOOST;
+    }
+    journal.start(
+        &req.id,
+        netlist.num_movable(),
+        req.mode.name(),
+        u64::try_from(deadline.saturating_duration_since(started).as_millis()).unwrap_or(u64::MAX),
+    );
+
+    // 3. First attempt (pooled arena when available).
+    let (arena, arena_pooled) = match lock(&shared.arenas).pop() {
+        Some(arena) => (arena, true),
+        None => (ScratchArena::default(), false),
+    };
+    if arena_pooled {
+        shared.stats.arena_reuses.fetch_add(1, Ordering::Relaxed);
+    }
+    let stall = std::cell::Cell::new(fault == Some(FaultKind::Stall));
+    let run = run_attempt(
+        shared, job, &netlist, cfg.clone(), arena, 1, &mut journal, &stall,
+    );
+    let (mut attempt, mut arena) = match run {
+        Ok(pair) => pair,
+        Err(boxed) => {
+            let (err, arena) = *boxed;
+            lock(&shared.arenas).push(arena);
+            journal.end("error", f64::NAN, 0);
+            shared.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            job.out.send(&error_frame(Some(&req.id), &err));
+            return;
+        }
+    };
+    let mut retried = false;
+
+    // 4. Retry-with-backoff: one damped attempt when the first degraded
+    //    and the deadline leaves room.
+    let degraded = attempt.health.degraded;
+    let room = deadline.saturating_duration_since(Instant::now())
+        > Duration::from_millis(shared.cfg.retry_backoff_ms * 2);
+    if degraded && !attempt.health.budget_exhausted && req.retry && shared.cfg.retry_degraded && room
+    {
+        std::thread::sleep(Duration::from_millis(shared.cfg.retry_backoff_ms));
+        retried = true;
+        shared.stats.retries.fetch_add(1, Ordering::Relaxed);
+        let mut damped = cfg.clone();
+        damped.k *= 0.5;
+        damped.force_scale_boost = 1.0 + (damped.force_scale_boost - 1.0) * 0.5;
+        match run_attempt(
+            shared, job, &netlist, damped, arena, 2, &mut journal, &stall,
+        ) {
+            Ok((second, back)) => {
+                arena = back;
+                // Report the better outcome: a clean retry wins; two
+                // degraded attempts report the checkpointed best.
+                if !second.health.degraded || second.hpwl < attempt.hpwl {
+                    let first_health = attempt.health;
+                    attempt = second;
+                    attempt.health.trips += first_health.trips;
+                    attempt.health.recoveries += first_health.recoveries;
+                } else {
+                    attempt.health.trips += second.health.trips;
+                    attempt.health.recoveries += second.health.recoveries;
+                }
+            }
+            Err(boxed) => {
+                // Retry failed outright; the first attempt's checkpoint
+                // still stands.
+                arena = boxed.1;
+            }
+        }
+    }
+    lock_pool_push(shared, arena);
+
+    // 5. Report.
+    let status: &'static str =
+        if attempt.health.degraded || attempt.health.budget_exhausted { "degraded" } else { "ok" };
+    let placement_text = req
+        .return_placement
+        .then(|| write_placement(&netlist, &attempt.placement));
+    if let Some(text) = &placement_text {
+        journal.positions(attempt.iterations, text);
+    }
+    journal.end(status, attempt.hpwl, attempt.iterations);
+    if status == "ok" {
+        shared.stats.jobs_ok.fetch_add(1, Ordering::Relaxed);
+    } else {
+        shared.stats.jobs_degraded.fetch_add(1, Ordering::Relaxed);
+    }
+    let report = JobReport {
+        id: req.id.clone(),
+        status,
+        hpwl: attempt.hpwl,
+        iterations: attempt.iterations,
+        converged: attempt.converged,
+        wall_ms: u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX),
+        trips: attempt.health.trips,
+        recoveries: attempt.health.recoveries,
+        budget_exhausted: attempt.health.budget_exhausted,
+        remaining_budget_ms: attempt.health.remaining_budget_ms,
+        retried,
+        arena_pooled,
+        placement: placement_text,
+    };
+    job.out.send(&result_frame(&report));
+}
+
+/// Returns an arena to the bounded cross-request pool.
+fn lock_pool_push(shared: &Shared, arena: ScratchArena) {
+    let mut pool = lock(&shared.arenas);
+    if pool.len() < shared.cfg.workers.max(1) * 2 {
+        pool.push(arena);
+    }
+}
+
+/// One placement attempt: flat modes drive the session loop with
+/// progress/journal observation; multilevel runs the V-cycle whole (its
+/// levels already share the config deadline).
+#[allow(clippy::too_many_arguments)]
+fn run_attempt(
+    shared: &Shared,
+    job: &Job,
+    netlist: &Netlist,
+    cfg: KraftwerkConfig,
+    arena: ScratchArena,
+    attempt: u32,
+    journal: &mut JobJournal,
+    stall: &std::cell::Cell<bool>,
+) -> Result<(Attempt, ScratchArena), Box<(ProtoError, ScratchArena)>> {
+    let req = &job.req;
+    if req.mode == Mode::Multilevel {
+        let ml = MultilevelConfig::default();
+        return match try_place_multilevel(netlist, cfg, &ml) {
+            Ok(result) => {
+                let hpwl = metrics::hpwl(netlist, &result.placement);
+                journal.progress(result.iterations(), hpwl);
+                Ok((
+                    Attempt {
+                        hpwl,
+                        iterations: result.iterations(),
+                        converged: result.converged,
+                        health: result.health,
+                        placement: result.placement,
+                    },
+                    arena,
+                ))
+            }
+            Err(e) => Err(Box::new((ProtoError::pipeline(&e), arena))),
+        };
+    }
+    let mut session = PlacementSession::with_arena(netlist, cfg, arena);
+    let positions_every = shared.cfg.journal_positions_every;
+    let run = session.run_loop_with(|st, placement| {
+        if stall.get() {
+            stall.set(false);
+            std::thread::sleep(Duration::from_millis(STALL_MS));
+        }
+        journal.progress(st.iteration, st.hpwl);
+        if positions_every > 0 && st.iteration % positions_every == 0 {
+            journal.positions(st.iteration, &write_placement(netlist, placement));
+        }
+        if req.progress_every > 0 && st.iteration % req.progress_every == 0 {
+            job.out.send(&progress_frame(&req.id, st, attempt));
+        }
+    });
+    match run {
+        Ok((stats, converged)) => {
+            let health = session.health_snapshot();
+            let (placement, arena) = session.into_parts();
+            let hpwl = metrics::hpwl(netlist, &placement);
+            Ok((
+                Attempt {
+                    placement,
+                    health,
+                    hpwl,
+                    iterations: stats.len(),
+                    converged,
+                },
+                arena,
+            ))
+        }
+        Err(e) => {
+            let (_, arena) = session.into_parts();
+            Err(Box::new((ProtoError::pipeline(&e), arena)))
+        }
+    }
+}
+
+/// Termination-signal plumbing: a process-global flag set from the raw
+/// `signal(2)` handler (std-only, no `libc` crate), polled by the accept
+/// and worker loops. SIGTERM and SIGINT both request graceful shutdown.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Once;
+
+    static TERMED: AtomicBool = AtomicBool::new(false);
+    static INSTALL: Once = Once::new();
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+    }
+
+    extern "C" fn on_term(_signum: i32) {
+        // Only async-signal-safe work here: one atomic store.
+        TERMED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        INSTALL.call_once(|| {
+            // SAFETY: `signal` with a handler that only performs an
+            // atomic store is async-signal-safe; the fn pointer matches
+            // the C handler ABI.
+            unsafe {
+                signal(SIGTERM, on_term);
+                signal(SIGINT, on_term);
+            }
+        });
+    }
+
+    pub fn termed() -> bool {
+        TERMED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+
+    pub fn termed() -> bool {
+        false
+    }
+}

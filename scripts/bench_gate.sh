@@ -12,11 +12,13 @@
 #   KRAFTWERK_BIN  path to a prebuilt `kraftwerk` binary (skips cargo)
 #   BASELINE       baseline file (default BENCH_place.json)
 #   MAX_CELLS      circuit-size cap for the rerun (default 2000)
+#   MODES          comma-separated baseline modes to gate (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BASELINE=${BASELINE:-BENCH_place.json}
 MAX_CELLS=${MAX_CELLS:-2000}
+MODES=${MODES:-}
 KRAFTWERK=${KRAFTWERK_BIN:-}
 if [ -z "$KRAFTWERK" ]; then
     cargo build --release --bin kraftwerk
@@ -29,7 +31,11 @@ fi
 
 verdict=$(mktemp)
 trap 'rm -f "$verdict"' EXIT
-if ! "$KRAFTWERK" bench --compare "$BASELINE" --max-cells "$MAX_CELLS" -o "$verdict" -q; then
+MODE_ARGS=()
+if [ -n "$MODES" ]; then
+    MODE_ARGS=(--modes "$MODES")
+fi
+if ! "$KRAFTWERK" bench --compare "$BASELINE" --max-cells "$MAX_CELLS" "${MODE_ARGS[@]}" -o "$verdict" -q; then
     echo "bench-gate: FAILED — HPWL regressed beyond tolerance against $BASELINE" >&2
     cat "$verdict" >&2 || true
     exit 1

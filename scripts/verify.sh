@@ -32,6 +32,12 @@ obs_dir=$(mktemp -d)
 trap 'rm -f "$bench_smoke"; rm -rf "$obs_dir"' EXIT
 cargo run --release --bin kraftwerk -- bench --json --max-cells 200 -o "$bench_smoke" -q
 KRAFTWERK_BIN=target/release/kraftwerk bash scripts/bench_gate.sh
+# The committed multilevel-b2b scale-tier rows (scale10k/scale50k) are
+# enforcing too: rerun the V-cycle flow and fail on HPWL drift, same 2%
+# bar as the flat modes (HPWL is bitwise deterministic, so any drift is
+# a real change).
+KRAFTWERK_BIN=target/release/kraftwerk MODES=multilevel-b2b MAX_CELLS=50000 \
+    bash scripts/bench_gate.sh
 
 # Large-netlist smoke: the 50k-cell scale tier must place end-to-end
 # through the multilevel + bound-to-bound flow inside a generous
@@ -90,5 +96,101 @@ assert any(e["ph"] == "C" for e in events), "no counter tracks in perfetto expor
 print(f"observability smoke: OK ({len(events)} trace events, "
       f"{len(alloc)} instrumented phases)")
 EOF
+
+# Daemon smoke: the served path end to end against a real process — one
+# good job, one malformed frame, and one fault-injected job, each
+# answered with the documented structured frame on a surviving
+# connection, then a SIGTERM shutdown that must exit 0 and print the
+# served: summary (README "Serving placements").
+serve_log="$obs_dir/serve.log"
+target/release/kraftwerk serve --workers 1 --queue-cap 4 --deadline 30 \
+    > "$serve_log" 2>&1 &
+serve_pid=$!
+serve_addr=""
+for _ in $(seq 1 100); do
+    serve_addr=$(sed -n 's/^listening on //p' "$serve_log" | head -n 1)
+    [ -n "$serve_addr" ] && break
+    sleep 0.1
+done
+if [ -z "$serve_addr" ]; then
+    echo "verify: daemon never reported its address" >&2
+    kill "$serve_pid" 2> /dev/null || true
+    exit 1
+fi
+python3 - "$serve_addr" "$obs_dir/fract.kw" <<'EOF'
+import json, socket, sys
+host, port = sys.argv[1].rsplit(":", 1)
+netlist = open(sys.argv[2]).read()
+sock = socket.create_connection((host, int(port)), timeout=60)
+f = sock.makefile("rw")
+
+def send(obj):
+    f.write(json.dumps(obj) + "\n")
+    f.flush()
+
+def recv():
+    line = f.readline()
+    assert line, "daemon closed the connection"
+    return json.loads(line)
+
+def outcome():
+    r = recv()
+    while r["type"] == "progress":
+        r = recv()
+    return r
+
+# 1. A good job round-trips: queued ack, then an ok/degraded result.
+send({"type": "place", "id": "smoke-good", "mode": "fast",
+      "netlist": netlist, "max_transformations": 12})
+q = recv()
+assert q["type"] == "queued", q
+r = outcome()
+assert r["type"] == "result" and r["status"] in ("ok", "degraded"), r
+
+# 2. A malformed frame answers a structured protocol error (same
+#    taxonomy code as CLI exit 2) and the connection resyncs.
+f.write("this is not json\n")
+f.flush()
+e = recv()
+assert e["type"] == "error" and e["stage"] == "protocol" and e["code"] == 2, e
+
+# 3. A fault-injected job fails as a parse-stage error frame (code 4,
+#    the CLI parse exit code) without taking the worker down.
+send({"type": "place", "id": "smoke-fault", "mode": "fast",
+      "netlist": netlist, "fault": "parse", "max_transformations": 12})
+q = recv()
+assert q["type"] == "queued", q
+e = outcome()
+assert e["type"] == "error" and e["stage"] == "parse" and e["code"] == 4, e
+
+# 4. The daemon is still healthy after both failure paths.
+send({"type": "ping"})
+assert recv()["type"] == "pong"
+print("daemon smoke: OK (good / malformed / fault-injected all answered)")
+EOF
+kill -TERM "$serve_pid"
+if ! wait "$serve_pid"; then
+    echo "verify: daemon did not exit cleanly on SIGTERM" >&2
+    exit 1
+fi
+grep -q "^served: " "$serve_log" \
+    || { echo "verify: no served: summary after SIGTERM" >&2; exit 1; }
+
+# Opt-in slow tier: KRAFTWERK_SLOW=1 places the million-cell scale tier
+# end to end (measured ~5 min by the EXPERIMENTS E7 extrapolation; the
+# budget allows for slow CI). Off by default to keep verify.sh fast.
+if [ "${KRAFTWERK_SLOW:-0}" = "1" ]; then
+    timeout 900 target/release/kraftwerk bench --json --modes multilevel-b2b \
+        --max-cells 1000000 -o "$bench_smoke" -q \
+        || { echo "verify: scale1m smoke failed or exceeded 900s" >&2; exit 1; }
+    python3 - "$bench_smoke" <<'EOF'
+import json, sys
+runs = json.load(open(sys.argv[1]))["runs"]
+tiers = {r["netlist"]: r for r in runs if r["mode"] == "multilevel-b2b"}
+assert "scale1m" in tiers, f"scale1m row missing: {sorted(tiers)}"
+assert all(r["legal"] for r in tiers.values()), "scale1m smoke produced illegal placement"
+print("scale1m smoke: OK (" + ", ".join(f"{n} in {r['wall_s']:.1f}s" for n, r in sorted(tiers.items())) + ")")
+EOF
+fi
 
 echo "verify: OK"

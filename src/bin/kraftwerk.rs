@@ -120,7 +120,7 @@ impl CliError {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  kraftwerk place     <netlist> [-o <placement>] [--fast] [--multilevel] [--svg <file>]\n                      [--poisson <multigrid|spectral|direct>] [--threads <n>]\n                      [--trace [<jsonl>]] [--report <json>] [--profile]\n                      [--alloc-stats] [--perfetto <json>]\n                      [--snapshot-every <n>] [--k <f>] [--force-scale <f>] [-v|--verbose] [-q|--quiet]\n  kraftwerk inspect   <telemetry>... [-o <html>] [--perfetto <json>]\n  kraftwerk bench     [--json] [--compare <baseline>] [-o <json>] [--max-cells <n>]\n                      [--modes <a,b>] [--hpwl-tol <pct>] [--wall-tol <pct>] [-v|--verbose] [-q|--quiet]\n  kraftwerk timing    <netlist> [--requirement <ns>] [-v|--verbose] [-q|--quiet]\n  kraftwerk gen       <name> <cells> <nets> <rows> [--seed <n>] [--blocks <n>] [-o <file>]\n  kraftwerk stats     <netlist>\n  kraftwerk check     <netlist> <placement>\n  kraftwerk route     <netlist> <placement>\n  kraftwerk bookshelf <netlist> [<placement>] [-o <dir>]"
+        "usage:\n  kraftwerk place     <netlist> [-o <placement>] [--fast] [--multilevel] [--svg <file>]\n                      [--poisson <multigrid|spectral|direct>] [--threads <n>]\n                      [--trace [<jsonl>]] [--report <json>] [--profile]\n                      [--alloc-stats] [--perfetto <json>]\n                      [--snapshot-every <n>] [--k <f>] [--force-scale <f>] [-v|--verbose] [-q|--quiet]\n  kraftwerk serve     [--addr <host:port>] [--workers <n>] [--queue-cap <n>] [--deadline <s>]\n                      [--journal-dir <dir>] [--max-bytes <n>] [--no-retry]\n  kraftwerk inspect   <telemetry>... [-o <html>] [--perfetto <json>]\n  kraftwerk bench     [--json] [--compare <baseline>] [-o <json>] [--max-cells <n>]\n                      [--modes <a,b>] [--hpwl-tol <pct>] [--wall-tol <pct>] [-v|--verbose] [-q|--quiet]\n  kraftwerk timing    <netlist> [--requirement <ns>] [-v|--verbose] [-q|--quiet]\n  kraftwerk gen       <name> <cells> <nets> <rows> [--seed <n>] [--blocks <n>] [-o <file>]\n  kraftwerk stats     <netlist>\n  kraftwerk check     <netlist> <placement>\n  kraftwerk route     <netlist> <placement>\n  kraftwerk bookshelf <netlist> [<placement>] [-o <dir>]"
     );
     ExitCode::from(2)
 }
@@ -569,10 +569,17 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
                 message: e.to_string(),
             })
         })?;
-        let baseline = parse_baseline(&text).map_err(|e| CliError {
+        let mut baseline = parse_baseline(&text).map_err(|e| CliError {
             message: format!("{baseline_path}: {e}"),
             code: 4,
         })?;
+        // --modes narrows the gate to a subset of baseline rows, so the
+        // cheap MCNC sweep and the big multilevel scale tiers can gate in
+        // separate invocations with different --max-cells budgets.
+        if let Some(modes) = flag_value(args, "--modes")? {
+            let selected: Vec<String> = modes.split(',').map(|m| m.trim().to_owned()).collect();
+            baseline.retain(|run| selected.contains(&run.mode));
+        }
         let config = CompareConfig {
             hpwl_tolerance: tolerance_flag(args, "--hpwl-tol", 2.0)?,
             wall_tolerance: tolerance_flag(args, "--wall-tol", 25.0)?,
@@ -825,6 +832,76 @@ fn cmd_bookshelf(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `kraftwerk serve`: run the placement daemon until SIGTERM/SIGINT or a
+/// client `shutdown` frame, then print the job totals. `--addr :0` picks
+/// a free port; the bound address is printed (and flushed) first so
+/// scripts can scrape it. `KRAFTWERK_FAULT=<class>` injects a
+/// daemon-wide fault into every job (see the README fault matrix).
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    use std::io::Write as _;
+
+    let mut cfg = kraftwerk::serve::ServeConfig::default();
+    if let Some(addr) = flag_value(args, "--addr")? {
+        cfg.addr = addr;
+    }
+    if let Some(n) = flag_value(args, "--workers")? {
+        cfg.workers = n
+            .parse::<usize>()
+            .map_err(|_| "--workers expects a positive integer".to_string())?
+            .max(1);
+    }
+    if let Some(n) = flag_value(args, "--queue-cap")? {
+        cfg.queue_capacity = n
+            .parse::<usize>()
+            .map_err(|_| "--queue-cap expects a positive integer".to_string())?
+            .max(1);
+    }
+    if let Some(s) = flag_value(args, "--deadline")? {
+        let v: f64 = s
+            .parse()
+            .map_err(|_| "--deadline expects seconds".to_string())?;
+        if !v.is_finite() || v <= 0.0 {
+            return Err("--deadline expects positive finite seconds".into());
+        }
+        cfg.default_deadline_s = v;
+    }
+    if let Some(dir) = flag_value(args, "--journal-dir")? {
+        cfg.journal_dir = Some(std::path::PathBuf::from(dir));
+    }
+    if let Some(n) = flag_value(args, "--max-bytes")? {
+        cfg.max_frame_bytes = n
+            .parse::<usize>()
+            .map_err(|_| "--max-bytes expects a byte count".to_string())?
+            .max(1024);
+    }
+    if has_flag(args, "--no-retry") {
+        cfg.retry_degraded = false;
+    }
+
+    let server = kraftwerk::serve::Server::bind(cfg).map_err(|e| CliError {
+        message: format!("bind failed: {e}"),
+        code: KraftwerkError::Io {
+            path: String::new(),
+            message: String::new(),
+        }
+        .exit_code() as u8,
+    })?;
+    println!("listening on {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    let summary = server.run().map_err(|e| format!("serve failed: {e}"))?;
+    println!(
+        "served: ok={} degraded={} failed={} rejected={} retries={} arena_reuses={} connections={}",
+        summary.jobs_ok,
+        summary.jobs_degraded,
+        summary.jobs_failed,
+        summary.jobs_rejected,
+        summary.retries,
+        summary.arena_reuses,
+        summary.connections
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -833,6 +910,7 @@ fn main() -> ExitCode {
     let rest = &args[1..];
     let result = match cmd.as_str() {
         "place" => cmd_place(rest),
+        "serve" => cmd_serve(rest),
         "inspect" => cmd_inspect(rest),
         "bench" => cmd_bench(rest),
         "timing" => cmd_timing(rest),

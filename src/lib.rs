@@ -63,6 +63,7 @@ pub use kraftwerk_inspect as inspect;
 pub use kraftwerk_legalize as legalize;
 pub use kraftwerk_netlist as netlist;
 pub use kraftwerk_par as par;
+pub use kraftwerk_serve as serve;
 pub use kraftwerk_sparse as sparse;
 pub use kraftwerk_timing as timing;
 pub use kraftwerk_trace as trace;

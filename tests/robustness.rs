@@ -241,3 +241,80 @@ fn disabled_watchdog_still_returns_finite_placements() {
     assert!(result.health.is_clean());
     assert_placement_sane(&nl, &result);
 }
+
+#[test]
+fn expired_wall_clock_budget_marks_budget_exhausted() {
+    let nl = generate(&SynthConfig::with_size("wd-budget", 150, 200, 6));
+    let mut config = KraftwerkConfig::standard();
+    config.watchdog.wall_clock_budget = Some(0.0);
+    let result = GlobalPlacer::new(config).try_place(&nl).expect("budgeted run returns");
+    assert!(result.health.budget_exhausted, "zero budget must cut the run short");
+    assert_eq!(result.iterations(), 0, "no transformation fits a zero budget");
+    assert_eq!(
+        result.health.remaining_budget_ms,
+        Some(0),
+        "an exhausted budget reports zero remaining"
+    );
+    assert_placement_sane(&nl, &result);
+}
+
+#[test]
+fn explicit_deadline_takes_precedence_over_budget() {
+    let nl = generate(&SynthConfig::with_size("wd-deadline", 120, 150, 6));
+    let mut config = KraftwerkConfig::standard();
+    // A generous relative budget, but an already-expired absolute
+    // deadline: the deadline must win.
+    config.watchdog.wall_clock_budget = Some(1e9);
+    config.watchdog.deadline = Some(std::time::Instant::now());
+    let result = GlobalPlacer::new(config).try_place(&nl).expect("deadlined run returns");
+    assert!(result.health.budget_exhausted);
+    assert_eq!(result.iterations(), 0);
+}
+
+#[test]
+fn budget_free_runs_report_no_remaining_budget() {
+    let nl = generate(&SynthConfig::with_size("wd-nobudget", 100, 130, 6));
+    let result = placer().try_place(&nl).expect("healthy");
+    assert_eq!(
+        result.health.remaining_budget_ms, None,
+        "runs without a budget must stay bitwise comparable"
+    );
+}
+
+#[test]
+fn budget_exhausted_survives_multilevel_health_merge() {
+    use kraftwerk::placer::{try_place_multilevel, MultilevelConfig};
+    // Big enough to build a real hierarchy (>= 2 levels) with a small
+    // coarsest tier, so the merged health crosses several level sessions.
+    let nl = generate(&SynthConfig::with_size("wd-ml-budget", 2000, 2600, 7));
+    let ml = MultilevelConfig {
+        coarsest_movable: 250,
+        ..MultilevelConfig::default()
+    };
+    let mut config = KraftwerkConfig::fast();
+    config.watchdog.deadline = Some(std::time::Instant::now());
+    let result =
+        try_place_multilevel(&nl, config, &ml).expect("expired deadline still yields a placement");
+    assert!(
+        result.health.budget_exhausted,
+        "budget_exhausted must survive the cross-level health merge"
+    );
+    assert_eq!(result.health.remaining_budget_ms, Some(0));
+    assert_placement_sane(&nl, &result);
+}
+
+#[test]
+fn nonsense_budget_expires_instead_of_running_unbounded() {
+    for bad in [f64::NAN, f64::NEG_INFINITY, -5.0] {
+        let wd = WatchdogConfig {
+            wall_clock_budget: Some(bad),
+            ..WatchdogConfig::default()
+        };
+        let deadline = wd.resolve_deadline().expect("budget present resolves");
+        assert!(
+            deadline <= std::time::Instant::now(),
+            "a nonsense budget ({bad}) must resolve to an expired deadline"
+        );
+    }
+    assert!(WatchdogConfig::default().resolve_deadline().is_none());
+}

@@ -1,0 +1,412 @@
+//! Adversarial integration tests for the placement daemon: every frame a
+//! hostile or unlucky client can send — truncated frames, oversized
+//! netlists, NaN numerics, duplicate job ids, disconnects mid-stream —
+//! must produce the right structured error class, and the daemon must
+//! keep serving afterwards. The fault-injection matrix (parse,
+//! divergence, deadline, stall) is exercised end to end over the wire.
+
+use std::time::Duration;
+
+use kraftwerk::netlist::format::{read_placement, write_netlist};
+use kraftwerk::netlist::synth::{generate, SynthConfig};
+use kraftwerk::serve::{Client, ClientError, Mode, PlaceOptions, ServeConfig, Server, ServerHandle};
+use kraftwerk::trace::json::Json;
+
+/// Starts an in-process daemon on a free port; the join handle yields the
+/// run summary after [`ServerHandle::shutdown`].
+fn start(cfg: ServeConfig) -> (
+    ServerHandle,
+    std::thread::JoinHandle<std::io::Result<kraftwerk::serve::ServerSummary>>,
+) {
+    let server = Server::bind(cfg).expect("bind on a free port");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+    (handle, join)
+}
+
+fn netlist_text(name: &str, cells: usize, nets: usize, rows: usize) -> String {
+    write_netlist(&generate(&SynthConfig::with_size(name, cells, nets, rows)))
+}
+
+fn quick() -> PlaceOptions {
+    PlaceOptions {
+        max_transformations: Some(8),
+        ..PlaceOptions::default()
+    }
+}
+
+#[test]
+fn good_job_round_trips_with_progress_and_placement() {
+    let (handle, join) = start(ServeConfig::default());
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    let text = netlist_text("srv-good", 60, 80, 4);
+    let opts = PlaceOptions {
+        return_placement: true,
+        progress_every: 1,
+        ..quick()
+    };
+    let out = c.place("good-1", &text, &opts).expect("transport ok");
+    assert_eq!(out.status, "ok", "healthy job must not degrade");
+    assert!(out.hpwl.is_finite() && out.hpwl > 0.0);
+    assert!(out.iterations > 0);
+    assert!(out.progress_frames > 0, "progress_every=1 must stream");
+    let placement_text = out.placement.expect("placement requested");
+    let nl = kraftwerk::netlist::format::read_netlist(&text).expect("own netlist");
+    let placement = read_placement(&nl, &placement_text).expect("returned placement parses");
+    assert_eq!(placement.len(), nl.num_cells());
+    handle.shutdown();
+    let summary = join.join().expect("no panic").expect("clean run");
+    assert_eq!(summary.jobs_ok, 1);
+    assert_eq!(summary.jobs_failed, 0);
+}
+
+#[test]
+fn malformed_and_truncated_frames_answer_protocol_errors() {
+    let (handle, join) = start(ServeConfig::default());
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    // Not JSON at all.
+    c.send_raw("this is not json").expect("send");
+    let frame = c.read_frame().expect("frame");
+    assert_eq!(frame.get("type").and_then(Json::as_str), Some("error"));
+    assert_eq!(frame.get("stage").and_then(Json::as_str), Some("protocol"));
+    assert_eq!(frame.get("code").and_then(Json::as_f64), Some(2.0));
+    // A truncated JSON object (the classic torn frame).
+    c.send_raw("{\"type\":\"place\",\"id\":\"t1\",\"netl").expect("send");
+    let frame = c.read_frame().expect("frame");
+    assert_eq!(frame.get("stage").and_then(Json::as_str), Some("protocol"));
+    // Wrong shape: valid JSON, missing everything.
+    c.send_raw("{\"type\":\"place\"}").expect("send");
+    let frame = c.read_frame().expect("frame");
+    assert_eq!(frame.get("type").and_then(Json::as_str), Some("error"));
+    // The same connection still serves a good job afterwards.
+    let text = netlist_text("srv-after-garbage", 40, 50, 4);
+    let out = c.place("after-garbage", &text, &quick()).expect("transport");
+    assert_eq!(out.status, "ok");
+    handle.shutdown();
+    let summary = join.join().expect("no panic").expect("clean run");
+    assert_eq!(summary.jobs_ok, 1);
+}
+
+#[test]
+fn oversized_netlist_is_rejected_and_stream_resyncs() {
+    let cfg = ServeConfig {
+        max_frame_bytes: 16384,
+        ..ServeConfig::default()
+    };
+    let (handle, join) = start(cfg);
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    // Well over the 16 KiB frame cap.
+    let big = netlist_text("srv-big", 400, 500, 8);
+    assert!(big.len() > 16384);
+    let opts = quick();
+    let out = c.place("too-big", &big, &opts).expect("transport");
+    assert_eq!(out.status, "error");
+    assert_eq!(out.error_stage.as_deref(), Some("validation"));
+    assert_eq!(out.error_code, Some(5));
+    // The reader resynced at the newline: a small job still works.
+    let small = netlist_text("srv-small", 20, 25, 4);
+    let out = c.place("small-after-big", &small, &opts).expect("transport");
+    assert_eq!(out.status, "ok");
+    handle.shutdown();
+    join.join().expect("no panic").expect("clean run");
+}
+
+#[test]
+fn nan_numerics_in_netlist_fail_with_parse_class() {
+    let (handle, join) = start(ServeConfig::default());
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    // Corrupt the first cell's width into NaN; the boundary parser
+    // rejects non-finite numerics with the parse class.
+    let text = netlist_text("srv-nan", 40, 50, 4);
+    let nan_text: String = text
+        .lines()
+        .map(|line| {
+            if line.starts_with("cell ") {
+                let mut parts: Vec<&str> = line.split_whitespace().collect();
+                parts[2] = "NaN";
+                parts.join(" ")
+            } else {
+                line.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    let out = c.place("nan-job", &nan_text, &quick()).expect("transport");
+    assert_eq!(out.status, "error");
+    assert_eq!(out.error_stage.as_deref(), Some("parse"));
+    assert_eq!(out.error_code, Some(4));
+    // Isolation: the daemon still serves.
+    let out = c.place("after-nan", &text, &quick()).expect("transport");
+    assert_eq!(out.status, "ok");
+    handle.shutdown();
+    join.join().expect("no panic").expect("clean run");
+}
+
+#[test]
+fn duplicate_in_flight_job_id_is_rejected() {
+    let (handle, join) = start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let text = netlist_text("srv-dup", 60, 80, 4);
+    let mut c1 = Client::connect(handle.addr()).expect("connect 1");
+    let mut c2 = Client::connect(handle.addr()).expect("connect 2");
+    // Job 1 stalls its worker for STALL_MS, guaranteeing it is still in
+    // flight when the duplicate arrives on the second connection.
+    let stall_opts = PlaceOptions {
+        fault: Some("stall"),
+        ..quick()
+    };
+    c1.send_raw(&place_frame("dup-id", &text, &stall_opts)).expect("send");
+    std::thread::sleep(Duration::from_millis(60));
+    let out2 = c2.place("dup-id", &text, &quick()).expect("transport");
+    assert_eq!(out2.status, "error");
+    assert_eq!(out2.error_stage.as_deref(), Some("validation"));
+    assert_eq!(out2.error_code, Some(5));
+    // The original job is unaffected.
+    let out1 = c1.wait_for_outcome("dup-id").expect("transport");
+    assert!(out1.status == "ok" || out1.status == "degraded");
+    // Once finished, the id is free again.
+    let out3 = c2.place("dup-id", &text, &quick()).expect("transport");
+    assert!(out3.status == "ok" || out3.status == "degraded");
+    handle.shutdown();
+    join.join().expect("no panic").expect("clean run");
+}
+
+/// Builds a raw `place` frame (tests that need to submit without
+/// blocking on the outcome).
+fn place_frame(id: &str, netlist: &str, opts: &PlaceOptions) -> String {
+    let mut o = kraftwerk::trace::json::JsonObject::new();
+    o.str_field("type", "place");
+    o.str_field("id", id);
+    o.str_field("mode", opts.mode.name());
+    o.str_field("netlist", netlist);
+    if let Some(cap) = opts.max_transformations {
+        o.u64_field("max_transformations", cap as u64);
+    }
+    o.u64_field("progress_every", opts.progress_every as u64);
+    o.bool_field("retry", opts.retry);
+    if let Some(fault) = opts.fault {
+        o.str_field("fault", fault);
+    }
+    o.finish()
+}
+
+#[test]
+fn full_queue_answers_busy_with_retry_hint() {
+    let (handle, join) = start(ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        retry_after_ms: 77,
+        ..ServeConfig::default()
+    });
+    let text = netlist_text("srv-busy", 60, 80, 4);
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    let stall_opts = PlaceOptions {
+        fault: Some("stall"),
+        ..quick()
+    };
+    // j1 occupies the single worker (stalled >= 250 ms), j2 fills the
+    // queue, j3 must bounce with the configured retry hint.
+    c.send_raw(&place_frame("busy-1", &text, &stall_opts)).expect("send");
+    std::thread::sleep(Duration::from_millis(80));
+    c.send_raw(&place_frame("busy-2", &text, &quick())).expect("send");
+    std::thread::sleep(Duration::from_millis(20));
+    c.send_raw(&place_frame("busy-3", &text, &quick())).expect("send");
+    let out3 = c.wait_for_outcome("busy-3").expect("transport");
+    assert_eq!(out3.status, "busy", "third job must hit backpressure");
+    assert_eq!(out3.retry_after_ms, Some(77));
+    let out1 = c.wait_for_outcome("busy-1").expect("transport");
+    assert!(out1.status == "ok" || out1.status == "degraded");
+    let out2 = c.wait_for_outcome("busy-2").expect("transport");
+    assert!(out2.status == "ok" || out2.status == "degraded");
+    // A rejected id is immediately reusable.
+    let out = c.place("busy-3", &text, &quick()).expect("transport");
+    assert!(out.status == "ok" || out.status == "degraded");
+    handle.shutdown();
+    let summary = join.join().expect("no panic").expect("clean run");
+    assert_eq!(summary.jobs_rejected, 1);
+    assert_eq!(summary.jobs_failed, 0);
+}
+
+#[test]
+fn disconnect_mid_stream_leaves_daemon_serving() {
+    let (handle, join) = start(ServeConfig::default());
+    let text = netlist_text("srv-drop", 80, 100, 4);
+    {
+        let mut c = Client::connect(handle.addr()).expect("connect");
+        let opts = PlaceOptions {
+            progress_every: 1,
+            ..PlaceOptions::default()
+        };
+        c.send_raw(&place_frame("dropped", &text, &opts)).expect("send");
+        // Drop the connection while the job streams progress.
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    // The daemon is alive and the dropped job completed server-side.
+    let mut c = Client::connect(handle.addr()).expect("reconnect");
+    let out = c.place("after-drop", &text, &quick()).expect("transport");
+    assert_eq!(out.status, "ok");
+    // Wait for the dropped job to finish, then check it was counted.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = c.stats().expect("stats");
+        let done = stats.get("jobs_ok").and_then(Json::as_f64).unwrap_or(0.0)
+            + stats.get("jobs_degraded").and_then(Json::as_f64).unwrap_or(0.0);
+        if done >= 2.0 {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "dropped job never finished");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    handle.shutdown();
+    join.join().expect("no panic").expect("clean run");
+}
+
+#[test]
+fn fault_matrix_parse_divergence_deadline_stall() {
+    let (handle, join) = start(ServeConfig::default());
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    let text = netlist_text("srv-fault", 150, 200, 6);
+
+    // parse: corrupted netlist → structured parse error, daemon alive.
+    let out = c
+        .place("f-parse", &text, &PlaceOptions { fault: Some("parse"), ..quick() })
+        .expect("transport");
+    assert_eq!(out.status, "error");
+    assert_eq!(out.error_stage.as_deref(), Some("parse"));
+    assert_eq!(out.error_code, Some(4));
+
+    // divergence: watchdog trips; either the checkpointed degraded result
+    // survives (after the damped retry) or the taxonomy's diverged error
+    // surfaces. Both are structured; the daemon must keep serving.
+    let out = c
+        .place(
+            "f-diverge",
+            &text,
+            &PlaceOptions { fault: Some("divergence"), ..PlaceOptions::default() },
+        )
+        .expect("transport");
+    match out.status.as_str() {
+        "degraded" => assert!(out.retried, "degraded first attempt must retry damped"),
+        "error" => assert_eq!(out.error_code, Some(6)),
+        other => panic!("divergence fault produced unexpected status {other}"),
+    }
+
+    // deadline: an already-expired budget returns the checkpointed state
+    // immediately, marked budget_exhausted.
+    let out = c
+        .place(
+            "f-deadline",
+            &text,
+            &PlaceOptions { fault: Some("deadline"), ..PlaceOptions::default() },
+        )
+        .expect("transport");
+    assert_eq!(out.status, "degraded");
+    assert!(out.budget_exhausted);
+    assert_eq!(out.iterations, 0);
+    assert!(!out.retried, "an exhausted budget must not be retried");
+
+    // stall: the worker sleeps mid-job but the generous default deadline
+    // absorbs it.
+    let out = c
+        .place("f-stall", &text, &PlaceOptions { fault: Some("stall"), ..quick() })
+        .expect("transport");
+    assert!(out.status == "ok" || out.status == "degraded");
+    assert!(out.wall_ms >= kraftwerk::serve::fault::STALL_MS);
+
+    // The same connection still serves a clean job after the whole matrix.
+    let out = c.place("f-clean", &text, &quick()).expect("transport");
+    assert_eq!(out.status, "ok");
+    handle.shutdown();
+    join.join().expect("no panic").expect("clean run");
+}
+
+#[test]
+fn env_fault_applies_daemon_wide() {
+    // The per-job flag and KRAFTWERK_FAULT share FaultKind::from_env;
+    // exercise the config-level daemon-wide fault (the env var's landing
+    // spot) without mutating process environment in a threaded test.
+    let (handle, join) = start(ServeConfig {
+        fault: Some(kraftwerk::serve::FaultKind::Parse),
+        ..ServeConfig::default()
+    });
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    let text = netlist_text("srv-envfault", 40, 50, 4);
+    let out = c.place("env-1", &text, &quick()).expect("transport");
+    assert_eq!(out.status, "error");
+    assert_eq!(out.error_stage.as_deref(), Some("parse"));
+    handle.shutdown();
+    join.join().expect("no panic").expect("clean run");
+}
+
+#[test]
+fn journal_records_jobs_and_recover_replays_them() {
+    let dir = std::env::temp_dir().join(format!("kw-serve-journal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (handle, join) = start(ServeConfig {
+        journal_dir: Some(dir.clone()),
+        journal_positions_every: 1,
+        ..ServeConfig::default()
+    });
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    let text = netlist_text("srv-journal", 40, 50, 4);
+    let out = c.place("journaled", &text, &quick()).expect("transport");
+    assert_eq!(out.status, "ok");
+    // The recover frame replays the finished job with its positions.
+    c.send_raw("{\"type\":\"recover\",\"include_placement\":true}").expect("send");
+    let frame = c.read_frame().expect("frame");
+    assert_eq!(frame.get("type").and_then(Json::as_str), Some("recovered"));
+    let jobs = frame.get("jobs").and_then(Json::as_array).expect("jobs array");
+    assert_eq!(jobs.len(), 1);
+    assert_eq!(jobs[0].get("id").and_then(Json::as_str), Some("journaled"));
+    assert_eq!(jobs[0].get("finished").map(|v| matches!(v, Json::Bool(true))), Some(true));
+    let replayed = jobs[0]
+        .get("placement")
+        .and_then(Json::as_str)
+        .expect("positions journaled");
+    let nl = kraftwerk::netlist::format::read_netlist(&text).expect("own netlist");
+    assert!(read_placement(&nl, replayed).is_ok());
+    // The journal file itself survives daemon shutdown (crash-safety is
+    // exactly that the file outlives the process).
+    handle.shutdown();
+    join.join().expect("no panic").expect("clean run");
+    let recovered = kraftwerk::serve::recover_journals(&dir);
+    assert_eq!(recovered.len(), 1);
+    assert!(recovered[0].finished);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn multilevel_mode_serves_over_the_wire() {
+    let (handle, join) = start(ServeConfig::default());
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    let text = netlist_text("srv-ml", 300, 400, 8);
+    let opts = PlaceOptions {
+        mode: Mode::Multilevel,
+        ..PlaceOptions::default()
+    };
+    let out = c.place("ml-1", &text, &opts).expect("transport");
+    assert_eq!(out.status, "ok");
+    assert!(out.hpwl.is_finite() && out.hpwl > 0.0);
+    assert!(out.iterations > 0);
+    handle.shutdown();
+    join.join().expect("no panic").expect("clean run");
+}
+
+#[test]
+fn shutdown_frame_drains_and_stops_the_daemon() {
+    let (handle, join) = start(ServeConfig::default());
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    let pong = c.ping().expect("pong");
+    assert_eq!(pong.get("type").and_then(Json::as_str), Some("pong"));
+    c.shutdown().expect("shutdown handshake");
+    let summary = join.join().expect("no panic").expect("clean run");
+    assert_eq!(summary.connections, 1);
+    // A fresh connect must now fail (the listener is gone).
+    std::thread::sleep(Duration::from_millis(20));
+    assert!(matches!(
+        Client::connect(handle.addr()),
+        Err(ClientError::Io(_)) | Err(ClientError::Disconnected)
+    ));
+}

@@ -1,0 +1,57 @@
+//! Verifies the daemon's cross-request arena pooling with the counting
+//! global allocator: the second job on a worker must reuse the first
+//! job's scratch arena and allocate substantially less heap. Lives in
+//! its own test binary so the allocator counters see only this scenario.
+
+use kraftwerk::netlist::format::write_netlist;
+use kraftwerk::netlist::synth::{generate, SynthConfig};
+use kraftwerk::serve::{Client, PlaceOptions, ServeConfig, Server};
+use kraftwerk::trace::alloc::{self, CountingAllocator};
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator::system();
+
+#[test]
+fn second_job_reuses_pooled_arena_and_allocates_less() {
+    let server = Server::bind(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    let text = write_netlist(&generate(&SynthConfig::with_size("srv-arena", 500, 650, 8)));
+    let opts = PlaceOptions {
+        max_transformations: Some(10),
+        ..PlaceOptions::default()
+    };
+
+    alloc::set_tracking(true);
+    let base = alloc::stats();
+    let first = c.place("arena-1", &text, &opts).expect("transport");
+    let after_first = alloc::stats();
+    let second = c.place("arena-2", &text, &opts).expect("transport");
+    let after_second = alloc::stats();
+    alloc::set_tracking(false);
+
+    assert_eq!(first.status, "ok");
+    assert_eq!(second.status, "ok");
+    assert!(!first.arena_pooled, "first job starts with a cold arena");
+    assert!(second.arena_pooled, "second job must reuse the pooled arena");
+    // Identical placements: pooling must not change the result.
+    assert_eq!(first.hpwl.to_bits(), second.hpwl.to_bits());
+
+    let cold = after_first.since(&base).bytes_allocated;
+    let warm = after_second.since(&after_first).bytes_allocated;
+    assert!(
+        warm * 2 < cold,
+        "pooled arena must at least halve per-job heap traffic \
+         (cold {cold} bytes, warm {warm} bytes)"
+    );
+
+    handle.shutdown();
+    let summary = join.join().expect("no panic").expect("clean run");
+    assert_eq!(summary.jobs_ok, 2);
+    assert_eq!(summary.arena_reuses, 1);
+}
