@@ -9,6 +9,7 @@
 //! ```text
 //! loadgen [--cells N] [--jobs N] [--clients 1,2,8] [--workers N]
 //!         [--mode fast|standard|multilevel] [--addr host:port]
+//!         [--latency-out jobs.jsonl]
 //! ```
 //!
 //! With `--addr` the daemon is external and `--workers` is ignored;
@@ -20,6 +21,12 @@
 //! hint — the load generator exercises the backpressure path rather than
 //! treating it as failure; only transport errors and daemon-side error
 //! frames count as failures.
+//!
+//! `--latency-out jobs.jsonl` appends one JSON record per completed job
+//! (trace id, latency, server wall, queue depth at admission, outcome),
+//! the input for the `kraftwerk inspect --service` dashboard. Every job
+//! carries a generated `trace_id` so service records join to daemon-side
+//! journals and run reports.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -37,6 +44,7 @@ struct Args {
     mode: Mode,
     addr: Option<String>,
     deadline_s: f64,
+    latency_out: Option<std::path::PathBuf>,
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -68,6 +76,7 @@ fn parse_args() -> Args {
     let deadline_s = flag(&argv, "--deadline")
         .map(|v| v.parse().expect("--deadline expects seconds"))
         .unwrap_or(60.0);
+    let latency_out = flag(&argv, "--latency-out").map(std::path::PathBuf::from);
     Args {
         cells,
         jobs,
@@ -76,6 +85,7 @@ fn parse_args() -> Args {
         mode,
         addr,
         deadline_s,
+        latency_out,
     }
 }
 
@@ -96,7 +106,45 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     sorted_ms[rank.min(sorted_ms.len() - 1)]
 }
 
-fn drive(addr: std::net::SocketAddr, args: &Args, concurrency: usize, netlist_text: Arc<String>) {
+/// One per-job service record as a JSONL line for `--latency-out` (the
+/// `kraftwerk inspect --service` input format).
+#[allow(clippy::too_many_arguments)]
+fn job_record(
+    id: &str,
+    trace_id: &str,
+    client_idx: usize,
+    concurrency: usize,
+    out: &kraftwerk_serve::JobOutcome,
+    busy_retries: u64,
+    start_ms: f64,
+    end_ms: f64,
+) -> String {
+    let mut o = kraftwerk_trace::json::JsonObject::new();
+    o.str_field("type", "job");
+    o.str_field("id", id);
+    o.str_field("trace_id", trace_id);
+    o.u64_field("client", client_idx as u64);
+    o.u64_field("concurrency", concurrency as u64);
+    o.str_field("status", &out.status);
+    o.f64_field("latency_ms", end_ms - start_ms);
+    o.u64_field("server_wall_ms", out.wall_ms);
+    o.f64_field("hpwl", out.hpwl);
+    o.bool_field("retried", out.retried);
+    o.u64_field("busy_retries", busy_retries);
+    if let Some(depth) = out.queue_depth {
+        o.u64_field("queue_depth", depth);
+    }
+    o.f64_field("start_ms", start_ms);
+    o.f64_field("end_ms", end_ms);
+    o.finish()
+}
+
+fn drive(
+    addr: std::net::SocketAddr,
+    args: &Args,
+    concurrency: usize,
+    netlist_text: Arc<String>,
+) -> Vec<String> {
     let tally = Arc::new(Tally::default());
     let opts = PlaceOptions {
         mode: args.mode,
@@ -112,6 +160,7 @@ fn drive(addr: std::net::SocketAddr, args: &Args, concurrency: usize, netlist_te
         let total_jobs = args.jobs;
         threads.push(std::thread::spawn(move || {
             let mut latencies_ms: Vec<f64> = Vec::new();
+            let mut records: Vec<(u64, String)> = Vec::new();
             let mut client = Client::connect(addr).expect("loadgen connect");
             loop {
                 let job_idx = tally.next_job.fetch_add(1, Ordering::SeqCst);
@@ -119,11 +168,16 @@ fn drive(addr: std::net::SocketAddr, args: &Args, concurrency: usize, netlist_te
                     break;
                 }
                 let id = format!("load-c{client_idx}-j{job_idx}");
+                let trace_id = format!("lg-{concurrency}.{id}");
+                let mut opts = opts.clone();
+                opts.trace_id = Some(trace_id.clone());
                 let job_started = Instant::now();
+                let mut job_busy_retries = 0u64;
                 loop {
                     match client.place(&id, &text, &opts) {
                         Ok(out) if out.status == "busy" => {
                             tally.busy_retries.fetch_add(1, Ordering::Relaxed);
+                            job_busy_retries += 1;
                             let backoff = out.retry_after_ms.unwrap_or(50);
                             std::thread::sleep(Duration::from_millis(backoff));
                         }
@@ -133,8 +187,23 @@ fn drive(addr: std::net::SocketAddr, args: &Args, concurrency: usize, netlist_te
                                 "degraded" => tally.degraded.fetch_add(1, Ordering::Relaxed),
                                 _ => tally.errors.fetch_add(1, Ordering::Relaxed),
                             };
-                            latencies_ms
-                                .push(job_started.elapsed().as_secs_f64() * 1e3);
+                            let end_ms = started.elapsed().as_secs_f64() * 1e3;
+                            let start_ms =
+                                end_ms - job_started.elapsed().as_secs_f64() * 1e3;
+                            latencies_ms.push(end_ms - start_ms);
+                            records.push((
+                                end_ms.to_bits(),
+                                job_record(
+                                    &id,
+                                    &trace_id,
+                                    client_idx,
+                                    concurrency,
+                                    &out,
+                                    job_busy_retries,
+                                    start_ms,
+                                    end_ms,
+                                ),
+                            ));
                             break;
                         }
                         Err(e) => {
@@ -145,12 +214,15 @@ fn drive(addr: std::net::SocketAddr, args: &Args, concurrency: usize, netlist_te
                     }
                 }
             }
-            latencies_ms
+            (latencies_ms, records)
         }));
     }
     let mut latencies: Vec<f64> = Vec::new();
+    let mut records: Vec<(u64, String)> = Vec::new();
     for t in threads {
-        latencies.extend(t.join().expect("client thread"));
+        let (lat, recs) = t.join().expect("client thread");
+        latencies.extend(lat);
+        records.extend(recs);
     }
     let wall_s = started.elapsed().as_secs_f64();
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
@@ -168,6 +240,9 @@ fn drive(addr: std::net::SocketAddr, args: &Args, concurrency: usize, netlist_te
         if done > 0 { 100.0 * degraded as f64 / done as f64 } else { 0.0 },
         tally.busy_retries.load(Ordering::Relaxed),
     );
+    // Completion order: positive-float bits sort like the floats.
+    records.sort_by_key(|&(end_bits, _)| end_bits);
+    records.into_iter().map(|(_, line)| line).collect()
 }
 
 fn main() {
@@ -185,11 +260,13 @@ fn main() {
         args.mode.name(),
         args.clients
     );
+    let mut all_records: Vec<String> = Vec::new();
     if let Some(addr) = &args.addr {
         let addr: std::net::SocketAddr = addr.parse().expect("--addr expects host:port");
         for &concurrency in &args.clients {
-            drive(addr, &args, concurrency, Arc::clone(&netlist_text));
+            all_records.extend(drive(addr, &args, concurrency, Arc::clone(&netlist_text)));
         }
+        write_latency_out(&args, &all_records);
         return;
     }
     for &concurrency in &args.clients {
@@ -205,7 +282,7 @@ fn main() {
         let addr = server.local_addr();
         let handle = server.handle();
         let join = std::thread::spawn(move || server.run());
-        drive(addr, &args, concurrency, Arc::clone(&netlist_text));
+        all_records.extend(drive(addr, &args, concurrency, Arc::clone(&netlist_text)));
         handle.shutdown();
         let summary = join
             .join()
@@ -216,6 +293,25 @@ fn main() {
                 "loadgen: daemon reported {} failed job(s) at {} clients",
                 summary.jobs_failed, concurrency
             );
+            std::process::exit(1);
+        }
+    }
+    write_latency_out(&args, &all_records);
+}
+
+/// Writes the per-job record stream when `--latency-out` was given.
+fn write_latency_out(args: &Args, records: &[String]) {
+    let Some(path) = &args.latency_out else {
+        return;
+    };
+    let mut text = records.join("\n");
+    if !text.is_empty() {
+        text.push('\n');
+    }
+    match std::fs::write(path, text) {
+        Ok(()) => println!("loadgen: wrote {} job record(s) to {}", records.len(), path.display()),
+        Err(e) => {
+            eprintln!("loadgen: cannot write {}: {e}", path.display());
             std::process::exit(1);
         }
     }

@@ -22,6 +22,10 @@
 //! trace.json`), and [`render_comparison`] overlays several runs —
 //! convergence curves, phase deltas, peak memory, parallel efficiency —
 //! in one document (`kraftwerk inspect a.jsonl b.jsonl -o cmp.html`).
+//! A fourth renderer, [`render_service`], takes service telemetry
+//! instead of solver telemetry — `loadgen --latency-out` job records or
+//! a scraped `/metrics` snapshot — and renders the deployment view
+//! (`kraftwerk inspect --service jobs.jsonl`).
 //!
 //! Like the rest of the pipeline, this crate is panic-free on arbitrary
 //! input: malformed telemetry becomes a typed [`InspectError`], partial
@@ -31,6 +35,7 @@ mod compare;
 mod html;
 mod model;
 mod perfetto;
+mod service;
 mod svg;
 
 pub use compare::render_comparison;
@@ -40,6 +45,7 @@ pub use model::{
     PhaseCost, RunData, SnapshotGrid, TimelinePoint, UtilizationPoint,
 };
 pub use perfetto::render_perfetto;
+pub use service::{parse_service, render_service, ServiceData, ServiceJob, ServiceSample};
 pub use svg::{
     empty_chart, esc, fmt_value, heatmap, histogram_chart, line_chart, phase_breakdown, scatter,
     timeline_strip, PhaseSlice, Series, TimelineMark, CHART_H, CHART_W,

@@ -57,6 +57,9 @@ pub struct PlaceOptions {
     pub retry: bool,
     /// Per-job injected fault name (`parse`/`divergence`/`deadline`/`stall`).
     pub fault: Option<&'static str>,
+    /// Client-supplied trace id, echoed in every response frame and
+    /// stamped into the job's run report for cross-system correlation.
+    pub trace_id: Option<String>,
 }
 
 impl Default for PlaceOptions {
@@ -69,6 +72,7 @@ impl Default for PlaceOptions {
             progress_every: 0,
             retry: true,
             fault: None,
+            trace_id: None,
         }
     }
 }
@@ -100,6 +104,10 @@ pub struct JobOutcome {
     pub placement: Option<String>,
     /// Progress frames observed before the terminal frame.
     pub progress_frames: usize,
+    /// Trace id echoed by the daemon on the terminal frame, if any.
+    pub trace_id: Option<String>,
+    /// Queue depth reported by the `queued` ack for this job, if seen.
+    pub queue_depth: Option<u64>,
 }
 
 /// One blocking protocol connection.
@@ -212,6 +220,9 @@ impl Client {
         if let Some(fault) = opts.fault {
             o.str_field("fault", fault);
         }
+        if let Some(trace_id) = &opts.trace_id {
+            o.str_field("trace_id", trace_id);
+        }
         self.send_raw(&o.finish())?;
         self.wait_for_outcome(id)
     }
@@ -224,12 +235,25 @@ impl Client {
     /// Propagates transport failures.
     pub fn wait_for_outcome(&mut self, id: &str) -> Result<JobOutcome, ClientError> {
         let mut progress_frames = 0usize;
+        let mut queue_depth = None;
         loop {
             let frame = self.read_frame()?;
             let kind = frame.get("type").and_then(Json::as_str).unwrap_or("");
             let frame_id = frame.get("id").and_then(Json::as_str);
+            let trace_id = || {
+                frame
+                    .get("trace_id")
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+            };
             match kind {
                 "progress" if frame_id == Some(id) => progress_frames += 1,
+                "queued" if frame_id == Some(id) => {
+                    queue_depth = frame
+                        .get("queue_depth")
+                        .and_then(Json::as_f64)
+                        .map(|v| v.max(0.0) as u64);
+                }
                 "queued" => {}
                 "busy" if frame_id == Some(id) => {
                     return Ok(JobOutcome {
@@ -248,6 +272,8 @@ impl Client {
                             .map(|v| v.max(0.0) as u64),
                         placement: None,
                         progress_frames,
+                        trace_id: trace_id(),
+                        queue_depth,
                     });
                 }
                 "error" if frame_id == Some(id) || frame_id.is_none() => {
@@ -267,6 +293,8 @@ impl Client {
                         retry_after_ms: None,
                         placement: None,
                         progress_frames,
+                        trace_id: trace_id(),
+                        queue_depth,
                     });
                 }
                 "result" if frame_id == Some(id) => {
@@ -295,6 +323,8 @@ impl Client {
                             .and_then(Json::as_str)
                             .map(str::to_string),
                         progress_frames,
+                        trace_id: trace_id(),
+                        queue_depth,
                     });
                 }
                 _ => {}

@@ -1,0 +1,143 @@
+//! The std-only HTTP sidecar: a second listener serving `GET /metrics`
+//! (Prometheus text exposition, format 0.0.4) and `GET /healthz` (a
+//! liveness probe reflecting queue saturation and journal health).
+//!
+//! Deliberately minimal: requests are read with short timeouts, routed on
+//! the request line only, answered with `Connection: close`, and handled
+//! inline on the sidecar thread — a scraper every few seconds is the
+//! design load, and a stalled scraper can never back up the job path
+//! because the sidecar shares nothing with the protocol listener but the
+//! metrics handles.
+
+use std::io::{Read as _, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use kraftwerk_trace::json::JsonObject;
+
+use crate::server::{lock, Shared};
+
+/// Serves the sidecar until shutdown. The listener must be non-blocking;
+/// the loop polls it so SIGTERM is honored within one tick.
+pub(crate) fn run(shared: &Arc<Shared>, listener: &TcpListener) {
+    while !shared.shutting_down() {
+        match listener.accept() {
+            Ok((stream, _)) => handle(shared, stream),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Reads one request head (bounded) and answers one response.
+fn handle(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let Some(path) = read_request_path(&mut stream) else {
+        respond(&mut stream, 400, "text/plain; charset=utf-8", "bad request\n");
+        return;
+    };
+    match path.as_str() {
+        "/metrics" => {
+            refresh_gauges(shared);
+            let body = shared.metrics.exposition();
+            respond(&mut stream, 200, "text/plain; version=0.0.4; charset=utf-8", &body);
+        }
+        "/healthz" => {
+            let (code, body) = healthz(shared);
+            respond(&mut stream, code, "application/json", &body);
+        }
+        _ => respond(&mut stream, 404, "text/plain; charset=utf-8", "not found\n"),
+    }
+}
+
+/// Parses `GET <path> HTTP/x` from a bounded request head; drains headers
+/// until the blank line or the cap. Returns `None` for anything that is
+/// not a well-formed GET.
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && !head.windows(2).any(|w| w == b"\n\n") {
+        if head.len() > 8192 {
+            return None;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+            Err(_) => return None,
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let request_line = head.lines().next()?;
+    let mut parts = request_line.split_whitespace();
+    if parts.next()? != "GET" {
+        return None;
+    }
+    let target = parts.next()?;
+    // Ignore any query string; route on the path alone.
+    Some(target.split('?').next().unwrap_or(target).to_string())
+}
+
+/// Brings the point-in-time gauges up to date before a scrape.
+fn refresh_gauges(shared: &Shared) {
+    let depth = lock(&shared.queue).len();
+    shared.metrics.queue_depth.set(depth as f64);
+    shared
+        .metrics
+        .arena_pool_size
+        .set(lock(&shared.arenas).len() as f64);
+}
+
+/// The `/healthz` verdict: 503 while shutting down or queue-saturated
+/// (backpressure active — stop sending), otherwise 200 with `ok`, or
+/// `degraded` when journal writes have been failing (the daemon still
+/// serves, but crash recovery is compromised).
+fn healthz(shared: &Shared) -> (u16, String) {
+    let depth = lock(&shared.queue).len();
+    let capacity = shared.cfg.queue_capacity;
+    let journal_failures = shared.metrics.journal_write_failures.get();
+    let saturated = depth >= capacity;
+    let (code, status) = if shared.shutting_down() {
+        (503, "shutting_down")
+    } else if saturated {
+        (503, "saturated")
+    } else if journal_failures > 0 {
+        (200, "degraded")
+    } else {
+        (200, "ok")
+    };
+    let mut o = JsonObject::new();
+    o.str_field("status", status);
+    o.u64_field("queue_depth", depth as u64);
+    o.u64_field("queue_capacity", capacity as u64);
+    o.f64_field("in_flight", shared.metrics.in_flight.get());
+    o.u64_field("journal_write_failures", journal_failures);
+    o.f64_field("uptime_s", shared.metrics.uptime_s());
+    let mut body = o.finish();
+    body.push('\n');
+    (code, body)
+}
+
+/// Writes one `HTTP/1.1` response and closes.
+fn respond(stream: &mut TcpStream, code: u16, content_type: &str, body: &str) {
+    let reason = match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        503 => "Service Unavailable",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body.as_bytes()))
+        .and_then(|()| stream.flush());
+}

@@ -10,14 +10,20 @@
 use std::fs::File;
 use std::io::{BufWriter, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use kraftwerk_trace::json::{Json, JsonObject};
+use kraftwerk_trace::metrics::Counter;
 
 /// Append-only JSONL journal for one job; inert when the daemon runs
 /// without a journal directory.
 #[derive(Debug, Default)]
 pub struct JobJournal {
     out: Option<BufWriter<File>>,
+    /// Optional service counter bumped once per failed journal write
+    /// (including a failed open), surfacing silent degradation to
+    /// `/healthz` and `/metrics`.
+    failures: Option<Arc<Counter>>,
 }
 
 impl JobJournal {
@@ -26,12 +32,32 @@ impl JobJournal {
     /// have validated the id ([`crate::proto::valid_job_id`]).
     #[must_use]
     pub fn open(dir: Option<&Path>, job_id: &str) -> Self {
+        Self::open_counted(dir, job_id, None)
+    }
+
+    /// [`JobJournal::open`], reporting every lost write to `failures`.
+    #[must_use]
+    pub fn open_counted(
+        dir: Option<&Path>,
+        job_id: &str,
+        failures: Option<Arc<Counter>>,
+    ) -> Self {
         let out = dir.and_then(|d| {
-            std::fs::create_dir_all(d).ok()?;
-            File::create(d.join(format!("{job_id}.jsonl"))).ok()
+            let file = std::fs::create_dir_all(d)
+                .and_then(|()| File::create(d.join(format!("{job_id}.jsonl"))));
+            match file {
+                Ok(f) => Some(f),
+                Err(_) => {
+                    if let Some(counter) = &failures {
+                        counter.inc();
+                    }
+                    None
+                }
+            }
         });
         Self {
             out: out.map(BufWriter::new),
+            failures,
         }
     }
 
@@ -42,15 +68,29 @@ impl JobJournal {
             if failed {
                 // Journal I/O lost (disk full, dir removed): keep serving.
                 self.out = None;
+                if let Some(counter) = &self.failures {
+                    counter.inc();
+                }
             }
         }
     }
 
-    /// Records job admission (cells/mode/deadline for the recovery view).
-    pub fn start(&mut self, job_id: &str, cells: usize, mode: &str, deadline_ms: u64) {
+    /// Records job admission (cells/mode/deadline, plus the client trace
+    /// id when present, for the recovery and correlation views).
+    pub fn start(
+        &mut self,
+        job_id: &str,
+        trace_id: Option<&str>,
+        cells: usize,
+        mode: &str,
+        deadline_ms: u64,
+    ) {
         let mut o = JsonObject::new();
         o.str_field("record", "job_start");
         o.str_field("id", job_id);
+        if let Some(trace_id) = trace_id {
+            o.str_field("trace_id", trace_id);
+        }
         o.u64_field("cells", cells as u64);
         o.str_field("mode", mode);
         o.u64_field("deadline_ms", deadline_ms);
@@ -176,12 +216,12 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("kw-journal-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let mut j = JobJournal::open(Some(&dir), "job-a");
-        j.start("job-a", 10, "fast", 5000);
+        j.start("job-a", Some("tr-a"), 10, "fast", 5000);
         j.progress(1, 123.0);
         j.positions(2, "kraftwerk-placement");
         // No `end`: this is the killed-mid-job case.
         let mut k = JobJournal::open(Some(&dir), "job-b");
-        k.start("job-b", 4, "fast", 5000);
+        k.start("job-b", None, 4, "fast", 5000);
         k.end("ok", 50.0, 3);
         let jobs = recover_journals(&dir);
         assert_eq!(jobs.len(), 2);
@@ -216,7 +256,33 @@ mod tests {
     #[test]
     fn disabled_journal_is_inert() {
         let mut j = JobJournal::open(None, "x");
-        j.start("x", 1, "fast", 0);
+        j.start("x", None, 1, "fast", 0);
         j.end("ok", 1.0, 0);
+    }
+
+    #[test]
+    fn trace_id_lands_in_the_job_start_record() {
+        let dir = std::env::temp_dir().join(format!("kw-journal-tid-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut j = JobJournal::open(Some(&dir), "tid");
+        j.start("tid", Some("tr-77"), 2, "fast", 100);
+        drop(j);
+        let text = std::fs::read_to_string(dir.join("tid.jsonl")).expect("journal readable");
+        assert!(text.contains("\"trace_id\":\"tr-77\""), "missing trace id: {text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_journal_opens_bump_the_counter() {
+        let counter = Arc::new(Counter::new());
+        // A directory path that cannot be created (parent is a file).
+        let file = std::env::temp_dir().join(format!("kw-journal-file-{}", std::process::id()));
+        std::fs::write(&file, "x").expect("marker file");
+        let bad_dir = file.join("sub");
+        let mut j = JobJournal::open_counted(Some(&bad_dir), "x", Some(Arc::clone(&counter)));
+        assert_eq!(counter.get(), 1);
+        j.progress(1, 1.0); // inert, must not double-count
+        assert_eq!(counter.get(), 1);
+        let _ = std::fs::remove_file(&file);
     }
 }

@@ -27,7 +27,9 @@
 
 pub mod client;
 pub mod fault;
+mod http;
 pub mod journal;
+mod metrics;
 pub mod proto;
 pub mod server;
 

@@ -43,6 +43,9 @@ pub const CODE_INTERNAL: i64 = 1;
 /// hostile id can never traverse out of the journal directory.
 pub const MAX_JOB_ID_LEN: usize = 128;
 
+/// Longest accepted client trace id (`trace_id` on `place` frames).
+pub const MAX_TRACE_ID_LEN: usize = 128;
+
 /// A structured service-boundary error: the `stage`/`code` pair mirrors
 /// the [`KraftwerkError`] taxonomy (plus the `protocol`, `oversized`, and
 /// `internal` service stages).
@@ -150,6 +153,9 @@ pub struct PlaceRequest {
     /// Per-job fault injection (overrides the daemon-wide
     /// `KRAFTWERK_FAULT` environment fault).
     pub fault: Option<FaultKind>,
+    /// Client-supplied correlation id, echoed in every response frame
+    /// for this job and stamped into the job's run-report metadata.
+    pub trace_id: Option<String>,
 }
 
 /// One parsed request frame.
@@ -193,13 +199,25 @@ pub fn valid_job_id(id: &str) -> bool {
             .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
 }
 
+/// Whether a client trace id is acceptable: non-empty, bounded, and the
+/// same journal-safe character set as job ids plus `:` (the common
+/// hex-with-separators correlation-id shapes).
+#[must_use]
+pub fn valid_trace_id(trace_id: &str) -> bool {
+    !trace_id.is_empty()
+        && trace_id.len() <= MAX_TRACE_ID_LEN
+        && trace_id
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-' | ':'))
+}
+
 /// Parses one request line.
 ///
 /// # Errors
 ///
 /// [`ProtoError::protocol`] (code 2) for malformed JSON, unknown types,
 /// or missing fields; [`ProtoError::validation`] (code 5) for illegal job
-/// ids or unknown fault names.
+/// ids or trace ids or unknown fault names.
 pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
     let value = kraftwerk_trace::json::parse(line)
         .map_err(|e| ProtoError::protocol(format!("malformed frame: {e}")))?;
@@ -243,6 +261,17 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                 .get("progress_every")
                 .and_then(Json::as_f64)
                 .map_or(0, |v| v.max(0.0) as usize);
+            let trace_id = match str_field(&value, "trace_id") {
+                None => None,
+                Some(t) => {
+                    if !valid_trace_id(&t) {
+                        return Err(ProtoError::validation(format!(
+                            "illegal trace id (want 1..={MAX_TRACE_ID_LEN} chars of [A-Za-z0-9._:-])"
+                        )));
+                    }
+                    Some(t)
+                }
+            };
             Ok(Request::Place(Box::new(PlaceRequest {
                 id,
                 netlist_text,
@@ -253,18 +282,27 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                 progress_every,
                 retry: bool_field(&value, "retry", true),
                 fault,
+                trace_id,
             })))
         }
         other => Err(ProtoError::protocol(format!("unknown frame type `{other}`"))),
     }
 }
 
+/// Adds the echoed `trace_id` field when the request carried one.
+fn trace_field(o: &mut JsonObject, trace_id: Option<&str>) {
+    if let Some(trace_id) = trace_id {
+        o.str_field("trace_id", trace_id);
+    }
+}
+
 /// The `queued` acknowledgment frame.
 #[must_use]
-pub fn queued_frame(id: &str, queue_depth: usize) -> String {
+pub fn queued_frame(id: &str, trace_id: Option<&str>, queue_depth: usize) -> String {
     let mut o = JsonObject::new();
     o.str_field("type", "queued");
     o.str_field("id", id);
+    trace_field(&mut o, trace_id);
     o.u64_field("queue_depth", queue_depth as u64);
     o.finish()
 }
@@ -272,10 +310,11 @@ pub fn queued_frame(id: &str, queue_depth: usize) -> String {
 /// The backpressure rejection frame: the queue is full, come back in
 /// `retry_after_ms`.
 #[must_use]
-pub fn busy_frame(id: &str, retry_after_ms: u64, queue_depth: usize) -> String {
+pub fn busy_frame(id: &str, trace_id: Option<&str>, retry_after_ms: u64, queue_depth: usize) -> String {
     let mut o = JsonObject::new();
     o.str_field("type", "busy");
     o.str_field("id", id);
+    trace_field(&mut o, trace_id);
     o.u64_field("retry_after_ms", retry_after_ms);
     o.u64_field("queue_depth", queue_depth as u64);
     o.finish()
@@ -283,10 +322,11 @@ pub fn busy_frame(id: &str, retry_after_ms: u64, queue_depth: usize) -> String {
 
 /// A streamed per-transformation progress frame.
 #[must_use]
-pub fn progress_frame(id: &str, stats: &IterationStats, attempt: u32) -> String {
+pub fn progress_frame(id: &str, trace_id: Option<&str>, stats: &IterationStats, attempt: u32) -> String {
     let mut o = JsonObject::new();
     o.str_field("type", "progress");
     o.str_field("id", id);
+    trace_field(&mut o, trace_id);
     o.u64_field("attempt", u64::from(attempt));
     o.u64_field("iteration", stats.iteration as u64);
     o.f64_field("hpwl", stats.hpwl);
@@ -297,12 +337,13 @@ pub fn progress_frame(id: &str, stats: &IterationStats, attempt: u32) -> String 
 
 /// A structured error frame (one per failed job or rejected frame).
 #[must_use]
-pub fn error_frame(id: Option<&str>, err: &ProtoError) -> String {
+pub fn error_frame(id: Option<&str>, trace_id: Option<&str>, err: &ProtoError) -> String {
     let mut o = JsonObject::new();
     o.str_field("type", "error");
     if let Some(id) = id {
         o.str_field("id", id);
     }
+    trace_field(&mut o, trace_id);
     o.str_field("stage", &err.stage);
     o.i64_field("code", err.code);
     o.str_field("message", &err.message);
@@ -314,6 +355,8 @@ pub fn error_frame(id: Option<&str>, err: &ProtoError) -> String {
 pub struct JobReport {
     /// Job id.
     pub id: String,
+    /// Echoed client trace id, when the request carried one.
+    pub trace_id: Option<String>,
     /// `"ok"` or `"degraded"` (checkpointed best after trips, retry, or
     /// budget exhaustion).
     pub status: &'static str,
@@ -347,6 +390,7 @@ pub fn result_frame(report: &JobReport) -> String {
     let mut o = JsonObject::new();
     o.str_field("type", "result");
     o.str_field("id", &report.id);
+    trace_field(&mut o, report.trace_id.as_deref());
     o.str_field("status", report.status);
     o.f64_field("hpwl", report.hpwl);
     o.u64_field("iterations", report.iterations as u64);
@@ -383,6 +427,31 @@ mod tests {
         assert_eq!(req.progress_every, 4);
         assert_eq!(req.fault, Some(FaultKind::Stall));
         assert!(req.retry);
+        assert_eq!(req.trace_id, None);
+    }
+
+    #[test]
+    fn trace_id_is_parsed_validated_and_echoed() {
+        let line = r#"{"type":"place","id":"j","netlist":"x","trace_id":"tr-1:abc.DEF_9"}"#;
+        let Request::Place(req) = parse_request(line).expect("parses") else {
+            panic!("not a place request");
+        };
+        assert_eq!(req.trace_id.as_deref(), Some("tr-1:abc.DEF_9"));
+        // Hostile trace ids are a validation error, same class as bad ids.
+        for bad in ["", "has space", "quote\"inside", &"t".repeat(200)] {
+            assert!(!valid_trace_id(bad), "trace id {bad:?} must be rejected");
+        }
+        let err = parse_request(r#"{"type":"place","id":"j","netlist":"x","trace_id":"a b"}"#)
+            .expect_err("bad trace id");
+        assert_eq!(err.code, CODE_VALIDATION);
+        // Every response-frame builder echoes it.
+        let tid = Some("tr-9");
+        assert!(queued_frame("j", tid, 1).contains("\"trace_id\":\"tr-9\""));
+        assert!(busy_frame("j", tid, 5, 1).contains("\"trace_id\":\"tr-9\""));
+        assert!(error_frame(Some("j"), tid, &ProtoError::validation("x"))
+            .contains("\"trace_id\":\"tr-9\""));
+        // And absent ids add no field at all.
+        assert!(!queued_frame("j", None, 1).contains("trace_id"));
     }
 
     #[test]
@@ -423,7 +492,7 @@ mod tests {
     #[test]
     fn frames_are_single_line_json() {
         let err = ProtoError::validation("multi\nline");
-        let frame = error_frame(Some("j"), &err);
+        let frame = error_frame(Some("j"), None, &err);
         assert!(!frame.contains('\n'), "frames must stay newline-free");
         let parsed = kraftwerk_trace::json::parse(&frame).expect("valid JSON");
         assert_eq!(parsed.get("code").and_then(Json::as_f64), Some(5.0));

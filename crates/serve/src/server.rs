@@ -19,13 +19,20 @@
 //! 6. **Crash-safe journaling** — progress and position snapshots stream
 //!    to a per-job journal, so a killed daemon reports last-known-good
 //!    positions after restart (`recover` frame).
+//! 7. **Observability** — the full job lifecycle (queue wait, solve
+//!    wall, outcomes, gauges) is instrumented against a per-server
+//!    [`metrics registry`](kraftwerk_trace::metrics), exposed through the
+//!    enriched `stats` frame and the optional HTTP sidecar
+//!    (`metrics_addr`: Prometheus `/metrics` + `/healthz`); per-job run
+//!    reports land under `report_dir` keyed by job id, carrying the
+//!    client `trace_id` for end-to-end correlation.
 
 use std::collections::{HashSet, VecDeque};
 use std::io::{BufRead as _, BufReader, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -36,9 +43,11 @@ use kraftwerk_core::{
 use kraftwerk_netlist::format::{read_netlist, write_placement};
 use kraftwerk_netlist::{metrics, Netlist, Placement};
 use kraftwerk_trace::json::JsonObject;
+use kraftwerk_trace::{install_scoped, RunRecorder, TraceSink, Value};
 
 use crate::fault::{FaultKind, DIVERGENCE_BOOST, STALL_MS};
 use crate::journal::{recover_journals, JobJournal};
+use crate::metrics::ServiceMetrics;
 use crate::proto::{
     busy_frame, error_frame, parse_request, progress_frame, queued_frame, result_frame, JobReport,
     Mode, PlaceRequest, ProtoError, Request, CODE_INTERNAL,
@@ -47,7 +56,7 @@ use crate::proto::{
 /// Locks a mutex, recovering the guard from a poisoned lock: a panicking
 /// job must never wedge the daemon, and every guarded structure is valid
 /// at every await-free point.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -80,6 +89,13 @@ pub struct ServeConfig {
     /// Daemon-wide injected fault applied to every job (tests/drills);
     /// `None` falls back to the `KRAFTWERK_FAULT` environment variable.
     pub fault: Option<FaultKind>,
+    /// HTTP sidecar listen address for `/metrics` + `/healthz` (`:0`
+    /// picks a free port); `None` disables the sidecar.
+    pub metrics_addr: Option<String>,
+    /// Per-job run-report directory: each job writes a solver-level
+    /// `RunReport` JSONL (named `<job_id>.jsonl`, carrying the client
+    /// `trace_id` in its meta record); `None` disables reports.
+    pub report_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -96,20 +112,10 @@ impl Default for ServeConfig {
             retry_degraded: true,
             retry_backoff_ms: 50,
             fault: None,
+            metrics_addr: None,
+            report_dir: None,
         }
     }
-}
-
-/// Counters reported by the `stats` frame and the final summary.
-#[derive(Debug, Default)]
-struct Stats {
-    connections: AtomicU64,
-    jobs_ok: AtomicU64,
-    jobs_degraded: AtomicU64,
-    jobs_failed: AtomicU64,
-    jobs_rejected: AtomicU64,
-    retries: AtomicU64,
-    arena_reuses: AtomicU64,
 }
 
 /// End-of-run totals returned by [`Server::run`].
@@ -131,29 +137,32 @@ pub struct ServerSummary {
     pub connections: u64,
 }
 
-/// One queued job: the parsed request plus the connection to answer on.
-struct Job {
+/// One queued job: the parsed request plus the connection to answer on
+/// and its admission time (the queue-wait clock).
+pub(crate) struct Job {
     req: PlaceRequest,
     out: ConnOut,
+    enqueued_at: Instant,
 }
 
 /// Shared daemon state.
-struct Shared {
-    cfg: ServeConfig,
+pub(crate) struct Shared {
+    pub(crate) cfg: ServeConfig,
     /// Effective daemon-wide fault (config, else `KRAFTWERK_FAULT`).
     env_fault: Option<FaultKind>,
-    queue: Mutex<VecDeque<Job>>,
+    pub(crate) queue: Mutex<VecDeque<Job>>,
     queue_cv: Condvar,
     /// Ids of queued or running jobs (duplicate-id rejection).
     active_ids: Mutex<HashSet<String>>,
     /// Cross-request scratch-arena pool (bounded by `workers`).
-    arenas: Mutex<Vec<ScratchArena>>,
+    pub(crate) arenas: Mutex<Vec<ScratchArena>>,
     shutdown: AtomicBool,
-    stats: Stats,
+    /// Service-metrics series (job lifecycle, gauges, SLO histograms).
+    pub(crate) metrics: ServiceMetrics,
 }
 
 impl Shared {
-    fn shutting_down(&self) -> bool {
+    pub(crate) fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst) || sig::termed()
     }
 
@@ -194,6 +203,68 @@ impl ConnOut {
             self.alive.store(false, Ordering::SeqCst);
         }
     }
+
+    /// Best-effort bounded-latency send for progress frames: a slow or
+    /// non-draining client must never stall the worker for the blocking
+    /// write timeout mid-job.
+    ///
+    /// The socket is flipped to non-blocking for the write. If the very
+    /// first write would block (socket buffer full), the whole frame is
+    /// dropped — progress is advisory, the next stride resends. If a
+    /// *partial* frame got out, dropping would tear the JSONL stream, so
+    /// the remainder is retried briefly; a client that cannot absorb the
+    /// tail within the budget is marked dead (same contract as a failed
+    /// blocking send). Returns `true` when the full frame was written.
+    fn send_progress(&self, frame: &str) -> bool {
+        const COMPLETION_BUDGET: Duration = Duration::from_millis(100);
+        if !self.alive.load(Ordering::SeqCst) {
+            return false;
+        }
+        let mut data = Vec::with_capacity(frame.len() + 1);
+        data.extend_from_slice(frame.as_bytes());
+        data.push(b'\n');
+        let mut stream = lock(&self.stream);
+        if stream.set_nonblocking(true).is_err() {
+            return false;
+        }
+        let deadline = Instant::now() + COMPLETION_BUDGET;
+        let mut written = 0usize;
+        let sent = loop {
+            match stream.write(&data[written..]) {
+                Ok(0) => {
+                    self.alive.store(false, Ordering::SeqCst);
+                    break false;
+                }
+                Ok(n) => {
+                    written += n;
+                    if written == data.len() {
+                        break true;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if written == 0 {
+                        // Nothing on the wire yet: drop the frame whole.
+                        break false;
+                    }
+                    if Instant::now() >= deadline {
+                        // A torn frame cannot be resynced; cut the client.
+                        self.alive.store(false, Ordering::SeqCst);
+                        break false;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.alive.store(false, Ordering::SeqCst);
+                    break false;
+                }
+            }
+        };
+        // The reader thread shares this file description and tolerates
+        // transient `WouldBlock` reads, so the flip back is not racy.
+        let _ = stream.set_nonblocking(false);
+        sent
+    }
 }
 
 /// A handle for stopping a running server from another thread (tests and
@@ -202,6 +273,7 @@ impl ConnOut {
 pub struct ServerHandle {
     shared: Arc<Shared>,
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
 }
 
 impl ServerHandle {
@@ -209,6 +281,12 @@ impl ServerHandle {
     #[must_use]
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound HTTP metrics-sidecar address, when configured.
+    #[must_use]
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Requests a graceful shutdown (drain running jobs, then exit).
@@ -221,11 +299,14 @@ impl ServerHandle {
 pub struct Server {
     listener: TcpListener,
     addr: SocketAddr,
+    metrics_listener: Option<TcpListener>,
+    metrics_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
 }
 
 impl Server {
-    /// Binds the listen socket and installs the termination-signal flag.
+    /// Binds the listen socket (and the metrics sidecar socket, when
+    /// configured) and installs the termination-signal flag.
     ///
     /// # Errors
     ///
@@ -234,6 +315,18 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let metrics_listener = match &cfg.metrics_addr {
+            Some(addr) => {
+                let l = TcpListener::bind(addr)?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        let metrics_addr = match &metrics_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
         sig::install();
         let env_fault = cfg.fault.or_else(FaultKind::from_env);
         let shared = Arc::new(Shared {
@@ -244,11 +337,13 @@ impl Server {
             active_ids: Mutex::new(HashSet::new()),
             arenas: Mutex::new(Vec::new()),
             shutdown: AtomicBool::new(false),
-            stats: Stats::default(),
+            metrics: ServiceMetrics::new(),
         });
         Ok(Self {
             listener,
             addr,
+            metrics_listener,
+            metrics_addr,
             shared,
         })
     }
@@ -259,12 +354,19 @@ impl Server {
         self.addr
     }
 
+    /// The bound HTTP metrics-sidecar address, when configured.
+    #[must_use]
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
     /// A shutdown handle usable from other threads.
     #[must_use]
     pub fn handle(&self) -> ServerHandle {
         ServerHandle {
             shared: Arc::clone(&self.shared),
             addr: self.addr,
+            metrics_addr: self.metrics_addr,
         }
     }
 
@@ -285,11 +387,20 @@ impl Server {
                     .spawn(move || worker_loop(&shared))?,
             );
         }
+        let mut sidecar = None;
+        if let Some(listener) = self.metrics_listener {
+            let shared = Arc::clone(&self.shared);
+            sidecar = Some(
+                std::thread::Builder::new()
+                    .name("kraftwerk-serve-metrics".into())
+                    .spawn(move || crate::http::run(&shared, &listener))?,
+            );
+        }
         let mut readers = Vec::new();
         while !self.shared.shutting_down() {
             match self.listener.accept() {
                 Ok((stream, _)) => {
-                    self.shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                    self.shared.metrics.connections.inc();
                     let shared = Arc::clone(&self.shared);
                     if let Ok(handle) = std::thread::Builder::new()
                         .name("kraftwerk-serve-conn".into())
@@ -309,18 +420,21 @@ impl Server {
         for h in workers {
             let _ = h.join();
         }
+        if let Some(h) = sidecar {
+            let _ = h.join();
+        }
         for h in readers {
             let _ = h.join();
         }
-        let s = &self.shared.stats;
+        let m = &self.shared.metrics;
         Ok(ServerSummary {
-            jobs_ok: s.jobs_ok.load(Ordering::Relaxed),
-            jobs_degraded: s.jobs_degraded.load(Ordering::Relaxed),
-            jobs_failed: s.jobs_failed.load(Ordering::Relaxed),
-            jobs_rejected: s.jobs_rejected.load(Ordering::Relaxed),
-            retries: s.retries.load(Ordering::Relaxed),
-            arena_reuses: s.arena_reuses.load(Ordering::Relaxed),
-            connections: s.connections.load(Ordering::Relaxed),
+            jobs_ok: m.jobs_ok.get(),
+            jobs_degraded: m.jobs_degraded.get(),
+            jobs_failed: m.jobs_failed.get(),
+            jobs_rejected: m.jobs_rejected.get(),
+            retries: m.retries.get(),
+            arena_reuses: m.arena_hits.get(),
+            connections: m.connections.get(),
         })
     }
 }
@@ -413,6 +527,7 @@ fn connection_loop(shared: &Shared, stream: TcpStream) {
             LineRead::Oversized => {
                 out.send(&error_frame(
                     None,
+                    None,
                     &ProtoError::validation(format!(
                         "frame exceeds {} bytes",
                         shared.cfg.max_frame_bytes
@@ -422,6 +537,7 @@ fn connection_loop(shared: &Shared, stream: TcpStream) {
             LineRead::BadUtf8 => {
                 out.send(&error_frame(
                     None,
+                    None,
                     &ProtoError::protocol("frame is not valid UTF-8"),
                 ));
             }
@@ -430,7 +546,7 @@ fn connection_loop(shared: &Shared, stream: TcpStream) {
                     continue;
                 }
                 match parse_request(&line) {
-                    Err(e) => out.send(&error_frame(None, &e)),
+                    Err(e) => out.send(&error_frame(None, None, &e)),
                     Ok(Request::Ping) => {
                         let mut o = JsonObject::new();
                         o.str_field("type", "pong");
@@ -466,51 +582,81 @@ fn enqueue_job(shared: &Shared, req: PlaceRequest, out: &ConnOut) {
         if !ids.insert(req.id.clone()) {
             out.send(&error_frame(
                 Some(&req.id),
+                req.trace_id.as_deref(),
                 &ProtoError::validation(format!("duplicate job id `{}`", req.id)),
             ));
             return;
         }
     }
     let id = req.id.clone();
+    let trace_id = req.trace_id.clone();
     {
         let mut queue = lock(&shared.queue);
         if queue.len() >= shared.cfg.queue_capacity || shared.shutting_down() {
             let depth = queue.len();
             drop(queue);
             lock(&shared.active_ids).remove(&id);
-            shared.stats.jobs_rejected.fetch_add(1, Ordering::Relaxed);
-            out.send(&busy_frame(&id, shared.cfg.retry_after_ms, depth));
+            shared.metrics.jobs_rejected.inc();
+            out.send(&busy_frame(
+                &id,
+                trace_id.as_deref(),
+                shared.cfg.retry_after_ms,
+                depth,
+            ));
             return;
         }
         queue.push_back(Job {
             req,
             out: out.clone(),
+            enqueued_at: Instant::now(),
         });
+        shared.metrics.queue_depth.set(queue.len() as f64);
         // Ack while still holding the queue lock: a worker cannot pop the
         // job without that lock, so the `queued` frame is on the wire
         // before any progress/result frame. (Lock order is queue -> stream;
         // workers never take them nested, so this cannot deadlock.)
-        out.send(&queued_frame(&id, queue.len()));
+        out.send(&queued_frame(&id, trace_id.as_deref(), queue.len()));
     }
     shared.queue_cv.notify_one();
 }
 
-/// The `stats` response frame.
+/// The `stats` response frame: configuration, live gauges, per-outcome
+/// totals, and p50/p90/p99 latency estimates from the SLO histograms.
 fn stats_frame(shared: &Shared) -> String {
-    let s = &shared.stats;
+    let m = &shared.metrics;
     let mut o = JsonObject::new();
     o.str_field("type", "stats");
     o.u64_field("workers", shared.cfg.workers as u64);
     o.u64_field("queue_capacity", shared.cfg.queue_capacity as u64);
     o.u64_field("queue_depth", lock(&shared.queue).len() as u64);
     o.u64_field("active", lock(&shared.active_ids).len() as u64);
+    o.u64_field("in_flight", m.in_flight.get().max(0.0) as u64);
+    o.f64_field("uptime_s", m.uptime_s());
     o.u64_field("arenas_pooled", lock(&shared.arenas).len() as u64);
-    o.u64_field("jobs_ok", s.jobs_ok.load(Ordering::Relaxed));
-    o.u64_field("jobs_degraded", s.jobs_degraded.load(Ordering::Relaxed));
-    o.u64_field("jobs_failed", s.jobs_failed.load(Ordering::Relaxed));
-    o.u64_field("jobs_rejected", s.jobs_rejected.load(Ordering::Relaxed));
-    o.u64_field("retries", s.retries.load(Ordering::Relaxed));
-    o.u64_field("arena_reuses", s.arena_reuses.load(Ordering::Relaxed));
+    o.u64_field("connections", m.connections.get());
+    o.u64_field("jobs_ok", m.jobs_ok.get());
+    o.u64_field("jobs_degraded", m.jobs_degraded.get());
+    o.u64_field("jobs_failed", m.jobs_failed.get());
+    o.u64_field("jobs_rejected", m.jobs_rejected.get());
+    o.u64_field("jobs_panicked", m.job_panics.get());
+    o.u64_field("deadline_exhausted", m.deadline_exhausted.get());
+    o.u64_field("retries", m.retries.get());
+    o.u64_field("arena_reuses", m.arena_hits.get());
+    o.u64_field("progress_dropped", m.progress_dropped.get());
+    o.u64_field("journal_write_failures", m.journal_write_failures.get());
+    o.raw_field("queue_wait_s", &latency_summary(&m.queue_wait_seconds));
+    o.raw_field("solve_wall_s", &latency_summary(&m.solve_wall_seconds));
+    o.finish()
+}
+
+/// A `{count,p50,p90,p99}` JSON object estimated from one SLO histogram
+/// (percentiles are `null` until the first observation).
+fn latency_summary(histogram: &kraftwerk_trace::metrics::MetricHistogram) -> String {
+    let mut o = JsonObject::new();
+    o.u64_field("count", histogram.count());
+    o.f64_field("p50", histogram.percentile(0.50));
+    o.f64_field("p90", histogram.percentile(0.90));
+    o.f64_field("p99", histogram.percentile(0.99));
     o.finish()
 }
 
@@ -565,7 +711,15 @@ fn worker_loop(shared: &Shared) {
                 queue = guard;
             }
         };
+        let metrics = &shared.metrics;
+        metrics.queue_depth.set(lock(&shared.queue).len() as f64);
+        metrics
+            .queue_wait_seconds
+            .observe(job.enqueued_at.elapsed().as_secs_f64());
+        metrics.in_flight.add(1.0);
+        let picked_up = Instant::now();
         let id = job.req.id.clone();
+        let trace_id = job.req.trace_id.clone();
         let out = job.out.clone();
         let outcome = catch_unwind(AssertUnwindSafe(|| process_job(shared, &job)));
         if let Err(panic) = outcome {
@@ -576,9 +730,11 @@ fn worker_loop(shared: &Shared) {
                 .map(String::as_str)
                 .or_else(|| panic.downcast_ref::<&str>().copied())
                 .unwrap_or("worker panicked");
-            shared.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            metrics.jobs_failed.inc();
+            metrics.job_panics.inc();
             out.send(&error_frame(
                 Some(&id),
+                trace_id.as_deref(),
                 &ProtoError {
                     stage: "internal".into(),
                     code: CODE_INTERNAL,
@@ -586,6 +742,10 @@ fn worker_loop(shared: &Shared) {
                 },
             ));
         }
+        metrics
+            .solve_wall_seconds
+            .observe(picked_up.elapsed().as_secs_f64());
+        metrics.in_flight.add(-1.0);
         lock(&shared.active_ids).remove(&id);
     }
 }
@@ -605,8 +765,25 @@ struct Attempt {
 fn process_job(shared: &Shared, job: &Job) {
     let req = &job.req;
     let started = Instant::now();
+    let trace_id = req.trace_id.as_deref();
     let fault = req.fault.or(shared.env_fault);
-    let mut journal = JobJournal::open(shared.cfg.journal_dir.as_deref(), &req.id);
+    let mut journal = JobJournal::open_counted(
+        shared.cfg.journal_dir.as_deref(),
+        &req.id,
+        Some(Arc::clone(&shared.metrics.journal_write_failures)),
+    );
+
+    // Per-job run report: a scoped sink on this worker thread captures
+    // exactly this job's solver telemetry (concurrent jobs on sibling
+    // workers have their own scope, or none).
+    let recorder = shared
+        .cfg
+        .report_dir
+        .as_ref()
+        .map(|_| Arc::new(RunRecorder::new()));
+    let _scope = recorder
+        .as_ref()
+        .map(|r| install_scoped(Arc::clone(r) as Arc<dyn TraceSink>));
 
     // 1. Parse (with optional injected corruption) and validate.
     let text: &str = &req.netlist_text;
@@ -622,16 +799,18 @@ fn process_job(shared: &Shared, job: &Job) {
         Err(e) => {
             let err = ProtoError::pipeline(&kraftwerk_core::KraftwerkError::from(e));
             journal.end("error", f64::NAN, 0);
-            shared.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
-            job.out.send(&error_frame(Some(&req.id), &err));
+            shared.metrics.jobs_failed.inc();
+            write_job_report(shared, req, recorder.as_deref(), "error", f64::NAN);
+            job.out.send(&error_frame(Some(&req.id), trace_id, &err));
             return;
         }
     };
     if let Err(e) = netlist.validate() {
         let err = ProtoError::pipeline(&kraftwerk_core::KraftwerkError::from(e));
         journal.end("error", f64::NAN, 0);
-        shared.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
-        job.out.send(&error_frame(Some(&req.id), &err));
+        shared.metrics.jobs_failed.inc();
+        write_job_report(shared, req, recorder.as_deref(), "error", f64::NAN);
+        job.out.send(&error_frame(Some(&req.id), trace_id, &err));
         return;
     }
 
@@ -660,6 +839,7 @@ fn process_job(shared: &Shared, job: &Job) {
     }
     journal.start(
         &req.id,
+        trace_id,
         netlist.num_movable(),
         req.mode.name(),
         u64::try_from(deadline.saturating_duration_since(started).as_millis()).unwrap_or(u64::MAX),
@@ -671,8 +851,14 @@ fn process_job(shared: &Shared, job: &Job) {
         None => (ScratchArena::default(), false),
     };
     if arena_pooled {
-        shared.stats.arena_reuses.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.arena_hits.inc();
+    } else {
+        shared.metrics.arena_misses.inc();
     }
+    shared
+        .metrics
+        .arena_pool_size
+        .set(lock(&shared.arenas).len() as f64);
     let stall = std::cell::Cell::new(fault == Some(FaultKind::Stall));
     let run = run_attempt(
         shared, job, &netlist, cfg.clone(), arena, 1, &mut journal, &stall,
@@ -683,8 +869,9 @@ fn process_job(shared: &Shared, job: &Job) {
             let (err, arena) = *boxed;
             lock(&shared.arenas).push(arena);
             journal.end("error", f64::NAN, 0);
-            shared.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
-            job.out.send(&error_frame(Some(&req.id), &err));
+            shared.metrics.jobs_failed.inc();
+            write_job_report(shared, req, recorder.as_deref(), "error", f64::NAN);
+            job.out.send(&error_frame(Some(&req.id), trace_id, &err));
             return;
         }
     };
@@ -699,7 +886,7 @@ fn process_job(shared: &Shared, job: &Job) {
     {
         std::thread::sleep(Duration::from_millis(shared.cfg.retry_backoff_ms));
         retried = true;
-        shared.stats.retries.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.retries.inc();
         let mut damped = cfg.clone();
         damped.k *= 0.5;
         damped.force_scale_boost = 1.0 + (damped.force_scale_boost - 1.0) * 0.5;
@@ -740,12 +927,17 @@ fn process_job(shared: &Shared, job: &Job) {
     }
     journal.end(status, attempt.hpwl, attempt.iterations);
     if status == "ok" {
-        shared.stats.jobs_ok.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.jobs_ok.inc();
     } else {
-        shared.stats.jobs_degraded.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.jobs_degraded.inc();
     }
+    if attempt.health.budget_exhausted {
+        shared.metrics.deadline_exhausted.inc();
+    }
+    write_job_report(shared, req, recorder.as_deref(), status, attempt.hpwl);
     let report = JobReport {
         id: req.id.clone(),
+        trace_id: req.trace_id.clone(),
         status,
         hpwl: attempt.hpwl,
         iterations: attempt.iterations,
@@ -762,12 +954,39 @@ fn process_job(shared: &Shared, job: &Job) {
     job.out.send(&result_frame(&report));
 }
 
+/// Writes the job's solver-level [`RunReport`] JSONL under `report_dir`,
+/// stamping correlation metadata (job id, client trace id, mode, terminal
+/// status, final HPWL) into the report's meta record. Best-effort: report
+/// I/O must never fail the job.
+fn write_job_report(
+    shared: &Shared,
+    req: &PlaceRequest,
+    recorder: Option<&RunRecorder>,
+    status: &str,
+    hpwl: f64,
+) {
+    let (Some(dir), Some(recorder)) = (&shared.cfg.report_dir, recorder) else {
+        return;
+    };
+    recorder.set_meta("job_id", Value::from(req.id.as_str()));
+    if let Some(trace_id) = &req.trace_id {
+        recorder.set_meta("trace_id", Value::from(trace_id.as_str()));
+    }
+    recorder.set_meta("mode", Value::from(req.mode.name()));
+    recorder.set_meta("status", Value::from(status));
+    recorder.set_meta("hpwl", Value::from(hpwl));
+    let report = recorder.report();
+    let _ = std::fs::create_dir_all(dir);
+    let _ = std::fs::write(dir.join(format!("{}.jsonl", req.id)), report.to_jsonl());
+}
+
 /// Returns an arena to the bounded cross-request pool.
 fn lock_pool_push(shared: &Shared, arena: ScratchArena) {
     let mut pool = lock(&shared.arenas);
     if pool.len() < shared.cfg.workers.max(1) * 2 {
         pool.push(arena);
     }
+    shared.metrics.arena_pool_size.set(pool.len() as f64);
 }
 
 /// One placement attempt: flat modes drive the session loop with
@@ -817,7 +1036,12 @@ fn run_attempt(
             journal.positions(st.iteration, &write_placement(netlist, placement));
         }
         if req.progress_every > 0 && st.iteration % req.progress_every == 0 {
-            job.out.send(&progress_frame(&req.id, st, attempt));
+            let frame = progress_frame(&req.id, req.trace_id.as_deref(), st, attempt);
+            if job.out.send_progress(&frame) {
+                shared.metrics.progress_sent.inc();
+            } else {
+                shared.metrics.progress_dropped.inc();
+            }
         }
     });
     match run {
@@ -889,5 +1113,63 @@ mod sig {
 
     pub fn termed() -> bool {
         false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Loopback pair: the returned peer is never read from, so the
+    /// daemon-side socket eventually fills.
+    fn loopback_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let peer = TcpStream::connect(listener.local_addr().expect("addr")).expect("connect");
+        let (daemon_side, _) = listener.accept().expect("accept");
+        (daemon_side, peer)
+    }
+
+    #[test]
+    fn send_progress_never_blocks_on_a_full_socket() {
+        let (daemon_side, _peer) = loopback_pair();
+        let out = ConnOut::new(daemon_side);
+        // 256 KiB frames: the OS buffers (a few MB on Linux loopback)
+        // fill within a bounded number of sends, after which the old
+        // blocking path would hang for the write timeout per frame.
+        let frame = "x".repeat(256 * 1024);
+        let started = Instant::now();
+        let mut dropped = 0usize;
+        for _ in 0..64 {
+            if !out.send_progress(&frame) {
+                dropped += 1;
+            }
+        }
+        assert!(dropped > 0, "a non-draining peer must force drops");
+        // 64 frames x 100ms completion budget would be 6.4s if every
+        // send burned the budget; the whole-frame-drop path must make
+        // the steady state nearly free.
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "send_progress must stay bounded on a full socket (took {:?})",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn send_progress_delivers_when_the_peer_drains() {
+        let (daemon_side, peer) = loopback_pair();
+        let out = ConnOut::new(daemon_side);
+        assert!(out.send_progress("{\"type\":\"progress\"}"));
+        // The frame really is on the wire, newline-terminated.
+        let mut reader = std::io::BufReader::new(peer);
+        let mut line = String::new();
+        std::io::BufRead::read_line(&mut reader, &mut line).expect("read");
+        assert_eq!(line, "{\"type\":\"progress\"}\n");
+        // The socket is back in blocking mode for terminal frames.
+        out.send("{\"type\":\"result\"}");
+        line.clear();
+        std::io::BufRead::read_line(&mut reader, &mut line).expect("read");
+        assert_eq!(line, "{\"type\":\"result\"}\n");
     }
 }

@@ -129,6 +129,29 @@ impl Histogram {
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
     }
 
+    /// Reads the buckets into a sparse `(index, count)` list without
+    /// resetting them — a point-in-time view for percentile estimation
+    /// on a live histogram.
+    #[must_use]
+    pub fn snapshot_sparse(&self) -> Vec<(u8, u64)> {
+        let mut sparse = Vec::new();
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let count = bucket.load(Ordering::Relaxed);
+            if count > 0 {
+                sparse.push((i as u8, count));
+            }
+        }
+        sparse
+    }
+
+    /// Estimates the `q`-quantile of the accumulated samples without
+    /// draining them. See [`estimate_percentile`] for the estimation
+    /// contract; returns `NaN` when the histogram is empty.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> f64 {
+        estimate_percentile(&self.snapshot_sparse(), q)
+    }
+
     /// Drains the buckets into a sparse `(index, count)` list, resetting
     /// them to zero.
     #[must_use]
@@ -155,6 +178,47 @@ impl Histogram {
             emit(TraceEvent::Histogram { name: self.name, buckets });
         }
     }
+}
+
+/// Estimates the `q`-quantile (`q` in `[0, 1]`) of a sample set summarized
+/// as sparse log2 buckets, by linear interpolation inside the bucket that
+/// holds the target rank.
+///
+/// The estimate walks the cumulative counts to the bucket containing rank
+/// `q * total`, then places the result a proportional fraction of the way
+/// through that bucket's `[lo, hi)` value range. The error is therefore
+/// bounded by the bucket width: for the power-of-two layout, the estimate
+/// is always within a factor of 2 of any exact sample quantile falling in
+/// the same bucket. Two special cases keep the result finite: the
+/// overflow bucket (index 63, unbounded above) interpolates over
+/// `[lo, 2*lo)`, and an empty input returns `NaN`.
+///
+/// `buckets` is a sparse ascending `(index, count)` list as produced by
+/// [`Histogram::snapshot_sparse`] / [`Histogram::take_sparse`].
+#[must_use]
+pub fn estimate_percentile(buckets: &[(u8, u64)], q: f64) -> f64 {
+    let total: u64 = buckets.iter().map(|&(_, c)| c).sum();
+    if total == 0 {
+        return f64::NAN;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let target = q * total as f64;
+    let mut cumulative = 0u64;
+    for (slot, &(index, count)) in buckets.iter().enumerate() {
+        let reached = cumulative + count;
+        if reached as f64 >= target || slot == buckets.len() - 1 {
+            let (lo, hi) = bucket_bounds(index);
+            let hi = if hi.is_finite() { hi } else { lo * 2.0 };
+            let fraction = if count == 0 {
+                0.0
+            } else {
+                ((target - cumulative as f64) / count as f64).clamp(0.0, 1.0)
+            };
+            return lo + fraction * (hi - lo);
+        }
+        cumulative = reached;
+    }
+    f64::NAN
 }
 
 impl std::fmt::Debug for Histogram {
@@ -188,6 +252,109 @@ mod tests {
             let (lo, hi) = bucket_bounds(bucket_index(v) as u8);
             assert!(lo <= v && v < hi, "{v} outside [{lo}, {hi})");
         }
+    }
+
+    /// Splitmix64 — a tiny deterministic generator so the percentile
+    /// tests need no external RNG crate.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Exact nearest-rank-with-interpolation quantile on sorted samples,
+    /// the reference the bucketed estimate is checked against.
+    fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+        let rank = q * (sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        sorted[lo] + frac * (sorted[hi] - sorted[lo])
+    }
+
+    #[test]
+    fn percentile_estimate_brackets_exact_quantiles() {
+        // Three sample shapes: uniform, log-uniform over ~9 decades, and
+        // a bimodal mix. For each, the bucketed estimate must land in
+        // (or adjacent to) the bucket holding the exact sorted-sample
+        // quantile — the documented factor-of-2 contract.
+        let mut state = 0x5eed_u64;
+        let shapes: [&dyn Fn(f64) -> f64; 3] = [
+            &|u| 1.0 + 999.0 * u,
+            &|u| (u * 30.0 - 15.0).exp2(),
+            &|u| if u < 0.7 { 0.5 + u } else { 5000.0 + 100.0 * u },
+        ];
+        for shape in shapes {
+            let mut samples: Vec<f64> = (0..10_000)
+                .map(|_| {
+                    let u = (splitmix(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+                    shape(u)
+                })
+                .collect();
+            let mut counts = [0u64; HISTOGRAM_BUCKETS];
+            for &v in &samples {
+                counts[bucket_index(v)] += 1;
+            }
+            let sparse: Vec<(u8, u64)> = counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| (i as u8, c))
+                .collect();
+            samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut previous = 0.0;
+            for q in [0.5, 0.9, 0.99] {
+                let exact = exact_quantile(&samples, q);
+                let estimate = estimate_percentile(&sparse, q);
+                let distance =
+                    (bucket_index(estimate) as i64 - bucket_index(exact) as i64).unsigned_abs();
+                assert!(
+                    distance <= 1,
+                    "q={q}: estimate {estimate} is {distance} buckets from exact {exact}"
+                );
+                assert!(
+                    estimate >= exact / 4.0 && estimate <= exact * 4.0,
+                    "q={q}: estimate {estimate} outside the bracket of exact {exact}"
+                );
+                assert!(estimate >= previous, "quantile estimates must be monotone");
+                previous = estimate;
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_estimate_edge_cases() {
+        assert!(estimate_percentile(&[], 0.5).is_nan());
+        // A single bucket interpolates across its own bounds.
+        let idx = bucket_index(3.0) as u8;
+        let (lo, hi) = bucket_bounds(idx);
+        let mid = estimate_percentile(&[(idx, 10)], 0.5);
+        assert!(mid > lo && mid < hi, "{mid} not inside [{lo}, {hi})");
+        assert_eq!(estimate_percentile(&[(idx, 10)], 0.0), lo);
+        assert_eq!(estimate_percentile(&[(idx, 10)], 1.0), hi);
+        // The overflow bucket stays finite.
+        let top = estimate_percentile(&[(63, 5)], 0.99);
+        assert!(top.is_finite());
+        // Out-of-range q clamps instead of panicking.
+        assert_eq!(
+            estimate_percentile(&[(idx, 10)], -3.0),
+            estimate_percentile(&[(idx, 10)], 0.0)
+        );
+        // Live-histogram convenience: record through an installed sink.
+        with_global_sink_lock(|| {
+            install(Arc::new(CollectorSink::new()));
+            let h = Histogram::new("t.pct");
+            for _ in 0..8 {
+                h.record(10.0);
+            }
+            let p50 = h.percentile(0.5);
+            uninstall();
+            let (lo, hi) = bucket_bounds(bucket_index(10.0) as u8);
+            assert!(p50 >= lo && p50 <= hi);
+            assert_eq!(h.count(), 8, "percentile must not drain the histogram");
+        });
     }
 
     #[test]

@@ -29,6 +29,12 @@
 //! * [`snapshot`] emits downsampled density/potential grids and sampled
 //!   cell positions as `snapshot` records every N transformations;
 //!   [`SnapshotRecorder`] collects just those.
+//! * [`metrics`] is the *service* counterpart: an instance-scoped
+//!   registry of always-on labelled counters, gauges, and cumulative
+//!   histograms with a deterministic snapshot and Prometheus text
+//!   exposition — what a long-lived daemon exports, as opposed to the
+//!   drained per-run trace stream. [`install_scoped`] confines a sink to
+//!   one thread so a multi-tenant host can capture per-job reports.
 //! * [`json`] is the hand-rolled encoder/parser backing all of it.
 //! * [`Console`] / [`ProgressSink`] provide leveled CLI output so
 //!   binaries share one `--quiet`/`-v` convention.
@@ -64,6 +70,7 @@ pub mod console;
 mod event;
 mod hist;
 pub mod json;
+pub mod metrics;
 mod report;
 mod sink;
 mod snapshot;
@@ -71,15 +78,17 @@ mod span;
 
 pub use console::{Console, ProgressSink, Verbosity};
 pub use event::{TraceEvent, Value};
-pub use hist::{bucket_bounds, bucket_index, Histogram, HISTOGRAM_BUCKETS};
+pub use hist::{
+    bucket_bounds, bucket_index, estimate_percentile, Histogram, HISTOGRAM_BUCKETS,
+};
 pub use report::{
     AllocStat, ConvergenceRecord, HistogramStat, IterationRecord, PhaseStat, RunRecorder,
     RunReport, TimelineEvent, UtilizationStat, ALLOC_EVENT, CONVERGENCE_CAP, CONVERGENCE_EVENTS,
     ITERATION_EVENT, UTILIZATION_EVENT, WATCHDOG_EVENT,
 };
 pub use sink::{
-    counter, emit, enabled, event, gauge, install, uninstall, CollectorSink, FanoutSink,
-    JsonlEventSink, TraceSink,
+    counter, emit, enabled, event, gauge, install, install_scoped, uninstall, CollectorSink,
+    FanoutSink, JsonlEventSink, ScopedSinkGuard, TraceSink,
 };
 pub use snapshot::{
     snapshot, SnapshotRecord, SnapshotRecorder, SNAPSHOT_CELLS, SNAPSHOT_DENSITY,

@@ -1,8 +1,10 @@
 //! The global sink registry and stock sink implementations.
 
 use crate::event::TraceEvent;
+use std::cell::RefCell;
 use std::io::Write;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// Receives every telemetry event while installed.
@@ -22,12 +24,71 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 
 static SINK: RwLock<Option<Arc<dyn TraceSink>>> = RwLock::new(None);
 
-/// Whether a sink is installed. Instrumentation sites use this as the
-/// cheap guard before doing any per-event work (timestamps, allocation).
+/// Number of threads that currently hold a scoped sink. Zero in every
+/// single-run configuration, so the extra check in [`enabled`] stays one
+/// relaxed load unless a host (the placement daemon) opts in.
+static SCOPED_ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's scoped sink, if any. Takes priority over the global
+    /// sink for events emitted on this thread.
+    static SCOPED: RefCell<Option<Arc<dyn TraceSink>>> = const { RefCell::new(None) };
+}
+
+/// Whether a sink is installed — globally, or scoped to this thread.
+/// Instrumentation sites use this as the cheap guard before doing any
+/// per-event work (timestamps, allocation).
 #[inline]
 #[must_use]
 pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
+        || (SCOPED_ACTIVE.load(Ordering::Relaxed) > 0
+            && SCOPED.with(|slot| slot.borrow().is_some()))
+}
+
+/// Restores the previous scoped sink (usually none) when dropped.
+///
+/// Returned by [`install_scoped`]; deliberately `!Send` so the guard is
+/// dropped on the thread whose slot it guards.
+#[must_use = "dropping the guard immediately uninstalls the scoped sink"]
+pub struct ScopedSinkGuard {
+    previous: Option<Arc<dyn TraceSink>>,
+    _thread_bound: PhantomData<*const ()>,
+}
+
+impl std::fmt::Debug for ScopedSinkGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ScopedSinkGuard")
+    }
+}
+
+impl Drop for ScopedSinkGuard {
+    fn drop(&mut self) {
+        let restored = self.previous.take();
+        let restores = restored.is_some();
+        SCOPED.with(|slot| *slot.borrow_mut() = restored);
+        if !restores {
+            SCOPED_ACTIVE.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Installs `sink` for the current thread only, shadowing the global sink
+/// for events emitted on this thread until the guard drops.
+///
+/// This is how a multi-tenant host (the placement daemon) captures one
+/// job's telemetry into a per-job recorder without cross-talk from
+/// concurrent jobs on sibling worker threads: emission happens on the
+/// calling thread, so a scoped sink on the worker sees exactly its own
+/// job's events. Threads with no scoped sink still deliver to the global
+/// sink, and the zero-cost contract holds — when no scope is active
+/// anywhere, [`enabled`] remains a single relaxed load.
+pub fn install_scoped(sink: Arc<dyn TraceSink>) -> ScopedSinkGuard {
+    let previous = SCOPED.with(|slot| slot.borrow_mut().replace(sink));
+    if previous.is_none() {
+        SCOPED_ACTIVE.fetch_add(1, Ordering::Relaxed);
+    }
+    ScopedSinkGuard { previous, _thread_bound: PhantomData }
 }
 
 /// Installs `sink` as the global sink, replacing any previous one.
@@ -52,9 +113,24 @@ pub fn uninstall() {
     *slot = None;
 }
 
-/// Delivers `event` to the installed sink, if any.
+/// Delivers `event` to this thread's scoped sink if one is installed,
+/// otherwise to the global sink, if any.
 pub fn emit(event: TraceEvent) {
-    if !enabled() {
+    if SCOPED_ACTIVE.load(Ordering::Relaxed) > 0 {
+        let delivered = SCOPED.with(|slot| {
+            let slot = slot.borrow();
+            if let Some(sink) = slot.as_ref() {
+                crate::alloc::untracked(|| sink.event(&event));
+                true
+            } else {
+                false
+            }
+        });
+        if delivered {
+            return;
+        }
+    }
+    if !ENABLED.load(Ordering::Relaxed) {
         return;
     }
     let sink = {
@@ -295,6 +371,76 @@ mod tests {
         for line in lines {
             crate::json::parse(line).expect("each line parses");
         }
+    }
+
+    #[test]
+    fn scoped_sink_shadows_global_on_its_thread_only() {
+        with_global_sink_lock(|| {
+            let global = Arc::new(CollectorSink::new());
+            install(global.clone());
+            let scoped = Arc::new(CollectorSink::new());
+            {
+                let _guard = install_scoped(scoped.clone());
+                assert!(enabled());
+                counter("scoped.here", 1);
+                // A sibling thread with no scope still hits the global sink.
+                std::thread::spawn(|| counter("global.there", 2))
+                    .join()
+                    .expect("sibling thread");
+            }
+            counter("global.after", 3);
+            uninstall();
+            let scoped_events = scoped.snapshot();
+            assert_eq!(scoped_events.len(), 1);
+            assert_eq!(
+                scoped_events[0],
+                TraceEvent::Counter { name: "scoped.here", value: 1 }
+            );
+            let names: Vec<_> = global
+                .snapshot()
+                .iter()
+                .map(|e| match e {
+                    TraceEvent::Counter { name, .. } => *name,
+                    _ => "?",
+                })
+                .collect();
+            assert_eq!(names, vec!["global.there", "global.after"]);
+        });
+    }
+
+    #[test]
+    fn scoped_sink_enables_tracing_without_a_global_sink() {
+        with_global_sink_lock(|| {
+            assert!(!enabled());
+            let scoped = Arc::new(CollectorSink::new());
+            let guard = install_scoped(scoped.clone());
+            assert!(enabled());
+            counter("scoped.only", 7);
+            drop(guard);
+            assert!(!enabled());
+            counter("scoped.gone", 8);
+            assert_eq!(scoped.len(), 1);
+        });
+    }
+
+    #[test]
+    fn nested_scoped_sinks_restore_the_outer_scope() {
+        with_global_sink_lock(|| {
+            let outer = Arc::new(CollectorSink::new());
+            let inner = Arc::new(CollectorSink::new());
+            let _outer_guard = install_scoped(outer.clone());
+            {
+                let _inner_guard = install_scoped(inner.clone());
+                counter("nested.inner", 1);
+            }
+            counter("nested.outer", 2);
+            assert_eq!(inner.len(), 1);
+            assert_eq!(outer.len(), 1);
+            assert_eq!(
+                outer.snapshot()[0],
+                TraceEvent::Counter { name: "nested.outer", value: 2 }
+            );
+        });
     }
 
     #[test]

@@ -32,11 +32,11 @@ obs_dir=$(mktemp -d)
 trap 'rm -f "$bench_smoke"; rm -rf "$obs_dir"' EXIT
 cargo run --release --bin kraftwerk -- bench --json --max-cells 200 -o "$bench_smoke" -q
 KRAFTWERK_BIN=target/release/kraftwerk bash scripts/bench_gate.sh
-# The committed multilevel-b2b scale-tier rows (scale10k/scale50k) are
-# enforcing too: rerun the V-cycle flow and fail on HPWL drift, same 2%
-# bar as the flat modes (HPWL is bitwise deterministic, so any drift is
-# a real change).
-KRAFTWERK_BIN=target/release/kraftwerk MODES=multilevel-b2b MAX_CELLS=50000 \
+# The committed multilevel-b2b scale-tier rows (scale10k/scale50k/
+# scale250k) are enforcing too: rerun the V-cycle flow and fail on HPWL
+# drift, same 2% bar as the flat modes (HPWL is bitwise deterministic,
+# so any drift is a real change).
+KRAFTWERK_BIN=target/release/kraftwerk MODES=multilevel-b2b MAX_CELLS=250000 \
     bash scripts/bench_gate.sh
 
 # Large-netlist smoke: the 50k-cell scale tier must place end-to-end
@@ -98,29 +98,37 @@ print(f"observability smoke: OK ({len(events)} trace events, "
 EOF
 
 # Daemon smoke: the served path end to end against a real process — one
-# good job, one malformed frame, and one fault-injected job, each
-# answered with the documented structured frame on a surviving
-# connection, then a SIGTERM shutdown that must exit 0 and print the
-# served: summary (README "Serving placements").
+# good job (trace-id correlated), one malformed frame, and one
+# fault-injected job, each answered with the documented structured frame
+# on a surviving connection, with the /metrics sidecar scraped between
+# jobs (counters must move, the exposition must parse line by line, and
+# /healthz must report ok), then a SIGTERM shutdown that must exit 0 and
+# print the served: summary (README "Serving placements" and "Service
+# metrics").
 serve_log="$obs_dir/serve.log"
 target/release/kraftwerk serve --workers 1 --queue-cap 4 --deadline 30 \
+    --metrics-addr 127.0.0.1:0 \
     > "$serve_log" 2>&1 &
 serve_pid=$!
 serve_addr=""
+metrics_url=""
 for _ in $(seq 1 100); do
     serve_addr=$(sed -n 's/^listening on //p' "$serve_log" | head -n 1)
-    [ -n "$serve_addr" ] && break
+    metrics_url=$(sed -n 's/^metrics on //p' "$serve_log" | head -n 1)
+    [ -n "$serve_addr" ] && [ -n "$metrics_url" ] && break
     sleep 0.1
 done
-if [ -z "$serve_addr" ]; then
-    echo "verify: daemon never reported its address" >&2
+if [ -z "$serve_addr" ] || [ -z "$metrics_url" ]; then
+    echo "verify: daemon never reported its addresses" >&2
     kill "$serve_pid" 2> /dev/null || true
     exit 1
 fi
-python3 - "$serve_addr" "$obs_dir/fract.kw" <<'EOF'
-import json, socket, sys
+python3 - "$serve_addr" "$obs_dir/fract.kw" "$metrics_url" <<'EOF'
+import json, socket, sys, time, urllib.request
 host, port = sys.argv[1].rsplit(":", 1)
 netlist = open(sys.argv[2]).read()
+metrics_url = sys.argv[3]
+health_url = metrics_url.rsplit("/", 1)[0] + "/healthz"
 sock = socket.create_connection((host, int(port)), timeout=60)
 f = sock.makefile("rw")
 
@@ -139,34 +147,88 @@ def outcome():
         r = recv()
     return r
 
-# 1. A good job round-trips: queued ack, then an ok/degraded result.
+def scrape():
+    body = urllib.request.urlopen(metrics_url, timeout=10).read().decode()
+    samples = {}
+    for line in body.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            # Exposition comments are HELP/TYPE only.
+            assert line.startswith("# HELP ") or line.startswith("# TYPE "), line
+            continue
+        series, _, value = line.rpartition(" ")
+        assert series, f"malformed sample: {line}"
+        float(value)  # every sample value must parse
+        samples[series] = float(value)
+    return samples
+
+def scrape_until(series, value, tries=100):
+    # The solve-wall sample lands a moment after the result frame is
+    # sent; give each counter a bounded window to settle.
+    for _ in range(tries):
+        m = scrape()
+        if m.get(series) == value:
+            return m
+        time.sleep(0.02)
+    raise AssertionError(f"{series} never reached {value}: {scrape()}")
+
+# 0. The sidecar answers before any job ran.
+m0 = scrape()
+assert m0.get('kraftwerk_jobs_total{outcome="ok"}') == 0.0, m0
+
+# 1. A good job round-trips: queued ack, then an ok/degraded result,
+#    every frame echoing the client trace id.
 send({"type": "place", "id": "smoke-good", "mode": "fast",
-      "netlist": netlist, "max_transformations": 12})
+      "netlist": netlist, "max_transformations": 12,
+      "trace_id": "verify-smoke-1"})
 q = recv()
-assert q["type"] == "queued", q
+assert q["type"] == "queued" and q["trace_id"] == "verify-smoke-1", q
 r = outcome()
 assert r["type"] == "result" and r["status"] in ("ok", "degraded"), r
+assert r["trace_id"] == "verify-smoke-1", r
 
-# 2. A malformed frame answers a structured protocol error (same
+# 2. The scrape reflects the finished job: outcome counter moved, both
+#    SLO histograms carry the sample.
+m1 = scrape_until("kraftwerk_solve_wall_seconds_count", 1.0)
+done = (m1.get('kraftwerk_jobs_total{outcome="ok"}', 0)
+        + m1.get('kraftwerk_jobs_total{outcome="degraded"}', 0))
+assert done == 1.0, f"jobs_total did not move: {m1}"
+assert m1.get("kraftwerk_queue_wait_seconds_count") == 1.0, m1
+assert any('kraftwerk_queue_wait_seconds_bucket{le="' in s for s in m1), \
+    "queue-wait histogram buckets missing from exposition"
+assert any('kraftwerk_solve_wall_seconds_bucket{le="' in s for s in m1), \
+    "solve-wall histogram buckets missing from exposition"
+
+# 3. A malformed frame answers a structured protocol error (same
 #    taxonomy code as CLI exit 2) and the connection resyncs.
 f.write("this is not json\n")
 f.flush()
 e = recv()
 assert e["type"] == "error" and e["stage"] == "protocol" and e["code"] == 2, e
 
-# 3. A fault-injected job fails as a parse-stage error frame (code 4,
-#    the CLI parse exit code) without taking the worker down.
+# 4. A fault-injected job fails as a parse-stage error frame (code 4,
+#    the CLI parse exit code) without taking the worker down, and the
+#    failure lands in the metrics.
 send({"type": "place", "id": "smoke-fault", "mode": "fast",
       "netlist": netlist, "fault": "parse", "max_transformations": 12})
 q = recv()
 assert q["type"] == "queued", q
 e = outcome()
 assert e["type"] == "error" and e["stage"] == "parse" and e["code"] == 4, e
+m2 = scrape_until("kraftwerk_solve_wall_seconds_count", 2.0)
+assert m2.get('kraftwerk_jobs_total{outcome="failed"}') == 1.0, m2
 
-# 4. The daemon is still healthy after both failure paths.
+# 5. The daemon is still healthy after both failure paths — protocol
+#    ping and HTTP liveness probe agree.
 send({"type": "ping"})
 assert recv()["type"] == "pong"
-print("daemon smoke: OK (good / malformed / fault-injected all answered)")
+with urllib.request.urlopen(health_url, timeout=10) as resp:
+    assert resp.status == 200, resp.status
+    health = json.loads(resp.read().decode())
+assert health["status"] == "ok" and health["queue_depth"] == 0, health
+print("daemon smoke: OK (good / malformed / fault-injected answered; "
+      f"{len(m2)} metric series scraped)")
 EOF
 kill -TERM "$serve_pid"
 if ! wait "$serve_pid"; then

@@ -6,7 +6,7 @@
 //!                                [--trace [run.jsonl]] [--report report.json]
 //!                                [--snapshot-every N] [--k F] [--profile]
 //!                                [--alloc-stats] [--perfetto trace.json] [-v|--verbose] [-q|--quiet]
-//! kraftwerk inspect    <telemetry>... [-o report.html] [--perfetto trace.json]
+//! kraftwerk inspect    <telemetry>... [-o report.html] [--perfetto trace.json] [--service]
 //! kraftwerk bench      [--json] [--compare baseline.json] [-o out.json] [--max-cells N] [--modes a,b]
 //!                      [--hpwl-tol PCT] [--wall-tol PCT]
 //! kraftwerk timing     <netlist> [--requirement NS] [-v|--verbose] [-q|--quiet]
@@ -120,7 +120,7 @@ impl CliError {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  kraftwerk place     <netlist> [-o <placement>] [--fast] [--multilevel] [--svg <file>]\n                      [--poisson <multigrid|spectral|direct>] [--threads <n>]\n                      [--trace [<jsonl>]] [--report <json>] [--profile]\n                      [--alloc-stats] [--perfetto <json>]\n                      [--snapshot-every <n>] [--k <f>] [--force-scale <f>] [-v|--verbose] [-q|--quiet]\n  kraftwerk serve     [--addr <host:port>] [--workers <n>] [--queue-cap <n>] [--deadline <s>]\n                      [--journal-dir <dir>] [--max-bytes <n>] [--no-retry]\n  kraftwerk inspect   <telemetry>... [-o <html>] [--perfetto <json>]\n  kraftwerk bench     [--json] [--compare <baseline>] [-o <json>] [--max-cells <n>]\n                      [--modes <a,b>] [--hpwl-tol <pct>] [--wall-tol <pct>] [-v|--verbose] [-q|--quiet]\n  kraftwerk timing    <netlist> [--requirement <ns>] [-v|--verbose] [-q|--quiet]\n  kraftwerk gen       <name> <cells> <nets> <rows> [--seed <n>] [--blocks <n>] [-o <file>]\n  kraftwerk stats     <netlist>\n  kraftwerk check     <netlist> <placement>\n  kraftwerk route     <netlist> <placement>\n  kraftwerk bookshelf <netlist> [<placement>] [-o <dir>]"
+        "usage:\n  kraftwerk place     <netlist> [-o <placement>] [--fast] [--multilevel] [--svg <file>]\n                      [--poisson <multigrid|spectral|direct>] [--threads <n>]\n                      [--trace [<jsonl>]] [--report <json>] [--profile]\n                      [--alloc-stats] [--perfetto <json>]\n                      [--snapshot-every <n>] [--k <f>] [--force-scale <f>] [-v|--verbose] [-q|--quiet]\n  kraftwerk serve     [--addr <host:port>] [--workers <n>] [--queue-cap <n>] [--deadline <s>]\n                      [--journal-dir <dir>] [--max-bytes <n>] [--no-retry]\n                      [--metrics-addr <host:port>] [--report-dir <dir>]\n  kraftwerk inspect   <telemetry>... [-o <html>] [--perfetto <json>] [--service]\n  kraftwerk bench     [--json] [--compare <baseline>] [-o <json>] [--max-cells <n>]\n                      [--modes <a,b>] [--hpwl-tol <pct>] [--wall-tol <pct>] [-v|--verbose] [-q|--quiet]\n  kraftwerk timing    <netlist> [--requirement <ns>] [-v|--verbose] [-q|--quiet]\n  kraftwerk gen       <name> <cells> <nets> <rows> [--seed <n>] [--blocks <n>] [-o <file>]\n  kraftwerk stats     <netlist>\n  kraftwerk check     <netlist> <placement>\n  kraftwerk route     <netlist> <placement>\n  kraftwerk bookshelf <netlist> [<placement>] [-o <dir>]"
     );
     ExitCode::from(2)
 }
@@ -460,10 +460,13 @@ fn cmd_place(args: &[String]) -> Result<(), CliError> {
 }
 
 /// `kraftwerk inspect <telemetry>... [-o report.html] [--perfetto
-/// trace.json]`: renders recorded runs (`--trace` JSONL streams or
-/// `--report` summaries). One input yields the single-run HTML dashboard
-/// and/or a Chrome trace-event export; two or more yield the cross-run
-/// comparison document.
+/// trace.json] [--service]`: renders recorded runs (`--trace` JSONL
+/// streams or `--report` summaries). One input yields the single-run
+/// HTML dashboard and/or a Chrome trace-event export; two or more yield
+/// the cross-run comparison document. With `--service` the inputs are
+/// service telemetry instead — `loadgen --latency-out` job records
+/// and/or a scraped `/metrics` snapshot — rendered as the deployment
+/// dashboard (latency percentiles, queue depth, throughput, outcomes).
 fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
     use kraftwerk::trace::Console;
 
@@ -471,8 +474,21 @@ fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
         has_flag(args, "--quiet") || has_flag(args, "-q"),
         has_flag(args, "--verbose") || has_flag(args, "-v"),
     );
-    // Every leading non-flag argument is a telemetry file.
-    let inputs: Vec<&String> = args.iter().take_while(|a| !a.starts_with('-')).collect();
+    // Every non-flag argument that is not a flag's value is a telemetry
+    // file, so inputs may appear before or after flags.
+    let mut inputs: Vec<&String> = Vec::new();
+    let mut skip_next = false;
+    for arg in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if arg.starts_with('-') {
+            skip_next = matches!(arg.as_str(), "-o" | "--perfetto");
+            continue;
+        }
+        inputs.push(arg);
+    }
     if inputs.is_empty() {
         return Err(
             "inspect: missing telemetry path (a --trace JSONL stream or --report summary)".into(),
@@ -480,6 +496,39 @@ fn cmd_inspect(args: &[String]) -> Result<(), CliError> {
     }
     let perfetto_path = flag_value(args, "--perfetto")?;
     let out_flag = flag_value(args, "-o")?;
+    if has_flag(args, "--service") {
+        if perfetto_path.is_some() {
+            return Err("inspect: --service and --perfetto are exclusive".into());
+        }
+        // Concatenate every input: loadgen job records and scraped
+        // /metrics snapshots can share one dashboard.
+        let mut text = String::new();
+        for input in &inputs {
+            let chunk = std::fs::read_to_string(input).map_err(|e| {
+                kerr(KraftwerkError::Io {
+                    path: (*input).clone(),
+                    message: e.to_string(),
+                })
+            })?;
+            text.push_str(&chunk);
+            if !text.ends_with('\n') {
+                text.push('\n');
+            }
+        }
+        let data = kraftwerk::inspect::parse_service(&text).map_err(|e| CliError {
+            message: format!("{}: {e}", inputs[0]),
+            code: 4,
+        })?;
+        let out = out_flag.unwrap_or_else(|| "service.html".to_string());
+        require_parent_dir(&out)?;
+        write_file(&out, kraftwerk::inspect::render_service(&data))?;
+        console.info(format!(
+            "wrote {out} ({} job records, {} snapshot histograms)",
+            data.jobs.len(),
+            data.histograms.len()
+        ));
+        return Ok(());
+    }
     let mut runs: Vec<(String, kraftwerk::inspect::RunData)> = Vec::new();
     for input in &inputs {
         let text = std::fs::read_to_string(input).map_err(|e| {
@@ -877,6 +926,12 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     if has_flag(args, "--no-retry") {
         cfg.retry_degraded = false;
     }
+    if let Some(addr) = flag_value(args, "--metrics-addr")? {
+        cfg.metrics_addr = Some(addr);
+    }
+    if let Some(dir) = flag_value(args, "--report-dir")? {
+        cfg.report_dir = Some(std::path::PathBuf::from(dir));
+    }
 
     let server = kraftwerk::serve::Server::bind(cfg).map_err(|e| CliError {
         message: format!("bind failed: {e}"),
@@ -887,6 +942,9 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         .exit_code() as u8,
     })?;
     println!("listening on {}", server.local_addr());
+    if let Some(addr) = server.metrics_addr() {
+        println!("metrics on http://{addr}/metrics");
+    }
     let _ = std::io::stdout().flush();
     let summary = server.run().map_err(|e| format!("serve failed: {e}"))?;
     println!(

@@ -410,3 +410,311 @@ fn shutdown_frame_drains_and_stops_the_daemon() {
         Err(ClientError::Io(_)) | Err(ClientError::Disconnected)
     ));
 }
+
+#[test]
+fn stats_frame_reports_service_metrics() {
+    let (handle, join) = start(ServeConfig::default());
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    let text = netlist_text("srv-stats", 60, 80, 4);
+    assert_eq!(c.place("st-1", &text, &quick()).expect("transport").status, "ok");
+    let out = c
+        .place("st-2", &text, &PlaceOptions { fault: Some("parse"), ..quick() })
+        .expect("transport");
+    assert_eq!(out.status, "error");
+    // The solve-wall sample is observed a moment after the result frame
+    // is sent, so poll until both histograms have absorbed both jobs
+    // before asserting on the snapshot.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let stats = loop {
+        let stats = c.stats().expect("stats");
+        let count = |k: &str| {
+            stats.get(k).and_then(|s| s.get("count")).and_then(Json::as_f64).unwrap_or(0.0)
+        };
+        if count("queue_wait_s") >= 2.0 && count("solve_wall_s") >= 2.0 {
+            break stats;
+        }
+        assert!(std::time::Instant::now() < deadline, "histograms never reached 2 samples");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    let num = |k: &str| stats.get(k).and_then(Json::as_f64);
+    assert_eq!(num("jobs_ok"), Some(1.0));
+    assert_eq!(num("jobs_failed"), Some(1.0));
+    assert_eq!(num("queue_depth"), Some(0.0));
+    assert_eq!(num("in_flight"), Some(0.0));
+    assert!(num("workers").unwrap_or(0.0) >= 1.0);
+    assert!(num("queue_capacity").unwrap_or(0.0) >= 1.0);
+    assert!(num("uptime_s").unwrap_or(-1.0) >= 0.0);
+    // Latency summaries: both jobs were picked up and finished, so both
+    // histograms carry two samples with finite percentile estimates.
+    for family in ["queue_wait_s", "solve_wall_s"] {
+        let summary = stats.get(family).unwrap_or_else(|| panic!("{family} in stats"));
+        assert_eq!(summary.get("count").and_then(Json::as_f64), Some(2.0));
+        for q in ["p50", "p90", "p99"] {
+            let v = summary.get(q).and_then(Json::as_f64).unwrap_or(f64::NAN);
+            assert!(v.is_finite() && v >= 0.0, "{family}.{q} = {v}");
+        }
+    }
+    handle.shutdown();
+    join.join().expect("no panic").expect("clean run");
+}
+
+#[test]
+fn trace_id_round_trips_frames_and_run_report() {
+    let report_dir =
+        std::env::temp_dir().join(format!("kw-serve-reports-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&report_dir);
+    let (handle, join) = start(ServeConfig {
+        report_dir: Some(report_dir.clone()),
+        ..ServeConfig::default()
+    });
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    let text = netlist_text("srv-trace", 60, 80, 4);
+
+    // Raw frames: every response frame for the job must echo the id.
+    let mut o = kraftwerk::trace::json::JsonObject::new();
+    o.str_field("type", "place");
+    o.str_field("id", "traced-1");
+    o.str_field("mode", "fast");
+    o.str_field("netlist", &text);
+    o.u64_field("progress_every", 1);
+    o.str_field("trace_id", "trace-abc.123");
+    c.send_raw(&o.finish()).expect("send");
+    let mut seen_progress = false;
+    loop {
+        let frame = c.read_frame().expect("frame");
+        let kind = frame.get("type").and_then(Json::as_str).unwrap_or("");
+        if matches!(kind, "queued" | "progress" | "result" | "error" | "busy") {
+            assert_eq!(
+                frame.get("trace_id").and_then(Json::as_str),
+                Some("trace-abc.123"),
+                "{kind} frame must echo the client trace id"
+            );
+        }
+        if kind == "progress" {
+            seen_progress = true;
+        }
+        if matches!(kind, "result" | "error" | "busy") {
+            assert_eq!(kind, "result");
+            break;
+        }
+    }
+    assert!(seen_progress, "progress_every=1 must stream progress frames");
+
+    // The client surfaces the echoed id on the outcome too.
+    let opts = PlaceOptions {
+        trace_id: Some("trace-xyz".into()),
+        ..quick()
+    };
+    let out = c.place("traced-2", &text, &opts).expect("transport");
+    assert_eq!(out.status, "ok");
+    assert_eq!(out.trace_id.as_deref(), Some("trace-xyz"));
+    assert!(out.queue_depth.is_some(), "queued ack carries queue depth");
+
+    // An invalid trace id is a structured validation error.
+    let out = c
+        .place(
+            "traced-bad",
+            &text,
+            &PlaceOptions { trace_id: Some("bad id with spaces".into()), ..quick() },
+        )
+        .expect("transport");
+    assert_eq!(out.status, "error");
+    assert_eq!(out.error_code, Some(5));
+
+    handle.shutdown();
+    join.join().expect("no panic").expect("clean run");
+
+    // Both successful jobs left run reports whose meta record joins the
+    // service-side trace id to the solver-level report.
+    for (job, trace) in [("traced-1", "trace-abc.123"), ("traced-2", "trace-xyz")] {
+        let path = report_dir.join(format!("{job}.jsonl"));
+        let report = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{} unreadable: {e}", path.display()));
+        let meta = report.lines().next().expect("meta line");
+        let parsed = kraftwerk::trace::json::parse(meta).expect("meta parses");
+        assert_eq!(parsed.get("trace_id").and_then(Json::as_str), Some(trace));
+        assert_eq!(parsed.get("job_id").and_then(Json::as_str), Some(job));
+        assert_eq!(parsed.get("status").and_then(Json::as_str), Some("ok"));
+        assert!(parsed
+            .get("hpwl")
+            .and_then(Json::as_f64)
+            .is_some_and(|v| v.is_finite() && v > 0.0));
+    }
+    let _ = std::fs::remove_dir_all(&report_dir);
+}
+
+/// Minimal HTTP GET against the metrics sidecar.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr).expect("sidecar connect");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+        .expect("request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn metrics_sidecar_serves_prometheus_and_healthz() {
+    let (handle, join) = start(ServeConfig {
+        metrics_addr: Some("127.0.0.1:0".into()),
+        ..ServeConfig::default()
+    });
+    let sidecar = handle.metrics_addr().expect("sidecar bound");
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    let text = netlist_text("srv-prom", 60, 80, 4);
+    assert_eq!(c.place("prom-1", &text, &quick()).expect("transport").status, "ok");
+    let out = c
+        .place("prom-2", &text, &PlaceOptions { fault: Some("parse"), ..quick() })
+        .expect("transport");
+    assert_eq!(out.status, "error");
+
+    let (status, body) = http_get(sidecar, "/metrics");
+    assert_eq!(status, 200);
+    let sample = |line: &str| {
+        body.lines()
+            .find(|l| l.starts_with(line))
+            .unwrap_or_else(|| panic!("missing series {line} in:\n{body}"))
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .to_string()
+    };
+    assert_eq!(sample("kraftwerk_jobs_total{outcome=\"ok\"}"), "1");
+    assert_eq!(sample("kraftwerk_jobs_total{outcome=\"failed\"}"), "1");
+    assert_eq!(sample("kraftwerk_queue_wait_seconds_count"), "2");
+    assert_eq!(sample("kraftwerk_solve_wall_seconds_count"), "2");
+    assert!(body.contains("kraftwerk_queue_wait_seconds_bucket{le=\""));
+    assert!(body.contains("kraftwerk_solve_wall_seconds_bucket{le=\"+Inf\"}"));
+    // Exposition is parseable line by line: comments are HELP/TYPE,
+    // samples are `name[{labels}] value` with a numeric value.
+    for line in body.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix("# ") {
+            assert!(
+                comment.starts_with("HELP ") || comment.starts_with("TYPE "),
+                "unexpected comment: {line}"
+            );
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("sample shape");
+        assert!(!series.is_empty());
+        assert!(
+            value.parse::<f64>().is_ok() || value == "+Inf" || value == "-Inf" || value == "NaN",
+            "bad sample value in: {line}"
+        );
+    }
+
+    let (status, health) = http_get(sidecar, "/healthz");
+    assert_eq!(status, 200);
+    let parsed = kraftwerk::trace::json::parse(health.trim()).expect("healthz is JSON");
+    assert_eq!(parsed.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(parsed.get("queue_depth").and_then(Json::as_f64), Some(0.0));
+
+    let (status, _) = http_get(sidecar, "/nope");
+    assert_eq!(status, 404);
+
+    handle.shutdown();
+    join.join().expect("no panic").expect("clean run");
+}
+
+#[test]
+fn non_draining_client_cannot_stall_the_daemon() {
+    let (handle, join) = start(ServeConfig {
+        workers: 1,
+        queue_capacity: 64,
+        ..ServeConfig::default()
+    });
+    let text = netlist_text("srv-nodrain", 80, 100, 4);
+    // A raw socket that submits progress-heavy jobs and never reads a
+    // byte back: with blocking progress writes a full socket would wedge
+    // the single worker forever; best-effort emission must keep jobs
+    // finishing.
+    let mut writer = std::net::TcpStream::connect(handle.addr()).expect("connect");
+    let jobs = 12usize;
+    for i in 0..jobs {
+        let mut o = kraftwerk::trace::json::JsonObject::new();
+        o.str_field("type", "place");
+        o.str_field("id", &format!("nodrain-{i}"));
+        o.str_field("mode", "fast");
+        o.str_field("netlist", &text);
+        o.u64_field("progress_every", 1);
+        o.bool_field("retry", false);
+        let mut frame = o.finish();
+        frame.push('\n');
+        std::io::Write::write_all(&mut writer, frame.as_bytes()).expect("submit");
+    }
+    // From a second connection, wait (bounded) for every job to finish.
+    let mut c = Client::connect(handle.addr()).expect("connect 2");
+    let deadline = std::time::Instant::now() + Duration::from_secs(120);
+    loop {
+        let stats = c.stats().expect("stats");
+        let done = stats.get("jobs_ok").and_then(Json::as_f64).unwrap_or(0.0)
+            + stats.get("jobs_degraded").and_then(Json::as_f64).unwrap_or(0.0)
+            + stats.get("jobs_failed").and_then(Json::as_f64).unwrap_or(0.0);
+        if done >= jobs as f64 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "non-draining client stalled the daemon: {done}/{jobs} jobs finished"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    // The daemon still serves a well-behaved client afterwards.
+    let out = c.place("after-nodrain", &text, &quick()).expect("transport");
+    assert_eq!(out.status, "ok");
+    handle.shutdown();
+    join.join().expect("no panic").expect("clean run");
+}
+
+#[test]
+fn placement_is_bitwise_deterministic_with_metrics_enabled() {
+    // Full observability on: metrics sidecar, run reports, trace ids,
+    // progress frames. None of it may perturb the solver.
+    let text = netlist_text("srv-det", 120, 160, 6);
+    let mut hpwls: Vec<u64> = Vec::new();
+    for &threads in &[1usize, 2, 8] {
+        kraftwerk::par::set_threads(threads);
+        let report_dir = std::env::temp_dir().join(format!(
+            "kw-serve-det-{}-{threads}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&report_dir);
+        let (handle, join) = start(ServeConfig {
+            metrics_addr: Some("127.0.0.1:0".into()),
+            report_dir: Some(report_dir.clone()),
+            ..ServeConfig::default()
+        });
+        let mut c = Client::connect(handle.addr()).expect("connect");
+        let opts = PlaceOptions {
+            trace_id: Some(format!("det-{threads}")),
+            progress_every: 1,
+            ..PlaceOptions::default()
+        };
+        let out = c.place("det-job", &text, &opts).expect("transport");
+        assert_eq!(out.status, "ok");
+        hpwls.push(out.hpwl.to_bits());
+        handle.shutdown();
+        join.join().expect("no panic").expect("clean run");
+        let _ = std::fs::remove_dir_all(&report_dir);
+    }
+    kraftwerk::par::set_threads(0);
+    assert_eq!(
+        hpwls[0], hpwls[1],
+        "1-thread and 2-thread HPWL must match bitwise with metrics on"
+    );
+    assert_eq!(hpwls[1], hpwls[2], "2- and 8-thread HPWL must match bitwise");
+}
