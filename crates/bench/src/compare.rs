@@ -298,6 +298,23 @@ fn config_for_mode(mode: &str) -> Option<KraftwerkConfig> {
     }
 }
 
+/// The config a `multilevel-*` scale-tier mode label maps to; `None`
+/// for multilevel labels this gate cannot reproduce. All tiers run the
+/// fast preset — the modes differ only in the Poisson backend, so their
+/// baseline rows gate the backend inside the multilevel flow.
+fn multilevel_config_for_mode(mode: &str) -> Option<KraftwerkConfig> {
+    match mode {
+        "multilevel-b2b" => Some(KraftwerkConfig::fast()),
+        "multilevel-spectral" => {
+            Some(KraftwerkConfig::fast().with_field_solver(FieldSolverKind::Spectral))
+        }
+        "multilevel-hybrid" => {
+            Some(KraftwerkConfig::fast().with_field_solver(FieldSolverKind::Hybrid))
+        }
+        _ => None,
+    }
+}
+
 /// Reruns the comparable subset of `baseline` and diffs it.
 ///
 /// Circuits outside the Table 1 preset list are skipped (never panics on
@@ -317,9 +334,15 @@ pub fn run_compare(baseline: &[BaselineRun], config: &CompareConfig) -> CompareR
         let tag = format!("{}/{}", run.netlist, run.mode);
         // Scale-tier rows run the multilevel + bound-to-bound flow with
         // the same config `kraftwerk bench --json` measures them with
-        // (fast + default V-cycle), so their HPWL is reproducible and
-        // the gate enforces it like any Table 1 row.
-        if run.mode == "multilevel-b2b" {
+        // (fast preset, Poisson backend per mode label), so their HPWL
+        // is reproducible and the gate enforces it like any Table 1 row.
+        if run.mode.starts_with("multilevel-") {
+            let Some(ml_config) = multilevel_config_for_mode(&run.mode) else {
+                report
+                    .skipped
+                    .push(format!("{tag}: mode `{}` is not reproducible", run.mode));
+                continue;
+            };
             let Some(tier) = scale::TIERS.iter().find(|t| t.name == run.netlist) else {
                 report.skipped.push(format!("{tag}: not a scale tier"));
                 continue;
@@ -337,11 +360,7 @@ pub fn run_compare(baseline: &[BaselineRun], config: &CompareConfig) -> CompareR
             else {
                 continue;
             };
-            let fresh = run_kraftwerk_multilevel(
-                netlist,
-                KraftwerkConfig::fast(),
-                &MultilevelConfig::default(),
-            );
+            let fresh = run_kraftwerk_multilevel(netlist, ml_config, &MultilevelConfig::default());
             push_delta(&mut report, run, &fresh, config);
             continue;
         }
@@ -620,6 +639,35 @@ mod tests {
         assert_eq!(report.skipped.len(), 2);
         assert!(report.skipped[0].contains("not a scale tier"));
         assert!(report.skipped[1].contains("above --max-cells"));
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn spectral_and_hybrid_scale_modes_are_reproducible_by_the_gate() {
+        let spectral =
+            multilevel_config_for_mode("multilevel-spectral").expect("spectral tier mode maps");
+        assert_eq!(spectral.field_solver, FieldSolverKind::Spectral);
+        let hybrid =
+            multilevel_config_for_mode("multilevel-hybrid").expect("hybrid tier mode maps");
+        assert_eq!(hybrid.field_solver, FieldSolverKind::Hybrid);
+        // Everything else matches the plain tier flow: only the Poisson
+        // backend differs, so these rows gate the backend at scale.
+        let b2b = multilevel_config_for_mode("multilevel-b2b").expect("b2b maps");
+        assert_eq!(spectral.k, b2b.k);
+        assert_eq!(hybrid.max_transformations, b2b.max_transformations);
+        // An unknown multilevel label is skipped, not fatal, and never
+        // falls through to the Table 1 branch.
+        let baseline = vec![BaselineRun {
+            netlist: "scale10k".to_string(),
+            mode: "multilevel-annealed".to_string(),
+            cells: 10_000,
+            wall_s: 1.0,
+            hpwl_m: 1.0,
+        }];
+        let report = run_compare(&baseline, &CompareConfig::default());
+        assert!(report.deltas.is_empty());
+        assert_eq!(report.skipped.len(), 1);
+        assert!(report.skipped[0].contains("not reproducible"));
         assert!(report.passed());
     }
 

@@ -8,7 +8,9 @@
 
 use crate::config::PrecondKind;
 use crate::quadratic::{Assembled, AssemblyScratch};
-use kraftwerk_field::{DensityScratch, ForceField, MultigridWorkspace, ScalarMap, SpectralWorkspace};
+use kraftwerk_field::{
+    DensityScratch, ForceField, HybridWorkspace, MultigridWorkspace, ScalarMap, SpectralWorkspace,
+};
 use kraftwerk_geom::Vector;
 use kraftwerk_sparse::{
     CgWorkspace, CsrMatrix, JacobiPreconditioner, Preconditioner, SsorPreconditioner,
@@ -131,6 +133,8 @@ pub struct ScratchArena {
     pub(crate) mg: MultigridWorkspace,
     /// Spectral Poisson-solve buffers (FFT plan + transform scratch).
     pub(crate) spectral: SpectralWorkspace,
+    /// Hybrid Poisson-solve buffers (coarse DST seed + V-cycle grids).
+    pub(crate) hybrid: HybridWorkspace,
     /// The force field written by the in-place Poisson solves.
     pub(crate) field: Option<ForceField>,
 }

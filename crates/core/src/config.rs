@@ -38,9 +38,9 @@ impl Default for NetModel {
 
 /// Which Poisson solver computes the force field.
 ///
-/// The fallback ladder runs `Spectral → Multigrid → Direct`: the
+/// The fallback ladder runs `Spectral/Hybrid → Multigrid → Direct`: the
 /// watchdog demotes one rung at a time when a run keeps tripping, and
-/// every rung solves the same discrete system (the spectral and
+/// every rung solves the same discrete system (the spectral, hybrid and
 /// multigrid backends share their solve grid, charge deposit and force
 /// sampling), so a demotion never introduces a force discontinuity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -55,10 +55,14 @@ pub enum FieldSolverKind {
     /// system (`O(m² log m)`, no convergence tolerance; the fastest path
     /// on large grids).
     Spectral,
+    /// Multigrid V-cycles seeded by a half-resolution spectral solve
+    /// (FMG-style): the spectral seed captures the low-frequency
+    /// potential for free, cutting cycles versus a cold start.
+    Hybrid,
 }
 
 /// The ISSUE/CLI name for the force-field backend choice: selectable as
-/// `--poisson <direct|multigrid|spectral>` or the `KRAFTWERK_POISSON`
+/// `--poisson <direct|multigrid|spectral|hybrid>` or the `KRAFTWERK_POISSON`
 /// environment variable.
 pub type PoissonBackend = FieldSolverKind;
 
@@ -71,6 +75,7 @@ impl FieldSolverKind {
             "multigrid" => Some(Self::Multigrid),
             "direct" => Some(Self::Direct),
             "spectral" => Some(Self::Spectral),
+            "hybrid" => Some(Self::Hybrid),
             _ => None,
         }
     }
@@ -82,6 +87,7 @@ impl FieldSolverKind {
             Self::Multigrid => "multigrid",
             Self::Direct => "direct",
             Self::Spectral => "spectral",
+            Self::Hybrid => "hybrid",
         }
     }
 
@@ -442,6 +448,7 @@ mod tests {
             FieldSolverKind::Multigrid,
             FieldSolverKind::Direct,
             FieldSolverKind::Spectral,
+            FieldSolverKind::Hybrid,
         ] {
             assert_eq!(FieldSolverKind::parse(kind.name()), Some(kind));
         }

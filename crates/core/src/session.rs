@@ -546,6 +546,7 @@ impl<'a> PlacementSession<'a> {
             density_scratch,
             mg,
             spectral,
+            hybrid,
             field: field_slot,
         } = &mut self.arena;
 
@@ -612,6 +613,26 @@ impl<'a> PlacementSession<'a> {
                 solver.solve_reusing(density, spectral, out);
                 if snap_due {
                     if let Some(phi) = solver.potential_map(density, spectral) {
+                        emit_grid_snapshot(
+                            kraftwerk_trace::SNAPSHOT_POTENTIAL,
+                            self.iteration,
+                            &phi,
+                        );
+                    }
+                }
+                out
+            }
+            FieldSolverKind::Hybrid => {
+                let solver = kraftwerk_field::HybridSolver {
+                    // Same loosened residual target as the multigrid arm:
+                    // force directions only need a few correct digits.
+                    tolerance: 1e-4,
+                    ..kraftwerk_field::HybridSolver::new()
+                };
+                let out = field_slot.get_or_insert_with(|| ForceField::zeros(core, nx, ny));
+                solver.solve_reusing(density, hybrid, out);
+                if snap_due {
+                    if let Some(phi) = solver.potential_map(density, hybrid) {
                         emit_grid_snapshot(
                             kraftwerk_trace::SNAPSHOT_POTENTIAL,
                             self.iteration,
@@ -1110,8 +1131,8 @@ impl<'a> PlacementSession<'a> {
     /// One step down the recovery ladder: always damp the force step;
     /// deeper recoveries also demote the preconditioner (SSOR → Jacobi)
     /// and the field solver one rung down the backend ladder
-    /// (spectral → multigrid → direct), and a CG stall buys the solver a
-    /// larger iteration budget.
+    /// (spectral/hybrid → multigrid → direct), and a CG stall buys the
+    /// solver a larger iteration budget.
     fn escalate(&mut self, trip: &'static str) {
         self.wd.damping *= 0.5;
         if trip == "cg stall streak" {
@@ -1124,6 +1145,7 @@ impl<'a> PlacementSession<'a> {
         if self.wd.recoveries >= 3 {
             let demoted = match self.config.field_solver {
                 FieldSolverKind::Spectral => Some(FieldSolverKind::Multigrid),
+                FieldSolverKind::Hybrid => Some(FieldSolverKind::Multigrid),
                 FieldSolverKind::Multigrid => Some(FieldSolverKind::Direct),
                 FieldSolverKind::Direct => None,
             };
@@ -1670,12 +1692,13 @@ mod tests {
     }
 
     #[test]
-    fn all_three_poisson_backends_spread() {
+    fn all_poisson_backends_spread() {
         let nl = generate(&SynthConfig::with_size("tiny", 80, 100, 4));
         for kind in [
             FieldSolverKind::Multigrid,
             FieldSolverKind::Direct,
             FieldSolverKind::Spectral,
+            FieldSolverKind::Hybrid,
         ] {
             let cfg = KraftwerkConfig::standard().with_field_solver(kind);
             let result = GlobalPlacer::new(cfg).place(&nl);

@@ -55,7 +55,18 @@ impl SolveGrid {
     /// pads the density region by `padding × extent` on each side and the
     /// vertex count is the smallest power of two (+1) that resolves the
     /// density bins (~2 vertices per bin), capped at `max_vertices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_vertices < 9`: the solvers never build a grid
+    /// below `2³ + 1 = 9` vertices per side, so a smaller cap is a
+    /// misconfiguration that would silently produce an out-of-contract
+    /// grid (one *larger* than the requested cap) instead of honoring it.
     pub(crate) fn for_density(density: &ScalarMap, padding: f64, max_vertices: usize) -> Self {
+        assert!(
+            max_vertices >= 9,
+            "max_vertices = {max_vertices} cannot hold the minimum 9-vertex (2^3 + 1) solve grid"
+        );
         let region = density.region();
         let extent = region.width().max(region.height());
         let pad = padding * extent;
@@ -71,26 +82,36 @@ impl SolveGrid {
         let h = side / pow2 as f64;
         Self { domain, m, h }
     }
+}
 
-    /// Reconstructs the grid a saved `m × m` potential was solved on (the
-    /// inverse of [`for_density`](Self::for_density), given the stored
-    /// vertex count). Returns `None` unless `phi_len` is a plausible
-    /// square vertex grid.
-    pub(crate) fn from_saved(density: &ScalarMap, padding: f64, phi_len: usize) -> Option<Self> {
-        if phi_len == 0 {
-            return None;
-        }
-        let m = (phi_len as f64).sqrt().round() as usize;
-        if m < 2 || m * m != phi_len {
-            return None;
-        }
-        let region = density.region();
-        let extent = region.width().max(region.height());
-        let pad = padding * extent;
-        let side = extent + 2.0 * pad;
-        let domain = Rect::from_center(region.center(), Size::new(side, side));
-        let h = side / (m - 1) as f64;
-        Some(Self { domain, m, h })
+/// The geometry and solver parameters a workspace's saved potential was
+/// solved with.
+///
+/// `potential_map` validates the caller's density against this record
+/// instead of guessing the geometry back from `phi.len()`. Reconstruction
+/// from the vertex count alone aliases: two densities over different
+/// regions can produce the same `m` (every large density hits the
+/// `max_vertices` cap), in which case a saved potential would silently be
+/// resampled on the wrong domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct SavedSolve {
+    /// The grid the saved potential was solved on.
+    pub grid: SolveGrid,
+    /// `padding` of the solver that ran the solve.
+    pub padding: f64,
+    /// `max_vertices` of the solver that ran the solve.
+    pub max_vertices: usize,
+}
+
+impl SavedSolve {
+    /// True when a query for `density` through a solver configured with
+    /// (`padding`, `max_vertices`) refers to the same discrete system this
+    /// record was solved on — i.e. the query would rebuild the identical
+    /// [`SolveGrid`] with the identical parameters.
+    pub(crate) fn matches(&self, density: &ScalarMap, padding: f64, max_vertices: usize) -> bool {
+        padding == self.padding
+            && max_vertices == self.max_vertices
+            && SolveGrid::for_density(density, padding, max_vertices) == self.grid
     }
 }
 
@@ -250,12 +271,41 @@ mod tests {
     }
 
     #[test]
-    fn both_grid_constructors_agree() {
+    fn saved_solve_matches_only_the_original_system() {
         let d = ScalarMap::zeros(kraftwerk_geom::Rect::new(0.0, 0.0, 10.0, 4.0), 24, 10);
-        let g = SolveGrid::for_density(&d, 0.5, 1025);
-        let back = SolveGrid::from_saved(&d, 0.5, g.m * g.m).expect("square grid");
-        assert_eq!(g, back);
-        assert!(SolveGrid::from_saved(&d, 0.5, 0).is_none());
-        assert!(SolveGrid::from_saved(&d, 0.5, 12).is_none());
+        let saved = SavedSolve {
+            grid: SolveGrid::for_density(&d, 0.5, 1025),
+            padding: 0.5,
+            max_vertices: 1025,
+        };
+        assert!(saved.matches(&d, 0.5, 1025));
+        // Same vertex count over a different region: a from-scratch
+        // reconstruction cannot tell these apart, the record can.
+        let elsewhere = ScalarMap::zeros(kraftwerk_geom::Rect::new(50.0, 0.0, 60.0, 4.0), 24, 10);
+        assert_eq!(
+            SolveGrid::for_density(&elsewhere, 0.5, 1025).m,
+            saved.grid.m,
+            "aliasing precondition: equal vertex counts"
+        );
+        assert!(!saved.matches(&elsewhere, 0.5, 1025));
+        // Different solver parameters are a different discrete system even
+        // for the original density.
+        assert!(!saved.matches(&d, 1.0, 1025));
+        assert!(!saved.matches(&d, 0.5, 129));
+    }
+
+    #[test]
+    #[should_panic(expected = "max_vertices")]
+    fn a_cap_below_the_minimum_grid_fails_loudly() {
+        let d = ScalarMap::zeros(Rect::new(0.0, 0.0, 10.0, 10.0), 16, 16);
+        let _ = SolveGrid::for_density(&d, 0.5, 8);
+    }
+
+    #[test]
+    fn the_minimum_cap_is_honored_exactly() {
+        // max_vertices = 9 must yield the 9-vertex grid, never exceed it.
+        let d = ScalarMap::zeros(Rect::new(0.0, 0.0, 10.0, 10.0), 64, 64);
+        let g = SolveGrid::for_density(&d, 0.5, 9);
+        assert_eq!(g.m, 9);
     }
 }

@@ -9,7 +9,7 @@
 //! `f = ∇Φ` evaluated with central differences.
 
 use crate::field::{FieldSolver, ForceField};
-use crate::grid::{self, idx, SolveGrid};
+use crate::grid::{self, idx, SavedSolve, SolveGrid};
 use crate::map::ScalarMap;
 
 /// Multigrid V-cycle Poisson solver.
@@ -102,7 +102,7 @@ fn residual(level: &Level, phi: &[f64], rhs: &[f64], r: &mut [f64]) {
 
 /// Full-weighting restriction from a fine grid (m) to the coarse grid
 /// ((m+1)/2).
-fn restrict(m_fine: usize, fine: &[f64], coarse: &mut [f64]) {
+pub(crate) fn restrict(m_fine: usize, fine: &[f64], coarse: &mut [f64]) {
     let m_coarse = m_fine.div_ceil(2);
     coarse.fill(0.0);
     for jc in 1..m_coarse - 1 {
@@ -124,7 +124,7 @@ fn restrict(m_fine: usize, fine: &[f64], coarse: &mut [f64]) {
 }
 
 /// Bilinear prolongation; adds the coarse correction into the fine grid.
-fn prolong_add(m_coarse: usize, coarse: &[f64], fine: &mut [f64]) {
+pub(crate) fn prolong_add(m_coarse: usize, coarse: &[f64], fine: &mut [f64]) {
     let m_fine = 2 * m_coarse - 1;
     for jc in 0..m_coarse {
         for ic in 0..m_coarse {
@@ -178,7 +178,7 @@ fn level_count(m: usize) -> usize {
 /// Per-depth V-cycle scratch: the residual on one level plus the
 /// restricted RHS and correction on the next-coarser one.
 #[derive(Debug, Default)]
-struct VcycleBufs {
+pub(crate) struct VcycleBufs {
     r: Vec<f64>,
     coarse_rhs: Vec<f64>,
     coarse_phi: Vec<f64>,
@@ -187,13 +187,54 @@ struct VcycleBufs {
 /// Reusable buffers for [`MultigridSolver::solve_reusing`]: fine-grid RHS,
 /// potential and residual plus per-depth V-cycle scratch. Holding one of
 /// these across placement iterations makes the steady-state Poisson solve
-/// allocation-free.
+/// allocation-free. The solved potential and its [`SavedSolve`] geometry
+/// record stay behind for [`MultigridSolver::potential_map`].
 #[derive(Debug, Default)]
 pub struct MultigridWorkspace {
     rhs: Vec<f64>,
     phi: Vec<f64>,
     resid: Vec<f64>,
     depth: Vec<VcycleBufs>,
+    saved: Option<SavedSolve>,
+}
+
+/// Runs V-cycles on `phi` (which may carry an initial guess) until the
+/// residual drops below `tolerance · rhs_norm` or `max_cycles` is spent.
+/// Returns whether the tolerance was met; when `residuals` is `Some`,
+/// pushes each cycle's relative residual for telemetry. Shared by the
+/// multigrid backend and the hybrid backend's refinement stage.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn vcycle_to_tolerance(
+    m: usize,
+    h: f64,
+    phi: &mut [f64],
+    rhs: &[f64],
+    resid: &mut Vec<f64>,
+    depth: &mut Vec<VcycleBufs>,
+    rhs_norm: f64,
+    tolerance: f64,
+    max_cycles: usize,
+    mut residuals: Option<&mut Vec<f64>>,
+) -> bool {
+    let level = Level { m, h };
+    if depth.len() < level_count(m) {
+        depth.resize_with(level_count(m), VcycleBufs::default);
+    }
+    resid.resize(m * m, 0.0); // residual() zero-fills
+    let mut converged = false;
+    for _ in 0..max_cycles {
+        vcycle(&level, phi, rhs, depth);
+        residual(&level, phi, rhs, resid);
+        let rn: f64 = resid.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if let Some(out) = residuals.as_deref_mut() {
+            out.push(rn / rhs_norm);
+        }
+        if rn <= tolerance * rhs_norm {
+            converged = true;
+            break;
+        }
+    }
+    converged
 }
 
 fn vcycle(level: &Level, phi: &mut [f64], rhs: &[f64], depth: &mut [VcycleBufs]) {
@@ -237,36 +278,31 @@ impl MultigridSolver {
         // discrete system, so only the linear-system solve differs.
         let solve_grid = SolveGrid::for_density(density, self.padding, self.max_vertices);
         let SolveGrid { m, h, .. } = solve_grid;
-        let level = Level { m, h };
 
-        let MultigridWorkspace { rhs, phi, resid, depth } = ws;
+        let MultigridWorkspace { rhs, phi, resid, depth, saved } = ws;
         grid::deposit_rhs(density, &solve_grid, rhs);
 
         let rhs_norm: f64 = rhs.iter().map(|v| v * v).sum::<f64>().sqrt();
         phi.clear();
         phi.resize(m * m, 0.0);
-        if depth.len() < level_count(m) {
-            depth.resize_with(level_count(m), VcycleBufs::default);
-        }
         // Per-V-cycle residual norms for telemetry (collected only while a
         // trace sink is installed).
         let tracing = kraftwerk_trace::enabled();
         let mut cycle_residuals = Vec::new();
         let mut converged = rhs_norm == 0.0;
         if rhs_norm > 0.0 {
-            resid.resize(m * m, 0.0); // residual() zero-fills
-            for _ in 0..self.max_cycles {
-                vcycle(&level, phi, rhs, depth);
-                residual(&level, phi, rhs, resid);
-                let rn: f64 = resid.iter().map(|v| v * v).sum::<f64>().sqrt();
-                if tracing {
-                    cycle_residuals.push(rn / rhs_norm);
-                }
-                if rn <= self.tolerance * rhs_norm {
-                    converged = true;
-                    break;
-                }
-            }
+            converged = vcycle_to_tolerance(
+                m,
+                h,
+                phi,
+                rhs,
+                resid,
+                depth,
+                rhs_norm,
+                self.tolerance,
+                self.max_cycles,
+                tracing.then_some(&mut cycle_residuals),
+            );
         }
         if tracing {
             kraftwerk_trace::event(
@@ -283,19 +319,29 @@ impl MultigridSolver {
         }
 
         grid::write_forces(phi, &solve_grid, density, out);
+        *saved = Some(SavedSolve {
+            grid: solve_grid,
+            padding: self.padding,
+            max_vertices: self.max_vertices,
+        });
     }
 
     /// Samples the Poisson potential φ left in `ws` by the most recent
     /// [`solve_reusing`](Self::solve_reusing) call onto the bin centers
-    /// of `density` — which must be the same density grid (and the same
-    /// solver settings) that solve was given, since the vertex-grid
-    /// geometry is reconstructed from it. Returns `None` when the
-    /// workspace has not been used yet. This is the export behind the
-    /// `potential` field snapshots.
+    /// of `density`. Returns `None` when the workspace has not been used
+    /// yet, or when `density` (or this solver's geometry parameters) does
+    /// not describe the same discrete system the workspace was solved on
+    /// — the workspace records its [`SavedSolve`] geometry precisely so a
+    /// same-vertex-count density over a different region can never be
+    /// silently resampled on the wrong domain. This is the export behind
+    /// the `potential` field snapshots.
     #[must_use]
     pub fn potential_map(&self, density: &ScalarMap, ws: &MultigridWorkspace) -> Option<ScalarMap> {
-        let solve_grid = SolveGrid::from_saved(density, self.padding, ws.phi.len())?;
-        Some(grid::sample_potential(&ws.phi, &solve_grid, density))
+        let saved = ws.saved.as_ref()?;
+        if !saved.matches(density, self.padding, self.max_vertices) {
+            return None;
+        }
+        Some(grid::sample_potential(&ws.phi, &saved.grid, density))
     }
 }
 
@@ -476,6 +522,27 @@ mod tests {
         let f = out.force_at(d.bin_center(ix, iy));
         let dot = gx * f.x + gy * f.y;
         assert!(dot > 0.0, "potential gradient opposes the force field");
+    }
+
+    #[test]
+    fn potential_map_refuses_a_different_geometry_with_the_same_vertex_count() {
+        // Same aliasing audit as the spectral workspace: the vertex count
+        // alone cannot identify the solve domain.
+        let solver = MultigridSolver::new();
+        let mut ws = MultigridWorkspace::default();
+        let a = random_balanced_density(23, 16);
+        let mut out = ForceField::zeros(a.region(), a.nx(), a.ny());
+        solver.solve_reusing(&a, &mut ws, &mut out);
+        assert!(solver.potential_map(&a, &ws).is_some());
+        let mut b = ScalarMap::zeros(Rect::new(100.0, 50.0, 140.0, 90.0), 16, 16);
+        b.set(3, 3, 1.0);
+        b.balance();
+        assert!(
+            solver.potential_map(&b, &ws).is_none(),
+            "same-vertex-count density over a different region must not sample the stale solve"
+        );
+        let repadded = MultigridSolver { padding: 1.0, ..MultigridSolver::new() };
+        assert!(repadded.potential_map(&a, &ws).is_none());
     }
 
     #[test]

@@ -13,10 +13,27 @@
 //! special casing because the shared vertex grid is always `2^k + 1` per
 //! side, so the FFT length `2(n+1) = 2^{k+1}` is always a power of two.
 //!
+//! Three kernel specializations keep one spectral solve cheaper than one
+//! loose-tolerance multigrid solve (see DESIGN.md for the derivations):
+//!
+//! * **Real-input pairing** ([`DstPlan::dst_pair`]): the odd extension of
+//!   a real sequence has a purely imaginary DFT, so packing one row into
+//!   the real half and a second row into the imaginary half of a single
+//!   complex FFT yields both transforms at once — `S_a[k] = −½·Im Z[k+1]`,
+//!   `S_b[k] = ½·Re Z[k+1]` with no conjugate-symmetric unpacking. This
+//!   halves the FFT count and eliminates the per-transform `im.fill(0)`.
+//! * **Blocked lane transposes** ([`transpose_lanes`]): the column pass
+//!   reads its lanes contiguously after an explicit cache-blocked
+//!   transpose, instead of a `stride`-strided gather that missed on every
+//!   element at large grids.
+//! * **Fused reciprocal-eigenvalue table** (`DstPlan::inv_eig`): the
+//!   `h²/λ` division and both `2/(n+1)` round-trip normalizations are
+//!   precomputed into one multiply per spectral coefficient.
+//!
 //! The row and column transform passes are data-parallel over
-//! [`kraftwerk_par`] with one chunk per row/column; chunk boundaries are
-//! a pure function of the grid size and every chunk writes only its own
-//! disjoint scratch, so results are bitwise identical at any
+//! [`kraftwerk_par`] with one chunk per row/column pair; chunk boundaries
+//! are a pure function of the grid size and every chunk writes only its
+//! own disjoint scratch, so results are bitwise identical at any
 //! `KRAFTWERK_THREADS` setting.
 //!
 //! On boundary conditions: the paper idealizes an open (free-space)
@@ -28,7 +45,7 @@
 //! DESIGN.md for the full trade-off.
 
 use crate::field::{FieldSolver, ForceField};
-use crate::grid::{self, idx, SolveGrid};
+use crate::grid::{self, idx, SavedSolve, SolveGrid};
 use crate::map::ScalarMap;
 
 /// DST-based spectral Poisson solver.
@@ -69,46 +86,73 @@ impl SpectralSolver {
 
 /// Precomputed transform tables for one interior size `n`: bit-reversal
 /// permutation and twiddle factors for the length-`2(n+1)` complex FFT,
-/// plus the 1-D second-difference eigenvalues (before the `1/h²` scale).
+/// the 1-D second-difference eigenvalues, and the fused reciprocal
+/// 2-D eigenvalue table.
 #[derive(Debug, Default)]
-struct DstPlan {
+pub(crate) struct DstPlan {
     /// Interior points per side (`m − 2`).
     n: usize,
     /// FFT length `2(n+1)`, always a power of two.
     nfft: usize,
     /// Bit-reversal permutation of `0..nfft`.
     rev: Vec<u32>,
-    /// Twiddle real parts `cos(−2πk/nfft)` for `k < nfft/2`.
-    tw_re: Vec<f64>,
-    /// Twiddle imaginary parts `sin(−2πk/nfft)` for `k < nfft/2`.
-    tw_im: Vec<f64>,
+    /// Twiddle real parts `cos(−2πj/len)` for the butterfly stages with
+    /// `len ≥ 8`, stored per stage back to back (`len/2` entries each, in
+    /// ascending stage order) so every stage reads its factors as one
+    /// contiguous stride-1 run. The `len = 2, 4` stages need no table —
+    /// their twiddles are `1` and `−i`, multiplication-free butterflies.
+    stage_tw_re: Vec<f64>,
+    /// Twiddle imaginary parts, same layout as `stage_tw_re`.
+    stage_tw_im: Vec<f64>,
     /// `2cos(πk/(n+1)) − 2` for `k = 1..=n` — strictly negative, so the
     /// 2-D eigenvalue sum can never vanish (no zero mode to pin under
     /// Dirichlet walls; the division is still guarded defensively).
     lam: Vec<f64>,
+    /// Fused per-coefficient factor `(2/(n+1))² · h² / (λ_c + λ_l)` at
+    /// `[c·n + l]`: the eigenvalue division *and* both inverse-DST
+    /// normalizations as a single multiply in the column pass.
+    inv_eig: Vec<f64>,
+    /// The vertex spacing `inv_eig` was built for (NaN until built).
+    inv_eig_h: f64,
 }
 
 impl DstPlan {
     /// (Re)builds the tables for interior size `n`; a no-op when the size
     /// is unchanged, so steady-state solves never allocate here.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2(n + 1)` is a power of two (vertex grids are
+    /// `2^k + 1` per side). A non-conforming size would silently compute
+    /// garbage transforms — the radix-2 butterflies and the bit-reversal
+    /// permutation are only total for power-of-two lengths — so the
+    /// invariant is enforced unconditionally, not just in debug builds.
     fn prepare(&mut self, n: usize) {
         if self.n == n {
             return;
         }
         let nfft = 2 * (n + 1);
-        debug_assert!(nfft.is_power_of_two(), "vertex grids are 2^k + 1");
+        assert!(
+            nfft.is_power_of_two(),
+            "DstPlan interior size {n} needs a power-of-two FFT length, got {nfft} \
+             (vertex grids are 2^k + 1 per side)"
+        );
         let bits = nfft.trailing_zeros();
         self.rev.clear();
         self.rev.extend((0..nfft as u32).map(|i| i.reverse_bits() >> (32 - bits)));
-        let half = nfft / 2;
-        self.tw_re.clear();
-        self.tw_im.clear();
-        self.tw_re.reserve(half);
-        self.tw_im.reserve(half);
-        for k in 0..half {
-            let theta = -2.0 * std::f64::consts::PI * k as f64 / nfft as f64;
-            self.tw_re.push(theta.cos());
-            self.tw_im.push(theta.sin());
+        // Per-stage contiguous twiddle runs for `len = 8 .. nfft`; the
+        // total is under `nfft` entries, so the tables stay cache-resident
+        // next to the lane data.
+        self.stage_tw_re.clear();
+        self.stage_tw_im.clear();
+        let mut len = 8;
+        while len <= nfft {
+            for j in 0..len / 2 {
+                let theta = -2.0 * std::f64::consts::PI * j as f64 / len as f64;
+                self.stage_tw_re.push(theta.cos());
+                self.stage_tw_im.push(theta.sin());
+            }
+            len *= 2;
         }
         self.lam.clear();
         self.lam.extend(
@@ -116,9 +160,38 @@ impl DstPlan {
         );
         self.n = n;
         self.nfft = nfft;
+        self.inv_eig_h = f64::NAN;
+    }
+
+    /// (Re)builds the fused reciprocal-eigenvalue table for spacing `h`;
+    /// a no-op when `n` and `h` are unchanged. Grow-only like the other
+    /// tables.
+    fn prepare_inv_eig(&mut self, h: f64) {
+        let n = self.n;
+        if self.inv_eig_h == h && self.inv_eig.len() == n * n {
+            return;
+        }
+        let s = 2.0 / (n + 1) as f64;
+        let num = s * s * h * h;
+        self.inv_eig.clear();
+        self.inv_eig.reserve(n * n);
+        for c in 0..n {
+            let lx = self.lam[c];
+            for &ly in &self.lam[..n] {
+                let den = lx + ly;
+                self.inv_eig.push(if den == 0.0 { 0.0 } else { num / den });
+            }
+        }
+        self.inv_eig_h = h;
     }
 
     /// In-place iterative radix-2 complex FFT of length `nfft`.
+    ///
+    /// The `len = 2, 4` stages run multiplication-free (their twiddles
+    /// are `1` and exactly `−i`); the remaining stages read their
+    /// twiddles as contiguous stride-1 runs from the per-stage tables, so
+    /// the butterfly loop is four parallel stride-1 streams the compiler
+    /// vectorizes.
     fn fft(&self, re: &mut [f64], im: &mut [f64]) {
         let n = self.nfft;
         for i in 0..n {
@@ -128,23 +201,50 @@ impl DstPlan {
                 im.swap(i, j);
             }
         }
-        let mut len = 2;
+        // Stage len = 2: w = 1.
+        let mut i = 0;
+        while i < n {
+            let (tr, ti) = (re[i + 1], im[i + 1]);
+            re[i + 1] = re[i] - tr;
+            im[i + 1] = im[i] - ti;
+            re[i] += tr;
+            im[i] += ti;
+            i += 2;
+        }
+        // Stage len = 4: w₀ = 1, w₁ = −i (so w₁·z = (im, −re)).
+        let mut start = 0;
+        while start < n {
+            let (tr, ti) = (re[start + 2], im[start + 2]);
+            re[start + 2] = re[start] - tr;
+            im[start + 2] = im[start] - ti;
+            re[start] += tr;
+            im[start] += ti;
+            let (tr, ti) = (im[start + 3], -re[start + 3]);
+            re[start + 3] = re[start + 1] - tr;
+            im[start + 3] = im[start + 1] - ti;
+            re[start + 1] += tr;
+            im[start + 1] += ti;
+            start += 4;
+        }
+        // Stages len ≥ 8, contiguous twiddle runs.
+        let mut len = 8;
+        let mut cursor = 0;
         while len <= n {
             let half = len / 2;
-            let step = n / len;
+            let wr = &self.stage_tw_re[cursor..cursor + half];
+            let wi = &self.stage_tw_im[cursor..cursor + half];
+            cursor += half;
             let mut start = 0;
             while start < n {
+                let (ra, rb) = re[start..start + len].split_at_mut(half);
+                let (ia, ib) = im[start..start + len].split_at_mut(half);
                 for j in 0..half {
-                    let wr = self.tw_re[j * step];
-                    let wi = self.tw_im[j * step];
-                    let a = start + j;
-                    let b = a + half;
-                    let tr = re[b] * wr - im[b] * wi;
-                    let ti = re[b] * wi + im[b] * wr;
-                    re[b] = re[a] - tr;
-                    im[b] = im[a] - ti;
-                    re[a] += tr;
-                    im[a] += ti;
+                    let tr = rb[j] * wr[j] - ib[j] * wi[j];
+                    let ti = rb[j] * wi[j] + ib[j] * wr[j];
+                    rb[j] = ra[j] - tr;
+                    ib[j] = ia[j] - ti;
+                    ra[j] += tr;
+                    ia[j] += ti;
                 }
                 start += len;
             }
@@ -152,48 +252,227 @@ impl DstPlan {
         }
     }
 
-    /// DST-I of the `n` values packed in `chunk[..n]`; the coefficients
-    /// `S[k] = Σ_j x_j sin(πjk/(n+1))` replace `chunk[..n]`.
-    ///
-    /// `chunk` is one row/column's `2·nfft`-float scratch (`re` then `im`
-    /// halves). The input is extended to the odd sequence
-    /// `(0, x_1..x_n, 0, −x_n..−x_1)` whose DFT is purely imaginary with
-    /// `X[k] = −2i·S[k]`, so one complex FFT yields the transform. DST-I
-    /// is its own inverse up to the factor `2/(n+1)`, which callers fold
-    /// in once per round trip.
-    fn dst(&self, chunk: &mut [f64]) {
+    /// Expands the `n` values packed in `buf[..n]` into their odd
+    /// extension `(0, x_1..x_n, 0, −x_n..−x_1)` of length `nfft`, in
+    /// place. Descending order so the shifted store never clobbers an
+    /// unread value.
+    #[inline]
+    fn odd_extend(&self, buf: &mut [f64]) {
         let n = self.n;
         let nfft = self.nfft;
-        let (re, im) = chunk.split_at_mut(nfft);
-        // Build the odd extension from the packed input, descending so
-        // the shifted store never clobbers an unread value.
         for j in (0..n).rev() {
-            let v = re[j];
-            re[nfft - 1 - j] = -v;
-            re[j + 1] = v;
+            let v = buf[j];
+            buf[nfft - 1 - j] = -v;
+            buf[j + 1] = v;
         }
-        re[0] = 0.0;
-        re[n + 1] = 0.0;
+        buf[0] = 0.0;
+        buf[n + 1] = 0.0;
+    }
+
+    /// DST-I of the `n` values packed in `re[..n]`, using `im` as
+    /// zero-filled scratch; the coefficients
+    /// `S[k] = Σ_j x_j sin(πjk/(n+1))` replace `re[..n]`.
+    ///
+    /// The input is extended to the odd sequence whose DFT is purely
+    /// imaginary with `X[k] = −2i·S[k]`, so one complex FFT yields the
+    /// transform. DST-I is its own inverse up to the factor `2/(n+1)`,
+    /// which callers fold in once per round trip (the solve carries it
+    /// inside `inv_eig`). This is the unpaired path, used for the last
+    /// lane of a grid (interior sizes are odd) and as the reference the
+    /// paired kernel is tested against.
+    fn dst(&self, re: &mut [f64], im: &mut [f64]) {
+        self.odd_extend(re);
         im.fill(0.0);
         self.fft(re, im);
-        for k in 0..n {
+        for k in 0..self.n {
             re[k] = -0.5 * im[k + 1];
+        }
+    }
+
+    /// Two DST-Is for the price of one complex FFT: transforms the `n`
+    /// values packed in `re[..n]` *and* the `n` values packed in
+    /// `im[..n]`, each replaced by its own coefficients.
+    ///
+    /// Both odd extensions are real sequences with purely imaginary DFTs
+    /// (`A = i·α`, `B = i·β`), so the packed spectrum
+    /// `Z = A + iB = −β + iα` separates without touching the conjugate
+    /// mirror half: `S_a[k] = −½·α[k+1] = −½·Im Z[k+1]` and
+    /// `S_b[k] = −½·β[k+1] = ½·Re Z[k+1]`.
+    fn dst_pair(&self, re: &mut [f64], im: &mut [f64]) {
+        self.odd_extend(re);
+        self.odd_extend(im);
+        self.fft(re, im);
+        // Index k is written only after index k+1 has been read.
+        for k in 0..self.n {
+            let sa = -0.5 * im[k + 1];
+            let sb = 0.5 * re[k + 1];
+            re[k] = sa;
+            im[k] = sb;
+        }
+    }
+}
+
+/// Lane pairs per transpose block: 4 pairs = 8 lanes, so each gather of a
+/// source row reads one 64-byte cache line and uses all of it.
+const TRANSPOSE_PAIRS: usize = 4;
+
+/// Re-packs `n` logical lanes of `n` spectral values from row-pair-major
+/// into column-pair-major layout (the transform is its own inverse with
+/// the roles swapped, so the same function transposes back).
+///
+/// Both buffers hold `⌈n/2⌉` chunks of `2·nfft` floats; lane `t` lives in
+/// chunk `t/2`, half `t%2`, offsets `0..n`. The destination is written in
+/// blocks of [`TRANSPOSE_PAIRS`] chunks: for each source position `t` the
+/// block's lanes are read as one contiguous run of `src`, replacing the
+/// per-element `stride`-strided gather the column pass used to pay (a
+/// guaranteed cache miss per element once `stride` outgrows a page).
+/// Block boundaries are a pure function of `n`, preserving the
+/// thread-determinism contract.
+fn transpose_lanes(src: &[f64], dst: &mut [f64], n: usize, nfft: usize) {
+    let stride = 2 * nfft;
+    kraftwerk_par::for_each_chunk_mut(dst, TRANSPOSE_PAIRS * stride, |b, block| {
+        let u0 = 2 * TRANSPOSE_PAIRS * b;
+        let lanes = (n - u0).min(2 * TRANSPOSE_PAIRS);
+        for t in 0..n {
+            let s = (t / 2) * stride + (t % 2) * nfft + u0;
+            for (l, &v) in src[s..s + lanes].iter().enumerate() {
+                block[(l / 2) * stride + (l % 2) * nfft + t] = v;
+            }
+        }
+    });
+}
+
+/// The full DST Poisson kernel: FFT plan plus the two lane-pair scratch
+/// buffers the three transform passes ping-pong between. Grow-only, so a
+/// kernel held across solves is allocation-free at steady state. Shared
+/// by the spectral backend and the hybrid backend's coarse seed solve.
+#[derive(Debug, Default)]
+pub(crate) struct DstKernel {
+    plan: DstPlan,
+    ext1: Vec<f64>,
+    ext2: Vec<f64>,
+}
+
+impl DstKernel {
+    /// (Re)builds the transform tables for an `m`-vertex grid with
+    /// spacing `h`; a no-op at steady state. Split out of
+    /// [`solve`](Self::solve) so callers can time planning separately.
+    pub(crate) fn prepare(&mut self, m: usize, h: f64) {
+        self.plan.prepare(m - 2);
+        self.plan.prepare_inv_eig(h);
+    }
+
+    /// Complex FFT invocations one solve of an `m`-vertex grid performs
+    /// (for telemetry): four paired passes over `⌈n/2⌉` lane pairs.
+    pub(crate) fn fft_count(m: usize) -> usize {
+        4 * (m - 2).div_ceil(2)
+    }
+
+    /// Solves `ΔΦ = rhs` on the `m × m` vertex grid with spacing `h` and
+    /// zero-Dirichlet walls, writing the interior of `phi` (which must be
+    /// zeroed, `m·m` long — boundary values are left untouched).
+    ///
+    /// Pass A forward-transforms interior rows (two per FFT), a blocked
+    /// transpose re-packs lanes column-major, pass B fuses the forward
+    /// column transform, the reciprocal-eigenvalue multiply and the
+    /// inverse column transform, a transpose re-packs row-major, and pass
+    /// C inverse-transforms rows straight into φ (the round-trip scale
+    /// already lives in the eigenvalue table).
+    pub(crate) fn solve(&mut self, rhs: &[f64], phi: &mut [f64], m: usize, h: f64) {
+        self.prepare(m, h);
+        let n = m - 2;
+        let DstKernel { plan, ext1, ext2 } = self;
+        let plan = &*plan;
+        let nfft = plan.nfft;
+        let stride = 2 * nfft;
+        let pairs = n.div_ceil(2);
+        ext1.resize(pairs * stride, 0.0);
+        ext2.resize(pairs * stride, 0.0);
+
+        // Pass A — forward DST along x, two interior rows per FFT.
+        {
+            let rhs: &[f64] = rhs;
+            kraftwerk_par::for_each_chunk_mut(ext1, stride, |p, chunk| {
+                let ja = 2 * p;
+                let jb = ja + 1;
+                let (re, im) = chunk.split_at_mut(nfft);
+                for i in 0..n {
+                    re[i] = rhs[idx(m, i + 1, ja + 1)];
+                }
+                if jb < n {
+                    for i in 0..n {
+                        im[i] = rhs[idx(m, i + 1, jb + 1)];
+                    }
+                    plan.dst_pair(re, im);
+                } else {
+                    plan.dst(re, im);
+                }
+            });
+        }
+        transpose_lanes(ext1, ext2, n, nfft);
+        // Pass B — per x-frequency lane: forward DST along y, fused
+        // reciprocal-eigenvalue multiply (which carries both round-trip
+        // normalizations), inverse DST along y. Two lanes per chunk.
+        kraftwerk_par::for_each_chunk_mut(ext2, stride, |q, chunk| {
+            let ca = 2 * q;
+            let cb = ca + 1;
+            let (re, im) = chunk.split_at_mut(nfft);
+            let ea = &plan.inv_eig[ca * n..(ca + 1) * n];
+            if cb < n {
+                plan.dst_pair(re, im);
+                let eb = &plan.inv_eig[cb * n..(cb + 1) * n];
+                for (v, e) in re[..n].iter_mut().zip(ea) {
+                    *v *= e;
+                }
+                for (v, e) in im[..n].iter_mut().zip(eb) {
+                    *v *= e;
+                }
+                plan.dst_pair(re, im);
+            } else {
+                plan.dst(re, im);
+                for (v, e) in re[..n].iter_mut().zip(ea) {
+                    *v *= e;
+                }
+                plan.dst(re, im);
+            }
+        });
+        transpose_lanes(ext2, ext1, n, nfft);
+        // Pass C — inverse DST along x; the spectra land as φ rows.
+        kraftwerk_par::for_each_chunk_mut(ext1, stride, |p, chunk| {
+            let (re, im) = chunk.split_at_mut(nfft);
+            if 2 * p + 1 < n {
+                plan.dst_pair(re, im);
+            } else {
+                plan.dst(re, im);
+            }
+        });
+        // Scatter interior rows of φ (Dirichlet boundary rows stay zero).
+        {
+            let src: &[f64] = ext1;
+            kraftwerk_par::for_each_chunk_mut(phi, m, |r, row| {
+                if r == 0 || r + 1 >= m {
+                    return;
+                }
+                let t = r - 1;
+                let s = (t / 2) * stride + (t % 2) * nfft;
+                row[1..=n].copy_from_slice(&src[s..s + n]);
+            });
         }
     }
 }
 
 /// Reusable buffers for [`SpectralSolver::solve_reusing`]: the vertex
-/// RHS/potential, the per-row transform scratch for the three passes, and
-/// the FFT plan. All grow-only, so holding one across placement
-/// iterations makes the steady-state spectral solve allocation-free. The
-/// solved potential stays behind for [`SpectralSolver::potential_map`].
+/// RHS/potential plus the DST kernel (FFT plan and pass scratch). All
+/// grow-only, so holding one across placement iterations makes the
+/// steady-state spectral solve allocation-free. The solved potential and
+/// its [`SavedSolve`] geometry record stay behind for
+/// [`SpectralSolver::potential_map`].
 #[derive(Debug, Default)]
 pub struct SpectralWorkspace {
-    plan: DstPlan,
+    kernel: DstKernel,
     rhs: Vec<f64>,
     phi: Vec<f64>,
-    ext1: Vec<f64>,
-    ext2: Vec<f64>,
+    saved: Option<SavedSolve>,
 }
 
 impl SpectralSolver {
@@ -211,13 +490,12 @@ impl SpectralSolver {
         let _timer = kraftwerk_trace::span("spectral.solve");
         let solve_grid = SolveGrid::for_density(density, self.padding, self.max_vertices);
         let m = solve_grid.m;
-        let SpectralWorkspace { plan, rhs, phi, ext1, ext2 } = ws;
+        let SpectralWorkspace { kernel, rhs, phi, saved } = ws;
         grid::deposit_rhs(density, &solve_grid, rhs);
         phi.clear();
         phi.resize(m * m, 0.0);
 
         let rhs_norm: f64 = rhs.iter().map(|v| v * v).sum::<f64>().sqrt();
-        let n = m - 2;
         let tracing = kraftwerk_trace::enabled();
         // Plan-preparation vs transform-pass split, for the convergence
         // telemetry. Clock reads only happen under an installed sink.
@@ -225,74 +503,25 @@ impl SpectralSolver {
         let mut transform_s = 0.0f64;
         if rhs_norm > 0.0 {
             let t0 = tracing.then(std::time::Instant::now);
-            plan.prepare(n);
+            kernel.prepare(m, solve_grid.h);
             if let Some(t0) = t0 {
                 plan_s = t0.elapsed().as_secs_f64();
             }
             let t1 = tracing.then(std::time::Instant::now);
-            let stride = 2 * plan.nfft;
-            ext1.resize(n * stride, 0.0);
-            ext2.resize(n * stride, 0.0);
-            let h2 = solve_grid.h * solve_grid.h;
-            let plan = &*plan;
-
-            // Pass A — forward DST along x for every interior row j.
-            {
-                let rhs: &[f64] = rhs;
-                kraftwerk_par::for_each_chunk_mut(ext1, stride, |j, chunk| {
-                    for i in 0..n {
-                        chunk[i] = rhs[idx(m, i + 1, j + 1)];
-                    }
-                    plan.dst(chunk);
-                });
-            }
-            // Pass B — per x-frequency column c: forward DST along y,
-            // eigenvalue division, inverse DST along y (fused: two FFTs
-            // per chunk, no barrier-sized temporaries).
-            {
-                let src: &[f64] = ext1;
-                kraftwerk_par::for_each_chunk_mut(ext2, stride, |c, chunk| {
-                    for j in 0..n {
-                        chunk[j] = src[j * stride + c];
-                    }
-                    plan.dst(chunk);
-                    let lx = plan.lam[c];
-                    for (value, &ly) in chunk.iter_mut().zip(&plan.lam[..n]) {
-                        let den = lx + ly;
-                        *value = if den == 0.0 { 0.0 } else { *value * h2 / den };
-                    }
-                    plan.dst(chunk);
-                });
-            }
-            // Pass C — inverse DST along x for every interior row j.
-            {
-                let src: &[f64] = ext2;
-                kraftwerk_par::for_each_chunk_mut(ext1, stride, |j, chunk| {
-                    for c in 0..n {
-                        chunk[c] = src[c * stride + j];
-                    }
-                    plan.dst(chunk);
-                });
-            }
-            // Two inverse DST applications fold into one scale here.
-            let s = 2.0 / (n + 1) as f64;
-            let scale = s * s;
-            for j in 0..n {
-                for i in 0..n {
-                    phi[idx(m, i + 1, j + 1)] = scale * ext1[j * stride + i];
-                }
-            }
+            kernel.solve(rhs, phi, m, solve_grid.h);
             if let Some(t1) = t1 {
                 transform_s = t1.elapsed().as_secs_f64();
             }
         }
 
         if tracing {
+            let ffts = if rhs_norm > 0.0 { DstKernel::fft_count(m) } else { 0 };
             kraftwerk_trace::event(
                 "spectral.solve",
                 vec![
                     ("vertices_per_side", kraftwerk_trace::Value::from(m)),
-                    ("fft_len", kraftwerk_trace::Value::from(2 * (n + 1))),
+                    ("fft_len", kraftwerk_trace::Value::from(2 * (m - 1))),
+                    ("ffts", kraftwerk_trace::Value::from(ffts)),
                     ("trivial", kraftwerk_trace::Value::from(rhs_norm == 0.0)),
                     ("plan_s", kraftwerk_trace::Value::from(plan_s)),
                     ("transform_s", kraftwerk_trace::Value::from(transform_s)),
@@ -302,19 +531,29 @@ impl SpectralSolver {
         }
 
         grid::write_forces(phi, &solve_grid, density, out);
+        *saved = Some(SavedSolve {
+            grid: solve_grid,
+            padding: self.padding,
+            max_vertices: self.max_vertices,
+        });
     }
 
     /// Samples the Poisson potential φ left in `ws` by the most recent
     /// [`solve_reusing`](Self::solve_reusing) call onto the bin centers
-    /// of `density` — which must be the same density grid (and the same
-    /// solver settings) that solve was given, since the vertex-grid
-    /// geometry is reconstructed from it. Returns `None` when the
-    /// workspace has not been used yet. This is the export behind the
-    /// `potential` field snapshots.
+    /// of `density`. Returns `None` when the workspace has not been used
+    /// yet, or when `density` (or this solver's geometry parameters) does
+    /// not describe the same discrete system the workspace was solved on
+    /// — the workspace records its [`SavedSolve`] geometry precisely so a
+    /// same-vertex-count density over a different region can never be
+    /// silently resampled on the wrong domain. This is the export behind
+    /// the `potential` field snapshots.
     #[must_use]
     pub fn potential_map(&self, density: &ScalarMap, ws: &SpectralWorkspace) -> Option<ScalarMap> {
-        let solve_grid = SolveGrid::from_saved(density, self.padding, ws.phi.len())?;
-        Some(grid::sample_potential(&ws.phi, &solve_grid, density))
+        let saved = ws.saved.as_ref()?;
+        if !saved.matches(density, self.padding, self.max_vertices) {
+            return None;
+        }
+        Some(grid::sample_potential(&ws.phi, &saved.grid, density))
     }
 }
 
@@ -335,6 +574,7 @@ mod tests {
     use super::*;
     use crate::multigrid::{MultigridSolver, MultigridWorkspace};
     use kraftwerk_geom::{Point, Rect};
+    use proptest::prelude::*;
     use rand::{Rng, SeedableRng};
 
     fn random_balanced_density(seed: u64, nx: usize, ny: usize) -> ScalarMap {
@@ -369,7 +609,8 @@ mod tests {
             let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
             let mut chunk = vec![f64::NAN; 2 * plan.nfft];
             chunk[..n].copy_from_slice(&x);
-            plan.dst(&mut chunk);
+            let (re, im) = chunk.split_at_mut(plan.nfft);
+            plan.dst(re, im);
             for k in 1..=n {
                 let naive: f64 = (1..=n)
                     .map(|j| {
@@ -378,9 +619,9 @@ mod tests {
                     })
                     .sum();
                 assert!(
-                    (chunk[k - 1] - naive).abs() < 1e-10,
+                    (re[k - 1] - naive).abs() < 1e-10,
                     "n={n} k={k}: fft {} vs naive {naive}",
-                    chunk[k - 1]
+                    re[k - 1]
                 );
             }
         }
@@ -395,12 +636,84 @@ mod tests {
         let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let mut chunk = vec![0.0; 2 * plan.nfft];
         chunk[..n].copy_from_slice(&x);
-        plan.dst(&mut chunk);
-        plan.dst(&mut chunk);
+        let (re, im) = chunk.split_at_mut(plan.nfft);
+        plan.dst(re, im);
+        plan.dst(re, im);
         let s = 2.0 / (n + 1) as f64;
         for j in 0..n {
-            assert!((s * chunk[j] - x[j]).abs() < 1e-12, "round trip at {j}");
+            assert!((s * re[j] - x[j]).abs() < 1e-12, "round trip at {j}");
         }
+    }
+
+    #[test]
+    fn paired_dst_applied_twice_is_a_scaled_identity() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(10);
+        let n = 63;
+        let mut plan = DstPlan::default();
+        plan.prepare(n);
+        let a: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut chunk = vec![f64::NAN; 2 * plan.nfft];
+        chunk[..n].copy_from_slice(&a);
+        chunk[plan.nfft..plan.nfft + n].copy_from_slice(&b);
+        let (re, im) = chunk.split_at_mut(plan.nfft);
+        plan.dst_pair(re, im);
+        plan.dst_pair(re, im);
+        let s = 2.0 / (n + 1) as f64;
+        for j in 0..n {
+            assert!((s * re[j] - a[j]).abs() < 1e-12, "lane a round trip at {j}");
+            assert!((s * im[j] - b[j]).abs() < 1e-12, "lane b round trip at {j}");
+        }
+    }
+
+    proptest! {
+        /// The paired real-input kernel must match the unpaired (old
+        /// complex-FFT) path to ≤1e-12 on every plan size the solver can
+        /// encounter (interior sizes 2^k − 1 for m = 2^k + 1, k = 3..10,
+        /// i.e. n = 7..1023).
+        #[test]
+        fn paired_dst_matches_the_unpaired_path(k in 3u32..=10, seed in 0u64..1_000_000) {
+            let n = (1usize << k) - 1;
+            let mut plan = DstPlan::default();
+            plan.prepare(n);
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let a: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+
+            let mut paired = vec![f64::NAN; 2 * plan.nfft];
+            paired[..n].copy_from_slice(&a);
+            paired[plan.nfft..plan.nfft + n].copy_from_slice(&b);
+            {
+                let (re, im) = paired.split_at_mut(plan.nfft);
+                plan.dst_pair(re, im);
+            }
+
+            let mut single = vec![f64::NAN; 2 * plan.nfft];
+            for (lane, input) in [(0usize, &a), (1, &b)] {
+                single[..n].copy_from_slice(input);
+                {
+                    let (re, im) = single.split_at_mut(plan.nfft);
+                    plan.dst(re, im);
+                }
+                let got = &paired[lane * plan.nfft..lane * plan.nfft + n];
+                for j in 0..n {
+                    let reference = single[j];
+                    let tol = 1e-12 * reference.abs().max(1.0);
+                    prop_assert!(
+                        (got[j] - reference).abs() <= tol,
+                        "n={} lane={} j={}: paired {} vs unpaired {}",
+                        n, lane, j, got[j], reference
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn a_non_power_of_two_plan_size_is_rejected() {
+        let mut plan = DstPlan::default();
+        plan.prepare(6);
     }
 
     #[test]
@@ -489,9 +802,10 @@ mod tests {
         let caps = (
             ws.rhs.capacity(),
             ws.phi.capacity(),
-            ws.ext1.capacity(),
-            ws.ext2.capacity(),
-            ws.plan.rev.capacity(),
+            ws.kernel.ext1.capacity(),
+            ws.kernel.ext2.capacity(),
+            ws.kernel.plan.rev.capacity(),
+            ws.kernel.plan.inv_eig.capacity(),
         );
         solver.solve_reusing(&d, &mut ws, &mut out);
         assert_eq!(
@@ -499,9 +813,10 @@ mod tests {
             (
                 ws.rhs.capacity(),
                 ws.phi.capacity(),
-                ws.ext1.capacity(),
-                ws.ext2.capacity(),
-                ws.plan.rev.capacity(),
+                ws.kernel.ext1.capacity(),
+                ws.kernel.ext2.capacity(),
+                ws.kernel.plan.rev.capacity(),
+                ws.kernel.plan.inv_eig.capacity(),
             )
         );
         assert_eq!(out, reference);
@@ -519,6 +834,35 @@ mod tests {
         assert_eq!((phi.nx(), phi.ny()), (d.nx(), d.ny()));
         assert!(phi.is_finite());
         assert!(phi.max() > phi.min(), "non-trivial potential");
+    }
+
+    #[test]
+    fn potential_map_refuses_a_different_geometry_with_the_same_vertex_count() {
+        // Regression: the geometry used to be reconstructed from
+        // `phi.len()` alone, so a workspace solved on density A silently
+        // returned wrong-domain potentials for any density B with the
+        // same vertex count — which is *every* pair of large densities,
+        // since they all alias at the max_vertices cap.
+        let solver = SpectralSolver::new();
+        let mut ws = SpectralWorkspace::default();
+        let a = random_balanced_density(21, 16, 16);
+        let mut out = ForceField::zeros(a.region(), a.nx(), a.ny());
+        solver.solve_reusing(&a, &mut ws, &mut out);
+        assert!(solver.potential_map(&a, &ws).is_some());
+
+        // Same bin counts (hence the same solve-grid vertex count), but a
+        // translated, rescaled region: must refuse, not resample.
+        let mut b = ScalarMap::zeros(Rect::new(100.0, 50.0, 140.0, 90.0), 16, 16);
+        b.set(3, 3, 1.0);
+        b.balance();
+        assert!(
+            solver.potential_map(&b, &ws).is_none(),
+            "same-vertex-count density over a different region must not sample the stale solve"
+        );
+
+        // Different solver parameters are a different discrete system.
+        let repadded = SpectralSolver { padding: 1.0, ..SpectralSolver::new() };
+        assert!(repadded.potential_map(&a, &ws).is_none());
     }
 
     #[test]

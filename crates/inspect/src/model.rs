@@ -93,10 +93,11 @@ pub struct PhaseCost {
 }
 
 /// One retained solver-convergence record (a CG residual trajectory, a
-/// multigrid V-cycle curve, or spectral plan/transform timings).
+/// multigrid or hybrid V-cycle curve, or spectral plan/transform
+/// timings).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ConvergenceTrace {
-    /// Solver tag: `cg`, `multigrid`, or `spectral`.
+    /// Solver tag: `cg`, `multigrid`, `spectral`, or `hybrid`.
     pub solver: String,
     /// The placement transformation the solve ran inside.
     pub iteration: u64,

@@ -31,7 +31,8 @@ pub const UTILIZATION_EVENT: &str = "par.utilization";
 
 /// Solver events retained as [`ConvergenceRecord`]s (the `".solve"`
 /// suffix is stripped into the record's `solver` tag).
-pub const CONVERGENCE_EVENTS: [&str; 3] = ["cg.solve", "multigrid.solve", "spectral.solve"];
+pub const CONVERGENCE_EVENTS: [&str; 4] =
+    ["cg.solve", "multigrid.solve", "spectral.solve", "hybrid.solve"];
 
 /// Upper bound on retained [`ConvergenceRecord`]s per run. Solver events
 /// beyond the cap still count under `events`, but their residual curves
@@ -166,11 +167,12 @@ impl TimelineEvent {
 }
 
 /// One retained solver-convergence event (a CG residual trajectory, a
-/// multigrid V-cycle residual curve, or spectral plan/transform
-/// timings), tagged with the placement transformation it ran inside.
+/// multigrid or hybrid V-cycle residual curve, or spectral
+/// plan/transform timings), tagged with the placement transformation it
+/// ran inside.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ConvergenceRecord {
-    /// Solver tag: `cg`, `multigrid`, or `spectral`.
+    /// Solver tag: `cg`, `multigrid`, `spectral`, or `hybrid`.
     pub solver: String,
     /// The 1-based placement transformation the solve belongs to.
     pub iteration: u64,

@@ -38,6 +38,11 @@ KRAFTWERK_BIN=target/release/kraftwerk bash scripts/bench_gate.sh
 # so any drift is a real change).
 KRAFTWERK_BIN=target/release/kraftwerk MODES=multilevel-b2b MAX_CELLS=250000 \
     bash scripts/bench_gate.sh
+# The spectral- and hybrid-backend scale-tier rows (scale10k/scale50k)
+# gate the Poisson backends inside the multilevel flow at the same 2%
+# HPWL bar — a kernel change that shifts placement quality fails here.
+KRAFTWERK_BIN=target/release/kraftwerk MODES=multilevel-spectral,multilevel-hybrid MAX_CELLS=50000 \
+    bash scripts/bench_gate.sh
 
 # Large-netlist smoke: the 50k-cell scale tier must place end-to-end
 # through the multilevel + bound-to-bound flow inside a generous

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! kraftwerk place      <netlist> [-o placement.pl] [--fast] [--multilevel] [--svg out.svg]
-//!                                [--poisson multigrid|spectral|direct] [--threads N]
+//!                                [--poisson multigrid|spectral|hybrid|direct] [--threads N]
 //!                                [--trace [run.jsonl]] [--report report.json]
 //!                                [--snapshot-every N] [--k F] [--profile]
 //!                                [--alloc-stats] [--perfetto trace.json] [-v|--verbose] [-q|--quiet]
@@ -120,7 +120,7 @@ impl CliError {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  kraftwerk place     <netlist> [-o <placement>] [--fast] [--multilevel] [--svg <file>]\n                      [--poisson <multigrid|spectral|direct>] [--threads <n>]\n                      [--trace [<jsonl>]] [--report <json>] [--profile]\n                      [--alloc-stats] [--perfetto <json>]\n                      [--snapshot-every <n>] [--k <f>] [--force-scale <f>] [-v|--verbose] [-q|--quiet]\n  kraftwerk serve     [--addr <host:port>] [--workers <n>] [--queue-cap <n>] [--deadline <s>]\n                      [--journal-dir <dir>] [--max-bytes <n>] [--no-retry]\n                      [--metrics-addr <host:port>] [--report-dir <dir>]\n  kraftwerk inspect   <telemetry>... [-o <html>] [--perfetto <json>] [--service]\n  kraftwerk bench     [--json] [--compare <baseline>] [-o <json>] [--max-cells <n>]\n                      [--modes <a,b>] [--hpwl-tol <pct>] [--wall-tol <pct>] [-v|--verbose] [-q|--quiet]\n  kraftwerk timing    <netlist> [--requirement <ns>] [-v|--verbose] [-q|--quiet]\n  kraftwerk gen       <name> <cells> <nets> <rows> [--seed <n>] [--blocks <n>] [-o <file>]\n  kraftwerk stats     <netlist>\n  kraftwerk check     <netlist> <placement>\n  kraftwerk route     <netlist> <placement>\n  kraftwerk bookshelf <netlist> [<placement>] [-o <dir>]"
+        "usage:\n  kraftwerk place     <netlist> [-o <placement>] [--fast] [--multilevel] [--svg <file>]\n                      [--poisson <multigrid|spectral|hybrid|direct>] [--threads <n>]\n                      [--trace [<jsonl>]] [--report <json>] [--profile]\n                      [--alloc-stats] [--perfetto <json>]\n                      [--snapshot-every <n>] [--k <f>] [--force-scale <f>] [-v|--verbose] [-q|--quiet]\n  kraftwerk serve     [--addr <host:port>] [--workers <n>] [--queue-cap <n>] [--deadline <s>]\n                      [--journal-dir <dir>] [--max-bytes <n>] [--no-retry]\n                      [--metrics-addr <host:port>] [--report-dir <dir>]\n  kraftwerk inspect   <telemetry>... [-o <html>] [--perfetto <json>] [--service]\n  kraftwerk bench     [--json] [--compare <baseline>] [-o <json>] [--max-cells <n>]\n                      [--modes <a,b>] [--hpwl-tol <pct>] [--wall-tol <pct>] [-v|--verbose] [-q|--quiet]\n  kraftwerk timing    <netlist> [--requirement <ns>] [-v|--verbose] [-q|--quiet]\n  kraftwerk gen       <name> <cells> <nets> <rows> [--seed <n>] [--blocks <n>] [-o <file>]\n  kraftwerk stats     <netlist>\n  kraftwerk check     <netlist> <placement>\n  kraftwerk route     <netlist> <placement>\n  kraftwerk bookshelf <netlist> [<placement>] [-o <dir>]"
     );
     ExitCode::from(2)
 }
@@ -301,7 +301,9 @@ fn cmd_place(args: &[String]) -> Result<(), CliError> {
     // override already applied by `standard()`/`fast()`.
     if let Some(name) = flag_value(args, "--poisson")? {
         let kind = FieldSolverKind::parse(&name)
-            .ok_or_else(|| format!("--poisson: `{name}` is not multigrid, spectral or direct"))?;
+            .ok_or_else(|| {
+                format!("--poisson: `{name}` is not multigrid, spectral, hybrid or direct")
+            })?;
         config = config.with_field_solver(kind);
     }
     config.force_scale_boost = force_scale;
@@ -697,21 +699,43 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
     // Scaling-curve tiers (10k → 1M cells) run in the multilevel +
     // bound-to-bound flow, the documented path past ~25k cells. They only
     // enter the measurement when --max-cells is raised to reach them, so
-    // the default quick run stays quick. The bench gate treats their rows
-    // warn-only until a baseline records them.
-    for tier in scale::TIERS.iter().filter(|t| t.cells <= max_cells && wants("multilevel-b2b")) {
+    // the default quick run stays quick. The spectral and hybrid Poisson
+    // backends ride the same flow on the 10k/50k tiers (the committed
+    // baseline scope); the bigger tiers stay on the plain V-cycle flow.
+    let ml_modes = ["multilevel-b2b", "multilevel-spectral", "multilevel-hybrid"];
+    for tier in scale::TIERS.iter().filter(|t| t.cells <= max_cells) {
+        let tier_modes: Vec<&str> = ml_modes
+            .into_iter()
+            .filter(|&m| wants(m) && (m == "multilevel-b2b" || tier.cells <= 50_000))
+            .collect();
+        if tier_modes.is_empty() {
+            continue;
+        }
         let netlist = generate(&scale::config_for(*tier));
-        let (_, run) = kraftwerk::bench::run_kraftwerk_multilevel_recorded(
-            &netlist,
-            KraftwerkConfig::fast(),
-            &kraftwerk::placer::MultilevelConfig::default(),
-            "multilevel-b2b",
-        );
-        console.info(format!(
-            "{} (multilevel-b2b): hpwl {:.6} m in {:.2}s over {} transformations",
-            run.netlist, run.hpwl_m, run.wall_s, run.iterations
-        ));
-        runs.push(run);
+        for &mode in &tier_modes {
+            // Must stay in sync with `multilevel_config_for_mode` in the
+            // bench crate, which rebuilds the same configs when gating.
+            let config = match mode {
+                "multilevel-spectral" => {
+                    KraftwerkConfig::fast().with_field_solver(FieldSolverKind::Spectral)
+                }
+                "multilevel-hybrid" => {
+                    KraftwerkConfig::fast().with_field_solver(FieldSolverKind::Hybrid)
+                }
+                _ => KraftwerkConfig::fast(),
+            };
+            let (_, run) = kraftwerk::bench::run_kraftwerk_multilevel_recorded(
+                &netlist,
+                config,
+                &kraftwerk::placer::MultilevelConfig::default(),
+                mode,
+            );
+            console.info(format!(
+                "{} ({mode}): hpwl {:.6} m in {:.2}s over {} transformations",
+                run.netlist, run.hpwl_m, run.wall_s, run.iterations
+            ));
+            runs.push(run);
+        }
     }
     let json = kraftwerk::bench::bench_json(&runs);
     match &out {

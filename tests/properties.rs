@@ -2,8 +2,8 @@
 //! circuit the generator can produce, not just the benchmark presets.
 
 use kraftwerk::field::{
-    density_map, largest_empty_square, ForceField, MultigridSolver, MultigridWorkspace,
-    ScalarMap, SpectralSolver, SpectralWorkspace,
+    density_map, largest_empty_square, ForceField, HybridSolver, HybridWorkspace,
+    MultigridSolver, MultigridWorkspace, ScalarMap, SpectralSolver, SpectralWorkspace,
 };
 use kraftwerk::geom::Rect;
 use kraftwerk::legalize::{check_legality, legalize};
@@ -306,6 +306,55 @@ proptest! {
         for iy in 0..ny {
             for ix in 0..nx {
                 err_sq += (sp_phi.get(ix, iy) - mg_phi.get(ix, iy)).powi(2);
+                base_sq += mg_phi.get(ix, iy).powi(2);
+            }
+        }
+        let rel = (err_sq / base_sq).sqrt();
+        prop_assert!(rel <= 1e-6, "{}x{} grid: relative potential error {:e}", nx, ny, rel);
+    }
+
+    #[test]
+    fn hybrid_and_multigrid_potentials_agree_on_random_densities(seed in 0u64..200) {
+        // The hybrid backend is multigrid with a spectral warm start:
+        // the coarse seed changes the iteration trajectory, never the
+        // fixed point, so a tight-tolerance hybrid solve must land on
+        // the same potential as a tight-tolerance multigrid solve.
+        let nx = 8 + (seed as usize) % 23;
+        let ny = 8 + (seed as usize / 23) % 19;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut d = ScalarMap::zeros(Rect::new(0.0, 0.0, 12.0, 9.0), nx, ny);
+        for iy in 0..ny {
+            for ix in 0..nx {
+                d.set(ix, iy, rng.gen_range(-1.0..1.0));
+            }
+        }
+        d.balance();
+
+        let hybrid = HybridSolver {
+            tolerance: 1e-12,
+            max_cycles: 300,
+            ..HybridSolver::default()
+        };
+        let mut hy_ws = HybridWorkspace::default();
+        let mut hy_out = ForceField::zeros(d.region(), nx, ny);
+        hybrid.solve_reusing(&d, &mut hy_ws, &mut hy_out);
+        let hy_phi = hybrid.potential_map(&d, &hy_ws).expect("hybrid potential");
+
+        let mg = MultigridSolver {
+            tolerance: 1e-12,
+            max_cycles: 300,
+            ..MultigridSolver::default()
+        };
+        let mut mg_ws = MultigridWorkspace::default();
+        let mut mg_out = ForceField::zeros(d.region(), nx, ny);
+        mg.solve_reusing(&d, &mut mg_ws, &mut mg_out);
+        let mg_phi = mg.potential_map(&d, &mg_ws).expect("multigrid potential");
+
+        let mut err_sq = 0.0;
+        let mut base_sq = 1e-30;
+        for iy in 0..ny {
+            for ix in 0..nx {
+                err_sq += (hy_phi.get(ix, iy) - mg_phi.get(ix, iy)).powi(2);
                 base_sq += mg_phi.get(ix, iy).powi(2);
             }
         }
